@@ -1,0 +1,66 @@
+//! E11 — Bron–Kerbosch variants: naive vs pivot vs degeneracy, across tag-
+//! graph densities. The paper's implementation was "extended to optimize
+//! candidate tag selection and minimize recursion steps"; this quantifies
+//! what that optimization buys.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sensormeta_graph::UndirectedGraph;
+use sensormeta_tagging::{maximal_cliques, BkVariant};
+
+fn random_graph(n: usize, density_pct: u32, seed: u64) -> UndirectedGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in u + 1..n {
+            if rng.gen_range(0..100) < density_pct {
+                edges.push((u, v));
+            }
+        }
+    }
+    UndirectedGraph::from_edges(n, &edges)
+}
+
+fn print_recursion_table() {
+    println!("\n=== E11: Bron–Kerbosch recursion steps (n=60) ===");
+    println!(
+        "{:<12} {:>10} {:>10} {:>12} {:>9}",
+        "density", "naive", "pivot", "degeneracy", "cliques"
+    );
+    for density in [10u32, 30, 50, 70] {
+        let g = random_graph(60, density, 7);
+        let (_, naive) = maximal_cliques(&g, BkVariant::Naive);
+        let (_, pivot) = maximal_cliques(&g, BkVariant::Pivot);
+        let (cl, degen) = maximal_cliques(&g, BkVariant::Degeneracy);
+        println!(
+            "{:<12} {:>10} {:>10} {:>12} {:>9}",
+            format!("{density}%"),
+            naive.calls,
+            pivot.calls,
+            degen.calls,
+            cl.len()
+        );
+    }
+    println!();
+}
+
+fn bench_clique(c: &mut Criterion) {
+    print_recursion_table();
+    let mut group = c.benchmark_group("bron_kerbosch");
+    group.sample_size(10);
+    for density in [30u32, 60] {
+        let g = random_graph(80, density, 11);
+        for variant in [BkVariant::Naive, BkVariant::Pivot, BkVariant::Degeneracy] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{variant:?}"), format!("d{density}")),
+                &g,
+                |b, g| b.iter(|| maximal_cliques(g, variant).1.cliques),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clique);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! E10 — double-link vs single-link PageRank: how much the paper's combined
+//! ranking reorders pages relative to hyperlink-only ranking when semantic
+//! coverage is partial, plus the solve-cost overhead of the blended matrix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sensormeta_rank::{GaussSeidel, PageRankProblem, Solver, TransitionMatrix};
+use sensormeta_workload::double_link_pair;
+
+/// Mean absolute rank displacement between two orderings of the same pages.
+fn rank_displacement(a: &[f64], b: &[f64]) -> f64 {
+    let order = |x: &[f64]| -> Vec<usize> {
+        let mut ix: Vec<usize> = (0..x.len()).collect();
+        ix.sort_by(|&i, &j| x[j].partial_cmp(&x[i]).unwrap_or(std::cmp::Ordering::Equal));
+        let mut rank = vec![0usize; x.len()];
+        for (pos, &i) in ix.iter().enumerate() {
+            rank[i] = pos;
+        }
+        rank
+    };
+    let (ra, rb) = (order(a), order(b));
+    ra.iter()
+        .zip(&rb)
+        .map(|(&x, &y)| (x as f64 - y as f64).abs())
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+fn print_displacement_table() {
+    println!("\n=== E10: double-link vs hyperlink-only ranking (n=5000) ===");
+    println!(
+        "{:<22} {:>18} {:>14}",
+        "semantic coverage", "mean displacement", "(of n ranks)"
+    );
+    for coverage in [0.1f64, 0.3, 0.5, 0.9] {
+        let (sem, hyp) = double_link_pair(5_000, 3, coverage, 42);
+        let double = PageRankProblem::new(TransitionMatrix::double_link(&sem, &hyp, 0.5));
+        let single = PageRankProblem::new(TransitionMatrix::from_graph(&hyp));
+        let rd = GaussSeidel.solve(&double, 1e-10, 5_000);
+        let rs = GaussSeidel.solve(&single, 1e-10, 5_000);
+        let disp = rank_displacement(&rd.x, &rs.x);
+        println!(
+            "{:<22} {:>18.1} {:>14}",
+            format!("{:.0}%", coverage * 100.0),
+            disp,
+            5_000
+        );
+    }
+    println!();
+}
+
+fn print_alpha_sweep() {
+    println!("=== E10b: semantic weight (alpha) sweep, 50% coverage (n=5000) ===");
+    println!("{:<8} {:>26}", "alpha", "displacement vs hyperlink");
+    let (sem, hyp) = double_link_pair(5_000, 3, 0.5, 42);
+    let single = PageRankProblem::new(TransitionMatrix::from_graph(&hyp));
+    let base = GaussSeidel.solve(&single, 1e-10, 5_000);
+    for alpha in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let p = PageRankProblem::new(TransitionMatrix::double_link(&sem, &hyp, alpha));
+        let r = GaussSeidel.solve(&p, 1e-10, 5_000);
+        println!("{alpha:<8} {:>26.1}", rank_displacement(&r.x, &base.x));
+    }
+    println!();
+}
+
+fn bench_doublelink(c: &mut Criterion) {
+    print_displacement_table();
+    print_alpha_sweep();
+    let (sem, hyp) = double_link_pair(10_000, 3, 0.5, 42);
+    let mut group = c.benchmark_group("pagerank_link_structure");
+    group.sample_size(10);
+    let double = PageRankProblem::new(TransitionMatrix::double_link(&sem, &hyp, 0.5));
+    let single = PageRankProblem::new(TransitionMatrix::from_graph(&hyp));
+    for (label, p) in [("double_link", &double), ("hyperlink_only", &single)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), p, |b, p| {
+            b.iter(|| GaussSeidel.solve(p, 1e-9, 5_000).iterations)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_doublelink);
+criterion_main!(benches);

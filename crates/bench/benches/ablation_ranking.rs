@@ -1,0 +1,125 @@
+//! E12 — search quality & latency: BM25-only vs PageRank-blended ranking on
+//! a synthetic relevance task, plus end-to-end query latency over the
+//! corpus.
+//!
+//! Relevance protocol: for each query term, the "relevant" pages are those
+//! whose *annotations* carry the term (ground truth the ranker doesn't see
+//! directly since annotations are mixed into a larger text soup); we report
+//! precision@5 under both rankings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sensormeta_query::Acl;
+use sensormeta_query::{QueryEngine, RankBlend, SearchForm};
+use sensormeta_smr::{PageDraft, Smr};
+use sensormeta_workload::{generate_corpus, query_workload, CorpusConfig};
+use std::collections::HashSet;
+
+fn build_smr() -> Smr {
+    let pages = generate_corpus(&CorpusConfig {
+        institutions: 8,
+        ..CorpusConfig::default()
+    });
+    let mut smr = Smr::new();
+    smr.bulk_load(pages.into_iter().map(|p| {
+        let mut d = PageDraft::new(p.title, p.namespace).body(p.body);
+        d.annotations = p.annotations;
+        d.links = p.links;
+        d.tags = p.tags;
+        d
+    }));
+    smr
+}
+
+fn engine_with_weight(w: f64) -> QueryEngine {
+    QueryEngine::build(
+        build_smr(),
+        Acl::open(),
+        RankBlend {
+            pagerank_weight: w,
+            ..RankBlend::default()
+        },
+    )
+    .expect("engine")
+}
+
+fn precision_at_5(engine: &QueryEngine, queries: &[String]) -> f64 {
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for q in queries {
+        let term = q.split_whitespace().next().expect("non-empty query");
+        // Ground truth: pages annotated with the term.
+        let rs = engine
+            .smr()
+            .sql(&format!(
+                "SELECT p.title FROM annotations a JOIN pages p ON a.page_id = p.id \
+                 WHERE a.value = '{}'",
+                sensormeta_smr::sql_escape(term)
+            ))
+            .expect("sql");
+        let relevant: HashSet<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
+        if relevant.is_empty() {
+            continue;
+        }
+        let out = engine
+            .search(&SearchForm::keywords(term), None)
+            .expect("search");
+        let hits = out
+            .items
+            .iter()
+            .take(5)
+            .filter(|i| relevant.contains(&i.title))
+            .count();
+        total += hits as f64 / 5.0;
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+fn print_precision_table(queries: &[String]) {
+    println!("\n=== E12: ranking quality (precision@5, annotation ground truth) ===");
+    println!("{:<22} {:>12}", "ranking", "precision@5");
+    for (label, w) in [
+        ("bm25_only", 0.0),
+        ("blended_w0.3", 0.3),
+        ("pagerank_heavy_w0.7", 0.7),
+    ] {
+        let engine = engine_with_weight(w);
+        let p = precision_at_5(&engine, queries);
+        println!("{label:<22} {p:>12.3}");
+    }
+    println!();
+}
+
+fn bench_ranking(c: &mut Criterion) {
+    let queries = query_workload(40, 7);
+    print_precision_table(&queries);
+    let engine = engine_with_weight(0.3);
+    let mut group = c.benchmark_group("query_latency");
+    group.sample_size(20);
+    for (label, q) in [
+        ("single_term", "temperature"),
+        ("multi_term", "snow wind radiation"),
+        ("rare_term", "Jungfraujoch"),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &engine, |b, e| {
+            b.iter(|| {
+                e.search(&SearchForm::keywords(q), None)
+                    .expect("search")
+                    .total_matched
+            })
+        });
+    }
+    group.bench_with_input(
+        BenchmarkId::from_parameter("autocomplete"),
+        &engine,
+        |b, e| b.iter(|| e.autocomplete("Dep", 10).len()),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_ranking);
+criterion_main!(benches);

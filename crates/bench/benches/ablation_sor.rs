@@ -1,0 +1,41 @@
+//! E13 — SOR ω sweep: how close is the paper's plain Gauss–Seidel (ω = 1)
+//! to the optimal relaxation factor for PageRank systems?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sensormeta_bench::{fig3_problem, FIG3_TOL};
+use sensormeta_rank::{Solver, Sor};
+
+fn print_omega_sweep() {
+    println!("\n=== E13: SOR relaxation sweep (n=10k, tol 1e-9) ===");
+    println!("{:<8} {:>12} {:>11}", "omega", "iterations", "converged");
+    let p = fig3_problem(10_000);
+    for omega in [0.6, 0.8, 0.9, 1.0, 1.05, 1.1, 1.2, 1.4, 1.8] {
+        let r = Sor { omega }.solve(&p, FIG3_TOL, 2_000);
+        println!("{omega:<8} {:>12} {:>11}", r.iterations, r.converged);
+    }
+    println!();
+}
+
+fn bench_sor(c: &mut Criterion) {
+    print_omega_sweep();
+    let p = fig3_problem(10_000);
+    let mut group = c.benchmark_group("sor_omega");
+    group.sample_size(10);
+    for omega in [0.8, 1.0, 1.1] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{omega}")),
+            &p,
+            |b, problem| {
+                b.iter(|| {
+                    let r = Sor { omega }.solve(problem, FIG3_TOL, 2_000);
+                    assert!(r.converged);
+                    r.iterations
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sor);
+criterion_main!(benches);

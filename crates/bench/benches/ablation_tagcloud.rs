@@ -1,0 +1,105 @@
+//! E8 — clique-aware (Eq. 6) vs frequency-only tag clouds: computes the
+//! font-size rank correlation between the two (how much the clique term
+//! reorders the cloud) and benchmarks the full pipeline at corpus scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sensormeta_tagging::{compute_cloud, CloudParams, TagStore};
+use sensormeta_workload::{generate_corpus, CorpusConfig};
+
+fn corpus_tags(scale: usize) -> TagStore {
+    let cfg = CorpusConfig {
+        institutions: scale,
+        ..CorpusConfig::default()
+    };
+    let pages = generate_corpus(&cfg);
+    let mut store = TagStore::new();
+    for p in &pages {
+        for t in &p.tags {
+            store.add(&p.title, t);
+        }
+    }
+    store
+}
+
+/// Spearman rank correlation between the two size assignments.
+fn spearman(a: &[usize], b: &[usize]) -> f64 {
+    let rank = |v: &[usize]| -> Vec<f64> {
+        let mut ix: Vec<usize> = (0..v.len()).collect();
+        ix.sort_by_key(|&i| v[i]);
+        let mut r = vec![0.0; v.len()];
+        for (pos, &i) in ix.iter().enumerate() {
+            r[i] = pos as f64;
+        }
+        r
+    };
+    let (ra, rb) = (rank(a), rank(b));
+    let n = a.len() as f64;
+    let ma = ra.iter().sum::<f64>() / n;
+    let mb = rb.iter().sum::<f64>() / n;
+    let cov: f64 = ra.iter().zip(&rb).map(|(x, y)| (x - ma) * (y - mb)).sum();
+    let va: f64 = ra.iter().map(|x| (x - ma).powi(2)).sum();
+    let vb: f64 = rb.iter().map(|y| (y - mb).powi(2)).sum();
+    cov / (va.sqrt() * vb.sqrt()).max(1e-12)
+}
+
+fn print_comparison() {
+    let store = corpus_tags(8);
+    let aware = compute_cloud(&store, &CloudParams::default());
+    let flat = compute_cloud(
+        &store,
+        &CloudParams {
+            clique_aware: false,
+            ..CloudParams::default()
+        },
+    );
+    let sizes_a: Vec<usize> = aware.entries.iter().map(|e| e.font_size).collect();
+    let sizes_f: Vec<usize> = flat.entries.iter().map(|e| e.font_size).collect();
+    let rho = spearman(&sizes_a, &sizes_f);
+    let promoted = aware
+        .entries
+        .iter()
+        .zip(&flat.entries)
+        .filter(|(a, f)| a.font_size > f.font_size)
+        .count();
+    println!("\n=== E8: clique-aware vs frequency-only clouds ===");
+    println!(
+        "tags: {}  cliques: {}",
+        aware.entries.len(),
+        aware.cliques.len()
+    );
+    println!("Spearman rank correlation of font sizes: {rho:.3}");
+    println!(
+        "tags promoted by the clique term: {promoted}/{}",
+        aware.entries.len()
+    );
+    println!();
+}
+
+fn bench_cloud(c: &mut Criterion) {
+    print_comparison();
+    let mut group = c.benchmark_group("tag_cloud_pipeline");
+    group.sample_size(10);
+    for scale in [4usize, 8] {
+        let store = corpus_tags(scale);
+        for (label, params) in [
+            ("clique_aware", CloudParams::default()),
+            (
+                "frequency_only",
+                CloudParams {
+                    clique_aware: false,
+                    ..CloudParams::default()
+                },
+            ),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("inst{scale}")),
+                &store,
+                |b, s| b.iter(|| compute_cloud(s, &params).entries.len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cloud);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E1 — Fig. 3(a): convergence evaluation of the PageRank solvers.
+//!
+//! Prints the iterations/matvecs-to-tolerance table per solver and graph
+//! size (the paper's "Convergence Evaluation" series), then benchmarks one
+//! full solve per method at n = 10k so regressions in convergence show up
+//! as time regressions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sensormeta_bench::{fig3_problem, FIG3_TOL};
+use sensormeta_rank::all_solvers;
+
+fn print_convergence_table() {
+    println!("\n=== Fig 3(a): iterations to residual < {FIG3_TOL:.0e} ===");
+    let sizes = [1_000usize, 5_000, 10_000, 50_000];
+    print!("{:<14}", "method");
+    for s in sizes {
+        print!(" {:>8}", format!("n={s}"));
+    }
+    println!("   (matvecs in parentheses)");
+    for solver in all_solvers() {
+        print!("{:<14}", solver.name());
+        for &n in &sizes {
+            let p = fig3_problem(n);
+            let r = solver.solve(&p, FIG3_TOL, 10_000);
+            assert!(r.converged, "{} at n={n}", solver.name());
+            print!(" {:>8}", format!("{}({})", r.iterations, r.matvecs));
+        }
+        println!();
+    }
+    println!();
+}
+
+fn bench_convergence(c: &mut Criterion) {
+    print_convergence_table();
+    let p = fig3_problem(10_000);
+    let mut group = c.benchmark_group("fig3a_solve_to_tol_n10k");
+    group.sample_size(10);
+    for solver in all_solvers() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(solver.name()),
+            &p,
+            |b, problem| {
+                b.iter(|| {
+                    let r = solver.solve(problem, FIG3_TOL, 10_000);
+                    assert!(r.converged);
+                    r.iterations
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convergence);
+criterion_main!(benches);

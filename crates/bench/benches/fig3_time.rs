@@ -1,0 +1,29 @@
+//! E2 — Fig. 3(b): time evaluation of the PageRank solvers across graph
+//! sizes. Criterion measures wall-clock per full solve; the series across
+//! the size parameter reproduces the paper's "Time Evaluation" curves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sensormeta_bench::{fig3_problem, FIG3_TOL};
+use sensormeta_rank::all_solvers;
+
+fn bench_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3b_time");
+    group.sample_size(10);
+    for &n in &[1_000usize, 5_000, 20_000] {
+        let p = fig3_problem(n);
+        group.throughput(Throughput::Elements(n as u64));
+        for solver in all_solvers() {
+            group.bench_with_input(BenchmarkId::new(solver.name(), n), &p, |b, problem| {
+                b.iter(|| {
+                    let r = solver.solve(problem, FIG3_TOL, 10_000);
+                    assert!(r.converged);
+                    r.x[0]
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_time);
+criterion_main!(benches);

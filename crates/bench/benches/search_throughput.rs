@@ -1,0 +1,65 @@
+//! Search substrate micro-benchmarks: indexing throughput and query latency
+//! at corpus scale (supporting numbers for the demo's interactivity claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sensormeta_search::SearchIndex;
+use sensormeta_workload::{generate_corpus, query_workload, CorpusConfig};
+
+fn corpus_docs(scale: usize) -> Vec<(String, String)> {
+    generate_corpus(&CorpusConfig {
+        institutions: scale,
+        ..CorpusConfig::default()
+    })
+    .into_iter()
+    .map(|p| (p.title, p.body))
+    .collect()
+}
+
+fn bench_search(c: &mut Criterion) {
+    let docs = corpus_docs(10);
+    let mut group = c.benchmark_group("search_substrate");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(docs.len() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("index_build", docs.len()),
+        &docs,
+        |b, docs| {
+            b.iter(|| {
+                let mut ix = SearchIndex::new();
+                for (k, t) in docs {
+                    ix.add_document(k, t);
+                }
+                ix.doc_count()
+            })
+        },
+    );
+    let mut ix = SearchIndex::new();
+    for (k, t) in &docs {
+        ix.add_document(k, t);
+    }
+    let queries = query_workload(100, 99);
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("bm25_queries", queries.len()),
+        &queries,
+        |b, qs| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for q in qs {
+                    total += ix.search(q, 10).len();
+                }
+                total
+            })
+        },
+    );
+    group.bench_function("phrase_query", |b| {
+        b.iter(|| ix.phrase("temperature sensor", 10).len())
+    });
+    group.bench_function("prefix_query", |b| {
+        b.iter(|| ix.prefix_search("temp", 10).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Shared helpers for the benchmark harness.
+
+use sensormeta_rank::{PageRankProblem, TransitionMatrix};
+use sensormeta_workload::barabasi_albert;
+
+/// The standard Fig. 3 PageRank instance at a given size.
+pub fn fig3_problem(n: usize) -> PageRankProblem {
+    let g = barabasi_albert(n, 3, 0.15, 2011);
+    PageRankProblem::new(TransitionMatrix::from_graph(&g))
+}
+
+/// Tolerance used throughout the Fig. 3 reproduction.
+pub const FIG3_TOL: f64 = 1e-9;

@@ -1,0 +1,160 @@
+//! Graph algorithms shared across the stack: strongly-connected components
+//! (Tarjan, iterative) and degree statistics.
+
+use crate::csr::CsrGraph;
+
+/// Computes strongly-connected components with an iterative Tarjan.
+/// Returns `(component_of, component_count)`; components are numbered in
+/// reverse topological order of the condensation.
+pub fn tarjan_scc(g: &CsrGraph) -> (Vec<usize>, usize) {
+    let n = g.node_count();
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![UNVISITED; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut comp_count = 0usize;
+
+    // Explicit DFS frames: (node, neighbor cursor).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    for start in 0..n {
+        if index[start] != UNVISITED {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(&mut (v, ref mut cursor)) = frames.last_mut() {
+            let nbrs = g.neighbors(v);
+            if *cursor < nbrs.len() {
+                let w = nbrs[*cursor];
+                *cursor += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("stack non-empty at root");
+                        on_stack[w] = false;
+                        comp[w] = comp_count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp_count += 1;
+                }
+            }
+        }
+    }
+    (comp, comp_count)
+}
+
+/// A histogram of out-degrees: `hist[d]` = number of nodes with out-degree d.
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let maxd = (0..g.node_count())
+        .map(|v| g.out_degree(v))
+        .max()
+        .unwrap_or(0);
+    let mut hist = vec![0usize; maxd + 1];
+    for v in 0..g.node_count() {
+        hist[g.out_degree(v)] += 1;
+    }
+    hist
+}
+
+/// Fits the tail exponent of a degree distribution by log-log linear
+/// regression over degrees ≥ `min_degree`. Used by tests to check that the
+/// synthetic web graphs are power-law-ish, like the real web graph the
+/// paper's ranking runs on.
+pub fn powerlaw_exponent(g: &CsrGraph, min_degree: usize) -> Option<f64> {
+    let hist = {
+        // In-degree follows the power law in Barabási–Albert graphs.
+        let ind = g.in_degrees();
+        let maxd = ind.iter().copied().max().unwrap_or(0);
+        let mut h = vec![0usize; maxd + 1];
+        for d in ind {
+            h[d] += 1;
+        }
+        h
+    };
+    let pts: Vec<(f64, f64)> = hist
+        .iter()
+        .enumerate()
+        .skip(min_degree.max(1))
+        .filter(|(_, &c)| c > 0)
+        .map(|(d, &c)| ((d as f64).ln(), (c as f64).ln()))
+        .collect();
+    if pts.len() < 3 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|(x, _)| x).sum();
+    let sy: f64 = pts.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = pts.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = pts.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some(-(n * sxy - sx * sy) / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scc_on_two_cycles() {
+        // 0→1→2→0 (one SCC), 3→4, 4→3 (another), 5 isolated.
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 3), (2, 3)], false);
+        let (comp, count) = tarjan_scc(&g);
+        assert_eq!(count, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[5], comp[0]);
+    }
+
+    #[test]
+    fn scc_dag_is_all_singletons() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], false);
+        let (_, count) = tarjan_scc(&g);
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn scc_reverse_topological_numbering() {
+        // 0 → 1: sink (1) gets the smaller component id.
+        let g = CsrGraph::from_edges(2, &[(0, 1)], false);
+        let (comp, _) = tarjan_scc(&g);
+        assert!(comp[1] < comp[0]);
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_n() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (1, 2)], false);
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), 5);
+        assert_eq!(h[2], 1); // node 0
+        assert_eq!(h[0], 3); // nodes 2, 3, 4
+    }
+}

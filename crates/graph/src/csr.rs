@@ -1,0 +1,168 @@
+//! Compressed sparse row (CSR) directed graphs.
+//!
+//! The PageRank solvers do repeated sparse matrix–vector products over the
+//! link structure; CSR keeps neighbor lists contiguous so those products are
+//! cache-friendly. Nodes are dense `usize` ids; label mapping lives in
+//! [`crate::labeled::LabeledGraph`].
+
+/// An immutable directed graph in CSR form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// Row offsets: `offsets[v]..offsets[v+1]` indexes `targets`.
+    offsets: Vec<usize>,
+    /// Concatenated out-neighbor lists.
+    targets: Vec<usize>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph from an edge list. Duplicate edges are kept unless
+    /// `dedup` is set; self-loops are allowed (PageRank treats them as real
+    /// links).
+    pub fn from_edges(n: usize, edges: &[(usize, usize)], dedup: bool) -> CsrGraph {
+        let mut deg = vec![0usize; n];
+        for (u, v) in edges {
+            assert!(*u < n && *v < n, "edge ({u},{v}) out of range for n={n}");
+            deg[*u] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        for d in &deg {
+            offsets.push(offsets.last().expect("non-empty") + d);
+        }
+        let mut targets = vec![0usize; edges.len()];
+        let mut cursor = offsets.clone();
+        for (u, v) in edges {
+            targets[cursor[*u]] = *v;
+            cursor[*u] += 1;
+        }
+        let mut g = CsrGraph { offsets, targets };
+        if dedup {
+            g = g.deduped();
+        }
+        g
+    }
+
+    fn deduped(&self) -> CsrGraph {
+        let n = self.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(self.targets.len());
+        offsets.push(0);
+        for v in 0..n {
+            let mut nbrs: Vec<usize> = self.neighbors(v).to_vec();
+            nbrs.sort_unstable();
+            nbrs.dedup();
+            targets.extend_from_slice(&nbrs);
+            offsets.push(targets.len());
+        }
+        CsrGraph { offsets, targets }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of edges (with multiplicity).
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-neighbors of `v`.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Nodes with no out-links — the paper's "dangling nodes".
+    pub fn dangling_nodes(&self) -> Vec<usize> {
+        (0..self.node_count())
+            .filter(|&v| self.out_degree(v) == 0)
+            .collect()
+    }
+
+    /// The transposed graph (every edge reversed). PageRank iterates over
+    /// in-links, i.e. the transpose of the link graph.
+    pub fn transpose(&self) -> CsrGraph {
+        let n = self.node_count();
+        let edges: Vec<(usize, usize)> = self.iter_edges().map(|(u, v)| (v, u)).collect();
+        CsrGraph::from_edges(n, &edges, false)
+    }
+
+    /// Iterates all edges `(u, v)`.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.node_count()).flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// In-degrees of all nodes in one pass.
+    pub fn in_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.node_count()];
+        for &v in &self.targets {
+            deg[v] += 1;
+        }
+        deg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CsrGraph {
+        // 0 → 1, 0 → 2, 1 → 3, 2 → 3
+        CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)], false)
+    }
+
+    #[test]
+    fn basic_shape() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.dangling_nodes(), vec![3]);
+    }
+
+    #[test]
+    fn transpose_reverses() {
+        let g = diamond().transpose();
+        assert_eq!(g.neighbors(3), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.dangling_nodes(), vec![0]);
+    }
+
+    #[test]
+    fn in_degrees_match_transpose_out_degrees() {
+        let g = diamond();
+        let t = g.transpose();
+        let ind = g.in_degrees();
+        for (v, d) in ind.iter().enumerate() {
+            assert_eq!(*d, t.out_degree(v));
+        }
+    }
+
+    #[test]
+    fn dedup_removes_parallel_edges() {
+        let g = CsrGraph::from_edges(2, &[(0, 1), (0, 1), (1, 0)], true);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn empty_and_single_node() {
+        let g = CsrGraph::from_edges(0, &[], false);
+        assert_eq!(g.node_count(), 0);
+        let g = CsrGraph::from_edges(1, &[(0, 0)], false);
+        assert_eq!(g.neighbors(0), &[0]);
+        assert!(g.dangling_nodes().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        CsrGraph::from_edges(2, &[(0, 5)], false);
+    }
+}

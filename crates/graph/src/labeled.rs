@@ -1,0 +1,113 @@
+//! Label ↔ dense-id mapping over growable edge sets.
+//!
+//! Metadata pages are identified by title; the numeric kernels want dense
+//! ids. `LabeledGraph` accumulates labeled edges and freezes into a
+//! [`CsrGraph`] plus the id map.
+
+use crate::csr::CsrGraph;
+use std::collections::HashMap;
+
+/// A growable directed graph over string-labeled nodes.
+#[derive(Debug, Default, Clone)]
+pub struct LabeledGraph {
+    ids: HashMap<String, usize>,
+    labels: Vec<String>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl LabeledGraph {
+    /// Creates an empty graph.
+    pub fn new() -> LabeledGraph {
+        LabeledGraph::default()
+    }
+
+    /// Interns a label, returning its dense id.
+    pub fn node(&mut self, label: &str) -> usize {
+        if let Some(&id) = self.ids.get(label) {
+            return id;
+        }
+        let id = self.labels.len();
+        self.labels.push(label.to_owned());
+        self.ids.insert(label.to_owned(), id);
+        id
+    }
+
+    /// Adds a directed edge between labels (interning both).
+    pub fn edge(&mut self, from: &str, to: &str) {
+        let u = self.node(from);
+        let v = self.node(to);
+        self.edges.push((u, v));
+    }
+
+    /// Adds a directed edge between existing ids.
+    pub fn edge_ids(&mut self, from: usize, to: usize) {
+        assert!(from < self.labels.len() && to < self.labels.len());
+        self.edges.push((from, to));
+    }
+
+    /// Id of a label if present.
+    pub fn id_of(&self, label: &str) -> Option<usize> {
+        self.ids.get(label).copied()
+    }
+
+    /// Label of an id.
+    pub fn label(&self, id: usize) -> &str {
+        &self.labels[id]
+    }
+
+    /// All labels indexed by id.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Node count.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Edge count.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Raw edges.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Freezes into a CSR graph (deduplicating parallel edges).
+    pub fn to_csr(&self) -> CsrGraph {
+        CsrGraph::from_edges(self.labels.len(), &self.edges, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_and_edges() {
+        let mut g = LabeledGraph::new();
+        g.edge("A", "B");
+        g.edge("B", "C");
+        g.edge("A", "B"); // duplicate
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        let csr = g.to_csr();
+        assert_eq!(csr.edge_count(), 2, "to_csr dedups");
+        assert_eq!(
+            csr.neighbors(g.id_of("A").unwrap()),
+            &[g.id_of("B").unwrap()]
+        );
+        assert_eq!(g.label(0), "A");
+    }
+
+    #[test]
+    fn node_is_idempotent() {
+        let mut g = LabeledGraph::new();
+        let a = g.node("X");
+        let b = g.node("X");
+        assert_eq!(a, b);
+        assert_eq!(g.node_count(), 1);
+    }
+}

@@ -1,0 +1,170 @@
+//! Simple undirected graphs for tag-similarity structures.
+//!
+//! The tagging pipeline turns a cosine-similarity matrix into an undirected
+//! graph and enumerates its maximal cliques; this adjacency-set
+//! representation supports exactly the operations Bron–Kerbosch needs:
+//! neighbor sets, degree, and degeneracy ordering.
+
+use std::collections::BTreeSet;
+
+/// An undirected graph over dense node ids with set-based adjacency.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UndirectedGraph {
+    adj: Vec<BTreeSet<usize>>,
+}
+
+impl UndirectedGraph {
+    /// Creates a graph with `n` isolated nodes.
+    pub fn new(n: usize) -> UndirectedGraph {
+        UndirectedGraph {
+            adj: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// Builds from an edge list.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> UndirectedGraph {
+        let mut g = UndirectedGraph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of (undirected) edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(BTreeSet::len).sum::<usize>() / 2
+    }
+
+    /// Adds an undirected edge; self-loops are ignored (a tag is trivially
+    /// similar to itself and must not inflate cliques).
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.adj.len() && v < self.adj.len());
+        if u == v {
+            return;
+        }
+        self.adj[u].insert(v);
+        self.adj[v].insert(u);
+    }
+
+    /// True if `u` and `v` are adjacent.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[u].contains(&v)
+    }
+
+    /// Neighbor set of `v`.
+    pub fn neighbors(&self, v: usize) -> &BTreeSet<usize> {
+        &self.adj[v]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Degeneracy ordering (smallest-last). Returns nodes in an order such
+    /// that each node has few neighbors later in the order — the ordering
+    /// that makes Bron–Kerbosch run in O(d·n·3^(d/3)).
+    pub fn degeneracy_ordering(&self) -> Vec<usize> {
+        let n = self.adj.len();
+        let mut deg: Vec<usize> = (0..n).map(|v| self.degree(v)).collect();
+        let maxdeg = deg.iter().copied().max().unwrap_or(0);
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); maxdeg + 1];
+        for v in 0..n {
+            buckets[deg[v]].push(v);
+        }
+        let mut removed = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = loop {
+                let d = (0..buckets.len())
+                    .find(|&d| !buckets[d].is_empty())
+                    .expect("some bucket non-empty");
+                let v = buckets[d].pop().expect("non-empty");
+                if !removed[v] && deg[v] == d {
+                    break v;
+                }
+            };
+            removed[v] = true;
+            order.push(v);
+            for &w in &self.adj[v] {
+                if !removed[w] {
+                    deg[w] -= 1;
+                    buckets[deg[w]].push(w);
+                }
+            }
+        }
+        order
+    }
+
+    /// Number of connected components.
+    pub fn component_count(&self) -> usize {
+        let n = self.adj.len();
+        let mut seen = vec![false; n];
+        let mut count = 0;
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            count += 1;
+            let mut stack = vec![start];
+            seen[start] = true;
+            while let Some(v) = stack.pop() {
+                for &w in &self.adj[v] {
+                    if !seen[w] {
+                        seen[w] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_are_symmetric() {
+        let g = UndirectedGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut g = UndirectedGraph::new(2);
+        g.add_edge(0, 0);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1); // duplicate
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn degeneracy_ordering_is_permutation() {
+        // A triangle plus a pendant.
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let order = g.degeneracy_ordering();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        // The pendant (3) must come before the triangle is exhausted.
+        assert_eq!(order[0], 3);
+    }
+
+    #[test]
+    fn component_counting() {
+        let g = UndirectedGraph::from_edges(5, &[(0, 1), (2, 3)]);
+        assert_eq!(g.component_count(), 3);
+        assert_eq!(UndirectedGraph::new(0).component_count(), 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Access control: "the Query Interface module takes user's inputs for
+//! queries within their privileges, since a user may not have a full access
+//! to the whole metadata."
+//!
+//! The model matches a wiki deployment: users belong to groups, groups are
+//! granted read access per namespace, and an anonymous user gets whatever
+//! the `public` group can see.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Access-control registry.
+#[derive(Debug, Default, Clone)]
+pub struct Acl {
+    /// group → namespaces readable (`*` = everything).
+    grants: BTreeMap<String, BTreeSet<String>>,
+    /// user → groups.
+    memberships: BTreeMap<String, BTreeSet<String>>,
+}
+
+/// The group every unauthenticated request maps to.
+pub const PUBLIC_GROUP: &str = "public";
+
+impl Acl {
+    /// Empty ACL: nothing readable by anyone.
+    pub fn new() -> Acl {
+        Acl::default()
+    }
+
+    /// An open ACL where the public group reads everything — the demo
+    /// default.
+    pub fn open() -> Acl {
+        let mut acl = Acl::new();
+        acl.grant(PUBLIC_GROUP, "*");
+        acl
+    }
+
+    /// Grants a group read access to a namespace (`*` for all).
+    pub fn grant(&mut self, group: &str, namespace: &str) {
+        self.grants
+            .entry(group.to_owned())
+            .or_default()
+            .insert(namespace.to_owned());
+    }
+
+    /// Revokes a grant. Returns true if it existed.
+    pub fn revoke(&mut self, group: &str, namespace: &str) -> bool {
+        self.grants
+            .get_mut(group)
+            .is_some_and(|s| s.remove(namespace))
+    }
+
+    /// Adds a user to a group.
+    pub fn add_member(&mut self, user: &str, group: &str) {
+        self.memberships
+            .entry(user.to_owned())
+            .or_default()
+            .insert(group.to_owned());
+    }
+
+    /// Groups of a user, always including `public`.
+    fn groups_of(&self, user: Option<&str>) -> BTreeSet<&str> {
+        let mut groups: BTreeSet<&str> = BTreeSet::from([PUBLIC_GROUP]);
+        if let Some(u) = user {
+            if let Some(gs) = self.memberships.get(u) {
+                groups.extend(gs.iter().map(String::as_str));
+            }
+        }
+        groups
+    }
+
+    /// Can `user` (None = anonymous) read pages in `namespace`?
+    pub fn can_read(&self, user: Option<&str>, namespace: &str) -> bool {
+        self.groups_of(user).iter().any(|g| {
+            self.grants
+                .get(*g)
+                .is_some_and(|ns| ns.contains("*") || ns.contains(namespace))
+        })
+    }
+
+    /// Namespaces a user can read out of `all` (convenience for building
+    /// namespace drop-downs limited to the user's privileges).
+    pub fn readable<'a>(&self, user: Option<&str>, all: &'a [String]) -> Vec<&'a str> {
+        all.iter()
+            .map(String::as_str)
+            .filter(|ns| self.can_read(user, ns))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acl() -> Acl {
+        let mut acl = Acl::new();
+        acl.grant(PUBLIC_GROUP, "Fieldsite");
+        acl.grant("researchers", "Deployment");
+        acl.grant("admins", "*");
+        acl.add_member("alice", "researchers");
+        acl.add_member("root", "admins");
+        acl
+    }
+
+    #[test]
+    fn anonymous_reads_public_only() {
+        let acl = acl();
+        assert!(acl.can_read(None, "Fieldsite"));
+        assert!(!acl.can_read(None, "Deployment"));
+    }
+
+    #[test]
+    fn members_inherit_public_plus_group() {
+        let acl = acl();
+        assert!(acl.can_read(Some("alice"), "Fieldsite"));
+        assert!(acl.can_read(Some("alice"), "Deployment"));
+        assert!(!acl.can_read(Some("alice"), "Internal"));
+    }
+
+    #[test]
+    fn wildcard_grants_everything() {
+        let acl = acl();
+        assert!(acl.can_read(Some("root"), "Internal"));
+        assert!(acl.can_read(Some("root"), "Deployment"));
+    }
+
+    #[test]
+    fn unknown_user_is_anonymous() {
+        let acl = acl();
+        assert!(!acl.can_read(Some("mallory"), "Deployment"));
+        assert!(acl.can_read(Some("mallory"), "Fieldsite"));
+    }
+
+    #[test]
+    fn revoke_removes_access() {
+        let mut acl = acl();
+        assert!(acl.revoke(PUBLIC_GROUP, "Fieldsite"));
+        assert!(!acl.can_read(None, "Fieldsite"));
+        assert!(!acl.revoke(PUBLIC_GROUP, "Fieldsite"));
+    }
+
+    #[test]
+    fn readable_filters_list() {
+        let acl = acl();
+        let all = vec![
+            "Fieldsite".to_string(),
+            "Deployment".to_string(),
+            "Internal".to_string(),
+        ];
+        assert_eq!(acl.readable(None, &all), vec!["Fieldsite"]);
+        assert_eq!(
+            acl.readable(Some("alice"), &all),
+            vec!["Fieldsite", "Deployment"]
+        );
+        assert_eq!(acl.readable(Some("root"), &all).len(), 3);
+    }
+
+    #[test]
+    fn open_acl_reads_all() {
+        let acl = Acl::open();
+        assert!(acl.can_read(None, "Anything"));
+    }
+}

@@ -1,0 +1,531 @@
+//! The Query Management module (Fig. 1).
+//!
+//! Owns the SMR plus every derived structure: the full-text index, the
+//! autocomplete trie, double-link PageRank scores, and the recommender.
+//! Query execution combines the relational store (numeric conditions via
+//! SQL), the RDF mirror (exact semantic conditions via SPARQL), and the
+//! inverted index (keywords), then ranks by the blended BM25 × PageRank
+//! metric and attaches facets and recommendations.
+
+use crate::acl::Acl;
+use crate::error::{QueryError, Result};
+use crate::form::{CondOp, Condition, SearchForm, SortBy};
+use crate::result::{FacetCount, QueryOutput, RecommendedPage, ResultItem};
+use sensormeta_rank::{GaussSeidel, PageRankProblem, Recommender, Solver, TransitionMatrix};
+use sensormeta_search::{Autocomplete, SearchIndex, SpellSuggester};
+use sensormeta_smr::{sql_escape, Smr};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Ranking blend: `score = (1−w)·bm25_norm + w·pagerank_norm` when keywords
+/// are present; pure PageRank otherwise.
+#[derive(Debug, Clone, Copy)]
+pub struct RankBlend {
+    /// PageRank weight `w`.
+    pub pagerank_weight: f64,
+    /// Double-link alpha (semantic share; see `TransitionMatrix::double_link`).
+    pub semantic_alpha: f64,
+    /// Teleportation coefficient `c` of Eq. 2.
+    pub c: f64,
+}
+
+impl Default for RankBlend {
+    fn default() -> Self {
+        RankBlend {
+            pagerank_weight: 0.3,
+            semantic_alpha: 0.5,
+            c: 0.85,
+        }
+    }
+}
+
+/// The query engine over one SMR.
+pub struct QueryEngine {
+    smr: Smr,
+    acl: Acl,
+    blend: RankBlend,
+    index: SearchIndex,
+    autocomplete: Autocomplete,
+    /// title → dense page id (indexes `titles` / `pagerank`).
+    title_ids: HashMap<String, usize>,
+    titles: Vec<String>,
+    /// PageRank per dense id, normalized so max = 1.
+    pagerank: Vec<f64>,
+    recommender: Recommender,
+    /// Attribute-name dictionary for the recommender's property ids.
+    prop_names: Vec<String>,
+    suggester: SpellSuggester,
+}
+
+impl QueryEngine {
+    /// Builds the engine, indexing the repository and solving double-link
+    /// PageRank with the Gauss–Seidel method (the paper's choice from
+    /// Fig. 3).
+    pub fn build(smr: Smr, acl: Acl, blend: RankBlend) -> Result<QueryEngine> {
+        let mut engine = QueryEngine {
+            smr,
+            acl,
+            blend,
+            index: SearchIndex::new(),
+            autocomplete: Autocomplete::new(),
+            title_ids: HashMap::new(),
+            titles: Vec::new(),
+            pagerank: Vec::new(),
+            recommender: Recommender::new(Vec::new(), Vec::new()),
+            prop_names: Vec::new(),
+            suggester: SpellSuggester::new(),
+        };
+        engine.rebuild()?;
+        Ok(engine)
+    }
+
+    /// Builds with an open ACL and default blend.
+    pub fn open(smr: Smr) -> Result<QueryEngine> {
+        Self::build(smr, Acl::open(), RankBlend::default())
+    }
+
+    /// Recomputes every derived structure from the current SMR contents.
+    /// Call after bulk loads; PageRank "scores need to be updated regularly
+    /// as new metadata pages are continuously created".
+    pub fn rebuild(&mut self) -> Result<()> {
+        let (semantic, hyperlink, titles) = self.smr.link_graphs()?;
+        self.titles = titles;
+        self.title_ids = self
+            .titles
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i))
+            .collect();
+
+        // PageRank over the double linking structure.
+        self.pagerank = if self.titles.is_empty() {
+            Vec::new()
+        } else {
+            let matrix =
+                TransitionMatrix::double_link(&semantic, &hyperlink, self.blend.semantic_alpha);
+            let problem = PageRankProblem::with_c(matrix, self.blend.c);
+            let solution = GaussSeidel.solve(&problem, 1e-10, 1000);
+            let max = solution.x.iter().copied().fold(f64::MIN_POSITIVE, f64::max);
+            solution.x.iter().map(|v| v / max).collect()
+        };
+
+        // Full-text index + autocomplete + recommender incidence.
+        self.index = SearchIndex::new();
+        self.autocomplete = Autocomplete::new();
+        let mut prop_ids: HashMap<String, u32> = HashMap::new();
+        let mut prop_names: Vec<String> = Vec::new();
+        let mut page_props: Vec<Vec<u32>> = vec![Vec::new(); self.titles.len()];
+        for (i, title) in self.titles.iter().enumerate() {
+            let page = self
+                .smr
+                .get_page(title)?
+                .ok_or_else(|| QueryError::Internal(format!("page `{title}` vanished")))?;
+            // Index title words, body, annotation values, and tags together.
+            let mut text = format!("{} {}", page.title.replace([':', '_'], " "), page.body);
+            for (a, v) in &page.annotations {
+                text.push(' ');
+                text.push_str(v);
+                let id = match prop_ids.get(a) {
+                    Some(&id) => id,
+                    None => {
+                        let id = prop_names.len() as u32;
+                        prop_ids.insert(a.clone(), id);
+                        prop_names.push(a.clone());
+                        id
+                    }
+                };
+                page_props[i].push(id);
+            }
+            for t in &page.tags {
+                text.push(' ');
+                text.push_str(t);
+            }
+            self.index.add_document(title, &text);
+            self.autocomplete
+                .insert(title, 1.0 + self.pagerank[i] * 10.0);
+        }
+        for (attr, count) in self.smr.attributes()? {
+            self.autocomplete.insert(&attr, count as f64);
+        }
+        self.prop_names = prop_names;
+        self.recommender = Recommender::new(page_props, self.pagerank.clone());
+        self.suggester = SpellSuggester::new();
+        for (term, df) in self.index.terms() {
+            self.suggester.add(term, df);
+        }
+        Ok(())
+    }
+
+    /// Read access to the repository.
+    pub fn smr(&self) -> &Smr {
+        &self.smr
+    }
+
+    /// Mutable repository access. The caller must [`QueryEngine::rebuild`]
+    /// afterwards (cheap for the demo corpus; incremental maintenance is a
+    /// non-goal of the reproduction).
+    pub fn smr_mut(&mut self) -> &mut Smr {
+        &mut self.smr
+    }
+
+    /// Normalized PageRank of a page.
+    pub fn pagerank_of(&self, title: &str) -> Option<f64> {
+        self.title_ids.get(title).map(|&i| self.pagerank[i])
+    }
+
+    /// Top-k autocomplete suggestions.
+    pub fn autocomplete(&self, prefix: &str, k: usize) -> Vec<(String, f64)> {
+        self.autocomplete.complete(prefix, k)
+    }
+
+    /// Pages recommended for a set of seed titles (the paper's
+    /// recommendation mechanism).
+    pub fn recommend(&self, seeds: &[&str], k: usize) -> Vec<RecommendedPage> {
+        let seed_ids: Vec<usize> = seeds
+            .iter()
+            .filter_map(|t| self.title_ids.get(*t).copied())
+            .collect();
+        self.recommender
+            .recommend(&seed_ids, k)
+            .into_iter()
+            .map(|r| RecommendedPage {
+                title: self.titles[r.page].clone(),
+                score: r.score,
+                shared_properties: r
+                    .shared_properties
+                    .iter()
+                    .map(|&p| self.prop_names[p as usize].clone())
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Executes an advanced-search form for a user.
+    pub fn search(&self, form: &SearchForm, user: Option<&str>) -> Result<QueryOutput> {
+        if form.is_empty() {
+            return Err(QueryError::EmptyForm);
+        }
+        // 1. Keyword candidates with BM25 scores (None = no keyword filter).
+        let keyword_scores: Option<HashMap<usize, f64>> = if form.keywords.trim().is_empty() {
+            None
+        } else {
+            let hits = if form.match_all {
+                self.index.search_all_terms(&form.keywords, usize::MAX)
+            } else {
+                self.index.search(&form.keywords, usize::MAX)
+            };
+            Some(
+                hits.into_iter()
+                    .filter_map(|h| self.title_ids.get(&h.key).map(|&i| (i, h.score)))
+                    .collect(),
+            )
+        };
+
+        // 2. Structured conditions: exact string equality runs as SPARQL
+        //    against the RDF mirror; the rest (numeric, substring) as SQL
+        //    against the annotation table — the paper's SQL+SPARQL
+        //    combination.
+        let mut cond_matches: Vec<HashSet<usize>> = Vec::with_capacity(form.conditions.len());
+        for cond in &form.conditions {
+            cond_matches.push(self.eval_condition(cond)?);
+        }
+
+        // 3. Assemble the candidate set.
+        let candidates: Vec<usize> = match &keyword_scores {
+            Some(scores) => scores.keys().copied().collect(),
+            None => (0..self.titles.len()).collect(),
+        };
+        let mut matched: Vec<(usize, f64)> = Vec::new(); // (page, match_degree)
+        for page in candidates {
+            let degree = if cond_matches.is_empty() {
+                1.0
+            } else {
+                let hit = cond_matches.iter().filter(|s| s.contains(&page)).count();
+                hit as f64 / cond_matches.len() as f64
+            };
+            let keep = if form.soft_conditions {
+                cond_matches.is_empty() || degree > 0.0
+            } else {
+                degree >= 1.0
+            };
+            if keep {
+                matched.push((page, degree));
+            }
+        }
+
+        // 4. ACL + namespace filter (needs page rows).
+        let mut items = Vec::new();
+        let bm25_max = keyword_scores
+            .as_ref()
+            .map(|s| s.values().copied().fold(f64::MIN_POSITIVE, f64::max))
+            .unwrap_or(1.0);
+        let mut facet_counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for (page_id, degree) in matched {
+            let title = &self.titles[page_id];
+            let page = self
+                .smr
+                .get_page(title)?
+                .ok_or_else(|| QueryError::Internal(format!("page `{title}` vanished")))?;
+            if !self.acl.can_read(user, &page.namespace) {
+                continue;
+            }
+            if let Some(ns) = &form.namespace {
+                if !page.namespace.eq_ignore_ascii_case(ns) {
+                    continue;
+                }
+            }
+            let bm25 = keyword_scores
+                .as_ref()
+                .and_then(|s| s.get(&page_id).copied())
+                .unwrap_or(0.0)
+                / bm25_max;
+            let pr = self.pagerank[page_id];
+            let score = if keyword_scores.is_some() {
+                (1.0 - self.blend.pagerank_weight) * bm25 + self.blend.pagerank_weight * pr
+            } else {
+                pr
+            };
+            for (a, v) in &page.annotations {
+                *facet_counts.entry((a.clone(), v.clone())).or_insert(0) += 1;
+            }
+            let coords = extract_coords(&page.annotations);
+            if let Some((lat_min, lat_max, lon_min, lon_max)) = form.region {
+                // Map-based browsing: only geolocated pages inside the box.
+                let Some((lat, lon)) = coords else {
+                    continue;
+                };
+                if !(lat_min..=lat_max).contains(&lat) || !(lon_min..=lon_max).contains(&lon) {
+                    continue;
+                }
+            }
+            items.push((
+                ResultItem {
+                    title: page.title.clone(),
+                    namespace: page.namespace.clone(),
+                    score,
+                    bm25,
+                    pagerank: pr,
+                    match_degree: degree,
+                    snippet: snippet(&page.body, &form.keywords),
+                    coords,
+                },
+                page,
+            ));
+        }
+
+        // 5. Sort.
+        match &form.sort_by {
+            SortBy::Relevance => {
+                items.sort_by(|a, b| cmp_f64(b.0.score, a.0.score).then(a.0.title.cmp(&b.0.title)))
+            }
+            SortBy::PageRank => items.sort_by(|a, b| {
+                cmp_f64(b.0.pagerank, a.0.pagerank).then(a.0.title.cmp(&b.0.title))
+            }),
+            SortBy::Title => items.sort_by(|a, b| a.0.title.cmp(&b.0.title)),
+            SortBy::Attribute(attr) => {
+                items.sort_by(|a, b| {
+                    let va = annotation_value(&a.1.annotations, attr);
+                    let vb = annotation_value(&b.1.annotations, attr);
+                    cmp_annotation(va, vb).then(a.0.title.cmp(&b.0.title))
+                });
+            }
+        }
+        // `descending` flips the sort key's natural order (best-first for
+        // Relevance/PageRank, ascending for Title/Attribute).
+        if form.descending {
+            items.reverse();
+        }
+
+        let total_matched = items.len();
+        let limit = form.effective_limit();
+        let top: Vec<ResultItem> = items.into_iter().map(|(i, _)| i).take(limit).collect();
+
+        // 6. Recommendations from the top results.
+        let seeds: Vec<&str> = top.iter().take(5).map(|i| i.title.as_str()).collect();
+        let seed_set: HashSet<&str> = top.iter().map(|i| i.title.as_str()).collect();
+        let recommendations = self
+            .recommend(&seeds, 8)
+            .into_iter()
+            .filter(|r| !seed_set.contains(r.title.as_str()))
+            .take(5)
+            .collect();
+
+        let facets = facet_counts
+            .into_iter()
+            .map(|((attribute, value), count)| FacetCount {
+                attribute,
+                value,
+                count,
+            })
+            .collect();
+
+        // "Did you mean": only when keywords were given and nothing matched.
+        let did_you_mean = if total_matched == 0 && !form.keywords.trim().is_empty() {
+            self.suggester.suggest_query(&form.keywords, 2)
+        } else {
+            None
+        };
+
+        Ok(QueryOutput {
+            items: top,
+            total_matched,
+            facets,
+            recommendations,
+            did_you_mean,
+        })
+    }
+
+    /// Evaluates one condition to the set of matching page ids.
+    fn eval_condition(&self, cond: &Condition) -> Result<HashSet<usize>> {
+        let titles: Vec<String> = if cond.op == CondOp::Eq {
+            // SPARQL path: exact literal match on the mirrored property.
+            let q = format!(
+                "PREFIX prop: <http://swiss-experiment.ch/property/> \
+                 SELECT ?t WHERE {{ ?page prop:{} \"{}\" . ?page prop:title ?t }}",
+                cond.attribute.replace(' ', "_"),
+                cond.value.replace('\\', "\\\\").replace('"', "\\\"")
+            );
+            let sols = self.smr.sparql(&q)?;
+            let mut out: Vec<String> = sols
+                .rows
+                .iter()
+                .filter_map(|r| {
+                    r[0].as_ref()
+                        .and_then(|t| t.literal_value())
+                        .map(str::to_owned)
+                })
+                .collect();
+            // SPARQL matched the exact lexical form; Eq is declared
+            // case-insensitive, so complete with a SQL pass when needed.
+            if out.is_empty() {
+                out = self.sql_condition(cond)?;
+            }
+            out
+        } else {
+            self.sql_condition(cond)?
+        };
+        Ok(titles
+            .into_iter()
+            .filter_map(|t| self.title_ids.get(&t).copied())
+            .collect())
+    }
+
+    /// SQL fallback: fetch all values of the attribute and filter in Rust
+    /// (numeric ops can't be pushed into our SQL subset portably).
+    fn sql_condition(&self, cond: &Condition) -> Result<Vec<String>> {
+        let rs = self.smr.sql(&format!(
+            "SELECT p.title, a.value FROM annotations a JOIN pages p ON a.page_id = p.id \
+             WHERE a.attribute = '{}'",
+            sql_escape(&cond.attribute)
+        ))?;
+        Ok(rs
+            .rows
+            .into_iter()
+            .filter(|r| cond.matches(&r[1].to_string()))
+            .map(|r| r[0].to_string())
+            .collect())
+    }
+}
+
+fn cmp_f64(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal)
+}
+
+fn annotation_value<'a>(annotations: &'a [(String, String)], attr: &str) -> Option<&'a str> {
+    annotations
+        .iter()
+        .find(|(a, _)| a.eq_ignore_ascii_case(attr))
+        .map(|(_, v)| v.as_str())
+}
+
+fn cmp_annotation(a: Option<&str>, b: Option<&str>) -> std::cmp::Ordering {
+    match (a, b) {
+        (None, None) => std::cmp::Ordering::Equal,
+        (None, Some(_)) => std::cmp::Ordering::Greater, // missing sorts last
+        (Some(_), None) => std::cmp::Ordering::Less,
+        (Some(x), Some(y)) => match (x.parse::<f64>(), y.parse::<f64>()) {
+            (Ok(nx), Ok(ny)) => cmp_f64(nx, ny),
+            _ => x.cmp(y),
+        },
+    }
+}
+
+fn extract_coords(annotations: &[(String, String)]) -> Option<(f64, f64)> {
+    let lat = annotation_value(annotations, "hasLatitude")?.parse().ok()?;
+    let lon = annotation_value(annotations, "hasLongitude")?
+        .parse()
+        .ok()?;
+    Some((lat, lon))
+}
+
+/// Builds a ~140-char snippet centered on the first keyword occurrence.
+fn snippet(body: &str, keywords: &str) -> String {
+    const WINDOW: usize = 140;
+    if body.is_empty() {
+        return String::new();
+    }
+    let lower = body.to_lowercase();
+    let hit = keywords
+        .split_whitespace()
+        .filter_map(|k| lower.find(&k.to_lowercase()))
+        .min();
+    let chars: Vec<char> = body.chars().collect();
+    let center_byte = hit.unwrap_or(0);
+    // Convert byte offset to char offset safely.
+    let center = body[..center_byte.min(body.len())].chars().count();
+    let start = center.saturating_sub(WINDOW / 4);
+    let slice: String = chars.iter().skip(start).take(WINDOW).collect();
+    let mut out = String::new();
+    if start > 0 {
+        out.push('…');
+    }
+    out.push_str(slice.trim());
+    if start + WINDOW < chars.len() {
+        out.push('…');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snippet_centers_on_keyword() {
+        let body = format!("{} temperature sensor {}", "x".repeat(200), "y".repeat(200));
+        let s = snippet(&body, "temperature");
+        assert!(s.contains("temperature"));
+        assert!(s.starts_with('…') && s.ends_with('…'));
+        assert!(s.chars().count() <= 144);
+    }
+
+    #[test]
+    fn snippet_without_hit_takes_prefix() {
+        let s = snippet("short body text", "zzz");
+        assert_eq!(s, "short body text");
+    }
+
+    #[test]
+    fn coords_extraction() {
+        let ann = vec![
+            ("hasLatitude".to_string(), "46.8".to_string()),
+            ("hasLongitude".to_string(), "9.8".to_string()),
+        ];
+        assert_eq!(extract_coords(&ann), Some((46.8, 9.8)));
+        assert_eq!(extract_coords(&ann[..1]), None);
+        let bad = vec![
+            ("hasLatitude".to_string(), "north".to_string()),
+            ("hasLongitude".to_string(), "9.8".to_string()),
+        ];
+        assert_eq!(extract_coords(&bad), None);
+    }
+
+    #[test]
+    fn annotation_sort_numeric_before_text() {
+        assert_eq!(
+            cmp_annotation(Some("9"), Some("10")),
+            std::cmp::Ordering::Less,
+            "numeric comparison, not lexicographic"
+        );
+        assert_eq!(cmp_annotation(None, Some("x")), std::cmp::Ordering::Greater);
+    }
+}

@@ -1,0 +1,42 @@
+//! Query-layer errors.
+
+use std::fmt;
+
+/// Errors from the query engine.
+#[derive(Debug)]
+pub enum QueryError {
+    /// The form expressed no constraint.
+    EmptyForm,
+    /// Repository error.
+    Smr(sensormeta_smr::SmrError),
+    /// Internal invariant broken.
+    Internal(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::EmptyForm => write!(f, "the search form is empty"),
+            QueryError::Smr(e) => write!(f, "repository error: {e}"),
+            QueryError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Smr(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sensormeta_smr::SmrError> for QueryError {
+    fn from(e: sensormeta_smr::SmrError) -> Self {
+        QueryError::Smr(e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, QueryError>;

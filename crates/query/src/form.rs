@@ -1,0 +1,209 @@
+//! The advanced-search form model.
+//!
+//! Mirrors the paper's query interface: free keyword search plus structured
+//! conditions over semantic attributes, namespace scoping, sort controls
+//! ("basic search options (e.g., keyword, sort by, order by)"), and paging.
+
+use serde::{Deserialize, Serialize};
+
+/// Comparison operator of one attribute condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum CondOp {
+    /// Exact (case-insensitive) value equality.
+    Eq,
+    /// Value contains the given substring.
+    Contains,
+    /// Numeric greater-than.
+    Gt,
+    /// Numeric less-than.
+    Lt,
+    /// Numeric inclusive range; `value` holds `"lo..hi"`.
+    Between,
+}
+
+/// One structured condition over a semantic attribute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Condition {
+    /// Attribute name (e.g. `hasElevation`).
+    pub attribute: String,
+    /// Operator.
+    pub op: CondOp,
+    /// Comparison value (numeric ops parse it as f64).
+    pub value: String,
+}
+
+impl Condition {
+    /// Convenience constructor.
+    pub fn new(attribute: impl Into<String>, op: CondOp, value: impl Into<String>) -> Condition {
+        Condition {
+            attribute: attribute.into(),
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// Evaluates the condition against one annotation value.
+    pub fn matches(&self, value: &str) -> bool {
+        match self.op {
+            CondOp::Eq => value.eq_ignore_ascii_case(&self.value),
+            CondOp::Contains => value.to_lowercase().contains(&self.value.to_lowercase()),
+            CondOp::Gt => match (value.parse::<f64>(), self.value.parse::<f64>()) {
+                (Ok(a), Ok(b)) => a > b,
+                _ => false,
+            },
+            CondOp::Lt => match (value.parse::<f64>(), self.value.parse::<f64>()) {
+                (Ok(a), Ok(b)) => a < b,
+                _ => false,
+            },
+            CondOp::Between => {
+                let Some((lo, hi)) = self.value.split_once("..") else {
+                    return false;
+                };
+                match (
+                    value.parse::<f64>(),
+                    lo.trim().parse::<f64>(),
+                    hi.trim().parse::<f64>(),
+                ) {
+                    (Ok(v), Ok(lo), Ok(hi)) => v >= lo && v <= hi,
+                    _ => false,
+                }
+            }
+        }
+    }
+}
+
+/// Result ordering.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum SortBy {
+    /// Blended relevance (BM25 × PageRank) — the system's ranking metric.
+    #[default]
+    Relevance,
+    /// Pure PageRank authority.
+    PageRank,
+    /// Page title.
+    Title,
+    /// A semantic attribute's value (numeric when parseable).
+    Attribute(String),
+}
+
+/// The full advanced-search request.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SearchForm {
+    /// Free-text keywords (empty = structured-only query).
+    #[serde(default)]
+    pub keywords: String,
+    /// Structured attribute conditions (AND semantics).
+    #[serde(default)]
+    pub conditions: Vec<Condition>,
+    /// Restrict to one namespace (None = all readable).
+    #[serde(default)]
+    pub namespace: Option<String>,
+    /// Sort key.
+    #[serde(default)]
+    pub sort_by: SortBy,
+    /// Descending order?
+    #[serde(default)]
+    pub descending: bool,
+    /// Maximum results (0 = default 50).
+    #[serde(default)]
+    pub limit: usize,
+    /// Require all keywords (conjunctive) instead of any.
+    #[serde(default)]
+    pub match_all: bool,
+    /// Geographic bounding box `(lat_min, lat_max, lon_min, lon_max)`:
+    /// map-based browsing restricts results to geolocated pages inside it.
+    #[serde(default)]
+    pub region: Option<(f64, f64, f64, f64)>,
+    /// When true, conditions are soft join predicates: pages matching at
+    /// least one are kept and their *degree of matching* (fraction of
+    /// conditions satisfied) is reported — the quantity the map view colors
+    /// by. When false (default), conditions are a hard AND filter.
+    #[serde(default)]
+    pub soft_conditions: bool,
+}
+
+impl SearchForm {
+    /// A keyword-only form.
+    pub fn keywords(q: impl Into<String>) -> SearchForm {
+        SearchForm {
+            keywords: q.into(),
+            ..SearchForm::default()
+        }
+    }
+
+    /// Adds a condition (builder style).
+    pub fn condition(mut self, c: Condition) -> SearchForm {
+        self.conditions.push(c);
+        self
+    }
+
+    /// Effective limit.
+    pub fn effective_limit(&self) -> usize {
+        if self.limit == 0 {
+            50
+        } else {
+            self.limit
+        }
+    }
+
+    /// True when the form expresses no constraint at all.
+    pub fn is_empty(&self) -> bool {
+        self.keywords.trim().is_empty()
+            && self.conditions.is_empty()
+            && self.namespace.is_none()
+            && self.region.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn condition_ops() {
+        assert!(Condition::new("a", CondOp::Eq, "Temperature").matches("temperature"));
+        assert!(Condition::new("a", CondOp::Contains, "emp").matches("Temperature"));
+        assert!(Condition::new("a", CondOp::Gt, "2000").matches("2693"));
+        assert!(!Condition::new("a", CondOp::Gt, "3000").matches("2693"));
+        assert!(Condition::new("a", CondOp::Lt, "3000").matches("2693"));
+        assert!(Condition::new("a", CondOp::Between, "1000..3000").matches("2693"));
+        assert!(!Condition::new("a", CondOp::Between, "1000..2000").matches("2693"));
+    }
+
+    #[test]
+    fn non_numeric_comparisons_fail_closed() {
+        assert!(!Condition::new("a", CondOp::Gt, "10").matches("abc"));
+        assert!(!Condition::new("a", CondOp::Between, "junk").matches("5"));
+        assert!(!Condition::new("a", CondOp::Between, "1..x").matches("5"));
+    }
+
+    #[test]
+    fn form_defaults() {
+        let f = SearchForm::keywords("snow");
+        assert_eq!(f.effective_limit(), 50);
+        assert!(!f.is_empty());
+        assert!(SearchForm::default().is_empty());
+        assert_eq!(f.sort_by, SortBy::Relevance);
+    }
+
+    #[test]
+    fn form_serde_roundtrip() {
+        let f = SearchForm::keywords("snow").condition(Condition::new(
+            "hasElevation",
+            CondOp::Gt,
+            "2000",
+        ));
+        let json = serde_json::to_string(&f).unwrap();
+        let back: SearchForm = serde_json::from_str(&json).unwrap();
+        assert_eq!(f, back);
+    }
+
+    #[test]
+    fn form_deserializes_with_missing_fields() {
+        let f: SearchForm = serde_json::from_str(r#"{"keywords": "wind"}"#).unwrap();
+        assert_eq!(f.keywords, "wind");
+        assert!(f.conditions.is_empty());
+    }
+}

@@ -1,0 +1,77 @@
+//! Typed query results for visualization dispatch.
+//!
+//! The system "presents search results in various manners, according to the
+//! types of query results" — the output carries everything each renderer
+//! needs: scores for tables, coordinates for maps, facets for bar/pie
+//! diagrams, and recommendations.
+
+use serde::{Deserialize, Serialize};
+
+/// One ranked result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResultItem {
+    /// Page title.
+    pub title: String,
+    /// Namespace.
+    pub namespace: String,
+    /// Final blended score the list is ordered by.
+    pub score: f64,
+    /// Full-text (BM25) component, normalized to `[0, 1]` within this result
+    /// set; 0 when the query had no keywords.
+    pub bm25: f64,
+    /// PageRank component, normalized to `[0, 1]` over the whole corpus.
+    pub pagerank: f64,
+    /// Fraction of the form's conditions this page satisfies (1.0 when the
+    /// form had none) — drives map match-degree coloring.
+    pub match_degree: f64,
+    /// Body snippet around the first keyword occurrence.
+    pub snippet: String,
+    /// WGS84 position when the page carries hasLatitude/hasLongitude.
+    pub coords: Option<(f64, f64)>,
+}
+
+/// One facet value count (serializable mirror of the search crate's facets).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FacetCount {
+    /// Attribute name.
+    pub attribute: String,
+    /// Attribute value.
+    pub value: String,
+    /// Number of matching pages carrying it.
+    pub count: usize,
+}
+
+/// A recommended page.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecommendedPage {
+    /// Page title.
+    pub title: String,
+    /// Recommendation score.
+    pub score: f64,
+    /// Shared semantic properties that produced the recommendation.
+    pub shared_properties: Vec<String>,
+}
+
+/// The complete response to an advanced-search request.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct QueryOutput {
+    /// Ranked results (already truncated to the form's limit).
+    pub items: Vec<ResultItem>,
+    /// Total matches before truncation.
+    pub total_matched: usize,
+    /// Facet counts over the *full* match set.
+    pub facets: Vec<FacetCount>,
+    /// Pages recommended from the top results.
+    pub recommendations: Vec<RecommendedPage>,
+    /// Spelling correction proposed when the keywords matched nothing
+    /// ("did you mean …?").
+    #[serde(default)]
+    pub did_you_mean: Option<String>,
+}
+
+impl QueryOutput {
+    /// Items that can be placed on a map.
+    pub fn geolocated(&self) -> impl Iterator<Item = &ResultItem> {
+        self.items.iter().filter(|i| i.coords.is_some())
+    }
+}

@@ -1,0 +1,187 @@
+//! Recommendation of related metadata pages.
+//!
+//! The paper embeds "a recommendation mechanism … based on the combination of
+//! query inputs and properties that are high-scored by the PageRank
+//! algorithm". The model: every page carries a set of semantic properties;
+//! a property's authority is the PageRank mass of the pages carrying it; a
+//! candidate page is recommended when it shares authoritative properties with
+//! the query's seed pages, weighted by the candidate's own PageRank.
+
+use std::collections::{HashMap, HashSet};
+
+/// A page→properties incidence plus PageRank scores.
+#[derive(Debug, Default)]
+pub struct Recommender {
+    /// Properties per page (dense page ids).
+    page_props: Vec<Vec<u32>>,
+    /// PageRank score per page.
+    scores: Vec<f64>,
+    /// Authority per property id: Σ PageRank of carrying pages.
+    prop_authority: HashMap<u32, f64>,
+}
+
+/// One recommendation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// Recommended page id.
+    pub page: usize,
+    /// Combined relevance score.
+    pub score: f64,
+    /// Properties shared with the seed set that contributed.
+    pub shared_properties: Vec<u32>,
+}
+
+impl Recommender {
+    /// Builds the recommender from per-page property lists and PageRank
+    /// scores (same indexing).
+    pub fn new(page_props: Vec<Vec<u32>>, scores: Vec<f64>) -> Recommender {
+        assert_eq!(page_props.len(), scores.len());
+        let mut prop_authority: HashMap<u32, f64> = HashMap::new();
+        for (page, props) in page_props.iter().enumerate() {
+            for &p in props {
+                *prop_authority.entry(p).or_insert(0.0) += scores[page];
+            }
+        }
+        Recommender {
+            page_props,
+            scores,
+            prop_authority,
+        }
+    }
+
+    /// Number of pages.
+    pub fn page_count(&self) -> usize {
+        self.page_props.len()
+    }
+
+    /// Authority of a property (0 if unknown).
+    pub fn property_authority(&self, prop: u32) -> f64 {
+        self.prop_authority.get(&prop).copied().unwrap_or(0.0)
+    }
+
+    /// Properties ordered by descending authority — "properties that are
+    /// scored high by the PageRank algorithm".
+    pub fn top_properties(&self, k: usize) -> Vec<(u32, f64)> {
+        let mut props: Vec<(u32, f64)> =
+            self.prop_authority.iter().map(|(&p, &a)| (p, a)).collect();
+        props.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        props.truncate(k);
+        props
+    }
+
+    /// Recommends up to `k` pages related to the `seeds` (query-result pages),
+    /// excluding the seeds themselves.
+    pub fn recommend(&self, seeds: &[usize], k: usize) -> Vec<Recommendation> {
+        let seed_set: HashSet<usize> = seeds.iter().copied().collect();
+        // Properties present in the seed set, with their authority.
+        let mut seed_props: HashMap<u32, f64> = HashMap::new();
+        for &s in seeds {
+            if let Some(props) = self.page_props.get(s) {
+                for &p in props {
+                    seed_props.insert(p, self.property_authority(p));
+                }
+            }
+        }
+        if seed_props.is_empty() {
+            return Vec::new();
+        }
+        let mut out: Vec<Recommendation> = Vec::new();
+        for (page, props) in self.page_props.iter().enumerate() {
+            if seed_set.contains(&page) {
+                continue;
+            }
+            let mut shared = Vec::new();
+            let mut prop_score = 0.0;
+            for &p in props {
+                if let Some(&auth) = seed_props.get(&p) {
+                    shared.push(p);
+                    prop_score += auth;
+                }
+            }
+            if shared.is_empty() {
+                continue;
+            }
+            out.push(Recommendation {
+                page,
+                score: prop_score * self.scores[page],
+                shared_properties: shared,
+            });
+        }
+        out.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.page.cmp(&b.page))
+        });
+        out.truncate(k);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pages: 0,1 share prop 10; 2 shares prop 10 too but low rank;
+    /// 3 has unrelated prop 20.
+    fn fixture() -> Recommender {
+        Recommender::new(
+            vec![vec![10, 20], vec![10], vec![10], vec![20]],
+            vec![0.4, 0.3, 0.1, 0.2],
+        )
+    }
+
+    #[test]
+    fn property_authority_sums_pagerank() {
+        let r = fixture();
+        assert!((r.property_authority(10) - 0.8).abs() < 1e-12);
+        assert!((r.property_authority(20) - 0.6).abs() < 1e-12);
+        assert_eq!(r.property_authority(99), 0.0);
+    }
+
+    #[test]
+    fn top_properties_ordered() {
+        let r = fixture();
+        let top = r.top_properties(2);
+        assert_eq!(top[0].0, 10);
+        assert_eq!(top[1].0, 20);
+    }
+
+    #[test]
+    fn recommend_excludes_seeds_and_ranks_by_score() {
+        let r = fixture();
+        let recs = r.recommend(&[1], 10);
+        let pages: Vec<usize> = recs.iter().map(|r| r.page).collect();
+        assert!(!pages.contains(&1));
+        // Page 0 (rank .4, shares 10) beats page 2 (rank .1, shares 10).
+        assert_eq!(pages[0], 0);
+        assert!(pages.contains(&2));
+        // Page 3 shares nothing with the seed.
+        assert!(!pages.contains(&3));
+    }
+
+    #[test]
+    fn recommend_respects_k() {
+        let r = fixture();
+        assert_eq!(r.recommend(&[1], 1).len(), 1);
+    }
+
+    #[test]
+    fn empty_seed_or_unknown_page() {
+        let r = fixture();
+        assert!(r.recommend(&[], 5).is_empty());
+        assert!(r.recommend(&[999], 5).is_empty());
+    }
+
+    #[test]
+    fn shared_properties_reported() {
+        let r = fixture();
+        let recs = r.recommend(&[0], 10);
+        let rec3 = recs.iter().find(|r| r.page == 3).expect("page 3 shares 20");
+        assert_eq!(rec3.shared_properties, vec![20]);
+    }
+}

@@ -1,0 +1,99 @@
+//! BiCGSTAB (Biconjugate Gradient Stabilized) on the linear system.
+
+use super::{apply_a, norm2, rhs, SolveResult, Solver};
+use crate::problem::PageRankProblem;
+
+/// Van der Vorst's BiCGSTAB for the nonsymmetric system `(I − cPᵀ)x = b`.
+/// One iteration = two matvecs. Residual: relative `‖r‖₂ / ‖b‖₂`. Breakdown
+/// (`ρ ≈ 0` or `ω ≈ 0`) restarts from the current residual.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BiCgStab;
+
+impl Solver for BiCgStab {
+    fn name(&self) -> &'static str {
+        "BiCGSTAB"
+    }
+
+    fn solve(&self, problem: &PageRankProblem, tol: f64, max_iter: usize) -> SolveResult {
+        let n = problem.n();
+        let b = rhs(problem);
+        let bnorm = norm2(&b).max(f64::MIN_POSITIVE);
+        let mut x = problem.u.clone();
+        let mut r = vec![0.0; n];
+        apply_a(problem, &x, &mut r);
+        let mut matvecs = 1usize;
+        for i in 0..n {
+            r[i] = b[i] - r[i];
+        }
+        let mut r_hat = r.clone();
+        let mut rho = 1.0f64;
+        let mut alpha = 1.0f64;
+        let mut omega = 1.0f64;
+        let mut v = vec![0.0f64; n];
+        let mut p = vec![0.0f64; n];
+        let mut residuals = Vec::new();
+        let mut iterations = 0usize;
+        let mut converged = norm2(&r) / bnorm < tol;
+        if converged {
+            residuals.push(norm2(&r) / bnorm);
+        }
+
+        while !converged && iterations < max_iter {
+            let rho_new: f64 = r_hat.iter().zip(&r).map(|(a, b)| a * b).sum();
+            if rho_new.abs() < 1e-300 {
+                // Breakdown: restart with the current residual as shadow.
+                r_hat = r.clone();
+                rho = 1.0;
+                alpha = 1.0;
+                omega = 1.0;
+                v.iter_mut().for_each(|e| *e = 0.0);
+                p.iter_mut().for_each(|e| *e = 0.0);
+                continue;
+            }
+            let beta = (rho_new / rho) * (alpha / omega);
+            rho = rho_new;
+            for i in 0..n {
+                p[i] = r[i] + beta * (p[i] - omega * v[i]);
+            }
+            apply_a(problem, &p, &mut v);
+            matvecs += 1;
+            let rhat_v: f64 = r_hat.iter().zip(&v).map(|(a, b)| a * b).sum();
+            alpha = rho / rhat_v;
+            let s: Vec<f64> = r.iter().zip(&v).map(|(ri, vi)| ri - alpha * vi).collect();
+            if norm2(&s) / bnorm < tol {
+                for i in 0..n {
+                    x[i] += alpha * p[i];
+                }
+                iterations += 1;
+                residuals.push(norm2(&s) / bnorm);
+                converged = true;
+                break;
+            }
+            let mut t = vec![0.0; n];
+            apply_a(problem, &s, &mut t);
+            matvecs += 1;
+            let tt: f64 = t.iter().map(|ti| ti * ti).sum();
+            let ts: f64 = t.iter().zip(&s).map(|(a, b)| a * b).sum();
+            omega = if tt > 0.0 { ts / tt } else { 0.0 };
+            for i in 0..n {
+                x[i] += alpha * p[i] + omega * s[i];
+                r[i] = s[i] - omega * t[i];
+            }
+            iterations += 1;
+            let rel = norm2(&r) / bnorm;
+            residuals.push(rel);
+            if rel < tol {
+                converged = true;
+            }
+            if omega.abs() < 1e-300 {
+                r_hat = r.clone();
+                rho = 1.0;
+                alpha = 1.0;
+                omega = 1.0;
+                v.iter_mut().for_each(|e| *e = 0.0);
+                p.iter_mut().for_each(|e| *e = 0.0);
+            }
+        }
+        SolveResult::finish(x, iterations, matvecs, residuals, converged)
+    }
+}

@@ -1,0 +1,59 @@
+//! Gauss–Seidel iteration — the method the paper selects for its
+//! PageRank Calculation module.
+
+use super::{norm1, rhs, SolveResult, Solver};
+use crate::problem::PageRankProblem;
+
+/// Forward Gauss–Seidel sweeps on `(I − cPᵀ)x = (1−c)u`:
+///
+/// ```text
+/// x_i ← ( b_i + c · Σ_{j∈in(i), j≠i} P_ji x_j ) / (1 − c·P_ii)
+/// ```
+///
+/// using already-updated values within the sweep, which roughly halves the
+/// iteration count versus Jacobi on web-like graphs — the behaviour Fig. 3
+/// reports. One iteration = one full sweep (one matvec-equivalent of work).
+/// Residual: `‖x(k+1) − x(k)‖₁` scaled by the iterate's norm.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GaussSeidel;
+
+impl Solver for GaussSeidel {
+    fn name(&self) -> &'static str {
+        "Gauss-Seidel"
+    }
+
+    fn solve(&self, problem: &PageRankProblem, tol: f64, max_iter: usize) -> SolveResult {
+        let n = problem.n();
+        let b = rhs(problem);
+        let c = problem.c;
+        let mut x = problem.u.clone();
+        let mut residuals = Vec::new();
+        let mut iterations = 0;
+        let mut converged = false;
+        while iterations < max_iter {
+            let mut diff = 0.0;
+            for i in 0..n {
+                let mut acc = 0.0;
+                let mut diag = 0.0;
+                for (j, w) in problem.matrix.in_links(i) {
+                    if j == i {
+                        diag = w;
+                    } else {
+                        acc += w * x[j];
+                    }
+                }
+                let new = (b[i] + c * acc) / (1.0 - c * diag);
+                diff += (new - x[i]).abs();
+                x[i] = new;
+            }
+            iterations += 1;
+            let scale = norm1(&x).max(f64::MIN_POSITIVE);
+            residuals.push(diff / scale);
+            if diff / scale < tol {
+                converged = true;
+                break;
+            }
+        }
+        SolveResult::finish(x, iterations, iterations, residuals, converged)
+    }
+}

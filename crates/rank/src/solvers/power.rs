@@ -1,0 +1,44 @@
+//! Power iteration on the Google matrix (Eq. 3).
+
+use super::{norm1, SolveResult, Solver};
+use crate::problem::PageRankProblem;
+
+/// Simple power iterations `x(k+1) = (P″)ᵀ x(k)`; since `P″` is
+/// row-stochastic and irreducible after the Eq. 1–2 modifications, the
+/// iterates converge to the principal eigenvector. One iteration = one
+/// matvec. Residual: `‖x(k+1) − x(k)‖₁`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PowerIteration;
+
+impl Solver for PowerIteration {
+    fn name(&self) -> &'static str {
+        "Power"
+    }
+
+    fn solve(&self, problem: &PageRankProblem, tol: f64, max_iter: usize) -> SolveResult {
+        let n = problem.n();
+        let mut x = problem.u.clone();
+        let mut y = vec![0.0; n];
+        let mut residuals = Vec::new();
+        let mut iterations = 0;
+        let mut converged = false;
+        while iterations < max_iter {
+            problem.google_matvec(&x, &mut y);
+            iterations += 1;
+            let diff: f64 = y.iter().zip(&x).map(|(a, b)| (a - b).abs()).sum();
+            // Stochastic matvec preserves mass; renormalize defensively
+            // against floating-point drift on long runs.
+            let sum = norm1(&y);
+            for v in &mut y {
+                *v /= sum;
+            }
+            std::mem::swap(&mut x, &mut y);
+            residuals.push(diff);
+            if diff < tol {
+                converged = true;
+                break;
+            }
+        }
+        SolveResult::finish(x, iterations, iterations, residuals, converged)
+    }
+}

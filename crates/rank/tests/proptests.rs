@@ -1,0 +1,79 @@
+//! Property-based tests for the ranking layer: solver agreement and
+//! PageRank invariants on random graphs.
+
+use proptest::prelude::*;
+use sensormeta_graph::CsrGraph;
+use sensormeta_rank::{all_solvers, PageRankProblem, PowerIteration, Solver, TransitionMatrix};
+
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (
+        2usize..40,
+        prop::collection::vec((0usize..40, 0usize..40), 0..120),
+    )
+        .prop_map(|(n, raw)| {
+            let edges: Vec<(usize, usize)> = raw.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+            CsrGraph::from_edges(n, &edges, true)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every solver returns a probability distribution respecting the
+    /// teleportation floor, and all agree with power iteration.
+    #[test]
+    fn solvers_agree_and_are_stochastic(g in arb_graph(), c in 0.5f64..0.95) {
+        let p = PageRankProblem::with_c(TransitionMatrix::from_graph(&g), c);
+        let reference = PowerIteration.solve(&p, 1e-12, 20_000);
+        prop_assert!(reference.converged);
+        let floor = (1.0 - c) / g.node_count() as f64;
+        for s in all_solvers() {
+            let r = s.solve(&p, 1e-12, 20_000);
+            prop_assert!(r.converged, "{}", s.name());
+            let sum: f64 = r.x.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "{}: sum {sum}", s.name());
+            for (i, &v) in r.x.iter().enumerate() {
+                prop_assert!(v >= floor * (1.0 - 1e-7), "{}: x[{i}]={v} < floor {floor}", s.name());
+            }
+            let diff: f64 = r.x.iter().zip(&reference.x).map(|(a, b)| (a - b).abs()).sum();
+            prop_assert!(diff < 1e-7, "{}: L1 deviation {diff}", s.name());
+        }
+    }
+
+    /// The transition matrix is always substochastic with consistent
+    /// dangling bookkeeping.
+    #[test]
+    fn transition_matrix_invariants(g in arb_graph()) {
+        let m = TransitionMatrix::from_graph(&g);
+        prop_assert!(m.check_substochastic(1e-9));
+        prop_assert_eq!(m.dangling().len(), g.dangling_nodes().len());
+    }
+
+    /// Double-link matrices are substochastic for every alpha, and alpha=0 /
+    /// alpha=1 reduce to the single structures where both exist.
+    #[test]
+    fn double_link_invariants(ga in arb_graph(), alpha in 0.0f64..=1.0) {
+        // Build a second graph over the same node count by reversing edges.
+        let gb = ga.transpose();
+        let m = TransitionMatrix::double_link(&ga, &gb, alpha);
+        prop_assert!(m.check_substochastic(1e-9));
+        // A node dangles iff it dangles in both structures.
+        for v in 0..ga.node_count() {
+            let both_dangle = ga.out_degree(v) == 0 && gb.out_degree(v) == 0;
+            prop_assert_eq!(m.dangling().contains(&v), both_dangle);
+        }
+    }
+
+    /// Lowering c never breaks convergence and keeps the ranking's mass
+    /// conservation; the teleport floor scales as (1−c)/n.
+    #[test]
+    fn c_sweep(g in arb_graph()) {
+        for c in [0.5, 0.85, 0.99] {
+            let p = PageRankProblem::with_c(TransitionMatrix::from_graph(&g), c);
+            let r = PowerIteration.solve(&p, 1e-10, 50_000);
+            prop_assert!(r.converged, "c={c}");
+            let sum: f64 = r.x.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+}

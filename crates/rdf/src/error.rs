@@ -1,0 +1,29 @@
+//! Error types for the RDF store and SPARQL engine.
+
+use std::fmt;
+
+/// Errors produced by the RDF crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdfError {
+    /// Turtle parsing failed.
+    Turtle(String),
+    /// SPARQL lexing/parsing failed.
+    Sparql(String),
+    /// SPARQL evaluation failed.
+    Eval(String),
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdfError::Turtle(m) => write!(f, "turtle parse error: {m}"),
+            RdfError::Sparql(m) => write!(f, "sparql parse error: {m}"),
+            RdfError::Eval(m) => write!(f, "sparql evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RdfError {}
+
+/// Result alias for the RDF crate.
+pub type Result<T> = std::result::Result<T, RdfError>;

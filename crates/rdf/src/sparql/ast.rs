@@ -1,0 +1,157 @@
+//! SPARQL abstract syntax.
+
+use crate::term::Term;
+
+/// A subject/predicate/object slot: a concrete term or a variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternTerm {
+    /// Concrete RDF term.
+    Term(Term),
+    /// Variable (`?name`, stored without the `?`).
+    Var(String),
+}
+
+impl PatternTerm {
+    /// Variable name if this is a variable.
+    pub fn var(&self) -> Option<&str> {
+        match self {
+            PatternTerm::Var(v) => Some(v),
+            PatternTerm::Term(_) => None,
+        }
+    }
+}
+
+/// One triple pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriplePattern {
+    /// Subject slot.
+    pub s: PatternTerm,
+    /// Predicate slot.
+    pub p: PatternTerm,
+    /// Object slot.
+    pub o: PatternTerm,
+}
+
+impl TriplePattern {
+    /// Variables mentioned by the pattern.
+    pub fn vars(&self) -> impl Iterator<Item = &str> {
+        [&self.s, &self.p, &self.o]
+            .into_iter()
+            .filter_map(|t| t.var())
+    }
+}
+
+/// FILTER expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterExpr {
+    /// Comparison between two operands.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// Logical AND.
+    And(Box<FilterExpr>, Box<FilterExpr>),
+    /// Logical OR.
+    Or(Box<FilterExpr>, Box<FilterExpr>),
+    /// Logical NOT.
+    Not(Box<FilterExpr>),
+    /// `CONTAINS(?v, "s")` — substring test on the string form.
+    Contains(Operand, Operand),
+    /// `STRSTARTS(?v, "s")`.
+    StrStarts(Operand, Operand),
+    /// `REGEX(?v, "pattern")` — anchored-wildcard subset (`^`, `$`, `.`, `.*`).
+    Regex(Operand, String),
+    /// `BOUND(?v)`.
+    Bound(String),
+    /// `isIRI(?v)` / `isLiteral(?v)`.
+    IsIri(Operand),
+    /// True if operand is a literal.
+    IsLiteral(Operand),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum CmpOp {
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Operand of a filter: a variable or a constant term.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// Variable reference.
+    Var(String),
+    /// Constant term.
+    Const(Term),
+}
+
+/// Aggregate function over a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum AggKind {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+/// One aggregate projection: `(COUNT(?x) AS ?n)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Aggregate {
+    /// Aggregate function.
+    pub kind: AggKind,
+    /// Aggregated variable; `None` means `COUNT(*)`.
+    pub var: Option<String>,
+    /// Output variable name (the `AS ?n` alias).
+    pub alias: String,
+    /// DISTINCT inside the aggregate.
+    pub distinct: bool,
+}
+
+/// One `{ … }` branch of a UNION: its patterns plus branch-scoped filters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnionBranch {
+    /// The branch's basic graph pattern.
+    pub patterns: Vec<TriplePattern>,
+    /// FILTERs written inside the branch (apply to this branch only).
+    pub filters: Vec<FilterExpr>,
+}
+
+/// A parsed SELECT query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectQuery {
+    /// DISTINCT flag.
+    pub distinct: bool,
+    /// Selected variables; empty means `SELECT *` unless aggregates are
+    /// present.
+    pub vars: Vec<String>,
+    /// Aggregate projections; when non-empty the query is grouped.
+    pub aggregates: Vec<Aggregate>,
+    /// GROUP BY variables.
+    pub group_by: Vec<String>,
+    /// Required basic graph pattern.
+    pub where_patterns: Vec<TriplePattern>,
+    /// FILTER constraints.
+    pub filters: Vec<FilterExpr>,
+    /// OPTIONAL blocks, each a BGP (left-joined in order).
+    pub optionals: Vec<Vec<TriplePattern>>,
+    /// UNION alternatives; solutions are the union over branches joined
+    /// with the required patterns. Empty means no UNION clause.
+    pub union_branches: Vec<UnionBranch>,
+    /// ORDER BY keys: (variable, descending).
+    pub order_by: Vec<(String, bool)>,
+    /// LIMIT.
+    pub limit: Option<usize>,
+    /// OFFSET.
+    pub offset: Option<usize>,
+}

@@ -1,0 +1,5 @@
+//! SPARQL subset: AST, parser, and BGP evaluator.
+
+pub mod ast;
+pub mod exec;
+pub mod parser;

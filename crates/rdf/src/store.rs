@@ -1,0 +1,337 @@
+//! The triple store: dictionary-encoded triples under SPO/POS/OSP indexes.
+
+use crate::term::{Term, TermDict, TermId};
+use std::collections::BTreeSet;
+use std::ops::Bound;
+
+/// A triple of interned term ids.
+pub type IdTriple = (TermId, TermId, TermId);
+
+/// An optionally-bound triple pattern over ids (`None` = wildcard).
+pub type IdPattern = (Option<TermId>, Option<TermId>, Option<TermId>);
+
+/// A dictionary-encoded RDF graph with three full orderings, so every
+/// pattern shape is answered by a range scan on its best index.
+#[derive(Debug, Default)]
+pub struct TripleStore {
+    dict: TermDict,
+    spo: BTreeSet<(TermId, TermId, TermId)>,
+    pos: BTreeSet<(TermId, TermId, TermId)>,
+    osp: BTreeSet<(TermId, TermId, TermId)>,
+}
+
+impl TripleStore {
+    /// Creates an empty store.
+    pub fn new() -> TripleStore {
+        TripleStore::default()
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// True when the store holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Access to the term dictionary.
+    pub fn dict(&self) -> &TermDict {
+        &self.dict
+    }
+
+    /// Interns a term (exposed for query preparation).
+    pub fn intern(&mut self, term: Term) -> TermId {
+        self.dict.intern(term)
+    }
+
+    /// Inserts a triple of terms. Returns true if it was new.
+    pub fn insert(&mut self, s: Term, p: Term, o: Term) -> bool {
+        let s = self.dict.intern(s);
+        let p = self.dict.intern(p);
+        let o = self.dict.intern(o);
+        self.insert_ids((s, p, o))
+    }
+
+    /// Inserts an id triple. Returns true if it was new.
+    pub fn insert_ids(&mut self, (s, p, o): IdTriple) -> bool {
+        if !self.spo.insert((s, p, o)) {
+            return false;
+        }
+        self.pos.insert((p, o, s));
+        self.osp.insert((o, s, p));
+        true
+    }
+
+    /// Removes a triple of terms. Returns true if it existed.
+    pub fn remove(&mut self, s: &Term, p: &Term, o: &Term) -> bool {
+        let (Some(s), Some(p), Some(o)) =
+            (self.dict.id_of(s), self.dict.id_of(p), self.dict.id_of(o))
+        else {
+            return false;
+        };
+        if !self.spo.remove(&(s, p, o)) {
+            return false;
+        }
+        self.pos.remove(&(p, o, s));
+        self.osp.remove(&(o, s, p));
+        true
+    }
+
+    /// Removes every triple with the given subject. Returns the count.
+    pub fn remove_subject(&mut self, s: &Term) -> usize {
+        let Some(sid) = self.dict.id_of(s) else {
+            return 0;
+        };
+        let doomed: Vec<IdTriple> = self.match_ids((Some(sid), None, None)).collect();
+        for (s, p, o) in &doomed {
+            self.spo.remove(&(*s, *p, *o));
+            self.pos.remove(&(*p, *o, *s));
+            self.osp.remove(&(*o, *s, *p));
+        }
+        doomed.len()
+    }
+
+    /// True if the exact triple is present.
+    pub fn contains(&self, s: &Term, p: &Term, o: &Term) -> bool {
+        match (self.dict.id_of(s), self.dict.id_of(p), self.dict.id_of(o)) {
+            (Some(s), Some(p), Some(o)) => self.spo.contains(&(s, p, o)),
+            _ => false,
+        }
+    }
+
+    /// Matches a pattern of ids, choosing the index whose sort order makes the
+    /// bound prefix contiguous.
+    pub fn match_ids(&self, pattern: IdPattern) -> Box<dyn Iterator<Item = IdTriple> + '_> {
+        let (s, p, o) = pattern;
+        match (s, p, o) {
+            // Fully bound: membership test.
+            (Some(s), Some(p), Some(o)) => {
+                if self.spo.contains(&(s, p, o)) {
+                    Box::new(std::iter::once((s, p, o)))
+                } else {
+                    Box::new(std::iter::empty())
+                }
+            }
+            // S bound (P maybe): SPO index.
+            (Some(s), p, o) => Box::new(
+                range2(&self.spo, s, p)
+                    .filter(move |(_, _, to)| o.is_none_or(|o| *to == o))
+                    .copied(),
+            ),
+            // P bound: POS index.
+            (None, Some(p), o) => Box::new(range2(&self.pos, p, o).map(|(p, o, s)| (*s, *p, *o))),
+            // Only O bound: OSP index.
+            (None, None, Some(o)) => {
+                Box::new(range2(&self.osp, o, None).map(|(o, s, p)| (*s, *p, *o)))
+            }
+            // Nothing bound: full scan.
+            (None, None, None) => Box::new(self.spo.iter().copied()),
+        }
+    }
+
+    /// Matches a pattern of terms, decoding results back to terms.
+    pub fn match_terms(
+        &self,
+        s: Option<&Term>,
+        p: Option<&Term>,
+        o: Option<&Term>,
+    ) -> Vec<(Term, Term, Term)> {
+        let to_id = |t: Option<&Term>| -> Option<Option<TermId>> {
+            match t {
+                None => Some(None),
+                // A term that was never interned matches nothing.
+                Some(t) => self.dict.id_of(t).map(Some),
+            }
+        };
+        let (Some(s), Some(p), Some(o)) = (to_id(s), to_id(p), to_id(o)) else {
+            return Vec::new();
+        };
+        self.match_ids((s, p, o))
+            .map(|(s, p, o)| {
+                (
+                    self.dict.term(s).expect("interned").clone(),
+                    self.dict.term(p).expect("interned").clone(),
+                    self.dict.term(o).expect("interned").clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// All distinct subjects.
+    pub fn subjects(&self) -> Vec<TermId> {
+        let mut out: Vec<TermId> = Vec::new();
+        for (s, _, _) in &self.spo {
+            if out.last() != Some(s) {
+                out.push(*s);
+            }
+        }
+        out
+    }
+
+    /// All distinct predicates with their triple counts (used by the
+    /// recommendation engine's property scoring).
+    pub fn predicate_counts(&self) -> Vec<(TermId, usize)> {
+        let mut out: Vec<(TermId, usize)> = Vec::new();
+        for (p, _, _) in &self.pos {
+            match out.last_mut() {
+                Some((last, n)) if last == p => *n += 1,
+                _ => out.push((*p, 1)),
+            }
+        }
+        out
+    }
+
+    /// Iterates all triples in SPO order.
+    pub fn iter(&self) -> impl Iterator<Item = IdTriple> + '_ {
+        self.spo.iter().copied()
+    }
+}
+
+/// Range over a BTreeSet of id-triples where the first component equals `a`
+/// and, if given, the second equals `b`.
+fn range2(
+    set: &BTreeSet<(TermId, TermId, TermId)>,
+    a: TermId,
+    b: Option<TermId>,
+) -> impl Iterator<Item = &(TermId, TermId, TermId)> {
+    let min = TermId(0);
+    let lo = match b {
+        Some(b) => (a, b, min),
+        None => (a, min, min),
+    };
+    set.range((Bound::Included(lo), Bound::Unbounded))
+        .take_while(move |(x, y, _)| *x == a && b.is_none_or(|b| *y == b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> TripleStore {
+        let mut st = TripleStore::new();
+        let wfj = Term::iri("ex:wfj");
+        let davos = Term::iri("ex:davos");
+        let kind = Term::iri("ex:hasSensor");
+        let loc = Term::iri("ex:locatedIn");
+        st.insert(wfj.clone(), kind.clone(), Term::lit("temperature"));
+        st.insert(wfj.clone(), kind.clone(), Term::lit("wind"));
+        st.insert(wfj.clone(), loc.clone(), Term::lit("GR"));
+        st.insert(davos.clone(), kind.clone(), Term::lit("temperature"));
+        st.insert(davos, loc, Term::lit("GR"));
+        st
+    }
+
+    #[test]
+    fn insert_dedupes() {
+        let mut st = TripleStore::new();
+        assert!(st.insert(Term::iri("a"), Term::iri("b"), Term::lit("c")));
+        assert!(!st.insert(Term::iri("a"), Term::iri("b"), Term::lit("c")));
+        assert_eq!(st.len(), 1);
+    }
+
+    #[test]
+    fn pattern_shapes_agree() {
+        let st = store();
+        // s?? — all triples about wfj.
+        assert_eq!(
+            st.match_terms(Some(&Term::iri("ex:wfj")), None, None).len(),
+            3
+        );
+        // ?p? — all hasSensor triples.
+        assert_eq!(
+            st.match_terms(None, Some(&Term::iri("ex:hasSensor")), None)
+                .len(),
+            3
+        );
+        // ??o — everything pointing at "GR".
+        assert_eq!(st.match_terms(None, None, Some(&Term::lit("GR"))).len(), 2);
+        // sp? — wfj's sensors.
+        assert_eq!(
+            st.match_terms(
+                Some(&Term::iri("ex:wfj")),
+                Some(&Term::iri("ex:hasSensor")),
+                None
+            )
+            .len(),
+            2
+        );
+        // ?po — who has temperature.
+        assert_eq!(
+            st.match_terms(
+                None,
+                Some(&Term::iri("ex:hasSensor")),
+                Some(&Term::lit("temperature"))
+            )
+            .len(),
+            2
+        );
+        // spo exact.
+        assert!(st.contains(
+            &Term::iri("ex:davos"),
+            &Term::iri("ex:locatedIn"),
+            &Term::lit("GR")
+        ));
+        // full scan.
+        assert_eq!(st.match_terms(None, None, None).len(), 5);
+    }
+
+    #[test]
+    fn unknown_terms_match_nothing() {
+        let st = store();
+        assert!(st
+            .match_terms(Some(&Term::iri("ex:nowhere")), None, None)
+            .is_empty());
+        assert!(!st.contains(&Term::iri("x"), &Term::iri("y"), &Term::lit("z")));
+    }
+
+    #[test]
+    fn remove_keeps_indexes_consistent() {
+        let mut st = store();
+        assert!(st.remove(
+            &Term::iri("ex:wfj"),
+            &Term::iri("ex:hasSensor"),
+            &Term::lit("wind")
+        ));
+        assert!(!st.remove(
+            &Term::iri("ex:wfj"),
+            &Term::iri("ex:hasSensor"),
+            &Term::lit("wind")
+        ));
+        assert_eq!(st.len(), 4);
+        // All three indexes agree after removal.
+        assert_eq!(
+            st.match_terms(None, None, Some(&Term::lit("wind"))).len(),
+            0
+        );
+        assert_eq!(
+            st.match_terms(None, Some(&Term::iri("ex:hasSensor")), None)
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn remove_subject_removes_all() {
+        let mut st = store();
+        assert_eq!(st.remove_subject(&Term::iri("ex:wfj")), 3);
+        assert_eq!(st.len(), 2);
+        assert_eq!(st.remove_subject(&Term::iri("ex:wfj")), 0);
+    }
+
+    #[test]
+    fn predicate_counts() {
+        let st = store();
+        let counts = st.predicate_counts();
+        let total: usize = counts.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 5);
+        assert_eq!(counts.len(), 2);
+    }
+
+    #[test]
+    fn subjects_deduped() {
+        let st = store();
+        assert_eq!(st.subjects().len(), 2);
+    }
+}

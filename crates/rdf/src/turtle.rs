@@ -1,0 +1,489 @@
+//! Turtle-subset parser and serializer.
+//!
+//! Supports `@prefix` declarations, IRIs, prefixed names, blank nodes, plain /
+//! language-tagged / typed literals, numeric and boolean shorthand, and the
+//! `;` / `,` predicate-object continuation syntax. This is the exchange format
+//! of the SMR's RDF export.
+
+use crate::error::{RdfError, Result};
+use crate::store::TripleStore;
+use crate::term::Term;
+use std::collections::HashMap;
+
+const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+const XSD_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+const XSD_DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+const XSD_BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+
+/// Parses a Turtle document into triples.
+pub fn parse_turtle(input: &str) -> Result<Vec<(Term, Term, Term)>> {
+    let mut p = TurtleParser {
+        chars: input.chars().collect(),
+        pos: 0,
+        prefixes: HashMap::new(),
+        line: 1,
+    };
+    p.document()
+}
+
+/// Parses a Turtle document straight into a store, returning the number of
+/// (new) triples inserted.
+pub fn load_turtle(store: &mut TripleStore, input: &str) -> Result<usize> {
+    let triples = parse_turtle(input)?;
+    Ok(triples
+        .into_iter()
+        .filter(|(s, p, o)| store.insert(s.clone(), p.clone(), o.clone()))
+        .count())
+}
+
+/// Serializes triples as line-oriented Turtle (no prefix compression).
+pub fn to_turtle<'a>(triples: impl Iterator<Item = (&'a Term, &'a Term, &'a Term)>) -> String {
+    let mut out = String::new();
+    for (s, p, o) in triples {
+        out.push_str(&format!("{s} {p} {o} .\n"));
+    }
+    out
+}
+
+struct TurtleParser {
+    chars: Vec<char>,
+    pos: usize,
+    prefixes: HashMap<String, String>,
+    line: u32,
+}
+
+impl TurtleParser {
+    fn err(&self, msg: impl Into<String>) -> RdfError {
+        RdfError::Turtle(format!("line {}: {}", self.line, msg.into()))
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if let Some(c) = c {
+            if c == '\n' {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('#') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<()> {
+        self.skip_ws();
+        if self.bump() == Some(c) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{c}`")))
+        }
+    }
+
+    fn document(&mut self) -> Result<Vec<(Term, Term, Term)>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek().is_none() {
+                return Ok(out);
+            }
+            if self.lookahead_keyword("@prefix") {
+                self.prefix_decl()?;
+                continue;
+            }
+            self.triples_block(&mut out)?;
+        }
+    }
+
+    fn lookahead_keyword(&self, kw: &str) -> bool {
+        self.chars[self.pos..]
+            .iter()
+            .zip(kw.chars())
+            .filter(|(a, b)| **a == *b)
+            .count()
+            == kw.len()
+    }
+
+    fn prefix_decl(&mut self) -> Result<()> {
+        self.pos += "@prefix".len();
+        self.skip_ws();
+        let mut name = String::new();
+        while let Some(c) = self.peek() {
+            if c == ':' {
+                break;
+            }
+            if c.is_whitespace() {
+                return Err(self.err("bad prefix name"));
+            }
+            name.push(c);
+            self.bump();
+        }
+        self.expect(':')?;
+        self.skip_ws();
+        let Term::Iri(iri) = self.iri_ref()? else {
+            return Err(self.err("prefix target must be an IRI"));
+        };
+        self.prefixes.insert(name, iri);
+        self.expect('.')?;
+        Ok(())
+    }
+
+    fn triples_block(&mut self, out: &mut Vec<(Term, Term, Term)>) -> Result<()> {
+        let subject = self.subject()?;
+        loop {
+            self.skip_ws();
+            let predicate = self.predicate()?;
+            loop {
+                let object = self.object()?;
+                out.push((subject.clone(), predicate.clone(), object));
+                self.skip_ws();
+                if self.peek() == Some(',') {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.skip_ws();
+            match self.bump() {
+                Some(';') => {
+                    self.skip_ws();
+                    // Allow a dangling `;` before `.` (common in exports).
+                    if self.peek() == Some('.') {
+                        self.bump();
+                        return Ok(());
+                    }
+                    continue;
+                }
+                Some('.') => return Ok(()),
+                other => return Err(self.err(format!("expected `;` or `.`, found {other:?}"))),
+            }
+        }
+    }
+
+    fn subject(&mut self) -> Result<Term> {
+        self.skip_ws();
+        match self.peek() {
+            Some('<') => self.iri_ref(),
+            Some('_') => self.blank(),
+            Some(c) if c.is_alphabetic() => self.prefixed_name(),
+            other => Err(self.err(format!("bad subject start {other:?}"))),
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Term> {
+        self.skip_ws();
+        // `a` keyword.
+        if self.peek() == Some('a')
+            && self
+                .chars
+                .get(self.pos + 1)
+                .is_none_or(|c| c.is_whitespace())
+        {
+            self.bump();
+            return Ok(Term::iri(RDF_TYPE));
+        }
+        match self.peek() {
+            Some('<') => self.iri_ref(),
+            Some(c) if c.is_alphabetic() => self.prefixed_name(),
+            other => Err(self.err(format!("bad predicate start {other:?}"))),
+        }
+    }
+
+    fn object(&mut self) -> Result<Term> {
+        self.skip_ws();
+        match self.peek() {
+            Some('<') => self.iri_ref(),
+            Some('_') => self.blank(),
+            Some('"') => self.literal(),
+            Some(c) if c.is_ascii_digit() || c == '-' || c == '+' => self.number(),
+            Some(_) => {
+                if self.lookahead_keyword("true") {
+                    self.pos += 4;
+                    Ok(Term::typed("true", XSD_BOOLEAN))
+                } else if self.lookahead_keyword("false") {
+                    self.pos += 5;
+                    Ok(Term::typed("false", XSD_BOOLEAN))
+                } else {
+                    self.prefixed_name()
+                }
+            }
+            None => Err(self.err("unexpected end of input in object position")),
+        }
+    }
+
+    fn iri_ref(&mut self) -> Result<Term> {
+        self.expect('<')?;
+        let mut iri = String::new();
+        loop {
+            match self.bump() {
+                Some('>') => return Ok(Term::Iri(iri)),
+                Some(c) => iri.push(c),
+                None => return Err(self.err("unterminated IRI")),
+            }
+        }
+    }
+
+    fn blank(&mut self) -> Result<Term> {
+        self.bump(); // _
+        if self.bump() != Some(':') {
+            return Err(self.err("blank node must start with `_:`"));
+        }
+        let mut label = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' || c == '-' {
+                label.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if label.is_empty() {
+            return Err(self.err("empty blank node label"));
+        }
+        Ok(Term::Blank(label))
+    }
+
+    fn prefixed_name(&mut self) -> Result<Term> {
+        let mut prefix = String::new();
+        while let Some(c) = self.peek() {
+            if c == ':' {
+                break;
+            }
+            if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' {
+                prefix.push(c);
+                self.bump();
+            } else {
+                return Err(self.err(format!("unexpected `{c}` in prefixed name")));
+            }
+        }
+        if self.bump() != Some(':') {
+            return Err(self.err("prefixed name missing `:`"));
+        }
+        let mut local = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' {
+                local.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Trailing dot is a statement terminator, not part of the name.
+        while local.ends_with('.') {
+            local.pop();
+            self.pos -= 1;
+        }
+        let base = self
+            .prefixes
+            .get(&prefix)
+            .ok_or_else(|| self.err(format!("unknown prefix `{prefix}:`")))?;
+        Ok(Term::Iri(format!("{base}{local}")))
+    }
+
+    fn literal(&mut self) -> Result<Term> {
+        self.expect('"')?;
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => break,
+                Some('\\') => match self.bump() {
+                    Some('n') => value.push('\n'),
+                    Some('t') => value.push('\t'),
+                    Some('r') => value.push('\r'),
+                    Some('"') => value.push('"'),
+                    Some('\\') => value.push('\\'),
+                    other => return Err(self.err(format!("bad escape {other:?}"))),
+                },
+                Some(c) => value.push(c),
+                None => return Err(self.err("unterminated literal")),
+            }
+        }
+        // Optional @lang or ^^datatype.
+        if self.peek() == Some('@') {
+            self.bump();
+            let mut lang = String::new();
+            while let Some(c) = self.peek() {
+                if c.is_alphanumeric() || c == '-' {
+                    lang.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            return Ok(Term::Literal {
+                value,
+                lang: Some(lang),
+                datatype: None,
+            });
+        }
+        if self.peek() == Some('^') {
+            self.bump();
+            if self.bump() != Some('^') {
+                return Err(self.err("expected `^^`"));
+            }
+            let dt = match self.peek() {
+                Some('<') => self.iri_ref()?,
+                _ => self.prefixed_name()?,
+            };
+            let Term::Iri(dt) = dt else {
+                return Err(self.err("datatype must be an IRI"));
+            };
+            return Ok(Term::Literal {
+                value,
+                lang: None,
+                datatype: Some(dt),
+            });
+        }
+        Ok(Term::lit(value))
+    }
+
+    fn number(&mut self) -> Result<Term> {
+        let mut text = String::new();
+        if matches!(self.peek(), Some('-') | Some('+')) {
+            text.push(self.bump().expect("peeked"));
+        }
+        let mut is_decimal = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                text.push(c);
+                self.bump();
+            } else if c == '.'
+                && !is_decimal
+                && self
+                    .chars
+                    .get(self.pos + 1)
+                    .is_some_and(|d| d.is_ascii_digit())
+            {
+                is_decimal = true;
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if text.is_empty() || text == "-" || text == "+" {
+            return Err(self.err("bad numeric literal"));
+        }
+        Ok(Term::typed(
+            text,
+            if is_decimal { XSD_DECIMAL } else { XSD_INTEGER },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_triples() {
+        let doc = r#"
+            @prefix ex: <http://example.org/> .
+            ex:wfj ex:name "Weissfluhjoch" ;
+                   ex:elevation 2693 ;
+                   ex:hasSensor ex:t1, ex:t2 .
+            ex:t1 a ex:TemperatureSensor .
+        "#;
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(triples.len(), 5);
+        assert_eq!(
+            triples[0],
+            (
+                Term::iri("http://example.org/wfj"),
+                Term::iri("http://example.org/name"),
+                Term::lit("Weissfluhjoch")
+            )
+        );
+        assert_eq!(triples[1].2, Term::int(2693));
+        assert_eq!(
+            triples[4].1,
+            Term::iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+        );
+    }
+
+    #[test]
+    fn literals_with_lang_and_type() {
+        let doc = r#"
+            @prefix ex: <http://e/> .
+            ex:a ex:label "Berg"@de .
+            ex:a ex:height "3.5"^^<http://www.w3.org/2001/XMLSchema#double> .
+            ex:a ex:active true .
+            ex:a ex:temp -4.25 .
+        "#;
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(
+            triples[0].2,
+            Term::Literal {
+                value: "Berg".into(),
+                lang: Some("de".into()),
+                datatype: None
+            }
+        );
+        assert_eq!(triples[1].2.as_number(), Some(3.5));
+        assert_eq!(triples[2].2.literal_value(), Some("true"));
+        assert_eq!(triples[3].2.as_number(), Some(-4.25));
+    }
+
+    #[test]
+    fn escapes_and_comments() {
+        let doc = "@prefix e: <http://e/> .\n# comment\ne:a e:b \"say \\\"hi\\\"\\n\" .";
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(triples[0].2.literal_value(), Some("say \"hi\"\n"));
+    }
+
+    #[test]
+    fn blank_nodes() {
+        let doc = "@prefix e: <http://e/> .\n_:b0 e:knows _:b1 .";
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(triples[0].0, Term::Blank("b0".into()));
+        assert_eq!(triples[0].2, Term::Blank("b1".into()));
+    }
+
+    #[test]
+    fn unknown_prefix_is_error() {
+        assert!(parse_turtle("x:a x:b x:c .").is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_turtle("@prefix e: <http://e/> .\n\ne:a e:b .").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 3"), "got: {msg}");
+    }
+
+    #[test]
+    fn load_into_store_dedupes() {
+        let mut st = TripleStore::new();
+        let doc = "@prefix e: <http://e/> .\ne:a e:b e:c .\ne:a e:b e:c .";
+        assert_eq!(load_turtle(&mut st, doc).unwrap(), 1);
+        assert_eq!(st.len(), 1);
+    }
+
+    #[test]
+    fn serializer_roundtrips() {
+        let doc = "@prefix e: <http://e/> .\ne:a e:name \"x\" ;\n e:n 3 .";
+        let triples = parse_turtle(doc).unwrap();
+        let ser = to_turtle(triples.iter().map(|(s, p, o)| (s, p, o)));
+        let back = parse_turtle(&ser).unwrap();
+        assert_eq!(triples, back);
+    }
+}

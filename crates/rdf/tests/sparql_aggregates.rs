@@ -1,0 +1,162 @@
+//! SPARQL aggregate tests: the "trends" queries the demo's tag clouds and
+//! bar charts imply ("which institutions participate mostly…").
+
+use sensormeta_rdf::{evaluate, load_turtle, parse_sparql, Term, TripleStore};
+
+fn store() -> TripleStore {
+    let mut st = TripleStore::new();
+    load_turtle(
+        &mut st,
+        r#"
+        @prefix ex: <http://e/> .
+        ex:d1 ex:at ex:wfj ; ex:kind "temperature" ; ex:interval 10 .
+        ex:d2 ex:at ex:wfj ; ex:kind "wind" ; ex:interval 5 .
+        ex:d3 ex:at ex:wfj ; ex:kind "temperature" ; ex:interval 30 .
+        ex:d4 ex:at ex:davos ; ex:kind "temperature" ; ex:interval 60 .
+        ex:d5 ex:at ex:davos ; ex:kind "humidity" .
+        "#,
+    )
+    .unwrap();
+    st
+}
+
+fn run(q: &str) -> sensormeta_rdf::Solutions {
+    evaluate(&store(), &parse_sparql(q).unwrap()).unwrap()
+}
+
+#[test]
+fn count_star_grouped() {
+    let sols = run(
+        "PREFIX ex: <http://e/> SELECT ?site (COUNT(*) AS ?n) WHERE { ?d ex:at ?site } \
+         GROUP BY ?site ORDER BY DESC(?n)",
+    );
+    assert_eq!(sols.vars, vec!["site", "n"]);
+    assert_eq!(sols.len(), 2);
+    assert_eq!(sols.rows[0][0], Some(Term::iri("http://e/wfj")));
+    assert_eq!(sols.rows[0][1], Some(Term::int(3)));
+    assert_eq!(sols.rows[1][1], Some(Term::int(2)));
+}
+
+#[test]
+fn count_var_skips_unbound() {
+    // interval is OPTIONAL; d5 has none → COUNT(?i) counts 4, COUNT(*) 5.
+    let sols = run(
+        "PREFIX ex: <http://e/> SELECT (COUNT(?i) AS ?with) (COUNT(*) AS ?all) WHERE { \
+         ?d ex:at ?site . OPTIONAL { ?d ex:interval ?i } }",
+    );
+    assert_eq!(sols.rows[0][0], Some(Term::int(4)));
+    assert_eq!(sols.rows[0][1], Some(Term::int(5)));
+}
+
+#[test]
+fn count_distinct() {
+    let sols =
+        run("PREFIX ex: <http://e/> SELECT (COUNT(DISTINCT ?k) AS ?kinds) WHERE { ?d ex:kind ?k }");
+    assert_eq!(sols.rows[0][0], Some(Term::int(3)));
+}
+
+#[test]
+fn sum_avg_min_max() {
+    let sols = run(
+        "PREFIX ex: <http://e/> SELECT (SUM(?i) AS ?s) (AVG(?i) AS ?a) \
+         (MIN(?i) AS ?lo) (MAX(?i) AS ?hi) WHERE { ?d ex:interval ?i }",
+    );
+    assert_eq!(sols.rows[0][0], Some(Term::int(105)));
+    assert_eq!(sols.rows[0][1].as_ref().unwrap().as_number(), Some(26.25));
+    assert_eq!(sols.rows[0][2].as_ref().unwrap().as_number(), Some(5.0));
+    assert_eq!(sols.rows[0][3].as_ref().unwrap().as_number(), Some(60.0));
+}
+
+#[test]
+fn grouped_min_max_are_per_group() {
+    let sols = run(
+        "PREFIX ex: <http://e/> SELECT ?site (MAX(?i) AS ?hi) WHERE { \
+         ?d ex:at ?site . ?d ex:interval ?i } GROUP BY ?site ORDER BY ?site",
+    );
+    assert_eq!(sols.len(), 2);
+    // davos first alphabetically; its only interval is 60.
+    assert_eq!(sols.rows[0][1].as_ref().unwrap().as_number(), Some(60.0));
+    assert_eq!(sols.rows[1][1].as_ref().unwrap().as_number(), Some(30.0));
+}
+
+#[test]
+fn global_aggregate_over_empty_match() {
+    let sols = run(
+        "PREFIX ex: <http://e/> SELECT (COUNT(*) AS ?n) (SUM(?i) AS ?s) WHERE { \
+         ?d ex:kind \"nonexistent\" . ?d ex:interval ?i }",
+    );
+    assert_eq!(sols.len(), 1, "global aggregate always yields one row");
+    assert_eq!(sols.rows[0][0], Some(Term::int(0)));
+    assert_eq!(sols.rows[0][1], None, "SUM of nothing is unbound");
+}
+
+#[test]
+fn limit_applies_after_grouping() {
+    let sols = run(
+        "PREFIX ex: <http://e/> SELECT ?k (COUNT(*) AS ?n) WHERE { ?d ex:kind ?k } \
+         GROUP BY ?k ORDER BY DESC(?n) ?k LIMIT 1",
+    );
+    assert_eq!(sols.len(), 1);
+    assert_eq!(sols.rows[0][0], Some(Term::lit("temperature")));
+    assert_eq!(sols.rows[0][1], Some(Term::int(3)));
+}
+
+#[test]
+fn projected_var_must_be_grouped() {
+    let err = parse_sparql(
+        "PREFIX ex: <http://e/> SELECT ?site (COUNT(*) AS ?n) WHERE { ?d ex:at ?site }",
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("GROUP BY"), "{err}");
+}
+
+#[test]
+fn only_count_accepts_star() {
+    assert!(parse_sparql("SELECT (SUM(*) AS ?s) WHERE { ?a ?b ?c }").is_err());
+}
+
+#[test]
+fn union_combines_branches() {
+    // Deployments measuring temperature OR humidity.
+    let sols = run("PREFIX ex: <http://e/> SELECT ?d WHERE { ?d ex:at ?site . \
+         { ?d ex:kind \"temperature\" } UNION { ?d ex:kind \"humidity\" } } ORDER BY ?d");
+    assert_eq!(sols.len(), 4, "{:?}", sols.rows);
+    // Three-way union.
+    let sols = run("PREFIX ex: <http://e/> SELECT ?d WHERE { \
+         { ?d ex:kind \"temperature\" } UNION { ?d ex:kind \"humidity\" } \
+         UNION { ?d ex:kind \"wind\" } }");
+    assert_eq!(sols.len(), 5);
+}
+
+#[test]
+fn union_dedupes_overlapping_branches() {
+    let sols = run("PREFIX ex: <http://e/> SELECT ?d WHERE { \
+         { ?d ex:at ex:wfj } UNION { ?d ex:kind \"temperature\" } }");
+    // wfj deployments: d1,d2,d3; temperature: d1,d3,d4 → union {d1..d4}.
+    assert_eq!(sols.len(), 4);
+}
+
+#[test]
+fn union_with_aggregates() {
+    let sols = run("PREFIX ex: <http://e/> SELECT (COUNT(*) AS ?n) WHERE { \
+         { ?d ex:kind \"temperature\" } UNION { ?d ex:kind \"wind\" } }");
+    assert_eq!(sols.rows[0][0], Some(Term::int(4)));
+}
+
+#[test]
+fn lonely_brace_block_is_error() {
+    assert!(parse_sparql("SELECT ?d WHERE { { ?d ?p ?o } }").is_err());
+}
+
+#[test]
+fn union_branch_filters_are_branch_scoped() {
+    // Branch 1: high-frequency (interval ≤ 5) — only d2.
+    // Branch 2: kind humidity — only d5.
+    let sols = run("PREFIX ex: <http://e/> SELECT ?d WHERE { \
+         { ?d ex:interval ?i . FILTER(?i <= 5) } UNION { ?d ex:kind \"humidity\" } } \
+         ORDER BY ?d");
+    assert_eq!(sols.len(), 2, "{:?}", sols.rows);
+    // The filter must NOT leak into branch 2: d5 has no ?i at all and still
+    // qualifies through the second branch.
+    assert_eq!(sols.rows[1][0], Some(Term::iri("http://e/d5")));
+}

@@ -1,0 +1,421 @@
+//! In-memory B-tree for secondary indexes.
+//!
+//! A textbook B-tree keyed by composite [`Value`] keys mapping to sets of
+//! [`RowId`]s. Implemented from scratch (rather than wrapping `BTreeMap`) so
+//! the engine exercises a real index structure: node splits, ordered range
+//! scans, and duplicate-key postings. Fanout is kept small enough that tests
+//! routinely exercise multi-level trees.
+
+use crate::error::{RelError, Result};
+use crate::heap::RowId;
+use crate::value::Value;
+use std::ops::Bound;
+
+/// Maximum keys per node before a split. Chosen small so unit tests cover
+/// deep trees; performance at this fanout is still fine for in-memory nodes.
+const MAX_KEYS: usize = 32;
+
+/// Composite index key.
+pub type Key = Vec<Value>;
+
+/// A node split: (median key, median postings, right sibling).
+type Split = (Key, Vec<RowId>, Node);
+
+#[derive(Debug, Clone)]
+struct Node {
+    keys: Vec<Key>,
+    /// Per-key postings: RowIds sharing this key (sorted, deduped).
+    postings: Vec<Vec<RowId>>,
+    /// Children; empty for leaves.
+    children: Vec<Node>,
+}
+
+impl Node {
+    fn leaf() -> Node {
+        Node {
+            keys: Vec::new(),
+            postings: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// A B-tree index from composite keys to RowId postings.
+#[derive(Debug)]
+pub struct BTreeIndex {
+    root: Box<Node>,
+    /// Enforce at most one RowId per key.
+    unique: bool,
+    len: usize,
+}
+
+impl BTreeIndex {
+    /// Creates an empty index; `unique` enforces one entry per key.
+    pub fn new(unique: bool) -> BTreeIndex {
+        BTreeIndex {
+            root: Box::new(Node::leaf()),
+            unique,
+            len: 0,
+        }
+    }
+
+    /// Whether the index enforces key uniqueness.
+    pub fn is_unique(&self) -> bool {
+        self.unique
+    }
+
+    /// Number of (key, RowId) entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts an entry. For unique indexes an existing different RowId under
+    /// the same key is a [`RelError::UniqueViolation`].
+    pub fn insert(&mut self, key: Key, row: RowId) -> Result<()> {
+        if self.unique {
+            if let Some(existing) = self.get_one(&key) {
+                if existing != row {
+                    return Err(RelError::UniqueViolation {
+                        index: String::new(),
+                        key: format!("{key:?}"),
+                    });
+                }
+                return Ok(());
+            }
+        }
+        if self.insert_rec_root(key, row) {
+            self.len += 1;
+        }
+        Ok(())
+    }
+
+    fn insert_rec_root(&mut self, key: Key, row: RowId) -> bool {
+        let (inserted, split) = Self::insert_rec(&mut self.root, key, row);
+        if let Some((mid_key, mid_post, right)) = split {
+            let old_root = std::mem::replace(&mut *self.root, Node::leaf());
+            self.root.keys.push(mid_key);
+            self.root.postings.push(mid_post);
+            self.root.children.push(old_root);
+            self.root.children.push(right);
+        }
+        inserted
+    }
+
+    /// Returns (newly-inserted, optional split (median key, postings, right node)).
+    fn insert_rec(node: &mut Node, key: Key, row: RowId) -> (bool, Option<Split>) {
+        match node.keys.binary_search(&key) {
+            Ok(ix) => {
+                let posting = &mut node.postings[ix];
+                match posting.binary_search(&row) {
+                    Ok(_) => (false, None),
+                    Err(p) => {
+                        posting.insert(p, row);
+                        (true, None)
+                    }
+                }
+            }
+            Err(ix) => {
+                let inserted = if node.is_leaf() {
+                    node.keys.insert(ix, key);
+                    node.postings.insert(ix, vec![row]);
+                    true
+                } else {
+                    let (ins, split) = Self::insert_rec(&mut node.children[ix], key, row);
+                    if let Some((mk, mp, right)) = split {
+                        node.keys.insert(ix, mk);
+                        node.postings.insert(ix, mp);
+                        node.children.insert(ix + 1, right);
+                    }
+                    ins
+                };
+                let split = (node.keys.len() > MAX_KEYS).then(|| Self::split(node));
+                (inserted, split)
+            }
+        }
+    }
+
+    /// Splits an over-full node, returning (median key, median postings, right sibling).
+    fn split(node: &mut Node) -> Split {
+        let mid = node.keys.len() / 2;
+        let right_keys = node.keys.split_off(mid + 1);
+        let right_postings = node.postings.split_off(mid + 1);
+        let mid_key = node.keys.pop().expect("mid key exists");
+        let mid_post = node.postings.pop().expect("mid posting exists");
+        let right_children = if node.is_leaf() {
+            Vec::new()
+        } else {
+            node.children.split_off(mid + 1)
+        };
+        (
+            mid_key,
+            mid_post,
+            Node {
+                keys: right_keys,
+                postings: right_postings,
+                children: right_children,
+            },
+        )
+    }
+
+    /// Removes one (key, RowId) entry. Returns true if it existed.
+    /// Underflow rebalancing is intentionally omitted: deletions leave nodes
+    /// sparse but correct, and metadata workloads are insert-dominated.
+    pub fn remove(&mut self, key: &Key, row: RowId) -> bool {
+        fn rec(node: &mut Node, key: &Key, row: RowId) -> bool {
+            match node.keys.binary_search(key) {
+                Ok(ix) => {
+                    let posting = &mut node.postings[ix];
+                    match posting.binary_search(&row) {
+                        Ok(p) => {
+                            posting.remove(p);
+                            // An empty posting list stays as a routing key in
+                            // interior nodes; lookups skip it.
+                            true
+                        }
+                        Err(_) => false,
+                    }
+                }
+                Err(ix) => {
+                    if node.is_leaf() {
+                        false
+                    } else {
+                        rec(&mut node.children[ix], key, row)
+                    }
+                }
+            }
+        }
+        let removed = rec(&mut self.root, key, row);
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// All RowIds for an exact key.
+    pub fn get(&self, key: &Key) -> Vec<RowId> {
+        fn rec<'a>(node: &'a Node, key: &Key) -> Option<&'a Vec<RowId>> {
+            match node.keys.binary_search(key) {
+                Ok(ix) => Some(&node.postings[ix]),
+                Err(ix) => {
+                    if node.is_leaf() {
+                        None
+                    } else {
+                        rec(&node.children[ix], key)
+                    }
+                }
+            }
+        }
+        rec(&self.root, key).cloned().unwrap_or_default()
+    }
+
+    /// First RowId for a key, if any.
+    pub fn get_one(&self, key: &Key) -> Option<RowId> {
+        self.get(key).into_iter().next()
+    }
+
+    /// In-order range scan over `(key, RowId)` pairs.
+    pub fn range(&self, lo: Bound<&Key>, hi: Bound<&Key>) -> Vec<(Key, RowId)> {
+        let mut out = Vec::new();
+        Self::range_rec(&self.root, &lo, &hi, &mut out);
+        out
+    }
+
+    fn key_ge(k: &Key, b: &Bound<&Key>) -> bool {
+        match b {
+            Bound::Unbounded => true,
+            Bound::Included(l) => k >= l,
+            Bound::Excluded(l) => k > l,
+        }
+    }
+
+    fn key_le(k: &Key, b: &Bound<&Key>) -> bool {
+        match b {
+            Bound::Unbounded => true,
+            Bound::Included(h) => k <= h,
+            Bound::Excluded(h) => k < h,
+        }
+    }
+
+    fn range_rec(node: &Node, lo: &Bound<&Key>, hi: &Bound<&Key>, out: &mut Vec<(Key, RowId)>) {
+        for (ix, key) in node.keys.iter().enumerate() {
+            // Descend into the child left of this key if that subtree may
+            // contain in-range keys (all of them are < key).
+            if !node.is_leaf() && Self::key_ge(key, lo) {
+                Self::range_rec(&node.children[ix], lo, hi, out);
+            }
+            if Self::key_ge(key, lo) && Self::key_le(key, hi) {
+                for row in &node.postings[ix] {
+                    out.push((key.clone(), *row));
+                }
+            }
+            if !Self::key_le(key, hi) {
+                return; // everything to the right is larger
+            }
+        }
+        if !node.is_leaf() {
+            if let Some(last) = node.children.last() {
+                Self::range_rec(last, lo, hi, out);
+            }
+        }
+    }
+
+    /// All entries in key order.
+    pub fn iter_all(&self) -> Vec<(Key, RowId)> {
+        self.range(Bound::Unbounded, Bound::Unbounded)
+    }
+
+    /// Entries whose key starts with `prefix` (composite-key prefix match).
+    pub fn prefix(&self, prefix: &Key) -> Vec<(Key, RowId)> {
+        self.iter_all()
+            .into_iter()
+            .filter(|(k, _)| k.len() >= prefix.len() && k[..prefix.len()] == prefix[..])
+            .collect()
+    }
+
+    /// Verifies B-tree ordering invariants; used by tests and proptests.
+    pub fn check_invariants(&self) -> bool {
+        fn rec(node: &Node, lo: Option<&Key>, hi: Option<&Key>) -> bool {
+            for w in node.keys.windows(2) {
+                if w[0] >= w[1] {
+                    return false;
+                }
+            }
+            if let (Some(first), Some(lo)) = (node.keys.first(), lo) {
+                if first <= lo {
+                    return false;
+                }
+            }
+            if let (Some(last), Some(hi)) = (node.keys.last(), hi) {
+                if last >= hi {
+                    return false;
+                }
+            }
+            if node.is_leaf() {
+                return true;
+            }
+            if node.children.len() != node.keys.len() + 1 {
+                return false;
+            }
+            for (ix, child) in node.children.iter().enumerate() {
+                let clo = if ix == 0 {
+                    lo
+                } else {
+                    Some(&node.keys[ix - 1])
+                };
+                let chi = if ix == node.keys.len() {
+                    hi
+                } else {
+                    Some(&node.keys[ix])
+                };
+                if !rec(child, clo, chi) {
+                    return false;
+                }
+            }
+            true
+        }
+        rec(&self.root, None, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(n: u32) -> RowId {
+        RowId { page: 0, slot: n }
+    }
+
+    fn key(v: i64) -> Key {
+        vec![Value::Int(v)]
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut ix = BTreeIndex::new(false);
+        ix.insert(key(5), rid(1)).unwrap();
+        ix.insert(key(5), rid(2)).unwrap();
+        ix.insert(key(7), rid(3)).unwrap();
+        assert_eq!(ix.get(&key(5)), vec![rid(1), rid(2)]);
+        assert_eq!(ix.get(&key(7)), vec![rid(3)]);
+        assert!(ix.get(&key(6)).is_empty());
+        assert_eq!(ix.len(), 3);
+    }
+
+    #[test]
+    fn unique_violation() {
+        let mut ix = BTreeIndex::new(true);
+        ix.insert(key(1), rid(1)).unwrap();
+        assert!(ix.insert(key(1), rid(2)).is_err());
+        // Same RowId re-insert is idempotent.
+        ix.insert(key(1), rid(1)).unwrap();
+        assert_eq!(ix.len(), 1);
+    }
+
+    #[test]
+    fn deep_tree_stays_sorted() {
+        let mut ix = BTreeIndex::new(false);
+        // Insert shuffled keys to force splits in interesting orders.
+        let mut keys: Vec<i64> = (0..2000).collect();
+        // Deterministic shuffle via multiplication mod prime.
+        keys.sort_by_key(|k| (k * 48271) % 2003);
+        for (i, k) in keys.iter().enumerate() {
+            ix.insert(key(*k), rid(i as u32)).unwrap();
+        }
+        assert!(ix.check_invariants());
+        let all = ix.iter_all();
+        assert_eq!(all.len(), 2000);
+        for w in all.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn range_scans() {
+        let mut ix = BTreeIndex::new(false);
+        for k in 0..100 {
+            ix.insert(key(k), rid(k as u32)).unwrap();
+        }
+        let mid = ix.range(Bound::Included(&key(10)), Bound::Excluded(&key(20)));
+        assert_eq!(mid.len(), 10);
+        assert_eq!(mid[0].0, key(10));
+        assert_eq!(mid[9].0, key(19));
+        let open = ix.range(Bound::Excluded(&key(97)), Bound::Unbounded);
+        assert_eq!(open.len(), 2);
+    }
+
+    #[test]
+    fn remove_entries() {
+        let mut ix = BTreeIndex::new(false);
+        for k in 0..200 {
+            ix.insert(key(k), rid(k as u32)).unwrap();
+        }
+        assert!(ix.remove(&key(50), rid(50)));
+        assert!(!ix.remove(&key(50), rid(50)));
+        assert!(!ix.remove(&key(5000), rid(1)));
+        assert!(ix.get(&key(50)).is_empty());
+        assert_eq!(ix.len(), 199);
+        assert!(ix.check_invariants());
+    }
+
+    #[test]
+    fn composite_keys_and_prefix() {
+        let mut ix = BTreeIndex::new(false);
+        ix.insert(vec![Value::text("temp"), Value::Int(1)], rid(1))
+            .unwrap();
+        ix.insert(vec![Value::text("temp"), Value::Int(2)], rid(2))
+            .unwrap();
+        ix.insert(vec![Value::text("wind"), Value::Int(1)], rid(3))
+            .unwrap();
+        let hits = ix.prefix(&vec![Value::text("temp")]);
+        assert_eq!(hits.len(), 2);
+    }
+}

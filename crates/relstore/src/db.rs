@@ -1,0 +1,257 @@
+//! The `Database` facade: catalog + SQL entry points + snapshot persistence.
+
+use crate::encoding::{read_varint, write_varint};
+use crate::error::{RelError, Result};
+use crate::heap::Heap;
+use crate::schema::{Column, TableSchema};
+use crate::sql::ast::Statement;
+use crate::sql::exec::{execute, execute_select, explain_select, Catalog, ExecOutcome, ResultSet};
+use crate::sql::parser::{parse, parse_script};
+use crate::table::{IndexDef, Table};
+use crate::value::{DataType, Value};
+use std::path::Path;
+
+/// An embedded relational database: a catalog of tables with SQL access.
+#[derive(Debug, Default)]
+pub struct Database {
+    catalog: Catalog,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Executes one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> Result<ExecOutcome> {
+        let stmt = parse(sql)?;
+        execute(&mut self.catalog, stmt)
+    }
+
+    /// Executes a semicolon-separated script, returning the last outcome.
+    pub fn execute_script(&mut self, sql: &str) -> Result<ExecOutcome> {
+        let stmts = parse_script(sql)?;
+        let mut last = ExecOutcome::Done;
+        for stmt in stmts {
+            last = execute(&mut self.catalog, stmt)?;
+        }
+        Ok(last)
+    }
+
+    /// Runs a SELECT (or EXPLAIN SELECT) without requiring mutable access.
+    pub fn query(&self, sql: &str) -> Result<ResultSet> {
+        match parse(sql)? {
+            Statement::Select(sel) => execute_select(&self.catalog, &sel),
+            Statement::Explain(sel) => explain_select(&self.catalog, &sel),
+            other => Err(RelError::Exec(format!(
+                "query() only accepts SELECT, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Convenience: runs a SELECT and returns the first value of the first
+    /// row, if any.
+    pub fn query_scalar(&self, sql: &str) -> Result<Option<Value>> {
+        let rs = self.query(sql)?;
+        Ok(rs
+            .rows
+            .into_iter()
+            .next()
+            .and_then(|r| r.into_iter().next()))
+    }
+
+    /// Programmatic table creation (bypasses SQL).
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<()> {
+        let key = schema.name.to_ascii_lowercase();
+        if self.catalog.contains_key(&key) {
+            return Err(RelError::TableExists(schema.name));
+        }
+        self.catalog.insert(key, Table::create(schema)?);
+        Ok(())
+    }
+
+    /// Immutable access to a table.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.catalog
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| RelError::NoSuchTable(name.to_owned()))
+    }
+
+    /// Mutable access to a table.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.catalog
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| RelError::NoSuchTable(name.to_owned()))
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.catalog
+            .values()
+            .map(|t| t.schema.name.clone())
+            .collect()
+    }
+
+    /// True if a table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.catalog.contains_key(&name.to_ascii_lowercase())
+    }
+
+    // ---------- snapshot persistence ----------
+
+    const MAGIC: &'static [u8; 8] = b"SMRELST1";
+
+    /// Serializes the whole database into a byte buffer.
+    pub fn to_snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(Self::MAGIC);
+        write_varint(&mut out, self.catalog.len() as u64);
+        for table in self.catalog.values() {
+            write_str(&mut out, &table.schema.name);
+            write_varint(&mut out, table.schema.columns.len() as u64);
+            for c in &table.schema.columns {
+                write_str(&mut out, &c.name);
+                out.push(type_tag(c.ty));
+                out.push(
+                    u8::from(c.not_null)
+                        | (u8::from(c.unique) << 1)
+                        | (u8::from(c.primary_key) << 2),
+                );
+            }
+            let defs: Vec<&IndexDef> = table.index_defs().collect();
+            write_varint(&mut out, defs.len() as u64);
+            for d in defs {
+                write_str(&mut out, &d.name);
+                out.push(u8::from(d.unique));
+                write_varint(&mut out, d.columns.len() as u64);
+                for &c in &d.columns {
+                    write_varint(&mut out, c as u64);
+                }
+            }
+            let heap = table.heap().to_snapshot();
+            write_varint(&mut out, heap.len() as u64);
+            out.extend_from_slice(&heap);
+        }
+        out
+    }
+
+    /// Restores a database from snapshot bytes.
+    pub fn from_snapshot(buf: &[u8]) -> Result<Database> {
+        if buf.len() < 8 || &buf[..8] != Self::MAGIC {
+            return Err(RelError::Snapshot("bad magic".into()));
+        }
+        let mut pos = 8usize;
+        let ntables = read_varint(buf, &mut pos)? as usize;
+        let mut catalog = Catalog::new();
+        for _ in 0..ntables {
+            let name = read_str(buf, &mut pos)?;
+            let ncols = read_varint(buf, &mut pos)? as usize;
+            let mut cols = Vec::with_capacity(ncols.min(4096));
+            for _ in 0..ncols {
+                let cname = read_str(buf, &mut pos)?;
+                let ty = untag_type(next_byte(buf, &mut pos)?)?;
+                let flags = next_byte(buf, &mut pos)?;
+                cols.push(Column {
+                    name: cname,
+                    ty,
+                    not_null: flags & 1 != 0,
+                    unique: flags & 2 != 0,
+                    primary_key: flags & 4 != 0,
+                });
+            }
+            let schema = TableSchema::new(name.clone(), cols)?;
+            let ndefs = read_varint(buf, &mut pos)? as usize;
+            let mut defs = Vec::with_capacity(ndefs.min(4096));
+            for _ in 0..ndefs {
+                let dname = read_str(buf, &mut pos)?;
+                let unique = next_byte(buf, &mut pos)? != 0;
+                let nc = read_varint(buf, &mut pos)? as usize;
+                let mut columns = Vec::with_capacity(nc.min(4096));
+                for _ in 0..nc {
+                    columns.push(read_varint(buf, &mut pos)? as usize);
+                }
+                defs.push(IndexDef {
+                    name: dname,
+                    unique,
+                    columns,
+                });
+            }
+            let hlen = read_varint(buf, &mut pos)? as usize;
+            let end = pos
+                .checked_add(hlen)
+                .filter(|&e| e <= buf.len())
+                .ok_or_else(|| RelError::Snapshot("heap length out of bounds".into()))?;
+            let mut hpos = pos;
+            let heap = Heap::from_snapshot(buf, &mut hpos)?;
+            if hpos != end {
+                return Err(RelError::Snapshot("heap length mismatch".into()));
+            }
+            pos = end;
+            let table = Table::restore(schema, heap, defs)?;
+            catalog.insert(name.to_ascii_lowercase(), table);
+        }
+        Ok(Database { catalog })
+    }
+
+    /// Writes a snapshot file atomically (write-to-temp + rename).
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let bytes = self.to_snapshot();
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &bytes)
+            .and_then(|()| std::fs::rename(&tmp, path))
+            .map_err(|e| RelError::Snapshot(format!("write {}: {e}", path.display())))
+    }
+
+    /// Loads a snapshot file.
+    pub fn load(path: &Path) -> Result<Database> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| RelError::Snapshot(format!("read {}: {e}", path.display())))?;
+        Database::from_snapshot(&bytes)
+    }
+}
+
+fn type_tag(ty: DataType) -> u8 {
+    match ty {
+        DataType::Integer => 0,
+        DataType::Float => 1,
+        DataType::Text => 2,
+        DataType::Boolean => 3,
+    }
+}
+
+fn untag_type(tag: u8) -> Result<DataType> {
+    Ok(match tag {
+        0 => DataType::Integer,
+        1 => DataType::Float,
+        2 => DataType::Text,
+        3 => DataType::Boolean,
+        other => return Err(RelError::Snapshot(format!("bad type tag {other}"))),
+    })
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    write_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_str(buf: &[u8], pos: &mut usize) -> Result<String> {
+    let len = read_varint(buf, pos)? as usize;
+    let end = pos
+        .checked_add(len)
+        .filter(|&e| e <= buf.len())
+        .ok_or_else(|| RelError::Snapshot("string out of bounds".into()))?;
+    let s = std::str::from_utf8(&buf[*pos..end])
+        .map_err(|_| RelError::Snapshot("invalid utf-8".into()))?
+        .to_owned();
+    *pos = end;
+    Ok(s)
+}
+
+fn next_byte(buf: &[u8], pos: &mut usize) -> Result<u8> {
+    let b = *buf
+        .get(*pos)
+        .ok_or_else(|| RelError::Snapshot("unexpected end of snapshot".into()))?;
+    *pos += 1;
+    Ok(b)
+}

@@ -1,0 +1,89 @@
+//! Error types for the relational storage engine.
+
+use std::fmt;
+
+/// All errors produced by the relational engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelError {
+    /// A table with the given name already exists.
+    TableExists(String),
+    /// The named table does not exist.
+    NoSuchTable(String),
+    /// An index with the given name already exists.
+    IndexExists(String),
+    /// The named index does not exist.
+    NoSuchIndex(String),
+    /// The named column does not exist in the referenced table.
+    NoSuchColumn(String),
+    /// A value's type did not match the column's declared type.
+    TypeMismatch {
+        /// Column the value was destined for.
+        column: String,
+        /// Declared type of the column.
+        expected: String,
+        /// Actual value encountered.
+        found: String,
+    },
+    /// A NOT NULL column received a NULL value.
+    NullViolation(String),
+    /// A UNIQUE or PRIMARY KEY constraint was violated.
+    UniqueViolation {
+        /// The index/constraint that was violated.
+        index: String,
+        /// Rendered key that collided.
+        key: String,
+    },
+    /// Row arity didn't match the table schema.
+    ArityMismatch {
+        /// Number of columns the schema declares.
+        expected: usize,
+        /// Number of values supplied.
+        found: usize,
+    },
+    /// SQL lexing failed.
+    Lex(String),
+    /// SQL parsing failed.
+    Parse(String),
+    /// Query planning or execution failed.
+    Exec(String),
+    /// Snapshot (de)serialization failed.
+    Snapshot(String),
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::TableExists(t) => write!(f, "table `{t}` already exists"),
+            RelError::NoSuchTable(t) => write!(f, "no such table: `{t}`"),
+            RelError::IndexExists(i) => write!(f, "index `{i}` already exists"),
+            RelError::NoSuchIndex(i) => write!(f, "no such index: `{i}`"),
+            RelError::NoSuchColumn(c) => write!(f, "no such column: `{c}`"),
+            RelError::TypeMismatch {
+                column,
+                expected,
+                found,
+            } => write!(
+                f,
+                "type mismatch for column `{column}`: expected {expected}, found {found}"
+            ),
+            RelError::NullViolation(c) => {
+                write!(f, "NULL value in NOT NULL column `{c}`")
+            }
+            RelError::UniqueViolation { index, key } => {
+                write!(f, "unique constraint `{index}` violated by key {key}")
+            }
+            RelError::ArityMismatch { expected, found } => {
+                write!(f, "row has {found} values but table has {expected} columns")
+            }
+            RelError::Lex(m) => write!(f, "lex error: {m}"),
+            RelError::Parse(m) => write!(f, "parse error: {m}"),
+            RelError::Exec(m) => write!(f, "execution error: {m}"),
+            RelError::Snapshot(m) => write!(f, "snapshot error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, RelError>;

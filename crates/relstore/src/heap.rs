@@ -1,0 +1,310 @@
+//! Heap files: unordered collections of records across slotted pages.
+//!
+//! Records larger than a page's payload capacity are spilled to an overflow
+//! area (wiki page bodies in the SMR routinely exceed 8 KiB). RowIds are
+//! stable for the lifetime of a record: updates that still fit rewrite in
+//! place semantics-wise (delete + insert under the same external key is the
+//! executor's job; the heap itself exposes insert/get/delete/scan).
+
+use crate::error::{RelError, Result};
+use crate::page::{Page, PAGE_SIZE};
+
+/// Largest record stored inline in a page. Anything bigger goes to overflow.
+const MAX_INLINE: usize = PAGE_SIZE / 2;
+
+/// Stable identifier of a record inside one heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId {
+    /// Page number, or `u32::MAX` for overflow records.
+    pub page: u32,
+    /// Slot within the page, or overflow index.
+    pub slot: u32,
+}
+
+impl RowId {
+    const OVERFLOW_PAGE: u32 = u32::MAX;
+
+    fn overflow(ix: u32) -> RowId {
+        RowId {
+            page: Self::OVERFLOW_PAGE,
+            slot: ix,
+        }
+    }
+
+    fn is_overflow(self) -> bool {
+        self.page == Self::OVERFLOW_PAGE
+    }
+}
+
+/// An append-friendly heap of byte records.
+#[derive(Debug, Default)]
+pub struct Heap {
+    pages: Vec<Page>,
+    /// Overflow records; `None` marks a deleted overflow record.
+    overflow: Vec<Option<Vec<u8>>>,
+    /// Count of live (non-deleted) records across pages and overflow.
+    live_records: usize,
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Heap {
+        Heap::default()
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.live_records
+    }
+
+    /// True if the heap holds no live records.
+    pub fn is_empty(&self) -> bool {
+        self.live_records == 0
+    }
+
+    /// Inserts a record and returns its stable RowId.
+    pub fn insert(&mut self, record: &[u8]) -> Result<RowId> {
+        self.live_records += 1;
+        if record.len() > MAX_INLINE {
+            let ix = self.overflow.len();
+            if ix >= u32::MAX as usize {
+                self.live_records -= 1;
+                return Err(RelError::Exec("overflow area full".into()));
+            }
+            self.overflow.push(Some(record.to_vec()));
+            return Ok(RowId::overflow(ix as u32));
+        }
+        // Try the last page first (append workloads), then fall back to a new
+        // page. A production engine would keep a free-space map; metadata
+        // workloads are append-mostly so this stays O(1) amortized.
+        if let Some(last) = self.pages.last_mut() {
+            if last.fits(record.len()) {
+                let slot = last.insert(record)?;
+                return Ok(RowId {
+                    page: (self.pages.len() - 1) as u32,
+                    slot: slot as u32,
+                });
+            }
+        }
+        let mut page = Page::new();
+        let slot = page.insert(record)?;
+        self.pages.push(page);
+        Ok(RowId {
+            page: (self.pages.len() - 1) as u32,
+            slot: slot as u32,
+        })
+    }
+
+    /// Fetches a record by RowId.
+    pub fn get(&self, id: RowId) -> Option<&[u8]> {
+        if id.is_overflow() {
+            return self
+                .overflow
+                .get(id.slot as usize)
+                .and_then(|r| r.as_deref());
+        }
+        self.pages.get(id.page as usize)?.get(id.slot as u16)
+    }
+
+    /// Deletes a record. Returns true if it was live.
+    pub fn delete(&mut self, id: RowId) -> bool {
+        let deleted = if id.is_overflow() {
+            match self.overflow.get_mut(id.slot as usize) {
+                Some(slot @ Some(_)) => {
+                    *slot = None;
+                    true
+                }
+                _ => false,
+            }
+        } else {
+            self.pages
+                .get_mut(id.page as usize)
+                .is_some_and(|p| p.delete(id.slot as u16))
+        };
+        if deleted {
+            self.live_records -= 1;
+        }
+        deleted
+    }
+
+    /// Iterates `(RowId, record)` over all live records in storage order.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &[u8])> {
+        let inline = self.pages.iter().enumerate().flat_map(|(pno, page)| {
+            page.iter().map(move |(slot, rec)| {
+                (
+                    RowId {
+                        page: pno as u32,
+                        slot: slot as u32,
+                    },
+                    rec,
+                )
+            })
+        });
+        let spilled = self
+            .overflow
+            .iter()
+            .enumerate()
+            .filter_map(|(ix, r)| r.as_deref().map(|r| (RowId::overflow(ix as u32), r)));
+        inline.chain(spilled)
+    }
+
+    /// Compacts every page whose dead space crosses a quarter page.
+    pub fn vacuum(&mut self) {
+        for page in &mut self.pages {
+            if page.dead_space() > PAGE_SIZE / 4 {
+                page.compact();
+            }
+        }
+    }
+
+    /// Serializes the heap for snapshotting.
+    pub fn to_snapshot(&self) -> Vec<u8> {
+        use crate::encoding::write_varint;
+        let mut out = Vec::new();
+        write_varint(&mut out, self.pages.len() as u64);
+        for p in &self.pages {
+            out.extend_from_slice(p.as_bytes());
+        }
+        write_varint(&mut out, self.overflow.len() as u64);
+        for rec in &self.overflow {
+            match rec {
+                None => out.push(0),
+                Some(r) => {
+                    out.push(1);
+                    write_varint(&mut out, r.len() as u64);
+                    out.extend_from_slice(r);
+                }
+            }
+        }
+        out
+    }
+
+    /// Restores a heap from snapshot bytes.
+    pub fn from_snapshot(buf: &[u8], pos: &mut usize) -> Result<Heap> {
+        use crate::encoding::read_varint;
+        let npages = read_varint(buf, pos)? as usize;
+        let mut pages = Vec::with_capacity(npages.min(1 << 20));
+        for _ in 0..npages {
+            let end = *pos + PAGE_SIZE;
+            let bytes = buf
+                .get(*pos..end)
+                .ok_or_else(|| RelError::Snapshot("heap page truncated".into()))?;
+            *pos = end;
+            pages.push(Page::from_bytes(bytes)?);
+        }
+        let nover = read_varint(buf, pos)? as usize;
+        let mut overflow = Vec::with_capacity(nover.min(1 << 20));
+        for _ in 0..nover {
+            let marker = *buf
+                .get(*pos)
+                .ok_or_else(|| RelError::Snapshot("overflow truncated".into()))?;
+            *pos += 1;
+            if marker == 0 {
+                overflow.push(None);
+            } else {
+                let len = read_varint(buf, pos)? as usize;
+                let end = *pos + len;
+                let bytes = buf
+                    .get(*pos..end)
+                    .ok_or_else(|| RelError::Snapshot("overflow record truncated".into()))?;
+                *pos = end;
+                overflow.push(Some(bytes.to_vec()));
+            }
+        }
+        let mut heap = Heap {
+            pages,
+            overflow,
+            live_records: 0,
+        };
+        heap.live_records = heap.scan().count();
+        Ok(heap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_delete() {
+        let mut h = Heap::new();
+        let a = h.insert(b"alpha").unwrap();
+        let b = h.insert(b"beta").unwrap();
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.get(a).unwrap(), b"alpha");
+        assert!(h.delete(a));
+        assert!(!h.delete(a));
+        assert!(h.get(a).is_none());
+        assert_eq!(h.get(b).unwrap(), b"beta");
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn large_records_spill_to_overflow() {
+        let mut h = Heap::new();
+        let big = vec![9u8; PAGE_SIZE * 3];
+        let id = h.insert(&big).unwrap();
+        assert!(id.is_overflow());
+        assert_eq!(h.get(id).unwrap(), &big[..]);
+        assert!(h.delete(id));
+        assert!(h.get(id).is_none());
+    }
+
+    #[test]
+    fn scan_visits_inline_and_overflow() {
+        let mut h = Heap::new();
+        h.insert(b"small").unwrap();
+        h.insert(&vec![1u8; PAGE_SIZE]).unwrap();
+        h.insert(b"small2").unwrap();
+        let recs: Vec<_> = h.scan().map(|(_, r)| r.len()).collect();
+        assert_eq!(recs.len(), 3);
+        assert!(recs.contains(&PAGE_SIZE));
+    }
+
+    #[test]
+    fn spans_multiple_pages() {
+        let mut h = Heap::new();
+        let rec = vec![0u8; 3000];
+        let ids: Vec<_> = (0..10).map(|_| h.insert(&rec).unwrap()).collect();
+        assert!(ids.iter().any(|id| id.page > 0), "should use several pages");
+        for id in ids {
+            assert_eq!(h.get(id).unwrap().len(), 3000);
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut h = Heap::new();
+        let a = h.insert(b"one").unwrap();
+        let b = h.insert(&vec![5u8; PAGE_SIZE]).unwrap();
+        let c = h.insert(b"three").unwrap();
+        h.delete(a);
+        let snap = h.to_snapshot();
+        let mut pos = 0;
+        let back = Heap::from_snapshot(&snap, &mut pos).unwrap();
+        assert_eq!(pos, snap.len());
+        assert_eq!(back.len(), 2);
+        assert!(back.get(a).is_none());
+        assert_eq!(back.get(b).unwrap(), &vec![5u8; PAGE_SIZE][..]);
+        assert_eq!(back.get(c).unwrap(), b"three");
+    }
+
+    #[test]
+    fn vacuum_preserves_live_rows() {
+        let mut h = Heap::new();
+        let ids: Vec<_> = (0..20)
+            .map(|i| h.insert(&vec![i as u8; 3000]).unwrap())
+            .collect();
+        for id in ids.iter().step_by(2) {
+            h.delete(*id);
+        }
+        h.vacuum();
+        for (i, id) in ids.iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(h.get(*id).is_none());
+            } else {
+                assert_eq!(h.get(*id).unwrap(), &vec![i as u8; 3000][..]);
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # sensormeta-relstore
+//!
+//! An embedded relational storage engine: the substrate beneath the Sensor
+//! Metadata Repository. It provides slotted-page heap storage, B-tree
+//! secondary indexes, a typed schema layer, and a SQL subset (DDL + DML +
+//! SELECT with joins, grouping, and ordering), plus snapshot persistence.
+//!
+//! The engine plays the role MySQL plays under Semantic MediaWiki in the
+//! paper's deployment: the system of record for wiki pages, semantic
+//! annotations, and link tables, queried through SQL by the query-management
+//! layer.
+//!
+//! ```
+//! use sensormeta_relstore::Database;
+//!
+//! let mut db = Database::new();
+//! db.execute("CREATE TABLE sensors (id INTEGER PRIMARY KEY, name TEXT NOT NULL)").unwrap();
+//! db.execute("INSERT INTO sensors VALUES (1, 'wfj_temp'), (2, 'wfj_wind')").unwrap();
+//! let rs = db.query("SELECT name FROM sensors ORDER BY id DESC").unwrap();
+//! assert_eq!(rs.rows[0][0].to_string(), "wfj_wind");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod btree;
+pub mod db;
+pub mod encoding;
+pub mod error;
+pub mod heap;
+pub mod page;
+pub mod schema;
+pub mod sql;
+pub mod table;
+pub mod value;
+
+pub use db::Database;
+pub use error::{RelError, Result};
+pub use heap::RowId;
+pub use schema::{Column, TableSchema};
+pub use sql::exec::{ExecOutcome, ResultSet};
+pub use table::{IndexDef, Table};
+pub use value::{DataType, Value};

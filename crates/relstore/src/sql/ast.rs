@@ -1,0 +1,312 @@
+//! SQL abstract syntax tree.
+
+use crate::value::{DataType, Value};
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// CREATE TABLE.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<ColumnDef>,
+        /// IF NOT EXISTS flag.
+        if_not_exists: bool,
+    },
+    /// DROP TABLE.
+    DropTable {
+        /// Table name.
+        name: String,
+        /// IF EXISTS flag.
+        if_exists: bool,
+    },
+    /// CREATE `[UNIQUE]` INDEX.
+    CreateIndex {
+        /// Index name.
+        name: String,
+        /// Table the index covers.
+        table: String,
+        /// Indexed column names.
+        columns: Vec<String>,
+        /// Uniqueness constraint.
+        unique: bool,
+    },
+    /// INSERT INTO ... VALUES.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Optional explicit column list.
+        columns: Option<Vec<String>>,
+        /// Value rows; each inner Vec is one row of expressions.
+        rows: Vec<Vec<Expr>>,
+    },
+    /// UPDATE ... SET ... `[WHERE]`.
+    Update {
+        /// Target table.
+        table: String,
+        /// (column, new value expression) assignments.
+        sets: Vec<(String, Expr)>,
+        /// Optional predicate.
+        predicate: Option<Expr>,
+    },
+    /// DELETE FROM ... `[WHERE]`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Optional predicate.
+        predicate: Option<Expr>,
+    },
+    /// SELECT query.
+    Select(SelectStmt),
+    /// EXPLAIN SELECT: returns the chosen plan instead of rows.
+    Explain(SelectStmt),
+}
+
+/// Column definition inside CREATE TABLE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub ty: DataType,
+    /// NOT NULL constraint.
+    pub not_null: bool,
+    /// UNIQUE constraint.
+    pub unique: bool,
+    /// PRIMARY KEY constraint.
+    pub primary_key: bool,
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// DISTINCT flag.
+    pub distinct: bool,
+    /// Projection list.
+    pub projection: Vec<SelectItem>,
+    /// FROM clause (empty for expression-only selects like `SELECT 1+1`).
+    pub from: Option<TableRef>,
+    /// INNER / LEFT joins, applied in order.
+    pub joins: Vec<Join>,
+    /// WHERE predicate.
+    pub predicate: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate.
+    pub having: Option<Expr>,
+    /// ORDER BY items.
+    pub order_by: Vec<OrderItem>,
+    /// LIMIT row count.
+    pub limit: Option<usize>,
+    /// OFFSET row count.
+    pub offset: Option<usize>,
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// Expression with optional alias.
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// Optional output alias.
+        alias: Option<String>,
+    },
+}
+
+/// A table reference with optional alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Underlying table name.
+    pub table: String,
+    /// Alias (defaults to the table name).
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// Effective name used for qualification.
+    pub fn effective_alias(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// Join type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// INNER JOIN.
+    Inner,
+    /// LEFT OUTER JOIN.
+    Left,
+}
+
+/// One join clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// Join type.
+    pub kind: JoinKind,
+    /// Right-hand table.
+    pub table: TableRef,
+    /// ON condition.
+    pub on: Expr,
+}
+
+/// ORDER BY item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// Sort expression.
+    pub expr: Expr,
+    /// True for descending order.
+    pub desc: bool,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    Like,
+    Concat,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical NOT.
+    Not,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+/// A scalar or aggregate expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Literal(Value),
+    /// Column reference, optionally qualified by table alias.
+    Column {
+        /// Qualifier (table alias), if written.
+        table: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// `expr IS NULL` / `expr IS NOT NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// True for IS NOT NULL.
+        negated: bool,
+    },
+    /// `expr IN (v1, v2, ...)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate list.
+        list: Vec<Expr>,
+        /// True for NOT IN.
+        negated: bool,
+    },
+    /// `expr BETWEEN lo AND hi`.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        lo: Box<Expr>,
+        /// Upper bound (inclusive).
+        hi: Box<Expr>,
+        /// True for NOT BETWEEN.
+        negated: bool,
+    },
+    /// Scalar function call (LOWER, UPPER, LENGTH, ABS, COALESCE, ...).
+    Func {
+        /// Function name, lowercased.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Aggregate call; `None` argument means `COUNT(*)`.
+    Agg {
+        /// Aggregate function.
+        func: AggFunc,
+        /// Aggregated expression; `None` only for COUNT(*).
+        arg: Option<Box<Expr>>,
+        /// DISTINCT inside the aggregate.
+        distinct: bool,
+    },
+}
+
+impl Expr {
+    /// Column reference helper.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column {
+            table: None,
+            name: name.into(),
+        }
+    }
+
+    /// Literal helper.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// True if the expression (recursively) contains an aggregate call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Agg { .. } => true,
+            Expr::Literal(_) | Expr::Column { .. } => false,
+            Expr::Binary { lhs, rhs, .. } => lhs.contains_aggregate() || rhs.contains_aggregate(),
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Between { expr, lo, hi, .. } => {
+                expr.contains_aggregate() || lo.contains_aggregate() || hi.contains_aggregate()
+            }
+            Expr::Func { args, .. } => args.iter().any(Expr::contains_aggregate),
+        }
+    }
+}

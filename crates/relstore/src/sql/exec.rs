@@ -1,0 +1,932 @@
+//! Statement execution: planning and evaluation of parsed SQL against the
+//! database catalog.
+//!
+//! The SELECT pipeline is: base access path (index lookup / range scan / full
+//! scan) → nested-loop joins → WHERE filter → grouping & aggregation →
+//! HAVING → projection → DISTINCT → ORDER BY → LIMIT/OFFSET. Index access
+//! paths are chosen from sargable conjuncts on the base table; the residual
+//! predicate is always re-applied, so plan choices can never change results.
+
+use super::ast::*;
+use super::expr::{eval, truthiness, RowSchema};
+use crate::error::{RelError, Result};
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::ops::Bound;
+
+/// A materialized query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// Index of an output column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
+    }
+
+    /// Renders the result as an aligned ASCII table (the paper's "plain
+    /// tabular format" output).
+    pub fn to_ascii_table(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Value::to_string).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let sep = |out: &mut String| {
+            out.push('+');
+            for w in &widths {
+                out.push_str(&"-".repeat(w + 2));
+                out.push('+');
+            }
+            out.push('\n');
+        };
+        sep(&mut out);
+        out.push('|');
+        for (c, w) in self.columns.iter().zip(&widths) {
+            out.push_str(&format!(" {c:<w$} |"));
+        }
+        out.push('\n');
+        sep(&mut out);
+        for row in &rendered {
+            out.push('|');
+            for (c, w) in row.iter().zip(&widths) {
+                out.push_str(&format!(" {c:<w$} |"));
+            }
+            out.push('\n');
+        }
+        sep(&mut out);
+        out
+    }
+}
+
+/// Result of executing a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecOutcome {
+    /// SELECT output.
+    Rows(ResultSet),
+    /// Number of rows affected by INSERT/UPDATE/DELETE.
+    Affected(usize),
+    /// DDL success.
+    Done,
+}
+
+impl ExecOutcome {
+    /// Unwraps a row result.
+    pub fn into_rows(self) -> Result<ResultSet> {
+        match self {
+            ExecOutcome::Rows(rs) => Ok(rs),
+            other => Err(RelError::Exec(format!("expected rows, got {other:?}"))),
+        }
+    }
+
+    /// Unwraps an affected-row count.
+    pub fn affected(&self) -> usize {
+        match self {
+            ExecOutcome::Affected(n) => *n,
+            _ => 0,
+        }
+    }
+}
+
+/// The catalog of tables keyed by lowercase name.
+pub(crate) type Catalog = BTreeMap<String, Table>;
+
+/// Executes a parsed statement against a catalog.
+pub fn execute(catalog: &mut Catalog, stmt: Statement) -> Result<ExecOutcome> {
+    match stmt {
+        Statement::CreateTable {
+            name,
+            columns,
+            if_not_exists,
+        } => {
+            let key = name.to_ascii_lowercase();
+            if catalog.contains_key(&key) {
+                return if if_not_exists {
+                    Ok(ExecOutcome::Done)
+                } else {
+                    Err(RelError::TableExists(name))
+                };
+            }
+            let cols = columns
+                .into_iter()
+                .map(|c| crate::schema::Column {
+                    name: c.name,
+                    ty: c.ty,
+                    not_null: c.not_null || c.primary_key,
+                    unique: c.unique || c.primary_key,
+                    primary_key: c.primary_key,
+                })
+                .collect();
+            let schema = crate::schema::TableSchema::new(name, cols)?;
+            let table = Table::create(schema)?;
+            catalog.insert(key, table);
+            Ok(ExecOutcome::Done)
+        }
+        Statement::DropTable { name, if_exists } => {
+            let key = name.to_ascii_lowercase();
+            if catalog.remove(&key).is_none() && !if_exists {
+                return Err(RelError::NoSuchTable(name));
+            }
+            Ok(ExecOutcome::Done)
+        }
+        Statement::CreateIndex {
+            name,
+            table,
+            columns,
+            unique,
+        } => {
+            let t = catalog
+                .get_mut(&table.to_ascii_lowercase())
+                .ok_or_else(|| RelError::NoSuchTable(table.clone()))?;
+            let cols: Vec<usize> = columns
+                .iter()
+                .map(|c| {
+                    t.schema
+                        .column_index(c)
+                        .ok_or_else(|| RelError::NoSuchColumn(c.clone()))
+                })
+                .collect::<Result<_>>()?;
+            t.create_index(crate::table::IndexDef {
+                name,
+                columns: cols,
+                unique,
+            })?;
+            Ok(ExecOutcome::Done)
+        }
+        Statement::Insert {
+            table,
+            columns,
+            rows,
+        } => {
+            let t = catalog
+                .get_mut(&table.to_ascii_lowercase())
+                .ok_or_else(|| RelError::NoSuchTable(table.clone()))?;
+            let arity = t.schema.arity();
+            let positions: Vec<usize> = match &columns {
+                None => (0..arity).collect(),
+                Some(cols) => cols
+                    .iter()
+                    .map(|c| {
+                        t.schema
+                            .column_index(c)
+                            .ok_or_else(|| RelError::NoSuchColumn(c.clone()))
+                    })
+                    .collect::<Result<_>>()?,
+            };
+            let empty_schema = RowSchema::default();
+            let mut n = 0usize;
+            for row_exprs in rows {
+                if row_exprs.len() != positions.len() {
+                    return Err(RelError::ArityMismatch {
+                        expected: positions.len(),
+                        found: row_exprs.len(),
+                    });
+                }
+                let mut row = vec![Value::Null; arity];
+                for (expr, &pos) in row_exprs.iter().zip(&positions) {
+                    row[pos] = eval(expr, &empty_schema, &[])?;
+                }
+                t.insert(row)?;
+                n += 1;
+            }
+            Ok(ExecOutcome::Affected(n))
+        }
+        Statement::Update {
+            table,
+            sets,
+            predicate,
+        } => {
+            let t = catalog
+                .get_mut(&table.to_ascii_lowercase())
+                .ok_or_else(|| RelError::NoSuchTable(table.clone()))?;
+            let schema = row_schema_for(t, t.schema.name.clone());
+            let set_ix: Vec<(usize, &Expr)> = sets
+                .iter()
+                .map(|(c, e)| {
+                    t.schema
+                        .column_index(c)
+                        .map(|ix| (ix, e))
+                        .ok_or_else(|| RelError::NoSuchColumn(c.clone()))
+                })
+                .collect::<Result<_>>()?;
+            // Materialize matching rows first: mutating while scanning would
+            // alias the heap.
+            let mut targets = Vec::new();
+            for (rid, row) in t.scan() {
+                if predicate_matches(&predicate, &schema, &row)? {
+                    targets.push((rid, row));
+                }
+            }
+            let n = targets.len();
+            for (rid, old_row) in targets {
+                let mut new_row = old_row.clone();
+                for (ix, e) in &set_ix {
+                    new_row[*ix] = eval(e, &schema, &old_row)?;
+                }
+                t.update(rid, new_row)?;
+            }
+            Ok(ExecOutcome::Affected(n))
+        }
+        Statement::Delete { table, predicate } => {
+            let t = catalog
+                .get_mut(&table.to_ascii_lowercase())
+                .ok_or_else(|| RelError::NoSuchTable(table.clone()))?;
+            let schema = row_schema_for(t, t.schema.name.clone());
+            let mut targets = Vec::new();
+            for (rid, row) in t.scan() {
+                if predicate_matches(&predicate, &schema, &row)? {
+                    targets.push(rid);
+                }
+            }
+            let n = targets.len();
+            for rid in targets {
+                t.delete(rid)?;
+            }
+            Ok(ExecOutcome::Affected(n))
+        }
+        Statement::Select(sel) => Ok(ExecOutcome::Rows(execute_select(catalog, &sel)?)),
+        Statement::Explain(sel) => Ok(ExecOutcome::Rows(explain_select(catalog, &sel)?)),
+    }
+}
+
+fn predicate_matches(pred: &Option<Expr>, schema: &RowSchema, row: &[Value]) -> Result<bool> {
+    match pred {
+        None => Ok(true),
+        Some(p) => Ok(truthiness(&eval(p, schema, row)?) == Some(true)),
+    }
+}
+
+fn row_schema_for(t: &Table, alias: String) -> RowSchema {
+    RowSchema::new(
+        t.schema
+            .columns
+            .iter()
+            .map(|c| (Some(alias.clone()), c.name.clone()))
+            .collect(),
+    )
+}
+
+// ---------- SELECT ----------
+
+/// Executes a SELECT against an immutable catalog.
+pub fn execute_select(catalog: &Catalog, sel: &SelectStmt) -> Result<ResultSet> {
+    // 1. FROM + access path.
+    let (mut schema, mut rows) = match &sel.from {
+        None => (RowSchema::default(), vec![Vec::new()]),
+        Some(tref) => base_scan(catalog, tref, sel.predicate.as_ref())?,
+    };
+
+    // 2. Joins (nested loop; LEFT pads with NULLs).
+    for join in &sel.joins {
+        let t = lookup(catalog, &join.table.table)?;
+        let right_schema = row_schema_for(t, join.table.effective_alias().to_owned());
+        let right_rows: Vec<Vec<Value>> = t.scan().map(|(_, r)| r).collect();
+        let joined_schema = schema.concat(&right_schema);
+        let mut out = Vec::new();
+        for left in &rows {
+            let mut matched = false;
+            for right in &right_rows {
+                let mut combined = left.clone();
+                combined.extend(right.iter().cloned());
+                if truthiness(&eval(&join.on, &joined_schema, &combined)?) == Some(true) {
+                    matched = true;
+                    out.push(combined);
+                }
+            }
+            if !matched && join.kind == JoinKind::Left {
+                let mut combined = left.clone();
+                combined.extend(std::iter::repeat_n(Value::Null, right_schema.len()));
+                out.push(combined);
+            }
+        }
+        schema = joined_schema;
+        rows = out;
+    }
+
+    // 3. WHERE.
+    if let Some(pred) = &sel.predicate {
+        let mut kept = Vec::with_capacity(rows.len());
+        for row in rows {
+            if truthiness(&eval(pred, &schema, &row)?) == Some(true) {
+                kept.push(row);
+            }
+        }
+        rows = kept;
+    }
+
+    // 4. Grouping / aggregation.
+    let has_agg = sel
+        .projection
+        .iter()
+        .any(|item| matches!(item, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+        || sel.having.as_ref().is_some_and(Expr::contains_aggregate)
+        || sel.order_by.iter().any(|o| o.expr.contains_aggregate());
+    let grouped = !sel.group_by.is_empty() || has_agg;
+
+    let (out_columns, mut out_rows) = if grouped {
+        grouped_output(sel, &schema, &rows)?
+    } else {
+        plain_output(sel, &schema, &rows)?
+    };
+
+    // 6. DISTINCT.
+    if sel.distinct {
+        let mut seen = HashSet::new();
+        out_rows.retain(|(out, _)| seen.insert(out.clone()));
+    }
+
+    // 7. ORDER BY (keys were precomputed per row by the output builders).
+    if !sel.order_by.is_empty() {
+        let descs: Vec<bool> = sel.order_by.iter().map(|o| o.desc).collect();
+        out_rows.sort_by(|(_, ka), (_, kb)| {
+            for (i, (a, b)) in ka.iter().zip(kb.iter()).enumerate() {
+                let ord = a.cmp(b);
+                if ord != std::cmp::Ordering::Equal {
+                    return if descs[i] { ord.reverse() } else { ord };
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    // 8. OFFSET / LIMIT.
+    let offset = sel.offset.unwrap_or(0);
+    let mut final_rows: Vec<Vec<Value>> = out_rows.into_iter().map(|(r, _)| r).collect();
+    if offset > 0 {
+        final_rows.drain(..offset.min(final_rows.len()));
+    }
+    if let Some(limit) = sel.limit {
+        final_rows.truncate(limit);
+    }
+
+    Ok(ResultSet {
+        columns: out_columns,
+        rows: final_rows,
+    })
+}
+
+fn lookup<'a>(catalog: &'a Catalog, name: &str) -> Result<&'a Table> {
+    catalog
+        .get(&name.to_ascii_lowercase())
+        .ok_or_else(|| RelError::NoSuchTable(name.to_owned()))
+}
+
+/// Renders the plan a SELECT would run, one step per row — the
+/// observability hook that lets tests (and users) verify an index is
+/// actually chosen.
+pub fn explain_select(catalog: &Catalog, sel: &SelectStmt) -> Result<ResultSet> {
+    let mut steps: Vec<String> = Vec::new();
+    match &sel.from {
+        None => steps.push("ConstantRow".to_owned()),
+        Some(tref) => {
+            let t = lookup(catalog, &tref.table)?;
+            let alias = tref.effective_alias();
+            let access = sel
+                .predicate
+                .as_ref()
+                .and_then(|p| find_sargable(p, alias, t))
+                .and_then(|(col, bound)| {
+                    t.index_on_column(col).map(|(def, _)| {
+                        let kind = match bound {
+                            SargBound::Eq(_) => "eq",
+                            SargBound::Range(..) => "range",
+                        };
+                        format!(
+                            "IndexScan {} via {} ({kind} on {})",
+                            t.schema.name, def.name, t.schema.columns[col].name
+                        )
+                    })
+                });
+            steps.push(access.unwrap_or_else(|| format!("SeqScan {}", t.schema.name)));
+        }
+    }
+    for join in &sel.joins {
+        let t = lookup(catalog, &join.table.table)?;
+        let kind = match join.kind {
+            JoinKind::Inner => "Inner",
+            JoinKind::Left => "Left",
+        };
+        steps.push(format!("NestedLoop{kind}Join {}", t.schema.name));
+    }
+    if sel.predicate.is_some() {
+        steps.push("Filter".to_owned());
+    }
+    let has_agg = sel
+        .projection
+        .iter()
+        .any(|item| matches!(item, SelectItem::Expr { expr, .. } if expr.contains_aggregate()))
+        || sel.having.as_ref().is_some_and(Expr::contains_aggregate);
+    if !sel.group_by.is_empty() || has_agg {
+        steps.push(format!(
+            "HashAggregate (group by {} keys)",
+            sel.group_by.len()
+        ));
+    }
+    if sel.having.is_some() {
+        steps.push("HavingFilter".to_owned());
+    }
+    steps.push("Project".to_owned());
+    if sel.distinct {
+        steps.push("Distinct".to_owned());
+    }
+    if !sel.order_by.is_empty() {
+        steps.push(format!("Sort ({} keys)", sel.order_by.len()));
+    }
+    if sel.offset.is_some() || sel.limit.is_some() {
+        steps.push(format!(
+            "LimitOffset (limit {:?}, offset {:?})",
+            sel.limit, sel.offset
+        ));
+    }
+    Ok(ResultSet {
+        columns: vec!["plan".to_owned()],
+        rows: steps.into_iter().map(|s| vec![Value::Text(s)]).collect(),
+    })
+}
+
+/// Scans the base table, trying an index access path derived from sargable
+/// conjuncts of the WHERE predicate. The full predicate is re-applied later,
+/// so the access path only needs to be a superset of matching rows.
+fn base_scan(
+    catalog: &Catalog,
+    tref: &TableRef,
+    predicate: Option<&Expr>,
+) -> Result<(RowSchema, Vec<Vec<Value>>)> {
+    let t = lookup(catalog, &tref.table)?;
+    let alias = tref.effective_alias().to_owned();
+    let schema = row_schema_for(t, alias.clone());
+
+    if let Some(pred) = predicate {
+        if let Some((col_ix, bound)) = find_sargable(pred, &alias, t) {
+            if let Some((_, index)) = t.index_on_column(col_ix) {
+                let rids: Vec<_> = match &bound {
+                    SargBound::Eq(v) => index.get(&vec![v.clone()]),
+                    SargBound::Range(lo, hi) => {
+                        let lo_key = lo.as_ref().map(|(v, incl)| (vec![v.clone()], *incl));
+                        let hi_key = hi.as_ref().map(|(v, incl)| (vec![v.clone()], *incl));
+                        let lo_bound = match &lo_key {
+                            None => Bound::Unbounded,
+                            Some((k, true)) => Bound::Included(k),
+                            Some((k, false)) => Bound::Excluded(k),
+                        };
+                        let hi_bound = match &hi_key {
+                            None => Bound::Unbounded,
+                            Some((k, true)) => Bound::Included(k),
+                            Some((k, false)) => Bound::Excluded(k),
+                        };
+                        index
+                            .range(lo_bound, hi_bound)
+                            .into_iter()
+                            .map(|(_, rid)| rid)
+                            .collect()
+                    }
+                };
+                let mut rows = Vec::with_capacity(rids.len());
+                for rid in rids {
+                    if let Some(row) = t.get(rid)? {
+                        rows.push(row);
+                    }
+                }
+                return Ok((schema, rows));
+            }
+        }
+    }
+    Ok((schema, t.scan().map(|(_, r)| r).collect()))
+}
+
+/// A usable index bound extracted from the predicate.
+enum SargBound {
+    Eq(Value),
+    /// (lower, upper), each (value, inclusive).
+    Range(Option<(Value, bool)>, Option<(Value, bool)>),
+}
+
+/// Finds one sargable conjunct `col OP literal` for the base table. Walks AND
+/// chains only — a disjunction can't be served by a single index probe here.
+fn find_sargable(pred: &Expr, alias: &str, t: &Table) -> Option<(usize, SargBound)> {
+    match pred {
+        Expr::Binary {
+            op: BinOp::And,
+            lhs,
+            rhs,
+        } => find_sargable(lhs, alias, t).or_else(|| find_sargable(rhs, alias, t)),
+        Expr::Binary {
+            op: BinOp::Like,
+            lhs,
+            rhs,
+        } => {
+            // LIKE 'prefix%…' is served by a range scan over [prefix, next).
+            let Expr::Column { table, name } = &**lhs else {
+                return None;
+            };
+            let col = resolve_base(table, name, alias, t)?;
+            let Expr::Literal(Value::Text(pattern)) = &**rhs else {
+                return None;
+            };
+            let prefix: String = pattern
+                .chars()
+                .take_while(|c| *c != '%' && *c != '_')
+                .collect();
+            if prefix.is_empty() {
+                return None;
+            }
+            let upper = like_prefix_upper_bound(&prefix)?;
+            t.index_on_column(col).is_some().then_some((
+                col,
+                SargBound::Range(
+                    Some((Value::Text(prefix), true)),
+                    Some((Value::Text(upper), false)),
+                ),
+            ))
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let (col, lit, flipped) = match (&**lhs, &**rhs) {
+                (Expr::Column { table, name }, Expr::Literal(v)) => {
+                    (resolve_base(table, name, alias, t)?, v.clone(), false)
+                }
+                (Expr::Literal(v), Expr::Column { table, name }) => {
+                    (resolve_base(table, name, alias, t)?, v.clone(), true)
+                }
+                _ => return None,
+            };
+            if lit.is_null() {
+                return None;
+            }
+            let bound = match (op, flipped) {
+                (BinOp::Eq, _) => SargBound::Eq(lit),
+                (BinOp::Lt, false) | (BinOp::Gt, true) => {
+                    SargBound::Range(None, Some((lit, false)))
+                }
+                (BinOp::Le, false) | (BinOp::Ge, true) => SargBound::Range(None, Some((lit, true))),
+                (BinOp::Gt, false) | (BinOp::Lt, true) => {
+                    SargBound::Range(Some((lit, false)), None)
+                }
+                (BinOp::Ge, false) | (BinOp::Le, true) => SargBound::Range(Some((lit, true)), None),
+                _ => return None,
+            };
+            // Only usable when an index actually exists on that column.
+            t.index_on_column(col).is_some().then_some((col, bound))
+        }
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated: false,
+        } => {
+            let Expr::Column { table, name } = &**expr else {
+                return None;
+            };
+            let col = resolve_base(table, name, alias, t)?;
+            let (Expr::Literal(lov), Expr::Literal(hiv)) = (&**lo, &**hi) else {
+                return None;
+            };
+            if lov.is_null() || hiv.is_null() {
+                return None;
+            }
+            t.index_on_column(col).is_some().then(|| {
+                (
+                    col,
+                    SargBound::Range(Some((lov.clone(), true)), Some((hiv.clone(), true))),
+                )
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Smallest string strictly greater than every string with this prefix.
+fn like_prefix_upper_bound(prefix: &str) -> Option<String> {
+    let mut chars: Vec<char> = prefix.chars().collect();
+    while let Some(last) = chars.pop() {
+        if let Some(next) = char::from_u32(last as u32 + 1) {
+            chars.push(next);
+            return Some(chars.into_iter().collect());
+        }
+    }
+    None
+}
+
+fn resolve_base(table: &Option<String>, name: &str, alias: &str, t: &Table) -> Option<usize> {
+    if let Some(q) = table {
+        if !q.eq_ignore_ascii_case(alias) {
+            return None;
+        }
+    }
+    t.schema.column_index(name)
+}
+
+// ---------- projection ----------
+
+type KeyedRows = Vec<(Vec<Value>, Vec<Value>)>; // (output row, sort keys)
+
+/// Output column names for a projection.
+fn projection_names(sel: &SelectStmt, schema: &RowSchema) -> Vec<String> {
+    let mut names = Vec::new();
+    for item in &sel.projection {
+        match item {
+            SelectItem::Wildcard => {
+                names.extend(schema.columns().iter().map(|(_, n)| n.clone()));
+            }
+            SelectItem::QualifiedWildcard(alias) => {
+                for ix in schema.slots_of(alias) {
+                    names.push(schema.columns()[ix].1.clone());
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                names.push(alias.clone().unwrap_or_else(|| render_expr_name(expr)));
+            }
+        }
+    }
+    names
+}
+
+fn render_expr_name(expr: &Expr) -> String {
+    match expr {
+        Expr::Column { name, .. } => name.clone(),
+        Expr::Literal(v) => v.to_string(),
+        Expr::Agg { func, arg, .. } => {
+            let f = match func {
+                AggFunc::Count => "count",
+                AggFunc::Sum => "sum",
+                AggFunc::Avg => "avg",
+                AggFunc::Min => "min",
+                AggFunc::Max => "max",
+            };
+            match arg {
+                None => format!("{f}(*)"),
+                Some(a) => format!("{f}({})", render_expr_name(a)),
+            }
+        }
+        Expr::Func { name, .. } => format!("{name}(..)"),
+        _ => "expr".to_owned(),
+    }
+}
+
+/// Projects ungrouped rows, also computing ORDER BY sort keys.
+fn plain_output(
+    sel: &SelectStmt,
+    schema: &RowSchema,
+    rows: &[Vec<Value>],
+) -> Result<(Vec<String>, KeyedRows)> {
+    let names = projection_names(sel, schema);
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        let mut orow = Vec::new();
+        for item in &sel.projection {
+            match item {
+                SelectItem::Wildcard => orow.extend(row.iter().cloned()),
+                SelectItem::QualifiedWildcard(alias) => {
+                    let slots = schema.slots_of(alias);
+                    if slots.is_empty() {
+                        return Err(RelError::Exec(format!("unknown table alias `{alias}`")));
+                    }
+                    orow.extend(slots.into_iter().map(|ix| row[ix].clone()));
+                }
+                SelectItem::Expr { expr, .. } => orow.push(eval(expr, schema, row)?),
+            }
+        }
+        let keys = order_keys(sel, schema, row, &names, &orow, None)?;
+        out.push((orow, keys));
+    }
+    Ok((names, out))
+}
+
+/// Projects grouped rows: groups by GROUP BY keys, folds aggregates, applies
+/// HAVING, computes sort keys.
+fn grouped_output(
+    sel: &SelectStmt,
+    schema: &RowSchema,
+    rows: &[Vec<Value>],
+) -> Result<(Vec<String>, KeyedRows)> {
+    // Build groups preserving first-seen order.
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: HashMap<Vec<Value>, Vec<Vec<Value>>> = HashMap::new();
+    if sel.group_by.is_empty() {
+        // Single global group (possibly empty).
+        order.push(Vec::new());
+        groups.insert(Vec::new(), rows.to_vec());
+    } else {
+        for row in rows {
+            let key: Vec<Value> = sel
+                .group_by
+                .iter()
+                .map(|e| eval(e, schema, row))
+                .collect::<Result<_>>()?;
+            groups.entry(key.clone()).or_insert_with(|| {
+                order.push(key.clone());
+                Vec::new()
+            });
+            groups
+                .get_mut(&key)
+                .expect("just inserted")
+                .push(row.clone());
+        }
+    }
+
+    let names = projection_names(sel, schema);
+    let null_row = vec![Value::Null; schema.len()];
+    let mut out = Vec::new();
+    for key in order {
+        let group = &groups[&key];
+        let rep: &[Value] = group.first().map(|r| r.as_slice()).unwrap_or(&null_row);
+        if let Some(having) = &sel.having {
+            let folded = fold_aggs(having, schema, group)?;
+            if truthiness(&eval(&folded, schema, rep)?) != Some(true) {
+                continue;
+            }
+        }
+        let mut orow = Vec::new();
+        for item in &sel.projection {
+            match item {
+                SelectItem::Wildcard => orow.extend(rep.iter().cloned()),
+                SelectItem::QualifiedWildcard(alias) => {
+                    orow.extend(schema.slots_of(alias).into_iter().map(|ix| rep[ix].clone()));
+                }
+                SelectItem::Expr { expr, .. } => {
+                    let folded = fold_aggs(expr, schema, group)?;
+                    orow.push(eval(&folded, schema, rep)?);
+                }
+            }
+        }
+        let keys = order_keys(sel, schema, rep, &names, &orow, Some(group))?;
+        out.push((orow, keys));
+    }
+    Ok((names, out))
+}
+
+/// Computes ORDER BY sort keys for one output row. An order expression that is
+/// a bare column matching an output alias sorts by the output value; a bare
+/// positive integer literal is positional; anything else evaluates against the
+/// source row (folding aggregates in grouped mode).
+fn order_keys(
+    sel: &SelectStmt,
+    schema: &RowSchema,
+    src_row: &[Value],
+    out_names: &[String],
+    out_row: &[Value],
+    group: Option<&Vec<Vec<Value>>>,
+) -> Result<Vec<Value>> {
+    let mut keys = Vec::with_capacity(sel.order_by.len());
+    for item in &sel.order_by {
+        // Positional: ORDER BY 2.
+        if let Expr::Literal(Value::Int(n)) = &item.expr {
+            let ix = *n as usize;
+            if ix >= 1 && ix <= out_row.len() {
+                keys.push(out_row[ix - 1].clone());
+                continue;
+            }
+        }
+        // Output alias.
+        if let Expr::Column { table: None, name } = &item.expr {
+            if schema.resolve(None, name).is_err() {
+                if let Some(pos) = out_names.iter().position(|c| c.eq_ignore_ascii_case(name)) {
+                    keys.push(out_row[pos].clone());
+                    continue;
+                }
+            }
+        }
+        let v = match group {
+            Some(g) => {
+                let folded = fold_aggs(&item.expr, schema, g)?;
+                eval(&folded, schema, src_row)?
+            }
+            None => eval(&item.expr, schema, src_row)?,
+        };
+        keys.push(v);
+    }
+    Ok(keys)
+}
+
+/// Replaces every aggregate node in `expr` with the literal computed over the
+/// group's rows.
+fn fold_aggs(expr: &Expr, schema: &RowSchema, group: &[Vec<Value>]) -> Result<Expr> {
+    Ok(match expr {
+        Expr::Agg {
+            func,
+            arg,
+            distinct,
+        } => Expr::Literal(compute_agg(
+            *func,
+            arg.as_deref(),
+            *distinct,
+            schema,
+            group,
+        )?),
+        Expr::Literal(_) | Expr::Column { .. } => expr.clone(),
+        Expr::Binary { op, lhs, rhs } => Expr::Binary {
+            op: *op,
+            lhs: Box::new(fold_aggs(lhs, schema, group)?),
+            rhs: Box::new(fold_aggs(rhs, schema, group)?),
+        },
+        Expr::Unary { op, expr: e } => Expr::Unary {
+            op: *op,
+            expr: Box::new(fold_aggs(e, schema, group)?),
+        },
+        Expr::IsNull { expr: e, negated } => Expr::IsNull {
+            expr: Box::new(fold_aggs(e, schema, group)?),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr: e,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(fold_aggs(e, schema, group)?),
+            list: list
+                .iter()
+                .map(|i| fold_aggs(i, schema, group))
+                .collect::<Result<_>>()?,
+            negated: *negated,
+        },
+        Expr::Between {
+            expr: e,
+            lo,
+            hi,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(fold_aggs(e, schema, group)?),
+            lo: Box::new(fold_aggs(lo, schema, group)?),
+            hi: Box::new(fold_aggs(hi, schema, group)?),
+            negated: *negated,
+        },
+        Expr::Func { name, args } => Expr::Func {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| fold_aggs(a, schema, group))
+                .collect::<Result<_>>()?,
+        },
+    })
+}
+
+fn compute_agg(
+    func: AggFunc,
+    arg: Option<&Expr>,
+    distinct: bool,
+    schema: &RowSchema,
+    group: &[Vec<Value>],
+) -> Result<Value> {
+    // COUNT(*) counts rows including NULLs.
+    let Some(arg) = arg else {
+        return Ok(Value::Int(group.len() as i64));
+    };
+    let mut vals = Vec::with_capacity(group.len());
+    for row in group {
+        let v = eval(arg, schema, row)?;
+        if !v.is_null() {
+            vals.push(v);
+        }
+    }
+    if distinct {
+        let mut seen = HashSet::new();
+        vals.retain(|v| seen.insert(v.clone()));
+    }
+    Ok(match func {
+        AggFunc::Count => Value::Int(vals.len() as i64),
+        AggFunc::Min => vals.into_iter().min().unwrap_or(Value::Null),
+        AggFunc::Max => vals.into_iter().max().unwrap_or(Value::Null),
+        AggFunc::Sum | AggFunc::Avg => {
+            if vals.is_empty() {
+                return Ok(Value::Null);
+            }
+            let all_int = vals.iter().all(|v| matches!(v, Value::Int(_)));
+            if all_int && func == AggFunc::Sum {
+                let mut acc = 0i64;
+                for v in &vals {
+                    acc = acc
+                        .checked_add(v.as_int().expect("all ints"))
+                        .ok_or_else(|| RelError::Exec("SUM overflow".into()))?;
+                }
+                Value::Int(acc)
+            } else {
+                let mut acc = 0f64;
+                let n = vals.len() as f64;
+                for v in &vals {
+                    acc += v
+                        .as_float()
+                        .ok_or_else(|| RelError::Exec("SUM/AVG of non-number".into()))?;
+                }
+                if func == AggFunc::Avg {
+                    Value::float(acc / n)
+                } else {
+                    Value::float(acc)
+                }
+            }
+        }
+    })
+}

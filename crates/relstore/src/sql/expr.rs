@@ -1,0 +1,556 @@
+//! Expression evaluation over named rows.
+
+use super::ast::{BinOp, Expr, UnOp};
+use crate::error::{RelError, Result};
+use crate::value::Value;
+
+/// Schema of a runtime row: `(table alias, column name)` per slot.
+#[derive(Debug, Clone, Default)]
+pub struct RowSchema {
+    cols: Vec<(Option<String>, String)>,
+}
+
+impl RowSchema {
+    /// Creates a schema from `(alias, column)` pairs.
+    pub fn new(cols: Vec<(Option<String>, String)>) -> RowSchema {
+        RowSchema { cols }
+    }
+
+    /// Appends a column; used when building join outputs.
+    pub fn push(&mut self, table: Option<String>, name: String) {
+        self.cols.push((table, name));
+    }
+
+    /// Concatenates two schemas (join output).
+    pub fn concat(&self, other: &RowSchema) -> RowSchema {
+        let mut cols = self.cols.clone();
+        cols.extend(other.cols.iter().cloned());
+        RowSchema { cols }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// True when the schema has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// All slots.
+    pub fn columns(&self) -> &[(Option<String>, String)] {
+        &self.cols
+    }
+
+    /// Resolves a column reference to a slot index. Unqualified names must be
+    /// unambiguous across all tables in scope.
+    pub fn resolve(&self, table: Option<&str>, name: &str) -> Result<usize> {
+        let mut found = None;
+        for (ix, (t, n)) in self.cols.iter().enumerate() {
+            if !n.eq_ignore_ascii_case(name) {
+                continue;
+            }
+            if let Some(q) = table {
+                if t.as_deref().is_some_and(|ta| ta.eq_ignore_ascii_case(q)) {
+                    return Ok(ix);
+                }
+            } else {
+                if found.is_some() {
+                    return Err(RelError::Exec(format!("ambiguous column `{name}`")));
+                }
+                found = Some(ix);
+            }
+        }
+        found.ok_or_else(|| {
+            let full = match table {
+                Some(t) => format!("{t}.{name}"),
+                None => name.to_owned(),
+            };
+            RelError::NoSuchColumn(full)
+        })
+    }
+
+    /// Indices of all slots belonging to a table alias.
+    pub fn slots_of(&self, alias: &str) -> Vec<usize> {
+        self.cols
+            .iter()
+            .enumerate()
+            .filter(|(_, (t, _))| t.as_deref().is_some_and(|a| a.eq_ignore_ascii_case(alias)))
+            .map(|(ix, _)| ix)
+            .collect()
+    }
+}
+
+/// Evaluates a scalar expression against one row. Aggregates are rejected —
+/// the executor's grouping pass replaces them before calling this.
+pub fn eval(expr: &Expr, schema: &RowSchema, row: &[Value]) -> Result<Value> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column { table, name } => {
+            let ix = schema.resolve(table.as_deref(), name)?;
+            Ok(row[ix].clone())
+        }
+        Expr::Unary { op, expr } => {
+            let v = eval(expr, schema, row)?;
+            match op {
+                UnOp::Neg => match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Int(i) => Ok(Value::Int(-i)),
+                    Value::Float(x) => Ok(Value::float(-x)),
+                    other => Err(RelError::Exec(format!("cannot negate {other:?}"))),
+                },
+                UnOp::Not => match truthiness(&v) {
+                    None => Ok(Value::Null),
+                    Some(b) => Ok(Value::Bool(!b)),
+                },
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => eval_binary(*op, lhs, rhs, schema, row),
+        Expr::IsNull { expr, negated } => {
+            let v = eval(expr, schema, row)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval(expr, schema, row)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let iv = eval(item, schema, row)?;
+                match v.sql_eq(&iv) {
+                    Some(true) => return Ok(Value::Bool(!negated)),
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Bool(*negated))
+            }
+        }
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => {
+            let v = eval(expr, schema, row)?;
+            let lov = eval(lo, schema, row)?;
+            let hiv = eval(hi, schema, row)?;
+            match (v.sql_cmp(&lov), v.sql_cmp(&hiv)) {
+                (Some(a), Some(b)) => {
+                    let inside = a != std::cmp::Ordering::Less && b != std::cmp::Ordering::Greater;
+                    Ok(Value::Bool(inside != *negated))
+                }
+                _ => Ok(Value::Null),
+            }
+        }
+        Expr::Func { name, args } => {
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval(a, schema, row))
+                .collect::<Result<_>>()?;
+            eval_function(name, &vals)
+        }
+        Expr::Agg { .. } => Err(RelError::Exec(
+            "aggregate used outside GROUP BY context".into(),
+        )),
+    }
+}
+
+/// SQL truthiness: NULL → None, numbers are truthy when non-zero.
+pub fn truthiness(v: &Value) -> Option<bool> {
+    match v {
+        Value::Null => None,
+        Value::Bool(b) => Some(*b),
+        Value::Int(i) => Some(*i != 0),
+        Value::Float(x) => Some(*x != 0.0),
+        Value::Text(s) => Some(!s.is_empty()),
+    }
+}
+
+fn eval_binary(
+    op: BinOp,
+    lhs: &Expr,
+    rhs: &Expr,
+    schema: &RowSchema,
+    row: &[Value],
+) -> Result<Value> {
+    // AND/OR need three-valued logic with short-circuit.
+    if matches!(op, BinOp::And | BinOp::Or) {
+        let l = truthiness(&eval(lhs, schema, row)?);
+        match (op, l) {
+            (BinOp::And, Some(false)) => return Ok(Value::Bool(false)),
+            (BinOp::Or, Some(true)) => return Ok(Value::Bool(true)),
+            _ => {}
+        }
+        let r = truthiness(&eval(rhs, schema, row)?);
+        return Ok(match (op, l, r) {
+            (BinOp::And, Some(a), Some(b)) => Value::Bool(a && b),
+            (BinOp::And, Some(false), _) | (BinOp::And, _, Some(false)) => Value::Bool(false),
+            (BinOp::Or, Some(a), Some(b)) => Value::Bool(a || b),
+            (BinOp::Or, Some(true), _) | (BinOp::Or, _, Some(true)) => Value::Bool(true),
+            _ => Value::Null,
+        });
+    }
+    let l = eval(lhs, schema, row)?;
+    let r = eval(rhs, schema, row)?;
+    match op {
+        BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let Some(ord) = l.sql_cmp(&r) else {
+                return Ok(Value::Null);
+            };
+            use std::cmp::Ordering::*;
+            let b = match op {
+                BinOp::Eq => ord == Equal,
+                BinOp::Neq => ord != Equal,
+                BinOp::Lt => ord == Less,
+                BinOp::Le => ord != Greater,
+                BinOp::Gt => ord == Greater,
+                BinOp::Ge => ord != Less,
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(b))
+        }
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => arith(op, &l, &r),
+        BinOp::Concat => {
+            if l.is_null() || r.is_null() {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Text(format!("{l}{r}")))
+            }
+        }
+        BinOp::Like => match (l, r) {
+            (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+            (Value::Text(s), Value::Text(p)) => Ok(Value::Bool(like_match(&p, &s))),
+            (a, b) => Err(RelError::Exec(format!(
+                "LIKE needs text operands, got {a:?} / {b:?}"
+            ))),
+        },
+        BinOp::And | BinOp::Or => unreachable!("handled above"),
+    }
+}
+
+fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => {
+            let a = *a;
+            let b = *b;
+            let out = match op {
+                BinOp::Add => a.checked_add(b),
+                BinOp::Sub => a.checked_sub(b),
+                BinOp::Mul => a.checked_mul(b),
+                BinOp::Div => {
+                    if b == 0 {
+                        return Ok(Value::Null); // SQL-style: x/0 → NULL
+                    }
+                    a.checked_div(b)
+                }
+                BinOp::Mod => {
+                    if b == 0 {
+                        return Ok(Value::Null);
+                    }
+                    a.checked_rem(b)
+                }
+                _ => unreachable!(),
+            };
+            out.map(Value::Int)
+                .ok_or_else(|| RelError::Exec("integer overflow".into()))
+        }
+        _ => {
+            let (Some(a), Some(b)) = (l.as_float(), r.as_float()) else {
+                return Err(RelError::Exec(format!(
+                    "arithmetic on non-numeric values {l:?} / {r:?}"
+                )));
+            };
+            let out = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => {
+                    if b == 0.0 {
+                        return Ok(Value::Null);
+                    }
+                    a / b
+                }
+                BinOp::Mod => {
+                    if b == 0.0 {
+                        return Ok(Value::Null);
+                    }
+                    a % b
+                }
+                _ => unreachable!(),
+            };
+            Ok(Value::float(out))
+        }
+    }
+}
+
+/// SQL LIKE matcher: `%` = any run, `_` = any single char. Case-sensitive.
+pub fn like_match(pattern: &str, text: &str) -> bool {
+    fn rec(p: &[char], t: &[char]) -> bool {
+        match p.first() {
+            None => t.is_empty(),
+            Some('%') => {
+                // Collapse consecutive %.
+                let rest = &p[1..];
+                (0..=t.len()).any(|k| rec(rest, &t[k..]))
+            }
+            Some('_') => !t.is_empty() && rec(&p[1..], &t[1..]),
+            Some(c) => t.first() == Some(c) && rec(&p[1..], &t[1..]),
+        }
+    }
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    rec(&p, &t)
+}
+
+fn eval_function(name: &str, args: &[Value]) -> Result<Value> {
+    let need = |n: usize| -> Result<()> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(RelError::Exec(format!(
+                "function {name} expects {n} argument(s), got {}",
+                args.len()
+            )))
+        }
+    };
+    match name {
+        "lower" => {
+            need(1)?;
+            Ok(match &args[0] {
+                Value::Text(s) => Value::Text(s.to_lowercase()),
+                Value::Null => Value::Null,
+                other => Value::Text(other.to_string().to_lowercase()),
+            })
+        }
+        "upper" => {
+            need(1)?;
+            Ok(match &args[0] {
+                Value::Text(s) => Value::Text(s.to_uppercase()),
+                Value::Null => Value::Null,
+                other => Value::Text(other.to_string().to_uppercase()),
+            })
+        }
+        "length" => {
+            need(1)?;
+            Ok(match &args[0] {
+                Value::Text(s) => Value::Int(s.chars().count() as i64),
+                Value::Null => Value::Null,
+                other => Value::Int(other.to_string().chars().count() as i64),
+            })
+        }
+        "abs" => {
+            need(1)?;
+            Ok(match &args[0] {
+                Value::Int(i) => Value::Int(i.checked_abs().unwrap_or(i64::MAX)),
+                Value::Float(x) => Value::Float(x.abs()),
+                Value::Null => Value::Null,
+                other => return Err(RelError::Exec(format!("abs of non-number {other:?}"))),
+            })
+        }
+        "round" => {
+            if args.len() == 1 {
+                return Ok(match &args[0] {
+                    Value::Float(x) => Value::float(x.round()),
+                    Value::Int(i) => Value::Int(*i),
+                    Value::Null => Value::Null,
+                    other => return Err(RelError::Exec(format!("round of non-number {other:?}"))),
+                });
+            }
+            need(2)?;
+            let digits = args[1]
+                .as_int()
+                .ok_or_else(|| RelError::Exec("round digits must be integer".into()))?;
+            Ok(match &args[0] {
+                Value::Float(x) => {
+                    let m = 10f64.powi(digits as i32);
+                    Value::float((x * m).round() / m)
+                }
+                Value::Int(i) => Value::Int(*i),
+                Value::Null => Value::Null,
+                other => return Err(RelError::Exec(format!("round of non-number {other:?}"))),
+            })
+        }
+        "coalesce" => Ok(args
+            .iter()
+            .find(|v| !v.is_null())
+            .cloned()
+            .unwrap_or(Value::Null)),
+        "substr" | "substring" => {
+            if args.len() != 2 && args.len() != 3 {
+                return Err(RelError::Exec("substr expects 2 or 3 arguments".into()));
+            }
+            let Value::Text(s) = &args[0] else {
+                return if args[0].is_null() {
+                    Ok(Value::Null)
+                } else {
+                    Err(RelError::Exec("substr of non-text".into()))
+                };
+            };
+            let start = args[1]
+                .as_int()
+                .ok_or_else(|| RelError::Exec("substr start must be integer".into()))?;
+            let chars: Vec<char> = s.chars().collect();
+            // SQL substr is 1-based.
+            let begin = (start.max(1) - 1) as usize;
+            let len = if args.len() == 3 {
+                args[2]
+                    .as_int()
+                    .ok_or_else(|| RelError::Exec("substr length must be integer".into()))?
+                    .max(0) as usize
+            } else {
+                chars.len().saturating_sub(begin)
+            };
+            let out: String = chars.iter().skip(begin).take(len).collect();
+            Ok(Value::Text(out))
+        }
+        "trim" => {
+            need(1)?;
+            Ok(match &args[0] {
+                Value::Text(s) => Value::Text(s.trim().to_owned()),
+                Value::Null => Value::Null,
+                other => Value::Text(other.to_string()),
+            })
+        }
+        "replace" => {
+            need(3)?;
+            match (&args[0], &args[1], &args[2]) {
+                (Value::Null, _, _) => Ok(Value::Null),
+                (Value::Text(s), Value::Text(from), Value::Text(to)) => {
+                    Ok(Value::Text(s.replace(from.as_str(), to)))
+                }
+                _ => Err(RelError::Exec("replace expects text arguments".into())),
+            }
+        }
+        "typeof" => {
+            need(1)?;
+            Ok(Value::Text(
+                args[0]
+                    .data_type()
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "NULL".into()),
+            ))
+        }
+        other => Err(RelError::Exec(format!("unknown function `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::ast::{SelectItem, Statement};
+    use crate::sql::parser::parse;
+
+    fn eval_str(sql_expr: &str) -> Value {
+        let stmt = parse(&format!("SELECT {sql_expr}")).unwrap();
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
+        let SelectItem::Expr { expr, .. } = &sel.projection[0] else {
+            panic!()
+        };
+        eval(expr, &RowSchema::default(), &[]).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(eval_str("1 + 2 * 3"), Value::Int(7));
+        assert_eq!(eval_str("(1 + 2) * 3"), Value::Int(9));
+        assert_eq!(eval_str("7 % 3"), Value::Int(1));
+        assert_eq!(eval_str("-5 + 2"), Value::Int(-3));
+        assert_eq!(eval_str("1.5 * 2"), Value::Float(3.0));
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        assert!(eval_str("1 / 0").is_null());
+        assert!(eval_str("1.0 / 0.0").is_null());
+        assert!(eval_str("1 % 0").is_null());
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        assert_eq!(eval_str("NULL AND FALSE"), Value::Bool(false));
+        assert!(eval_str("NULL AND TRUE").is_null());
+        assert_eq!(eval_str("NULL OR TRUE"), Value::Bool(true));
+        assert!(eval_str("NULL OR FALSE").is_null());
+        assert!(eval_str("NOT NULL").is_null());
+        assert!(eval_str("NULL = NULL").is_null());
+    }
+
+    #[test]
+    fn in_list_semantics() {
+        assert_eq!(eval_str("2 IN (1, 2, 3)"), Value::Bool(true));
+        assert_eq!(eval_str("5 NOT IN (1, 2)"), Value::Bool(true));
+        assert!(eval_str("5 IN (1, NULL)").is_null());
+        assert_eq!(eval_str("1 IN (1, NULL)"), Value::Bool(true));
+    }
+
+    #[test]
+    fn between_and_like() {
+        assert_eq!(eval_str("5 BETWEEN 1 AND 10"), Value::Bool(true));
+        assert_eq!(eval_str("5 NOT BETWEEN 6 AND 10"), Value::Bool(true));
+        assert_eq!(eval_str("'wind_speed' LIKE 'wind%'"), Value::Bool(true));
+        assert_eq!(eval_str("'abc' LIKE 'a_c'"), Value::Bool(true));
+        assert_eq!(eval_str("'abc' LIKE 'a_d'"), Value::Bool(false));
+        assert_eq!(eval_str("'aXbYc' LIKE '%b%c'"), Value::Bool(true));
+    }
+
+    #[test]
+    fn string_functions() {
+        assert_eq!(eval_str("LOWER('ÖsterReich')"), Value::text("österreich"));
+        assert_eq!(eval_str("LENGTH('héllo')"), Value::Int(5));
+        assert_eq!(eval_str("SUBSTR('sensor', 1, 3)"), Value::text("sen"));
+        assert_eq!(eval_str("SUBSTR('sensor', 4)"), Value::text("sor"));
+        assert_eq!(eval_str("TRIM('  x ')"), Value::text("x"));
+        assert_eq!(eval_str("REPLACE('a-b-c', '-', '+')"), Value::text("a+b+c"));
+        assert_eq!(eval_str("'a' || 'b' || 1"), Value::text("ab1"));
+        assert_eq!(eval_str("COALESCE(NULL, NULL, 3)"), Value::Int(3));
+        assert_eq!(eval_str("ROUND(2.567, 2)"), Value::Float(2.57));
+        assert_eq!(eval_str("TYPEOF(1)"), Value::text("INTEGER"));
+    }
+
+    #[test]
+    fn column_resolution() {
+        let schema = RowSchema::new(vec![
+            (Some("s".into()), "id".into()),
+            (Some("t".into()), "id".into()),
+            (Some("s".into()), "name".into()),
+        ]);
+        let row = vec![Value::Int(1), Value::Int(2), Value::text("x")];
+        let q = Expr::Column {
+            table: Some("t".into()),
+            name: "id".into(),
+        };
+        assert_eq!(eval(&q, &schema, &row).unwrap(), Value::Int(2));
+        // Unqualified `id` is ambiguous.
+        let amb = Expr::col("id");
+        assert!(eval(&amb, &schema, &row).is_err());
+        // Unqualified `name` resolves.
+        assert_eq!(
+            eval(&Expr::col("NAME"), &schema, &row).unwrap(),
+            Value::text("x")
+        );
+    }
+
+    #[test]
+    fn like_edge_cases() {
+        assert!(like_match("%", ""));
+        assert!(like_match("%%", "anything"));
+        assert!(!like_match("_", ""));
+        assert!(like_match("", ""));
+        assert!(!like_match("", "x"));
+    }
+}

@@ -1,0 +1,7 @@
+//! SQL front-end: lexer, parser, AST, expression evaluation, and execution.
+
+pub mod ast;
+pub mod exec;
+pub mod expr;
+pub mod lexer;
+pub mod parser;

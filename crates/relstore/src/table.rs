@@ -1,0 +1,384 @@
+//! A table: schema + heap storage + maintained indexes.
+
+use crate::btree::BTreeIndex;
+use crate::encoding::{decode_row, encode_row};
+use crate::error::{RelError, Result};
+use crate::heap::{Heap, RowId};
+use crate::schema::TableSchema;
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// Definition of one secondary index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexDef {
+    /// Index name (unique across the database).
+    pub name: String,
+    /// Column positions forming the composite key.
+    pub columns: Vec<usize>,
+    /// Uniqueness constraint.
+    pub unique: bool,
+}
+
+/// A table with its storage and indexes.
+#[derive(Debug)]
+pub struct Table {
+    /// The table's schema.
+    pub schema: TableSchema,
+    heap: Heap,
+    /// Indexes by name. BTreeMap keeps snapshot output deterministic.
+    indexes: BTreeMap<String, (IndexDef, BTreeIndex)>,
+}
+
+impl Table {
+    /// Creates an empty table, materializing implicit unique indexes for
+    /// PRIMARY KEY / UNIQUE columns.
+    pub fn create(schema: TableSchema) -> Result<Table> {
+        let mut table = Table {
+            heap: Heap::new(),
+            indexes: BTreeMap::new(),
+            schema,
+        };
+        let implicit: Vec<IndexDef> = table
+            .schema
+            .unique_columns()
+            .map(|(ix, col)| IndexDef {
+                name: format!(
+                    "{}_{}_unique",
+                    table.schema.name,
+                    col.name.to_ascii_lowercase()
+                ),
+                columns: vec![ix],
+                unique: true,
+            })
+            .collect();
+        for def in implicit {
+            table.create_index(def)?;
+        }
+        Ok(table)
+    }
+
+    /// Adds an index, backfilling it from existing rows.
+    pub fn create_index(&mut self, def: IndexDef) -> Result<()> {
+        if self.indexes.contains_key(&def.name) {
+            return Err(RelError::IndexExists(def.name));
+        }
+        for &c in &def.columns {
+            if c >= self.schema.arity() {
+                return Err(RelError::NoSuchColumn(format!("#{c}")));
+            }
+        }
+        let mut index = BTreeIndex::new(def.unique);
+        for (rid, rec) in self.heap.scan() {
+            let mut pos = 0;
+            let row = decode_row(rec, &mut pos)?;
+            let key = def.columns.iter().map(|&c| row[c].clone()).collect();
+            index
+                .insert(key, rid)
+                .map_err(|e| named_violation(e, &def.name))?;
+        }
+        self.indexes.insert(def.name.clone(), (def, index));
+        Ok(())
+    }
+
+    /// Drops an index by name.
+    pub fn drop_index(&mut self, name: &str) -> Result<()> {
+        self.indexes
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| RelError::NoSuchIndex(name.to_owned()))
+    }
+
+    /// Names of indexes on this table.
+    pub fn index_names(&self) -> impl Iterator<Item = &str> {
+        self.indexes.keys().map(String::as_str)
+    }
+
+    /// Returns an index (definition and tree) by the first matching leading
+    /// column, preferring unique indexes — used by the planner.
+    pub fn index_on_column(&self, col: usize) -> Option<(&IndexDef, &BTreeIndex)> {
+        let mut best: Option<(&IndexDef, &BTreeIndex)> = None;
+        for (def, ix) in self.indexes.values() {
+            if def.columns.first() == Some(&col) {
+                let better = match best {
+                    None => true,
+                    Some((bdef, _)) => def.unique && !bdef.unique,
+                };
+                if better {
+                    best = Some((def, ix));
+                }
+            }
+        }
+        best
+    }
+
+    /// Inserts a row (validated + coerced), maintaining all indexes.
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<RowId> {
+        let row = self.schema.validate_row(row)?;
+        // Check unique constraints before touching storage so a violation
+        // leaves the table unchanged.
+        for (def, index) in self.indexes.values() {
+            if def.unique {
+                let key: Vec<Value> = def.columns.iter().map(|&c| row[c].clone()).collect();
+                if index.get_one(&key).is_some() {
+                    return Err(RelError::UniqueViolation {
+                        index: def.name.clone(),
+                        key: format!("{key:?}"),
+                    });
+                }
+            }
+        }
+        let mut buf = Vec::new();
+        encode_row(&row, &mut buf);
+        let rid = self.heap.insert(&buf)?;
+        for (def, index) in self.indexes.values_mut() {
+            let key = def.columns.iter().map(|&c| row[c].clone()).collect();
+            index
+                .insert(key, rid)
+                .map_err(|e| named_violation(e, &def.name))?;
+        }
+        Ok(rid)
+    }
+
+    /// Fetches and decodes a row.
+    pub fn get(&self, rid: RowId) -> Result<Option<Vec<Value>>> {
+        match self.heap.get(rid) {
+            None => Ok(None),
+            Some(rec) => {
+                let mut pos = 0;
+                Ok(Some(decode_row(rec, &mut pos)?))
+            }
+        }
+    }
+
+    /// Deletes a row, maintaining indexes. Returns true if it was live.
+    pub fn delete(&mut self, rid: RowId) -> Result<bool> {
+        let Some(row) = self.get(rid)? else {
+            return Ok(false);
+        };
+        self.heap.delete(rid);
+        for (def, index) in self.indexes.values_mut() {
+            let key = def.columns.iter().map(|&c| row[c].clone()).collect();
+            index.remove(&key, rid);
+        }
+        Ok(true)
+    }
+
+    /// Replaces a row in place (delete + insert keeping constraints).
+    pub fn update(&mut self, rid: RowId, new_row: Vec<Value>) -> Result<RowId> {
+        let new_row = self.schema.validate_row(new_row)?;
+        let Some(old_row) = self.get(rid)? else {
+            return Err(RelError::Exec("update of missing row".into()));
+        };
+        // Unique pre-check, ignoring our own entry.
+        for (def, index) in self.indexes.values() {
+            if def.unique {
+                let key: Vec<Value> = def.columns.iter().map(|&c| new_row[c].clone()).collect();
+                if let Some(existing) = index.get_one(&key) {
+                    if existing != rid {
+                        return Err(RelError::UniqueViolation {
+                            index: def.name.clone(),
+                            key: format!("{key:?}"),
+                        });
+                    }
+                }
+            }
+        }
+        self.heap.delete(rid);
+        for (def, index) in self.indexes.values_mut() {
+            let key = def.columns.iter().map(|&c| old_row[c].clone()).collect();
+            index.remove(&key, rid);
+        }
+        let mut buf = Vec::new();
+        encode_row(&new_row, &mut buf);
+        let new_rid = self.heap.insert(&buf)?;
+        for (def, index) in self.indexes.values_mut() {
+            let key = def.columns.iter().map(|&c| new_row[c].clone()).collect();
+            index
+                .insert(key, new_rid)
+                .map_err(|e| named_violation(e, &def.name))?;
+        }
+        Ok(new_rid)
+    }
+
+    /// Full scan of decoded rows.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, Vec<Value>)> + '_ {
+        self.heap.scan().map(|(rid, rec)| {
+            let mut pos = 0;
+            let row = decode_row(rec, &mut pos).expect("stored rows are well-formed");
+            (rid, row)
+        })
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub(crate) fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    pub(crate) fn index_defs(&self) -> impl Iterator<Item = &IndexDef> {
+        self.indexes.values().map(|(d, _)| d)
+    }
+
+    pub(crate) fn restore(schema: TableSchema, heap: Heap, defs: Vec<IndexDef>) -> Result<Table> {
+        let mut table = Table {
+            schema,
+            heap,
+            indexes: BTreeMap::new(),
+        };
+        for def in defs {
+            table.create_index(def)?;
+        }
+        Ok(table)
+    }
+}
+
+fn named_violation(e: RelError, name: &str) -> RelError {
+    match e {
+        RelError::UniqueViolation { key, .. } => RelError::UniqueViolation {
+            index: name.to_owned(),
+            key,
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn sensors() -> Table {
+        Table::create(
+            TableSchema::new(
+                "sensors",
+                vec![
+                    Column::new("id", DataType::Integer).primary_key(),
+                    Column::new("name", DataType::Text).not_null(),
+                    Column::new("station", DataType::Text),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn implicit_pk_index_created() {
+        let t = sensors();
+        let names: Vec<_> = t.index_names().collect();
+        assert_eq!(names, vec!["sensors_id_unique"]);
+    }
+
+    #[test]
+    fn insert_enforces_pk() {
+        let mut t = sensors();
+        t.insert(vec![1.into(), "t1".into(), "wfj".into()]).unwrap();
+        let err = t
+            .insert(vec![1.into(), "t2".into(), "wfj".into()])
+            .unwrap_err();
+        assert!(matches!(err, RelError::UniqueViolation { .. }));
+        assert_eq!(t.len(), 1, "failed insert must not leave a row behind");
+    }
+
+    #[test]
+    fn secondary_index_backfills_and_maintains() {
+        let mut t = sensors();
+        for i in 0..50 {
+            t.insert(vec![
+                i.into(),
+                format!("sensor{i}").into(),
+                format!("station{}", i % 5).into(),
+            ])
+            .unwrap();
+        }
+        t.create_index(IndexDef {
+            name: "by_station".into(),
+            columns: vec![2],
+            unique: false,
+        })
+        .unwrap();
+        let (_, ix) = t.index_on_column(2).unwrap();
+        assert_eq!(ix.get(&vec!["station0".into()]).len(), 10);
+        // Maintained on subsequent inserts.
+        t.insert(vec![100.into(), "extra".into(), "station0".into()])
+            .unwrap();
+        let (_, ix) = t.index_on_column(2).unwrap();
+        assert_eq!(ix.get(&vec!["station0".into()]).len(), 11);
+    }
+
+    #[test]
+    fn delete_cleans_indexes() {
+        let mut t = sensors();
+        let rid = t.insert(vec![1.into(), "a".into(), Value::Null]).unwrap();
+        assert!(t.delete(rid).unwrap());
+        assert!(!t.delete(rid).unwrap());
+        // Key is free again.
+        t.insert(vec![1.into(), "b".into(), Value::Null]).unwrap();
+    }
+
+    #[test]
+    fn update_moves_index_entries() {
+        let mut t = sensors();
+        let rid = t.insert(vec![1.into(), "a".into(), Value::Null]).unwrap();
+        let new_rid = t
+            .update(rid, vec![2.into(), "a2".into(), Value::Null])
+            .unwrap();
+        assert!(t.get(rid).unwrap().is_none() || rid == new_rid);
+        let (_, ix) = t.index_on_column(0).unwrap();
+        assert!(ix.get(&vec![Value::Int(1)]).is_empty());
+        assert_eq!(ix.get_one(&vec![Value::Int(2)]), Some(new_rid));
+    }
+
+    #[test]
+    fn update_unique_conflict_detected() {
+        let mut t = sensors();
+        t.insert(vec![1.into(), "a".into(), Value::Null]).unwrap();
+        let rid2 = t.insert(vec![2.into(), "b".into(), Value::Null]).unwrap();
+        let err = t
+            .update(rid2, vec![1.into(), "b".into(), Value::Null])
+            .unwrap_err();
+        assert!(matches!(err, RelError::UniqueViolation { .. }));
+    }
+
+    #[test]
+    fn duplicate_index_name_rejected() {
+        let mut t = sensors();
+        let def = IndexDef {
+            name: "dup".into(),
+            columns: vec![1],
+            unique: false,
+        };
+        t.create_index(def.clone()).unwrap();
+        assert!(matches!(
+            t.create_index(def).unwrap_err(),
+            RelError::IndexExists(_)
+        ));
+    }
+
+    #[test]
+    fn backfill_unique_violation_fails_creation() {
+        let mut t = sensors();
+        t.insert(vec![1.into(), "same".into(), Value::Null])
+            .unwrap();
+        t.insert(vec![2.into(), "same".into(), Value::Null])
+            .unwrap();
+        let err = t
+            .create_index(IndexDef {
+                name: "name_unique".into(),
+                columns: vec![1],
+                unique: true,
+            })
+            .unwrap_err();
+        assert!(matches!(err, RelError::UniqueViolation { .. }));
+        assert!(t.index_on_column(1).is_none());
+    }
+}

@@ -1,0 +1,111 @@
+//! Faceted aggregation over annotation sets.
+//!
+//! The advanced search UI shows, for a result set, the distribution of
+//! annotation values ("which institutions participate mostly, which is the
+//! most popular project") — the counts feeding the bar/pie visualizations.
+
+use std::collections::BTreeMap;
+
+/// Facet counts for one attribute: value → number of matching documents.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Facet {
+    /// Attribute name.
+    pub attribute: String,
+    /// Value → count, deterministic order.
+    pub counts: BTreeMap<String, usize>,
+}
+
+impl Facet {
+    /// Values sorted by descending count (ties lexicographic).
+    pub fn top(&self, k: usize) -> Vec<(&str, usize)> {
+        let mut v: Vec<(&str, usize)> = self.counts.iter().map(|(s, &c)| (s.as_str(), c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+}
+
+/// Computes facets over a result set: `annotations` yields, per matching
+/// document, its (attribute, value) pairs; `attributes` selects which facets
+/// to build (empty = all attributes observed).
+pub fn compute_facets<'a, I, J>(annotations: I, attributes: &[&str]) -> Vec<Facet>
+where
+    I: IntoIterator<Item = J>,
+    J: IntoIterator<Item = (&'a str, &'a str)>,
+{
+    let mut facets: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+    for doc in annotations {
+        for (attr, value) in doc {
+            if !attributes.is_empty() && !attributes.iter().any(|a| a.eq_ignore_ascii_case(attr)) {
+                continue;
+            }
+            *facets
+                .entry(attr.to_owned())
+                .or_default()
+                .entry(value.to_owned())
+                .or_insert(0) += 1;
+        }
+    }
+    facets
+        .into_iter()
+        .map(|(attribute, counts)| Facet { attribute, counts })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs() -> Vec<Vec<(&'static str, &'static str)>> {
+        vec![
+            vec![
+                ("measuresQuantity", "temperature"),
+                ("hasVendor", "Vaisala"),
+            ],
+            vec![
+                ("measuresQuantity", "temperature"),
+                ("hasVendor", "Campbell"),
+            ],
+            vec![("measuresQuantity", "wind_speed"), ("hasVendor", "Vaisala")],
+        ]
+    }
+
+    #[test]
+    fn counts_all_attributes() {
+        let facets = compute_facets(docs(), &[]);
+        assert_eq!(facets.len(), 2);
+        let quantity = facets
+            .iter()
+            .find(|f| f.attribute == "measuresQuantity")
+            .unwrap();
+        assert_eq!(quantity.counts["temperature"], 2);
+        assert_eq!(quantity.counts["wind_speed"], 1);
+        assert_eq!(quantity.total(), 3);
+    }
+
+    #[test]
+    fn filters_to_requested_attributes() {
+        let facets = compute_facets(docs(), &["hasVendor"]);
+        assert_eq!(facets.len(), 1);
+        assert_eq!(facets[0].attribute, "hasVendor");
+    }
+
+    #[test]
+    fn top_orders_by_count_then_name() {
+        let facets = compute_facets(docs(), &["hasVendor"]);
+        let top = facets[0].top(10);
+        assert_eq!(top[0], ("Vaisala", 2));
+        assert_eq!(top[1], ("Campbell", 1));
+    }
+
+    #[test]
+    fn empty_input() {
+        let facets = compute_facets(Vec::<Vec<(&str, &str)>>::new(), &[]);
+        assert!(facets.is_empty());
+    }
+}

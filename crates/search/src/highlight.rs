@@ -1,0 +1,93 @@
+//! Query-term highlighting in result snippets.
+//!
+//! Marks the stem-matched query terms in a text fragment with configurable
+//! delimiters (`<b>…</b>` for the HTML result table, `**…**` for terminal
+//! output). Matching uses the same normalization as the index so whatever
+//! matched during retrieval is what lights up.
+
+use crate::tokenize::{normalize, tokenize};
+use std::collections::HashSet;
+
+/// Highlights occurrences of `query`'s terms inside `text`.
+pub fn highlight(text: &str, query: &str, open: &str, close: &str) -> String {
+    let wanted: HashSet<String> = tokenize(query).into_iter().collect();
+    if wanted.is_empty() {
+        return text.to_owned();
+    }
+    let mut out = String::with_capacity(text.len() + 16);
+    let mut word = String::new();
+    let flush = |word: &mut String, out: &mut String| {
+        if word.is_empty() {
+            return;
+        }
+        let norm = normalize(word);
+        if wanted.contains(&norm) || word.split('_').any(|p| wanted.contains(&normalize(p))) {
+            out.push_str(open);
+            out.push_str(word);
+            out.push_str(close);
+        } else {
+            out.push_str(word);
+        }
+        word.clear();
+    };
+    for c in text.chars() {
+        if c.is_alphanumeric() || c == '_' {
+            word.push(c);
+        } else {
+            flush(&mut word, &mut out);
+            out.push(c);
+        }
+    }
+    flush(&mut word, &mut out);
+    out
+}
+
+/// HTML-escapes then highlights with `<b>` tags — safe for direct inclusion
+/// in the result table.
+pub fn highlight_html(text: &str, query: &str) -> String {
+    let escaped = text
+        .replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;");
+    highlight(&escaped, query, "<b>", "</b>")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marks_exact_and_stemmed_matches() {
+        let out = highlight(
+            "Temperature sensors at the site",
+            "temperature sensor",
+            "[",
+            "]",
+        );
+        assert_eq!(out, "[Temperature] [sensors] at the site");
+    }
+
+    #[test]
+    fn underscore_identifiers_light_up_by_part() {
+        let out = highlight("the wind_speed series", "wind", "<b>", "</b>");
+        assert_eq!(out, "the <b>wind_speed</b> series");
+    }
+
+    #[test]
+    fn no_query_no_markup() {
+        assert_eq!(highlight("text here", "", "[", "]"), "text here");
+        assert_eq!(highlight("text here", "zzz", "[", "]"), "text here");
+    }
+
+    #[test]
+    fn html_variant_escapes_first() {
+        let out = highlight_html("a <script> & temperature", "temperature");
+        assert_eq!(out, "a &lt;script&gt; &amp; <b>temperature</b>");
+    }
+
+    #[test]
+    fn punctuation_boundaries_preserved() {
+        let out = highlight("snow, snow; SNOW!", "snow", "[", "]");
+        assert_eq!(out, "[snow], [snow]; [SNOW]!");
+    }
+}

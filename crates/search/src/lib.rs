@@ -1,0 +1,31 @@
+//! # sensormeta-search
+//!
+//! Full-text search substrate for metadata pages: tokenizer with light
+//! stemming, positional inverted index with BM25 scoring (disjunctive,
+//! conjunctive, phrase, and prefix modes), weighted prefix-trie
+//! autocomplete, and faceted aggregation over annotations.
+//!
+//! ```
+//! use sensormeta_search::SearchIndex;
+//!
+//! let mut ix = SearchIndex::new();
+//! ix.add_document("Deployment:wfj", "temperature sensor at Weissfluhjoch");
+//! let hits = ix.search("temperature", 5);
+//! assert_eq!(hits[0].key, "Deployment:wfj");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod autocomplete;
+pub mod facets;
+pub mod highlight;
+pub mod index;
+pub mod suggest;
+pub mod tokenize;
+
+pub use autocomplete::Autocomplete;
+pub use facets::{compute_facets, Facet};
+pub use highlight::{highlight, highlight_html};
+pub use index::{Bm25Params, DocId, Hit, SearchIndex};
+pub use suggest::{damerau_levenshtein_capped, SpellSuggester};
+pub use tokenize::{normalize, tokenize};

@@ -1,0 +1,113 @@
+//! Tokenization and term normalization.
+
+/// English stopwords kept deliberately small: metadata text is terse and
+/// over-aggressive stopping hurts recall on sensor names.
+const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "in", "is", "it", "of", "on",
+    "or", "the", "to", "with",
+];
+
+/// True if the term is a stopword.
+pub fn is_stopword(term: &str) -> bool {
+    STOPWORDS.contains(&term)
+}
+
+/// Splits text into normalized terms: alphanumeric runs (plus `_`), lowercased,
+/// light plural stemming. Underscored identifiers like `wind_speed` also emit
+/// their parts so a search for `wind` finds them.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for raw in text.split(|c: char| !c.is_alphanumeric() && c != '_') {
+        if raw.is_empty() {
+            continue;
+        }
+        if raw.contains('_') {
+            // Identifier like `wind_speed`: emit normalized parts plus the
+            // lowercased whole (stemming across `_` would corrupt it).
+            for part in raw.split('_').filter(|p| !p.is_empty()) {
+                let p = normalize(part);
+                if !p.is_empty() && !is_stopword(&p) {
+                    out.push(p);
+                }
+            }
+            out.push(raw.to_lowercase());
+            continue;
+        }
+        let norm = normalize(raw);
+        if norm.is_empty() || is_stopword(&norm) {
+            continue;
+        }
+        out.push(norm);
+    }
+    out
+}
+
+/// Lowercases and applies light stemming: trailing `'s`, plural `s`
+/// (guarded so `address`, `gps` survive), and `-ing`/`-ed` on longer words.
+pub fn normalize(term: &str) -> String {
+    let mut t = term.to_lowercase();
+    if let Some(stripped) = t.strip_suffix("'s") {
+        t = stripped.to_owned();
+    }
+    let bytes = t.as_bytes();
+    if t.len() > 3 && bytes.last() == Some(&b's') && !t.ends_with("ss") && !t.ends_with("us") {
+        t.truncate(t.len() - 1);
+    } else if t.len() > 5 && t.ends_with("ing") {
+        t.truncate(t.len() - 3);
+    } else if t.len() > 4 && t.ends_with("ed") && !t.ends_with("eed") {
+        t.truncate(t.len() - 2);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_and_lowercases() {
+        assert_eq!(
+            tokenize("Temperature Sensor, at Weissfluhjoch!"),
+            vec!["temperature", "sensor", "weissfluhjoch"]
+        );
+    }
+
+    #[test]
+    fn stopwords_removed() {
+        assert_eq!(tokenize("the sensor at the site"), vec!["sensor", "site"]);
+    }
+
+    #[test]
+    fn light_stemming() {
+        assert_eq!(normalize("sensors"), "sensor");
+        assert_eq!(normalize("Davos's"), "davo"); // 's then plural-s guard
+        assert_eq!(normalize("monitoring"), "monitor");
+        assert_eq!(normalize("deployed"), "deploy");
+        assert_eq!(normalize("glass"), "glass", "double-s survives");
+        assert_eq!(normalize("status"), "status", "-us survives");
+    }
+
+    #[test]
+    fn underscore_identifiers_emit_parts_and_whole() {
+        let toks = tokenize("wind_speed");
+        assert!(toks.contains(&"wind".to_string()));
+        assert!(toks.contains(&"speed".to_string()));
+        assert!(toks.contains(&"wind_speed".to_string()));
+    }
+
+    #[test]
+    fn numbers_kept() {
+        assert_eq!(tokenize("level 2693 m"), vec!["level", "2693", "m"]);
+    }
+
+    #[test]
+    fn unicode_lowercasing() {
+        assert_eq!(tokenize("Zürich"), vec!["zürich"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("  ,.;  ").is_empty());
+    }
+}

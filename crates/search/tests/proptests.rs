@@ -1,0 +1,120 @@
+//! Property-based tests for the search substrate.
+
+use proptest::prelude::*;
+use sensormeta_search::{
+    damerau_levenshtein_capped, highlight, normalize, tokenize, Autocomplete, SearchIndex,
+};
+use std::collections::BTreeMap;
+
+fn arb_doc() -> impl Strategy<Value = String> {
+    prop::collection::vec("[a-z]{1,8}", 1..30).prop_map(|words| words.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tokenization is idempotent under normalization: normalizing a
+    /// normalized term changes nothing.
+    #[test]
+    fn normalize_idempotent(word in "[a-zA-Z_]{1,16}") {
+        let once = normalize(&word);
+        prop_assert_eq!(normalize(&once), once.clone());
+    }
+
+    /// Every token of a document is findable by searching for it.
+    #[test]
+    fn every_token_is_searchable(doc in arb_doc()) {
+        let mut ix = SearchIndex::new();
+        ix.add_document("d", &doc);
+        for token in tokenize(&doc) {
+            let hits = ix.search(&token, 10);
+            prop_assert!(!hits.is_empty(), "token {token} not found");
+            prop_assert_eq!(&hits[0].key, "d");
+        }
+    }
+
+    /// Conjunctive results are a subset of disjunctive results, and phrase
+    /// results a subset of conjunctive.
+    #[test]
+    fn search_mode_subsets(docs in prop::collection::vec(arb_doc(), 1..12),
+                           qa in "[a-z]{1,6}", qb in "[a-z]{1,6}") {
+        let mut ix = SearchIndex::new();
+        for (i, d) in docs.iter().enumerate() {
+            ix.add_document(&format!("d{i}"), d);
+        }
+        let query = format!("{qa} {qb}");
+        let or_keys: Vec<String> = ix.search(&query, 100).into_iter().map(|h| h.key).collect();
+        let and_keys: Vec<String> =
+            ix.search_all_terms(&query, 100).into_iter().map(|h| h.key).collect();
+        let phrase_keys: Vec<String> =
+            ix.phrase(&query, 100).into_iter().map(|h| h.key).collect();
+        for k in &and_keys {
+            prop_assert!(or_keys.contains(k), "AND ⊄ OR: {k}");
+        }
+        for k in &phrase_keys {
+            prop_assert!(and_keys.contains(k), "PHRASE ⊄ AND: {k}");
+        }
+    }
+
+    /// Document replacement behaves like building a fresh index.
+    #[test]
+    fn replacement_equals_fresh(doc1 in arb_doc(), doc2 in arb_doc(), probe in "[a-z]{1,6}") {
+        let mut replaced = SearchIndex::new();
+        replaced.add_document("d", &doc1);
+        replaced.add_document("d", &doc2);
+        let mut fresh = SearchIndex::new();
+        fresh.add_document("d", &doc2);
+        let a: Vec<_> = replaced.search(&probe, 10);
+        let b: Vec<_> = fresh.search(&probe, 10);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x.score - y.score).abs() < 1e-9);
+        }
+        prop_assert_eq!(replaced.term_count(), fresh.term_count());
+    }
+
+    /// Autocomplete returns exactly the inserted entries with a matching
+    /// prefix, ordered by weight.
+    #[test]
+    fn autocomplete_sound_and_complete(entries in prop::collection::btree_map(
+        "[a-z]{1,10}", 0.0f64..100.0, 1..20), prefix in "[a-z]{0,3}")
+    {
+        let mut trie = Autocomplete::new();
+        for (e, w) in &entries {
+            trie.insert(e, *w);
+        }
+        let got = trie.complete(&prefix, entries.len());
+        let want: BTreeMap<&String, f64> = entries
+            .iter()
+            .filter(|(e, _)| e.starts_with(&prefix))
+            .map(|(e, w)| (e, *w))
+            .collect();
+        prop_assert_eq!(got.len(), want.len());
+        for (s, w) in &got {
+            prop_assert_eq!(want.get(s), Some(w));
+        }
+        for pair in got.windows(2) {
+            prop_assert!(pair[0].1 >= pair[1].1, "weight order");
+        }
+    }
+
+    /// Edit distance is a metric: symmetric, zero iff equal, triangle-ish
+    /// under the cap.
+    #[test]
+    fn edit_distance_metric(a in "[a-z]{0,8}", b in "[a-z]{0,8}") {
+        let cap = 16usize;
+        let ab = damerau_levenshtein_capped(&a, &b, cap).unwrap();
+        let ba = damerau_levenshtein_capped(&b, &a, cap).unwrap();
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(ab == 0, a == b);
+        prop_assert!(ab <= a.len().max(b.len()));
+    }
+
+    /// Highlighting never loses or duplicates non-marker characters.
+    #[test]
+    fn highlight_preserves_text(doc in arb_doc(), q in "[a-z]{1,6}") {
+        let marked = highlight(&doc, &q, "«", "»");
+        let stripped: String = marked.chars().filter(|c| *c != '«' && *c != '»').collect();
+        prop_assert_eq!(stripped, doc);
+    }
+}

@@ -1,0 +1,581 @@
+//! The demo web application: routing and handlers.
+//!
+//! Endpoints mirror the paper's demonstration (Section V): the advanced
+//! search interface with autocomplete and dynamic drop-downs, the
+//! bulk-loading interface, per-page views, real-time visualizations
+//! (bar/pie/map/graph/hypergraph), recommendations, and live tag clouds.
+
+use crate::http::{url_encode, Request, Response};
+use parking_lot::{Mutex, RwLock};
+use sensormeta_query::{CondOp, Condition, QueryEngine, SearchForm, SortBy};
+use sensormeta_smr::{parse_csv, parse_jsonl};
+use sensormeta_tagging::{suggest_tags, CloudCache, CloudParams, TagStore};
+use sensormeta_viz as viz;
+use serde_json::json;
+
+/// Shared application state.
+pub struct App {
+    engine: RwLock<QueryEngine>,
+    tags: RwLock<TagStore>,
+    cloud_cache: Mutex<CloudCache>,
+}
+
+impl App {
+    /// Builds the app, seeding the tag store from the SMR.
+    pub fn new(engine: QueryEngine) -> App {
+        let mut tags = TagStore::new();
+        if let Ok(pairs) = engine.smr().all_tags() {
+            tags.ingest(pairs.iter().map(|(p, t)| (p.as_str(), t.as_str())));
+        }
+        App {
+            engine: RwLock::new(engine),
+            tags: RwLock::new(tags),
+            cloud_cache: Mutex::new(CloudCache::new()),
+        }
+    }
+
+    /// Routes one request to its handler.
+    pub fn handle(&self, req: &Request) -> Response {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/") => self.home(),
+            ("GET", "/search") => self.search(req),
+            ("GET", "/autocomplete") => self.autocomplete(req),
+            ("GET", "/attributes") => self.attributes(),
+            ("GET", "/recommend") => self.recommend(req),
+            ("GET", "/tags") => self.tag_cloud_svg(),
+            ("GET", "/tags.json") => self.tag_cloud_json(),
+            ("GET", "/viz/bar") => self.viz_bar(req),
+            ("GET", "/viz/pie") => self.viz_pie(req),
+            ("GET", "/viz/map") => self.viz_map(req),
+            ("GET", "/viz/graph") => self.viz_graph(req),
+            ("GET", "/viz/hypergraph") => self.viz_hypergraph(req),
+            ("GET", "/sql") => self.sql_console(req),
+            ("GET", "/sparql") => self.sparql_console(req),
+            ("GET", "/export.ttl") => self.export_turtle(),
+            ("GET", "/suggest_tags") => self.suggest_tags(req),
+            ("POST", "/bulkload") => self.bulkload(req),
+            ("POST", "/tag") => self.add_tag(req),
+            ("GET", p) if p.starts_with("/page/") => self.page(&p["/page/".len()..]),
+            ("GET", _) => Response::error(404, "not found"),
+            _ => Response::error(405, "method not allowed"),
+        }
+    }
+
+    fn home(&self) -> Response {
+        let engine = self.engine.read();
+        let count = engine.smr().page_count();
+        let stats_html = engine
+            .smr()
+            .statistics()
+            .map(|s| {
+                let per_ns: String = s
+                    .pages_per_namespace
+                    .iter()
+                    .map(|(ns, n)| format!("{} {}", viz::escape(ns), n))
+                    .collect::<Vec<_>>()
+                    .join(" · ");
+                format!(
+                    "<p><small>{per_ns} — {} annotations, {} links, {} tags, {} RDF triples</small></p>",
+                    s.annotations, s.links, s.tags, s.triples
+                )
+            })
+            .unwrap_or_default();
+        let attrs = engine.smr().attributes().unwrap_or_default();
+        let options: String = attrs
+            .iter()
+            .take(20)
+            .map(|(a, n)| {
+                format!(
+                    "<option value=\"{}\">{} ({n})</option>",
+                    viz::escape(a),
+                    viz::escape(a)
+                )
+            })
+            .collect();
+        Response::html(format!(
+            r#"<!DOCTYPE html><html><head><title>Sensor Metadata Search</title></head>
+<body>
+<h1>Advanced Sensor Metadata Search</h1>
+<p>{count} metadata pages in the repository.</p>
+{stats_html}
+<form action="/search" method="get">
+  <input name="q" placeholder="keywords" size="40">
+  <select name="attribute"><option value="">any attribute</option>{options}</select>
+  <select name="op"><option>eq</option><option>contains</option><option>gt</option><option>lt</option><option>between</option></select>
+  <input name="value" placeholder="value">
+  <select name="sort"><option>relevance</option><option>pagerank</option><option>title</option></select>
+  <button type="submit">Search</button>
+</form>
+<p><a href="/tags">tag cloud</a> · <a href="/viz/hypergraph">hypergraph</a> · <a href="/viz/graph">link graph</a></p>
+</body></html>"#
+        ))
+    }
+
+    fn form_from(req: &Request) -> SearchForm {
+        let mut form = SearchForm::keywords(req.param_or("q", ""));
+        if let (Some(attr), Some(value)) = (req.param("attribute"), req.param("value")) {
+            if !attr.is_empty() && !value.is_empty() {
+                let op = match req.param_or("op", "eq") {
+                    "contains" => CondOp::Contains,
+                    "gt" => CondOp::Gt,
+                    "lt" => CondOp::Lt,
+                    "between" => CondOp::Between,
+                    _ => CondOp::Eq,
+                };
+                form.conditions.push(Condition::new(attr, op, value));
+            }
+        }
+        if let Some(ns) = req.param("namespace") {
+            if !ns.is_empty() {
+                form.namespace = Some(ns.to_owned());
+            }
+        }
+        form.sort_by = match req.param_or("sort", "relevance") {
+            "pagerank" => SortBy::PageRank,
+            "title" => SortBy::Title,
+            attr if attr.starts_with("attr:") => SortBy::Attribute(attr[5..].to_owned()),
+            _ => SortBy::Relevance,
+        };
+        form.descending = req.param_or("order", "") == "desc";
+        form.limit = req.param("limit").and_then(|l| l.parse().ok()).unwrap_or(0);
+        form.match_all = req.param_or("match", "any") == "all";
+        form.soft_conditions = req.param_or("soft", "0") == "1";
+        // Map-based browsing: ?lat_min=…&lat_max=…&lon_min=…&lon_max=…
+        let bbox: Vec<f64> = ["lat_min", "lat_max", "lon_min", "lon_max"]
+            .iter()
+            .filter_map(|k| req.param(k).and_then(|v| v.parse().ok()))
+            .collect();
+        if bbox.len() == 4 {
+            form.region = Some((bbox[0], bbox[1], bbox[2], bbox[3]));
+        }
+        form
+    }
+
+    fn search(&self, req: &Request) -> Response {
+        let form = Self::form_from(req);
+        let user = req.param("user");
+        let engine = self.engine.read();
+        let out = match engine.search(&form, user) {
+            Ok(o) => o,
+            Err(e) => return Response::error(400, e.to_string()),
+        };
+        if req.param_or("format", "json") == "html" {
+            let rows: String = out
+                .items
+                .iter()
+                .map(|i| {
+                    format!(
+                        "<tr><td><a href=\"/page/{}\">{}</a></td><td>{}</td><td>{:.4}</td><td>{}</td></tr>",
+                        url_encode(&i.title),
+                        viz::escape(&i.title),
+                        viz::escape(&i.namespace),
+                        i.score,
+                        sensormeta_search::highlight_html(&i.snippet, &form.keywords),
+                    )
+                })
+                .collect();
+            let recs: String = out
+                .recommendations
+                .iter()
+                .map(|r| {
+                    format!(
+                        "<li><a href=\"/page/{}\">{}</a></li>",
+                        url_encode(&r.title),
+                        viz::escape(&r.title)
+                    )
+                })
+                .collect();
+            let dym = out
+                .did_you_mean
+                .as_ref()
+                .map(|s| {
+                    format!(
+                        "<p>Did you mean <a href=\"/search?q={}&format=html\"><i>{}</i></a>?</p>",
+                        url_encode(s),
+                        viz::escape(s)
+                    )
+                })
+                .unwrap_or_default();
+            Response::html(format!(
+                "<html><body><h1>{} results</h1>{dym}<table border=1><tr><th>page</th><th>namespace</th><th>score</th><th>snippet</th></tr>{rows}</table><h2>Related pages</h2><ul>{recs}</ul></body></html>",
+                out.total_matched
+            ))
+        } else {
+            Response::json(serde_json::to_string(&out).expect("serializable output"))
+        }
+    }
+
+    fn autocomplete(&self, req: &Request) -> Response {
+        let prefix = req.param_or("prefix", "");
+        let k = req.param("k").and_then(|k| k.parse().ok()).unwrap_or(10);
+        let suggestions = self.engine.read().autocomplete(prefix, k);
+        let arr: Vec<serde_json::Value> = suggestions
+            .into_iter()
+            .map(|(s, w)| json!({"suggestion": s, "weight": w}))
+            .collect();
+        Response::json(serde_json::Value::Array(arr).to_string())
+    }
+
+    fn attributes(&self) -> Response {
+        let engine = self.engine.read();
+        let attrs = engine.smr().attributes().unwrap_or_default();
+        let arr: Vec<serde_json::Value> = attrs
+            .into_iter()
+            .map(|(a, n)| {
+                let values = engine.smr().attribute_values(&a).unwrap_or_default();
+                json!({"attribute": a, "count": n, "values": values})
+            })
+            .collect();
+        Response::json(serde_json::Value::Array(arr).to_string())
+    }
+
+    fn recommend(&self, req: &Request) -> Response {
+        let Some(title) = req.param("title") else {
+            return Response::error(400, "missing ?title=");
+        };
+        let recs = self.engine.read().recommend(&[title], 10);
+        Response::json(serde_json::to_string(&recs).expect("serializable"))
+    }
+
+    fn page(&self, raw_title: &str) -> Response {
+        let title = raw_title.to_owned();
+        let engine = self.engine.read();
+        match engine.smr().get_page(&title) {
+            Ok(Some(page)) => {
+                let ann: String = page
+                    .annotations
+                    .iter()
+                    .map(|(a, v)| {
+                        format!(
+                            "<tr><td>{}</td><td>{}</td></tr>",
+                            viz::escape(a),
+                            viz::escape(v)
+                        )
+                    })
+                    .collect();
+                let links: String = page
+                    .links
+                    .iter()
+                    .map(|l| {
+                        format!(
+                            "<li><a href=\"/page/{}\">{}</a></li>",
+                            url_encode(l),
+                            viz::escape(l)
+                        )
+                    })
+                    .collect();
+                let tags = page.tags.join(", ");
+                Response::html(format!(
+                    "<html><body><h1>{}</h1><p><i>{} — revision {}</i></p><p>{}</p>\
+                     <h2>Annotations</h2><table border=1>{ann}</table>\
+                     <h2>Links</h2><ul>{links}</ul><p>Tags: {}</p></body></html>",
+                    viz::escape(&page.title),
+                    viz::escape(&page.namespace),
+                    page.revision,
+                    viz::escape(&page.body),
+                    viz::escape(&tags),
+                ))
+            }
+            Ok(None) => Response::error(404, format!("no page `{title}`")),
+            Err(e) => Response::error(500, e.to_string()),
+        }
+    }
+
+    fn bulkload(&self, req: &Request) -> Response {
+        let body = req.body_str();
+        let content_type = req
+            .headers
+            .get("content-type")
+            .map(String::as_str)
+            .unwrap_or("application/jsonl");
+        let (drafts, parse_errors) = if content_type.contains("csv") {
+            parse_csv(&body)
+        } else {
+            parse_jsonl(&body)
+        };
+        let mut engine = self.engine.write();
+        let mut report = engine.smr_mut().bulk_load(drafts);
+        report.errors.extend(parse_errors);
+        if let Err(e) = engine.rebuild() {
+            return Response::error(500, e.to_string());
+        }
+        // Refresh the tag store from the updated repository.
+        let mut tags = self.tags.write();
+        *tags = TagStore::new();
+        if let Ok(pairs) = engine.smr().all_tags() {
+            tags.ingest(pairs.iter().map(|(p, t)| (p.as_str(), t.as_str())));
+        }
+        Response::json(serde_json::to_string(&report).expect("serializable"))
+    }
+
+    fn add_tag(&self, req: &Request) -> Response {
+        let (Some(page), Some(tag)) = (req.param("page"), req.param("tag")) else {
+            return Response::error(400, "need ?page= and ?tag=");
+        };
+        let added = self.tags.write().add(page, tag);
+        Response::json(json!({"added": added}).to_string())
+    }
+
+    /// Raw SQL console (read-only SELECT / EXPLAIN).
+    fn sql_console(&self, req: &Request) -> Response {
+        let Some(q) = req.param("q") else {
+            return Response::error(400, "missing ?q=SELECT …");
+        };
+        let engine = self.engine.read();
+        let upper = q.trim_start().to_uppercase();
+        if !upper.starts_with("SELECT") && !upper.starts_with("EXPLAIN") {
+            return Response::error(400, "only SELECT / EXPLAIN are allowed here");
+        }
+        match engine.smr().sql(q) {
+            Ok(rs) => {
+                if req.param_or("format", "text") == "json" {
+                    let rows: Vec<Vec<String>> = rs
+                        .rows
+                        .iter()
+                        .map(|r| r.iter().map(|v| v.to_string()).collect())
+                        .collect();
+                    Response::json(json!({"columns": rs.columns, "rows": rows}).to_string())
+                } else {
+                    Response {
+                        status: 200,
+                        content_type: "text/plain; charset=utf-8".into(),
+                        body: rs.to_ascii_table().into_bytes(),
+                    }
+                }
+            }
+            Err(e) => Response::error(400, e.to_string()),
+        }
+    }
+
+    /// Raw SPARQL console.
+    fn sparql_console(&self, req: &Request) -> Response {
+        let Some(q) = req.param("q") else {
+            return Response::error(400, "missing ?q=SELECT …");
+        };
+        let engine = self.engine.read();
+        match engine.smr().sparql(q) {
+            Ok(sols) => {
+                let rows: Vec<Vec<Option<String>>> = sols
+                    .rows
+                    .iter()
+                    .map(|r| {
+                        r.iter()
+                            .map(|t| t.as_ref().map(|t| t.to_string()))
+                            .collect()
+                    })
+                    .collect();
+                Response::json(json!({"vars": sols.vars, "rows": rows}).to_string())
+            }
+            Err(e) => Response::error(400, e.to_string()),
+        }
+    }
+
+    /// Dumps the RDF mirror as Turtle (the SMR's export format).
+    fn export_turtle(&self) -> Response {
+        let engine = self.engine.read();
+        let store = engine.smr().rdf();
+        let triples: Vec<(
+            sensormeta_rdf::Term,
+            sensormeta_rdf::Term,
+            sensormeta_rdf::Term,
+        )> = store.match_terms(None, None, None);
+        let ttl = sensormeta_rdf::to_turtle(triples.iter().map(|(s, p, o)| (s, p, o)));
+        Response {
+            status: 200,
+            content_type: "text/turtle; charset=utf-8".into(),
+            body: ttl.into_bytes(),
+        }
+    }
+
+    /// Suggests tags for a page from co-occurrence.
+    fn suggest_tags(&self, req: &Request) -> Response {
+        let Some(page) = req.param("page") else {
+            return Response::error(400, "missing ?page=");
+        };
+        let k = req.param("k").and_then(|k| k.parse().ok()).unwrap_or(5);
+        let tags = self.tags.read();
+        let suggestions = suggest_tags(&tags, page, k);
+        let arr: Vec<serde_json::Value> = suggestions
+            .into_iter()
+            .map(|s| json!({"tag": s.tag, "score": s.score, "becauseOf": s.because_of}))
+            .collect();
+        Response::json(serde_json::Value::Array(arr).to_string())
+    }
+
+    fn tag_cloud_svg(&self) -> Response {
+        let tags = self.tags.read();
+        let cloud = self.cloud_cache.lock().get(&tags, &CloudParams::default());
+        Response::svg(viz::render_tag_cloud("Metadata trends", &cloud))
+    }
+
+    fn tag_cloud_json(&self) -> Response {
+        let tags = self.tags.read();
+        let cloud = self.cloud_cache.lock().get(&tags, &CloudParams::default());
+        let arr: Vec<serde_json::Value> = cloud
+            .entries
+            .iter()
+            .map(|e| {
+                json!({
+                    "tag": e.tag,
+                    "count": e.count,
+                    "fontSize": e.font_size,
+                    "cliques": e.cliques,
+                })
+            })
+            .collect();
+        Response::json(serde_json::Value::Array(arr).to_string())
+    }
+
+    /// Facet source shared by bar/pie: counts of one attribute over a search.
+    fn facet_data(&self, req: &Request) -> Result<(String, Vec<viz::Datum>), Response> {
+        let attribute = req.param_or("attribute", "measuresQuantity").to_owned();
+        let form = Self::form_from(req);
+        let engine = self.engine.read();
+        let out = if form.is_empty() {
+            // No query: facet over everything via SQL.
+            let rs = engine
+                .smr()
+                .sql(&format!(
+                    "SELECT value, COUNT(*) FROM annotations WHERE attribute = '{}' \
+                     GROUP BY value ORDER BY 2 DESC",
+                    sensormeta_smr::sql_escape(&attribute)
+                ))
+                .map_err(|e| Response::error(500, e.to_string()))?;
+            return Ok((
+                attribute.clone(),
+                rs.rows
+                    .iter()
+                    .take(12)
+                    .map(|r| viz::Datum::new(r[0].to_string(), r[1].as_int().unwrap_or(0) as f64))
+                    .collect(),
+            ));
+        } else {
+            engine
+                .search(&form, req.param("user"))
+                .map_err(|e| Response::error(400, e.to_string()))?
+        };
+        let data: Vec<viz::Datum> = out
+            .facets
+            .iter()
+            .filter(|f| f.attribute == attribute)
+            .take(12)
+            .map(|f| viz::Datum::new(f.value.clone(), f.count as f64))
+            .collect();
+        Ok((attribute, data))
+    }
+
+    fn viz_bar(&self, req: &Request) -> Response {
+        match self.facet_data(req) {
+            Ok((attr, data)) => {
+                Response::svg(viz::bar_chart(&format!("{attr} distribution"), &data))
+            }
+            Err(resp) => resp,
+        }
+    }
+
+    fn viz_pie(&self, req: &Request) -> Response {
+        match self.facet_data(req) {
+            Ok((attr, data)) => Response::svg(viz::pie_chart(&format!("{attr} share"), &data)),
+            Err(resp) => resp,
+        }
+    }
+
+    fn viz_map(&self, req: &Request) -> Response {
+        let form = Self::form_from(req);
+        let engine = self.engine.read();
+        let out = match engine.search(&form, req.param("user")) {
+            Ok(o) => o,
+            Err(e) => return Response::error(400, e.to_string()),
+        };
+        let markers: Vec<viz::MapMarker> = out
+            .geolocated()
+            .map(|i| viz::MapMarker {
+                title: i.title.clone(),
+                lat: i.coords.expect("geolocated").0,
+                lon: i.coords.expect("geolocated").1,
+                match_degree: i.match_degree,
+            })
+            .collect();
+        Response::svg(viz::map_plot(
+            "Geolocated results",
+            &markers,
+            &viz::MapOptions::default(),
+        ))
+    }
+
+    fn viz_graph(&self, req: &Request) -> Response {
+        let engine = self.engine.read();
+        let (semantic, hyperlink, titles) = match engine.smr().link_graphs() {
+            Ok(g) => g,
+            Err(e) => return Response::error(500, e.to_string()),
+        };
+        let g = if req.param_or("links", "hyper") == "semantic" {
+            semantic
+        } else {
+            hyperlink
+        };
+        // Cap at a readable number of nodes.
+        let max_nodes: usize = req
+            .param("max")
+            .and_then(|m| m.parse().ok())
+            .unwrap_or(60)
+            .min(titles.len());
+        let keep: Vec<usize> = (0..max_nodes).collect();
+        let remap: std::collections::HashMap<usize, usize> = keep
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new))
+            .collect();
+        let edges: Vec<(usize, usize)> = g
+            .iter_edges()
+            .filter_map(|(u, v)| Some((*remap.get(&u)?, *remap.get(&v)?)))
+            .collect();
+        let sub = sensormeta_graph::CsrGraph::from_edges(keep.len(), &edges, true);
+        let classes = viz::classify_by_neighbors(&sub);
+        let nodes: Vec<viz::GraphNode> = keep
+            .iter()
+            .map(|&old| viz::GraphNode {
+                label: titles[old].clone(),
+                class: classes[remap[&old]],
+            })
+            .collect();
+        Response::svg(viz::render_digraph(
+            "Metadata associations",
+            &sub,
+            &nodes,
+            viz::GraphLayout::Force,
+        ))
+    }
+
+    fn viz_hypergraph(&self, req: &Request) -> Response {
+        let engine = self.engine.read();
+        let (_, hyperlink, titles) = match engine.smr().link_graphs() {
+            Ok(g) => g,
+            Err(e) => return Response::error(500, e.to_string()),
+        };
+        if titles.is_empty() {
+            return Response::error(404, "repository is empty");
+        }
+        let focus = match req.param("focus") {
+            Some(f) => match titles.iter().position(|t| t == f) {
+                Some(ix) => ix,
+                None => return Response::error(404, format!("no page `{f}`")),
+            },
+            // Default to the best-connected page ("popular pages").
+            None => {
+                let ind = hyperlink.in_degrees();
+                (0..titles.len())
+                    .max_by_key(|&v| ind[v] + hyperlink.out_degree(v))
+                    .expect("non-empty")
+            }
+        };
+        let rings = req.param("rings").and_then(|r| r.parse().ok()).unwrap_or(2);
+        Response::svg(viz::render_hypergraph(
+            &format!("Hypergraph around {}", titles[focus]),
+            &hyperlink,
+            &titles,
+            focus,
+            rings,
+        ))
+    }
+}

@@ -1,0 +1,315 @@
+//! Minimal HTTP/1.1 request parsing and response building over raw streams.
+//!
+//! Implemented on `std::net` directly — the demo's web layer is part of the
+//! system under reproduction, not an off-the-shelf dependency.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Method (GET, POST, ...).
+    pub method: String,
+    /// Decoded path without the query string.
+    pub path: String,
+    /// Decoded query parameters.
+    pub query: BTreeMap<String, String>,
+    /// Lowercased header map.
+    pub headers: BTreeMap<String, String>,
+    /// Request body.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// A query parameter by name.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query.get(name).map(String::as_str)
+    }
+
+    /// A query parameter with a default.
+    pub fn param_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.param(name).unwrap_or(default)
+    }
+
+    /// Body as UTF-8 (lossy).
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Errors while reading a request.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Connection-level I/O failure.
+    Io(std::io::Error),
+    /// Malformed request.
+    Malformed(String),
+    /// Body larger than the configured cap.
+    TooLarge,
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::TooLarge => write!(f, "request body too large"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Maximum accepted body: generous enough for bulk loads, small enough to
+/// not be a memory DoS in a demo.
+pub const MAX_BODY: usize = 16 * 1024 * 1024;
+
+/// Reads one request from a stream.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(HttpError::Io)?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing target".into()))?;
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = url_decode(raw_path);
+    let query = raw_query.map(parse_query).unwrap_or_default();
+
+    let mut headers = BTreeMap::new();
+    loop {
+        let mut hline = String::new();
+        reader.read_line(&mut hline).map_err(HttpError::Io)?;
+        let hline = hline.trim_end();
+        if hline.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = hline.split_once(':') {
+            headers.insert(k.trim().to_lowercase(), v.trim().to_owned());
+        }
+    }
+    let content_length: usize = headers
+        .get("content-length")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err(HttpError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body).map_err(HttpError::Io)?;
+    }
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Parses `a=1&b=two` with percent-decoding.
+pub fn parse_query(raw: &str) -> BTreeMap<String, String> {
+    raw.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (url_decode(k), url_decode(v)),
+            None => (url_decode(kv), String::new()),
+        })
+        .collect()
+}
+
+/// Percent-decodes a URL component (`+` becomes a space).
+pub fn url_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Percent-encodes a URL component.
+pub fn url_encode(s: &str) -> String {
+    let mut out = String::new();
+    for b in s.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(*b as char)
+            }
+            b' ' => out.push('+'),
+            b => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// A response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Content type.
+    pub content_type: String,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// 200 HTML response.
+    pub fn html(body: impl Into<String>) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/html; charset=utf-8".into(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// 200 JSON response.
+    pub fn json(body: impl Into<String>) -> Response {
+        Response {
+            status: 200,
+            content_type: "application/json".into(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// 200 SVG response.
+    pub fn svg(body: impl Into<String>) -> Response {
+        Response {
+            status: 200,
+            content_type: "image/svg+xml".into(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// Error response with a plain-text body.
+    pub fn error(status: u16, message: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8".into(),
+            body: message.into().into_bytes(),
+        }
+    }
+
+    /// Serializes onto a stream.
+    pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
+        let reason = match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        };
+        write!(
+            stream,
+            "HTTP/1.1 {} {reason}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.content_type,
+            self.body.len()
+        )?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_get_with_query() {
+        let raw = b"GET /search?q=snow+height&limit=5 HTTP/1.1\r\nHost: x\r\n\r\n";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/search");
+        assert_eq!(req.param("q"), Some("snow height"));
+        assert_eq!(req.param("limit"), Some("5"));
+        assert_eq!(req.headers["host"], "x");
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /bulkload HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body_str(), "hello");
+    }
+
+    #[test]
+    fn url_decoding() {
+        assert_eq!(url_decode("a%20b+c"), "a b c");
+        assert_eq!(url_decode("caf%C3%A9"), "café");
+        assert_eq!(url_decode("100%"), "100%", "stray % preserved");
+        assert_eq!(url_decode("%zz"), "%zz", "bad hex preserved");
+    }
+
+    #[test]
+    fn url_encode_roundtrip() {
+        for s in ["Fieldsite:Weissfluhjoch", "a b&c=d", "Zürich 100%"] {
+            assert_eq!(url_decode(&url_encode(s)), s);
+        }
+    }
+
+    #[test]
+    fn rejects_empty_request() {
+        let raw = b"\r\n";
+        assert!(read_request(&mut &raw[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_body() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(matches!(
+            read_request(&mut raw.as_bytes()),
+            Err(HttpError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn response_serialization() {
+        let mut buf = Vec::new();
+        Response::json("{\"ok\":true}").write_to(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+}

@@ -1,0 +1,20 @@
+//! # sensormeta-server
+//!
+//! The demo web application of the paper's Section V: an HTTP/1.1 server
+//! written directly on `std::net` exposing the advanced search interface
+//! (keyword + structured conditions + autocomplete), per-page views, the
+//! bulk-loading interface, live visualizations (bar, pie, clustered map,
+//! association graph, hypergraph) and real-time tag clouds.
+//!
+//! Start one with [`serve`]; see `examples/demo_server.rs` at the workspace
+//! root for an end-to-end run over the synthetic Swiss-Experiment corpus.
+
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod http;
+pub mod server;
+
+pub use app::App;
+pub use http::{parse_query, url_decode, url_encode, Request, Response};
+pub use server::{serve, Server};

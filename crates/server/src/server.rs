@@ -1,0 +1,76 @@
+//! TCP accept loop with a fixed worker pool.
+
+use crate::app::App;
+use crate::http::{read_request, HttpError, Response};
+use crossbeam::channel;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+
+/// A running HTTP server.
+pub struct Server {
+    /// Bound local address (useful with port 0).
+    pub addr: std::net::SocketAddr,
+    shutdown: channel::Sender<()>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+/// Starts the server on `addr` (e.g. `127.0.0.1:0`) with `workers` handler
+/// threads. Returns once the socket is bound and accepting.
+pub fn serve(app: App, addr: &str, workers: usize) -> std::io::Result<Server> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let app = Arc::new(app);
+    let (tx, rx) = channel::unbounded::<TcpStream>();
+    for _ in 0..workers.max(1) {
+        let rx = rx.clone();
+        let app = Arc::clone(&app);
+        thread::spawn(move || {
+            while let Ok(mut stream) = rx.recv() {
+                handle_connection(&app, &mut stream);
+            }
+        });
+    }
+    let (shutdown_tx, shutdown_rx) = channel::bounded::<()>(1);
+    let accept_thread = thread::spawn(move || {
+        for stream in listener.incoming() {
+            if shutdown_rx.try_recv().is_ok() {
+                break;
+            }
+            match stream {
+                Ok(s) => {
+                    let _ = tx.send(s);
+                }
+                Err(_) => break,
+            }
+        }
+    });
+    Ok(Server {
+        addr: local,
+        shutdown: shutdown_tx,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn handle_connection(app: &App, stream: &mut TcpStream) {
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(10)));
+    let response = match read_request(stream) {
+        Ok(req) => app.handle(&req),
+        Err(HttpError::TooLarge) => Response::error(413, "payload too large"),
+        Err(e) => Response::error(400, e.to_string()),
+    };
+    let _ = response.write_to(stream);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+impl Server {
+    /// Signals shutdown; the accept loop exits on the next connection.
+    pub fn stop(mut self) {
+        let _ = self.shutdown.send(());
+        // Poke the listener so `incoming()` yields once more.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}

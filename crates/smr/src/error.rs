@@ -1,0 +1,55 @@
+//! SMR error types.
+
+use std::fmt;
+
+/// Errors produced by the Sensor Metadata Repository.
+#[derive(Debug)]
+pub enum SmrError {
+    /// A page with this title already exists.
+    PageExists(String),
+    /// No page with this title.
+    NoSuchPage(String),
+    /// A draft failed validation.
+    InvalidDraft(String),
+    /// Underlying relational engine error.
+    Rel(sensormeta_relstore::RelError),
+    /// Underlying RDF/SPARQL error.
+    Rdf(sensormeta_rdf::RdfError),
+}
+
+impl fmt::Display for SmrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmrError::PageExists(t) => write!(f, "page `{t}` already exists"),
+            SmrError::NoSuchPage(t) => write!(f, "no such page: `{t}`"),
+            SmrError::InvalidDraft(m) => write!(f, "invalid page draft: {m}"),
+            SmrError::Rel(e) => write!(f, "storage error: {e}"),
+            SmrError::Rdf(e) => write!(f, "rdf error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SmrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SmrError::Rel(e) => Some(e),
+            SmrError::Rdf(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sensormeta_relstore::RelError> for SmrError {
+    fn from(e: sensormeta_relstore::RelError) -> Self {
+        SmrError::Rel(e)
+    }
+}
+
+impl From<sensormeta_rdf::RdfError> for SmrError {
+    fn from(e: sensormeta_rdf::RdfError) -> Self {
+        SmrError::Rdf(e)
+    }
+}
+
+/// Result alias for the SMR.
+pub type Result<T> = std::result::Result<T, SmrError>;

@@ -1,0 +1,30 @@
+//! # sensormeta-smr
+//!
+//! The Sensor Metadata Repository: a semantic-wiki metadata store in the
+//! style of the paper's Semantic-MediaWiki deployment. Pages carry
+//! (attribute, value) annotations, wiki links, tags, and revisioned bodies;
+//! the relational engine is the system of record and every annotation/link
+//! is mirrored into an RDF store so queries run as a combination of SQL and
+//! SPARQL. Includes the bulk-loading interface (JSON-lines and CSV).
+//!
+//! ```
+//! use sensormeta_smr::{Smr, PageDraft};
+//!
+//! let mut smr = Smr::new();
+//! smr.create_page(
+//!     PageDraft::new("Deployment:wfj_temp", "Deployment")
+//!         .annotate("measuresQuantity", "temperature")
+//!         .tag("snow"),
+//! ).unwrap();
+//! assert_eq!(smr.page_count(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod page;
+pub mod repo;
+
+pub use error::{Result, SmrError};
+pub use page::{parse_csv, parse_jsonl, BulkReport, Page, PageDraft};
+pub use repo::{sql_escape, RepoStats, Smr};

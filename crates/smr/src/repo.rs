@@ -1,0 +1,853 @@
+//! The Sensor Metadata Repository: a semantic-wiki layer whose system of
+//! record is the relational engine, with every annotation and link mirrored
+//! into the RDF store — so queries can run "using a combination of SQL and
+//! SPARQL", as the paper describes.
+
+use crate::error::{Result, SmrError};
+use crate::page::{BulkReport, Page, PageDraft};
+use sensormeta_graph::CsrGraph;
+use sensormeta_rdf::{evaluate, parse_sparql, Solutions, Term, TripleStore};
+use sensormeta_relstore::{Database, ResultSet, Value};
+
+/// Base IRI for page resources in the RDF mirror.
+pub const PAGE_IRI_BASE: &str = "http://swiss-experiment.ch/page/";
+/// Base IRI for annotation properties.
+pub const PROP_IRI_BASE: &str = "http://swiss-experiment.ch/property/";
+/// IRI of the wiki-link predicate.
+pub const LINKS_TO: &str = "http://swiss-experiment.ch/property/linksTo";
+/// IRI of rdf:type.
+pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+/// Base IRI for namespaces (page classes).
+pub const NS_IRI_BASE: &str = "http://swiss-experiment.ch/namespace/";
+
+/// The repository.
+pub struct Smr {
+    db: Database,
+    rdf: TripleStore,
+}
+
+impl Default for Smr {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Smr {
+    /// Creates an empty repository with its relational schema installed.
+    pub fn new() -> Smr {
+        let mut db = Database::new();
+        db.execute_script(
+            "CREATE TABLE pages (id INTEGER PRIMARY KEY, title TEXT NOT NULL UNIQUE, \
+             namespace TEXT NOT NULL, body TEXT, revision INTEGER NOT NULL);
+             CREATE TABLE annotations (page_id INTEGER NOT NULL, attribute TEXT NOT NULL, \
+             value TEXT NOT NULL);
+             CREATE TABLE links (from_id INTEGER NOT NULL, to_title TEXT NOT NULL);
+             CREATE TABLE tags (page_id INTEGER NOT NULL, tag TEXT NOT NULL);
+             CREATE TABLE revisions (page_id INTEGER NOT NULL, revision INTEGER NOT NULL, \
+             body TEXT);
+             CREATE INDEX annotations_page ON annotations (page_id);
+             CREATE INDEX annotations_attr ON annotations (attribute);
+             CREATE INDEX links_from ON links (from_id);
+             CREATE INDEX links_to ON links (to_title);
+             CREATE INDEX tags_page ON tags (page_id);
+             CREATE INDEX tags_tag ON tags (tag);",
+        )
+        .expect("static schema is valid");
+        Smr {
+            db,
+            rdf: TripleStore::new(),
+        }
+    }
+
+    /// The page IRI for a title.
+    pub fn page_iri(title: &str) -> String {
+        format!("{PAGE_IRI_BASE}{}", encode_iri_component(title))
+    }
+
+    /// The property IRI for an annotation attribute.
+    pub fn property_iri(attr: &str) -> String {
+        format!("{PROP_IRI_BASE}{}", encode_iri_component(attr))
+    }
+
+    /// Number of pages.
+    pub fn page_count(&self) -> usize {
+        self.db
+            .query_scalar("SELECT COUNT(*) FROM pages")
+            .ok()
+            .flatten()
+            .and_then(|v| v.as_int())
+            .unwrap_or(0) as usize
+    }
+
+    /// Creates a page. Fails if the title exists.
+    pub fn create_page(&mut self, draft: PageDraft) -> Result<i64> {
+        if draft.title.is_empty() {
+            return Err(SmrError::InvalidDraft("empty title".into()));
+        }
+        if self.page_id(&draft.title)?.is_some() {
+            return Err(SmrError::PageExists(draft.title));
+        }
+        let id = self.next_page_id()?;
+        let t = self.db.table_mut("pages")?;
+        t.insert(vec![
+            Value::Int(id),
+            Value::text(draft.title.clone()),
+            Value::text(draft.namespace.clone()),
+            Value::text(draft.body.clone()),
+            Value::Int(1),
+        ])?;
+        self.write_satellites(id, &draft)?;
+        self.mirror_page(&draft);
+        Ok(id)
+    }
+
+    /// Updates an existing page in place, bumping its revision and archiving
+    /// the previous body.
+    pub fn update_page(&mut self, draft: PageDraft) -> Result<i64> {
+        let Some(id) = self.page_id(&draft.title)? else {
+            return Err(SmrError::NoSuchPage(draft.title));
+        };
+        let old = self.get_page(&draft.title)?.expect("id resolved");
+        // Archive the old body.
+        self.db.table_mut("revisions")?.insert(vec![
+            Value::Int(id),
+            Value::Int(old.revision),
+            Value::text(old.body.clone()),
+        ])?;
+        // Rewrite the page row.
+        let esc = sql_escape(&draft.title);
+        self.db.execute(&format!(
+            "UPDATE pages SET namespace = '{}', body = '{}', revision = revision + 1 \
+             WHERE title = '{esc}'",
+            sql_escape(&draft.namespace),
+            sql_escape(&draft.body),
+        ))?;
+        // Replace satellites.
+        self.db
+            .execute(&format!("DELETE FROM annotations WHERE page_id = {id}"))?;
+        self.db
+            .execute(&format!("DELETE FROM links WHERE from_id = {id}"))?;
+        self.db
+            .execute(&format!("DELETE FROM tags WHERE page_id = {id}"))?;
+        self.write_satellites(id, &draft)?;
+        // Re-mirror in RDF.
+        self.rdf
+            .remove_subject(&Term::iri(Self::page_iri(&draft.title)));
+        self.mirror_page(&draft);
+        Ok(id)
+    }
+
+    /// Creates or updates, whichever applies.
+    pub fn upsert_page(&mut self, draft: PageDraft) -> Result<(i64, bool)> {
+        if self.page_id(&draft.title)?.is_some() {
+            Ok((self.update_page(draft)?, false))
+        } else {
+            Ok((self.create_page(draft)?, true))
+        }
+    }
+
+    /// Deletes a page (its revisions, annotations, links, tags, and RDF
+    /// mirror). Returns true if it existed.
+    pub fn delete_page(&mut self, title: &str) -> Result<bool> {
+        let Some(id) = self.page_id(title)? else {
+            return Ok(false);
+        };
+        for sql in [
+            format!("DELETE FROM annotations WHERE page_id = {id}"),
+            format!("DELETE FROM links WHERE from_id = {id}"),
+            format!("DELETE FROM tags WHERE page_id = {id}"),
+            format!("DELETE FROM revisions WHERE page_id = {id}"),
+            format!("DELETE FROM pages WHERE id = {id}"),
+        ] {
+            self.db.execute(&sql)?;
+        }
+        self.rdf.remove_subject(&Term::iri(Self::page_iri(title)));
+        Ok(true)
+    }
+
+    /// Bulk-loads drafts (the paper's Bulk-loading Interface): existing titles
+    /// are updated, new ones created, and per-draft failures collected rather
+    /// than aborting the batch.
+    pub fn bulk_load(&mut self, drafts: impl IntoIterator<Item = PageDraft>) -> BulkReport {
+        let mut report = BulkReport::default();
+        for draft in drafts {
+            let title = draft.title.clone();
+            match self.upsert_page(draft) {
+                Ok((_, true)) => report.created += 1,
+                Ok((_, false)) => report.updated += 1,
+                Err(e) => report.errors.push((title, e.to_string())),
+            }
+        }
+        report
+    }
+
+    /// Reads a page back, with annotations, links and tags.
+    pub fn get_page(&self, title: &str) -> Result<Option<Page>> {
+        let esc = sql_escape(title);
+        let rs = self.db.query(&format!(
+            "SELECT id, title, namespace, body, revision FROM pages WHERE title = '{esc}'"
+        ))?;
+        let Some(row) = rs.rows.first() else {
+            return Ok(None);
+        };
+        let id = row[0].as_int().expect("id is integer");
+        let annotations = self
+            .db
+            .query(&format!(
+                "SELECT attribute, value FROM annotations WHERE page_id = {id}"
+            ))?
+            .rows
+            .into_iter()
+            .map(|r| (r[0].to_string(), r[1].to_string()))
+            .collect();
+        let links = self
+            .db
+            .query(&format!(
+                "SELECT to_title FROM links WHERE from_id = {id} ORDER BY to_title"
+            ))?
+            .rows
+            .into_iter()
+            .map(|r| r[0].to_string())
+            .collect();
+        let tags = self
+            .db
+            .query(&format!(
+                "SELECT tag FROM tags WHERE page_id = {id} ORDER BY tag"
+            ))?
+            .rows
+            .into_iter()
+            .map(|r| r[0].to_string())
+            .collect();
+        Ok(Some(Page {
+            id,
+            title: row[1].to_string(),
+            namespace: row[2].to_string(),
+            body: row[3].to_string(),
+            revision: row[4].as_int().unwrap_or(1),
+            annotations,
+            links,
+            tags,
+        }))
+    }
+
+    /// All page titles, sorted.
+    pub fn page_titles(&self) -> Result<Vec<String>> {
+        Ok(self
+            .db
+            .query("SELECT title FROM pages ORDER BY title")?
+            .rows
+            .into_iter()
+            .map(|r| r[0].to_string())
+            .collect())
+    }
+
+    /// Titles in a namespace.
+    pub fn pages_in_namespace(&self, ns: &str) -> Result<Vec<String>> {
+        Ok(self
+            .db
+            .query(&format!(
+                "SELECT title FROM pages WHERE namespace = '{}' ORDER BY title",
+                sql_escape(ns)
+            ))?
+            .rows
+            .into_iter()
+            .map(|r| r[0].to_string())
+            .collect())
+    }
+
+    /// Pages linking *to* the given title.
+    pub fn backlinks(&self, title: &str) -> Result<Vec<String>> {
+        Ok(self
+            .db
+            .query(&format!(
+                "SELECT p.title FROM links l JOIN pages p ON l.from_id = p.id \
+                 WHERE l.to_title = '{}' ORDER BY p.title",
+                sql_escape(title)
+            ))?
+            .rows
+            .into_iter()
+            .map(|r| r[0].to_string())
+            .collect())
+    }
+
+    /// Archived revision bodies of a page, oldest first.
+    pub fn revisions(&self, title: &str) -> Result<Vec<(i64, String)>> {
+        let Some(id) = self.page_id(title)? else {
+            return Ok(Vec::new());
+        };
+        Ok(self
+            .db
+            .query(&format!(
+                "SELECT revision, body FROM revisions WHERE page_id = {id} ORDER BY revision"
+            ))?
+            .rows
+            .into_iter()
+            .map(|r| (r[0].as_int().unwrap_or(0), r[1].to_string()))
+            .collect())
+    }
+
+    /// Runs a raw SQL SELECT against the relational store.
+    pub fn sql(&self, query: &str) -> Result<ResultSet> {
+        Ok(self.db.query(query)?)
+    }
+
+    /// Runs a SPARQL SELECT against the RDF mirror.
+    pub fn sparql(&self, query: &str) -> Result<Solutions> {
+        let q = parse_sparql(query)?;
+        Ok(evaluate(&self.rdf, &q)?)
+    }
+
+    /// Direct read access to the RDF mirror.
+    pub fn rdf(&self) -> &TripleStore {
+        &self.rdf
+    }
+
+    /// Direct read access to the relational store.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Distinct annotation attributes with usage counts (drives the dynamic
+    /// drop-down menus of the advanced search form).
+    pub fn attributes(&self) -> Result<Vec<(String, usize)>> {
+        Ok(self
+            .db
+            .query(
+                "SELECT attribute, COUNT(*) AS n FROM annotations GROUP BY attribute \
+                 ORDER BY n DESC, attribute",
+            )?
+            .rows
+            .into_iter()
+            .map(|r| (r[0].to_string(), r[1].as_int().unwrap_or(0) as usize))
+            .collect())
+    }
+
+    /// Distinct values of one attribute (for autocomplete / drop-downs).
+    pub fn attribute_values(&self, attr: &str) -> Result<Vec<String>> {
+        Ok(self
+            .db
+            .query(&format!(
+                "SELECT DISTINCT value FROM annotations WHERE attribute = '{}' ORDER BY value",
+                sql_escape(attr)
+            ))?
+            .rows
+            .into_iter()
+            .map(|r| r[0].to_string())
+            .collect())
+    }
+
+    /// Builds the paper's double linking structure over all pages:
+    /// `(semantic, hyperlink, titles)` where `titles[i]` labels node `i`.
+    /// Semantic edges come from annotations whose value is another page's
+    /// title; hyperlink edges from the wiki-link table (dangling link targets
+    /// — red links — are skipped, they are not pages).
+    pub fn link_graphs(&self) -> Result<(CsrGraph, CsrGraph, Vec<String>)> {
+        let titles = self.page_titles()?;
+        let index: std::collections::HashMap<&str, usize> = titles
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.as_str(), i))
+            .collect();
+        let n = titles.len();
+        let mut hyper = Vec::new();
+        let rs = self
+            .db
+            .query("SELECT p.title, l.to_title FROM links l JOIN pages p ON l.from_id = p.id")?;
+        for row in rs.rows {
+            if let (Some(&u), Some(&v)) = (
+                index.get(row[0].to_string().as_str()),
+                index.get(row[1].to_string().as_str()),
+            ) {
+                if u != v {
+                    hyper.push((u, v));
+                }
+            }
+        }
+        let mut semantic = Vec::new();
+        let rs = self
+            .db
+            .query("SELECT p.title, a.value FROM annotations a JOIN pages p ON a.page_id = p.id")?;
+        for row in rs.rows {
+            if let (Some(&u), Some(&v)) = (
+                index.get(row[0].to_string().as_str()),
+                index.get(row[1].to_string().as_str()),
+            ) {
+                if u != v {
+                    semantic.push((u, v));
+                }
+            }
+        }
+        Ok((
+            CsrGraph::from_edges(n, &semantic, true),
+            CsrGraph::from_edges(n, &hyper, true),
+            titles,
+        ))
+    }
+
+    /// All (page title, tag) pairs — input for the tagging pipeline.
+    pub fn all_tags(&self) -> Result<Vec<(String, String)>> {
+        Ok(self
+            .db
+            .query(
+                "SELECT p.title, t.tag FROM tags t JOIN pages p ON t.page_id = p.id \
+                 ORDER BY p.title, t.tag",
+            )?
+            .rows
+            .into_iter()
+            .map(|r| (r[0].to_string(), r[1].to_string()))
+            .collect())
+    }
+
+    /// Aggregate repository statistics (pages per namespace, satellite
+    /// counts, mirror size) — the home page's health panel.
+    pub fn statistics(&self) -> Result<RepoStats> {
+        let per_ns = self
+            .db
+            .query("SELECT namespace, COUNT(*) FROM pages GROUP BY namespace ORDER BY namespace")?
+            .rows
+            .into_iter()
+            .map(|r| (r[0].to_string(), r[1].as_int().unwrap_or(0) as usize))
+            .collect();
+        let count = |t: &str| -> Result<usize> {
+            Ok(self
+                .db
+                .query_scalar(&format!("SELECT COUNT(*) FROM {t}"))?
+                .and_then(|v| v.as_int())
+                .unwrap_or(0) as usize)
+        };
+        Ok(RepoStats {
+            pages: count("pages")?,
+            pages_per_namespace: per_ns,
+            annotations: count("annotations")?,
+            links: count("links")?,
+            tags: count("tags")?,
+            revisions: count("revisions")?,
+            triples: self.rdf.len(),
+        })
+    }
+
+    // ----- persistence -----
+
+    /// Saves the repository to a snapshot file (relational state only; the
+    /// RDF mirror is derived data and is rebuilt on load).
+    pub fn save(&self, path: &std::path::Path) -> Result<()> {
+        Ok(self.db.save(path)?)
+    }
+
+    /// Loads a repository from a snapshot file, rebuilding the RDF mirror
+    /// from the relational tables.
+    pub fn load(path: &std::path::Path) -> Result<Smr> {
+        let db = Database::load(path)?;
+        let mut smr = Smr {
+            db,
+            rdf: TripleStore::new(),
+        };
+        smr.rebuild_mirror()?;
+        Ok(smr)
+    }
+
+    /// Rebuilds the whole RDF mirror from the relational state. Used after
+    /// loading a snapshot; also useful after direct SQL surgery.
+    pub fn rebuild_mirror(&mut self) -> Result<()> {
+        self.rdf = TripleStore::new();
+        let drafts: Vec<PageDraft> = self
+            .page_titles()?
+            .into_iter()
+            .map(|t| {
+                let p = self.get_page(&t)?.expect("title just listed");
+                Ok(PageDraft {
+                    title: p.title,
+                    namespace: p.namespace,
+                    body: p.body,
+                    annotations: p.annotations,
+                    links: p.links,
+                    tags: p.tags,
+                })
+            })
+            .collect::<Result<_>>()?;
+        for draft in drafts {
+            self.mirror_page(&draft);
+        }
+        Ok(())
+    }
+
+    // ----- internals -----
+
+    fn page_id(&self, title: &str) -> Result<Option<i64>> {
+        let rs = self.db.query(&format!(
+            "SELECT id FROM pages WHERE title = '{}'",
+            sql_escape(title)
+        ))?;
+        Ok(rs.rows.first().and_then(|r| r[0].as_int()))
+    }
+
+    fn next_page_id(&self) -> Result<i64> {
+        Ok(self
+            .db
+            .query_scalar("SELECT MAX(id) FROM pages")?
+            .and_then(|v| v.as_int())
+            .unwrap_or(0)
+            + 1)
+    }
+
+    fn write_satellites(&mut self, id: i64, draft: &PageDraft) -> Result<()> {
+        let ann = self.db.table_mut("annotations")?;
+        for (a, v) in &draft.annotations {
+            ann.insert(vec![
+                Value::Int(id),
+                Value::text(a.clone()),
+                Value::text(v.clone()),
+            ])?;
+        }
+        let links = self.db.table_mut("links")?;
+        for l in &draft.links {
+            links.insert(vec![Value::Int(id), Value::text(l.clone())])?;
+        }
+        let tags = self.db.table_mut("tags")?;
+        for t in &draft.tags {
+            tags.insert(vec![Value::Int(id), Value::text(t.clone())])?;
+        }
+        Ok(())
+    }
+
+    fn mirror_page(&mut self, draft: &PageDraft) {
+        let subject = Term::iri(Self::page_iri(&draft.title));
+        self.rdf.insert(
+            subject.clone(),
+            Term::iri(RDF_TYPE),
+            Term::iri(format!(
+                "{NS_IRI_BASE}{}",
+                encode_iri_component(&draft.namespace)
+            )),
+        );
+        self.rdf.insert(
+            subject.clone(),
+            Term::iri(format!("{PROP_IRI_BASE}title")),
+            Term::lit(draft.title.clone()),
+        );
+        for (attr, value) in &draft.annotations {
+            // Values that name a page become object links; everything else a
+            // literal (numeric literals keep their lexical form).
+            let object = if self.page_id(value).ok().flatten().is_some() {
+                Term::iri(Self::page_iri(value))
+            } else {
+                Term::lit(value.clone())
+            };
+            self.rdf
+                .insert(subject.clone(), Term::iri(Self::property_iri(attr)), object);
+        }
+        for target in &draft.links {
+            self.rdf.insert(
+                subject.clone(),
+                Term::iri(LINKS_TO),
+                Term::iri(Self::page_iri(target)),
+            );
+        }
+    }
+}
+
+/// Aggregate counts over a repository.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepoStats {
+    /// Total pages.
+    pub pages: usize,
+    /// (namespace, page count), sorted by namespace.
+    pub pages_per_namespace: Vec<(String, usize)>,
+    /// Total (attribute, value) annotations.
+    pub annotations: usize,
+    /// Total wiki links.
+    pub links: usize,
+    /// Total tag assignments.
+    pub tags: usize,
+    /// Archived revisions.
+    pub revisions: usize,
+    /// Triples in the RDF mirror.
+    pub triples: usize,
+}
+
+/// Escapes a string for inclusion in a single-quoted SQL literal.
+pub fn sql_escape(s: &str) -> String {
+    s.replace('\'', "''")
+}
+
+/// Percent-encodes the characters that would break IRIs.
+fn encode_iri_component(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            ' ' => out.push('_'),
+            '<' | '>' | '"' | '{' | '}' | '|' | '^' | '`' | '\\' => {
+                for b in c.to_string().as_bytes() {
+                    out.push_str(&format!("%{b:02X}"));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn draft(title: &str) -> PageDraft {
+        PageDraft::new(title, "Deployment")
+            .body("a sensor")
+            .annotate("measuresQuantity", "temperature")
+            .tag("snow")
+    }
+
+    #[test]
+    fn create_and_read_back() {
+        let mut smr = Smr::new();
+        let id = smr.create_page(draft("Deployment:wfj_temp")).unwrap();
+        assert_eq!(id, 1);
+        let p = smr.get_page("Deployment:wfj_temp").unwrap().unwrap();
+        assert_eq!(p.revision, 1);
+        assert_eq!(p.annotations[0].1, "temperature");
+        assert_eq!(p.tags, vec!["snow"]);
+        assert!(smr.get_page("missing").unwrap().is_none());
+    }
+
+    #[test]
+    fn duplicate_title_rejected() {
+        let mut smr = Smr::new();
+        smr.create_page(draft("X")).unwrap();
+        assert!(matches!(
+            smr.create_page(draft("X")).unwrap_err(),
+            SmrError::PageExists(_)
+        ));
+    }
+
+    #[test]
+    fn update_bumps_revision_and_archives() {
+        let mut smr = Smr::new();
+        smr.create_page(draft("X")).unwrap();
+        smr.update_page(PageDraft::new("X", "Deployment").body("v2"))
+            .unwrap();
+        let p = smr.get_page("X").unwrap().unwrap();
+        assert_eq!(p.revision, 2);
+        assert_eq!(p.body, "v2");
+        assert!(p.annotations.is_empty(), "satellites replaced");
+        let revs = smr.revisions("X").unwrap();
+        assert_eq!(revs.len(), 1);
+        assert_eq!(revs[0], (1, "a sensor".to_string()));
+    }
+
+    #[test]
+    fn rdf_mirror_tracks_pages() {
+        let mut smr = Smr::new();
+        smr.create_page(draft("Deployment:wfj_temp").annotate("deployedAt", "Fieldsite:WFJ"))
+            .unwrap();
+        smr.create_page(PageDraft::new("Fieldsite:WFJ", "Fieldsite"))
+            .unwrap();
+        // Literal annotation mirrored.
+        let sols = smr
+            .sparql(
+                "PREFIX prop: <http://swiss-experiment.ch/property/> \
+                 SELECT ?s WHERE { ?s prop:measuresQuantity \"temperature\" }",
+            )
+            .unwrap();
+        assert_eq!(sols.len(), 1);
+        // Deleting removes the mirror.
+        smr.delete_page("Deployment:wfj_temp").unwrap();
+        let sols = smr
+            .sparql(
+                "PREFIX prop: <http://swiss-experiment.ch/property/> \
+                 SELECT ?s WHERE { ?s prop:measuresQuantity \"temperature\" }",
+            )
+            .unwrap();
+        assert!(sols.is_empty());
+    }
+
+    #[test]
+    fn object_annotations_become_iri_links() {
+        let mut smr = Smr::new();
+        smr.create_page(PageDraft::new("Fieldsite:WFJ", "Fieldsite"))
+            .unwrap();
+        smr.create_page(draft("Deployment:d1").annotate("deployedAt", "Fieldsite:WFJ"))
+            .unwrap();
+        let sols = smr
+            .sparql(
+                "PREFIX prop: <http://swiss-experiment.ch/property/> \
+                 SELECT ?site WHERE { ?d prop:deployedAt ?site . FILTER(isIRI(?site)) }",
+            )
+            .unwrap();
+        assert_eq!(sols.len(), 1);
+    }
+
+    #[test]
+    fn bulk_load_reports() {
+        let mut smr = Smr::new();
+        smr.create_page(draft("A")).unwrap();
+        let report = smr.bulk_load(vec![
+            draft("A"),                       // update
+            draft("B"),                       // create
+            PageDraft::new("", "Deployment"), // error
+        ]);
+        assert_eq!(report.created, 1);
+        assert_eq!(report.updated, 1);
+        assert_eq!(report.errors.len(), 1);
+        assert_eq!(smr.page_count(), 2);
+    }
+
+    #[test]
+    fn backlinks_and_namespaces() {
+        let mut smr = Smr::new();
+        smr.create_page(PageDraft::new("Fieldsite:WFJ", "Fieldsite"))
+            .unwrap();
+        smr.create_page(draft("Deployment:d1").link("Fieldsite:WFJ"))
+            .unwrap();
+        smr.create_page(draft("Deployment:d2").link("Fieldsite:WFJ"))
+            .unwrap();
+        assert_eq!(
+            smr.backlinks("Fieldsite:WFJ").unwrap(),
+            vec!["Deployment:d1", "Deployment:d2"]
+        );
+        assert_eq!(smr.pages_in_namespace("Fieldsite").unwrap().len(), 1);
+        assert_eq!(smr.pages_in_namespace("Deployment").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn link_graphs_built_from_both_structures() {
+        let mut smr = Smr::new();
+        smr.create_page(PageDraft::new("A", "Main").link("B"))
+            .unwrap();
+        smr.create_page(PageDraft::new("B", "Main").annotate("rel", "A"))
+            .unwrap();
+        smr.create_page(PageDraft::new("C", "Main").link("Missing"))
+            .unwrap();
+        let (sem, hyp, titles) = smr.link_graphs().unwrap();
+        assert_eq!(titles, vec!["A", "B", "C"]);
+        let a = 0;
+        let b = 1;
+        assert_eq!(hyp.neighbors(a), &[b]);
+        assert_eq!(sem.neighbors(b), &[a]);
+        // Red link (to a missing page) produces no edge.
+        assert_eq!(hyp.out_degree(2), 0);
+    }
+
+    #[test]
+    fn attributes_and_values_for_dropdowns() {
+        let mut smr = Smr::new();
+        smr.create_page(draft("D1")).unwrap();
+        smr.create_page(draft("D2").annotate("hasUnit", "C"))
+            .unwrap();
+        let attrs = smr.attributes().unwrap();
+        assert_eq!(attrs[0].0, "measuresQuantity");
+        assert_eq!(attrs[0].1, 2);
+        assert_eq!(
+            smr.attribute_values("measuresQuantity").unwrap(),
+            vec!["temperature"]
+        );
+    }
+
+    #[test]
+    fn sql_escape_quotes() {
+        let mut smr = Smr::new();
+        smr.create_page(PageDraft::new("O'Brien's page", "Main"))
+            .unwrap();
+        let p = smr.get_page("O'Brien's page").unwrap().unwrap();
+        assert_eq!(p.title, "O'Brien's page");
+    }
+
+    #[test]
+    fn all_tags_lists_pairs() {
+        let mut smr = Smr::new();
+        smr.create_page(draft("A").tag("alpine")).unwrap();
+        let tags = smr.all_tags().unwrap();
+        assert_eq!(
+            tags,
+            vec![
+                ("A".to_string(), "alpine".to_string()),
+                ("A".to_string(), "snow".to_string())
+            ]
+        );
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+
+    #[test]
+    fn save_load_roundtrip_with_mirror() {
+        let dir = std::env::temp_dir().join("smr_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("repo.snap");
+
+        let mut smr = Smr::new();
+        smr.create_page(PageDraft::new("Fieldsite:WFJ", "Fieldsite"))
+            .unwrap();
+        smr.create_page(
+            PageDraft::new("Deployment:d1", "Deployment")
+                .body("a body with ünïcode")
+                .annotate("deployedAt", "Fieldsite:WFJ")
+                .annotate("measuresQuantity", "temperature")
+                .link("Fieldsite:WFJ")
+                .tag("snow"),
+        )
+        .unwrap();
+        smr.save(&path).unwrap();
+
+        let restored = Smr::load(&path).unwrap();
+        assert_eq!(restored.page_count(), 2);
+        let page = restored.get_page("Deployment:d1").unwrap().unwrap();
+        assert_eq!(page.body, "a body with ünïcode");
+        assert_eq!(page.tags, vec!["snow"]);
+        // The RDF mirror was rebuilt: SPARQL still answers, and the
+        // object-valued annotation is an IRI again.
+        let sols = restored
+            .sparql(
+                "PREFIX prop: <http://swiss-experiment.ch/property/> \
+                 SELECT ?site WHERE { ?d prop:deployedAt ?site . FILTER(isIRI(?site)) }",
+            )
+            .unwrap();
+        assert_eq!(sols.len(), 1);
+        // Mutations work after load (ids continue correctly).
+        let mut restored = restored;
+        let id = restored
+            .create_page(PageDraft::new("Deployment:d2", "Deployment"))
+            .unwrap();
+        assert!(id > 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(Smr::load(std::path::Path::new("/nonexistent/x.snap")).is_err());
+    }
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+
+    #[test]
+    fn statistics_count_everything() {
+        let mut smr = Smr::new();
+        smr.create_page(
+            PageDraft::new("Fieldsite:A", "Fieldsite")
+                .annotate("x", "1")
+                .annotate("y", "2")
+                .tag("t1"),
+        )
+        .unwrap();
+        smr.create_page(PageDraft::new("Deployment:B", "Deployment").link("Fieldsite:A"))
+            .unwrap();
+        smr.update_page(PageDraft::new("Deployment:B", "Deployment").body("v2"))
+            .unwrap();
+        let stats = smr.statistics().unwrap();
+        assert_eq!(stats.pages, 2);
+        assert_eq!(
+            stats.pages_per_namespace,
+            vec![("Deployment".to_string(), 1), ("Fieldsite".to_string(), 1)]
+        );
+        assert_eq!(stats.annotations, 2);
+        assert_eq!(stats.links, 0, "update replaced satellites");
+        assert_eq!(stats.tags, 1);
+        assert_eq!(stats.revisions, 1);
+        assert!(stats.triples >= 4, "type + title triples per page");
+    }
+}

@@ -1,0 +1,156 @@
+//! The Cache module of Fig. 4.
+//!
+//! "A Cache mechanism is also implemented to decrease the number of
+//! computations and data exchanges." The cache memoizes computed clouds
+//! keyed by the store's mutation version plus the cloud parameters, so
+//! repeated renders of an unchanged tag set cost a lookup, and any mutation
+//! invalidates naturally (the version moves on).
+
+use crate::clique::BkVariant;
+use crate::cloud::{compute_cloud, CloudParams, TagCloud};
+use crate::store::TagStore;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache keyed by (store version, parameter fingerprint).
+#[derive(Debug, Default)]
+pub struct CloudCache {
+    entries: HashMap<(u64, ParamKey), Arc<TagCloud>>,
+    hits: u64,
+    misses: u64,
+    /// Entries evicted because their version is stale.
+    evicted: u64,
+}
+
+/// Hashable fingerprint of [`CloudParams`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ParamKey {
+    threshold_millis: u32,
+    f_max: usize,
+    variant: u8,
+    clique_aware: bool,
+}
+
+impl From<&CloudParams> for ParamKey {
+    fn from(p: &CloudParams) -> Self {
+        ParamKey {
+            threshold_millis: (p.threshold * 1000.0).round() as u32,
+            f_max: p.f_max,
+            variant: match p.variant {
+                BkVariant::Naive => 0,
+                BkVariant::Pivot => 1,
+                BkVariant::Degeneracy => 2,
+            },
+            clique_aware: p.clique_aware,
+        }
+    }
+}
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from cache.
+    pub hits: u64,
+    /// Lookups that recomputed.
+    pub misses: u64,
+    /// Stale entries dropped.
+    pub evicted: u64,
+}
+
+impl CloudCache {
+    /// Creates an empty cache.
+    pub fn new() -> CloudCache {
+        CloudCache::default()
+    }
+
+    /// Returns the cloud for the store's current state, computing it only on
+    /// miss. Stale versions of the same parameter set are evicted.
+    pub fn get(&mut self, store: &TagStore, params: &CloudParams) -> Arc<TagCloud> {
+        let key = (store.version(), ParamKey::from(params));
+        if let Some(cloud) = self.entries.get(&key) {
+            self.hits += 1;
+            return Arc::clone(cloud);
+        }
+        self.misses += 1;
+        // Evict entries for the same params at older versions.
+        let before = self.entries.len();
+        self.entries.retain(|(v, k), _| *k != key.1 || *v == key.0);
+        self.evicted += (before - self.entries.len()) as u64;
+        let cloud = Arc::new(compute_cloud(store, params));
+        self.entries.insert(key, Arc::clone(&cloud));
+        cloud
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evicted: self.evicted,
+        }
+    }
+
+    /// Clears everything (stats included).
+    pub fn clear(&mut self) {
+        *self = CloudCache::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> TagStore {
+        let mut s = TagStore::new();
+        s.ingest([("a", "snow"), ("b", "snow"), ("b", "wind")]);
+        s
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let s = store();
+        let mut cache = CloudCache::new();
+        let c1 = cache.get(&s, &CloudParams::default());
+        let c2 = cache.get(&s, &CloudParams::default());
+        assert!(Arc::ptr_eq(&c1, &c2));
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn mutation_invalidates() {
+        let mut s = store();
+        let mut cache = CloudCache::new();
+        cache.get(&s, &CloudParams::default());
+        s.add("c", "avalanche");
+        let c2 = cache.get(&s, &CloudParams::default());
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().evicted, 1, "stale version dropped");
+        assert!(c2.entries.iter().any(|e| e.tag == "avalanche"));
+    }
+
+    #[test]
+    fn different_params_cached_separately() {
+        let s = store();
+        let mut cache = CloudCache::new();
+        cache.get(&s, &CloudParams::default());
+        cache.get(
+            &s,
+            &CloudParams {
+                f_max: 20,
+                ..CloudParams::default()
+            },
+        );
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().evicted, 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let s = store();
+        let mut cache = CloudCache::new();
+        cache.get(&s, &CloudParams::default());
+        cache.clear();
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+}

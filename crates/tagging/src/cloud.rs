@@ -1,0 +1,209 @@
+//! Tag-cloud assembly: the full Fig. 4 pipeline.
+//!
+//! store (Parser) → similarity matrix (Matrix Transformation) → tag graph
+//! (Graph) → maximal cliques (Max Clique Algorithm) → Eq. 6 (Font Size
+//! Calculation) → a renderable [`TagCloud`].
+
+use crate::clique::{clique_membership, maximal_cliques, BkVariant};
+use crate::fontsize::{font_size, font_size_frequency_only, FontScale, FontSizeInput};
+use crate::similarity::similarity_graph;
+use crate::store::TagStore;
+
+/// Parameters of a cloud computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CloudParams {
+    /// Cosine similarity threshold (paper default 0.5, strict >).
+    pub threshold: f64,
+    /// Maximum font size `f_max`.
+    pub f_max: usize,
+    /// Bron–Kerbosch variant.
+    pub variant: BkVariant,
+    /// If false, skip the clique term (frequency-only baseline).
+    pub clique_aware: bool,
+}
+
+impl Default for CloudParams {
+    fn default() -> Self {
+        CloudParams {
+            threshold: crate::similarity::DEFAULT_THRESHOLD,
+            f_max: 10,
+            variant: BkVariant::Pivot,
+            clique_aware: true,
+        }
+    }
+}
+
+/// One rendered tag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TagEntry {
+    /// The tag text.
+    pub tag: String,
+    /// Frequency `t_i`.
+    pub count: usize,
+    /// Computed font size `s_i`.
+    pub font_size: usize,
+    /// Indices (into [`TagCloud::cliques`]) of cliques containing this tag —
+    /// the Fig. 5 coloring information.
+    pub cliques: Vec<usize>,
+}
+
+/// A computed tag cloud.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TagCloud {
+    /// Entries sorted alphabetically (display order is the renderer's
+    /// concern).
+    pub entries: Vec<TagEntry>,
+    /// Maximal cliques over tag indices (into `entries`).
+    pub cliques: Vec<Vec<usize>>,
+    /// Recursion-step count of the clique enumeration (paper's efficiency
+    /// metric).
+    pub clique_calls: usize,
+}
+
+impl TagCloud {
+    /// Entries sorted by descending font size, then tag.
+    pub fn by_prominence(&self) -> Vec<&TagEntry> {
+        let mut v: Vec<&TagEntry> = self.entries.iter().collect();
+        v.sort_by(|a, b| b.font_size.cmp(&a.font_size).then(a.tag.cmp(&b.tag)));
+        v
+    }
+}
+
+/// Runs the full pipeline over the store's current contents.
+pub fn compute_cloud(store: &TagStore, params: &CloudParams) -> TagCloud {
+    let (tags, sets) = store.incidence();
+    let counts: Vec<usize> = tags.iter().map(|t| store.frequency(t)).collect();
+    let graph = similarity_graph(&sets, params.threshold);
+    let (cliques, stats) = maximal_cliques(&graph, params.variant);
+    // Only multi-tag cliques carry semantic information for the cloud;
+    // singleton "cliques" are isolated tags.
+    let cliques: Vec<Vec<usize>> = cliques.into_iter().filter(|c| c.len() > 1).collect();
+    let membership = clique_membership(tags.len(), &cliques);
+    let scale = FontScale::from_counts(&counts, cliques.len(), params.f_max);
+    let entries = tags
+        .into_iter()
+        .enumerate()
+        .map(|(i, tag)| {
+            let max_order = membership[i]
+                .iter()
+                .map(|&c| cliques[c].len())
+                .max()
+                .unwrap_or(0);
+            let size = if params.clique_aware {
+                font_size(
+                    FontSizeInput {
+                        count: counts[i],
+                        clique_memberships: membership[i].len(),
+                        max_clique_order: max_order,
+                    },
+                    scale,
+                )
+            } else {
+                font_size_frequency_only(counts[i], scale)
+            };
+            TagEntry {
+                tag,
+                count: counts[i],
+                font_size: size,
+                cliques: membership[i].clone(),
+            }
+        })
+        .collect();
+    TagCloud {
+        entries,
+        cliques,
+        clique_calls: stats.calls,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the paper's Fig. 5 shape: "apple" co-occurs strongly with two
+    /// separate groups (fruit tags and computer tags), so it lands in two
+    /// cliques.
+    fn apple_store() -> TagStore {
+        let mut s = TagStore::new();
+        // Fruit pages.
+        for p in ["f1", "f2", "f3"] {
+            s.add(p, "apple");
+            s.add(p, "banana");
+            s.add(p, "fruit");
+        }
+        // Computer pages.
+        for p in ["c1", "c2", "c3"] {
+            s.add(p, "apple");
+            s.add(p, "mac");
+            s.add(p, "laptop");
+        }
+        // Unrelated singleton tag.
+        s.add("x1", "zebra");
+        s
+    }
+
+    #[test]
+    fn apple_belongs_to_two_cliques() {
+        let cloud = compute_cloud(&apple_store(), &CloudParams::default());
+        let apple = cloud.entries.iter().find(|e| e.tag == "apple").unwrap();
+        assert_eq!(apple.cliques.len(), 2, "Fig. 5: apple sits in two cliques");
+        let zebra = cloud.entries.iter().find(|e| e.tag == "zebra").unwrap();
+        assert!(zebra.cliques.is_empty());
+    }
+
+    #[test]
+    fn apple_is_most_prominent() {
+        let cloud = compute_cloud(&apple_store(), &CloudParams::default());
+        let top = cloud.by_prominence();
+        assert_eq!(top[0].tag, "apple", "highest count + two cliques");
+        // Everything has size ≥ 1.
+        assert!(cloud.entries.iter().all(|e| e.font_size >= 1));
+    }
+
+    #[test]
+    fn clique_aware_beats_frequency_only_for_clustered_tags() {
+        let store = apple_store();
+        let aware = compute_cloud(&store, &CloudParams::default());
+        let flat = compute_cloud(
+            &store,
+            &CloudParams {
+                clique_aware: false,
+                ..CloudParams::default()
+            },
+        );
+        let get = |cloud: &TagCloud, tag: &str| {
+            cloud
+                .entries
+                .iter()
+                .find(|e| e.tag == tag)
+                .map(|e| e.font_size)
+                .unwrap()
+        };
+        assert!(get(&aware, "banana") >= get(&flat, "banana"));
+        assert!(get(&aware, "apple") > get(&flat, "apple"));
+    }
+
+    #[test]
+    fn empty_store_gives_empty_cloud() {
+        let cloud = compute_cloud(&TagStore::new(), &CloudParams::default());
+        assert!(cloud.entries.is_empty());
+        assert!(cloud.cliques.is_empty());
+    }
+
+    #[test]
+    fn variants_agree_on_cloud_content() {
+        let store = apple_store();
+        let base = compute_cloud(&store, &CloudParams::default());
+        for variant in [BkVariant::Naive, BkVariant::Degeneracy] {
+            let other = compute_cloud(
+                &store,
+                &CloudParams {
+                    variant,
+                    ..CloudParams::default()
+                },
+            );
+            assert_eq!(base.entries, other.entries, "{variant:?}");
+            assert_eq!(base.cliques, other.cliques, "{variant:?}");
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! The Font Size Calculation module — Eq. 6 of the paper.
+//!
+//! ```text
+//! s_i = ⌈ c_i·ω(maxclique_i)/C  +  f_max·(t_i − t_min)/(t_max − t_min) ⌉   for t_i > t_min
+//! s_i = 1                                                                  otherwise
+//! ```
+//!
+//! where `c_i` is the number of cliques tag i belongs to, `ω(maxclique_i)`
+//! the order (node count) of the largest clique containing it, `C` the total
+//! number of cliques (always ≥ 1), `t_i` the tag's count, and
+//! `t_min`/`t_max` the minimum/maximum frequencies.
+
+/// Inputs to Eq. 6 for one tag.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FontSizeInput {
+    /// `t_i` — frequency of the tag.
+    pub count: usize,
+    /// `c_i` — number of cliques the tag belongs to.
+    pub clique_memberships: usize,
+    /// `ω(maxclique_i)` — order of the largest clique containing the tag.
+    pub max_clique_order: usize,
+}
+
+/// Global parameters of Eq. 6.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FontScale {
+    /// `f_max` — maximum font size.
+    pub f_max: usize,
+    /// `t_min` — minimum tag frequency in the cloud.
+    pub t_min: usize,
+    /// `t_max` — maximum tag frequency in the cloud.
+    pub t_max: usize,
+    /// `C` — total number of cliques (clamped to ≥ 1).
+    pub total_cliques: usize,
+}
+
+impl FontScale {
+    /// Derives the scale from the tag counts and the clique count.
+    pub fn from_counts(counts: &[usize], total_cliques: usize, f_max: usize) -> FontScale {
+        FontScale {
+            f_max,
+            t_min: counts.iter().copied().min().unwrap_or(0),
+            t_max: counts.iter().copied().max().unwrap_or(0),
+            total_cliques: total_cliques.max(1),
+        }
+    }
+}
+
+/// Computes `s_i` per Eq. 6.
+pub fn font_size(input: FontSizeInput, scale: FontScale) -> usize {
+    if input.count <= scale.t_min {
+        return 1;
+    }
+    let c = scale.total_cliques.max(1) as f64;
+    let clique_term = (input.clique_memberships * input.max_clique_order) as f64 / c;
+    let span = (scale.t_max - scale.t_min).max(1) as f64;
+    let freq_term = scale.f_max as f64 * (input.count - scale.t_min) as f64 / span;
+    (clique_term + freq_term).ceil() as usize
+}
+
+/// The frequency-only baseline (linear normalization without the clique
+/// term) — ablation E8's comparator and the classic tag-cloud formula.
+pub fn font_size_frequency_only(count: usize, scale: FontScale) -> usize {
+    if count <= scale.t_min {
+        return 1;
+    }
+    let span = (scale.t_max - scale.t_min).max(1) as f64;
+    ((scale.f_max as f64) * (count - scale.t_min) as f64 / span).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scale() -> FontScale {
+        FontScale {
+            f_max: 10,
+            t_min: 1,
+            t_max: 21,
+            total_cliques: 4,
+        }
+    }
+
+    #[test]
+    fn minimum_frequency_gets_size_one() {
+        let s = font_size(
+            FontSizeInput {
+                count: 1,
+                clique_memberships: 3,
+                max_clique_order: 5,
+            },
+            scale(),
+        );
+        assert_eq!(s, 1, "t_i = t_min → 1 regardless of cliques");
+    }
+
+    #[test]
+    fn max_frequency_reaches_fmax_plus_clique_bonus() {
+        let s = font_size(
+            FontSizeInput {
+                count: 21,
+                clique_memberships: 2,
+                max_clique_order: 4,
+            },
+            scale(),
+        );
+        // freq term = 10, clique term = 2*4/4 = 2 → ceil(12) = 12.
+        assert_eq!(s, 12);
+    }
+
+    #[test]
+    fn clique_membership_promotes_equal_frequency_tags() {
+        let in_clique = font_size(
+            FontSizeInput {
+                count: 11,
+                clique_memberships: 2,
+                max_clique_order: 3,
+            },
+            scale(),
+        );
+        let loner = font_size(
+            FontSizeInput {
+                count: 11,
+                clique_memberships: 0,
+                max_clique_order: 0,
+            },
+            scale(),
+        );
+        assert!(in_clique > loner, "{in_clique} vs {loner}");
+        assert_eq!(loner, font_size_frequency_only(11, scale()));
+    }
+
+    #[test]
+    fn monotone_in_frequency() {
+        let mut prev = 0;
+        for count in 2..=21 {
+            let s = font_size(
+                FontSizeInput {
+                    count,
+                    clique_memberships: 1,
+                    max_clique_order: 2,
+                },
+                scale(),
+            );
+            assert!(s >= prev, "font size must not shrink as counts grow");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn degenerate_scales() {
+        // All tags share one frequency: everything is size 1.
+        let flat = FontScale {
+            f_max: 8,
+            t_min: 5,
+            t_max: 5,
+            total_cliques: 1,
+        };
+        assert_eq!(
+            font_size(
+                FontSizeInput {
+                    count: 5,
+                    clique_memberships: 1,
+                    max_clique_order: 2
+                },
+                flat
+            ),
+            1
+        );
+        // Zero cliques: C clamps to 1, no division by zero.
+        let s = FontScale::from_counts(&[1, 3], 0, 10);
+        assert_eq!(s.total_cliques, 1);
+    }
+
+    #[test]
+    fn from_counts_derives_extrema() {
+        let s = FontScale::from_counts(&[4, 9, 2, 7], 3, 10);
+        assert_eq!(s.t_min, 2);
+        assert_eq!(s.t_max, 9);
+    }
+}

@@ -1,0 +1,105 @@
+//! The Matrix Transformation module: cosine similarity between tags.
+//!
+//! Each tag is a binary vector over pages; two tags are "considered similar
+//! for a threshold above 50%" (the paper's default). The resulting 0/1
+//! matrix is handed to the Graph module as an undirected tag graph.
+
+use sensormeta_graph::UndirectedGraph;
+use std::collections::BTreeSet;
+
+/// The paper's similarity threshold.
+pub const DEFAULT_THRESHOLD: f64 = 0.5;
+
+/// Cosine similarity of two page sets (binary occurrence vectors):
+/// `|A ∩ B| / sqrt(|A|·|B|)`.
+pub fn cosine(a: &BTreeSet<usize>, b: &BTreeSet<usize>) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count() as f64;
+    inter / ((a.len() as f64).sqrt() * (b.len() as f64).sqrt())
+}
+
+/// Computes the full tag-similarity matrix (dense, symmetric).
+pub fn similarity_matrix(sets: &[BTreeSet<usize>]) -> Vec<Vec<f64>> {
+    let n = sets.len();
+    let mut m = vec![vec![0.0; n]; n];
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..n {
+        m[i][i] = 1.0;
+        for j in i + 1..n {
+            let s = cosine(&sets[i], &sets[j]);
+            m[i][j] = s;
+            m[j][i] = s;
+        }
+    }
+    m
+}
+
+/// Thresholds the similarity matrix into the undirected tag graph
+/// ("1 denotes a link from one tag to another and 0 denotes no linking").
+pub fn similarity_graph(sets: &[BTreeSet<usize>], threshold: f64) -> UndirectedGraph {
+    let n = sets.len();
+    let mut g = UndirectedGraph::new(n);
+    for i in 0..n {
+        for j in i + 1..n {
+            if cosine(&sets[i], &sets[j]) > threshold {
+                g.add_edge(i, j);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(v: &[usize]) -> BTreeSet<usize> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn cosine_identical_and_disjoint() {
+        let a = set(&[1, 2, 3]);
+        assert!((cosine(&a, &a) - 1.0).abs() < 1e-12);
+        assert_eq!(cosine(&a, &set(&[4, 5])), 0.0);
+        assert_eq!(cosine(&a, &set(&[])), 0.0);
+    }
+
+    #[test]
+    fn cosine_partial_overlap() {
+        // |A∩B|=1, |A|=2, |B|=2 → 1/2.
+        let s = cosine(&set(&[1, 2]), &set(&[2, 3]));
+        assert!((s - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let sets = vec![set(&[0, 1]), set(&[1, 2]), set(&[5])];
+        let m = similarity_matrix(&sets);
+        for (i, row) in m.iter().enumerate() {
+            assert!((row[i] - 1.0).abs() < 1e-12);
+            for (j, v) in row.iter().enumerate() {
+                assert!((v - m[j][i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn graph_uses_strict_threshold() {
+        // Similarity exactly 0.5 must NOT create an edge ("above 50%").
+        let sets = vec![set(&[1, 2]), set(&[2, 3]), set(&[1, 2, 3])];
+        let g = similarity_graph(&sets, DEFAULT_THRESHOLD);
+        assert!(!g.has_edge(0, 1), "cos=0.5 exactly, excluded");
+        // cos({1,2},{1,2,3}) = 2/sqrt(6) ≈ 0.816 > 0.5.
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = similarity_graph(&[], DEFAULT_THRESHOLD);
+        assert_eq!(g.node_count(), 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Tag suggestions for a page, from tag co-occurrence.
+//!
+//! The demo lets "users … create tags in each webpage"; a natural assist
+//! (and the modular extension the paper's architecture invites) is
+//! suggesting tags: given the page's current tags, propose tags that
+//! co-occur with them elsewhere, scored by cosine similarity times global
+//! frequency.
+
+use crate::similarity::cosine;
+use crate::store::TagStore;
+
+/// One suggested tag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TagSuggestion {
+    /// The proposed tag.
+    pub tag: String,
+    /// Combined affinity score (higher = better).
+    pub score: f64,
+    /// The page's existing tag it is most similar to.
+    pub because_of: String,
+}
+
+/// Suggests up to `k` tags for `page`, excluding tags it already carries.
+/// Pages with no tags yet receive the globally most-frequent tags.
+pub fn suggest_tags(store: &TagStore, page: &str, k: usize) -> Vec<TagSuggestion> {
+    let current: Vec<String> = store.tags_of(page).into_iter().map(str::to_owned).collect();
+    let (tags, sets) = store.incidence();
+    let index_of = |name: &str| tags.iter().position(|t| t == name);
+
+    let mut scored: Vec<TagSuggestion> = Vec::new();
+    if current.is_empty() {
+        // Cold start: most-frequent tags.
+        let mut by_freq: Vec<&String> = tags.iter().collect();
+        by_freq.sort_by_key(|t| std::cmp::Reverse(store.frequency(t)));
+        return by_freq
+            .into_iter()
+            .take(k)
+            .map(|t| TagSuggestion {
+                tag: t.clone(),
+                score: store.frequency(t) as f64,
+                because_of: String::new(),
+            })
+            .collect();
+    }
+    let current_ix: Vec<usize> = current.iter().filter_map(|t| index_of(t)).collect();
+    for (ci, candidate) in tags.iter().enumerate() {
+        if current.iter().any(|t| t == candidate) {
+            continue;
+        }
+        let mut best_sim = 0.0f64;
+        let mut because = "";
+        for &own in &current_ix {
+            let sim = cosine(&sets[own], &sets[ci]);
+            if sim > best_sim {
+                best_sim = sim;
+                because = &tags[own];
+            }
+        }
+        if best_sim > 0.0 {
+            scored.push(TagSuggestion {
+                tag: candidate.clone(),
+                score: best_sim * (1.0 + (store.frequency(candidate) as f64).ln()),
+                because_of: because.to_owned(),
+            });
+        }
+    }
+    scored.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.tag.cmp(&b.tag))
+    });
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> TagStore {
+        let mut s = TagStore::new();
+        for p in ["a", "b", "c", "d"] {
+            s.add(p, "snow");
+            s.add(p, "avalanche");
+        }
+        for p in ["a", "b"] {
+            s.add(p, "winter");
+        }
+        for p in ["x", "y"] {
+            s.add(p, "hydrology");
+            s.add(p, "discharge");
+        }
+        // The page we suggest for: has "snow" only.
+        s.add("target", "snow");
+        s
+    }
+
+    #[test]
+    fn suggests_cooccurring_tags_first() {
+        let s = store();
+        let suggestions = suggest_tags(&s, "target", 3);
+        assert_eq!(suggestions[0].tag, "avalanche");
+        assert_eq!(suggestions[0].because_of, "snow");
+        // Unrelated hydrology tags score zero similarity and are absent.
+        assert!(suggestions.iter().all(|sg| sg.tag != "hydrology"));
+    }
+
+    #[test]
+    fn never_suggests_existing_tags() {
+        let s = store();
+        let suggestions = suggest_tags(&s, "target", 10);
+        assert!(suggestions.iter().all(|sg| sg.tag != "snow"));
+    }
+
+    #[test]
+    fn cold_start_falls_back_to_frequency() {
+        let s = store();
+        let suggestions = suggest_tags(&s, "brand-new-page", 2);
+        assert_eq!(suggestions.len(), 2);
+        assert_eq!(suggestions[0].tag, "snow", "most frequent first");
+    }
+
+    #[test]
+    fn respects_k_and_empty_store() {
+        let s = store();
+        assert_eq!(suggest_tags(&s, "target", 1).len(), 1);
+        let empty = TagStore::new();
+        assert!(suggest_tags(&empty, "p", 5).is_empty());
+    }
+}

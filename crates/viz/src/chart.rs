@@ -1,0 +1,299 @@
+//! Bar and pie diagrams — the paper's "real-time bar and pie diagrams"
+//! rendered over facet counts.
+
+use crate::svg::{palette_color, SvgDoc};
+
+/// One labeled series value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Datum {
+    /// Category label.
+    pub label: String,
+    /// Value (counts are cast to f64 by the callers).
+    pub value: f64,
+}
+
+impl Datum {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, value: f64) -> Datum {
+        Datum {
+            label: label.into(),
+            value,
+        }
+    }
+}
+
+/// Renders a vertical bar chart.
+pub fn bar_chart(title: &str, data: &[Datum]) -> String {
+    let width = 640.0;
+    let height = 360.0;
+    let margin = 50.0;
+    let mut doc = SvgDoc::new(width, height);
+    doc.text(width / 2.0, 24.0, 16.0, "middle", "#222", title);
+    if data.is_empty() {
+        doc.text(width / 2.0, height / 2.0, 12.0, "middle", "#888", "no data");
+        return doc.finish();
+    }
+    let maxv = data
+        .iter()
+        .map(|d| d.value)
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let plot_w = width - 2.0 * margin;
+    let plot_h = height - 2.0 * margin;
+    let bar_w = (plot_w / data.len() as f64) * 0.7;
+    let gap = (plot_w / data.len() as f64) * 0.3;
+    // Axis.
+    doc.line(
+        margin,
+        height - margin,
+        width - margin,
+        height - margin,
+        "#333",
+        1.0,
+    );
+    doc.line(margin, margin, margin, height - margin, "#333", 1.0);
+    // Gridlines at quarters.
+    for q in 1..=4 {
+        let y = height - margin - plot_h * q as f64 / 4.0;
+        doc.line(margin, y, width - margin, y, "#DDD", 0.5);
+        doc.text(
+            margin - 6.0,
+            y + 4.0,
+            10.0,
+            "end",
+            "#555",
+            &format_number(maxv * q as f64 / 4.0),
+        );
+    }
+    for (i, d) in data.iter().enumerate() {
+        let h = plot_h * d.value / maxv;
+        let x = margin + i as f64 * (bar_w + gap) + gap / 2.0;
+        let y = height - margin - h;
+        doc.rect(
+            x,
+            y,
+            bar_w,
+            h,
+            palette_color(i),
+            Some(&format!("{}: {}", d.label, format_number(d.value))),
+        );
+        doc.text(
+            x + bar_w / 2.0,
+            height - margin + 14.0,
+            10.0,
+            "middle",
+            "#333",
+            &truncate_label(&d.label, 12),
+        );
+        doc.text(
+            x + bar_w / 2.0,
+            y - 4.0,
+            10.0,
+            "middle",
+            "#333",
+            &format_number(d.value),
+        );
+    }
+    doc.finish()
+}
+
+/// Renders a pie chart with a legend.
+pub fn pie_chart(title: &str, data: &[Datum]) -> String {
+    let width = 640.0;
+    let height = 360.0;
+    let mut doc = SvgDoc::new(width, height);
+    doc.text(width / 2.0, 24.0, 16.0, "middle", "#222", title);
+    let total: f64 = data.iter().map(|d| d.value.max(0.0)).sum();
+    if total <= 0.0 {
+        doc.text(width / 2.0, height / 2.0, 12.0, "middle", "#888", "no data");
+        return doc.finish();
+    }
+    let (cx, cy, r) = (220.0, 200.0, 130.0);
+    let mut angle = -std::f64::consts::FRAC_PI_2;
+    for (i, d) in data.iter().enumerate() {
+        let frac = d.value.max(0.0) / total;
+        let next = angle + frac * std::f64::consts::TAU;
+        if frac > 0.0 {
+            if (frac - 1.0).abs() < 1e-9 {
+                // A full circle cannot be drawn as a single arc path.
+                doc.circle(cx, cy, r, palette_color(i), Some(&d.label));
+            } else {
+                doc.pie_slice(
+                    cx,
+                    cy,
+                    r,
+                    angle,
+                    next,
+                    palette_color(i),
+                    Some(&format!("{}: {:.1}%", d.label, frac * 100.0)),
+                );
+            }
+        }
+        angle = next;
+    }
+    // Legend.
+    for (i, d) in data.iter().enumerate() {
+        let y = 60.0 + i as f64 * 22.0;
+        doc.rect(400.0, y - 10.0, 14.0, 14.0, palette_color(i), None);
+        doc.text(
+            420.0,
+            y + 2.0,
+            11.0,
+            "start",
+            "#333",
+            &format!(
+                "{} ({:.1}%)",
+                truncate_label(&d.label, 24),
+                d.value.max(0.0) / total * 100.0
+            ),
+        );
+    }
+    doc.finish()
+}
+
+/// Renders a multi-series line chart (used by the Fig. 3 convergence plots:
+/// one series per solver, y is log10 residual).
+pub fn line_chart(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[(String, Vec<(f64, f64)>)],
+) -> String {
+    let width = 720.0;
+    let height = 420.0;
+    let margin = 60.0;
+    let mut doc = SvgDoc::new(width, height);
+    doc.text(width / 2.0, 24.0, 16.0, "middle", "#222", title);
+    let pts: Vec<(f64, f64)> = series.iter().flat_map(|(_, p)| p.iter().copied()).collect();
+    if pts.is_empty() {
+        doc.text(width / 2.0, height / 2.0, 12.0, "middle", "#888", "no data");
+        return doc.finish();
+    }
+    let (xmin, xmax) = pts
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), (x, _)| {
+            (lo.min(*x), hi.max(*x))
+        });
+    let (ymin, ymax) = pts
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), (_, y)| {
+            (lo.min(*y), hi.max(*y))
+        });
+    let xspan = (xmax - xmin).max(1e-12);
+    let yspan = (ymax - ymin).max(1e-12);
+    let sx = |x: f64| margin + (x - xmin) / xspan * (width - 2.0 * margin);
+    let sy = |y: f64| height - margin - (y - ymin) / yspan * (height - 2.0 * margin);
+    doc.line(
+        margin,
+        height - margin,
+        width - margin,
+        height - margin,
+        "#333",
+        1.0,
+    );
+    doc.line(margin, margin, margin, height - margin, "#333", 1.0);
+    doc.text(width / 2.0, height - 16.0, 12.0, "middle", "#333", x_label);
+    doc.text(16.0, height / 2.0, 12.0, "middle", "#333", y_label);
+    for (i, (name, points)) in series.iter().enumerate() {
+        let color = palette_color(i);
+        for w in points.windows(2) {
+            doc.line(sx(w[0].0), sy(w[0].1), sx(w[1].0), sy(w[1].1), color, 1.5);
+        }
+        for (x, y) in points {
+            doc.circle(sx(*x), sy(*y), 2.0, color, None);
+        }
+        // Legend entry.
+        let ly = 44.0 + i as f64 * 18.0;
+        doc.line(width - 180.0, ly, width - 150.0, ly, color, 2.0);
+        doc.text(width - 144.0, ly + 4.0, 11.0, "start", "#333", name);
+    }
+    doc.finish()
+}
+
+fn truncate_label(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_owned()
+    } else {
+        let cut: String = s.chars().take(max.saturating_sub(1)).collect();
+        format!("{cut}…")
+    }
+}
+
+fn format_number(v: f64) -> String {
+    if (v.fract()).abs() < 1e-9 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Vec<Datum> {
+        vec![
+            Datum::new("temperature", 12.0),
+            Datum::new("wind_speed", 7.0),
+            Datum::new("snow_height", 3.0),
+        ]
+    }
+
+    #[test]
+    fn bar_chart_has_bars_and_labels() {
+        let svg = bar_chart("Sensors per kind", &data());
+        assert_eq!(svg.matches("<rect").count(), 3);
+        assert!(svg.contains("temperature"));
+        assert!(svg.contains("Sensors per kind"));
+    }
+
+    #[test]
+    fn bar_chart_empty() {
+        let svg = bar_chart("x", &[]);
+        assert!(svg.contains("no data"));
+    }
+
+    #[test]
+    fn pie_chart_slices_sum() {
+        let svg = pie_chart("Share", &data());
+        assert_eq!(
+            svg.matches("<path").count(),
+            3 + 1,
+            "3 slices + arrow marker"
+        );
+        assert!(svg.contains("54.5%"), "12/22 share shown in legend");
+    }
+
+    #[test]
+    fn pie_chart_single_full_slice() {
+        let svg = pie_chart("All", &[Datum::new("only", 5.0)]);
+        assert!(svg.contains("<circle"), "100% drawn as a circle");
+    }
+
+    #[test]
+    fn pie_chart_zero_total() {
+        let svg = pie_chart("none", &[Datum::new("a", 0.0)]);
+        assert!(svg.contains("no data"));
+    }
+
+    #[test]
+    fn line_chart_series_and_legend() {
+        let svg = line_chart(
+            "Convergence",
+            "iteration",
+            "log10 residual",
+            &[
+                ("GS".into(), vec![(0.0, 0.0), (1.0, -2.0), (2.0, -4.0)]),
+                ("Jacobi".into(), vec![(0.0, 0.0), (1.0, -1.0), (2.0, -2.0)]),
+            ],
+        );
+        assert!(svg.contains("GS"));
+        assert!(svg.contains("Jacobi"));
+        assert!(svg.matches("<circle").count() >= 6);
+    }
+
+    #[test]
+    fn charts_are_deterministic() {
+        assert_eq!(bar_chart("t", &data()), bar_chart("t", &data()));
+    }
+}

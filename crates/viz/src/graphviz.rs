@@ -1,0 +1,126 @@
+//! Directed-graph rendering of semantic associations.
+//!
+//! "Graph visualization represents the associations (with directed arcs) of
+//! sensor metadata in the results" — pages as nodes colored by a class
+//! (similarity-based classification), property references as directed arcs.
+
+use crate::layout::{force_layout, layered_layout, Positions};
+use crate::svg::{palette_color, SvgDoc};
+use sensormeta_graph::CsrGraph;
+
+/// Layout algorithm selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphLayout {
+    /// Force-directed (good for cyclic link structures).
+    Force,
+    /// Layered top-down (good for hierarchy-like structures).
+    Layered,
+}
+
+/// A node for rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphNode {
+    /// Display label.
+    pub label: String,
+    /// Class index → color (pages classified by metadata similarity).
+    pub class: usize,
+}
+
+/// Renders a directed graph with labeled, class-colored nodes.
+pub fn render_digraph(
+    title: &str,
+    g: &CsrGraph,
+    nodes: &[GraphNode],
+    layout: GraphLayout,
+) -> String {
+    assert_eq!(g.node_count(), nodes.len());
+    let (width, height) = (760.0, 560.0);
+    let pos: Positions = match layout {
+        GraphLayout::Force => force_layout(g, width, height - 40.0, 150, 42),
+        GraphLayout::Layered => layered_layout(g, width, height - 40.0),
+    };
+    let mut doc = SvgDoc::new(width, height);
+    doc.text(width / 2.0, 20.0, 14.0, "middle", "#222", title);
+    let dy = 36.0; // title band offset
+                   // Edges first (under nodes).
+    for (u, v) in g.iter_edges() {
+        if u == v {
+            continue;
+        }
+        let (x1, y1) = (pos[u].0, pos[u].1 + dy);
+        let (x2, y2) = (pos[v].0, pos[v].1 + dy);
+        // Shorten toward the target so the arrowhead isn't swallowed.
+        let (dx, dyv) = (x2 - x1, y2 - y1);
+        let len = (dx * dx + dyv * dyv).sqrt().max(0.01);
+        let r = 12.0_f64.min(len / 2.0);
+        doc.arrow(x1, y1, x2 - dx / len * r, y2 - dyv / len * r, "#777");
+    }
+    for (i, node) in nodes.iter().enumerate() {
+        let (x, y) = (pos[i].0, pos[i].1 + dy);
+        doc.circle(x, y, 10.0, palette_color(node.class), Some(&node.label));
+        doc.text(x, y - 14.0, 10.0, "middle", "#333", &node.label);
+    }
+    doc.finish()
+}
+
+/// Classifies nodes by (exact) out-neighbor set equality — the demo's
+/// "classification of pages based on similarities of their metadata": pages
+/// referencing the same set of pages share a class/color.
+pub fn classify_by_neighbors(g: &CsrGraph) -> Vec<usize> {
+    use std::collections::HashMap;
+    let mut classes: HashMap<Vec<usize>, usize> = HashMap::new();
+    (0..g.node_count())
+        .map(|v| {
+            let mut key = g.neighbors(v).to_vec();
+            key.sort_unstable();
+            let next = classes.len();
+            *classes.entry(key).or_insert(next)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (CsrGraph, Vec<GraphNode>) {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)], false);
+        let nodes = (0..4)
+            .map(|i| GraphNode {
+                label: format!("Page{i}"),
+                class: i % 2,
+            })
+            .collect();
+        (g, nodes)
+    }
+
+    #[test]
+    fn renders_nodes_edges_arrows() {
+        let (g, nodes) = fixture();
+        for layout in [GraphLayout::Force, GraphLayout::Layered] {
+            let svg = render_digraph("Associations", &g, &nodes, layout);
+            assert_eq!(svg.matches("<circle").count(), 4, "{layout:?}");
+            assert_eq!(svg.matches("marker-end").count(), 4, "{layout:?}");
+            assert!(svg.contains("Page3"));
+        }
+    }
+
+    #[test]
+    fn classify_groups_equal_reference_sets() {
+        // Nodes 1 and 2 both reference only node 3 → same class.
+        let (g, _) = fixture();
+        let classes = classify_by_neighbors(&g);
+        assert_eq!(classes[1], classes[2]);
+        assert_ne!(classes[0], classes[1]);
+        // Node 3 (no out-links) is its own class.
+        assert_ne!(classes[3], classes[0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn node_count_mismatch_panics() {
+        let (g, mut nodes) = fixture();
+        nodes.pop();
+        render_digraph("x", &g, &nodes, GraphLayout::Force);
+    }
+}

@@ -1,0 +1,175 @@
+//! Dynamic hypergraph browser snapshots.
+//!
+//! "User-browsable hypergraphs are dynamically generated based on the linking
+//! structure of the metadata pages … allow users to browse pages according to
+//! their linking structure and help them identify popular (clustered)
+//! pages." We render the HyperGraph-applet view: a focus page at the center,
+//! its link neighborhood on concentric rings by BFS distance, node size
+//! scaled by degree so popular pages stand out.
+
+use crate::svg::{palette_color, SvgDoc};
+use sensormeta_graph::CsrGraph;
+use std::collections::VecDeque;
+
+/// One ring-placed node of the snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HyperNode {
+    /// Node id in the underlying graph.
+    pub node: usize,
+    /// BFS distance from the focus (0 = focus itself).
+    pub ring: usize,
+    /// Position in the SVG.
+    pub x: f64,
+    /// Position in the SVG.
+    pub y: f64,
+}
+
+/// Computes the radial embedding around `focus` up to `max_ring` (following
+/// links in both directions, as the browser does).
+pub fn radial_embedding(
+    g: &CsrGraph,
+    focus: usize,
+    max_ring: usize,
+    width: f64,
+    height: f64,
+) -> Vec<HyperNode> {
+    let n = g.node_count();
+    assert!(focus < n, "focus out of range");
+    let transpose = g.transpose();
+    let mut dist = vec![usize::MAX; n];
+    dist[focus] = 0;
+    let mut queue = VecDeque::from([focus]);
+    while let Some(v) = queue.pop_front() {
+        if dist[v] >= max_ring {
+            continue;
+        }
+        for &w in g.neighbors(v).iter().chain(transpose.neighbors(v)) {
+            if dist[w] == usize::MAX {
+                dist[w] = dist[v] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    let (cx, cy) = (width / 2.0, height / 2.0);
+    let max_r = width.min(height) / 2.0 - 30.0;
+    let mut rings: Vec<Vec<usize>> = vec![Vec::new(); max_ring + 1];
+    for v in 0..n {
+        if dist[v] <= max_ring {
+            rings[dist[v]].push(v);
+        }
+    }
+    let mut out = Vec::new();
+    for (ring, members) in rings.iter().enumerate() {
+        let r = if max_ring == 0 {
+            0.0
+        } else {
+            max_r * ring as f64 / max_ring as f64
+        };
+        let count = members.len().max(1) as f64;
+        for (ix, &v) in members.iter().enumerate() {
+            let angle = std::f64::consts::TAU * ix as f64 / count;
+            out.push(HyperNode {
+                node: v,
+                ring,
+                x: cx + r * angle.cos(),
+                y: cy + r * angle.sin(),
+            });
+        }
+    }
+    out
+}
+
+/// Renders the hypergraph snapshot with labels and degree-scaled nodes.
+pub fn render_hypergraph(
+    title: &str,
+    g: &CsrGraph,
+    labels: &[String],
+    focus: usize,
+    max_ring: usize,
+) -> String {
+    let (width, height) = (700.0, 700.0);
+    let embedding = radial_embedding(g, focus, max_ring, width, height - 40.0);
+    let mut doc = SvgDoc::new(width, height);
+    doc.text(width / 2.0, 20.0, 14.0, "middle", "#222", title);
+    let dy = 30.0;
+    let pos_of: std::collections::HashMap<usize, (f64, f64)> = embedding
+        .iter()
+        .map(|h| (h.node, (h.x, h.y + dy)))
+        .collect();
+    // Edges between embedded nodes.
+    for (u, v) in g.iter_edges() {
+        if let (Some(&(x1, y1)), Some(&(x2, y2))) = (pos_of.get(&u), pos_of.get(&v)) {
+            doc.line(x1, y1, x2, y2, "#CCD6E0", 0.8);
+        }
+    }
+    let in_deg = g.in_degrees();
+    for h in &embedding {
+        let (x, y) = pos_of[&h.node];
+        let degree = in_deg[h.node] + g.out_degree(h.node);
+        let r = if h.ring == 0 {
+            14.0
+        } else {
+            4.0 + (degree as f64).sqrt() * 1.8
+        };
+        doc.circle(x, y, r, palette_color(h.ring), Some(&labels[h.node]));
+        if h.ring <= 1 {
+            doc.text(x, y - r - 3.0, 9.0, "middle", "#333", &labels[h.node]);
+        }
+    }
+    doc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star_plus_chain() -> CsrGraph {
+        // 0 is a hub: 0→1..4; plus chain 4→5→6.
+        CsrGraph::from_edges(7, &[(0, 1), (0, 2), (0, 3), (0, 4), (4, 5), (5, 6)], false)
+    }
+
+    #[test]
+    fn rings_follow_bfs_distance() {
+        let g = star_plus_chain();
+        let emb = radial_embedding(&g, 0, 3, 600.0, 600.0);
+        let ring_of = |v: usize| emb.iter().find(|h| h.node == v).map(|h| h.ring);
+        assert_eq!(ring_of(0), Some(0));
+        assert_eq!(ring_of(1), Some(1));
+        assert_eq!(ring_of(5), Some(2));
+        assert_eq!(ring_of(6), Some(3));
+    }
+
+    #[test]
+    fn max_ring_truncates() {
+        let g = star_plus_chain();
+        let emb = radial_embedding(&g, 0, 1, 600.0, 600.0);
+        assert!(emb.iter().all(|h| h.ring <= 1));
+        assert_eq!(emb.len(), 5, "focus + 4 direct neighbors");
+    }
+
+    #[test]
+    fn focus_is_centered() {
+        let g = star_plus_chain();
+        let emb = radial_embedding(&g, 0, 2, 600.0, 400.0);
+        let focus = emb.iter().find(|h| h.node == 0).unwrap();
+        assert!((focus.x - 300.0).abs() < 1e-9);
+        assert!((focus.y - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traversal_follows_inlinks_too() {
+        let g = star_plus_chain();
+        // From node 6, everything is reachable via in-links.
+        let emb = radial_embedding(&g, 6, 5, 600.0, 600.0);
+        assert_eq!(emb.len(), 7);
+    }
+
+    #[test]
+    fn svg_renders_focus_neighborhood() {
+        let g = star_plus_chain();
+        let labels: Vec<String> = (0..7).map(|i| format!("P{i}")).collect();
+        let svg = render_hypergraph("Hypergraph", &g, &labels, 0, 2);
+        assert!(svg.contains("P0"));
+        assert!(svg.matches("<circle").count() >= 6);
+    }
+}

@@ -1,0 +1,208 @@
+//! Graph layout algorithms: deterministic Fruchterman–Reingold force layout
+//! and a simple layered (Sugiyama-style) layout for mostly-acyclic link
+//! structures.
+
+use sensormeta_graph::CsrGraph;
+
+/// 2D node positions.
+pub type Positions = Vec<(f64, f64)>;
+
+/// Fruchterman–Reingold force-directed layout. Deterministic: the initial
+/// placement comes from a seeded LCG, not thread-local randomness.
+pub fn force_layout(
+    g: &CsrGraph,
+    width: f64,
+    height: f64,
+    iterations: usize,
+    seed: u64,
+) -> Positions {
+    let n = g.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut state = seed
+        .wrapping_mul(2862933555777941757)
+        .wrapping_add(3037000493);
+    let mut rand01 = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 11) as f64) / ((1u64 << 53) as f64)
+    };
+    let mut pos: Positions = (0..n)
+        .map(|_| (rand01() * width, rand01() * height))
+        .collect();
+    if n == 1 {
+        pos[0] = (width / 2.0, height / 2.0);
+        return pos;
+    }
+    let area = width * height;
+    let k = (area / n as f64).sqrt();
+    let mut temperature = width / 10.0;
+    let undirected: Vec<(usize, usize)> = g.iter_edges().collect();
+    for _ in 0..iterations {
+        let mut disp = vec![(0.0f64, 0.0f64); n];
+        // Repulsion (O(n²); fine for the page-graph sizes the demo shows).
+        for i in 0..n {
+            for j in i + 1..n {
+                let dx = pos[i].0 - pos[j].0;
+                let dy = pos[i].1 - pos[j].1;
+                let dist = (dx * dx + dy * dy).sqrt().max(0.01);
+                let force = k * k / dist;
+                let (fx, fy) = (dx / dist * force, dy / dist * force);
+                disp[i].0 += fx;
+                disp[i].1 += fy;
+                disp[j].0 -= fx;
+                disp[j].1 -= fy;
+            }
+        }
+        // Attraction along edges.
+        for &(u, v) in &undirected {
+            if u == v {
+                continue;
+            }
+            let dx = pos[u].0 - pos[v].0;
+            let dy = pos[u].1 - pos[v].1;
+            let dist = (dx * dx + dy * dy).sqrt().max(0.01);
+            let force = dist * dist / k;
+            let (fx, fy) = (dx / dist * force, dy / dist * force);
+            disp[u].0 -= fx;
+            disp[u].1 -= fy;
+            disp[v].0 += fx;
+            disp[v].1 += fy;
+        }
+        for i in 0..n {
+            let (dx, dy) = disp[i];
+            let len = (dx * dx + dy * dy).sqrt().max(0.01);
+            let step = len.min(temperature);
+            pos[i].0 = (pos[i].0 + dx / len * step).clamp(10.0, width - 10.0);
+            pos[i].1 = (pos[i].1 + dy / len * step).clamp(10.0, height - 10.0);
+        }
+        temperature *= 0.95;
+    }
+    pos
+}
+
+/// Layered layout: nodes are assigned layers by longest-path from sources
+/// (cycles broken by node order), then spread evenly within each layer.
+pub fn layered_layout(g: &CsrGraph, width: f64, height: f64) -> Positions {
+    let n = g.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Longest-path layering over a DAG approximation: process nodes in a
+    // topological-ish order obtained by repeatedly taking nodes whose
+    // remaining in-degree is zero; cycle members get their current layer.
+    let mut indeg = g.in_degrees();
+    let mut layer = vec![0usize; n];
+    let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut seen = vec![false; n];
+    for &v in &queue {
+        seen[v] = true;
+    }
+    let mut head = 0;
+    let mut processed = 0;
+    while processed < n {
+        if head >= queue.len() {
+            // Cycle: seed with the smallest unseen node.
+            let v = (0..n).find(|&v| !seen[v]).expect("unseen node exists");
+            seen[v] = true;
+            queue.push(v);
+        }
+        let v = queue[head];
+        head += 1;
+        processed += 1;
+        for &w in g.neighbors(v) {
+            layer[w] = layer[w].max(layer[v] + 1);
+            if indeg[w] > 0 {
+                indeg[w] -= 1;
+            }
+            if indeg[w] == 0 && !seen[w] {
+                seen[w] = true;
+                queue.push(w);
+            }
+        }
+    }
+    let max_layer = layer.iter().copied().max().unwrap_or(0);
+    // Spread nodes within each layer.
+    let mut by_layer: Vec<Vec<usize>> = vec![Vec::new(); max_layer + 1];
+    for v in 0..n {
+        by_layer[layer[v]].push(v);
+    }
+    let mut pos = vec![(0.0, 0.0); n];
+    for (l, nodes) in by_layer.iter().enumerate() {
+        let y = if max_layer == 0 {
+            height / 2.0
+        } else {
+            30.0 + (height - 60.0) * l as f64 / max_layer as f64
+        };
+        let count = nodes.len();
+        for (ix, &v) in nodes.iter().enumerate() {
+            let x = width * (ix as f64 + 1.0) / (count as f64 + 1.0);
+            pos[v] = (x, y);
+        }
+    }
+    pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph() -> CsrGraph {
+        CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], false)
+    }
+
+    #[test]
+    fn force_layout_deterministic_and_bounded() {
+        let g = path_graph();
+        let a = force_layout(&g, 400.0, 300.0, 50, 1);
+        let b = force_layout(&g, 400.0, 300.0, 50, 1);
+        assert_eq!(a, b);
+        for (x, y) in &a {
+            assert!((0.0..=400.0).contains(x));
+            assert!((0.0..=300.0).contains(y));
+        }
+    }
+
+    #[test]
+    fn force_layout_separates_nodes() {
+        let g = path_graph();
+        let pos = force_layout(&g, 400.0, 300.0, 100, 3);
+        for i in 0..4 {
+            for j in i + 1..4 {
+                let d = ((pos[i].0 - pos[j].0).powi(2) + (pos[i].1 - pos[j].1).powi(2)).sqrt();
+                assert!(d > 5.0, "nodes {i},{j} overlap: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn layered_layout_respects_edge_direction() {
+        let g = path_graph();
+        let pos = layered_layout(&g, 400.0, 300.0);
+        // Each successor sits strictly below its predecessor.
+        assert!(pos[0].1 < pos[1].1);
+        assert!(pos[1].1 < pos[2].1);
+        assert!(pos[2].1 < pos[3].1);
+    }
+
+    #[test]
+    fn layered_layout_handles_cycles() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)], false);
+        let pos = layered_layout(&g, 400.0, 300.0);
+        assert_eq!(pos.len(), 3);
+        for (x, y) in pos {
+            assert!(x.is_finite() && y.is_finite());
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let g = CsrGraph::from_edges(0, &[], false);
+        assert!(force_layout(&g, 100.0, 100.0, 10, 1).is_empty());
+        let g = CsrGraph::from_edges(1, &[], false);
+        assert_eq!(force_layout(&g, 100.0, 100.0, 10, 1), vec![(50.0, 50.0)]);
+        assert_eq!(layered_layout(&g, 100.0, 100.0).len(), 1);
+    }
+}

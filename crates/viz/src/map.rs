@@ -1,0 +1,281 @@
+//! Map-based browsing of metadata pages.
+//!
+//! Search results "that contain positional information can be presented over
+//! maps while using different colors for describing the degree of matching of
+//! each result". Without Google Maps we render an equirectangular plot with a
+//! graticule, grid-based marker clustering (clustered pages collapse into one
+//! bubble with a count), and the match-degree color ramp.
+
+use crate::svg::{match_degree_color, SvgDoc};
+use std::collections::BTreeMap;
+
+/// One geolocated search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapMarker {
+    /// Page title.
+    pub title: String,
+    /// WGS84 latitude.
+    pub lat: f64,
+    /// WGS84 longitude.
+    pub lon: f64,
+    /// Degree of matching in `[0, 1]` (join-predicate match quality).
+    pub match_degree: f64,
+}
+
+/// Map rendering options.
+#[derive(Debug, Clone, Copy)]
+pub struct MapOptions {
+    /// Output width in px.
+    pub width: f64,
+    /// Output height in px.
+    pub height: f64,
+    /// Cluster cell size in px; markers falling in the same cell merge.
+    pub cluster_px: f64,
+}
+
+impl Default for MapOptions {
+    fn default() -> Self {
+        MapOptions {
+            width: 720.0,
+            height: 480.0,
+            cluster_px: 40.0,
+        }
+    }
+}
+
+/// A cluster of markers after grid clustering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    /// Mean position in pixels.
+    pub x: f64,
+    /// Mean position in pixels.
+    pub y: f64,
+    /// Member titles.
+    pub titles: Vec<String>,
+    /// Mean match degree.
+    pub match_degree: f64,
+}
+
+/// Grid-clusters projected markers. Exposed separately so tests and the
+/// server's JSON API can reuse the exact clustering the SVG shows.
+pub fn cluster_markers(markers: &[MapMarker], opts: &MapOptions) -> Vec<Cluster> {
+    if markers.is_empty() {
+        return Vec::new();
+    }
+    let (project, _) = projector(markers, opts);
+    let mut cells: BTreeMap<(i64, i64), Vec<usize>> = BTreeMap::new();
+    for (i, m) in markers.iter().enumerate() {
+        let (x, y) = project(m.lat, m.lon);
+        let cell = (
+            (x / opts.cluster_px).floor() as i64,
+            (y / opts.cluster_px).floor() as i64,
+        );
+        cells.entry(cell).or_default().push(i);
+    }
+    cells
+        .into_values()
+        .map(|ids| {
+            let n = ids.len() as f64;
+            let (mut sx, mut sy, mut sm) = (0.0, 0.0, 0.0);
+            let mut titles = Vec::with_capacity(ids.len());
+            for &i in &ids {
+                let (x, y) = project(markers[i].lat, markers[i].lon);
+                sx += x;
+                sy += y;
+                sm += markers[i].match_degree;
+                titles.push(markers[i].title.clone());
+            }
+            Cluster {
+                x: sx / n,
+                y: sy / n,
+                titles,
+                match_degree: sm / n,
+            }
+        })
+        .collect()
+}
+
+/// Builds the lat/lon → pixel projection for the markers' bounding box
+/// (padded), plus the box itself as (lat_min, lat_max, lon_min, lon_max).
+#[allow(clippy::type_complexity)]
+fn projector(
+    markers: &[MapMarker],
+    opts: &MapOptions,
+) -> (impl Fn(f64, f64) -> (f64, f64), (f64, f64, f64, f64)) {
+    let mut lat_min = f64::INFINITY;
+    let mut lat_max = f64::NEG_INFINITY;
+    let mut lon_min = f64::INFINITY;
+    let mut lon_max = f64::NEG_INFINITY;
+    for m in markers {
+        lat_min = lat_min.min(m.lat);
+        lat_max = lat_max.max(m.lat);
+        lon_min = lon_min.min(m.lon);
+        lon_max = lon_max.max(m.lon);
+    }
+    // Pad by 10% (and avoid a degenerate box for a single point).
+    let lat_pad = ((lat_max - lat_min) * 0.1).max(0.05);
+    let lon_pad = ((lon_max - lon_min) * 0.1).max(0.05);
+    lat_min -= lat_pad;
+    lat_max += lat_pad;
+    lon_min -= lon_pad;
+    lon_max += lon_pad;
+    let (w, h) = (opts.width, opts.height);
+    let (la0, la1, lo0, lo1) = (lat_min, lat_max, lon_min, lon_max);
+    (
+        move |lat: f64, lon: f64| {
+            let x = (lon - lo0) / (lo1 - lo0) * w;
+            let y = (1.0 - (lat - la0) / (la1 - la0)) * h;
+            (x, y)
+        },
+        (lat_min, lat_max, lon_min, lon_max),
+    )
+}
+
+/// Picks a graticule step giving 2–10 gridlines for a span in degrees.
+fn grid_step(span: f64) -> f64 {
+    for step in [0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0] {
+        if span / step <= 10.0 {
+            return step;
+        }
+    }
+    20.0
+}
+
+/// Renders the clustered map as SVG.
+pub fn map_plot(title: &str, markers: &[MapMarker], opts: &MapOptions) -> String {
+    let mut doc = SvgDoc::new(opts.width, opts.height);
+    doc.rect(0.0, 0.0, opts.width, opts.height, "#F4F8FB", None);
+    doc.text(opts.width / 2.0, 20.0, 14.0, "middle", "#222", title);
+    if markers.is_empty() {
+        doc.text(
+            opts.width / 2.0,
+            opts.height / 2.0,
+            12.0,
+            "middle",
+            "#888",
+            "no geolocated results",
+        );
+        return doc.finish();
+    }
+    let (project, (lat_min, lat_max, lon_min, lon_max)) = projector(markers, opts);
+    // Graticule with a step adapted to each axis span.
+    let lat_step = grid_step(lat_max - lat_min);
+    let mut lat = (lat_min / lat_step).ceil() * lat_step;
+    while lat < lat_max {
+        let (_, y) = project(lat, lon_min);
+        doc.line(0.0, y, opts.width, y, "#D5E2EC", 0.5);
+        doc.text(4.0, y - 2.0, 9.0, "start", "#9AB", &format!("{lat:.2}°N"));
+        lat += lat_step;
+    }
+    let lon_step = grid_step(lon_max - lon_min);
+    let mut lon = (lon_min / lon_step).ceil() * lon_step;
+    while lon < lon_max {
+        let (x, _) = project(lat_min, lon);
+        doc.line(x, 0.0, x, opts.height, "#D5E2EC", 0.5);
+        doc.text(
+            x + 2.0,
+            opts.height - 4.0,
+            9.0,
+            "start",
+            "#9AB",
+            &format!("{lon:.2}°E"),
+        );
+        lon += lon_step;
+    }
+    for cluster in cluster_markers(markers, opts) {
+        let n = cluster.titles.len();
+        let r = 6.0 + (n as f64).sqrt() * 3.0;
+        let color = match_degree_color(cluster.match_degree);
+        let label = if n == 1 {
+            cluster.titles[0].clone()
+        } else {
+            format!("{} pages: {}", n, cluster.titles.join(", "))
+        };
+        doc.circle(cluster.x, cluster.y, r, &color, Some(&label));
+        if n > 1 {
+            doc.text(
+                cluster.x,
+                cluster.y + 3.5,
+                10.0,
+                "middle",
+                "#fff",
+                &n.to_string(),
+            );
+        }
+    }
+    doc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn markers() -> Vec<MapMarker> {
+        vec![
+            MapMarker {
+                title: "Fieldsite:WFJ".into(),
+                lat: 46.83,
+                lon: 9.81,
+                match_degree: 1.0,
+            },
+            MapMarker {
+                title: "Fieldsite:Davos".into(),
+                lat: 46.826,
+                lon: 9.84,
+                match_degree: 0.6,
+            },
+            MapMarker {
+                title: "Fieldsite:Payerne".into(),
+                lat: 46.81,
+                lon: 6.94,
+                match_degree: 0.2,
+            },
+        ]
+    }
+
+    #[test]
+    fn nearby_markers_cluster() {
+        let clusters = cluster_markers(&markers(), &MapOptions::default());
+        // WFJ and Davos are a couple of km apart: same cell at default
+        // zoom; Payerne is ~200 km west.
+        assert_eq!(clusters.len(), 2);
+        let big = clusters.iter().find(|c| c.titles.len() == 2).unwrap();
+        assert!((big.match_degree - 0.8).abs() < 1e-9, "mean of 1.0 and 0.6");
+    }
+
+    #[test]
+    fn small_cells_do_not_cluster() {
+        let opts = MapOptions {
+            cluster_px: 2.0,
+            ..MapOptions::default()
+        };
+        assert_eq!(cluster_markers(&markers(), &opts).len(), 3);
+    }
+
+    #[test]
+    fn svg_contains_count_badge_and_graticule() {
+        let svg = map_plot("Stations", &markers(), &MapOptions::default());
+        assert!(svg.contains(">2</text>"), "cluster count badge");
+        assert!(svg.contains("°N"));
+        assert!(svg.contains("°E"));
+    }
+
+    #[test]
+    fn empty_input_message() {
+        let svg = map_plot("t", &[], &MapOptions::default());
+        assert!(svg.contains("no geolocated results"));
+    }
+
+    #[test]
+    fn single_marker_does_not_degenerate() {
+        let svg = map_plot("one", &markers()[..1], &MapOptions::default());
+        assert!(svg.contains("<circle"));
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn match_degree_drives_color() {
+        let one = map_plot("t", &markers()[..1], &MapOptions::default());
+        assert!(one.contains("#08519C"), "full match is darkest blue");
+    }
+}

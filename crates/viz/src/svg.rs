@@ -1,0 +1,209 @@
+//! Minimal SVG document builder.
+
+use std::fmt::Write;
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct SvgDoc {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+/// Escapes text for inclusion in SVG/XML.
+pub fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+impl SvgDoc {
+    /// Creates a document with the given pixel size.
+    pub fn new(width: f64, height: f64) -> SvgDoc {
+        SvgDoc {
+            width,
+            height,
+            body: String::new(),
+        }
+    }
+
+    /// Document width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Document height.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Adds a rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, title: Option<&str>) {
+        let t = title
+            .map(|t| format!("<title>{}</title>", escape(t)))
+            .unwrap_or_default();
+        writeln!(
+            self.body,
+            r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{fill}">{t}</rect>"#
+        )
+        .expect("string write");
+    }
+
+    /// Adds a circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str, title: Option<&str>) {
+        let t = title
+            .map(|t| format!("<title>{}</title>", escape(t)))
+            .unwrap_or_default();
+        writeln!(
+            self.body,
+            r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}" fill="{fill}">{t}</circle>"#
+        )
+        .expect("string write");
+    }
+
+    /// Adds a line.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        writeln!(
+            self.body,
+            r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{stroke}" stroke-width="{width:.2}"/>"#
+        )
+        .expect("string write");
+    }
+
+    /// Adds a line with an arrowhead marker (for directed edges).
+    pub fn arrow(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str) {
+        writeln!(
+            self.body,
+            r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{stroke}" stroke-width="1.2" marker-end="url(#arrow)"/>"#
+        )
+        .expect("string write");
+    }
+
+    /// Adds text. `anchor` is `start`/`middle`/`end`.
+    pub fn text(&mut self, x: f64, y: f64, size: f64, anchor: &str, fill: &str, content: &str) {
+        writeln!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="{size:.1}" text-anchor="{anchor}" fill="{fill}" font-family="sans-serif">{}</text>"#,
+            escape(content)
+        )
+        .expect("string write");
+    }
+
+    /// Adds a pie slice (SVG path) centered at (cx, cy).
+    #[allow(clippy::too_many_arguments)]
+    pub fn pie_slice(
+        &mut self,
+        cx: f64,
+        cy: f64,
+        r: f64,
+        start_angle: f64,
+        end_angle: f64,
+        fill: &str,
+        title: Option<&str>,
+    ) {
+        let (x1, y1) = (cx + r * start_angle.cos(), cy + r * start_angle.sin());
+        let (x2, y2) = (cx + r * end_angle.cos(), cy + r * end_angle.sin());
+        let large = if end_angle - start_angle > std::f64::consts::PI {
+            1
+        } else {
+            0
+        };
+        let t = title
+            .map(|t| format!("<title>{}</title>", escape(t)))
+            .unwrap_or_default();
+        writeln!(
+            self.body,
+            r#"<path d="M {cx:.2} {cy:.2} L {x1:.2} {y1:.2} A {r:.2} {r:.2} 0 {large} 1 {x2:.2} {y2:.2} Z" fill="{fill}" stroke="white" stroke-width="1">{t}</path>"#
+        )
+        .expect("string write");
+    }
+
+    /// Adds a raw SVG fragment.
+    pub fn raw(&mut self, fragment: &str) {
+        self.body.push_str(fragment);
+        self.body.push('\n');
+    }
+
+    /// Finalizes the document.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n\
+             <defs><marker id=\"arrow\" viewBox=\"0 0 10 10\" refX=\"9\" refY=\"5\" markerWidth=\"6\" markerHeight=\"6\" orient=\"auto-start-reverse\">\
+             <path d=\"M 0 0 L 10 5 L 0 10 z\" fill=\"#555\"/></marker></defs>\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+}
+
+/// A categorical palette (colorblind-friendly Okabe–Ito).
+pub const PALETTE: &[&str] = &[
+    "#0072B2", "#E69F00", "#009E73", "#CC79A7", "#56B4E9", "#D55E00", "#F0E442", "#999999",
+];
+
+/// Picks the i-th palette color, cycling.
+pub fn palette_color(i: usize) -> &'static str {
+    PALETTE[i % PALETTE.len()]
+}
+
+/// Sequential color ramp from light to saturated blue for a value in `[0, 1]`
+/// — used for the map's "degree of matching" coloring.
+pub fn match_degree_color(t: f64) -> String {
+    let t = t.clamp(0.0, 1.0);
+    // Interpolate #DEEBF7 → #08519C.
+    let lerp = |a: u8, b: u8| (f64::from(a) + t * (f64::from(b) - f64::from(a))) as u8;
+    format!(
+        "#{:02X}{:02X}{:02X}",
+        lerp(0xDE, 0x08),
+        lerp(0xEB, 0x51),
+        lerp(0xF7, 0x9C)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_structure() {
+        let mut doc = SvgDoc::new(100.0, 50.0);
+        doc.rect(0.0, 0.0, 10.0, 10.0, "red", Some("a <rect>"));
+        doc.circle(5.0, 5.0, 2.0, "blue", None);
+        doc.text(1.0, 1.0, 10.0, "middle", "#000", "A & B");
+        let svg = doc.finish();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("width=\"100\""));
+        assert!(svg.contains("&lt;rect&gt;"), "titles escaped");
+        assert!(svg.contains("A &amp; B"), "text escaped");
+    }
+
+    #[test]
+    fn escape_all_specials() {
+        assert_eq!(
+            escape(r#"<a href="x">&"#),
+            "&lt;a href=&quot;x&quot;&gt;&amp;"
+        );
+    }
+
+    #[test]
+    fn palette_cycles() {
+        assert_eq!(palette_color(0), palette_color(PALETTE.len()));
+    }
+
+    #[test]
+    fn match_color_endpoints() {
+        assert_eq!(match_degree_color(0.0), "#DEEBF7");
+        assert_eq!(match_degree_color(1.0), "#08519C");
+        // Out-of-range clamps.
+        assert_eq!(match_degree_color(2.0), "#08519C");
+    }
+
+    #[test]
+    fn pie_slice_large_arc_flag() {
+        let mut doc = SvgDoc::new(10.0, 10.0);
+        doc.pie_slice(5.0, 5.0, 4.0, 0.0, 4.0, "red", None);
+        let svg = doc.finish();
+        assert!(svg.contains(" 4.00 4.00 0 1 1 "), "large-arc flag set");
+    }
+}

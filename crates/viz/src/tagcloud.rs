@@ -1,0 +1,114 @@
+//! Tag-cloud rendering with Fig. 5 clique coloring.
+
+use crate::svg::{palette_color, SvgDoc};
+use sensormeta_tagging::TagCloud;
+
+/// Renders a tag cloud as a flow layout. Font size comes from Eq. 6; tags in
+/// a clique get that clique's color ("different colors indicate different
+/// cliques"; tags in several cliques are colored by their largest one and
+/// list all memberships in the tooltip).
+pub fn render_tag_cloud(title: &str, cloud: &TagCloud) -> String {
+    let width = 680.0;
+    let base_px = 10.0;
+    // Flow-layout: place tags left to right, wrapping.
+    let mut x = 20.0;
+    let mut y = 70.0;
+    let line_height = |size_px: f64| size_px + 10.0;
+    let mut max_line = 0.0f64;
+    let mut placements = Vec::new();
+    for entry in cloud.by_prominence() {
+        let px = base_px + entry.font_size as f64 * 2.2;
+        // Crude width estimate: 0.58 em per char.
+        let w = entry.tag.chars().count() as f64 * px * 0.58 + 14.0;
+        if x + w > width - 20.0 {
+            x = 20.0;
+            y += max_line;
+            max_line = 0.0;
+        }
+        max_line = max_line.max(line_height(px));
+        placements.push((entry, x, y, px));
+        x += w;
+    }
+    let height = y + max_line + 20.0;
+    let mut doc = SvgDoc::new(width, height);
+    doc.text(width / 2.0, 24.0, 16.0, "middle", "#222", title);
+    if cloud.entries.is_empty() {
+        doc.text(width / 2.0, 50.0, 12.0, "middle", "#888", "no tags");
+        return doc.finish();
+    }
+    for (entry, x, y, px) in placements {
+        let color = match entry
+            .cliques
+            .iter()
+            .max_by_key(|&&c| cloud.cliques[c].len())
+        {
+            Some(&c) => palette_color(c).to_owned(),
+            None => "#888888".to_owned(),
+        };
+        let tooltip = format!(
+            "{} — count {}, font {}, cliques {:?}",
+            entry.tag, entry.count, entry.font_size, entry.cliques
+        );
+        doc.raw(&format!(
+            r#"<text x="{x:.1}" y="{y:.1}" font-size="{px:.1}" fill="{color}" font-family="sans-serif"><title>{}</title>{}</text>"#,
+            crate::svg::escape(&tooltip),
+            crate::svg::escape(&entry.tag)
+        ));
+    }
+    doc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensormeta_tagging::{compute_cloud, CloudParams, TagStore};
+
+    fn cloud() -> TagCloud {
+        let mut store = TagStore::new();
+        for p in ["a", "b", "c"] {
+            store.add(p, "snow");
+            store.add(p, "avalanche");
+        }
+        store.add("z", "hydrology"); // isolated page: no co-occurrence
+        compute_cloud(&store, &CloudParams::default())
+    }
+
+    #[test]
+    fn renders_all_tags() {
+        let svg = render_tag_cloud("Trends", &cloud());
+        for tag in ["snow", "avalanche", "hydrology"] {
+            assert!(svg.contains(tag), "missing {tag}");
+        }
+    }
+
+    #[test]
+    fn clique_members_share_color_loner_is_grey() {
+        let svg = render_tag_cloud("Trends", &cloud());
+        // snow & avalanche co-occur on all pages → one clique → same palette
+        // color; hydrology is alone → grey.
+        assert!(svg.contains("#888888"));
+        let colored = svg.matches("#0072B2").count();
+        assert_eq!(colored, 2, "two clique members in palette color 0");
+    }
+
+    #[test]
+    fn empty_cloud() {
+        let store = TagStore::new();
+        let svg = render_tag_cloud("x", &compute_cloud(&store, &CloudParams::default()));
+        assert!(svg.contains("no tags"));
+    }
+
+    #[test]
+    fn bigger_count_bigger_font() {
+        let svg = render_tag_cloud("Trends", &cloud());
+        // snow (count 3) must be rendered with a larger font-size than
+        // hydrology (count 1 → size 1).
+        let font_of = |tag: &str| -> f64 {
+            let ix = svg.find(&format!(">{tag}</text>")).expect("tag present");
+            let upto = &svg[..ix];
+            let fs = upto.rfind("font-size=\"").expect("font-size attr") + 11;
+            upto[fs..].split('"').next().unwrap().parse().unwrap()
+        };
+        assert!(font_of("snow") > font_of("hydrology"));
+    }
+}

@@ -1,0 +1,43 @@
+//! Runs the full demo web application over the synthetic Swiss-Experiment
+//! corpus — the Section V demonstration. Prints the endpoints to try, then
+//! serves until Ctrl-C.
+//!
+//! Run with: `cargo run --release --example demo_server`
+//! Then e.g.: `curl 'http://127.0.0.1:8080/search?q=temperature'`
+
+use sensormeta::query::QueryEngine;
+use sensormeta::server::{serve, App};
+use sensormeta::workload::CorpusConfig;
+
+fn main() {
+    let repo = sensormeta::demo_repository(&CorpusConfig {
+        institutions: 8,
+        projects_per_institution: 4,
+        sites_per_project: 4,
+        deployments_per_site: 5,
+        seed: 2011,
+    });
+    println!(
+        "Loaded {} metadata pages; building indexes…",
+        repo.page_count()
+    );
+    let engine = QueryEngine::open(repo).expect("engine builds");
+    let server = serve(App::new(engine), "127.0.0.1:8080", 8).expect("bind 127.0.0.1:8080");
+    println!("Serving on http://{} — try:", server.addr);
+    for path in [
+        "/",
+        "/search?q=temperature&format=html",
+        "/search?attribute=hasElevation&op=gt&value=2000",
+        "/autocomplete?prefix=Fieldsite",
+        "/tags",
+        "/viz/bar?attribute=measuresQuantity",
+        "/viz/map?attribute=hasElevation&op=gt&value=1000",
+        "/viz/hypergraph",
+    ] {
+        println!("  http://{}{path}", server.addr);
+    }
+    println!("Press Ctrl-C to stop.");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

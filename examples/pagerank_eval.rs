@@ -1,0 +1,98 @@
+//! Regenerates Fig. 3 of the paper: convergence (a) and time (b) evaluation
+//! of the PageRank solvers on synthetic web graphs. Prints the two series
+//! and writes SVG plots to `target/viz/`.
+//!
+//! Run with: `cargo run --release --example pagerank_eval`
+
+use sensormeta::rank::{all_solvers, PageRankProblem, TransitionMatrix};
+use sensormeta::viz::line_chart;
+use sensormeta::workload::barabasi_albert;
+use std::time::Instant;
+
+fn main() {
+    let n = 20_000;
+    let tol = 1e-9;
+    println!("Graph: Barabási–Albert n={n}, m=3, 15% dangling, c=0.85, tol={tol:.0e}\n");
+    let g = barabasi_albert(n, 3, 0.15, 2011);
+    let problem = PageRankProblem::new(TransitionMatrix::from_graph(&g));
+
+    // Fig. 3(a): residual vs iteration, per method.
+    println!("Fig 3(a) — convergence evaluation");
+    println!(
+        "{:<14} {:>10} {:>10} {:>12}",
+        "method", "iterations", "matvecs", "residual"
+    );
+    let mut conv_series = Vec::new();
+    for solver in all_solvers() {
+        let r = solver.solve(&problem, tol, 10_000);
+        println!(
+            "{:<14} {:>10} {:>10} {:>12.2e}",
+            solver.name(),
+            r.iterations,
+            r.matvecs,
+            problem.residual(&r.x)
+        );
+        let points: Vec<(f64, f64)> = r
+            .residuals
+            .iter()
+            .enumerate()
+            .map(|(i, res)| (i as f64 + 1.0, res.max(1e-16).log10()))
+            .collect();
+        conv_series.push((solver.name().to_owned(), points));
+    }
+
+    // Fig. 3(b): wall-clock time vs graph size, per method.
+    println!("\nFig 3(b) — time evaluation (ms to tol, median of 3 runs)");
+    let sizes = [1_000usize, 5_000, 10_000, 20_000, 50_000];
+    print!("{:<14}", "method");
+    for s in sizes {
+        print!(" {s:>9}");
+    }
+    println!();
+    let mut time_series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    for solver in all_solvers() {
+        let mut points = Vec::new();
+        print!("{:<14}", solver.name());
+        for &size in &sizes {
+            let g = barabasi_albert(size, 3, 0.15, 2011);
+            let p = PageRankProblem::new(TransitionMatrix::from_graph(&g));
+            let mut samples = Vec::new();
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                let r = solver.solve(&p, tol, 10_000);
+                let dt = t0.elapsed().as_secs_f64() * 1e3;
+                assert!(r.converged, "{} failed at n={size}", solver.name());
+                samples.push(dt);
+            }
+            samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let median = samples[1];
+            print!(" {median:>9.2}");
+            points.push((size as f64, median));
+        }
+        println!();
+        time_series.push((solver.name().to_owned(), points));
+    }
+
+    std::fs::create_dir_all("target/viz").expect("mkdir target/viz");
+    std::fs::write(
+        "target/viz/fig3a_convergence.svg",
+        line_chart(
+            "Fig 3(a): PageRank convergence (n=20k BA graph)",
+            "iteration",
+            "log10 residual",
+            &conv_series,
+        ),
+    )
+    .expect("write fig3a");
+    std::fs::write(
+        "target/viz/fig3b_time.svg",
+        line_chart(
+            "Fig 3(b): PageRank time to 1e-9 (ms)",
+            "graph size (nodes)",
+            "milliseconds",
+            &time_series,
+        ),
+    )
+    .expect("write fig3b");
+    println!("\nWrote target/viz/fig3a_convergence.svg and target/viz/fig3b_time.svg");
+}

@@ -1,0 +1,100 @@
+//! Quickstart: create a repository, add annotated pages, and run the three
+//! query modalities (keyword, SQL-backed conditions, SPARQL), plus ranking,
+//! recommendations and a tag cloud.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use sensormeta::query::{CondOp, Condition, QueryEngine, SearchForm};
+use sensormeta::smr::{PageDraft, Smr};
+use sensormeta::tagging::{compute_cloud, CloudParams, TagStore};
+
+fn main() {
+    // 1. Build a small Sensor Metadata Repository.
+    let mut smr = Smr::new();
+    smr.create_page(
+        PageDraft::new("Fieldsite:Weissfluhjoch", "Fieldsite")
+            .body("High-alpine research site above Davos, 2693 m, snow and avalanche studies.")
+            .annotate("hasElevation", "2693")
+            .annotate("hasLatitude", "46.8333")
+            .annotate("hasLongitude", "9.8064")
+            .tag("snow")
+            .tag("avalanche"),
+    )
+    .expect("create field site");
+    smr.create_page(
+        PageDraft::new("Deployment:wfj_snow_height", "Deployment")
+            .body("Ultrasonic snow height sensor on the Weissfluhjoch study plot.")
+            .annotate("measuresQuantity", "snow_height")
+            .annotate("hasUnit", "cm")
+            .annotate("deployedAt", "Fieldsite:Weissfluhjoch")
+            .link("Fieldsite:Weissfluhjoch")
+            .tag("snow"),
+    )
+    .expect("create deployment");
+    smr.create_page(
+        PageDraft::new("Deployment:wfj_temp", "Deployment")
+            .body("Ventilated air temperature sensor next to the snow height instrument.")
+            .annotate("measuresQuantity", "temperature")
+            .annotate("hasUnit", "C")
+            .annotate("deployedAt", "Fieldsite:Weissfluhjoch")
+            .link("Fieldsite:Weissfluhjoch")
+            .link("Deployment:wfj_snow_height")
+            .tag("snow"),
+    )
+    .expect("create deployment");
+
+    // 2. SQL and SPARQL directly against the repository.
+    let rs = smr
+        .sql("SELECT title, namespace FROM pages ORDER BY title")
+        .expect("sql");
+    println!("Pages via SQL:\n{}", rs.to_ascii_table());
+    let sols = smr
+        .sparql(
+            "PREFIX prop: <http://swiss-experiment.ch/property/> \
+             SELECT ?t WHERE { ?p prop:deployedAt ?site . ?p prop:title ?t } ORDER BY ?t",
+        )
+        .expect("sparql");
+    println!(
+        "Deployments via SPARQL: {:?}",
+        sols.rows
+            .iter()
+            .filter_map(|r| r[0].as_ref().and_then(|t| t.literal_value()))
+            .collect::<Vec<_>>()
+    );
+
+    // 3. The advanced search engine: keyword + structured condition.
+    let engine = QueryEngine::open(smr).expect("engine builds");
+    let form = SearchForm::keywords("snow sensor").condition(Condition::new(
+        "measuresQuantity",
+        CondOp::Eq,
+        "snow_height",
+    ));
+    let out = engine.search(&form, None).expect("search");
+    println!("\nAdvanced search ({} matched):", out.total_matched);
+    for item in &out.items {
+        println!(
+            "  {:<32} score={:.3} pagerank={:.3} snippet={}",
+            item.title, item.score, item.pagerank, item.snippet
+        );
+    }
+    println!("Recommended:");
+    for rec in &out.recommendations {
+        println!("  {} (shares {:?})", rec.title, rec.shared_properties);
+    }
+
+    // 4. Autocomplete, as the search box would use it.
+    println!("\nAutocomplete 'Dep' → {:?}", engine.autocomplete("Dep", 5));
+
+    // 5. A tag cloud from the pages' tags.
+    let mut tags = TagStore::new();
+    let pairs = engine.smr().all_tags().expect("tags");
+    tags.ingest(pairs.iter().map(|(p, t)| (p.as_str(), t.as_str())));
+    let cloud = compute_cloud(&tags, &CloudParams::default());
+    println!("\nTag cloud:");
+    for entry in cloud.by_prominence() {
+        println!(
+            "  {:<12} count={} font-size={} cliques={:?}",
+            entry.tag, entry.count, entry.font_size, entry.cliques
+        );
+    }
+}

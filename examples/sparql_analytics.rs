@@ -1,0 +1,97 @@
+//! SPARQL analytics over the metadata graph: the "trend" questions the
+//! paper's tag clouds visualize, answered directly with aggregate queries
+//! (GROUP BY / COUNT / AVG / UNION) against the RDF mirror.
+//!
+//! Run with: `cargo run --release --example sparql_analytics`
+
+use sensormeta::workload::CorpusConfig;
+
+fn main() {
+    let repo = sensormeta::demo_repository(&CorpusConfig {
+        institutions: 8,
+        ..CorpusConfig::default()
+    });
+    println!("{} pages in the repository\n", repo.page_count());
+
+    // Which quantity is measured most? (the bar-chart question)
+    let sols = repo
+        .sparql(
+            "PREFIX prop: <http://swiss-experiment.ch/property/> \
+             SELECT ?q (COUNT(*) AS ?n) WHERE { ?d prop:measuresQuantity ?q } \
+             GROUP BY ?q ORDER BY DESC(?n) LIMIT 8",
+        )
+        .expect("aggregate query");
+    println!("Most-measured quantities:");
+    for row in &sols.rows {
+        println!(
+            "  {:<16} {}",
+            row[0]
+                .as_ref()
+                .and_then(|t| t.literal_value())
+                .unwrap_or("?"),
+            row[1].as_ref().and_then(|t| t.as_number()).unwrap_or(0.0)
+        );
+    }
+
+    // Average sampling interval per vendor.
+    let sols = repo
+        .sparql(
+            "PREFIX prop: <http://swiss-experiment.ch/property/> \
+             SELECT ?vendor (AVG(?i) AS ?avg) (COUNT(*) AS ?n) WHERE { \
+             ?d prop:hasVendor ?vendor . ?d prop:hasSamplingIntervalMinutes ?i } \
+             GROUP BY ?vendor ORDER BY ?vendor",
+        )
+        .expect("avg query");
+    println!("\nMean sampling interval per vendor (minutes):");
+    for row in &sols.rows {
+        println!(
+            "  {:<12} avg {:>6.1}  over {} deployments",
+            row[0]
+                .as_ref()
+                .and_then(|t| t.literal_value())
+                .unwrap_or("?"),
+            row[1].as_ref().and_then(|t| t.as_number()).unwrap_or(0.0),
+            row[2].as_ref().and_then(|t| t.as_number()).unwrap_or(0.0)
+        );
+    }
+
+    // UNION: everything that is either high-frequency (≤ 5 min) or measures
+    // snow height — two ways to be "interesting to the snow forecasters".
+    let sols = repo
+        .sparql(
+            "PREFIX prop: <http://swiss-experiment.ch/property/> \
+             SELECT (COUNT(*) AS ?n) WHERE { \
+             { ?d prop:measuresQuantity \"snow_height\" } \
+             UNION { ?d prop:hasSamplingIntervalMinutes ?i . FILTER(?i <= 5) } }",
+        )
+        .expect("union query");
+    println!(
+        "\nDeployments of interest to snow forecasting (snow_height ∪ interval ≤ 5min): {}",
+        sols.rows[0][0]
+            .as_ref()
+            .and_then(|t| t.as_number())
+            .unwrap_or(0.0)
+    );
+
+    // Elevation profile of field sites, straight off the mirror.
+    let sols = repo
+        .sparql(
+            "PREFIX prop: <http://swiss-experiment.ch/property/> \
+             SELECT (COUNT(*) AS ?n) (MIN(?e) AS ?lo) (AVG(?e) AS ?mean) (MAX(?e) AS ?hi) \
+             WHERE { ?s prop:hasElevation ?e }",
+        )
+        .expect("stats query");
+    let num = |ix: usize| {
+        sols.rows[0][ix]
+            .as_ref()
+            .and_then(|t| t.as_number())
+            .unwrap_or(0.0)
+    };
+    println!(
+        "\nField-site elevations: n={} min={} mean={:.0} max={} m",
+        num(0),
+        num(1),
+        num(2),
+        num(3)
+    );
+}

@@ -1,0 +1,102 @@
+//! The Swiss-Experiment scenario end to end: generate the full synthetic
+//! platform corpus, bulk-load it, build the engine, and walk through the
+//! workflows the paper demonstrates — advanced search with privileges,
+//! map-ready results with match degrees, facets for bar/pie diagrams, and
+//! per-namespace statistics.
+//!
+//! Run with: `cargo run --release --example swiss_experiment`
+
+use sensormeta::query::{Acl, CondOp, Condition, QueryEngine, RankBlend, SearchForm, SortBy};
+use sensormeta::workload::CorpusConfig;
+
+fn main() {
+    // 1. Generate and load the corpus.
+    let cfg = CorpusConfig {
+        institutions: 8,
+        projects_per_institution: 4,
+        sites_per_project: 4,
+        deployments_per_site: 6,
+        seed: 2011,
+    };
+    let smr = sensormeta::demo_repository(&cfg);
+    println!("Loaded {} metadata pages.", smr.page_count());
+    let attrs = smr.attributes().expect("attributes");
+    println!("Top annotation attributes (drive the form's drop-downs):");
+    for (a, n) in attrs.iter().take(6) {
+        println!("  {a:<28} {n}");
+    }
+
+    // 2. Privileges: the public sees field sites; researchers also see
+    //    deployments (the paper: queries run "within their privileges").
+    let mut acl = Acl::new();
+    acl.grant("public", "Fieldsite");
+    acl.grant("public", "Project");
+    acl.grant("public", "Institution");
+    acl.grant("researchers", "Deployment");
+    acl.add_member("ioannis", "researchers");
+    let engine = QueryEngine::build(smr, acl, RankBlend::default()).expect("engine");
+
+    // 3. Keyword search as two different users.
+    let form = SearchForm::keywords("temperature");
+    let public = engine.search(&form, None).expect("public search");
+    let researcher = engine
+        .search(&form, Some("ioannis"))
+        .expect("researcher search");
+    println!(
+        "\n'temperature': public sees {} results, researcher sees {}",
+        public.total_matched, researcher.total_matched
+    );
+    assert!(researcher.total_matched >= public.total_matched);
+
+    // 4. Structured search: high-alpine sites, sorted by elevation, with
+    //    coordinates ready for the map view.
+    let mut form =
+        SearchForm::default().condition(Condition::new("hasElevation", CondOp::Gt, "2000"));
+    form.sort_by = SortBy::Attribute("hasElevation".into());
+    form.descending = true;
+    let high = engine.search(&form, None).expect("structured search");
+    println!("\nField sites above 2000 m (map-ready):");
+    for item in high.items.iter().take(8) {
+        let (lat, lon) = item.coords.expect("sites are geolocated");
+        println!("  {:<28} ({lat:.3}N, {lon:.3}E)", item.title);
+    }
+
+    // 5. Facets → the data behind the bar/pie diagrams.
+    let out = engine
+        .search(&SearchForm::keywords("sensor"), Some("ioannis"))
+        .expect("facet search");
+    let mut quantities: Vec<(&str, usize)> = out
+        .facets
+        .iter()
+        .filter(|f| f.attribute == "measuresQuantity")
+        .map(|f| (f.value.as_str(), f.count))
+        .collect();
+    quantities.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    println!("\nmeasuresQuantity facet over 'sensor' results (bar chart input):");
+    for (value, count) in quantities.iter().take(8) {
+        println!("  {value:<16} {count}");
+    }
+
+    // 6. PageRank: which pages does the double-link structure consider
+    //    authoritative? (Field sites and projects attract links.)
+    let mut titles = engine.smr().page_titles().expect("titles");
+    titles.sort_by(|a, b| {
+        engine
+            .pagerank_of(b)
+            .partial_cmp(&engine.pagerank_of(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    println!("\nHighest-PageRank pages:");
+    for t in titles.iter().take(6) {
+        println!("  {:<36} {:.4}", t, engine.pagerank_of(t).unwrap_or(0.0));
+    }
+
+    // 7. Recommendations from a seed deployment.
+    if let Some(dep) = titles.iter().find(|t| t.starts_with("Deployment:")) {
+        let recs = engine.recommend(&[dep.as_str()], 5);
+        println!("\nPages related to {dep}:");
+        for r in recs {
+            println!("  {:<36} via {:?}", r.title, r.shared_properties);
+        }
+    }
+}

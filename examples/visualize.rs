@@ -1,0 +1,136 @@
+//! Regenerates the Fig. 2 visualization gallery over the synthetic corpus:
+//! tabular results, bar and pie diagrams, the clustered map with
+//! match-degree colors, the association digraph, and a hypergraph snapshot.
+//! Everything lands in `target/viz/`.
+//!
+//! Run with: `cargo run --release --example visualize`
+
+use sensormeta::query::{CondOp, Condition, QueryEngine, SearchForm};
+use sensormeta::viz::{
+    bar_chart, classify_by_neighbors, map_plot, pie_chart, render_digraph, render_hypergraph,
+    Datum, GraphLayout, GraphNode, MapMarker, MapOptions,
+};
+use sensormeta::workload::CorpusConfig;
+
+fn main() {
+    let repo = sensormeta::demo_repository(&CorpusConfig {
+        institutions: 8,
+        ..CorpusConfig::default()
+    });
+    let engine = QueryEngine::open(repo).expect("engine");
+    std::fs::create_dir_all("target/viz").expect("mkdir");
+
+    // Tabular format — plain SQL output.
+    let rs = engine
+        .smr()
+        .sql(
+            "SELECT namespace, COUNT(*) AS pages FROM pages GROUP BY namespace \
+             ORDER BY pages DESC",
+        )
+        .expect("sql");
+    println!("Result table:\n{}", rs.to_ascii_table());
+
+    // Bar + pie: measuresQuantity distribution over a keyword search.
+    let out = engine
+        .search(&SearchForm::keywords("sensor"), None)
+        .expect("search");
+    let data: Vec<Datum> = {
+        let mut counts: Vec<(&str, usize)> = out
+            .facets
+            .iter()
+            .filter(|f| f.attribute == "measuresQuantity")
+            .map(|f| (f.value.as_str(), f.count))
+            .collect();
+        counts.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        counts
+            .into_iter()
+            .take(8)
+            .map(|(v, c)| Datum::new(v, c as f64))
+            .collect()
+    };
+    std::fs::write(
+        "target/viz/fig2_bar.svg",
+        bar_chart("Sensors per measured quantity", &data),
+    )
+    .expect("bar");
+    std::fs::write(
+        "target/viz/fig2_pie.svg",
+        pie_chart("Share of measured quantities", &data),
+    )
+    .expect("pie");
+
+    // Map: geolocated field sites, soft conditions → match-degree colors.
+    let mut form = SearchForm::default()
+        .condition(Condition::new("hasElevation", CondOp::Gt, "1500"))
+        .condition(Condition::new("hasElevation", CondOp::Lt, "3000"));
+    form.soft_conditions = true;
+    form.limit = 500;
+    let out = engine.search(&form, None).expect("map search");
+    let markers: Vec<MapMarker> = out
+        .geolocated()
+        .map(|i| MapMarker {
+            title: i.title.clone(),
+            lat: i.coords.expect("geo").0,
+            lon: i.coords.expect("geo").1,
+            match_degree: i.match_degree,
+        })
+        .collect();
+    println!(
+        "Map markers: {} ({} clusters at default zoom)",
+        markers.len(),
+        { sensormeta::viz::cluster_markers(&markers, &MapOptions::default()).len() }
+    );
+    std::fs::write(
+        "target/viz/fig2_map.svg",
+        map_plot(
+            "Field sites, colored by match degree",
+            &markers,
+            &MapOptions::default(),
+        ),
+    )
+    .expect("map");
+
+    // Association digraph over the hyperlink structure (first 50 pages).
+    let (_, hyperlink, titles) = engine.smr().link_graphs().expect("graphs");
+    let max_nodes = titles.len().min(50);
+    let edges: Vec<(usize, usize)> = hyperlink
+        .iter_edges()
+        .filter(|(u, v)| *u < max_nodes && *v < max_nodes)
+        .collect();
+    let sub = sensormeta::graph::CsrGraph::from_edges(max_nodes, &edges, true);
+    let classes = classify_by_neighbors(&sub);
+    let nodes: Vec<GraphNode> = (0..max_nodes)
+        .map(|i| GraphNode {
+            label: titles[i].clone(),
+            class: classes[i],
+        })
+        .collect();
+    std::fs::write(
+        "target/viz/fig2_graph.svg",
+        render_digraph("Metadata associations", &sub, &nodes, GraphLayout::Force),
+    )
+    .expect("digraph");
+
+    // Hypergraph around the most-linked page.
+    let ind = hyperlink.in_degrees();
+    let focus = (0..titles.len())
+        .max_by_key(|&v| ind[v])
+        .expect("non-empty corpus");
+    println!(
+        "Hypergraph focus: {} (in-degree {})",
+        titles[focus], ind[focus]
+    );
+    std::fs::write(
+        "target/viz/fig2_hypergraph.svg",
+        render_hypergraph(
+            &format!("Hypergraph around {}", titles[focus]),
+            &hyperlink,
+            &titles,
+            focus,
+            2,
+        ),
+    )
+    .expect("hypergraph");
+
+    println!("Wrote fig2_bar/pie/map/graph/hypergraph SVGs to target/viz/");
+}
