@@ -39,6 +39,11 @@ impl CsrGraph {
         if dedup {
             g = g.deduped();
         }
+        debug_assert_eq!(
+            g.offsets.last().copied(),
+            Some(g.targets.len()),
+            "CSR construction left targets uncovered"
+        );
         g
     }
 
@@ -105,6 +110,54 @@ impl CsrGraph {
         }
         deg
     }
+
+    /// Deep structural check (fsck): well-formed row offsets and in-range
+    /// targets, plus a transpose round-trip — transposing twice must give
+    /// back exactly this edge multiset. Returns every violated invariant.
+    pub fn check_invariants(&self) -> Result<(), Vec<String>> {
+        let mut problems = Vec::new();
+        if self.offsets.is_empty() {
+            problems.push("offsets array is empty (must hold at least [0])".into());
+            return Err(problems);
+        }
+        if self.offsets[0] != 0 {
+            problems.push(format!("offsets[0] is {}, not 0", self.offsets[0]));
+        }
+        for (v, w) in self.offsets.windows(2).enumerate() {
+            if w[0] > w[1] {
+                problems.push(format!("offsets not monotone at node {v}: {} > {}", w[0], w[1]));
+            }
+        }
+        let last = *self.offsets.last().unwrap_or(&0);
+        if last != self.targets.len() {
+            problems.push(format!(
+                "final offset {last} does not cover the {} targets",
+                self.targets.len()
+            ));
+        }
+        let n = self.node_count();
+        for (ix, &t) in self.targets.iter().enumerate() {
+            if t >= n {
+                problems.push(format!("targets[{ix}] = {t} out of range for {n} nodes"));
+            }
+        }
+        // Only meaningful on a structurally sound graph.
+        if problems.is_empty() {
+            let round_trip = self.transpose().transpose();
+            let mut ours: Vec<(usize, usize)> = self.iter_edges().collect();
+            let mut theirs: Vec<(usize, usize)> = round_trip.iter_edges().collect();
+            ours.sort_unstable();
+            theirs.sort_unstable();
+            if ours != theirs {
+                problems.push("transpose round-trip changed the edge multiset".into());
+            }
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -164,5 +217,34 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_edge_panics() {
         CsrGraph::from_edges(2, &[(0, 5)], false);
+    }
+
+    #[test]
+    fn fsck_detects_corruption() {
+        assert_eq!(diamond().check_invariants(), Ok(()));
+        assert_eq!(CsrGraph::from_edges(0, &[], false).check_invariants(), Ok(()));
+
+        // Non-monotone offsets.
+        let broken = CsrGraph {
+            offsets: vec![0, 3, 1, 4],
+            targets: vec![1, 2, 0, 1],
+        };
+        let problems = broken.check_invariants().unwrap_err();
+        assert!(problems.iter().any(|m| m.contains("not monotone")), "{problems:?}");
+
+        // Target pointing past the node count.
+        let wild = CsrGraph {
+            offsets: vec![0, 1, 1],
+            targets: vec![9],
+        };
+        let problems = wild.check_invariants().unwrap_err();
+        assert!(problems.iter().any(|m| m.contains("out of range")), "{problems:?}");
+
+        // Final offset not covering the target array.
+        let short = CsrGraph {
+            offsets: vec![0, 1],
+            targets: vec![0, 0, 0],
+        };
+        assert!(short.check_invariants().is_err());
     }
 }

@@ -6,6 +6,7 @@
 //! degree statistics, degeneracy ordering).
 
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 pub mod algo;
 pub mod csr;

@@ -101,6 +101,31 @@ impl UndirectedGraph {
         order
     }
 
+    /// Deep structural check (fsck): adjacency symmetry, in-range neighbor
+    /// ids, and no self-loops. Returns every violated invariant.
+    pub fn check_invariants(&self) -> Result<(), Vec<String>> {
+        let mut problems = Vec::new();
+        let n = self.adj.len();
+        for (u, nbrs) in self.adj.iter().enumerate() {
+            for &v in nbrs {
+                if v >= n {
+                    problems.push(format!("node {u} lists neighbor {v} out of range for {n} nodes"));
+                    continue;
+                }
+                if v == u {
+                    problems.push(format!("node {u} has a self-loop"));
+                } else if !self.adj[v].contains(&u) {
+                    problems.push(format!("asymmetric edge: {u} lists {v} but {v} does not list {u}"));
+                }
+            }
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems)
+        }
+    }
+
     /// Number of connected components.
     pub fn component_count(&self) -> usize {
         let n = self.adj.len();
@@ -166,5 +191,29 @@ mod tests {
         let g = UndirectedGraph::from_edges(5, &[(0, 1), (2, 3)]);
         assert_eq!(g.component_count(), 3);
         assert_eq!(UndirectedGraph::new(0).component_count(), 0);
+    }
+
+    #[test]
+    fn fsck_detects_corruption() {
+        let g = UndirectedGraph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        assert_eq!(g.check_invariants(), Ok(()));
+
+        // One-sided edge: 0 lists 3 but 3 does not list 0.
+        let mut asym = g.clone();
+        asym.adj[0].insert(3);
+        let problems = asym.check_invariants().unwrap_err();
+        assert!(problems.iter().any(|m| m.contains("asymmetric")), "{problems:?}");
+
+        // Self-loop snuck past add_edge.
+        let mut looped = g.clone();
+        looped.adj[1].insert(1);
+        let problems = looped.check_invariants().unwrap_err();
+        assert!(problems.iter().any(|m| m.contains("self-loop")), "{problems:?}");
+
+        // Neighbor id beyond the node count.
+        let mut wild = g;
+        wild.adj[2].insert(99);
+        let problems = wild.check_invariants().unwrap_err();
+        assert!(problems.iter().any(|m| m.contains("out of range")), "{problems:?}");
     }
 }

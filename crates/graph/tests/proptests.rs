@@ -34,6 +34,25 @@ fn reachable(g: &CsrGraph) -> Vec<Vec<bool>> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
+    /// Every CSR construction (raw and deduped) satisfies the deep
+    /// structural invariants, as does its transpose.
+    #[test]
+    fn csr_invariants_hold((n, edges) in arb_edges(20, 60)) {
+        for dedup in [false, true] {
+            let g = CsrGraph::from_edges(n, &edges, dedup);
+            prop_assert_eq!(g.check_invariants(), Ok(()));
+            prop_assert_eq!(g.transpose().check_invariants(), Ok(()));
+        }
+    }
+
+    /// An undirected graph built from any edge list is symmetric, loop-free,
+    /// and in range.
+    #[test]
+    fn undirected_invariants_hold((n, edges) in arb_edges(20, 60)) {
+        let g = UndirectedGraph::from_edges(n, &edges);
+        prop_assert_eq!(g.check_invariants(), Ok(()));
+    }
+
     /// CSR preserves exactly the multiset of edges (or set, when deduped).
     #[test]
     fn csr_preserves_edges((n, edges) in arb_edges(20, 60)) {

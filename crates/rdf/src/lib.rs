@@ -25,6 +25,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 pub mod error;
 pub mod sparql;

@@ -61,6 +61,10 @@ impl TripleStore {
         }
         self.pos.insert((p, o, s));
         self.osp.insert((o, s, p));
+        debug_assert!(
+            self.pos.len() == self.spo.len() && self.osp.len() == self.spo.len(),
+            "index orderings diverged on insert"
+        );
         true
     }
 
@@ -76,6 +80,10 @@ impl TripleStore {
         }
         self.pos.remove(&(p, o, s));
         self.osp.remove(&(o, s, p));
+        debug_assert!(
+            self.pos.len() == self.spo.len() && self.osp.len() == self.spo.len(),
+            "index orderings diverged on remove"
+        );
         true
     }
 
@@ -186,6 +194,52 @@ impl TripleStore {
     /// Iterates all triples in SPO order.
     pub fn iter(&self) -> impl Iterator<Item = IdTriple> + '_ {
         self.spo.iter().copied()
+    }
+
+    /// Deep structural check (fsck): the three index orderings must hold the
+    /// same triple set, every id must resolve in the dictionary, and the
+    /// dictionary must be a bijection. Returns every violated invariant.
+    pub fn check_invariants(&self) -> Result<(), Vec<String>> {
+        let mut problems = Vec::new();
+        if self.pos.len() != self.spo.len() || self.osp.len() != self.spo.len() {
+            problems.push(format!(
+                "index cardinalities disagree: spo={} pos={} osp={}",
+                self.spo.len(),
+                self.pos.len(),
+                self.osp.len()
+            ));
+        }
+        for &(s, p, o) in &self.spo {
+            if !self.pos.contains(&(p, o, s)) {
+                problems.push(format!("triple ({s:?}, {p:?}, {o:?}) missing from POS"));
+            }
+            if !self.osp.contains(&(o, s, p)) {
+                problems.push(format!("triple ({s:?}, {p:?}, {o:?}) missing from OSP"));
+            }
+            for id in [s, p, o] {
+                if self.dict.term(id).is_none() {
+                    problems.push(format!("dangling term id {id:?} in triple"));
+                }
+            }
+        }
+        // With equal cardinalities and spo ⊆ pos, spo ⊆ osp, the sets are
+        // identical — no reverse sweep needed.
+        for (id, term) in self.dict.iter() {
+            match self.dict.id_of(term) {
+                Some(back) if back == id => {}
+                Some(back) => problems.push(format!(
+                    "dictionary not a bijection: {term} interns to {back:?} but is stored at {id:?}"
+                )),
+                None => problems.push(format!(
+                    "dictionary not a bijection: {term} at {id:?} has no reverse mapping"
+                )),
+            }
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems)
+        }
     }
 }
 
@@ -333,5 +387,39 @@ mod tests {
     fn subjects_deduped() {
         let st = store();
         assert_eq!(st.subjects().len(), 2);
+    }
+
+    #[test]
+    fn fsck_detects_corruption() {
+        let st = store();
+        assert_eq!(st.check_invariants(), Ok(()));
+
+        // A triple smuggled into SPO alone desynchronizes the orderings.
+        let mut lopsided = store();
+        let s = lopsided.intern(Term::iri("ex:rogue"));
+        let p = lopsided.intern(Term::iri("ex:p"));
+        let o = lopsided.intern(Term::lit("x"));
+        lopsided.spo.insert((s, p, o));
+        let problems = lopsided.check_invariants().unwrap_err();
+        assert!(
+            problems.iter().any(|m| m.contains("cardinalities disagree")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|m| m.contains("missing from POS")),
+            "{problems:?}"
+        );
+
+        // A triple referencing an id the dictionary never issued.
+        let mut dangling = store();
+        let ghost = TermId(9999);
+        dangling.spo.insert((ghost, ghost, ghost));
+        dangling.pos.insert((ghost, ghost, ghost));
+        dangling.osp.insert((ghost, ghost, ghost));
+        let problems = dangling.check_invariants().unwrap_err();
+        assert!(
+            problems.iter().any(|m| m.contains("dangling term id")),
+            "{problems:?}"
+        );
     }
 }

@@ -70,6 +70,29 @@ proptest! {
         prop_assert_eq!(st.len(), st.match_terms(None, None, None).len());
     }
 
+    /// The deep structural invariants (index agreement, dictionary
+    /// bijection) hold after any interleaving of inserts, removes, and
+    /// whole-subject removals.
+    #[test]
+    fn store_invariants_hold(triples in arb_triples(),
+                             kill in prop::collection::vec(any::<prop::sample::Index>(), 0..10),
+                             drop_subjects in prop::collection::vec(0u8..6, 0..3)) {
+        let mut st = TripleStore::new();
+        for (s, p, o) in &triples {
+            st.insert(s.clone(), p.clone(), o.clone());
+        }
+        let listed: Vec<_> = st.match_terms(None, None, None);
+        for ix in kill {
+            if listed.is_empty() { break; }
+            let (s, p, o) = ix.get(&listed);
+            st.remove(s, p, o);
+        }
+        for i in drop_subjects {
+            st.remove_subject(&Term::iri(format!("http://e/r{i}")));
+        }
+        prop_assert_eq!(st.check_invariants(), Ok(()));
+    }
+
     /// Turtle serialization round-trips every term mix.
     #[test]
     fn turtle_roundtrip(triples in arb_triples()) {

@@ -95,6 +95,10 @@ impl BTreeIndex {
         if self.insert_rec_root(key, row) {
             self.len += 1;
         }
+        debug_assert!(
+            self.root.keys.len() <= MAX_KEYS,
+            "root over-full after insert"
+        );
         Ok(())
     }
 
@@ -150,6 +154,11 @@ impl BTreeIndex {
         let right_postings = node.postings.split_off(mid + 1);
         let mid_key = node.keys.pop().expect("mid key exists");
         let mid_post = node.postings.pop().expect("mid posting exists");
+        debug_assert!(
+            node.keys.last().is_none_or(|k| *k < mid_key)
+                && right_keys.first().is_none_or(|k| mid_key < *k),
+            "split median must separate left and right halves"
+        );
         let right_children = if node.is_leaf() {
             Vec::new()
         } else {
@@ -281,29 +290,70 @@ impl BTreeIndex {
             .collect()
     }
 
-    /// Verifies B-tree ordering invariants; used by tests and proptests.
-    pub fn check_invariants(&self) -> bool {
-        fn rec(node: &Node, lo: Option<&Key>, hi: Option<&Key>) -> bool {
-            for w in node.keys.windows(2) {
+    /// Deep structural check (fsck): ordering, separator bounds, node shape,
+    /// posting-list discipline, uniqueness, and the entry count. Returns every
+    /// violated invariant as a human-readable message.
+    pub fn check_invariants(&self) -> std::result::Result<(), Vec<String>> {
+        fn rec(
+            node: &Node,
+            lo: Option<&Key>,
+            hi: Option<&Key>,
+            depth: usize,
+            unique: bool,
+            entries: &mut usize,
+            problems: &mut Vec<String>,
+        ) {
+            let at = |msg: String| format!("depth {depth}: {msg}");
+            if node.keys.len() != node.postings.len() {
+                problems.push(at(format!(
+                    "{} keys but {} posting lists",
+                    node.keys.len(),
+                    node.postings.len()
+                )));
+            }
+            if node.keys.len() > MAX_KEYS {
+                problems.push(at(format!(
+                    "over-full node: {} keys > {MAX_KEYS}",
+                    node.keys.len()
+                )));
+            }
+            for (ix, w) in node.keys.windows(2).enumerate() {
                 if w[0] >= w[1] {
-                    return false;
+                    problems.push(at(format!("keys[{ix}] >= keys[{}]", ix + 1)));
                 }
             }
             if let (Some(first), Some(lo)) = (node.keys.first(), lo) {
                 if first <= lo {
-                    return false;
+                    problems.push(at("first key <= left separator".into()));
                 }
             }
             if let (Some(last), Some(hi)) = (node.keys.last(), hi) {
                 if last >= hi {
-                    return false;
+                    problems.push(at("last key >= right separator".into()));
+                }
+            }
+            for (ix, posting) in node.postings.iter().enumerate() {
+                *entries += posting.len();
+                if unique && posting.len() > 1 {
+                    problems.push(at(format!(
+                        "unique index holds {} rows under keys[{ix}]",
+                        posting.len()
+                    )));
+                }
+                if posting.windows(2).any(|w| w[0] >= w[1]) {
+                    problems.push(at(format!("postings[{ix}] not sorted/deduped")));
                 }
             }
             if node.is_leaf() {
-                return true;
+                return;
             }
             if node.children.len() != node.keys.len() + 1 {
-                return false;
+                problems.push(at(format!(
+                    "interior node has {} keys but {} children",
+                    node.keys.len(),
+                    node.children.len()
+                )));
+                return; // child separators below would be meaningless
             }
             for (ix, child) in node.children.iter().enumerate() {
                 let clo = if ix == 0 {
@@ -316,13 +366,31 @@ impl BTreeIndex {
                 } else {
                     Some(&node.keys[ix])
                 };
-                if !rec(child, clo, chi) {
-                    return false;
-                }
+                rec(child, clo, chi, depth + 1, unique, entries, problems);
             }
-            true
         }
-        rec(&self.root, None, None)
+        let mut problems = Vec::new();
+        let mut entries = 0usize;
+        rec(
+            &self.root,
+            None,
+            None,
+            0,
+            self.unique,
+            &mut entries,
+            &mut problems,
+        );
+        if entries != self.len {
+            problems.push(format!(
+                "len says {} entries but postings hold {entries}",
+                self.len
+            ));
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems)
+        }
     }
 }
 
@@ -370,7 +438,7 @@ mod tests {
         for (i, k) in keys.iter().enumerate() {
             ix.insert(key(*k), rid(i as u32)).unwrap();
         }
-        assert!(ix.check_invariants());
+        assert_eq!(ix.check_invariants(), Ok(()));
         let all = ix.iter_all();
         assert_eq!(all.len(), 2000);
         for w in all.windows(2) {
@@ -403,7 +471,43 @@ mod tests {
         assert!(!ix.remove(&key(5000), rid(1)));
         assert!(ix.get(&key(50)).is_empty());
         assert_eq!(ix.len(), 199);
-        assert!(ix.check_invariants());
+        assert_eq!(ix.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn fsck_detects_corruption() {
+        let mut ix = BTreeIndex::new(false);
+        for k in 0..500 {
+            ix.insert(key(k), rid(k as u32)).unwrap();
+        }
+        assert_eq!(ix.check_invariants(), Ok(()));
+
+        // Out-of-order keys in the root.
+        let mut broken = BTreeIndex::new(false);
+        for k in 0..3 {
+            broken.insert(key(k), rid(k as u32)).unwrap();
+        }
+        broken.root.keys.swap(0, 2);
+        let problems = broken.check_invariants().unwrap_err();
+        assert!(problems.iter().any(|p| p.contains(">=")), "{problems:?}");
+
+        // Entry-count drift.
+        let mut drifted = BTreeIndex::new(false);
+        drifted.insert(key(1), rid(1)).unwrap();
+        drifted.len = 7;
+        let problems = drifted.check_invariants().unwrap_err();
+        assert!(problems.iter().any(|p| p.contains("len says 7")), "{problems:?}");
+
+        // A unique index smuggling two rows under one key.
+        let mut dup = BTreeIndex::new(true);
+        dup.insert(key(1), rid(1)).unwrap();
+        dup.root.postings[0].push(rid(2));
+        dup.len += 1;
+        let problems = dup.check_invariants().unwrap_err();
+        assert!(
+            problems.iter().any(|p| p.contains("unique index holds 2")),
+            "{problems:?}"
+        );
     }
 
     #[test]

@@ -93,6 +93,25 @@ impl Database {
             .collect()
     }
 
+    /// Deep structural check (fsck) of every table: heap layout, index tree
+    /// shape, and heap ↔ index agreement. Returns every violated invariant,
+    /// prefixed with the table name.
+    pub fn check_invariants(&self) -> std::result::Result<(), Vec<String>> {
+        let mut problems = Vec::new();
+        for name in self.table_names() {
+            if let Ok(table) = self.table(&name) {
+                if let Err(table_problems) = table.check_invariants() {
+                    problems.extend(table_problems.into_iter().map(|p| format!("{name}: {p}")));
+                }
+            }
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems)
+        }
+    }
+
     /// True if a table exists.
     pub fn has_table(&self, name: &str) -> bool {
         self.catalog.contains_key(&name.to_ascii_lowercase())

@@ -157,6 +157,29 @@ impl Heap {
         }
     }
 
+    /// Deep structural check (fsck): every page's slotted layout plus the
+    /// heap-level live-record accounting. Returns every violated invariant.
+    pub fn check_invariants(&self) -> std::result::Result<(), Vec<String>> {
+        let mut problems = Vec::new();
+        for (pno, page) in self.pages.iter().enumerate() {
+            if let Err(page_problems) = page.check_invariants() {
+                problems.extend(page_problems.into_iter().map(|p| format!("page {pno}: {p}")));
+            }
+        }
+        let counted = self.scan().count();
+        if counted != self.live_records {
+            problems.push(format!(
+                "live-record counter says {} but scan finds {counted}",
+                self.live_records
+            ));
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems)
+        }
+    }
+
     /// Serializes the heap for snapshotting.
     pub fn to_snapshot(&self) -> Vec<u8> {
         use crate::encoding::write_varint;
@@ -287,6 +310,34 @@ mod tests {
         assert!(back.get(a).is_none());
         assert_eq!(back.get(b).unwrap(), &vec![5u8; PAGE_SIZE][..]);
         assert_eq!(back.get(c).unwrap(), b"three");
+    }
+
+    #[test]
+    fn fsck_detects_corruption() {
+        let mut h = Heap::new();
+        h.insert(b"alpha").unwrap();
+        h.insert(&vec![3u8; PAGE_SIZE]).unwrap();
+        assert_eq!(h.check_invariants(), Ok(()));
+
+        // Drifted live-record counter.
+        h.live_records = 42;
+        let problems = h.check_invariants().unwrap_err();
+        assert!(
+            problems.iter().any(|m| m.contains("live-record counter")),
+            "{problems:?}"
+        );
+
+        // A corrupt page surfaces with its page number.
+        let mut h = Heap::new();
+        h.insert(b"alpha").unwrap();
+        let raw = {
+            let mut bytes = h.pages[0].as_bytes().to_vec();
+            bytes[2..4].copy_from_slice(&u16::MAX.to_le_bytes());
+            bytes
+        };
+        h.pages[0] = Page::from_bytes(&raw).unwrap();
+        let problems = h.check_invariants().unwrap_err();
+        assert!(problems.iter().any(|m| m.starts_with("page 0:")), "{problems:?}");
     }
 
     #[test]

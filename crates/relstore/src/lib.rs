@@ -21,6 +21,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 pub mod btree;
 pub mod db;

@@ -175,6 +175,61 @@ impl Page {
         }
         fresh.write_u16(2, cursor as u16);
         *self = fresh;
+        debug_assert!(
+            self.check_invariants().is_ok(),
+            "compact produced an inconsistent page"
+        );
+    }
+
+    /// Deep structural check (fsck): header sanity, slot-directory bounds,
+    /// and non-overlapping payloads. Returns every violated invariant.
+    pub fn check_invariants(&self) -> std::result::Result<(), Vec<String>> {
+        let mut problems = Vec::new();
+        let slots = self.slot_count();
+        let payload_start = self.payload_start();
+        let dir_end = HEADER + slots * SLOT;
+        if payload_start > PAGE_SIZE {
+            problems.push(format!(
+                "free-space offset {payload_start} beyond page size {PAGE_SIZE}"
+            ));
+        }
+        if dir_end > payload_start {
+            problems.push(format!(
+                "slot directory (ends {dir_end}) overlaps payload region (starts {payload_start})"
+            ));
+        }
+        let mut extents: Vec<(usize, usize, usize)> = Vec::new();
+        for s in 0..slots {
+            let slot_at = HEADER + s * SLOT;
+            let off = self.read_u16(slot_at);
+            if off == TOMBSTONE {
+                continue;
+            }
+            let off = off as usize;
+            let len = self.read_u16(slot_at + 2) as usize;
+            if off < payload_start || off + len > PAGE_SIZE {
+                problems.push(format!(
+                    "slot {s}: payload [{off}, {}) outside payload region [{payload_start}, {PAGE_SIZE})",
+                    off + len
+                ));
+            } else if len > 0 {
+                extents.push((off, off + len, s));
+            }
+        }
+        extents.sort_unstable();
+        for w in extents.windows(2) {
+            if w[0].1 > w[1].0 {
+                problems.push(format!(
+                    "slot {} payload [{}, {}) overlaps slot {} payload [{}, {})",
+                    w[0].2, w[0].0, w[0].1, w[1].2, w[1].0, w[1].1
+                ));
+            }
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems)
+        }
     }
 }
 
@@ -247,5 +302,44 @@ mod tests {
         let p = Page::new();
         assert!(p.get(0).is_none());
         assert!(p.get(999).is_none());
+    }
+
+    #[test]
+    fn fsck_detects_corruption() {
+        let mut p = Page::new();
+        p.insert(b"aaaa").unwrap();
+        p.insert(b"bbbb").unwrap();
+        assert_eq!(p.check_invariants(), Ok(()));
+
+        // Slot 0's payload pushed outside the payload region.
+        let mut bad = p.clone();
+        bad.write_u16(HEADER, 1); // offset 1 is inside the header
+        let problems = bad.check_invariants().unwrap_err();
+        assert!(
+            problems.iter().any(|m| m.contains("outside payload region")),
+            "{problems:?}"
+        );
+
+        // Slot 1 re-pointed at slot 0's bytes: overlapping payloads.
+        let mut overlap = p.clone();
+        let slot0_off = overlap.read_u16(HEADER);
+        overlap.write_u16(HEADER + SLOT, slot0_off);
+        let problems = overlap.check_invariants().unwrap_err();
+        assert!(problems.iter().any(|m| m.contains("overlaps")), "{problems:?}");
+
+        // Free-space pointer past the end of the page.
+        let mut runaway = p.clone();
+        runaway.write_u16(2, u16::MAX);
+        assert!(runaway.check_invariants().is_err());
+
+        // Slot directory claiming more slots than fit above the payload.
+        let mut too_many = Page::new();
+        too_many.write_u16(2, HEADER as u16); // payload starts at the header
+        too_many.write_u16(0, 8);
+        let problems = too_many.check_invariants().unwrap_err();
+        assert!(
+            problems.iter().any(|m| m.contains("slot directory")),
+            "{problems:?}"
+        );
     }
 }

@@ -223,6 +223,53 @@ impl Table {
         &self.heap
     }
 
+    /// Deep structural check (fsck): the heap's page layout, every index's
+    /// tree shape, and heap ↔ index agreement — each index must hold exactly
+    /// one entry per live row, keyed by that row's current column values.
+    /// Returns every violated invariant.
+    pub fn check_invariants(&self) -> std::result::Result<(), Vec<String>> {
+        let mut problems = self.heap.check_invariants().err().unwrap_or_default();
+        let mut rows: Vec<(RowId, Vec<Value>)> = Vec::new();
+        for (rid, rec) in self.heap.scan() {
+            let mut pos = 0;
+            match decode_row(rec, &mut pos) {
+                Ok(row) => rows.push((rid, row)),
+                Err(e) => problems.push(format!("row {rid:?} does not decode: {e}")),
+            }
+        }
+        for (def, index) in self.indexes.values() {
+            if let Err(index_problems) = index.check_invariants() {
+                problems.extend(
+                    index_problems
+                        .into_iter()
+                        .map(|p| format!("index {}: {p}", def.name)),
+                );
+            }
+            if index.len() != rows.len() {
+                problems.push(format!(
+                    "index {} holds {} entries for {} live rows",
+                    def.name,
+                    index.len(),
+                    rows.len()
+                ));
+            }
+            for (rid, row) in &rows {
+                let key: Vec<Value> = def.columns.iter().map(|&c| row[c].clone()).collect();
+                if !index.get(&key).contains(rid) {
+                    problems.push(format!(
+                        "index {} is missing row {rid:?} under key {key:?}",
+                        def.name
+                    ));
+                }
+            }
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems)
+        }
+    }
+
     pub(crate) fn index_defs(&self) -> impl Iterator<Item = &IndexDef> {
         self.indexes.values().map(|(d, _)| d)
     }
@@ -276,6 +323,44 @@ mod tests {
         let t = sensors();
         let names: Vec<_> = t.index_names().collect();
         assert_eq!(names, vec!["sensors_id_unique"]);
+    }
+
+    #[test]
+    fn fsck_detects_corruption() {
+        let mut t = sensors();
+        for i in 0..50 {
+            t.insert(vec![
+                Value::Int(i),
+                Value::text(format!("s{i}")),
+                Value::text("wfj"),
+            ])
+            .unwrap();
+        }
+        assert_eq!(t.check_invariants(), Ok(()));
+
+        // Delete a row behind the indexes' back: the heap shrinks but the
+        // primary-key index still points at the dead row.
+        let rid = t.scan().next().unwrap().0;
+        t.heap.delete(rid);
+        let problems = t.check_invariants().unwrap_err();
+        assert!(
+            problems.iter().any(|m| m.contains("49 live rows")),
+            "{problems:?}"
+        );
+
+        // Index entry keyed by stale column values.
+        let mut t = sensors();
+        t.insert(vec![Value::Int(1), Value::text("a"), Value::Null])
+            .unwrap();
+        let rid = t.scan().next().unwrap().0;
+        let (_, index) = t.indexes.get_mut("sensors_id_unique").unwrap();
+        index.remove(&vec![Value::Int(1)], rid);
+        index.insert(vec![Value::Int(99)], rid).unwrap();
+        let problems = t.check_invariants().unwrap_err();
+        assert!(
+            problems.iter().any(|m| m.contains("missing row")),
+            "{problems:?}"
+        );
     }
 
     #[test]

@@ -58,7 +58,7 @@ proptest! {
                 prop_assert_eq!(removed, model_removed);
             }
         }
-        prop_assert!(tree.check_invariants());
+        prop_assert_eq!(tree.check_invariants(), Ok(()));
         let got = tree.iter_all();
         let want: Vec<(Vec<Value>, RowId)> = model.iter()
             .flat_map(|(k, rids)| rids.iter().map(move |r| (vec![Value::Int(*k)], *r)))
@@ -101,6 +101,7 @@ proptest! {
             }
         }
         prop_assert_eq!(heap.len(), live.len());
+        prop_assert_eq!(heap.check_invariants(), Ok(()));
         for (id, rec) in &live {
             prop_assert_eq!(heap.get(*id), Some(rec.as_slice()));
         }
@@ -108,9 +109,28 @@ proptest! {
         let snap = heap.to_snapshot();
         let mut pos = 0;
         let back = Heap::from_snapshot(&snap, &mut pos).unwrap();
+        prop_assert_eq!(back.check_invariants(), Ok(()));
         for (id, rec) in &live {
             prop_assert_eq!(back.get(*id), Some(rec.as_slice()));
         }
+    }
+
+    /// A heavy insert/delete/vacuum workload never breaks the heap's
+    /// structural invariants.
+    #[test]
+    fn heap_invariants_survive_vacuum(sizes in prop::collection::vec(1usize..5000, 1..60),
+                                      mask in prop::collection::vec(any::<bool>(), 1..60)) {
+        let mut heap = Heap::new();
+        let ids: Vec<RowId> = sizes.iter()
+            .map(|n| heap.insert(&vec![7u8; *n]).unwrap())
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            if mask.get(i).copied().unwrap_or(false) {
+                heap.delete(*id);
+            }
+        }
+        heap.vacuum();
+        prop_assert_eq!(heap.check_invariants(), Ok(()));
     }
 
     /// SQL round-trip: values inserted through SQL literals come back equal

@@ -20,6 +20,15 @@ pub struct App {
     cloud_cache: Mutex<CloudCache>,
 }
 
+/// Finishes a JSON response; a serialization failure becomes a 500
+/// instead of a panic in the request path.
+fn json_or_500(body: Result<String, serde_json::Error>) -> Response {
+    match body {
+        Ok(body) => Response::json(body),
+        Err(e) => Response::error(500, e.to_string()),
+    }
+}
+
 impl App {
     /// Builds the app, seeding the tag store from the SMR.
     pub fn new(engine: QueryEngine) -> App {
@@ -201,7 +210,7 @@ impl App {
                 out.total_matched
             ))
         } else {
-            Response::json(serde_json::to_string(&out).expect("serializable output"))
+            json_or_500(serde_json::to_string(&out))
         }
     }
 
@@ -234,7 +243,7 @@ impl App {
             return Response::error(400, "missing ?title=");
         };
         let recs = self.engine.read().recommend(&[title], 10);
-        Response::json(serde_json::to_string(&recs).expect("serializable"))
+        json_or_500(serde_json::to_string(&recs))
     }
 
     fn page(&self, raw_title: &str) -> Response {
@@ -305,7 +314,7 @@ impl App {
         if let Ok(pairs) = engine.smr().all_tags() {
             tags.ingest(pairs.iter().map(|(p, t)| (p.as_str(), t.as_str())));
         }
-        Response::json(serde_json::to_string(&report).expect("serializable"))
+        json_or_500(serde_json::to_string(&report))
     }
 
     fn add_tag(&self, req: &Request) -> Response {
@@ -489,11 +498,13 @@ impl App {
         };
         let markers: Vec<viz::MapMarker> = out
             .geolocated()
-            .map(|i| viz::MapMarker {
-                title: i.title.clone(),
-                lat: i.coords.expect("geolocated").0,
-                lon: i.coords.expect("geolocated").1,
-                match_degree: i.match_degree,
+            .filter_map(|i| {
+                i.coords.map(|(lat, lon)| viz::MapMarker {
+                    title: i.title.clone(),
+                    lat,
+                    lon,
+                    match_degree: i.match_degree,
+                })
             })
             .collect();
         Response::svg(viz::map_plot(
@@ -566,7 +577,7 @@ impl App {
                 let ind = hyperlink.in_degrees();
                 (0..titles.len())
                     .max_by_key(|&v| ind[v] + hyperlink.out_degree(v))
-                    .expect("non-empty")
+                    .unwrap_or(0)
             }
         };
         let rings = req.param("rings").and_then(|r| r.parse().ok()).unwrap_or(2);

@@ -31,6 +31,8 @@ pub use clique::{
 };
 pub use cloud::{compute_cloud, CloudParams, TagCloud, TagEntry};
 pub use fontsize::{font_size, font_size_frequency_only, FontScale, FontSizeInput};
-pub use similarity::{cosine, similarity_graph, similarity_matrix, DEFAULT_THRESHOLD};
+pub use similarity::{
+    check_similarity_graph, cosine, similarity_graph, similarity_matrix, DEFAULT_THRESHOLD,
+};
 pub use store::TagStore;
 pub use suggest::{suggest_tags, TagSuggestion};

@@ -17,7 +17,9 @@ pub fn cosine(a: &BTreeSet<usize>, b: &BTreeSet<usize>) -> f64 {
         return 0.0;
     }
     let inter = a.intersection(b).count() as f64;
-    inter / ((a.len() as f64).sqrt() * (b.len() as f64).sqrt())
+    // sqrt(|A|)·sqrt(|B|) can round just below |A∩B| for identical sets,
+    // nudging the quotient above 1; clamp to the mathematical range.
+    (inter / ((a.len() as f64).sqrt() * (b.len() as f64).sqrt())).min(1.0)
 }
 
 /// Computes the full tag-similarity matrix (dense, symmetric).
@@ -49,6 +51,46 @@ pub fn similarity_graph(sets: &[BTreeSet<usize>], threshold: f64) -> UndirectedG
         }
     }
     g
+}
+
+/// Deep semantic check (fsck) of a thresholded tag graph against the page
+/// sets it was built from: the graph must be structurally sound (symmetric,
+/// loop-free, in range), every cosine must lie in `[0, 1]`, and an edge must
+/// exist exactly when the similarity exceeds the threshold. Returns every
+/// violated invariant.
+pub fn check_similarity_graph(
+    sets: &[BTreeSet<usize>],
+    threshold: f64,
+    g: &UndirectedGraph,
+) -> Result<(), Vec<String>> {
+    let mut problems = g.check_invariants().err().unwrap_or_default();
+    if g.node_count() != sets.len() {
+        problems.push(format!(
+            "graph has {} nodes for {} tag sets",
+            g.node_count(),
+            sets.len()
+        ));
+        return Err(problems);
+    }
+    for i in 0..sets.len() {
+        for j in i + 1..sets.len() {
+            let s = cosine(&sets[i], &sets[j]);
+            if !(0.0..=1.0).contains(&s) || s.is_nan() {
+                problems.push(format!("cosine({i}, {j}) = {s} outside [0, 1]"));
+            }
+            let should_link = s > threshold;
+            if should_link != g.has_edge(i, j) {
+                problems.push(format!(
+                    "edge ({i}, {j}) disagrees with cosine {s:.4} at threshold {threshold}"
+                ));
+            }
+        }
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems)
+    }
 }
 
 #[cfg(test)]
@@ -101,5 +143,27 @@ mod tests {
     fn empty_input() {
         let g = similarity_graph(&[], DEFAULT_THRESHOLD);
         assert_eq!(g.node_count(), 0);
+    }
+
+    #[test]
+    fn fsck_detects_corruption() {
+        let sets = vec![set(&[1, 2]), set(&[2, 3]), set(&[1, 2, 3]), set(&[9])];
+        let g = similarity_graph(&sets, DEFAULT_THRESHOLD);
+        assert_eq!(check_similarity_graph(&sets, DEFAULT_THRESHOLD, &g), Ok(()));
+
+        // An extra edge the similarities do not justify.
+        let mut extra = g.clone();
+        extra.add_edge(0, 3);
+        let problems = check_similarity_graph(&sets, DEFAULT_THRESHOLD, &extra).unwrap_err();
+        assert!(problems.iter().any(|m| m.contains("edge (0, 3)")), "{problems:?}");
+
+        // A missing edge (rebuild at a higher threshold, check at the lower).
+        let sparse = similarity_graph(&sets, 0.99);
+        let problems = check_similarity_graph(&sets, DEFAULT_THRESHOLD, &sparse).unwrap_err();
+        assert!(problems.iter().any(|m| m.contains("disagrees")), "{problems:?}");
+
+        // Node-count mismatch is reported rather than panicking.
+        let problems = check_similarity_graph(&sets[..2], DEFAULT_THRESHOLD, &g).unwrap_err();
+        assert!(problems.iter().any(|m| m.contains("nodes for")), "{problems:?}");
     }
 }

@@ -1,0 +1,247 @@
+//! The ratcheting baseline: grandfathered violation counts, keyed by
+//! `file:rule`, stored in `xlint-baseline.toml` at the workspace root.
+//!
+//! Semantics: a (file, rule) pair may have at most its baselined count of
+//! violations. New violations (count above baseline, or any violation in an
+//! unlisted pair) fail the lint. Counts below baseline are reported as
+//! ratchet opportunities; `--write-baseline` tightens the file to current
+//! reality (it never raises an existing entry above its recorded count —
+//! the ratchet only turns one way).
+
+use crate::rules::{Rule, Violation};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed baseline: `(file, rule) → allowed count`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeMap<(String, Rule), usize>,
+}
+
+/// Baseline file syntax error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineParseError {
+    /// 1-based line in the baseline file.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for BaselineParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "baseline line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for BaselineParseError {}
+
+impl Baseline {
+    /// Parses the `xlint-baseline.toml` format: comments, a `[violations]`
+    /// section header, and `"file:rule" = count` entries.
+    pub fn parse(text: &str) -> Result<Baseline, BaselineParseError> {
+        let mut entries = BTreeMap::new();
+        for (ix, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') || line == "[violations]" {
+                continue;
+            }
+            let err = |reason: &str| BaselineParseError {
+                line: ix + 1,
+                reason: reason.to_string(),
+            };
+            let (key, value) = line.split_once('=').ok_or_else(|| err("expected `=`"))?;
+            let key = key.trim().trim_matches('"');
+            let (file, rule_name) = key
+                .rsplit_once(':')
+                .ok_or_else(|| err("key must be \"file:rule\""))?;
+            let rule = Rule::from_name(rule_name)
+                .ok_or_else(|| err(&format!("unknown rule `{rule_name}`")))?;
+            let count: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| err("count must be a non-negative integer"))?;
+            entries.insert((file.to_string(), rule), count);
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Renders the baseline file.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# xlint baseline — grandfathered violation counts, keyed by file:rule.\n\
+             # The ratchet only turns one way: counts may decrease (run\n\
+             # `cargo run -p xlint -- --workspace --write-baseline` after paying\n\
+             # down debt) but any count above its baseline fails the lint.\n\
+             \n[violations]\n",
+        );
+        for ((file, rule), count) in &self.entries {
+            if *count > 0 {
+                out.push_str(&format!("\"{file}:{}\" = {count}\n", rule.name()));
+            }
+        }
+        out
+    }
+
+    /// Allowed count for a (file, rule) pair.
+    pub fn allowed(&self, file: &str, rule: Rule) -> usize {
+        self.entries
+            .get(&(file.to_string(), rule))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no violations are grandfathered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Builds the tightened baseline from current violations: per-pair
+    /// counts capped at the existing baseline (ratchet never loosens) unless
+    /// the pair is new, which requires `allow_new`.
+    pub fn tightened(&self, current: &[Violation], allow_new: bool) -> Baseline {
+        let mut counts: BTreeMap<(String, Rule), usize> = BTreeMap::new();
+        for v in current {
+            *counts.entry((v.file.clone(), v.rule)).or_insert(0) += 1;
+        }
+        let mut entries = BTreeMap::new();
+        for (key, n) in counts {
+            let cap = match self.entries.get(&key) {
+                Some(&old) => old,
+                None if allow_new => n,
+                None => 0,
+            };
+            let kept = n.min(cap.max(if allow_new { n } else { 0 }));
+            if kept > 0 {
+                entries.insert(key, kept.min(n));
+            }
+        }
+        Baseline { entries }
+    }
+}
+
+/// Outcome of checking current violations against the baseline.
+#[derive(Debug, Default)]
+pub struct Verdict {
+    /// Violations in excess of the baseline — these fail the build. When a
+    /// pair exceeds its allowance all of its violations are listed, since
+    /// line-level identity is not tracked.
+    pub new_violations: Vec<Violation>,
+    /// (file, rule, current, baseline) pairs where debt went down.
+    pub improvements: Vec<(String, Rule, usize, usize)>,
+    /// Baseline entries whose file no longer has any violations at all.
+    pub stale: Vec<(String, Rule, usize)>,
+}
+
+impl Verdict {
+    /// True when nothing exceeds the baseline.
+    pub fn passed(&self) -> bool {
+        self.new_violations.is_empty()
+    }
+}
+
+/// Compares current violations to the baseline.
+pub fn check(current: &[Violation], baseline: &Baseline) -> Verdict {
+    let mut by_key: BTreeMap<(String, Rule), Vec<&Violation>> = BTreeMap::new();
+    for v in current {
+        by_key.entry((v.file.clone(), v.rule)).or_default().push(v);
+    }
+    let mut verdict = Verdict::default();
+    for ((file, rule), vs) in &by_key {
+        let allowed = baseline.allowed(file, *rule);
+        if vs.len() > allowed {
+            verdict
+                .new_violations
+                .extend(vs.iter().map(|v| (*v).clone()));
+        } else if vs.len() < allowed {
+            verdict
+                .improvements
+                .push((file.clone(), *rule, vs.len(), allowed));
+        }
+    }
+    for ((file, rule), &allowed) in &baseline.entries {
+        if allowed > 0 && !by_key.contains_key(&(file.clone(), *rule)) {
+            verdict.stale.push((file.clone(), *rule, allowed));
+        }
+    }
+    verdict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(file: &str, rule: Rule, line: u32) -> Violation {
+        Violation {
+            file: file.to_string(),
+            line,
+            rule,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn parse_render_roundtrip() {
+        let text = "# comment\n[violations]\n\"crates/a/src/lib.rs:no-unwrap\" = 3\n";
+        let b = Baseline::parse(text).unwrap();
+        assert_eq!(b.allowed("crates/a/src/lib.rs", Rule::NoUnwrap), 3);
+        let again = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(b, again);
+    }
+
+    #[test]
+    fn parse_rejects_bad_rule() {
+        assert!(Baseline::parse("\"f.rs:bogus-rule\" = 1\n").is_err());
+        assert!(Baseline::parse("\"f.rs:no-unwrap\" = x\n").is_err());
+        assert!(Baseline::parse("no equals sign\n").is_err());
+    }
+
+    #[test]
+    fn within_baseline_passes_above_fails() {
+        let mut b = Baseline::default();
+        b.entries.insert(("f.rs".into(), Rule::NoUnwrap), 2);
+        let two = vec![v("f.rs", Rule::NoUnwrap, 1), v("f.rs", Rule::NoUnwrap, 9)];
+        assert!(check(&two, &b).passed());
+        let mut three = two.clone();
+        three.push(v("f.rs", Rule::NoUnwrap, 12));
+        let verdict = check(&three, &b);
+        assert!(!verdict.passed());
+        assert_eq!(verdict.new_violations.len(), 3);
+    }
+
+    #[test]
+    fn unlisted_pair_fails_immediately() {
+        let verdict = check(&[v("g.rs", Rule::FloatEq, 4)], &Baseline::default());
+        assert!(!verdict.passed());
+    }
+
+    #[test]
+    fn improvements_and_stale_reported() {
+        let mut b = Baseline::default();
+        b.entries.insert(("f.rs".into(), Rule::NoUnwrap), 5);
+        b.entries.insert(("gone.rs".into(), Rule::FloatEq), 2);
+        let verdict = check(&[v("f.rs", Rule::NoUnwrap, 1)], &b);
+        assert!(verdict.passed());
+        assert_eq!(verdict.improvements, vec![("f.rs".into(), Rule::NoUnwrap, 1, 5)]);
+        assert_eq!(verdict.stale, vec![("gone.rs".into(), Rule::FloatEq, 2)]);
+    }
+
+    #[test]
+    fn ratchet_never_loosens() {
+        let mut b = Baseline::default();
+        b.entries.insert(("f.rs".into(), Rule::NoUnwrap), 1);
+        let three = vec![
+            v("f.rs", Rule::NoUnwrap, 1),
+            v("f.rs", Rule::NoUnwrap, 2),
+            v("f.rs", Rule::NoUnwrap, 3),
+        ];
+        let tightened = b.tightened(&three, false);
+        assert_eq!(tightened.allowed("f.rs", Rule::NoUnwrap), 1);
+        let fresh = Baseline::default().tightened(&three, true);
+        assert_eq!(fresh.allowed("f.rs", Rule::NoUnwrap), 3);
+    }
+}

@@ -1,0 +1,429 @@
+//! A minimal Rust lexer: just enough token structure for line-accurate
+//! static checks. No external crates are available in the build environment
+//! (no `syn`, no `proc-macro2`), so this hand-rolls the subset of Rust's
+//! lexical grammar the linter needs: comments (line, nested block, doc),
+//! string/char/byte/raw-string literals, numeric literals with float
+//! detection, identifiers (including raw `r#` idents), lifetimes, and
+//! single-character punctuation.
+
+use std::collections::HashMap;
+
+/// Token classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// One punctuation character (multi-char operators appear as runs).
+    Punct(char),
+    /// Numeric literal; `float` is true for `1.0`, `1e3`, `2f64`, …
+    Num {
+        /// Whether the literal is a floating-point literal.
+        float: bool,
+    },
+    /// String, char, or byte literal (contents not retained).
+    Str,
+    /// Outer doc comment (`///` or `/** */`).
+    DocOuter,
+    /// Inner doc comment (`//!` or `/*! */`).
+    DocInner,
+    /// Lifetime such as `'a` (label or lifetime position).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// Source text for idents and numeric literals; empty for the rest.
+    pub text: String,
+    /// 1-based line number where the token starts.
+    pub line: u32,
+}
+
+/// Lexer output: the token stream plus the per-line lint suppressions found
+/// in ordinary comments (`// xlint: allow(rule-name)`).
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// line number → rule names allowed on that line.
+    pub allows: HashMap<u32, Vec<String>>,
+}
+
+/// Lexes `source`. Unterminated constructs end the token stream early
+/// rather than erroring: the linter should degrade, not crash, on files
+/// that `rustc` itself would reject.
+pub fn lex(source: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    macro_rules! bump_line {
+        ($c:expr) => {
+            if $c == '\n' {
+                line += 1;
+            }
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump_line!(c);
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < chars.len() {
+            match chars[i + 1] {
+                '/' => {
+                    let start_line = line;
+                    let is_inner = chars.get(i + 2) == Some(&'!');
+                    // `////…` is an ordinary comment, `///x` is outer doc.
+                    let is_outer =
+                        chars.get(i + 2) == Some(&'/') && chars.get(i + 3) != Some(&'/');
+                    let mut text = String::new();
+                    while i < chars.len() && chars[i] != '\n' {
+                        text.push(chars[i]);
+                        i += 1;
+                    }
+                    if is_inner {
+                        out.tokens.push(tok(TokKind::DocInner, start_line));
+                    } else if is_outer {
+                        out.tokens.push(tok(TokKind::DocOuter, start_line));
+                    } else {
+                        record_allows(&mut out, start_line, &text);
+                    }
+                    continue;
+                }
+                '*' => {
+                    let start_line = line;
+                    let is_inner = chars.get(i + 2) == Some(&'!');
+                    let is_outer =
+                        chars.get(i + 2) == Some(&'*') && chars.get(i + 3) != Some(&'*');
+                    i += 2;
+                    let mut depth = 1;
+                    while i < chars.len() && depth > 0 {
+                        if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                            depth += 1;
+                            i += 2;
+                        } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                            depth -= 1;
+                            i += 2;
+                        } else {
+                            bump_line!(chars[i]);
+                            i += 1;
+                        }
+                    }
+                    if is_inner {
+                        out.tokens.push(tok(TokKind::DocInner, start_line));
+                    } else if is_outer {
+                        out.tokens.push(tok(TokKind::DocOuter, start_line));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        // Raw strings and byte strings: r"…", r#"…"#, br"…", b"…".
+        if c == 'r' || c == 'b' {
+            let mut j = i;
+            let mut prefix_ok = false;
+            if c == 'b' && chars.get(j + 1) == Some(&'r') {
+                j += 2;
+                prefix_ok = true;
+            } else if c == 'r' {
+                j += 1;
+                prefix_ok = true;
+            } else if c == 'b' && chars.get(j + 1) == Some(&'"') {
+                // b"…" is an ordinary (escaped) byte string.
+                let start_line = line;
+                i = j + 1;
+                i = skip_quoted(&chars, i, &mut line);
+                out.tokens.push(tok(TokKind::Str, start_line));
+                continue;
+            }
+            if prefix_ok {
+                let mut hashes = 0;
+                while chars.get(j + hashes) == Some(&'#') {
+                    hashes += 1;
+                }
+                if chars.get(j + hashes) == Some(&'"') {
+                    let start_line = line;
+                    i = j + hashes + 1;
+                    // Scan to `"` followed by `hashes` hashes.
+                    'raw: while i < chars.len() {
+                        if chars[i] == '"' {
+                            let mut k = 0;
+                            while k < hashes && chars.get(i + 1 + k) == Some(&'#') {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                i += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        bump_line!(chars[i]);
+                        i += 1;
+                    }
+                    out.tokens.push(tok(TokKind::Str, start_line));
+                    continue;
+                }
+            }
+        }
+        // Ordinary strings.
+        if c == '"' {
+            let start_line = line;
+            i += 1;
+            i = skip_quoted(&chars, i, &mut line);
+            out.tokens.push(tok(TokKind::Str, start_line));
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied().unwrap_or(' ');
+            let after = chars.get(i + 2).copied().unwrap_or(' ');
+            if (next.is_alphanumeric() || next == '_') && after != '\'' {
+                // Lifetime / loop label.
+                i += 1;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.tokens.push(tok(TokKind::Lifetime, line));
+                continue;
+            }
+            // Char literal: 'x', '\n', '\u{1F600}'.
+            let start_line = line;
+            i += 1;
+            if chars.get(i) == Some(&'\\') {
+                i += 2;
+                // \u{…}
+                while i < chars.len() && chars[i] != '\'' {
+                    i += 1;
+                }
+            } else if i < chars.len() {
+                bump_line!(chars[i]);
+                i += 1;
+            }
+            if chars.get(i) == Some(&'\'') {
+                i += 1;
+            }
+            out.tokens.push(tok(TokKind::Str, start_line));
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start_line = line;
+            let start = i;
+            let hex = c == '0' && matches!(chars.get(i + 1), Some('x' | 'X' | 'b' | 'o'));
+            i += 1;
+            if hex {
+                i += 1;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+            } else {
+                let mut float = false;
+                while i < chars.len() {
+                    let d = chars[i];
+                    if d.is_ascii_digit() || d == '_' {
+                        i += 1;
+                    } else if d == '.'
+                        && chars
+                            .get(i + 1)
+                            .map(|n| n.is_ascii_digit())
+                            .unwrap_or(false)
+                    {
+                        float = true;
+                        i += 1;
+                    } else if (d == 'e' || d == 'E')
+                        && chars
+                            .get(i + 1)
+                            .map(|n| n.is_ascii_digit() || *n == '+' || *n == '-')
+                            .unwrap_or(false)
+                    {
+                        float = true;
+                        i += 2;
+                    } else if d.is_ascii_alphabetic() {
+                        // Suffix: f32/f64 mark floats, u8 etc. stay ints.
+                        let suffix_start = i;
+                        while i < chars.len()
+                            && (chars[i].is_ascii_alphanumeric() || chars[i] == '_')
+                        {
+                            i += 1;
+                        }
+                        let suffix: String = chars[suffix_start..i].iter().collect();
+                        if suffix == "f32" || suffix == "f64" {
+                            float = true;
+                        }
+                        break;
+                    } else {
+                        break;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                out.tokens.push(Tok {
+                    kind: TokKind::Num { float },
+                    text,
+                    line: start_line,
+                });
+                continue;
+            }
+            let text: String = chars[start..i].iter().collect();
+            out.tokens.push(Tok {
+                kind: TokKind::Num { float: false },
+                text,
+                line: start_line,
+            });
+            continue;
+        }
+        // Identifiers (and raw idents).
+        if c.is_alphabetic() || c == '_' {
+            let start_line = line;
+            let mut start = i;
+            if c == 'r' && chars.get(i + 1) == Some(&'#') {
+                // Raw ident r#type — strip the prefix.
+                start = i + 2;
+                i += 2;
+            }
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            out.tokens.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line: start_line,
+            });
+            continue;
+        }
+        // Everything else: one punct per character.
+        out.tokens.push(Tok {
+            kind: TokKind::Punct(c),
+            text: String::new(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+fn tok(kind: TokKind, line: u32) -> Tok {
+    Tok {
+        kind,
+        text: String::new(),
+        line,
+    }
+}
+
+/// Skips past the closing `"` of an escaped string starting just after the
+/// opening quote; returns the new index.
+fn skip_quoted(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            c => {
+                if c == '\n' {
+                    *line += 1;
+                }
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+fn record_allows(out: &mut Lexed, line: u32, comment: &str) {
+    // `// xlint: allow(rule-a, rule-b)` suppresses those rules on this line
+    // and the next (so a marker can sit above the offending statement).
+    let Some(pos) = comment.find("xlint: allow(") else {
+        return;
+    };
+    let rest = &comment[pos + "xlint: allow(".len()..];
+    let Some(end) = rest.find(')') else {
+        return;
+    };
+    for rule in rest[..end].split(',') {
+        let rule = rule.trim().to_string();
+        if !rule.is_empty() {
+            out.allows.entry(line).or_default().push(rule.clone());
+            out.allows.entry(line + 1).or_default().push(rule);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let src = r##"
+            // not.unwrap() here
+            let s = "call .unwrap() inside";
+            let r = r#"raw .unwrap()"#;
+            /* block .unwrap() /* nested */ still comment */
+            real_ident
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn float_literals_detected() {
+        let toks = lex("let x = 1.5 + 2 + 3e4 + 5f64 + 6u32 + 0x1E;").tokens;
+        let floats: Vec<&str> = toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Num { float: true }))
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(floats, vec!["1.5", "3e4", "5f64"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }").tokens;
+        let lifetimes = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Str).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n  c").tokens;
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn allow_markers_recorded() {
+        let lexed = lex("x // xlint: allow(no-unwrap)\ny");
+        assert!(lexed.allows[&1].contains(&"no-unwrap".to_string()));
+        assert!(lexed.allows[&2].contains(&"no-unwrap".to_string()));
+    }
+
+    #[test]
+    fn doc_comments_classified() {
+        let lexed = lex("//! inner\n/// outer\nfn f() {}");
+        assert_eq!(lexed.tokens[0].kind, TokKind::DocInner);
+        assert_eq!(lexed.tokens[1].kind, TokKind::DocOuter);
+    }
+}

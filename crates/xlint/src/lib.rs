@@ -1,0 +1,210 @@
+//! `xlint` — workspace-aware static analysis for the sensormeta codebase.
+//!
+//! Rules (token-level; see [`rules::Rule`]):
+//!
+//! - **no-unwrap** — no `.unwrap()` / `.expect()` / `panic!` / `todo!` /
+//!   `unimplemented!` in non-test library code.
+//! - **error-impl** — every `pub enum *Error` implements `Display` and
+//!   `std::error::Error`.
+//! - **float-eq** — no `==`/`!=` against float literals.
+//! - **as-truncation** — no narrowing `as` casts in the relstore/rdf
+//!   encoding paths.
+//! - **missing-docs** — public items in crate roots carry doc comments.
+//!
+//! Violations are reported rustc-style (`file:line: rule: message`).
+//! A committed `xlint-baseline.toml` grandfathers pre-existing debt; the
+//! baseline is a one-way ratchet (counts may only go down). Per-line
+//! escapes: `// xlint: allow(rule-name)` on or directly above the line.
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+
+pub use baseline::{check, Baseline, Verdict};
+pub use rules::{Rule, Violation};
+
+use rules::FileFacts;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Lint driver failure (I/O, missing workspace, bad baseline).
+#[derive(Debug)]
+pub enum XlintError {
+    /// Filesystem error with the path that caused it.
+    Io(String, std::io::Error),
+    /// No workspace root found upward from the start directory.
+    NoWorkspace(PathBuf),
+    /// Baseline file did not parse.
+    Baseline(baseline::BaselineParseError),
+}
+
+impl fmt::Display for XlintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XlintError::Io(path, e) => write!(f, "{path}: {e}"),
+            XlintError::NoWorkspace(start) => write!(
+                f,
+                "no workspace root (Cargo.toml with [workspace]) found above {}",
+                start.display()
+            ),
+            XlintError::Baseline(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for XlintError {}
+
+impl From<baseline::BaselineParseError> for XlintError {
+    fn from(e: baseline::BaselineParseError) -> Self {
+        XlintError::Baseline(e)
+    }
+}
+
+/// Finds the workspace root: the nearest ancestor (including `start`)
+/// whose `Cargo.toml` contains a `[workspace]` table.
+pub fn find_workspace_root(start: &Path) -> Result<PathBuf, XlintError> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest)
+                .map_err(|e| XlintError::Io(manifest.display().to_string(), e))?;
+            if text.contains("[workspace]") {
+                return Ok(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    Err(XlintError::NoWorkspace(start.to_path_buf()))
+}
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "tests", "benches", "examples", "shims"];
+
+/// Collects the library `.rs` files to lint: `src/**` of the root package
+/// and of every `crates/*` member. Integration tests, benches, and the
+/// offline dependency shims are out of scope — the panic-freedom rules
+/// apply to library code.
+pub fn workspace_files(root: &Path) -> Result<Vec<PathBuf>, XlintError> {
+    let mut files = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut files)?;
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let entries = std::fs::read_dir(&crates_dir)
+            .map_err(|e| XlintError::Io(crates_dir.display().to_string(), e))?;
+        let mut members: Vec<PathBuf> = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| XlintError::Io(crates_dir.display().to_string(), e))?;
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                members.push(src);
+            }
+        }
+        members.sort();
+        for src in members {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), XlintError> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| XlintError::Io(dir.display().to_string(), e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| XlintError::Io(dir.display().to_string(), e))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_rs(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The outcome of linting a file set.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// All violations, sorted by file then line.
+    pub violations: Vec<Violation>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+/// Lints the given files. `root` anchors the workspace-relative paths used
+/// in diagnostics and baseline keys.
+pub fn lint_files(root: &Path, files: &[PathBuf]) -> Result<LintReport, XlintError> {
+    // The error-impl rule is crate-scoped: an error enum's Display/Error
+    // impls may live in a sibling module.
+    let mut per_crate: BTreeMap<String, FileFacts> = BTreeMap::new();
+    let mut report = LintReport::default();
+
+    for path in files {
+        let source = std::fs::read_to_string(path)
+            .map_err(|e| XlintError::Io(path.display().to_string(), e))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let crate_key = crate_of(&rel);
+        let is_lib_root = rel.ends_with("src/lib.rs");
+        let encoding_path =
+            rel.starts_with("crates/relstore/src/") || rel.starts_with("crates/rdf/src/");
+        let lexed = lexer::lex(&source);
+        let facts = per_crate.entry(crate_key).or_default();
+        report
+            .violations
+            .extend(rules::lint_tokens(&rel, &lexed, is_lib_root, encoding_path, facts));
+        report.files_scanned += 1;
+    }
+
+    for facts in per_crate.values() {
+        report.violations.extend(rules::lint_error_contracts(facts));
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(report)
+}
+
+/// `crates/foo/src/bar.rs` → `crates/foo`; root `src/…` → `.`.
+fn crate_of(rel: &str) -> String {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        if let Some((name, _)) = rest.split_once('/') {
+            return format!("crates/{name}");
+        }
+    }
+    ".".to_string()
+}
+
+/// Convenience: lint the whole workspace found at or above `start`.
+pub fn lint_workspace(start: &Path) -> Result<(PathBuf, LintReport), XlintError> {
+    let root = find_workspace_root(start)?;
+    let files = workspace_files(&root)?;
+    let report = lint_files(&root, &files)?;
+    Ok((root, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_of_maps_paths() {
+        assert_eq!(crate_of("crates/rdf/src/store.rs"), "crates/rdf");
+        assert_eq!(crate_of("src/main.rs"), ".");
+    }
+}

@@ -1,0 +1,197 @@
+//! End-to-end tests for the lint driver and the baseline ratchet,
+//! including the acceptance criteria: the real workspace lints clean
+//! against the committed `xlint-baseline.toml`, and introducing a new
+//! `.unwrap()` into a library source fails the lint.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use xlint::{baseline, lint_files, lint_workspace, Baseline, Rule};
+
+/// A scratch workspace under the target-adjacent temp dir, removed on drop.
+struct Scratch {
+    root: PathBuf,
+}
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let root = std::env::temp_dir().join(format!("xlint-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("crates/demo/src")).unwrap();
+        fs::write(
+            root.join("Cargo.toml"),
+            "[workspace]\nmembers = [\"crates/*\"]\n",
+        )
+        .unwrap();
+        Scratch { root }
+    }
+
+    fn write(&self, rel: &str, contents: &str) -> PathBuf {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, contents).unwrap();
+        path
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+const CLEAN_LIB: &str = "//! Demo crate.\n\n\
+    /// Adds.\n\
+    pub fn add(a: u64, b: u64) -> u64 {\n    a + b\n}\n";
+
+#[test]
+fn clean_workspace_passes_with_empty_baseline() {
+    let ws = Scratch::new("clean");
+    ws.write("crates/demo/src/lib.rs", CLEAN_LIB);
+    let (_, report) = lint_workspace(&ws.root).unwrap();
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert!(baseline::check(&report.violations, &Baseline::default()).passed());
+}
+
+#[test]
+fn new_unwrap_fails_the_lint() {
+    let ws = Scratch::new("unwrap");
+    ws.write("crates/demo/src/lib.rs", CLEAN_LIB);
+    let (_, before) = lint_workspace(&ws.root).unwrap();
+    let committed = Baseline::default().tightened(&before.violations, true);
+    assert!(baseline::check(&before.violations, &committed).passed());
+
+    // A developer introduces a fresh `.unwrap()` in library code.
+    ws.write(
+        "crates/demo/src/lib.rs",
+        "//! Demo crate.\n\n\
+         /// Parses.\n\
+         pub fn parse(s: &str) -> u64 {\n    s.parse().unwrap()\n}\n",
+    );
+    let (_, after) = lint_workspace(&ws.root).unwrap();
+    let verdict = baseline::check(&after.violations, &committed);
+    assert!(!verdict.passed(), "new unwrap must fail the ratchet");
+    assert!(verdict
+        .new_violations
+        .iter()
+        .any(|v| v.rule == Rule::NoUnwrap && v.file.ends_with("lib.rs")));
+}
+
+#[test]
+fn grandfathered_debt_passes_but_growth_fails() {
+    let ws = Scratch::new("ratchet");
+    let dirty = "//! Demo crate.\n\n\
+        /// One.\n\
+        pub fn one(s: &str) -> u64 {\n    s.parse().unwrap()\n}\n";
+    ws.write("crates/demo/src/lib.rs", dirty);
+    let (_, before) = lint_workspace(&ws.root).unwrap();
+    assert_eq!(before.violations.len(), 1);
+    let committed = Baseline::default().tightened(&before.violations, true);
+    assert!(baseline::check(&before.violations, &committed).passed());
+
+    // Same debt: still passes. One more unwrap: fails.
+    let grown = format!(
+        "{dirty}\n/// Two.\npub fn two(s: &str) -> u64 {{\n    s.parse().unwrap()\n}}\n"
+    );
+    ws.write("crates/demo/src/lib.rs", &grown);
+    let (_, after) = lint_workspace(&ws.root).unwrap();
+    assert!(!baseline::check(&after.violations, &committed).passed());
+}
+
+#[test]
+fn test_modules_and_allow_markers_are_exempt() {
+    let ws = Scratch::new("exempt");
+    ws.write(
+        "crates/demo/src/lib.rs",
+        "//! Demo crate.\n\n\
+         /// Checked divide.\n\
+         pub fn div(a: u64, b: u64) -> u64 {\n\
+         \x20   // xlint: allow(no-unwrap)\n\
+         \x20   a.checked_div(b).unwrap()\n\
+         }\n\n\
+         #[cfg(test)]\n\
+         mod tests {\n\
+         \x20   #[test]\n\
+         \x20   fn t() {\n\
+         \x20       \"3\".parse::<u64>().unwrap();\n\
+         \x20   }\n\
+         }\n",
+    );
+    let (_, report) = lint_workspace(&ws.root).unwrap();
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+}
+
+#[test]
+fn explicit_file_mode_reports_all_rules() {
+    let ws = Scratch::new("files");
+    let path = ws.write(
+        "crates/demo/src/lib.rs",
+        "//! Demo crate.\n\n\
+         pub fn undocumented() {}\n\
+         /// Close enough?\n\
+         pub fn float_eq(x: f64) -> bool {\n    x == 0.5\n}\n",
+    );
+    let report = lint_files(&ws.root, &[path]).unwrap();
+    let rules: Vec<Rule> = report.violations.iter().map(|v| v.rule).collect();
+    assert!(rules.contains(&Rule::MissingDocs), "{rules:?}");
+    assert!(rules.contains(&Rule::FloatEq), "{rules:?}");
+}
+
+#[test]
+fn error_enum_without_impls_is_flagged() {
+    let ws = Scratch::new("errimpl");
+    ws.write(
+        "crates/demo/src/lib.rs",
+        "//! Demo crate.\n\n\
+         /// Failure modes.\n\
+         pub enum DemoError {\n    /// Boom.\n    Boom,\n}\n",
+    );
+    let (_, report) = lint_workspace(&ws.root).unwrap();
+    assert!(report.violations.iter().any(|v| v.rule == Rule::ErrorImpl));
+
+    // With both impls the contract is satisfied.
+    ws.write(
+        "crates/demo/src/lib.rs",
+        "//! Demo crate.\n\n\
+         /// Failure modes.\n\
+         pub enum DemoError {\n    /// Boom.\n    Boom,\n}\n\n\
+         impl std::fmt::Display for DemoError {\n\
+         \x20   fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {\n\
+         \x20       write!(f, \"boom\")\n\
+         \x20   }\n\
+         }\n\n\
+         impl std::error::Error for DemoError {}\n",
+    );
+    let (_, report) = lint_workspace(&ws.root).unwrap();
+    assert!(
+        !report.violations.iter().any(|v| v.rule == Rule::ErrorImpl),
+        "{:?}",
+        report.violations
+    );
+}
+
+/// The repository's own workspace must lint clean against the committed
+/// baseline — this is the CI gate, run as a plain test.
+#[test]
+fn real_workspace_is_clean_against_committed_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let (found_root, report) = lint_workspace(&root).unwrap();
+    assert_eq!(found_root, root);
+    let text = fs::read_to_string(root.join("xlint-baseline.toml"))
+        .expect("committed xlint-baseline.toml");
+    let committed = Baseline::parse(&text).unwrap();
+    let verdict = baseline::check(&report.violations, &committed);
+    assert!(
+        verdict.passed(),
+        "workspace lint debt grew past the baseline:\n{}",
+        verdict
+            .new_violations
+            .iter()
+            .map(|v| format!("{}:{}: {}: {}", v.file, v.line, v.rule.name(), v.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -9,6 +9,7 @@
 //! sensormeta pagerank  --snapshot repo.snap [--top N]
 //! sensormeta tagcloud  --snapshot repo.snap [--svg FILE]
 //! sensormeta serve     --snapshot repo.snap [--addr HOST:PORT]
+//! sensormeta fsck      --snapshot repo.snap
 //! sensormeta fig3      [--size N] [--tol T]
 //! ```
 
@@ -48,6 +49,7 @@ fn run(args: &[String]) -> CliResult {
         "pagerank" => pagerank(&opts),
         "tagcloud" => tagcloud(&opts),
         "serve" => serve(&opts),
+        "fsck" => fsck(&opts),
         "fig3" => fig3(&opts),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -69,6 +71,7 @@ fn print_usage() {
          pagerank  --snapshot FILE [--top N]                  print page authorities\n  \
          tagcloud  --snapshot FILE [--svg FILE]               print/render the tag cloud\n  \
          serve     --snapshot FILE [--addr HOST:PORT]         start the demo web app\n  \
+         fsck      --snapshot FILE                            check deep structural invariants\n  \
          fig3      [--size N] [--tol T]                       reproduce the Fig. 3 solver table"
     );
 }
@@ -301,6 +304,50 @@ fn serve(opts: &Opts) -> CliResult {
     println!("serving on http://{}", server.addr);
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// Runs every deep structural validator over a snapshot: the relational
+/// mirror (heaps, slotted pages, B-tree indexes), the RDF triple store, the
+/// hyperlink CSR graphs, and the tag-similarity graph. Exits nonzero if any
+/// invariant is violated.
+fn fsck(opts: &Opts) -> CliResult {
+    let smr = open_smr(opts)?;
+    let mut failures = 0usize;
+    let mut section = |name: &str, outcome: Result<(), Vec<String>>| match outcome {
+        Ok(()) => println!("fsck: {name}: ok"),
+        Err(problems) => {
+            failures += problems.len();
+            for p in &problems {
+                println!("fsck: {name}: {p}");
+            }
+        }
+    };
+
+    section("relational store", smr.database().check_invariants());
+    section("rdf triple store", smr.rdf().check_invariants());
+
+    let (hyperlink, semantic, _titles) = smr.link_graphs()?;
+    section("hyperlink graph", hyperlink.check_invariants());
+    section("semantic graph", semantic.check_invariants());
+
+    let mut tags = TagStore::new();
+    let pairs = smr.all_tags()?;
+    tags.ingest(pairs.iter().map(|(p, t)| (p.as_str(), t.as_str())));
+    let (_names, sets) = tags.incidence();
+    let threshold = sensormeta::tagging::DEFAULT_THRESHOLD;
+    let graph = sensormeta::tagging::similarity_graph(&sets, threshold);
+    section(
+        "tag similarity graph",
+        sensormeta::tagging::check_similarity_graph(&sets, threshold, &graph),
+    );
+
+    drop(section);
+    if failures == 0 {
+        println!("fsck: all invariants hold");
+        Ok(())
+    } else {
+        Err(format!("fsck: {failures} invariant violation(s)").into())
     }
 }
 
