@@ -125,7 +125,10 @@ impl CsrGraph {
         }
         for (v, w) in self.offsets.windows(2).enumerate() {
             if w[0] > w[1] {
-                problems.push(format!("offsets not monotone at node {v}: {} > {}", w[0], w[1]));
+                problems.push(format!(
+                    "offsets not monotone at node {v}: {} > {}",
+                    w[0], w[1]
+                ));
             }
         }
         let last = *self.offsets.last().unwrap_or(&0);
@@ -222,7 +225,10 @@ mod tests {
     #[test]
     fn fsck_detects_corruption() {
         assert_eq!(diamond().check_invariants(), Ok(()));
-        assert_eq!(CsrGraph::from_edges(0, &[], false).check_invariants(), Ok(()));
+        assert_eq!(
+            CsrGraph::from_edges(0, &[], false).check_invariants(),
+            Ok(())
+        );
 
         // Non-monotone offsets.
         let broken = CsrGraph {
@@ -230,7 +236,10 @@ mod tests {
             targets: vec![1, 2, 0, 1],
         };
         let problems = broken.check_invariants().unwrap_err();
-        assert!(problems.iter().any(|m| m.contains("not monotone")), "{problems:?}");
+        assert!(
+            problems.iter().any(|m| m.contains("not monotone")),
+            "{problems:?}"
+        );
 
         // Target pointing past the node count.
         let wild = CsrGraph {
@@ -238,7 +247,10 @@ mod tests {
             targets: vec![9],
         };
         let problems = wild.check_invariants().unwrap_err();
-        assert!(problems.iter().any(|m| m.contains("out of range")), "{problems:?}");
+        assert!(
+            problems.iter().any(|m| m.contains("out of range")),
+            "{problems:?}"
+        );
 
         // Final offset not covering the target array.
         let short = CsrGraph {

@@ -109,13 +109,17 @@ impl UndirectedGraph {
         for (u, nbrs) in self.adj.iter().enumerate() {
             for &v in nbrs {
                 if v >= n {
-                    problems.push(format!("node {u} lists neighbor {v} out of range for {n} nodes"));
+                    problems.push(format!(
+                        "node {u} lists neighbor {v} out of range for {n} nodes"
+                    ));
                     continue;
                 }
                 if v == u {
                     problems.push(format!("node {u} has a self-loop"));
                 } else if !self.adj[v].contains(&u) {
-                    problems.push(format!("asymmetric edge: {u} lists {v} but {v} does not list {u}"));
+                    problems.push(format!(
+                        "asymmetric edge: {u} lists {v} but {v} does not list {u}"
+                    ));
                 }
             }
         }
@@ -202,18 +206,27 @@ mod tests {
         let mut asym = g.clone();
         asym.adj[0].insert(3);
         let problems = asym.check_invariants().unwrap_err();
-        assert!(problems.iter().any(|m| m.contains("asymmetric")), "{problems:?}");
+        assert!(
+            problems.iter().any(|m| m.contains("asymmetric")),
+            "{problems:?}"
+        );
 
         // Self-loop snuck past add_edge.
         let mut looped = g.clone();
         looped.adj[1].insert(1);
         let problems = looped.check_invariants().unwrap_err();
-        assert!(problems.iter().any(|m| m.contains("self-loop")), "{problems:?}");
+        assert!(
+            problems.iter().any(|m| m.contains("self-loop")),
+            "{problems:?}"
+        );
 
         // Neighbor id beyond the node count.
         let mut wild = g;
         wild.adj[2].insert(99);
         let problems = wild.check_invariants().unwrap_err();
-        assert!(problems.iter().any(|m| m.contains("out of range")), "{problems:?}");
+        assert!(
+            problems.iter().any(|m| m.contains("out of range")),
+            "{problems:?}"
+        );
     }
 }

@@ -402,7 +402,9 @@ mod tests {
         lopsided.spo.insert((s, p, o));
         let problems = lopsided.check_invariants().unwrap_err();
         assert!(
-            problems.iter().any(|m| m.contains("cardinalities disagree")),
+            problems
+                .iter()
+                .any(|m| m.contains("cardinalities disagree")),
             "{problems:?}"
         );
         assert!(

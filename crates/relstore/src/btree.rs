@@ -496,7 +496,10 @@ mod tests {
         drifted.insert(key(1), rid(1)).unwrap();
         drifted.len = 7;
         let problems = drifted.check_invariants().unwrap_err();
-        assert!(problems.iter().any(|p| p.contains("len says 7")), "{problems:?}");
+        assert!(
+            problems.iter().any(|p| p.contains("len says 7")),
+            "{problems:?}"
+        );
 
         // A unique index smuggling two rows under one key.
         let mut dup = BTreeIndex::new(true);

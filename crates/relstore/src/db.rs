@@ -1,20 +1,36 @@
 //! The `Database` facade: catalog + SQL entry points + snapshot persistence.
+//!
+//! A database can run in two modes. In-memory/snapshot mode (the default)
+//! behaves as before: mutations apply directly and [`Database::save`]
+//! writes whole-database snapshots. Durable mode — entered through
+//! [`Database::open_durable`] — appends every mutation to a checksummed
+//! write-ahead log *before* applying it, so a crash at any point loses no
+//! committed operation (see the [`crate::wal`] and [`crate::recover`]
+//! module docs for the format and replay rules).
 
 use crate::encoding::{read_varint, write_varint};
 use crate::error::{RelError, Result};
-use crate::heap::Heap;
+use crate::heap::{Heap, RowId};
+use crate::recover::{
+    append_seq_trailer, open_impl, write_snapshot_durably, Durability, DurabilityOptions,
+    RecoveryReport,
+};
 use crate::schema::{Column, TableSchema};
 use crate::sql::ast::Statement;
 use crate::sql::exec::{execute, execute_select, explain_select, Catalog, ExecOutcome, ResultSet};
 use crate::sql::parser::{parse, parse_script};
 use crate::table::{IndexDef, Table};
 use crate::value::{DataType, Value};
+use crate::vfs::{StdVfs, Vfs};
+use crate::wal::{LogicalOp, Wal};
 use std::path::Path;
+use std::sync::Arc;
 
 /// An embedded relational database: a catalog of tables with SQL access.
 #[derive(Debug, Default)]
 pub struct Database {
     catalog: Catalog,
+    durability: Option<Durability>,
 }
 
 impl Database {
@@ -23,19 +39,144 @@ impl Database {
         Database::default()
     }
 
-    /// Executes one SQL statement.
+    /// Opens (or creates) a durable database at `path` on the standard
+    /// filesystem, recovering committed work from the write-ahead log.
+    pub fn open_durable(path: &Path) -> Result<(Database, RecoveryReport)> {
+        Database::open_durable_with(Arc::new(StdVfs), path, DurabilityOptions::default())
+    }
+
+    /// [`Database::open_durable`] with an explicit VFS and options — the
+    /// fault-injection entry point.
+    pub fn open_durable_with(
+        vfs: Arc<dyn Vfs>,
+        path: &Path,
+        opts: DurabilityOptions,
+    ) -> Result<(Database, RecoveryReport)> {
+        open_impl(vfs, path, Some(opts))
+    }
+
+    /// Opens the database at `path` read-only, replaying the WAL in memory
+    /// without touching anything on disk. Errors if neither a snapshot nor
+    /// a WAL exists. The returned database has no log attached: mutations
+    /// work but are not persisted.
+    pub fn open_recovering(vfs: Arc<dyn Vfs>, path: &Path) -> Result<(Database, RecoveryReport)> {
+        open_impl(vfs, path, None)
+    }
+
+    /// True when this database logs mutations to a write-ahead log.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Highest operation sequence number committed so far (0 when not
+    /// durable).
+    pub fn committed_seq(&self) -> u64 {
+        self.durability.as_ref().map_or(0, |d| d.seq)
+    }
+
+    pub(crate) fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    pub(crate) fn attach_durability(&mut self, d: Durability) {
+        self.durability = Some(d);
+    }
+
+    /// Logs `ops` as one committed transaction, before they are applied.
+    /// No-op in non-durable mode. On failure the log is poisoned: the file
+    /// may end in a torn frame, so further mutations are refused until the
+    /// database is reopened (reads remain available).
+    fn wal_commit(&mut self, ops: &[LogicalOp]) -> Result<()> {
+        let Some(d) = self.durability.as_mut() else {
+            return Ok(());
+        };
+        if let Some(why) = &d.poisoned {
+            return Err(RelError::Wal(format!(
+                "log disabled after earlier failure ({why}); reopen to recover"
+            )));
+        }
+        let mut seq_ops = Vec::with_capacity(ops.len());
+        for op in ops {
+            d.seq += 1;
+            seq_ops.push((d.seq, op.clone()));
+        }
+        d.tx += 1;
+        let tx = d.tx;
+        if let Err(e) = d.wal.commit(tx, &seq_ops) {
+            d.poisoned = Some(e.to_string());
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Checkpoints automatically once the WAL outgrows the configured
+    /// threshold. Failures poison the log (the committed mutation that
+    /// triggered the checkpoint is already durable, so it still succeeds).
+    fn maybe_checkpoint(&mut self) {
+        let Some(d) = &self.durability else { return };
+        if d.poisoned.is_some() || d.wal.appended_bytes() < d.opts.checkpoint_wal_bytes {
+            return;
+        }
+        if let Err(e) = self.checkpoint() {
+            if let Some(d) = self.durability.as_mut() {
+                d.poisoned = Some(e.to_string());
+            }
+        }
+    }
+
+    /// Folds the log into a fresh durable snapshot and truncates it.
+    /// No-op in non-durable mode. Errors leave the database poisoned for
+    /// writes; reopening recovers from the last durable state.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        let Some(d) = &self.durability else {
+            return Ok(());
+        };
+        let seq = d.seq;
+        let mut bytes = self.to_snapshot();
+        append_seq_trailer(&mut bytes, seq);
+        let Some(d) = self.durability.as_mut() else {
+            return Ok(());
+        };
+        let res = write_snapshot_durably(d.vfs.as_ref(), &d.snap_path, &bytes)
+            .and_then(|()| Wal::create(&d.vfs, &d.wal_path, d.opts.sync));
+        match res {
+            Ok(wal) => {
+                d.wal = wal;
+                d.snapshot_seq = seq;
+                Ok(())
+            }
+            Err(e) => {
+                d.poisoned = Some(e.to_string());
+                Err(e)
+            }
+        }
+    }
+
+    /// Executes one SQL statement. In durable mode the statement text is
+    /// logged and made durable before it is applied.
     pub fn execute(&mut self, sql: &str) -> Result<ExecOutcome> {
         let stmt = parse(sql)?;
-        execute(&mut self.catalog, stmt)
+        if self.durability.is_some() && stmt.is_mutation() {
+            self.wal_commit(&[LogicalOp::Sql(sql.to_owned())])?;
+        }
+        let out = execute(&mut self.catalog, stmt);
+        self.maybe_checkpoint();
+        out
     }
 
     /// Executes a semicolon-separated script, returning the last outcome.
+    /// In durable mode the whole script is logged as one operation; replay
+    /// re-runs it with identical stop-at-first-error semantics.
     pub fn execute_script(&mut self, sql: &str) -> Result<ExecOutcome> {
         let stmts = parse_script(sql)?;
+        if self.durability.is_some() && stmts.iter().any(Statement::is_mutation) {
+            self.wal_commit(&[LogicalOp::Sql(sql.to_owned())])?;
+        }
         let mut last = ExecOutcome::Done;
         for stmt in stmts {
             last = execute(&mut self.catalog, stmt)?;
         }
+        self.maybe_checkpoint();
         Ok(last)
     }
 
@@ -61,14 +202,36 @@ impl Database {
             .and_then(|r| r.into_iter().next()))
     }
 
-    /// Programmatic table creation (bypasses SQL).
+    /// Programmatic table creation (bypasses SQL). Logged in durable mode.
     pub fn create_table(&mut self, schema: TableSchema) -> Result<()> {
         let key = schema.name.to_ascii_lowercase();
         if self.catalog.contains_key(&key) {
             return Err(RelError::TableExists(schema.name));
         }
+        if self.durability.is_some() {
+            self.wal_commit(&[LogicalOp::CreateTable(schema.clone())])?;
+        }
         self.catalog.insert(key, Table::create(schema)?);
+        self.maybe_checkpoint();
         Ok(())
+    }
+
+    /// Inserts a row through the programmatic API. In durable mode the row
+    /// is logged and made durable before it is applied — use this instead
+    /// of `table_mut(..)?.insert(..)` so the mutation survives a crash.
+    pub fn insert_row(&mut self, table: &str, row: Vec<Value>) -> Result<RowId> {
+        if !self.has_table(table) {
+            return Err(RelError::NoSuchTable(table.to_owned()));
+        }
+        if self.durability.is_some() {
+            self.wal_commit(&[LogicalOp::Insert {
+                table: table.to_owned(),
+                row: row.clone(),
+            }])?;
+        }
+        let id = self.table_mut(table)?.insert(row)?;
+        self.maybe_checkpoint();
+        Ok(id)
     }
 
     /// Immutable access to a table.
@@ -210,16 +373,25 @@ impl Database {
             let table = Table::restore(schema, heap, defs)?;
             catalog.insert(name.to_ascii_lowercase(), table);
         }
-        Ok(Database { catalog })
+        Ok(Database {
+            catalog,
+            durability: None,
+        })
     }
 
-    /// Writes a snapshot file atomically (write-to-temp + rename).
+    /// Writes a snapshot file durably: temp file, fsync, atomic rename,
+    /// parent-directory fsync. A crash at any point leaves either the old
+    /// or the new snapshot fully intact.
     pub fn save(&self, path: &Path) -> Result<()> {
-        let bytes = self.to_snapshot();
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, &bytes)
-            .and_then(|()| std::fs::rename(&tmp, path))
-            .map_err(|e| RelError::Snapshot(format!("write {}: {e}", path.display())))
+        self.save_with(&StdVfs, path)
+    }
+
+    /// [`Database::save`] through an explicit VFS — the fault-injection
+    /// entry point.
+    pub fn save_with(&self, vfs: &dyn Vfs, path: &Path) -> Result<()> {
+        let mut bytes = self.to_snapshot();
+        append_seq_trailer(&mut bytes, self.committed_seq());
+        write_snapshot_durably(vfs, path, &bytes)
     }
 
     /// Loads a snapshot file.
@@ -227,6 +399,18 @@ impl Database {
         let bytes = std::fs::read(path)
             .map_err(|e| RelError::Snapshot(format!("read {}: {e}", path.display())))?;
         Database::from_snapshot(&bytes)
+    }
+
+    /// A canonical logical dump: for each table (sorted by name), its rows
+    /// encoded and byte-sorted. Two databases with identical logical
+    /// contents produce identical dumps regardless of heap layout or row
+    /// order — the equivalence check the crash harness uses against its
+    /// in-memory oracle.
+    pub fn logical_dump(&self) -> Vec<(String, Vec<Vec<u8>>)> {
+        self.catalog
+            .iter()
+            .map(|(name, table)| (name.clone(), table.sorted_encoded_rows()))
+            .collect()
     }
 }
 

@@ -48,6 +48,11 @@ pub enum RelError {
     Exec(String),
     /// Snapshot (de)serialization failed.
     Snapshot(String),
+    /// Underlying file I/O failed (rendered message; kept as a string so
+    /// the error stays `Clone + PartialEq`).
+    Io(String),
+    /// Write-ahead log framing, checksum, or replay failure.
+    Wal(String),
 }
 
 impl fmt::Display for RelError {
@@ -79,6 +84,8 @@ impl fmt::Display for RelError {
             RelError::Parse(m) => write!(f, "parse error: {m}"),
             RelError::Exec(m) => write!(f, "execution error: {m}"),
             RelError::Snapshot(m) => write!(f, "snapshot error: {m}"),
+            RelError::Io(m) => write!(f, "i/o error: {m}"),
+            RelError::Wal(m) => write!(f, "wal error: {m}"),
         }
     }
 }

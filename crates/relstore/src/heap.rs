@@ -163,7 +163,11 @@ impl Heap {
         let mut problems = Vec::new();
         for (pno, page) in self.pages.iter().enumerate() {
             if let Err(page_problems) = page.check_invariants() {
-                problems.extend(page_problems.into_iter().map(|p| format!("page {pno}: {p}")));
+                problems.extend(
+                    page_problems
+                        .into_iter()
+                        .map(|p| format!("page {pno}: {p}")),
+                );
             }
         }
         let counted = self.scan().count();
@@ -337,7 +341,10 @@ mod tests {
         };
         h.pages[0] = Page::from_bytes(&raw).unwrap();
         let problems = h.check_invariants().unwrap_err();
-        assert!(problems.iter().any(|m| m.starts_with("page 0:")), "{problems:?}");
+        assert!(
+            problems.iter().any(|m| m.starts_with("page 0:")),
+            "{problems:?}"
+        );
     }
 
     #[test]

@@ -29,15 +29,21 @@ pub mod encoding;
 pub mod error;
 pub mod heap;
 pub mod page;
+pub mod recover;
 pub mod schema;
 pub mod sql;
 pub mod table;
 pub mod value;
+pub mod vfs;
+pub mod wal;
 
 pub use db::Database;
 pub use error::{RelError, Result};
 pub use heap::RowId;
+pub use recover::{wal_path_for, DurabilityOptions, RecoveryReport};
 pub use schema::{Column, TableSchema};
 pub use sql::exec::{ExecOutcome, ResultSet};
 pub use table::{IndexDef, Table};
 pub use value::{DataType, Value};
+pub use vfs::{FaultPlan, FaultVfs, MemVfs, StdVfs, Vfs, VfsFile};
+pub use wal::{scan_wal, SyncPolicy, WalScan};

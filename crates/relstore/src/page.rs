@@ -316,7 +316,9 @@ mod tests {
         bad.write_u16(HEADER, 1); // offset 1 is inside the header
         let problems = bad.check_invariants().unwrap_err();
         assert!(
-            problems.iter().any(|m| m.contains("outside payload region")),
+            problems
+                .iter()
+                .any(|m| m.contains("outside payload region")),
             "{problems:?}"
         );
 
@@ -325,7 +327,10 @@ mod tests {
         let slot0_off = overlap.read_u16(HEADER);
         overlap.write_u16(HEADER + SLOT, slot0_off);
         let problems = overlap.check_invariants().unwrap_err();
-        assert!(problems.iter().any(|m| m.contains("overlaps")), "{problems:?}");
+        assert!(
+            problems.iter().any(|m| m.contains("overlaps")),
+            "{problems:?}"
+        );
 
         // Free-space pointer past the end of the page.
         let mut runaway = p.clone();

@@ -63,6 +63,14 @@ pub enum Statement {
     Explain(SelectStmt),
 }
 
+impl Statement {
+    /// True for statements that can change database state (everything but
+    /// SELECT / EXPLAIN) — the ones worth write-ahead logging.
+    pub fn is_mutation(&self) -> bool {
+        !matches!(self, Statement::Select(_) | Statement::Explain(_))
+    }
+}
+
 /// Column definition inside CREATE TABLE.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ColumnDef {

@@ -209,6 +209,14 @@ impl Table {
         })
     }
 
+    /// Every live row in encoded form, byte-sorted. Canonical for logical
+    /// comparison: independent of heap placement and insertion order.
+    pub fn sorted_encoded_rows(&self) -> Vec<Vec<u8>> {
+        let mut rows: Vec<Vec<u8>> = self.heap.scan().map(|(_, rec)| rec.to_vec()).collect();
+        rows.sort_unstable();
+        rows
+    }
+
     /// Number of live rows.
     pub fn len(&self) -> usize {
         self.heap.len()

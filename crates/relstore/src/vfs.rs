@@ -1,0 +1,657 @@
+//! Virtual file system: the seam between the storage engine and the disk.
+//!
+//! Every byte the engine persists — snapshots and the write-ahead log —
+//! flows through the [`Vfs`] trait, so durability code can be exercised
+//! against a deterministic in-memory file system ([`MemVfs`]) and a
+//! fault-injecting wrapper ([`FaultVfs`]) that fails the Nth I/O operation,
+//! tears a write after K bytes, or simulates a hard crash at any syncpoint.
+//!
+//! The crash model mirrors POSIX semantics closely enough to catch the
+//! classic durability bugs:
+//!
+//! - data written but not `fsync`ed is lost on crash (modulo a configurable
+//!   "spill" of unsynced bytes, modeling partial page-cache writeback —
+//!   that is what produces torn WAL tails);
+//! - a rename is visible immediately but survives a crash only once the
+//!   parent directory has been synced;
+//! - syncing a file persists its contents but not a pending rename.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// An open writable file handle.
+pub trait VfsFile: fmt::Debug + Send + Sync {
+    /// Appends `data` to the file.
+    fn write_all(&mut self, data: &[u8]) -> io::Result<()>;
+    /// Forces written data to durable storage (fsync).
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// A file system abstraction covering exactly the operations the engine
+/// needs: whole-file reads, truncating/appending writes, rename, remove,
+/// existence checks, and directory syncs.
+pub trait Vfs: fmt::Debug + Send + Sync {
+    /// Reads the entire file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Creates (or truncates) a file for writing.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Opens an existing file for appending.
+    fn append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Atomically renames `from` to `to` (replacing `to` if it exists).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes a file.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+    /// True if the path names an existing file.
+    fn exists(&self, path: &Path) -> bool;
+    /// Syncs the directory containing `path`, making renames and creations
+    /// in it durable.
+    fn sync_parent_dir(&self, path: &Path) -> io::Result<()>;
+}
+
+// ---------------------------------------------------------------------------
+// StdVfs — the production implementation over std::fs.
+// ---------------------------------------------------------------------------
+
+/// Production [`Vfs`] backed by `std::fs`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdVfs;
+
+#[derive(Debug)]
+struct StdFile(std::fs::File);
+
+impl VfsFile for StdFile {
+    fn write_all(&mut self, data: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        self.0.write_all(data)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.0.sync_all()
+    }
+}
+
+impl Vfs for StdVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(StdFile(std::fs::File::create(path)?)))
+    }
+
+    fn append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(StdFile(
+            std::fs::OpenOptions::new().append(true).open(path)?,
+        )))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn sync_parent_dir(&self, path: &Path) -> io::Result<()> {
+        // Syncing a directory requires opening it; this is supported on
+        // Unix. Elsewhere the call degrades to a no-op rather than failing.
+        #[cfg(unix)]
+        {
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                std::fs::File::open(parent)?.sync_all()?;
+            }
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = path;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MemVfs — deterministic in-memory file system with crash semantics.
+// ---------------------------------------------------------------------------
+
+/// One in-memory file: its current contents plus the contents as of the
+/// last `fsync` of the inode.
+#[derive(Debug, Clone, Default)]
+struct MemFile {
+    data: Vec<u8>,
+    synced: Vec<u8>,
+}
+
+#[derive(Debug, Default)]
+struct MemState {
+    /// The live view: what reads observe right now.
+    live: BTreeMap<PathBuf, MemFile>,
+    /// The post-crash view: for every durable directory entry, the file
+    /// contents guaranteed to survive a crash.
+    crash: BTreeMap<PathBuf, Vec<u8>>,
+}
+
+/// Locks the shared state, recovering from a poisoned mutex: a panicking
+/// test thread must not cascade failures into unrelated assertions, and the
+/// state itself is always left consistent (every mutation is a single
+/// insert/remove under the lock).
+fn lock_state(state: &Mutex<MemState>) -> std::sync::MutexGuard<'_, MemState> {
+    state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Deterministic in-memory [`Vfs`] that tracks, alongside the live view,
+/// exactly which bytes would survive a crash.
+#[derive(Debug, Clone, Default)]
+pub struct MemVfs {
+    state: Arc<Mutex<MemState>>,
+}
+
+impl MemVfs {
+    /// Creates an empty in-memory file system.
+    pub fn new() -> MemVfs {
+        MemVfs::default()
+    }
+
+    /// Builds the file system as it would look after a crash: only durable
+    /// directory entries survive, each with its last-synced contents plus at
+    /// most `spill` bytes of any unsynced appended tail (modeling partial
+    /// page-cache writeback; `usize::MAX` keeps everything written).
+    pub fn crash_view(&self, spill: usize) -> MemVfs {
+        let state = lock_state(&self.state);
+        let mut live = BTreeMap::new();
+        for (path, synced) in &state.crash {
+            let mut data = synced.clone();
+            if spill > 0 {
+                if let Some(file) = state.live.get(path) {
+                    // Unsynced tail survives only for pure appends, and only
+                    // up to `spill` bytes of it.
+                    if file.data.len() > data.len() && file.data.starts_with(&data) {
+                        let keep = (file.data.len() - data.len()).min(spill);
+                        data.extend_from_slice(&file.data[data.len()..data.len() + keep]);
+                    }
+                }
+            }
+            live.insert(
+                path.clone(),
+                MemFile {
+                    synced: data.clone(),
+                    data,
+                },
+            );
+        }
+        let crash = live
+            .iter()
+            .map(|(p, f)| (p.clone(), f.synced.clone()))
+            .collect();
+        MemVfs {
+            state: Arc::new(Mutex::new(MemState { live, crash })),
+        }
+    }
+
+    /// Replaces a file's contents wholesale, marking them durable — a test
+    /// helper for planting corrupted bytes (bit flips, truncations).
+    pub fn install(&self, path: &Path, bytes: Vec<u8>) {
+        let mut state = lock_state(&self.state);
+        state.crash.insert(path.to_path_buf(), bytes.clone());
+        state.live.insert(
+            path.to_path_buf(),
+            MemFile {
+                synced: bytes.clone(),
+                data: bytes,
+            },
+        );
+    }
+
+    /// Sorted list of live file paths.
+    pub fn paths(&self) -> Vec<PathBuf> {
+        let state = lock_state(&self.state);
+        state.live.keys().cloned().collect()
+    }
+}
+
+/// Write handle into a [`MemVfs`] file.
+#[derive(Debug)]
+struct MemHandle {
+    state: Arc<Mutex<MemState>>,
+    path: PathBuf,
+}
+
+impl VfsFile for MemHandle {
+    fn write_all(&mut self, data: &[u8]) -> io::Result<()> {
+        let mut state = lock_state(&self.state);
+        match state.live.get_mut(&self.path) {
+            Some(file) => {
+                file.data.extend_from_slice(data);
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "file removed while open",
+            )),
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let mut state = lock_state(&self.state);
+        let Some(file) = state.live.get_mut(&self.path) else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "file removed while open",
+            ));
+        };
+        file.synced = file.data.clone();
+        let synced = file.synced.clone();
+        // fsync persists the inode's data; the directory entry becomes
+        // durable only via sync_parent_dir. If the entry is already durable
+        // the new contents are now crash-safe.
+        if state.crash.contains_key(&self.path) {
+            state.crash.insert(self.path.clone(), synced);
+        }
+        Ok(())
+    }
+}
+
+fn not_found(path: &Path) -> io::Error {
+    io::Error::new(io::ErrorKind::NotFound, format!("{}", path.display()))
+}
+
+impl Vfs for MemVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let state = lock_state(&self.state);
+        state
+            .live
+            .get(path)
+            .map(|f| f.data.clone())
+            .ok_or_else(|| not_found(path))
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let mut state = lock_state(&self.state);
+        state.live.insert(path.to_path_buf(), MemFile::default());
+        Ok(Box::new(MemHandle {
+            state: Arc::clone(&self.state),
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let state = lock_state(&self.state);
+        if !state.live.contains_key(path) {
+            return Err(not_found(path));
+        }
+        Ok(Box::new(MemHandle {
+            state: Arc::clone(&self.state),
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut state = lock_state(&self.state);
+        let file = state.live.remove(from).ok_or_else(|| not_found(from))?;
+        state.live.insert(to.to_path_buf(), file);
+        // The crash view is untouched: the rename survives only after a
+        // sync_parent_dir.
+        Ok(())
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        let mut state = lock_state(&self.state);
+        state
+            .live
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| not_found(path))
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        let state = lock_state(&self.state);
+        state.live.contains_key(path)
+    }
+
+    fn sync_parent_dir(&self, path: &Path) -> io::Result<()> {
+        let parent = path.parent().map(Path::to_path_buf).unwrap_or_default();
+        let mut state = lock_state(&self.state);
+        // Make the directory's namespace durable: every live entry in this
+        // directory is recorded in the crash view with its last-synced
+        // contents; entries removed/renamed-away disappear from it.
+        let entries: Vec<(PathBuf, Vec<u8>)> = state
+            .live
+            .iter()
+            .filter(|(p, _)| p.parent().map(Path::to_path_buf).unwrap_or_default() == parent)
+            .map(|(p, f)| (p.clone(), f.synced.clone()))
+            .collect();
+        state
+            .crash
+            .retain(|p, _| p.parent().map(Path::to_path_buf).unwrap_or_default() != parent);
+        for (p, synced) in entries {
+            state.crash.insert(p, synced);
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FaultVfs — deterministic fault injection.
+// ---------------------------------------------------------------------------
+
+/// What faults to inject, and when. Counters are 1-based: `fail_at_op:
+/// Some(1)` fails the very first I/O operation.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Fail the Nth I/O operation (any read/create/append/write/sync/
+    /// rename/remove/dir-sync) with an injected error, once. The file
+    /// system keeps working afterwards — a transient fault.
+    pub fail_at_op: Option<u64>,
+    /// Simulate a hard crash at the Nth sync point (file or directory
+    /// sync). The sync does **not** take effect and every subsequent
+    /// operation fails. Recover with [`FaultVfs::durable_state`].
+    pub crash_at_sync: Option<u64>,
+    /// Tear the Nth write: only the first K bytes reach the file, then the
+    /// system crashes.
+    pub torn_write: Option<(u64, usize)>,
+    /// How many unsynced appended bytes per file survive the crash (the
+    /// page-cache writeback spill). `0` models a strict "only fsynced data
+    /// survives" crash; `usize::MAX` models "everything written survives".
+    pub crash_spill: usize,
+}
+
+#[derive(Debug, Default)]
+struct FaultCounters {
+    ops: AtomicU64,
+    syncs: AtomicU64,
+    writes: AtomicU64,
+    crashed: AtomicBool,
+}
+
+/// A [`Vfs`] wrapping a [`MemVfs`] with deterministic fault injection.
+#[derive(Debug, Clone)]
+pub struct FaultVfs {
+    mem: MemVfs,
+    plan: FaultPlan,
+    counters: Arc<FaultCounters>,
+}
+
+/// The error message carried by every injected fault.
+pub const INJECTED_FAULT: &str = "injected i/o fault";
+/// The error message carried by operations after a simulated crash.
+pub const SIMULATED_CRASH: &str = "simulated crash";
+
+impl FaultVfs {
+    /// Wraps `mem` with the given fault plan.
+    pub fn new(mem: MemVfs, plan: FaultPlan) -> FaultVfs {
+        FaultVfs {
+            mem,
+            plan,
+            counters: Arc::new(FaultCounters::default()),
+        }
+    }
+
+    /// Total I/O operations observed so far.
+    pub fn ops(&self) -> u64 {
+        self.counters.ops.load(Ordering::SeqCst)
+    }
+
+    /// Total sync points (file + directory syncs) observed so far.
+    pub fn syncs(&self) -> u64 {
+        self.counters.syncs.load(Ordering::SeqCst)
+    }
+
+    /// Total write operations observed so far.
+    pub fn writes(&self) -> u64 {
+        self.counters.writes.load(Ordering::SeqCst)
+    }
+
+    /// True once a simulated crash has triggered.
+    pub fn crashed(&self) -> bool {
+        self.counters.crashed.load(Ordering::SeqCst)
+    }
+
+    /// The file system as it would look after the crash — feed this to a
+    /// fresh engine instance to exercise recovery.
+    pub fn durable_state(&self) -> MemVfs {
+        self.mem.crash_view(self.plan.crash_spill)
+    }
+
+    /// Checks the crash flag and the per-op fault trigger. Returns an error
+    /// if this operation must fail.
+    fn gate(&self) -> io::Result<()> {
+        if self.counters.crashed.load(Ordering::SeqCst) {
+            return Err(io::Error::other(SIMULATED_CRASH));
+        }
+        let op = self.counters.ops.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.plan.fail_at_op == Some(op) {
+            return Err(io::Error::other(INJECTED_FAULT));
+        }
+        Ok(())
+    }
+
+    fn gate_sync(&self) -> io::Result<()> {
+        self.gate()?;
+        let sync = self.counters.syncs.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.plan.crash_at_sync == Some(sync) {
+            self.counters.crashed.store(true, Ordering::SeqCst);
+            return Err(io::Error::other(SIMULATED_CRASH));
+        }
+        Ok(())
+    }
+}
+
+/// File handle that re-checks the fault plan on every write and sync.
+#[derive(Debug)]
+struct FaultHandle {
+    inner: Box<dyn VfsFile>,
+    path: PathBuf,
+    vfs: FaultVfs,
+}
+
+impl VfsFile for FaultHandle {
+    fn write_all(&mut self, data: &[u8]) -> io::Result<()> {
+        self.vfs.gate()?;
+        let write = self.vfs.counters.writes.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some((at, keep)) = self.vfs.plan.torn_write {
+            if at == write {
+                // Persist a prefix of the write, then crash.
+                let keep = keep.min(data.len());
+                let _ = self.inner.write_all(&data[..keep]);
+                self.vfs.counters.crashed.store(true, Ordering::SeqCst);
+                return Err(io::Error::other(SIMULATED_CRASH));
+            }
+        }
+        let _ = &self.path;
+        self.inner.write_all(data)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.vfs.gate_sync()?;
+        self.inner.sync()
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.gate()?;
+        self.mem.read(path)
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.gate()?;
+        Ok(Box::new(FaultHandle {
+            inner: self.mem.create(path)?,
+            path: path.to_path_buf(),
+            vfs: self.clone(),
+        }))
+    }
+
+    fn append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.gate()?;
+        Ok(Box::new(FaultHandle {
+            inner: self.mem.append(path)?,
+            path: path.to_path_buf(),
+            vfs: self.clone(),
+        }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.gate()?;
+        self.mem.rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        self.gate()?;
+        self.mem.remove(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.mem.exists(path)
+    }
+
+    fn sync_parent_dir(&self, path: &Path) -> io::Result<()> {
+        self.gate_sync()?;
+        self.mem.sync_parent_dir(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_vfs_basic_io() {
+        let vfs = MemVfs::new();
+        let p = Path::new("a/file.bin");
+        let mut f = vfs.create(p).unwrap();
+        f.write_all(b"hello").unwrap();
+        f.write_all(b" world").unwrap();
+        assert_eq!(vfs.read(p).unwrap(), b"hello world");
+        assert!(vfs.exists(p));
+        vfs.rename(p, Path::new("a/other.bin")).unwrap();
+        assert!(!vfs.exists(p));
+        assert_eq!(vfs.read(Path::new("a/other.bin")).unwrap(), b"hello world");
+        vfs.remove(Path::new("a/other.bin")).unwrap();
+        assert!(!vfs.exists(Path::new("a/other.bin")));
+    }
+
+    #[test]
+    fn unsynced_data_lost_on_crash() {
+        let vfs = MemVfs::new();
+        let p = Path::new("wal");
+        let mut f = vfs.create(p).unwrap();
+        f.write_all(b"synced").unwrap();
+        f.sync().unwrap();
+        vfs.sync_parent_dir(p).unwrap();
+        f.write_all(b"+tail").unwrap();
+        // Strict crash: only the synced prefix survives.
+        let after = vfs.crash_view(0);
+        assert_eq!(after.read(p).unwrap(), b"synced");
+        // Spilled crash: part of the unsynced tail survives (torn tail).
+        let after = vfs.crash_view(3);
+        assert_eq!(after.read(p).unwrap(), b"synced+ta");
+    }
+
+    #[test]
+    fn rename_needs_dir_sync_to_survive_crash() {
+        let vfs = MemVfs::new();
+        let tmp = Path::new("db.tmp");
+        let dst = Path::new("db.snap");
+        // Establish a durable old snapshot.
+        let mut f = vfs.create(dst).unwrap();
+        f.write_all(b"old").unwrap();
+        f.sync().unwrap();
+        vfs.sync_parent_dir(dst).unwrap();
+        // Write + sync a new version, rename over, but crash before the
+        // directory sync: the old contents must still be there.
+        let mut f = vfs.create(tmp).unwrap();
+        f.write_all(b"new").unwrap();
+        f.sync().unwrap();
+        vfs.rename(tmp, dst).unwrap();
+        let after = vfs.crash_view(0);
+        assert_eq!(after.read(dst).unwrap(), b"old");
+        // With the directory sync the rename is durable.
+        vfs.sync_parent_dir(dst).unwrap();
+        let after = vfs.crash_view(0);
+        assert_eq!(after.read(dst).unwrap(), b"new");
+    }
+
+    #[test]
+    fn file_sync_without_dir_sync_leaves_no_entry() {
+        let vfs = MemVfs::new();
+        let p = Path::new("fresh");
+        let mut f = vfs.create(p).unwrap();
+        f.write_all(b"data").unwrap();
+        f.sync().unwrap();
+        // Entry never made durable: the file vanishes on crash.
+        let after = vfs.crash_view(usize::MAX);
+        assert!(!after.exists(p));
+    }
+
+    #[test]
+    fn fault_vfs_fails_nth_op_then_recovers() {
+        let vfs = FaultVfs::new(
+            MemVfs::new(),
+            FaultPlan {
+                fail_at_op: Some(2),
+                ..FaultPlan::default()
+            },
+        );
+        let p = Path::new("x");
+        let mut f = vfs.create(p).unwrap(); // op 1
+        let err = f.write_all(b"boom").unwrap_err(); // op 2 — injected
+        assert_eq!(err.to_string(), INJECTED_FAULT);
+        // Transient: the next operation succeeds.
+        f.write_all(b"ok").unwrap();
+        assert_eq!(vfs.read(p).unwrap(), b"ok");
+    }
+
+    #[test]
+    fn fault_vfs_crash_at_sync_freezes_everything() {
+        let vfs = FaultVfs::new(
+            MemVfs::new(),
+            FaultPlan {
+                crash_at_sync: Some(2),
+                ..FaultPlan::default()
+            },
+        );
+        let p = Path::new("x");
+        let mut f = vfs.create(p).unwrap();
+        f.write_all(b"one").unwrap();
+        f.sync().unwrap(); // sync 1 — ok
+        let err = vfs.sync_parent_dir(p).unwrap_err(); // sync 2 — crash
+        assert_eq!(err.to_string(), SIMULATED_CRASH);
+        assert!(vfs.crashed());
+        assert!(vfs.read(p).is_err(), "post-crash ops fail");
+        // Durable state: file contents were synced but the entry was not.
+        let after = vfs.durable_state();
+        assert!(!after.exists(p));
+    }
+
+    #[test]
+    fn fault_vfs_tears_writes() {
+        let vfs = FaultVfs::new(
+            MemVfs::new(),
+            FaultPlan {
+                torn_write: Some((2, 4)),
+                crash_spill: usize::MAX,
+                ..FaultPlan::default()
+            },
+        );
+        let p = Path::new("wal");
+        let mut f = vfs.create(p).unwrap();
+        f.write_all(b"head").unwrap();
+        f.sync().unwrap();
+        vfs.sync_parent_dir(p).unwrap();
+        let err = f.write_all(b"0123456789").unwrap_err();
+        assert_eq!(err.to_string(), SIMULATED_CRASH);
+        let after = vfs.durable_state();
+        assert_eq!(after.read(p).unwrap(), b"head0123", "torn after 4 bytes");
+    }
+}

@@ -1,0 +1,422 @@
+//! Crash-recovery harness: runs a seeded random workload against a durable
+//! database, re-executes it crashing at every injected syncpoint (and
+//! tearing writes, and injecting transient faults), reopens from the
+//! post-crash durable state, and asserts structural invariants plus logical
+//! equivalence against an in-memory oracle.
+//!
+//! The correctness criterion per crash: if `acked` operations returned to
+//! the caller and the crashing operation was number `attempted`, then the
+//! recovered database must contain exactly the first `n` operations for
+//! some `n` with `acked <= n <= attempted` — no acknowledged operation is
+//! ever lost, and nothing beyond the operation in flight ever appears.
+
+use sensormeta_relstore::vfs::{FaultPlan, FaultVfs, MemVfs};
+use sensormeta_relstore::wal::scan_wal;
+use sensormeta_relstore::{Database, DurabilityOptions, RelError, SyncPolicy, Value, Vfs};
+use std::path::Path;
+use std::sync::Arc;
+
+const DB_PATH: &str = "repo.snap";
+
+/// Small deterministic PRNG (xorshift64*) — no external dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// One workload operation. Each maps to exactly one logged logical
+/// operation (one WAL sequence number), so operation counts and recovered
+/// sequence numbers are directly comparable.
+#[derive(Debug, Clone)]
+enum WorkOp {
+    Sql(String),
+    Insert(&'static str, Vec<Value>),
+}
+
+fn workload(seed: u64, n: usize) -> Vec<WorkOp> {
+    let mut rng = Rng::new(seed);
+    let mut ops = vec![
+        WorkOp::Sql(
+            "CREATE TABLE pages (id INTEGER PRIMARY KEY, title TEXT NOT NULL, views INTEGER)"
+                .to_string(),
+        ),
+        WorkOp::Sql("CREATE TABLE tags (page INTEGER NOT NULL, tag TEXT NOT NULL)".to_string()),
+        WorkOp::Sql("CREATE UNIQUE INDEX tags_pair ON tags (page, tag)".to_string()),
+    ];
+    for i in ops.len()..n {
+        let op = match rng.below(12) {
+            0..=3 => {
+                // Programmatic insert; small id space makes primary-key
+                // collisions (deterministic logical failures) common.
+                let views = if rng.below(4) == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(rng.below(10_000) as i64)
+                };
+                WorkOp::Insert(
+                    "pages",
+                    vec![
+                        Value::Int(rng.below(150) as i64),
+                        Value::text(format!("p{i}")),
+                        views,
+                    ],
+                )
+            }
+            4..=6 => WorkOp::Insert(
+                "tags",
+                vec![
+                    Value::Int(rng.below(40) as i64),
+                    Value::text(format!("t{}", rng.below(6))),
+                ],
+            ),
+            7 => WorkOp::Sql(format!(
+                "INSERT INTO pages VALUES ({}, 'sql{i}', {})",
+                150 + rng.below(100),
+                rng.below(1000)
+            )),
+            8 => WorkOp::Sql(format!(
+                "UPDATE pages SET views = {} WHERE id < {}",
+                rng.below(5000),
+                rng.below(150)
+            )),
+            9 => WorkOp::Sql(format!("DELETE FROM tags WHERE page = {}", rng.below(40))),
+            10 => WorkOp::Sql(format!("DELETE FROM pages WHERE id = {}", rng.below(150))),
+            _ => WorkOp::Sql(format!(
+                "UPDATE tags SET tag = 't{}' WHERE page = {}",
+                rng.below(6),
+                rng.below(40)
+            )),
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+fn apply_op(db: &mut Database, op: &WorkOp) -> Result<(), RelError> {
+    match op {
+        WorkOp::Sql(sql) => db.execute(sql).map(|_| ()),
+        WorkOp::Insert(table, row) => db.insert_row(table, row.clone()).map(|_| ()),
+    }
+}
+
+fn is_storage_err(e: &RelError) -> bool {
+    matches!(e, RelError::Io(_) | RelError::Wal(_))
+}
+
+/// Logical dump of the oracle after each workload prefix: `dumps[n]` is the
+/// expected state once exactly the first `n` operations have been applied
+/// (logical failures and all).
+type Dump = Vec<(String, Vec<Vec<u8>>)>;
+
+fn oracle_dumps(ops: &[WorkOp]) -> Vec<Dump> {
+    let mut db = Database::new();
+    let mut dumps = Vec::with_capacity(ops.len() + 1);
+    dumps.push(db.logical_dump());
+    for op in ops {
+        let _ = apply_op(&mut db, op);
+        dumps.push(db.logical_dump());
+    }
+    dumps
+}
+
+fn small_opts() -> DurabilityOptions {
+    DurabilityOptions {
+        sync: SyncPolicy::Always,
+        // Tiny threshold: the workload checkpoints many times, so crashes
+        // land inside checkpoint windows too.
+        checkpoint_wal_bytes: 2048,
+    }
+}
+
+struct Outcome {
+    acked: usize,
+    attempted: usize,
+    crashed: bool,
+}
+
+/// Runs the workload until completion or the first storage error. Any
+/// non-storage panic or unexpected error kind fails the test.
+fn run_workload(vfs: Arc<dyn Vfs>, ops: &[WorkOp]) -> Outcome {
+    let mut db = match Database::open_durable_with(vfs, Path::new(DB_PATH), small_opts()) {
+        Ok((db, _)) => db,
+        Err(e) => {
+            assert!(
+                is_storage_err(&e),
+                "open failed with non-storage error: {e}"
+            );
+            return Outcome {
+                acked: 0,
+                attempted: 0,
+                crashed: true,
+            };
+        }
+    };
+    let mut acked = 0;
+    for (i, op) in ops.iter().enumerate() {
+        match apply_op(&mut db, op) {
+            Ok(()) => acked = i + 1,
+            Err(e) if is_storage_err(&e) => {
+                return Outcome {
+                    acked,
+                    attempted: i + 1,
+                    crashed: true,
+                };
+            }
+            // Logical failure (unique violation, …): still logged, still
+            // one sequence number, deterministically reproduced at replay.
+            Err(_) => acked = i + 1,
+        }
+    }
+    Outcome {
+        acked,
+        attempted: acked,
+        crashed: false,
+    }
+}
+
+/// Reopens from a post-crash durable state and checks invariants plus
+/// oracle equivalence. Returns the recovered operation count.
+fn check_recovery(durable: MemVfs, out: &Outcome, dumps: &[Dump]) -> (usize, bool) {
+    let (rec, report) =
+        Database::open_durable_with(Arc::new(durable), Path::new(DB_PATH), small_opts())
+            .expect("recovery open must succeed");
+    if let Err(problems) = rec.check_invariants() {
+        panic!("invariants violated after recovery: {problems:?}");
+    }
+    let n = rec.committed_seq() as usize;
+    assert!(
+        out.acked <= n && n <= out.attempted,
+        "recovered {n} ops, but {} were acknowledged and {} attempted",
+        out.acked,
+        out.attempted
+    );
+    assert_eq!(
+        rec.logical_dump(),
+        dumps[n],
+        "recovered state diverges from oracle after {n} ops"
+    );
+    (n, !report.wal_problems.is_empty())
+}
+
+#[test]
+fn crash_at_every_syncpoint_recovers() {
+    let ops = workload(0xC0FFEE, 220);
+    let dumps = oracle_dumps(&ops);
+
+    // Fault-free probe run: validates the op ↔ sequence-number mapping and
+    // counts the syncpoints the workload passes through.
+    let probe = FaultVfs::new(MemVfs::new(), FaultPlan::default());
+    let out = run_workload(Arc::new(probe.clone()), &ops);
+    assert!(!out.crashed, "probe run must not crash");
+    assert_eq!(out.acked, ops.len());
+    let (n, _) = check_recovery(probe.durable_state(), &out, &dumps);
+    assert_eq!(n, ops.len(), "fault-free run recovers everything");
+    let total_syncs = probe.syncs();
+    assert!(total_syncs as usize > ops.len(), "every commit syncs");
+
+    let mut crashes = 0u64;
+    let mut torn_reports = 0u64;
+    for k in 1..=total_syncs {
+        // Vary how much unsynced tail survives each crash: 0 models strict
+        // fsync-only survival, larger values produce torn WAL tails.
+        let spill = ((k * 13) % 120) as usize;
+        let vfs = FaultVfs::new(
+            MemVfs::new(),
+            FaultPlan {
+                crash_at_sync: Some(k),
+                crash_spill: spill,
+                ..FaultPlan::default()
+            },
+        );
+        let out = run_workload(Arc::new(vfs.clone()), &ops);
+        if out.crashed {
+            crashes += 1;
+        }
+        let (n, torn) = check_recovery(vfs.durable_state(), &out, &dumps);
+        if torn {
+            torn_reports += 1;
+        }
+        // Periodically check that recovery is idempotent and the database
+        // stays writable after reopening.
+        if k % 16 == 0 {
+            let durable = vfs.durable_state();
+            let (mut again, _) =
+                Database::open_durable_with(Arc::new(durable), Path::new(DB_PATH), small_opts())
+                    .expect("second recovery open");
+            assert_eq!(again.committed_seq() as usize, n);
+            again
+                .insert_row(
+                    "pages",
+                    vec![
+                        Value::Int(1_000_000 + k as i64),
+                        Value::text("post-crash"),
+                        Value::Null,
+                    ],
+                )
+                .expect("recovered database accepts writes");
+        }
+    }
+    assert_eq!(crashes, total_syncs, "every syncpoint produced a crash");
+    assert!(
+        torn_reports > 0,
+        "at least some crashes must leave torn WAL tails that recovery reports"
+    );
+}
+
+#[test]
+fn torn_writes_recover() {
+    let ops = workload(0xBEEF, 200);
+    let dumps = oracle_dumps(&ops);
+
+    let probe = FaultVfs::new(MemVfs::new(), FaultPlan::default());
+    let out = run_workload(Arc::new(probe.clone()), &ops);
+    assert!(!out.crashed);
+    let total_writes = probe.writes();
+
+    let mut torn_reports = 0u64;
+    for w in (1..=total_writes).step_by(3) {
+        let keep = ((w * 7) % 41) as usize;
+        let vfs = FaultVfs::new(
+            MemVfs::new(),
+            FaultPlan {
+                torn_write: Some((w, keep)),
+                crash_spill: usize::MAX,
+                ..FaultPlan::default()
+            },
+        );
+        let out = run_workload(Arc::new(vfs.clone()), &ops);
+        assert!(out.crashed, "torn write {w} must crash the run");
+        let (_, torn) = check_recovery(vfs.durable_state(), &out, &dumps);
+        if torn {
+            torn_reports += 1;
+        }
+    }
+    assert!(
+        torn_reports > 0,
+        "torn writes must be detected and reported"
+    );
+}
+
+#[test]
+fn transient_faults_never_panic_and_recover() {
+    let ops = workload(0xFACADE, 120);
+    let dumps = oracle_dumps(&ops);
+
+    let probe = FaultVfs::new(MemVfs::new(), FaultPlan::default());
+    let out = run_workload(Arc::new(probe.clone()), &ops);
+    assert!(!out.crashed);
+    let total_ops = probe.ops();
+
+    for f in (1..=total_ops).step_by(7) {
+        let vfs = FaultVfs::new(
+            MemVfs::new(),
+            FaultPlan {
+                fail_at_op: Some(f),
+                ..FaultPlan::default()
+            },
+        );
+        let out = run_workload(Arc::new(vfs.clone()), &ops);
+        // A transient fault is not a crash of the machine: recovery runs
+        // against the live file system, not the crash view.
+        let (rec, _) =
+            Database::open_durable_with(Arc::new(vfs.clone()), Path::new(DB_PATH), small_opts())
+                .expect("reopen after transient fault");
+        if let Err(problems) = rec.check_invariants() {
+            panic!("invariants violated after transient fault {f}: {problems:?}");
+        }
+        let n = rec.committed_seq() as usize;
+        assert!(
+            out.acked <= n && n <= out.attempted.max(out.acked),
+            "fault {f}: recovered {n}, acked {}, attempted {}",
+            out.acked,
+            out.attempted
+        );
+        assert_eq!(rec.logical_dump(), dumps[n], "fault {f} diverges");
+    }
+}
+
+#[test]
+fn bit_flips_in_wal_detected_and_skipped() {
+    let ops = workload(0xDECADE, 150);
+    let dumps = oracle_dumps(&ops);
+
+    // Run on a plain MemVfs with a huge checkpoint threshold so the whole
+    // workload stays in the WAL.
+    let mem = MemVfs::new();
+    let opts = DurabilityOptions {
+        sync: SyncPolicy::Always,
+        checkpoint_wal_bytes: u64::MAX,
+    };
+    let (mut db, _) =
+        Database::open_durable_with(Arc::new(mem.clone()), Path::new(DB_PATH), opts.clone())
+            .expect("open");
+    for op in &ops {
+        let _ = apply_op(&mut db, op);
+    }
+    drop(db);
+
+    let wal_path = sensormeta_relstore::wal_path_for(Path::new(DB_PATH));
+    let clean = mem.read(&wal_path).expect("wal exists");
+    let scan = scan_wal(&clean);
+    assert!(scan.is_clean());
+    assert_eq!(scan.committed.len(), ops.len(), "one tx per op");
+
+    for frac in [3u64, 2, 1] {
+        // Flip a bit at 1/3, 1/2, and near the end of the log body.
+        let mut corrupt = clean.clone();
+        let ix = 8 + (corrupt.len() - 9) / frac as usize;
+        corrupt[ix] ^= 0x20;
+        let vfs = MemVfs::new();
+        vfs.install(&wal_path, corrupt.clone());
+
+        // Read-only recovering open: reports the damage, recovers the
+        // committed prefix, and writes nothing.
+        let (rec, report) = Database::open_recovering(Arc::new(vfs.clone()), Path::new(DB_PATH))
+            .expect("recovering open");
+        assert!(
+            !report.wal_problems.is_empty(),
+            "bit flip at {ix} must be reported"
+        );
+        assert!(report.discarded_bytes > 0);
+        let n = report.last_seq as usize;
+        assert!(n < ops.len(), "corruption must cut the log short");
+        assert_eq!(rec.logical_dump(), dumps[n]);
+        if let Err(problems) = rec.check_invariants() {
+            panic!("invariants violated after bit flip: {problems:?}");
+        }
+        assert_eq!(
+            vfs.read(&wal_path).expect("wal still present"),
+            corrupt,
+            "recovering open must not modify the store"
+        );
+
+        // A durable open folds the recovered prefix and truncates the log;
+        // a subsequent open is clean.
+        let (_, report) =
+            Database::open_durable_with(Arc::new(vfs.clone()), Path::new(DB_PATH), opts.clone())
+                .expect("durable open after corruption");
+        assert!(report.checkpointed);
+        let (rec2, report2) =
+            Database::open_durable_with(Arc::new(vfs.clone()), Path::new(DB_PATH), opts.clone())
+                .expect("clean reopen");
+        assert!(report2.wal_problems.is_empty());
+        assert_eq!(rec2.committed_seq() as usize, n);
+        assert_eq!(rec2.logical_dump(), dumps[n]);
+    }
+}

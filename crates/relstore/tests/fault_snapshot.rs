@@ -1,0 +1,142 @@
+//! Snapshot round-trips under fault injection: every injected I/O error
+//! must surface as a `RelError` (never a panic), and a failed save must
+//! leave a readable snapshot behind — either the old one or the new one,
+//! never a torn hybrid.
+
+use sensormeta_relstore::vfs::{FaultPlan, FaultVfs, MemVfs};
+use sensormeta_relstore::{Database, RelError, Value, Vfs};
+use std::path::Path;
+use std::sync::Arc;
+
+const SNAP: &str = "db.snap";
+
+fn sample_db(rows: i64) -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE sensors (id INTEGER PRIMARY KEY, name TEXT NOT NULL)")
+        .expect("create");
+    for i in 0..rows {
+        db.insert_row("sensors", vec![Value::Int(i), Value::text(format!("s{i}"))])
+            .expect("insert");
+    }
+    db
+}
+
+#[test]
+fn save_roundtrips_through_vfs() {
+    let db = sample_db(25);
+    let vfs = MemVfs::new();
+    db.save_with(&vfs, Path::new(SNAP)).expect("save");
+    let bytes = vfs.read(Path::new(SNAP)).expect("read back");
+    let back = Database::from_snapshot(&bytes).expect("parse");
+    assert_eq!(back.logical_dump(), db.logical_dump());
+    // The write is durable: it survives a strict fsync-only crash.
+    let after = vfs.crash_view(0);
+    let bytes = after
+        .read(Path::new(SNAP))
+        .expect("snapshot survives crash");
+    let back = Database::from_snapshot(&bytes).expect("parse after crash");
+    assert_eq!(back.logical_dump(), db.logical_dump());
+}
+
+#[test]
+fn every_injected_save_fault_is_an_error_not_a_panic() {
+    let old = sample_db(10);
+    let new = sample_db(30);
+
+    // Count how many I/O operations a clean save performs.
+    let probe = FaultVfs::new(MemVfs::new(), FaultPlan::default());
+    old.save_with(&probe, Path::new(SNAP)).expect("probe save");
+    let total_ops = probe.ops();
+    assert!(total_ops >= 5, "create + write + sync + rename + dir sync");
+
+    for f in 1..=total_ops {
+        // Start from a file system that already holds the old snapshot,
+        // durably.
+        let mem = MemVfs::new();
+        old.save_with(&mem, Path::new(SNAP)).expect("seed save");
+        let vfs = FaultVfs::new(
+            mem,
+            FaultPlan {
+                fail_at_op: Some(f),
+                ..FaultPlan::default()
+            },
+        );
+
+        let err = new
+            .save_with(&vfs, Path::new(SNAP))
+            .expect_err("injected fault must fail the save");
+        assert!(
+            matches!(err, RelError::Io(_)),
+            "fault {f}: wrong error kind: {err}"
+        );
+
+        // Whatever the failure point, the snapshot path must still hold a
+        // parseable database — the old or the new contents, nothing torn —
+        // both live and after a crash.
+        for view in [vfs.durable_state(), {
+            let live = MemVfs::new();
+            live.install(
+                Path::new(SNAP),
+                vfs.read(Path::new(SNAP)).expect("live snapshot present"),
+            );
+            live
+        }] {
+            let bytes = view
+                .read(Path::new(SNAP))
+                .expect("snapshot entry must survive a failed save");
+            let got = Database::from_snapshot(&bytes)
+                .expect("snapshot must stay parseable")
+                .logical_dump();
+            assert!(
+                got == old.logical_dump() || got == new.logical_dump(),
+                "fault {f}: snapshot is neither the old nor the new database"
+            );
+        }
+    }
+}
+
+#[test]
+fn crash_during_save_preserves_old_snapshot() {
+    let old = sample_db(10);
+    let new = sample_db(30);
+
+    let probe = FaultVfs::new(MemVfs::new(), FaultPlan::default());
+    old.save_with(&probe, Path::new(SNAP)).expect("probe save");
+    let total_syncs = probe.syncs();
+
+    for k in 1..=total_syncs {
+        let mem = MemVfs::new();
+        old.save_with(&mem, Path::new(SNAP)).expect("seed save");
+        let vfs = FaultVfs::new(
+            mem,
+            FaultPlan {
+                crash_at_sync: Some(k),
+                ..FaultPlan::default()
+            },
+        );
+        new.save_with(&vfs, Path::new(SNAP))
+            .expect_err("crash must fail the save");
+        let after = vfs.durable_state();
+        let bytes = after
+            .read(Path::new(SNAP))
+            .expect("old snapshot must survive the crash");
+        let got = Database::from_snapshot(&bytes)
+            .expect("snapshot parseable after crash")
+            .logical_dump();
+        assert!(
+            got == old.logical_dump() || got == new.logical_dump(),
+            "crash at sync {k} tore the snapshot"
+        );
+    }
+}
+
+/// `Arc<dyn Vfs>` saves also work (exercises the trait-object path used by
+/// the durable database).
+#[test]
+fn save_through_trait_object() {
+    let db = sample_db(5);
+    let vfs: Arc<dyn Vfs> = Arc::new(MemVfs::new());
+    db.save_with(vfs.as_ref(), Path::new(SNAP)).expect("save");
+    let back = Database::from_snapshot(&vfs.read(Path::new(SNAP)).expect("read")).expect("parse");
+    assert_eq!(back.logical_dump(), db.logical_dump());
+}

@@ -47,6 +47,12 @@ pub enum HttpError {
     Malformed(String),
     /// Body larger than the configured cap.
     TooLarge,
+    /// Request line or header block larger than the configured cap
+    /// (answered with 431).
+    HeaderTooLarge,
+    /// The client stalled past the read/write timeout (answered with 408 —
+    /// the slow-loris defense).
+    Timeout,
 }
 
 impl std::fmt::Display for HttpError {
@@ -55,6 +61,8 @@ impl std::fmt::Display for HttpError {
             HttpError::Io(e) => write!(f, "io error: {e}"),
             HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
             HttpError::TooLarge => write!(f, "request body too large"),
+            HttpError::HeaderTooLarge => write!(f, "request line or headers too large"),
+            HttpError::Timeout => write!(f, "client timed out"),
         }
     }
 }
@@ -65,11 +73,75 @@ impl std::error::Error for HttpError {}
 /// not be a memory DoS in a demo.
 pub const MAX_BODY: usize = 16 * 1024 * 1024;
 
-/// Reads one request from a stream.
+/// Maximum accepted request line — beyond this the request is answered
+/// with 431 rather than buffered without bound.
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+
+/// Maximum combined size of all header lines.
+pub const MAX_HEADER_BYTES: usize = 64 * 1024;
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one `\n`-terminated line (CR stripped) without ever buffering more
+/// than `limit` bytes. Transient `Interrupted` reads are retried; a read
+/// timeout surfaces as [`HttpError::Timeout`].
+fn read_line_bounded(reader: &mut impl BufRead, limit: usize) -> Result<String, HttpError> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                buf.push(byte[0]);
+                if buf.len() > limit {
+                    return Err(HttpError::HeaderTooLarge);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => return Err(HttpError::Timeout),
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    while buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    Ok(String::from_utf8_lossy(&buf).into_owned())
+}
+
+/// `read_exact` with `Interrupted` retries and timeout classification.
+fn read_exact_retrying(reader: &mut impl BufRead, out: &mut [u8]) -> Result<(), HttpError> {
+    let mut filled = 0;
+    while filled < out.len() {
+        match reader.read(&mut out[filled..]) {
+            Ok(0) => {
+                return Err(HttpError::Malformed(format!(
+                    "body truncated at {filled} of {} bytes",
+                    out.len()
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => return Err(HttpError::Timeout),
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one request from a stream. Request-line and header sizes are
+/// bounded ([`MAX_REQUEST_LINE`], [`MAX_HEADER_BYTES`]) so a slow or
+/// malicious client cannot tie up unbounded memory.
 pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    reader.read_line(&mut line).map_err(HttpError::Io)?;
+    let line = read_line_bounded(&mut reader, MAX_REQUEST_LINE)?;
     let mut parts = line.split_whitespace();
     let method = parts
         .next()
@@ -86,12 +158,15 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
     let query = raw_query.map(parse_query).unwrap_or_default();
 
     let mut headers = BTreeMap::new();
+    let mut header_bytes = 0usize;
     loop {
-        let mut hline = String::new();
-        reader.read_line(&mut hline).map_err(HttpError::Io)?;
-        let hline = hline.trim_end();
+        let hline = read_line_bounded(&mut reader, MAX_HEADER_BYTES)?;
         if hline.is_empty() {
             break;
+        }
+        header_bytes += hline.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(HttpError::HeaderTooLarge);
         }
         if let Some((k, v)) = hline.split_once(':') {
             headers.insert(k.trim().to_lowercase(), v.trim().to_owned());
@@ -106,7 +181,7 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
     }
     let mut body = vec![0u8; content_length];
     if content_length > 0 {
-        reader.read_exact(&mut body).map_err(HttpError::Io)?;
+        read_exact_retrying(&mut reader, &mut body)?;
     }
     Ok(Request {
         method,
@@ -231,7 +306,9 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
             413 => "Payload Too Large",
+            431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
             _ => "Unknown",
         };
@@ -300,6 +377,91 @@ mod tests {
         assert!(matches!(
             read_request(&mut raw.as_bytes()),
             Err(HttpError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_request_line() {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE + 1));
+        assert!(matches!(
+            read_request(&mut raw.as_bytes()),
+            Err(HttpError::HeaderTooLarge)
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_headers() {
+        let mut raw = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..80 {
+            raw.push_str(&format!("X-Pad-{i}: {}\r\n", "b".repeat(1024)));
+        }
+        raw.push_str("\r\n");
+        assert!(matches!(
+            read_request(&mut raw.as_bytes()),
+            Err(HttpError::HeaderTooLarge)
+        ));
+    }
+
+    /// A reader that fails with `Interrupted` before every chunk — the
+    /// parser must retry transparently.
+    struct Interrupting<'a> {
+        data: &'a [u8],
+        pos: usize,
+        interrupt_next: bool,
+    }
+
+    impl Read for Interrupting<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.interrupt_next {
+                self.interrupt_next = false;
+                return Err(std::io::Error::from(std::io::ErrorKind::Interrupted));
+            }
+            self.interrupt_next = true;
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            let n = buf.len().min(self.data.len() - self.pos).min(3);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn interrupted_reads_are_retried() {
+        let mut stream = Interrupting {
+            data: b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello",
+            pos: 0,
+            interrupt_next: true,
+        };
+        let req = read_request(&mut stream).unwrap();
+        assert_eq!(req.path, "/x");
+        assert_eq!(req.body_str(), "hello");
+    }
+
+    /// A reader that simulates a stalled client: times out immediately.
+    struct Stalled;
+
+    impl Read for Stalled {
+        fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::from(std::io::ErrorKind::WouldBlock))
+        }
+    }
+
+    #[test]
+    fn stalled_client_times_out() {
+        assert!(matches!(
+            read_request(&mut Stalled),
+            Err(HttpError::Timeout)
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_malformed() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nhi";
+        assert!(matches!(
+            read_request(&mut &raw[..]),
+            Err(HttpError::Malformed(_))
         ));
     }
 

@@ -33,13 +33,31 @@ pub fn serve(app: App, addr: &str, workers: usize) -> std::io::Result<Server> {
     }
     let (shutdown_tx, shutdown_rx) = channel::bounded::<()>(1);
     let accept_thread = thread::spawn(move || {
-        for stream in listener.incoming() {
+        // Transient accept errors (signal interruptions, aborted handshakes,
+        // transient resource pressure) are retried with exponential backoff
+        // instead of killing the listener.
+        let mut backoff_ms: u64 = 1;
+        loop {
             if shutdown_rx.try_recv().is_ok() {
                 break;
             }
-            match stream {
-                Ok(s) => {
+            match listener.accept() {
+                Ok((s, _)) => {
+                    backoff_ms = 1;
                     let _ = tx.send(s);
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::Interrupted
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::ConnectionAborted
+                            | std::io::ErrorKind::ConnectionReset
+                    ) =>
+                {
+                    thread::sleep(std::time::Duration::from_millis(backoff_ms));
+                    backoff_ms = (backoff_ms * 2).min(100);
                 }
                 Err(_) => break,
             }
@@ -52,11 +70,18 @@ pub fn serve(app: App, addr: &str, workers: usize) -> std::io::Result<Server> {
     })
 }
 
+/// Per-connection read and write deadlines: a stalled client (slow-loris)
+/// gets a 408 and its handler thread back after at most this long.
+const IO_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
+
 fn handle_connection(app: &App, stream: &mut TcpStream) {
-    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(10)));
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
     let response = match read_request(stream) {
         Ok(req) => app.handle(&req),
         Err(HttpError::TooLarge) => Response::error(413, "payload too large"),
+        Err(HttpError::HeaderTooLarge) => Response::error(431, "request line or headers too large"),
+        Err(HttpError::Timeout) => Response::error(408, "request timed out"),
         Err(e) => Response::error(400, e.to_string()),
     };
     let _ = response.write_to(stream);

@@ -7,7 +7,8 @@ use crate::error::{Result, SmrError};
 use crate::page::{BulkReport, Page, PageDraft};
 use sensormeta_graph::CsrGraph;
 use sensormeta_rdf::{evaluate, parse_sparql, Solutions, Term, TripleStore};
-use sensormeta_relstore::{Database, ResultSet, Value};
+use sensormeta_relstore::{Database, RecoveryReport, ResultSet, StdVfs, Value, Vfs};
+use std::sync::Arc;
 
 /// Base IRI for page resources in the RDF mirror.
 pub const PAGE_IRI_BASE: &str = "http://swiss-experiment.ch/page/";
@@ -32,31 +33,56 @@ impl Default for Smr {
     }
 }
 
+/// The repository's relational schema, installed on first open.
+const SCHEMA_SQL: &str = "CREATE TABLE pages (id INTEGER PRIMARY KEY, title TEXT NOT NULL UNIQUE, \
+     namespace TEXT NOT NULL, body TEXT, revision INTEGER NOT NULL);
+     CREATE TABLE annotations (page_id INTEGER NOT NULL, attribute TEXT NOT NULL, \
+     value TEXT NOT NULL);
+     CREATE TABLE links (from_id INTEGER NOT NULL, to_title TEXT NOT NULL);
+     CREATE TABLE tags (page_id INTEGER NOT NULL, tag TEXT NOT NULL);
+     CREATE TABLE revisions (page_id INTEGER NOT NULL, revision INTEGER NOT NULL, \
+     body TEXT);
+     CREATE INDEX annotations_page ON annotations (page_id);
+     CREATE INDEX annotations_attr ON annotations (attribute);
+     CREATE INDEX links_from ON links (from_id);
+     CREATE INDEX links_to ON links (to_title);
+     CREATE INDEX tags_page ON tags (page_id);
+     CREATE INDEX tags_tag ON tags (tag);";
+
 impl Smr {
-    /// Creates an empty repository with its relational schema installed.
+    /// Creates an empty in-memory repository with its relational schema
+    /// installed.
     pub fn new() -> Smr {
         let mut db = Database::new();
-        db.execute_script(
-            "CREATE TABLE pages (id INTEGER PRIMARY KEY, title TEXT NOT NULL UNIQUE, \
-             namespace TEXT NOT NULL, body TEXT, revision INTEGER NOT NULL);
-             CREATE TABLE annotations (page_id INTEGER NOT NULL, attribute TEXT NOT NULL, \
-             value TEXT NOT NULL);
-             CREATE TABLE links (from_id INTEGER NOT NULL, to_title TEXT NOT NULL);
-             CREATE TABLE tags (page_id INTEGER NOT NULL, tag TEXT NOT NULL);
-             CREATE TABLE revisions (page_id INTEGER NOT NULL, revision INTEGER NOT NULL, \
-             body TEXT);
-             CREATE INDEX annotations_page ON annotations (page_id);
-             CREATE INDEX annotations_attr ON annotations (attribute);
-             CREATE INDEX links_from ON links (from_id);
-             CREATE INDEX links_to ON links (to_title);
-             CREATE INDEX tags_page ON tags (page_id);
-             CREATE INDEX tags_tag ON tags (tag);",
-        )
-        .expect("static schema is valid");
+        db.execute_script(SCHEMA_SQL)
+            .expect("static schema is valid");
         Smr {
             db,
             rdf: TripleStore::new(),
         }
+    }
+
+    /// Opens (or creates) a durable repository at `path`: every mutation is
+    /// write-ahead logged before it is applied, and opening replays the log
+    /// so a crash recovers to the last committed state. Returns what
+    /// recovery found alongside the repository.
+    pub fn open_durable(path: &std::path::Path) -> Result<(Smr, RecoveryReport)> {
+        let (mut db, report) = Database::open_durable(path)?;
+        if !db.has_table("pages") {
+            db.execute_script(SCHEMA_SQL)?;
+        }
+        let mut smr = Smr {
+            db,
+            rdf: TripleStore::new(),
+        };
+        smr.rebuild_mirror()?;
+        Ok((smr, report))
+    }
+
+    /// Folds the write-ahead log into a fresh snapshot (no-op for
+    /// repositories that are not durable).
+    pub fn checkpoint(&mut self) -> Result<()> {
+        Ok(self.db.checkpoint()?)
     }
 
     /// The page IRI for a title.
@@ -88,14 +114,16 @@ impl Smr {
             return Err(SmrError::PageExists(draft.title));
         }
         let id = self.next_page_id()?;
-        let t = self.db.table_mut("pages")?;
-        t.insert(vec![
-            Value::Int(id),
-            Value::text(draft.title.clone()),
-            Value::text(draft.namespace.clone()),
-            Value::text(draft.body.clone()),
-            Value::Int(1),
-        ])?;
+        self.db.insert_row(
+            "pages",
+            vec![
+                Value::Int(id),
+                Value::text(draft.title.clone()),
+                Value::text(draft.namespace.clone()),
+                Value::text(draft.body.clone()),
+                Value::Int(1),
+            ],
+        )?;
         self.write_satellites(id, &draft)?;
         self.mirror_page(&draft);
         Ok(id)
@@ -109,11 +137,14 @@ impl Smr {
         };
         let old = self.get_page(&draft.title)?.expect("id resolved");
         // Archive the old body.
-        self.db.table_mut("revisions")?.insert(vec![
-            Value::Int(id),
-            Value::Int(old.revision),
-            Value::text(old.body.clone()),
-        ])?;
+        self.db.insert_row(
+            "revisions",
+            vec![
+                Value::Int(id),
+                Value::Int(old.revision),
+                Value::text(old.body.clone()),
+            ],
+        )?;
         // Rewrite the page row.
         let esc = sql_escape(&draft.title);
         self.db.execute(&format!(
@@ -434,10 +465,13 @@ impl Smr {
         Ok(self.db.save(path)?)
     }
 
-    /// Loads a repository from a snapshot file, rebuilding the RDF mirror
-    /// from the relational tables.
+    /// Loads a repository from a snapshot file in recovering mode: any
+    /// committed write-ahead-log records beside the snapshot are replayed
+    /// in memory (nothing on disk is modified), and the RDF mirror is
+    /// rebuilt from the relational tables.
     pub fn load(path: &std::path::Path) -> Result<Smr> {
-        let db = Database::load(path)?;
+        let vfs: Arc<dyn Vfs> = Arc::new(StdVfs);
+        let (db, _report) = Database::open_recovering(vfs, path)?;
         let mut smr = Smr {
             db,
             rdf: TripleStore::new(),
@@ -491,21 +525,23 @@ impl Smr {
     }
 
     fn write_satellites(&mut self, id: i64, draft: &PageDraft) -> Result<()> {
-        let ann = self.db.table_mut("annotations")?;
         for (a, v) in &draft.annotations {
-            ann.insert(vec![
-                Value::Int(id),
-                Value::text(a.clone()),
-                Value::text(v.clone()),
-            ])?;
+            self.db.insert_row(
+                "annotations",
+                vec![
+                    Value::Int(id),
+                    Value::text(a.clone()),
+                    Value::text(v.clone()),
+                ],
+            )?;
         }
-        let links = self.db.table_mut("links")?;
         for l in &draft.links {
-            links.insert(vec![Value::Int(id), Value::text(l.clone())])?;
+            self.db
+                .insert_row("links", vec![Value::Int(id), Value::text(l.clone())])?;
         }
-        let tags = self.db.table_mut("tags")?;
         for t in &draft.tags {
-            tags.insert(vec![Value::Int(id), Value::text(t.clone())])?;
+            self.db
+                .insert_row("tags", vec![Value::Int(id), Value::text(t.clone())])?;
         }
         Ok(())
     }
@@ -817,6 +853,48 @@ mod persistence_tests {
     #[test]
     fn load_missing_file_errors() {
         assert!(Smr::load(std::path::Path::new("/nonexistent/x.snap")).is_err());
+    }
+
+    #[test]
+    fn durable_open_survives_drop_without_save() {
+        let dir = std::env::temp_dir().join("smr_durable_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("repo.snap");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(sensormeta_relstore::wal_path_for(&path)).ok();
+
+        let (mut smr, report) = Smr::open_durable(&path).unwrap();
+        assert_eq!(report.replayed_ops, 0);
+        smr.create_page(
+            PageDraft::new("Deployment:d1", "Deployment")
+                .annotate("measuresQuantity", "temperature")
+                .tag("snow"),
+        )
+        .unwrap();
+        // Drop without calling save(): the WAL alone must carry the state.
+        drop(smr);
+
+        let (restored, report) = Smr::open_durable(&path).unwrap();
+        assert!(
+            report.replayed_ops > 0,
+            "page creation must be replayed from the log"
+        );
+        let p = restored.get_page("Deployment:d1").unwrap().unwrap();
+        assert_eq!(p.tags, vec!["snow"]);
+        // The mirror was rebuilt from replayed state too.
+        let sols = restored
+            .sparql(
+                "PREFIX prop: <http://swiss-experiment.ch/property/> \
+                 SELECT ?s WHERE { ?s prop:measuresQuantity \"temperature\" }",
+            )
+            .unwrap();
+        assert_eq!(sols.len(), 1);
+        // Read-only load sees the same recovered state.
+        let ro = Smr::load(&path).unwrap();
+        assert_eq!(ro.page_count(), 1);
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(sensormeta_relstore::wal_path_for(&path)).ok();
     }
 }
 

@@ -155,15 +155,24 @@ mod tests {
         let mut extra = g.clone();
         extra.add_edge(0, 3);
         let problems = check_similarity_graph(&sets, DEFAULT_THRESHOLD, &extra).unwrap_err();
-        assert!(problems.iter().any(|m| m.contains("edge (0, 3)")), "{problems:?}");
+        assert!(
+            problems.iter().any(|m| m.contains("edge (0, 3)")),
+            "{problems:?}"
+        );
 
         // A missing edge (rebuild at a higher threshold, check at the lower).
         let sparse = similarity_graph(&sets, 0.99);
         let problems = check_similarity_graph(&sets, DEFAULT_THRESHOLD, &sparse).unwrap_err();
-        assert!(problems.iter().any(|m| m.contains("disagrees")), "{problems:?}");
+        assert!(
+            problems.iter().any(|m| m.contains("disagrees")),
+            "{problems:?}"
+        );
 
         // Node-count mismatch is reported rather than panicking.
         let problems = check_similarity_graph(&sets[..2], DEFAULT_THRESHOLD, &g).unwrap_err();
-        assert!(problems.iter().any(|m| m.contains("nodes for")), "{problems:?}");
+        assert!(
+            problems.iter().any(|m| m.contains("nodes for")),
+            "{problems:?}"
+        );
     }
 }

@@ -226,7 +226,10 @@ mod tests {
         b.entries.insert(("gone.rs".into(), Rule::FloatEq), 2);
         let verdict = check(&[v("f.rs", Rule::NoUnwrap, 1)], &b);
         assert!(verdict.passed());
-        assert_eq!(verdict.improvements, vec![("f.rs".into(), Rule::NoUnwrap, 1, 5)]);
+        assert_eq!(
+            verdict.improvements,
+            vec![("f.rs".into(), Rule::NoUnwrap, 1, 5)]
+        );
         assert_eq!(verdict.stale, vec![("gone.rs".into(), Rule::FloatEq, 2)]);
     }
 

@@ -83,8 +83,7 @@ pub fn lex(source: &str) -> Lexed {
                     let start_line = line;
                     let is_inner = chars.get(i + 2) == Some(&'!');
                     // `////…` is an ordinary comment, `///x` is outer doc.
-                    let is_outer =
-                        chars.get(i + 2) == Some(&'/') && chars.get(i + 3) != Some(&'/');
+                    let is_outer = chars.get(i + 2) == Some(&'/') && chars.get(i + 3) != Some(&'/');
                     let mut text = String::new();
                     while i < chars.len() && chars[i] != '\n' {
                         text.push(chars[i]);
@@ -102,8 +101,7 @@ pub fn lex(source: &str) -> Lexed {
                 '*' => {
                     let start_line = line;
                     let is_inner = chars.get(i + 2) == Some(&'!');
-                    let is_outer =
-                        chars.get(i + 2) == Some(&'*') && chars.get(i + 3) != Some(&'*');
+                    let is_outer = chars.get(i + 2) == Some(&'*') && chars.get(i + 3) != Some(&'*');
                     i += 2;
                     let mut depth = 1;
                     while i < chars.len() && depth > 0 {
@@ -139,9 +137,10 @@ pub fn lex(source: &str) -> Lexed {
                 j += 1;
                 prefix_ok = true;
             } else if c == 'b' && chars.get(j + 1) == Some(&'"') {
-                // b"…" is an ordinary (escaped) byte string.
+                // b"…" is an ordinary (escaped) byte string; skip past the
+                // opening quote before scanning for the closing one.
                 let start_line = line;
-                i = j + 1;
+                i = j + 2;
                 i = skip_quoted(&chars, i, &mut line);
                 out.tokens.push(tok(TokKind::Str, start_line));
                 continue;
@@ -384,6 +383,20 @@ mod tests {
     }
 
     #[test]
+    fn byte_strings_consume_their_whole_body() {
+        // A `b"…"` literal must be one Str token: an early return at the
+        // opening quote would spill the body into the token stream (and any
+        // brace inside it would desync the cfg(test) region tracker).
+        let src = r#"let a = b"GET / {oops} \r\n.unwrap()"; done"#;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"oops".to_string()));
+        assert!(ids.contains(&"done".to_string()));
+        let toks = lex(src).tokens;
+        assert!(!toks.iter().any(|t| t.kind == TokKind::Punct('{')));
+    }
+
+    #[test]
     fn float_literals_detected() {
         let toks = lex("let x = 1.5 + 2 + 3e4 + 5f64 + 6u32 + 0x1E;").tokens;
         let floats: Vec<&str> = toks
@@ -397,10 +410,7 @@ mod tests {
     #[test]
     fn lifetimes_are_not_char_literals() {
         let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }").tokens;
-        let lifetimes = toks
-            .iter()
-            .filter(|t| t.kind == TokKind::Lifetime)
-            .count();
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
         let chars = toks.iter().filter(|t| t.kind == TokKind::Str).count();
         assert_eq!(lifetimes, 2);
         assert_eq!(chars, 1);

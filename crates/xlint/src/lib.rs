@@ -165,9 +165,13 @@ pub fn lint_files(root: &Path, files: &[PathBuf]) -> Result<LintReport, XlintErr
             rel.starts_with("crates/relstore/src/") || rel.starts_with("crates/rdf/src/");
         let lexed = lexer::lex(&source);
         let facts = per_crate.entry(crate_key).or_default();
-        report
-            .violations
-            .extend(rules::lint_tokens(&rel, &lexed, is_lib_root, encoding_path, facts));
+        report.violations.extend(rules::lint_tokens(
+            &rel,
+            &lexed,
+            is_lib_root,
+            encoding_path,
+            facts,
+        ));
         report.files_scanned += 1;
     }
 

@@ -192,9 +192,8 @@ pub fn lint_tokens(
             .get(i)
             .is_some_and(|t| t.kind == TokKind::Ident && t.text == s)
     };
-    let punct = |i: usize, c: char| -> bool {
-        tokens.get(i).is_some_and(|t| t.kind == TokKind::Punct(c))
-    };
+    let punct =
+        |i: usize, c: char| -> bool { tokens.get(i).is_some_and(|t| t.kind == TokKind::Punct(c)) };
     let is_float = |i: usize| -> bool {
         tokens
             .get(i)
@@ -216,10 +215,12 @@ pub fn lint_tokens(
         // -- no-unwrap ----------------------------------------------------
         if tokens[i].kind == TokKind::Ident {
             let name = tokens[i].text.as_str();
-            let panic_like = (name == "panic" || name == "todo" || name == "unimplemented")
-                && punct(i + 1, '!');
-            let method_like =
-                (name == "unwrap" || name == "expect") && punct(i + 1, '(') && i > 0 && punct(i - 1, '.');
+            let panic_like =
+                (name == "panic" || name == "todo" || name == "unimplemented") && punct(i + 1, '!');
+            let method_like = (name == "unwrap" || name == "expect")
+                && punct(i + 1, '(')
+                && i > 0
+                && punct(i - 1, '.');
             if (panic_like || method_like) && !allowed(lexed, line, Rule::NoUnwrap) {
                 let what = if panic_like {
                     format!("`{name}!` in library code")
@@ -257,17 +258,18 @@ pub fn lint_tokens(
                 });
             }
         }
-        if punct(i, '!') && punct(i + 1, '=') && !punct(i + 2, '=') {
-            if ((i > 0 && is_float(i - 1)) || is_float(i + 2))
-                && !allowed(lexed, line, Rule::FloatEq)
-            {
-                out.push(Violation {
-                    file: file.to_string(),
-                    line,
-                    rule: Rule::FloatEq,
-                    message: "float compared with `!=`; use an epsilon comparison".to_string(),
-                });
-            }
+        if punct(i, '!')
+            && punct(i + 1, '=')
+            && !punct(i + 2, '=')
+            && ((i > 0 && is_float(i - 1)) || is_float(i + 2))
+            && !allowed(lexed, line, Rule::FloatEq)
+        {
+            out.push(Violation {
+                file: file.to_string(),
+                line,
+                rule: Rule::FloatEq,
+                message: "float compared with `!=`; use an epsilon comparison".to_string(),
+            });
         }
 
         // -- as-truncation ------------------------------------------------

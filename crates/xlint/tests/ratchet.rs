@@ -89,9 +89,8 @@ fn grandfathered_debt_passes_but_growth_fails() {
     assert!(baseline::check(&before.violations, &committed).passed());
 
     // Same debt: still passes. One more unwrap: fails.
-    let grown = format!(
-        "{dirty}\n/// Two.\npub fn two(s: &str) -> u64 {{\n    s.parse().unwrap()\n}}\n"
-    );
+    let grown =
+        format!("{dirty}\n/// Two.\npub fn two(s: &str) -> u64 {{\n    s.parse().unwrap()\n}}\n");
     ws.write("crates/demo/src/lib.rs", &grown);
     let (_, after) = lint_workspace(&ws.root).unwrap();
     assert!(!baseline::check(&after.violations, &committed).passed());

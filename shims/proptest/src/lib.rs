@@ -566,7 +566,9 @@ macro_rules! prop_oneof {
 /// The glob-import surface tests use (`use proptest::prelude::*`).
 pub mod prelude {
     pub use crate::{any, Any, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, Union};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     /// Namespaced modules (`prop::collection`, `prop::sample`).
     pub mod prop {

@@ -452,7 +452,11 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
 
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn to_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
     }
 }
 
@@ -504,10 +508,7 @@ mod tests {
     fn primitive_roundtrips() {
         assert_eq!(u32::from_value(&42u32.to_value()), Ok(42));
         assert_eq!(String::from_value(&"hi".to_value()), Ok("hi".to_owned()));
-        assert_eq!(
-            Option::<i64>::from_value(&Value::Null),
-            Ok(None::<i64>)
-        );
+        assert_eq!(Option::<i64>::from_value(&Value::Null), Ok(None::<i64>));
         let tup = (1i64, "x".to_owned());
         assert_eq!(<(i64, String)>::from_value(&tup.to_value()), Ok(tup));
         let v: Vec<(String, String)> = vec![("a".into(), "b".into())];

@@ -88,7 +88,9 @@ fn expand(input: TokenStream, which: Which) -> TokenStream {
         match tokens.get(i) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
             Some(_) => continue,
-            None => panic!("serde_derive shim: `{name}` has no braced body (tuple/unit types unsupported)"),
+            None => panic!(
+                "serde_derive shim: `{name}` has no braced body (tuple/unit types unsupported)"
+            ),
         }
     };
 
@@ -295,7 +297,10 @@ fn struct_deserialize(name: &str, fields: &[Field]) -> String {
         } else if f.has_default || f.ty.starts_with("Option") {
             "::std::default::Default::default()".to_string()
         } else {
-            format!("return Err(::serde::DeError::missing_field(\"{}\"))", f.name)
+            format!(
+                "return Err(::serde::DeError::missing_field(\"{}\"))",
+                f.name
+            )
         };
         lets.push_str(&format!(
             "let field_{n}: {ty} = match v.get(\"{n}\") {{\n\

@@ -54,10 +54,7 @@ pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
     let v = p.parse_value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(Error::new(format!(
-            "trailing characters at byte {}",
-            p.pos
-        )));
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
     }
     Ok(T::from_value(&v)?)
 }
@@ -167,10 +164,7 @@ impl Parser<'_> {
                             out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         }
                         other => {
-                            return Err(Error::new(format!(
-                                "invalid escape `\\{}`",
-                                other as char
-                            )))
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
                         }
                     }
                 }
@@ -226,7 +220,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Value::Array(items));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `]` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -255,7 +254,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Value::Object(entries));
                 }
-                _ => return Err(Error::new(format!("expected `,` or `}}` at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -308,7 +312,10 @@ mod tests {
         assert_eq!(v["rows"][0][0], "a");
         assert_eq!(v["tags"][0], "wind");
         assert_eq!(v["n"], 3);
-        assert_eq!(v.to_string(), r#"{"rows":[["a"]],"tags":["wind"],"n":3,"ok":true}"#);
+        assert_eq!(
+            v.to_string(),
+            r#"{"rows":[["a"]],"tags":["wind"],"n":3,"ok":true}"#
+        );
     }
 
     #[test]

@@ -71,7 +71,7 @@ fn print_usage() {
          pagerank  --snapshot FILE [--top N]                  print page authorities\n  \
          tagcloud  --snapshot FILE [--svg FILE]               print/render the tag cloud\n  \
          serve     --snapshot FILE [--addr HOST:PORT]         start the demo web app\n  \
-         fsck      --snapshot FILE                            check deep structural invariants\n  \
+         fsck      --snapshot FILE                            verify WAL checksums + structural invariants\n  \
          fig3      [--size N] [--tol T]                       reproduce the Fig. 3 solver table"
     );
 }
@@ -155,13 +155,22 @@ fn generate(opts: &Opts) -> CliResult {
 
 fn load(opts: &Opts) -> CliResult {
     let path = opts.snapshot()?.to_owned();
-    let mut smr = if Path::new(&path).exists() {
-        Smr::load(Path::new(&path))?
-    } else {
-        Smr::new()
-    };
     if opts.positional.is_empty() {
         return Err("no input files given".into());
+    }
+    // Durable open: creates a fresh store when the snapshot is absent,
+    // otherwise recovers any committed work left in the write-ahead log.
+    let (mut smr, report) = Smr::open_durable(Path::new(&path))?;
+    if report.replayed_ops > 0 || !report.wal_problems.is_empty() {
+        println!(
+            "recovered {} op(s) from the write-ahead log ({} skipped, {} problem(s))",
+            report.replayed_ops,
+            report.skipped_ops,
+            report.wal_problems.len()
+        );
+        for p in report.wal_problems.iter().take(5) {
+            eprintln!("  wal: {p}");
+        }
     }
     for input in &opts.positional {
         let text = std::fs::read_to_string(input)?;
@@ -181,8 +190,12 @@ fn load(opts: &Opts) -> CliResult {
             eprintln!("  {what}: {why}");
         }
     }
-    smr.save(Path::new(&path))?;
-    println!("saved snapshot to {path} ({} pages)", smr.page_count());
+    // Fold the log into a fresh snapshot so the next open starts clean.
+    smr.checkpoint()?;
+    println!(
+        "checkpointed snapshot to {path} ({} pages)",
+        smr.page_count()
+    );
     Ok(())
 }
 
@@ -307,11 +320,42 @@ fn serve(opts: &Opts) -> CliResult {
     }
 }
 
-/// Runs every deep structural validator over a snapshot: the relational
-/// mirror (heaps, slotted pages, B-tree indexes), the RDF triple store, the
-/// hyperlink CSR graphs, and the tag-similarity graph. Exits nonzero if any
-/// invariant is violated.
+/// Scans the write-ahead log that rides alongside `snapshot` (if any) and
+/// verifies every frame's length and CRC32. The bytes are read raw off disk
+/// *before* the snapshot is opened, so the verdict reflects exactly what a
+/// recovery would see — a durable open would checkpoint the log away.
+fn wal_fsck(snapshot: &Path) -> Result<(), Vec<String>> {
+    let wal_path = sensormeta::relstore::wal_path_for(snapshot);
+    if !wal_path.exists() {
+        println!("fsck: write-ahead log: absent (nothing to verify)");
+        return Ok(());
+    }
+    let bytes = match std::fs::read(&wal_path) {
+        Ok(b) => b,
+        Err(e) => return Err(vec![format!("unreadable: {e}")]),
+    };
+    let scan = sensormeta::relstore::scan_wal(&bytes);
+    println!(
+        "fsck: write-ahead log: {} frame(s), {} committed transaction(s), \
+         {} uncommitted, {} byte(s) discarded",
+        scan.frames,
+        scan.committed.len(),
+        scan.uncommitted_txs,
+        scan.discarded_bytes
+    );
+    if scan.problems.is_empty() {
+        Ok(())
+    } else {
+        Err(scan.problems)
+    }
+}
+
+/// Runs every deep structural validator over a snapshot: the write-ahead
+/// log (frame lengths and checksums), the relational mirror (heaps, slotted
+/// pages, B-tree indexes), the RDF triple store, the hyperlink CSR graphs,
+/// and the tag-similarity graph. Exits nonzero if any invariant is violated.
 fn fsck(opts: &Opts) -> CliResult {
+    let wal_outcome = wal_fsck(Path::new(opts.snapshot()?));
     let smr = open_smr(opts)?;
     let mut failures = 0usize;
     let mut section = |name: &str, outcome: Result<(), Vec<String>>| match outcome {
@@ -324,6 +368,7 @@ fn fsck(opts: &Opts) -> CliResult {
         }
     };
 
+    section("write-ahead log", wal_outcome);
     section("relational store", smr.database().check_invariants());
     section("rdf triple store", smr.rdf().check_invariants());
 
@@ -342,7 +387,6 @@ fn fsck(opts: &Opts) -> CliResult {
         sensormeta::tagging::check_similarity_graph(&sets, threshold, &graph),
     );
 
-    drop(section);
     if failures == 0 {
         println!("fsck: all invariants hold");
         Ok(())
