@@ -1,4 +1,9 @@
-//! Shared helpers for the benchmark harness.
+//! Shared helpers for the benchmark harness, plus the seeded end-to-end
+//! suite behind `sensormeta bench` (see [`suite`]).
+
+pub mod suite;
+
+pub use suite::{run_suite, BenchConfig, BenchReport};
 
 use sensormeta_rank::{PageRankProblem, TransitionMatrix};
 use sensormeta_workload::barabasi_albert;

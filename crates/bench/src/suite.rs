@@ -1,0 +1,261 @@
+//! Seeded end-to-end benchmark suite behind `sensormeta bench`.
+//!
+//! Each workload is deterministic from the seed, times its iterations into
+//! an obs histogram, and reports tail quantiles (p50/p95/p99 straight from
+//! the log-linear buckets) as machine-readable JSON — one `BENCH_*.json`
+//! per workload, diffable across commits.
+
+use crate::{fig3_problem, FIG3_TOL};
+use sensormeta_obs as obs;
+use sensormeta_query::{CondOp, Condition, QueryEngine, SearchForm};
+use sensormeta_rank::{GaussSeidel, Solver};
+use sensormeta_smr::{PageDraft, Smr};
+use sensormeta_tagging::{compute_cloud, CloudParams, TagStore};
+use sensormeta_workload::{generate_corpus, query_workload, CorpusConfig};
+use std::time::Instant;
+
+/// Knobs for one suite run.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Corpus scale (institutions in the generated repository).
+    pub scale: usize,
+    /// Timed iterations per workload.
+    pub iterations: usize,
+    /// RNG seed for corpus and query generation.
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            scale: 4,
+            iterations: 40,
+            seed: 2011,
+        }
+    }
+}
+
+/// Summary of one workload: tail quantiles in microseconds plus
+/// workload-specific extras (e.g. the observability overhead percentage).
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Workload name (also the `BENCH_<name>.json` file stem).
+    pub name: &'static str,
+    /// Number of timed iterations.
+    pub iterations: u64,
+    /// Median latency (µs).
+    pub p50_us: u64,
+    /// 95th percentile latency (µs).
+    pub p95_us: u64,
+    /// 99th percentile latency (µs).
+    pub p99_us: u64,
+    /// Worst iteration (µs).
+    pub max_us: u64,
+    /// Mean latency (µs).
+    pub mean_us: f64,
+    /// Extra (key, value) measurements specific to the workload.
+    pub extra: Vec<(&'static str, f64)>,
+}
+
+impl BenchReport {
+    fn from_histogram(name: &'static str, h: &obs::Histogram) -> BenchReport {
+        let s = h.snapshot();
+        BenchReport {
+            name,
+            iterations: s.count,
+            p50_us: s.p50,
+            p95_us: s.p95,
+            p99_us: s.p99,
+            max_us: s.max,
+            mean_us: if s.count == 0 {
+                0.0
+            } else {
+                s.sum as f64 / s.count as f64
+            },
+            extra: Vec::new(),
+        }
+    }
+
+    /// Machine-readable rendering, one object per file.
+    pub fn to_json(&self) -> String {
+        use serde_json::Value;
+        let mut entries: Vec<(String, Value)> = vec![
+            ("name".into(), Value::String(self.name.into())),
+            ("iterations".into(), Value::Int(self.iterations as i64)),
+            ("p50_us".into(), Value::Int(self.p50_us as i64)),
+            ("p95_us".into(), Value::Int(self.p95_us as i64)),
+            ("p99_us".into(), Value::Int(self.p99_us as i64)),
+            ("max_us".into(), Value::Int(self.max_us as i64)),
+            ("mean_us".into(), Value::Float(self.mean_us)),
+        ];
+        for (k, v) in &self.extra {
+            entries.push(((*k).into(), Value::Float(*v)));
+        }
+        Value::Object(entries).to_string()
+    }
+}
+
+/// Runs every workload and returns their reports, in a fixed order.
+pub fn run_suite(cfg: &BenchConfig) -> Vec<BenchReport> {
+    vec![
+        bench_search(cfg),
+        bench_pagerank(cfg),
+        bench_tagcloud(cfg),
+        bench_combined_query(cfg),
+        bench_obs_overhead(cfg),
+    ]
+}
+
+/// The seeded repository + query engine every end-to-end workload shares.
+fn seeded_engine(cfg: &BenchConfig) -> QueryEngine {
+    let pages = generate_corpus(&CorpusConfig {
+        institutions: cfg.scale,
+        seed: cfg.seed,
+        ..CorpusConfig::default()
+    });
+    let mut smr = Smr::new();
+    let report = smr.bulk_load(pages.into_iter().map(|p| {
+        let mut d = PageDraft::new(p.title, p.namespace).body(p.body);
+        d.annotations = p.annotations;
+        d.links = p.links;
+        d.tags = p.tags;
+        d
+    }));
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    QueryEngine::open(smr).expect("engine build") // xlint: allow(no-unwrap)
+}
+
+/// Keyword search over the seeded corpus (the demo's hot path).
+fn bench_search(cfg: &BenchConfig) -> BenchReport {
+    let engine = seeded_engine(cfg);
+    let queries = query_workload(cfg.iterations, cfg.seed);
+    let h = obs::histogram("bench_search_us");
+    for q in &queries {
+        let form = SearchForm::keywords(q.clone());
+        let t = Instant::now();
+        let _ = engine.search(&form, None);
+        h.record_duration(t.elapsed());
+    }
+    BenchReport::from_histogram("search", &h)
+}
+
+/// Gauss–Seidel PageRank solve on the Fig. 3 web graph.
+fn bench_pagerank(cfg: &BenchConfig) -> BenchReport {
+    let problem = fig3_problem(1_000 * cfg.scale.max(1));
+    let h = obs::histogram("bench_pagerank_us");
+    let iters = cfg.iterations.clamp(1, 10);
+    let mut converged = 0u64;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let r = GaussSeidel.solve(&problem, FIG3_TOL, 1_000);
+        h.record_duration(t.elapsed());
+        converged += u64::from(r.converged);
+    }
+    let mut report = BenchReport::from_histogram("pagerank", &h);
+    report
+        .extra
+        .push(("converged_runs", converged as f64));
+    report
+}
+
+/// Tag-cloud build: similarity graph + Bron–Kerbosch + font scaling.
+fn bench_tagcloud(cfg: &BenchConfig) -> BenchReport {
+    let engine = seeded_engine(cfg);
+    let mut store = TagStore::new();
+    let pairs = engine.smr().all_tags().expect("tags"); // xlint: allow(no-unwrap)
+    store.ingest(pairs.iter().map(|(p, t)| (p.as_str(), t.as_str())));
+    let h = obs::histogram("bench_tagcloud_us");
+    for _ in 0..cfg.iterations {
+        let t = Instant::now();
+        let cloud = compute_cloud(&store, &CloudParams::default());
+        h.record_duration(t.elapsed());
+        std::hint::black_box(cloud.entries.len());
+    }
+    BenchReport::from_histogram("tagcloud", &h)
+}
+
+/// The paper's SQL + SPARQL combination: keywords plus an exact (SPARQL)
+/// and a substring (SQL) condition in one form.
+fn bench_combined_query(cfg: &BenchConfig) -> BenchReport {
+    let engine = seeded_engine(cfg);
+    let attrs = engine.smr().attributes().expect("attributes"); // xlint: allow(no-unwrap)
+    let attr = attrs
+        .first()
+        .map(|(a, _)| a.clone())
+        .unwrap_or_else(|| "measuresQuantity".into());
+    let values = engine.smr().attribute_values(&attr).unwrap_or_default();
+    let value = values.first().cloned().unwrap_or_default();
+    let queries = query_workload(cfg.iterations, cfg.seed + 7);
+    let h = obs::histogram("bench_combined_query_us");
+    for q in &queries {
+        let mut form = SearchForm::keywords(q.clone());
+        form.conditions
+            .push(Condition::new(&attr, CondOp::Eq, &value));
+        form.conditions
+            .push(Condition::new(&attr, CondOp::Contains, &value));
+        form.soft_conditions = true;
+        let t = Instant::now();
+        let _ = engine.search(&form, None);
+        h.record_duration(t.elapsed());
+    }
+    BenchReport::from_histogram("combined_query", &h)
+}
+
+/// Instrumented search hot path with the global registry enabled vs
+/// disabled (no-op mode). The acceptance budget for instrumentation
+/// overhead is 5% on this path.
+fn bench_obs_overhead(cfg: &BenchConfig) -> BenchReport {
+    let engine = seeded_engine(cfg);
+    let queries = query_workload(cfg.iterations.max(20), cfg.seed + 13);
+    // Recording goes to a private registry so it survives the global
+    // registry being switched off mid-measurement.
+    let reg = obs::Registry::new();
+    let h_on = reg.histogram("on_us");
+    let h_off = reg.histogram("off_us");
+    let run = |h: &obs::Histogram| {
+        for q in &queries {
+            let form = SearchForm::keywords(q.clone());
+            let t = Instant::now();
+            let _ = engine.search(&form, None);
+            h.record_duration(t.elapsed());
+        }
+    };
+    run(&reg.histogram("warmup_us"));
+    run(&h_on);
+    obs::global().set_enabled(false);
+    run(&h_off);
+    obs::global().set_enabled(true);
+    let mut report = BenchReport::from_histogram("obs_overhead", &h_on);
+    let on_sum = h_on.sum() as f64;
+    let off_sum = h_off.sum().max(1) as f64;
+    report.extra.push(("disabled_p50_us", h_off.quantile(0.5) as f64));
+    report.extra.push(("disabled_mean_us", off_sum / h_off.count().max(1) as f64));
+    report
+        .extra
+        .push(("overhead_pct", (on_sum - off_sum) / off_sum * 100.0));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_suite_runs_and_serializes() {
+        let cfg = BenchConfig {
+            scale: 1,
+            iterations: 3,
+            seed: 42,
+        };
+        let reports = run_suite(&cfg);
+        assert_eq!(reports.len(), 5);
+        for r in &reports {
+            assert!(r.iterations > 0, "{} ran", r.name);
+            let json = r.to_json();
+            let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+            assert_eq!(parsed["name"], r.name);
+            assert_eq!(parsed["p50_us"], r.p50_us as i64);
+        }
+        assert!(obs::global().is_enabled(), "overhead bench re-enables obs");
+    }
+}

@@ -1,0 +1,146 @@
+//! The metric registry: named handles, registration, and reset.
+
+use crate::metrics::{Counter, Gauge, HistCore, Histogram};
+use crate::sanitize_name;
+use crate::span::Span;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared metric tables. `BTreeMap` keeps exposition naturally sorted.
+#[derive(Debug, Default)]
+pub(crate) struct Tables {
+    pub(crate) counters: BTreeMap<String, Arc<AtomicU64>>,
+    pub(crate) gauges: BTreeMap<String, Arc<AtomicU64>>,
+    pub(crate) hists: BTreeMap<String, Arc<HistCore>>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    enabled: Arc<AtomicBool>,
+    tables: RwLock<Tables>,
+}
+
+/// A registry of named metrics. Cloning is cheap (`Arc`); all clones share
+/// the same metrics. Lookups by name take a read lock (write lock on first
+/// registration only); the returned handles record lock-free.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// Creates an empty, enabled registry.
+    pub fn new() -> Registry {
+        Registry {
+            inner: Arc::new(Inner {
+                enabled: Arc::new(AtomicBool::new(true)),
+                tables: RwLock::new(Tables::default()),
+            }),
+        }
+    }
+
+    /// Enables or disables recording. Disabled handles (including ones
+    /// handed out earlier) short-circuit with one relaxed load — the no-op
+    /// mode used to measure instrumentation overhead.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Counter handle for `name` (registered on first use).
+    pub fn counter(&self, name: &str) -> Counter {
+        let key = sanitize_name(name);
+        if let Some(cell) = self.inner.tables.read().counters.get(&key) {
+            return Counter {
+                enabled: Arc::clone(&self.inner.enabled),
+                cell: Arc::clone(cell),
+            };
+        }
+        let mut tables = self.inner.tables.write();
+        let cell = Arc::clone(
+            tables
+                .counters
+                .entry(key)
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        );
+        Counter {
+            enabled: Arc::clone(&self.inner.enabled),
+            cell,
+        }
+    }
+
+    /// Gauge handle for `name` (registered on first use).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let key = sanitize_name(name);
+        if let Some(cell) = self.inner.tables.read().gauges.get(&key) {
+            return Gauge {
+                enabled: Arc::clone(&self.inner.enabled),
+                cell: Arc::clone(cell),
+            };
+        }
+        let mut tables = self.inner.tables.write();
+        let cell = Arc::clone(
+            tables
+                .gauges
+                .entry(key)
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        );
+        Gauge {
+            enabled: Arc::clone(&self.inner.enabled),
+            cell,
+        }
+    }
+
+    /// Histogram handle for `name` (registered on first use).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let key = sanitize_name(name);
+        if let Some(core) = self.inner.tables.read().hists.get(&key) {
+            return Histogram {
+                enabled: Arc::clone(&self.inner.enabled),
+                core: Arc::clone(core),
+            };
+        }
+        let mut tables = self.inner.tables.write();
+        let core = tables
+            .hists
+            .entry(key)
+            .or_insert_with(|| Arc::new(HistCore::new()));
+        Histogram {
+            enabled: Arc::clone(&self.inner.enabled),
+            core: Arc::clone(core),
+        }
+    }
+
+    /// Enters a span named `name`. On drop the guard records the inclusive
+    /// duration into `<name>_us` and the exclusive duration (inclusive
+    /// minus time spent in child spans on the same thread) into
+    /// `<name>_excl_us`, both in microseconds.
+    pub fn span(&self, name: &'static str) -> Span {
+        Span::enter(self, name)
+    }
+
+    /// Removes every metric and its accumulated values (test/bench
+    /// isolation). Handles handed out earlier keep recording into detached
+    /// cells that no longer appear in exposition.
+    pub fn reset(&self) {
+        let mut tables = self.inner.tables.write();
+        *tables = Tables::default();
+    }
+
+    /// Runs `f` over the sorted tables (exposition entry point).
+    pub(crate) fn with_tables<R>(&self, f: impl FnOnce(&Tables) -> R) -> R {
+        f(&self.inner.tables.read())
+    }
+}

@@ -1,0 +1,182 @@
+//! Lightweight timing spans with exclusive/inclusive accounting.
+//!
+//! A [`Span`] measures the wall time between `enter` and drop and records it
+//! into two histograms: `<name>_us` (inclusive — the whole interval) and
+//! `<name>_excl_us` (exclusive — the interval minus time spent inside child
+//! spans entered on the same thread while this one was open). The parentage
+//! is tracked with a thread-local stack of child-time accumulators, so
+//! nesting costs one `Vec` push/pop and no allocation after warm-up.
+
+use crate::registry::Registry;
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// One accumulator per open span on this thread: nanoseconds consumed
+    /// by already-closed child spans.
+    static CHILD_NANOS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open span; records on drop. Obtain via [`Registry::span`] or
+/// [`crate::span`].
+#[derive(Debug)]
+pub struct Span {
+    /// `None` when the registry was disabled at entry — the drop is a no-op
+    /// and nothing was pushed on the thread-local stack.
+    registry: Option<Registry>,
+    name: &'static str,
+    start: Instant,
+}
+
+impl Span {
+    pub(crate) fn enter(registry: &Registry, name: &'static str) -> Span {
+        if !registry.is_enabled() {
+            return Span {
+                registry: None,
+                name,
+                start: Instant::now(),
+            };
+        }
+        CHILD_NANOS.with(|s| s.borrow_mut().push(0));
+        Span {
+            registry: Some(registry.clone()),
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(registry) = self.registry.take() else {
+            return;
+        };
+        let nanos = self.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let child_nanos = CHILD_NANOS.with(|s| {
+            let mut stack = s.borrow_mut();
+            let mine = stack.pop().unwrap_or(0);
+            // Credit the whole inclusive interval to the parent, if any.
+            if let Some(parent) = stack.last_mut() {
+                *parent += nanos;
+            }
+            mine
+        });
+        let incl_us = nanos / 1_000;
+        let excl_us = nanos.saturating_sub(child_nanos) / 1_000;
+        registry
+            .histogram(&format!("{}_us", self.name))
+            .record(incl_us);
+        registry
+            .histogram(&format!("{}_excl_us", self.name))
+            .record(excl_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn spin(d: Duration) {
+        let t0 = Instant::now();
+        while t0.elapsed() < d {
+            std::hint::spin_loop();
+        }
+    }
+
+    #[test]
+    fn span_records_inclusive_and_exclusive() {
+        let reg = Registry::new();
+        {
+            let _outer = reg.span("outer");
+            spin(Duration::from_millis(8));
+            {
+                let _inner = reg.span("inner");
+                spin(Duration::from_millis(8));
+            }
+        }
+        let outer = reg.histogram("outer_us").snapshot();
+        let outer_excl = reg.histogram("outer_excl_us").snapshot();
+        let inner = reg.histogram("inner_us").snapshot();
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        // Inclusive outer covers both phases; exclusive outer only its own.
+        assert!(outer.sum >= 15_000, "outer inclusive {}us", outer.sum);
+        assert!(inner.sum >= 7_000, "inner {}us", inner.sum);
+        assert!(
+            outer_excl.sum < outer.sum,
+            "exclusive {} must be below inclusive {}",
+            outer_excl.sum,
+            outer.sum
+        );
+        // Exclusive ≈ inclusive − child inclusive (within scheduling slack).
+        let expected = outer.sum - inner.sum;
+        let diff = outer_excl.sum.abs_diff(expected);
+        assert!(
+            diff <= 2_000,
+            "exclusive {} vs expected {} (diff {}us)",
+            outer_excl.sum,
+            expected,
+            diff
+        );
+    }
+
+    #[test]
+    fn sibling_spans_both_credit_parent() {
+        let reg = Registry::new();
+        {
+            let _outer = reg.span("p");
+            {
+                let _a = reg.span("a");
+                spin(Duration::from_millis(5));
+            }
+            {
+                let _b = reg.span("b");
+                spin(Duration::from_millis(5));
+            }
+        }
+        let p_excl = reg.histogram("p_excl_us").snapshot();
+        let p = reg.histogram("p_us").snapshot();
+        assert!(p.sum >= 9_000);
+        assert!(
+            p_excl.sum + 8_000 < p.sum,
+            "both children subtracted: excl {} incl {}",
+            p_excl.sum,
+            p.sum
+        );
+    }
+
+    #[test]
+    fn disabled_registry_spans_are_noops() {
+        let reg = Registry::new();
+        reg.set_enabled(false);
+        {
+            let _s = reg.span("quiet");
+        }
+        reg.set_enabled(true);
+        assert_eq!(reg.histogram("quiet_us").count(), 0);
+    }
+
+    #[test]
+    fn unbalanced_enable_toggle_keeps_stack_consistent() {
+        // Disabling mid-span must not corrupt the thread-local stack: the
+        // span captured its decision at entry.
+        let reg = Registry::new();
+        {
+            let _outer = reg.span("t_outer");
+            reg.set_enabled(false);
+            {
+                let _inner = reg.span("t_inner"); // no-op, no push
+            }
+            reg.set_enabled(true);
+        }
+        assert_eq!(reg.histogram("t_outer_us").count(), 1);
+        assert_eq!(reg.histogram("t_inner_us").count(), 0);
+        CHILD_NANOS.with(|s| assert!(s.borrow().is_empty()));
+    }
+}

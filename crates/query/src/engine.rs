@@ -11,6 +11,7 @@ use crate::acl::Acl;
 use crate::error::{QueryError, Result};
 use crate::form::{CondOp, Condition, SearchForm, SortBy};
 use crate::result::{FacetCount, QueryOutput, RecommendedPage, ResultItem};
+use sensormeta_obs as obs;
 use sensormeta_rank::{GaussSeidel, PageRankProblem, Recommender, Solver, TransitionMatrix};
 use sensormeta_search::{Autocomplete, SearchIndex, SpellSuggester};
 use sensormeta_smr::{sql_escape, Smr};
@@ -87,6 +88,8 @@ impl QueryEngine {
     /// Call after bulk loads; PageRank "scores need to be updated regularly
     /// as new metadata pages are continuously created".
     pub fn rebuild(&mut self) -> Result<()> {
+        let _timing = obs::span("query_rebuild");
+        obs::counter("query_rebuilds_total").inc();
         let (semantic, hyperlink, titles) = self.smr.link_graphs()?;
         self.titles = titles;
         self.title_ids = self
@@ -109,6 +112,7 @@ impl QueryEngine {
         };
 
         // Full-text index + autocomplete + recommender incidence.
+        let _index_timing = obs::span("search_index_build");
         self.index = SearchIndex::new();
         self.autocomplete = Autocomplete::new();
         let mut prop_ids: HashMap<String, u32> = HashMap::new();
@@ -201,6 +205,8 @@ impl QueryEngine {
 
     /// Executes an advanced-search form for a user.
     pub fn search(&self, form: &SearchForm, user: Option<&str>) -> Result<QueryOutput> {
+        let _timing = obs::span("query_search");
+        obs::counter("query_searches_total").inc();
         if form.is_empty() {
             return Err(QueryError::EmptyForm);
         }
@@ -208,6 +214,7 @@ impl QueryEngine {
         let keyword_scores: Option<HashMap<usize, f64>> = if form.keywords.trim().is_empty() {
             None
         } else {
+            let _ft = obs::span("query_fulltext");
             let hits = if form.match_all {
                 self.index.search_all_terms(&form.keywords, usize::MAX)
             } else {
@@ -230,6 +237,7 @@ impl QueryEngine {
         }
 
         // 3. Assemble the candidate set.
+        let _combine = obs::span("query_combine");
         let candidates: Vec<usize> = match &keyword_scores {
             Some(scores) => scores.keys().copied().collect(),
             None => (0..self.titles.len()).collect(),
@@ -378,6 +386,8 @@ impl QueryEngine {
     fn eval_condition(&self, cond: &Condition) -> Result<HashSet<usize>> {
         let titles: Vec<String> = if cond.op == CondOp::Eq {
             // SPARQL path: exact literal match on the mirrored property.
+            let _sparql = obs::span("query_sparql");
+            obs::counter("query_sparql_conditions_total").inc();
             let q = format!(
                 "PREFIX prop: <http://swiss-experiment.ch/property/> \
                  SELECT ?t WHERE {{ ?page prop:{} \"{}\" . ?page prop:title ?t }}",
@@ -412,6 +422,8 @@ impl QueryEngine {
     /// SQL fallback: fetch all values of the attribute and filter in Rust
     /// (numeric ops can't be pushed into our SQL subset portably).
     fn sql_condition(&self, cond: &Condition) -> Result<Vec<String>> {
+        let _sql = obs::span("query_sql");
+        obs::counter("query_sql_conditions_total").inc();
         let rs = self.smr.sql(&format!(
             "SELECT p.title, a.value FROM annotations a JOIN pages p ON a.page_id = p.id \
              WHERE a.attribute = '{}'",

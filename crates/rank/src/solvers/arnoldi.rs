@@ -98,7 +98,7 @@ impl Solver for Arnoldi {
             }
         }
         let iterations = matvecs;
-        SolveResult::finish(x, iterations, matvecs, residuals, converged)
+        SolveResult::finish(self.name(), x, iterations, matvecs, residuals, converged)
     }
 }
 

@@ -94,6 +94,6 @@ impl Solver for BiCgStab {
                 p.iter_mut().for_each(|e| *e = 0.0);
             }
         }
-        SolveResult::finish(x, iterations, matvecs, residuals, converged)
+        SolveResult::finish(self.name(), x, iterations, matvecs, residuals, converged)
     }
 }

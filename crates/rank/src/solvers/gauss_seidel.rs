@@ -54,6 +54,6 @@ impl Solver for GaussSeidel {
                 break;
             }
         }
-        SolveResult::finish(x, iterations, iterations, residuals, converged)
+        SolveResult::finish(self.name(), x, iterations, iterations, residuals, converged)
     }
 }

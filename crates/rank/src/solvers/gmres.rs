@@ -134,6 +134,6 @@ impl Solver for Gmres {
                 break 'outer;
             }
         }
-        SolveResult::finish(x, iterations, matvecs, residuals, converged)
+        SolveResult::finish(self.name(), x, iterations, matvecs, residuals, converged)
     }
 }

@@ -57,6 +57,6 @@ impl Solver for Jacobi {
                 break;
             }
         }
-        SolveResult::finish(x, iterations, iterations, residuals, converged)
+        SolveResult::finish(self.name(), x, iterations, iterations, residuals, converged)
     }
 }

@@ -30,6 +30,7 @@ pub use power::PowerIteration;
 pub use sor::Sor;
 
 use crate::problem::PageRankProblem;
+use sensormeta_obs as obs;
 
 /// Outcome of a solver run.
 #[derive(Debug, Clone)]
@@ -48,7 +49,13 @@ pub struct SolveResult {
 }
 
 impl SolveResult {
+    /// Normalizes and packages a solver run, recording the Fig. 3
+    /// quantities into the global observability registry under the
+    /// sanitized solver name: `rank_<solver>_iterations` /
+    /// `rank_<solver>_matvecs` histograms, the final residual as a
+    /// `rank_<solver>_residual` gauge, and solve/non-convergence counters.
     pub(crate) fn finish(
+        solver: &'static str,
         mut x: Vec<f64>,
         iterations: usize,
         matvecs: usize,
@@ -60,6 +67,16 @@ impl SolveResult {
             for v in &mut x {
                 *v /= sum;
             }
+        }
+        let key = obs::sanitize_name(solver);
+        obs::counter(&format!("rank_{key}_solves_total")).inc();
+        if !converged {
+            obs::counter(&format!("rank_{key}_nonconverged_total")).inc();
+        }
+        obs::histogram(&format!("rank_{key}_iterations")).record(iterations as u64);
+        obs::histogram(&format!("rank_{key}_matvecs")).record(matvecs as u64);
+        if let Some(&last) = residuals.last() {
+            obs::gauge(&format!("rank_{key}_residual")).set(last);
         }
         SolveResult {
             x,

@@ -39,6 +39,6 @@ impl Solver for PowerIteration {
                 break;
             }
         }
-        SolveResult::finish(x, iterations, iterations, residuals, converged)
+        SolveResult::finish(self.name(), x, iterations, iterations, residuals, converged)
     }
 }

@@ -70,7 +70,7 @@ impl Solver for Sor {
                 break; // diverged (over-relaxed); report non-converged
             }
         }
-        SolveResult::finish(x, iterations, iterations, residuals, converged)
+        SolveResult::finish(self.name(), x, iterations, iterations, residuals, converged)
     }
 }
 

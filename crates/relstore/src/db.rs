@@ -23,6 +23,7 @@ use crate::table::{IndexDef, Table};
 use crate::value::{DataType, Value};
 use crate::vfs::{StdVfs, Vfs};
 use crate::wal::{LogicalOp, Wal};
+use sensormeta_obs as obs;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -131,6 +132,8 @@ impl Database {
         let Some(d) = &self.durability else {
             return Ok(());
         };
+        let _timing = obs::global().span("relstore_checkpoint");
+        obs::counter("relstore_checkpoints_total").inc();
         let seq = d.seq;
         let mut bytes = self.to_snapshot();
         append_seq_trailer(&mut bytes, seq);

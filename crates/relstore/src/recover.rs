@@ -26,6 +26,7 @@ use crate::sql::parser::parse_script;
 use crate::table::Table;
 use crate::vfs::Vfs;
 use crate::wal::{crc32, scan_wal, LogicalOp, SyncPolicy, Wal};
+use sensormeta_obs as obs;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -257,6 +258,9 @@ pub(crate) fn open_impl(
                 report.last_seq = report.last_seq.max(*seq);
             }
         }
+        obs::counter("relstore_wal_replayed_ops_total").add(report.replayed_ops);
+        obs::counter("relstore_wal_skipped_ops_total").add(report.skipped_ops);
+        obs::counter("relstore_wal_discarded_bytes_total").add(report.discarded_bytes as u64);
     }
 
     let Some(opts) = durable else {

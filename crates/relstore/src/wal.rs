@@ -25,6 +25,7 @@
 
 use crate::encoding::{encode_row, read_varint, write_varint};
 use crate::error::{RelError, Result};
+use sensormeta_obs as obs;
 use crate::schema::{Column, TableSchema};
 use crate::value::{DataType, Value};
 use crate::vfs::{Vfs, VfsFile};
@@ -323,6 +324,9 @@ impl Wal {
         self.file
             .write_all(&buf)
             .map_err(|e| io_err("append wal", e))?;
+        obs::counter("relstore_wal_commits_total").inc();
+        obs::counter("relstore_wal_ops_total").add(ops.len() as u64);
+        obs::counter("relstore_wal_appended_bytes_total").add(buf.len() as u64);
         self.appended_bytes += buf.len() as u64;
         self.unsynced_commits += 1;
         let should_sync = match self.policy {
@@ -339,6 +343,7 @@ impl Wal {
     /// Forces any buffered commits to durable storage.
     pub fn sync(&mut self) -> Result<()> {
         self.file.sync().map_err(|e| io_err("sync wal", e))?;
+        obs::counter("relstore_wal_fsyncs_total").inc();
         self.unsynced_commits = 0;
         Ok(())
     }

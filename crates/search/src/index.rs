@@ -80,6 +80,7 @@ impl SearchIndex {
     /// Adds (or replaces) a document. Replacement re-tokenizes from scratch;
     /// the old postings are removed first.
     pub fn add_document(&mut self, key: &str, text: &str) -> DocId {
+        sensormeta_obs::counter("search_docs_indexed_total").inc();
         let doc = match self.key_ids.get(key) {
             Some(&d) => {
                 self.remove_postings(d);
@@ -139,6 +140,8 @@ impl SearchIndex {
 
     /// BM25 search with explicit parameters.
     pub fn search_with(&self, query: &str, k: usize, params: Bm25Params) -> Vec<Hit> {
+        let _timing = sensormeta_obs::span("search_score");
+        sensormeta_obs::counter("search_queries_total").inc();
         let terms = tokenize(query);
         if terms.is_empty() {
             return Vec::new();

@@ -7,6 +7,7 @@
 
 use crate::http::{url_encode, Request, Response};
 use parking_lot::{Mutex, RwLock};
+use sensormeta_obs as obs;
 use sensormeta_query::{CondOp, Condition, QueryEngine, SearchForm, SortBy};
 use sensormeta_smr::{parse_csv, parse_jsonl};
 use sensormeta_tagging::{suggest_tags, CloudCache, CloudParams, TagStore};
@@ -43,8 +44,54 @@ impl App {
         }
     }
 
-    /// Routes one request to its handler.
+    /// Stable route label for metric names (`http_route_<label>_…`). Unknown
+    /// paths collapse into one label so metrics stay bounded.
+    fn route_label(req: &Request) -> &'static str {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/") => "home",
+            ("GET", "/search") => "search",
+            ("GET", "/autocomplete") => "autocomplete",
+            ("GET", "/attributes") => "attributes",
+            ("GET", "/recommend") => "recommend",
+            ("GET", "/tags") => "tags",
+            ("GET", "/tags.json") => "tags_json",
+            ("GET", "/viz/bar") => "viz_bar",
+            ("GET", "/viz/pie") => "viz_pie",
+            ("GET", "/viz/map") => "viz_map",
+            ("GET", "/viz/graph") => "viz_graph",
+            ("GET", "/viz/hypergraph") => "viz_hypergraph",
+            ("GET", "/sql") => "sql",
+            ("GET", "/sparql") => "sparql",
+            ("GET", "/export.ttl") => "export_ttl",
+            ("GET", "/suggest_tags") => "suggest_tags",
+            ("GET", "/metrics") => "metrics",
+            ("GET", "/metrics.json") => "metrics",
+            ("GET", "/healthz") => "healthz",
+            ("POST", "/bulkload") => "bulkload",
+            ("POST", "/tag") => "tag",
+            ("GET", p) if p.starts_with("/page/") => "page",
+            _ => "other",
+        }
+    }
+
+    /// Routes one request to its handler, recording per-route request
+    /// counters, status-class counters and latency histograms.
     pub fn handle(&self, req: &Request) -> Response {
+        let start = std::time::Instant::now();
+        let route = Self::route_label(req);
+        let resp = self.dispatch(req);
+        obs::counter("http_requests_total").inc();
+        obs::counter(&format!("http_route_{route}_requests_total")).inc();
+        obs::counter(&format!(
+            "http_route_{route}_status_{}xx_total",
+            resp.status / 100
+        ))
+        .inc();
+        obs::histogram(&format!("http_route_{route}_us")).record_duration(start.elapsed());
+        resp
+    }
+
+    fn dispatch(&self, req: &Request) -> Response {
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/") => self.home(),
             ("GET", "/search") => self.search(req),
@@ -62,11 +109,39 @@ impl App {
             ("GET", "/sparql") => self.sparql_console(req),
             ("GET", "/export.ttl") => self.export_turtle(),
             ("GET", "/suggest_tags") => self.suggest_tags(req),
+            ("GET", "/metrics") => Self::metrics(req, false),
+            ("GET", "/metrics.json") => Self::metrics(req, true),
+            ("GET", "/healthz") => self.healthz(),
             ("POST", "/bulkload") => self.bulkload(req),
             ("POST", "/tag") => self.add_tag(req),
             ("GET", p) if p.starts_with("/page/") => self.page(&p["/page/".len()..]),
             ("GET", _) => Response::error(404, "not found"),
             _ => Response::error(405, "method not allowed"),
+        }
+    }
+
+    /// Exposition endpoint: Prometheus text format by default, JSON via
+    /// `/metrics.json` or `?format=json`.
+    fn metrics(req: &Request, json: bool) -> Response {
+        let reg = obs::global();
+        if json || req.param_or("format", "prometheus") == "json" {
+            Response::json(reg.render_json())
+        } else {
+            Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4; charset=utf-8".into(),
+                body: reg.render_prometheus().into_bytes(),
+            }
+        }
+    }
+
+    /// Liveness probe: cheap repository touch, plain-text `ok`.
+    fn healthz(&self) -> Response {
+        let pages = self.engine.read().smr().page_count();
+        Response {
+            status: 200,
+            content_type: "text/plain; charset=utf-8".into(),
+            body: format!("ok {pages} pages\n").into_bytes(),
         }
     }
 
@@ -291,7 +366,13 @@ impl App {
     }
 
     fn bulkload(&self, req: &Request) -> Response {
-        let body = req.body_str();
+        let body = match req.body_str() {
+            Ok(b) => b.to_owned(),
+            Err(e) => {
+                obs::counter("http_body_utf8_rejected_total").inc();
+                return Response::error(400, format!("body is not valid UTF-8: {e}"));
+            }
+        };
         let content_type = req
             .headers
             .get("content-type")

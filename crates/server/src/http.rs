@@ -32,9 +32,10 @@ impl Request {
         self.param(name).unwrap_or(default)
     }
 
-    /// Body as UTF-8 (lossy).
-    pub fn body_str(&self) -> String {
-        String::from_utf8_lossy(&self.body).into_owned()
+    /// Body as UTF-8. Malformed bytes are an error — handlers answer 400
+    /// instead of silently mangling the payload with replacement characters.
+    pub fn body_str(&self) -> Result<&str, std::str::Utf8Error> {
+        std::str::from_utf8(&self.body)
     }
 }
 
@@ -344,7 +345,16 @@ mod tests {
         let raw = b"POST /bulkload HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
         let req = read_request(&mut &raw[..]).unwrap();
         assert_eq!(req.method, "POST");
-        assert_eq!(req.body_str(), "hello");
+        assert_eq!(req.body_str().unwrap(), "hello");
+    }
+
+    #[test]
+    fn invalid_utf8_body_is_an_error() {
+        let mut raw: Vec<u8> = b"POST /bulkload HTTP/1.1\r\nContent-Length: 3\r\n\r\n".to_vec();
+        raw.extend_from_slice(&[0xff, 0xfe, 0x41]);
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert!(req.body_str().is_err());
+        assert_eq!(req.body, [0xff, 0xfe, 0x41], "raw bytes still available");
     }
 
     #[test]
@@ -436,7 +446,7 @@ mod tests {
         };
         let req = read_request(&mut stream).unwrap();
         assert_eq!(req.path, "/x");
-        assert_eq!(req.body_str(), "hello");
+        assert_eq!(req.body_str().unwrap(), "hello");
     }
 
     /// A reader that simulates a stalled client: times out immediately.

@@ -9,6 +9,7 @@
 use crate::clique::BkVariant;
 use crate::cloud::{compute_cloud, CloudParams, TagCloud};
 use crate::store::TagStore;
+use sensormeta_obs as obs;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -69,14 +70,21 @@ impl CloudCache {
         let key = (store.version(), ParamKey::from(params));
         if let Some(cloud) = self.entries.get(&key) {
             self.hits += 1;
+            obs::counter("tagging_cloud_cache_hits_total").inc();
             return Arc::clone(cloud);
         }
         self.misses += 1;
+        obs::counter("tagging_cloud_cache_misses_total").inc();
         // Evict entries for the same params at older versions.
         let before = self.entries.len();
         self.entries.retain(|(v, k), _| *k != key.1 || *v == key.0);
-        self.evicted += (before - self.entries.len()) as u64;
-        let cloud = Arc::new(compute_cloud(store, params));
+        let evicted_now = (before - self.entries.len()) as u64;
+        self.evicted += evicted_now;
+        obs::counter("tagging_cloud_cache_evicted_total").add(evicted_now);
+        let cloud = {
+            let _timing = obs::global().span("tagging_cloud_compute");
+            Arc::new(compute_cloud(store, params))
+        };
         self.entries.insert(key, Arc::clone(&cloud));
         cloud
     }

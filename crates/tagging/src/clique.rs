@@ -36,6 +36,7 @@ pub struct BkStats {
 /// Enumerates all maximal cliques; returns them sorted (each clique sorted,
 /// cliques in lexicographic order) together with run statistics.
 pub fn maximal_cliques(g: &UndirectedGraph, variant: BkVariant) -> (Vec<Vec<usize>>, BkStats) {
+    let _timing = sensormeta_obs::span("tagging_clique_enumeration");
     let mut out = Vec::new();
     let mut stats = BkStats::default();
     let all: BTreeSet<usize> = (0..g.node_count()).collect();

@@ -10,6 +10,8 @@
 //! - **as-truncation** — no narrowing `as` casts in the relstore/rdf
 //!   encoding paths.
 //! - **missing-docs** — public items in crate roots carry doc comments.
+//! - **no-println-in-lib** — no `println!`/`print!`/`eprintln!`/`eprint!`/
+//!   `dbg!` in non-test library code (`main.rs` and `src/bin/` are exempt).
 //!
 //! Violations are reported rustc-style (`file:line: rule: message`).
 //! A committed `xlint-baseline.toml` grandfathers pre-existing debt; the
@@ -163,6 +165,7 @@ pub fn lint_files(root: &Path, files: &[PathBuf]) -> Result<LintReport, XlintErr
         let is_lib_root = rel.ends_with("src/lib.rs");
         let encoding_path =
             rel.starts_with("crates/relstore/src/") || rel.starts_with("crates/rdf/src/");
+        let is_bin = rel.ends_with("src/main.rs") || rel.contains("src/bin/");
         let lexed = lexer::lex(&source);
         let facts = per_crate.entry(crate_key).or_default();
         report.violations.extend(rules::lint_tokens(
@@ -170,6 +173,7 @@ pub fn lint_files(root: &Path, files: &[PathBuf]) -> Result<LintReport, XlintErr
             &lexed,
             is_lib_root,
             encoding_path,
+            is_bin,
             facts,
         ));
         report.files_scanned += 1;

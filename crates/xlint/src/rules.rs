@@ -19,6 +19,10 @@ pub enum Rule {
     ErrorImpl,
     /// Undocumented `pub` item in a crate root (`lib.rs`).
     MissingDocs,
+    /// `println!` / `print!` / `eprintln!` / `eprint!` / `dbg!` in non-test
+    /// library code (binaries and test code may print; libraries report
+    /// through return values or the obs registry).
+    NoPrintlnInLib,
 }
 
 impl Rule {
@@ -30,6 +34,7 @@ impl Rule {
             Rule::AsTruncation => "as-truncation",
             Rule::ErrorImpl => "error-impl",
             Rule::MissingDocs => "missing-docs",
+            Rule::NoPrintlnInLib => "no-println-in-lib",
         }
     }
 
@@ -41,6 +46,7 @@ impl Rule {
             "as-truncation" => Some(Rule::AsTruncation),
             "error-impl" => Some(Rule::ErrorImpl),
             "missing-docs" => Some(Rule::MissingDocs),
+            "no-println-in-lib" => Some(Rule::NoPrintlnInLib),
             _ => None,
         }
     }
@@ -175,12 +181,14 @@ fn allowed(lexed: &Lexed, line: u32, rule: Rule) -> bool {
 }
 
 /// Runs the per-file token rules. `is_lib_root` enables [`Rule::MissingDocs`];
-/// `encoding_path` enables [`Rule::AsTruncation`].
+/// `encoding_path` enables [`Rule::AsTruncation`]; `is_bin` (a `main.rs` or
+/// `src/bin/` file) exempts [`Rule::NoPrintlnInLib`].
 pub fn lint_tokens(
     file: &str,
     lexed: &Lexed,
     is_lib_root: bool,
     encoding_path: bool,
+    is_bin: bool,
     facts: &mut FileFacts,
 ) -> Vec<Violation> {
     let tokens = &lexed.tokens;
@@ -232,6 +240,26 @@ pub fn lint_tokens(
                     line,
                     rule: Rule::NoUnwrap,
                     message: format!("{what}; return a Result or handle the None/Err case"),
+                });
+            }
+        }
+
+        // -- no-println-in-lib --------------------------------------------
+        if !is_bin && tokens[i].kind == TokKind::Ident {
+            let name = tokens[i].text.as_str();
+            if matches!(name, "println" | "print" | "eprintln" | "eprint" | "dbg")
+                && punct(i + 1, '!')
+                && !(i > 0 && punct(i - 1, '.'))
+                && !allowed(lexed, line, Rule::NoPrintlnInLib)
+            {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line,
+                    rule: Rule::NoPrintlnInLib,
+                    message: format!(
+                        "`{name}!` in library code; return the data or record it in the \
+                         obs registry"
+                    ),
                 });
             }
         }
@@ -457,9 +485,27 @@ mod tests {
     fn lint(src: &str) -> Vec<Violation> {
         let lexed = lex(src);
         let mut facts = FileFacts::default();
-        let mut v = lint_tokens("t.rs", &lexed, false, false, &mut facts);
+        let mut v = lint_tokens("t.rs", &lexed, false, false, false, &mut facts);
         v.extend(lint_error_contracts(&facts));
         v
+    }
+
+    #[test]
+    fn println_in_lib_flagged_but_bins_and_tests_exempt() {
+        let v = lint("fn f() { println!(\"x\"); eprint!(\"y\"); dbg!(z); }");
+        let names: Vec<_> = v.iter().map(|v| v.rule).collect();
+        assert_eq!(names, vec![Rule::NoPrintlnInLib; 3]);
+        // Binaries may print.
+        let lexed = lex("fn main() { println!(\"x\"); }");
+        let mut facts = FileFacts::default();
+        assert!(lint_tokens("src/main.rs", &lexed, false, false, true, &mut facts).is_empty());
+        // Test regions may print.
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n fn t() { println!(\"x\"); }\n}";
+        assert!(lint(src).is_empty());
+        // Allow marker suppresses.
+        assert!(lint("fn f() { println!(\"x\"); } // xlint: allow(no-println-in-lib)").is_empty());
+        // A method named like the macro is not a macro call.
+        assert!(lint("fn f() { w.print(); }").is_empty());
     }
 
     #[test]
@@ -502,12 +548,12 @@ mod tests {
         let src = "fn f(x: u64) -> u16 { x as u16 }";
         let lexed = lex(src);
         let mut facts = FileFacts::default();
-        assert!(lint_tokens("t.rs", &lexed, false, false, &mut facts).is_empty());
-        let v = lint_tokens("t.rs", &lexed, false, true, &mut facts);
+        assert!(lint_tokens("t.rs", &lexed, false, false, false, &mut facts).is_empty());
+        let v = lint_tokens("t.rs", &lexed, false, true, false, &mut facts);
         assert_eq!(v[0].rule, Rule::AsTruncation);
         // Widening casts stay legal.
         let lexed2 = lex("fn f(x: u16) -> u64 { x as u64 }");
-        assert!(lint_tokens("t.rs", &lexed2, false, true, &mut facts).is_empty());
+        assert!(lint_tokens("t.rs", &lexed2, false, true, false, &mut facts).is_empty());
     }
 
     #[test]
@@ -528,14 +574,14 @@ mod tests {
         let src = "/// documented\npub fn a() {}\npub fn b() {}\npub(crate) fn c() {}\npub mod m;";
         let lexed = lex(src);
         let mut facts = FileFacts::default();
-        let v = lint_tokens("lib.rs", &lexed, true, false, &mut facts);
+        let v = lint_tokens("lib.rs", &lexed, true, false, false, &mut facts);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, Rule::MissingDocs);
         assert_eq!(v[0].line, 3);
         // Attributes between doc and item are fine.
         let src2 = "/// doc\n#[derive(Debug)]\npub struct S;";
         let lexed2 = lex(src2);
-        let v2 = lint_tokens("lib.rs", &lexed2, true, false, &mut facts);
+        let v2 = lint_tokens("lib.rs", &lexed2, true, false, false, &mut facts);
         assert!(v2.is_empty());
     }
 }

@@ -15,6 +15,8 @@
 //! - [`viz`] — SVG charts, maps, graphs, hypergraphs, tag clouds
 //! - [`server`] — the demo HTTP application
 //! - [`workload`] — synthetic Swiss-Experiment corpus & web-graph generators
+//! - [`obs`] — metrics, spans and Prometheus-style exposition
+//! - [`bench`] — seeded end-to-end benchmark suite
 //!
 //! ```
 //! use sensormeta::smr::{PageDraft, Smr};
@@ -29,7 +31,9 @@
 
 #![warn(missing_docs)]
 
+pub use sensormeta_bench as bench;
 pub use sensormeta_graph as graph;
+pub use sensormeta_obs as obs;
 pub use sensormeta_query as query;
 pub use sensormeta_rank as rank;
 pub use sensormeta_rdf as rdf;
