@@ -7,10 +7,12 @@
 
 use crate::{fig3_problem, FIG3_TOL};
 use sensormeta_obs as obs;
+use sensormeta_par::Pool;
 use sensormeta_query::{CondOp, Condition, QueryEngine, SearchForm};
-use sensormeta_rank::{GaussSeidel, Solver};
+use sensormeta_rank::{GaussSeidel, PowerIteration, Solver};
+use sensormeta_search::SearchIndex;
 use sensormeta_smr::{PageDraft, Smr};
-use sensormeta_tagging::{compute_cloud, CloudParams, TagStore};
+use sensormeta_tagging::{compute_cloud, similarity_matrix_in, CloudParams, TagStore};
 use sensormeta_workload::{generate_corpus, query_workload, CorpusConfig};
 use std::time::Instant;
 
@@ -55,6 +57,9 @@ pub struct BenchReport {
     pub mean_us: f64,
     /// Extra (key, value) measurements specific to the workload.
     pub extra: Vec<(&'static str, f64)>,
+    /// Extra (key, text) fields — e.g. result hashes from the
+    /// serial-vs-parallel workloads.
+    pub extra_text: Vec<(&'static str, String)>,
 }
 
 impl BenchReport {
@@ -73,6 +78,7 @@ impl BenchReport {
                 s.sum as f64 / s.count as f64
             },
             extra: Vec::new(),
+            extra_text: Vec::new(),
         }
     }
 
@@ -91,6 +97,9 @@ impl BenchReport {
         for (k, v) in &self.extra {
             entries.push(((*k).into(), Value::Float(*v)));
         }
+        for (k, v) in &self.extra_text {
+            entries.push(((*k).into(), Value::String(v.clone())));
+        }
         Value::Object(entries).to_string()
     }
 }
@@ -103,6 +112,9 @@ pub fn run_suite(cfg: &BenchConfig) -> Vec<BenchReport> {
         bench_tagcloud(cfg),
         bench_combined_query(cfg),
         bench_obs_overhead(cfg),
+        bench_pagerank_par(cfg),
+        bench_tagsim_par(cfg),
+        bench_indexbuild_par(cfg),
     ]
 }
 
@@ -152,9 +164,7 @@ fn bench_pagerank(cfg: &BenchConfig) -> BenchReport {
         converged += u64::from(r.converged);
     }
     let mut report = BenchReport::from_histogram("pagerank", &h);
-    report
-        .extra
-        .push(("converged_runs", converged as f64));
+    report.extra.push(("converged_runs", converged as f64));
     report
 }
 
@@ -228,12 +238,154 @@ fn bench_obs_overhead(cfg: &BenchConfig) -> BenchReport {
     let mut report = BenchReport::from_histogram("obs_overhead", &h_on);
     let on_sum = h_on.sum() as f64;
     let off_sum = h_off.sum().max(1) as f64;
-    report.extra.push(("disabled_p50_us", h_off.quantile(0.5) as f64));
-    report.extra.push(("disabled_mean_us", off_sum / h_off.count().max(1) as f64));
+    report
+        .extra
+        .push(("disabled_p50_us", h_off.quantile(0.5) as f64));
+    report
+        .extra
+        .push(("disabled_mean_us", off_sum / h_off.count().max(1) as f64));
     report
         .extra
         .push(("overhead_pct", (on_sum - off_sum) / off_sum * 100.0));
     report
+}
+
+/// FNV-1a over a stream of words — the common result hash for the
+/// serial-vs-parallel workloads (f64 results are hashed via `to_bits`, so
+/// equality means bit-for-bit identical output).
+fn fnv64(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// Times `work` on the one-thread pool (the serial baseline) and on the
+/// global pool, asserts the results hash identically, and packages mean
+/// timings, speedup, thread count and both hashes into a report. The same
+/// chunked code runs in both configurations, so any hash mismatch is a
+/// determinism bug, not benchmark noise.
+fn bench_serial_vs_parallel(
+    name: &'static str,
+    iters: usize,
+    mut work: impl FnMut(&Pool) -> u64,
+) -> BenchReport {
+    let serial_pool = Pool::new(1);
+    let parallel_pool = Pool::global();
+    let h = obs::histogram(match name {
+        "pagerank_par" => "bench_pagerank_par_us",
+        "tagsim_par" => "bench_tagsim_par_us",
+        _ => "bench_indexbuild_par_us",
+    });
+    let mut serial_total = 0.0f64;
+    let mut parallel_total = 0.0f64;
+    let mut serial_hash = 0u64;
+    let mut parallel_hash = 0u64;
+    // Warm both pools (thread spawn, lazy registries) outside the timings.
+    let _ = work(&serial_pool);
+    let _ = work(parallel_pool);
+    for _ in 0..iters {
+        let t = Instant::now();
+        serial_hash = work(&serial_pool);
+        serial_total += t.elapsed().as_secs_f64() * 1e6;
+
+        let t = Instant::now();
+        parallel_hash = work(parallel_pool);
+        let dt = t.elapsed();
+        parallel_total += dt.as_secs_f64() * 1e6;
+        h.record_duration(dt);
+    }
+    assert_eq!(
+        serial_hash, parallel_hash,
+        "{name}: parallel result diverged from serial"
+    );
+    let serial_mean = serial_total / iters.max(1) as f64;
+    let parallel_mean = parallel_total / iters.max(1) as f64;
+    let mut report = BenchReport::from_histogram(name, &h);
+    report.extra.push(("serial_mean_us", serial_mean));
+    report.extra.push(("parallel_mean_us", parallel_mean));
+    report.extra.push((
+        "speedup",
+        serial_mean / parallel_mean.max(f64::MIN_POSITIVE),
+    ));
+    report
+        .extra
+        .push(("threads", parallel_pool.threads() as f64));
+    report
+        .extra_text
+        .push(("serial_hash", format!("{serial_hash:016x}")));
+    report
+        .extra_text
+        .push(("parallel_hash", format!("{parallel_hash:016x}")));
+    report
+}
+
+/// Power-iteration PageRank on the Fig. 3 graph, serial pool vs global pool.
+fn bench_pagerank_par(cfg: &BenchConfig) -> BenchReport {
+    let problem = fig3_problem(1_000 * cfg.scale.max(1));
+    let iters = cfg.iterations.clamp(1, 10);
+    bench_serial_vs_parallel("pagerank_par", iters, |pool| {
+        let r = PowerIteration.solve_in(pool, &problem, FIG3_TOL, 1_000);
+        fnv64(r.x.iter().map(|v| v.to_bits()))
+    })
+}
+
+/// Tag-similarity matrix over a seeded synthetic folksonomy, serial pool vs
+/// global pool.
+fn bench_tagsim_par(cfg: &BenchConfig) -> BenchReport {
+    // Seeded LCG folksonomy: ~60·scale tags over ~40·scale pages, with
+    // clustered co-occurrence so similarities are non-trivial.
+    let tags = 60 * cfg.scale.max(1);
+    let pages = 40 * cfg.scale.max(1);
+    let mut state = cfg.seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let sets: Vec<Vec<usize>> = (0..tags)
+        .map(|t| {
+            let cluster = (t % 6) * pages / 6;
+            let mut s: Vec<usize> = (0..(3 + next() % 12))
+                .map(|_| (cluster + next() % (pages / 3)) % pages)
+                .collect();
+            s.sort_unstable();
+            s.dedup();
+            s
+        })
+        .collect();
+    bench_serial_vs_parallel("tagsim_par", cfg.iterations, |pool| {
+        let m = similarity_matrix_in(pool, &sets);
+        fnv64(m.as_slice().iter().map(|v| v.to_bits()))
+    })
+}
+
+/// Inverted-index build over the seeded corpus, serial pool vs global pool.
+fn bench_indexbuild_par(cfg: &BenchConfig) -> BenchReport {
+    let docs: Vec<(String, String)> = generate_corpus(&CorpusConfig {
+        institutions: cfg.scale,
+        seed: cfg.seed,
+        ..CorpusConfig::default()
+    })
+    .into_iter()
+    .map(|p| {
+        let mut text = p.body;
+        for (_, v) in &p.annotations {
+            text.push(' ');
+            text.push_str(v);
+        }
+        (p.title, text)
+    })
+    .collect();
+    let iters = cfg.iterations.clamp(1, 15);
+    bench_serial_vs_parallel("indexbuild_par", iters, |pool| {
+        SearchIndex::build_in(pool, &docs).fingerprint()
+    })
 }
 
 #[cfg(test)]
@@ -248,7 +400,7 @@ mod tests {
             seed: 42,
         };
         let reports = run_suite(&cfg);
-        assert_eq!(reports.len(), 5);
+        assert_eq!(reports.len(), 8);
         for r in &reports {
             assert!(r.iterations > 0, "{} ran", r.name);
             let json = r.to_json();
@@ -257,5 +409,18 @@ mod tests {
             assert_eq!(parsed["p50_us"], r.p50_us as i64);
         }
         assert!(obs::global().is_enabled(), "overhead bench re-enables obs");
+        // The serial-vs-parallel workloads carry both timings, the thread
+        // count and matching result hashes.
+        for name in ["pagerank_par", "tagsim_par", "indexbuild_par"] {
+            let r = reports.iter().find(|r| r.name == name).unwrap();
+            let keys: Vec<&str> = r.extra.iter().map(|(k, _)| *k).collect();
+            assert!(keys.contains(&"serial_mean_us"), "{name}: {keys:?}");
+            assert!(keys.contains(&"parallel_mean_us"), "{name}");
+            assert!(keys.contains(&"speedup"), "{name}");
+            assert!(keys.contains(&"threads"), "{name}");
+            let serial = r.extra_text.iter().find(|(k, _)| *k == "serial_hash");
+            let parallel = r.extra_text.iter().find(|(k, _)| *k == "parallel_hash");
+            assert_eq!(serial.map(|(_, v)| v), parallel.map(|(_, v)| v), "{name}");
+        }
     }
 }

@@ -165,7 +165,10 @@ lat_us_count 3
             sample_registry().render_prometheus(),
             sample_registry().render_prometheus()
         );
-        assert_eq!(sample_registry().render_json(), sample_registry().render_json());
+        assert_eq!(
+            sample_registry().render_json(),
+            sample_registry().render_json()
+        );
     }
 
     #[test]
@@ -202,8 +205,12 @@ lat_us_count 3
             }
             if let Some(rest) = line.strip_prefix("# TYPE ") {
                 let mut parts = rest.split_whitespace();
-                let name = parts.next().ok_or(format!("line {ln}: TYPE without name"))?;
-                let kind = parts.next().ok_or(format!("line {ln}: TYPE without kind"))?;
+                let name = parts
+                    .next()
+                    .ok_or(format!("line {ln}: TYPE without name"))?;
+                let kind = parts
+                    .next()
+                    .ok_or(format!("line {ln}: TYPE without kind"))?;
                 if !matches!(kind, "counter" | "gauge" | "histogram") {
                     return Err(format!("line {ln}: unknown kind {kind}"));
                 }
@@ -247,8 +254,8 @@ lat_us_count 3
 
     #[test]
     fn tiny_parser_accepts_own_render() {
-        let n = parse_prometheus(&sample_registry().render_prometheus())
-            .expect("render must parse");
+        let n =
+            parse_prometheus(&sample_registry().render_prometheus()).expect("render must parse");
         // a_total, b_total, residual, 3 buckets + sum + count.
         assert_eq!(n, 8);
     }

@@ -61,10 +61,12 @@ impl Gauge {
         let mut current = self.cell.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(current) + delta).to_bits();
-            match self
-                .cell
-                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
-            {
+            match self.cell.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
                 Ok(_) => return,
                 Err(actual) => current = actual,
             }
@@ -264,7 +266,19 @@ mod tests {
             prev_upper = Some(upper);
         }
         // Every value maps into a bucket whose bounds contain it.
-        for v in [0, 1, 7, 8, 15, 16, 100, 1_000, 123_456, u64::MAX / 2, u64::MAX] {
+        for v in [
+            0,
+            1,
+            7,
+            8,
+            15,
+            16,
+            100,
+            1_000,
+            123_456,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
             let i = bucket_index(v);
             assert!(i < NBUCKETS);
             assert!(bucket_upper(i) >= v, "v={v} i={i}");

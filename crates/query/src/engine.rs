@@ -111,13 +111,15 @@ impl QueryEngine {
             solution.x.iter().map(|v| v / max).collect()
         };
 
-        // Full-text index + autocomplete + recommender incidence.
+        // Full-text index + autocomplete + recommender incidence. Document
+        // text assembly stays serial (SMR access, property interning); the
+        // tokenize-heavy index construction then runs as one parallel batch.
         let _index_timing = obs::span("search_index_build");
-        self.index = SearchIndex::new();
         self.autocomplete = Autocomplete::new();
         let mut prop_ids: HashMap<String, u32> = HashMap::new();
         let mut prop_names: Vec<String> = Vec::new();
         let mut page_props: Vec<Vec<u32>> = vec![Vec::new(); self.titles.len()];
+        let mut docs: Vec<(String, String)> = Vec::with_capacity(self.titles.len());
         for (i, title) in self.titles.iter().enumerate() {
             let page = self
                 .smr
@@ -143,10 +145,11 @@ impl QueryEngine {
                 text.push(' ');
                 text.push_str(t);
             }
-            self.index.add_document(title, &text);
+            docs.push((title.clone(), text));
             self.autocomplete
                 .insert(title, 1.0 + self.pagerank[i] * 10.0);
         }
+        self.index = SearchIndex::build(&docs);
         for (attr, count) in self.smr.attributes()? {
             self.autocomplete.insert(&attr, count as f64);
         }

@@ -16,6 +16,14 @@
 //! whichever structure a page actually has.
 
 use sensormeta_graph::CsrGraph;
+use sensormeta_par::Pool;
+
+/// Rows per parallel matvec chunk. Fixed: chunk boundaries are part of the
+/// determinism contract (see `sensormeta-par`), so results are bit-for-bit
+/// identical at every thread count.
+const ROW_CHUNK: usize = 512;
+/// Elements per parallel reduction chunk (same contract).
+const SUM_CHUNK: usize = 2048;
 
 /// Transposed, row-substochastic transition matrix in weighted CSR form:
 /// for each node `i`, the list of `(j, P_ji)` in-links. Dangling rows of `P`
@@ -145,17 +153,27 @@ impl TransitionMatrix {
     }
 
     /// Computes `y = Pᵀ x` (substochastic; dangling mass is dropped and must
-    /// be re-injected by the caller when needed).
+    /// be re-injected by the caller when needed) on the global pool.
     pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        self.matvec_in(Pool::global(), x, y);
+    }
+
+    /// [`Self::matvec`] on an explicit pool: the output rows are partitioned
+    /// into fixed-size chunks and filled in parallel. Each row is written by
+    /// exactly one chunk, so the result is identical to a serial loop.
+    pub fn matvec_in(&self, pool: &Pool, x: &[f64], y: &mut [f64]) {
         debug_assert_eq!(x.len(), self.n);
         debug_assert_eq!(y.len(), self.n);
-        for (i, yi) in y.iter_mut().enumerate() {
-            let mut acc = 0.0;
-            for k in self.offsets[i]..self.offsets[i + 1] {
-                acc += self.weight[k] * x[self.src[k] as usize];
+        pool.par_chunks_mut(y, ROW_CHUNK, |_, base, rows| {
+            for (r, yi) in rows.iter_mut().enumerate() {
+                let i = base + r;
+                let mut acc = 0.0;
+                for k in self.offsets[i]..self.offsets[i + 1] {
+                    acc += self.weight[k] * x[self.src[k] as usize];
+                }
+                *yi = acc;
             }
-            *yi = acc;
-        }
+        });
     }
 
     /// In-links of node `i` as `(source, weight)` pairs — the access pattern
@@ -166,7 +184,13 @@ impl TransitionMatrix {
 
     /// Sum of dangling components of `x` (`dᵀx` of Eq. 4).
     pub fn dangling_mass(&self, x: &[f64]) -> f64 {
-        self.dangling.iter().map(|&i| x[i]).sum()
+        self.dangling_mass_in(Pool::global(), x)
+    }
+
+    /// [`Self::dangling_mass`] on an explicit pool (deterministic chunked
+    /// reduction).
+    pub fn dangling_mass_in(&self, pool: &Pool, x: &[f64]) -> f64 {
+        pool.par_sum(self.dangling.len(), SUM_CHUNK, |k| x[self.dangling[k]])
     }
 
     /// Verifies column-stochasticity of `Pᵀ` up to dangling columns; test
@@ -239,28 +263,44 @@ impl PageRankProblem {
     }
 
     /// One full Google-matrix application: `y = (P″)ᵀ x` of Eq. 3, i.e.
-    /// `c·Pᵀx + c·u·(dᵀx) + (1−c)·u·(eᵀx)`.
+    /// `c·Pᵀx + c·u·(dᵀx) + (1−c)·u·(eᵀx)`, on the global pool.
     pub fn google_matvec(&self, x: &[f64], y: &mut [f64]) {
-        self.matrix.matvec(x, y);
-        let dangling = self.matrix.dangling_mass(x);
-        let total: f64 = x.iter().sum();
+        self.google_matvec_in(Pool::global(), x, y);
+    }
+
+    /// [`Self::google_matvec`] on an explicit pool. The matvec, the two
+    /// mass reductions and the teleportation mix each run as deterministic
+    /// chunked regions.
+    pub fn google_matvec_in(&self, pool: &Pool, x: &[f64], y: &mut [f64]) {
+        self.matrix.matvec_in(pool, x, y);
+        let dangling = self.matrix.dangling_mass_in(pool, x);
+        let total = pool.par_sum(x.len(), SUM_CHUNK, |i| x[i]);
         let correction = self.c * dangling + (1.0 - self.c) * total;
-        for (yi, ui) in y.iter_mut().zip(&self.u) {
-            *yi = self.c * *yi + correction * ui;
-        }
+        let c = self.c;
+        let u = &self.u;
+        pool.par_chunks_mut(y, ROW_CHUNK, |_, base, ys| {
+            for (r, yi) in ys.iter_mut().enumerate() {
+                *yi = c * *yi + correction * u[base + r];
+            }
+        });
     }
 
     /// Residual of a candidate solution under the eigen formulation:
     /// `‖(P″)ᵀ x − x‖₁` for the L1-normalized `x`.
     pub fn residual(&self, x: &[f64]) -> f64 {
+        self.residual_in(Pool::global(), x)
+    }
+
+    /// [`Self::residual`] on an explicit pool.
+    pub fn residual_in(&self, pool: &Pool, x: &[f64]) -> f64 {
         let sum: f64 = x.iter().sum();
         if sum <= 0.0 {
             return f64::INFINITY;
         }
         let xn: Vec<f64> = x.iter().map(|v| v / sum).collect();
         let mut y = vec![0.0; self.n()];
-        self.google_matvec(&xn, &mut y);
-        y.iter().zip(&xn).map(|(a, b)| (a - b).abs()).sum()
+        self.google_matvec_in(pool, &xn, &mut y);
+        pool.par_sum(y.len(), SUM_CHUNK, |i| (y[i] - xn[i]).abs())
     }
 }
 

@@ -1,7 +1,8 @@
 //! Restarted Arnoldi iteration for the PageRank eigenproblem.
 
-use super::{norm2, SolveResult, Solver};
+use super::{dot, norm2, SolveResult, Solver, VEC_CHUNK};
 use crate::problem::PageRankProblem;
+use sensormeta_par::Pool;
 
 /// Arnoldi method specialised for PageRank (Golub & Greif's refined variant):
 /// because the dominant eigenvalue of the Google matrix is known to be exactly
@@ -27,7 +28,13 @@ impl Solver for Arnoldi {
         "Arnoldi"
     }
 
-    fn solve(&self, problem: &PageRankProblem, tol: f64, max_iter: usize) -> SolveResult {
+    fn solve_in(
+        &self,
+        pool: &Pool,
+        problem: &PageRankProblem,
+        tol: f64,
+        max_iter: usize,
+    ) -> SolveResult {
         let n = problem.n();
         let m = self.subspace.max(2).min(n.max(2));
         let mut x = problem.u.clone();
@@ -37,7 +44,7 @@ impl Solver for Arnoldi {
 
         while matvecs < max_iter {
             // Normalize the start vector (L2 for the orthogonal basis).
-            let xnorm = norm2(&x).max(f64::MIN_POSITIVE);
+            let xnorm = norm2(pool, &x).max(f64::MIN_POSITIVE);
             let mut v: Vec<Vec<f64>> = vec![x.iter().map(|e| e / xnorm).collect()];
             // H̄ is (m+1) × m, stored column-major.
             let mut h: Vec<Vec<f64>> = Vec::with_capacity(m);
@@ -47,17 +54,19 @@ impl Solver for Arnoldi {
                     break;
                 }
                 let mut w = vec![0.0; n];
-                problem.google_matvec(&v[j], &mut w);
+                problem.google_matvec_in(pool, &v[j], &mut w);
                 matvecs += 1;
                 let mut hj = vec![0.0f64; j + 2];
                 for (i, vi) in v.iter().enumerate().take(j + 1) {
-                    let dot: f64 = w.iter().zip(vi).map(|(a, b)| a * b).sum();
-                    hj[i] = dot;
-                    for (wk, vk) in w.iter_mut().zip(vi) {
-                        *wk -= dot * vk;
-                    }
+                    let d = dot(pool, &w, vi);
+                    hj[i] = d;
+                    pool.par_chunks_mut(&mut w, VEC_CHUNK, |_, base, ws| {
+                        for (k, wk) in ws.iter_mut().enumerate() {
+                            *wk -= d * vi[base + k];
+                        }
+                    });
                 }
-                let wnorm = norm2(&w);
+                let wnorm = norm2(pool, &w);
                 hj[j + 1] = wnorm;
                 h.push(hj);
                 used = j + 1;
@@ -72,11 +81,20 @@ impl Solver for Arnoldi {
             // y = argmin ‖(H̄ − E₁)y‖ over unit y, where E₁ stacks I_used over 0.
             let y = smallest_singular_vector(&h, used);
             // New iterate x = V y, signed so the dominant mass is positive.
+            // Chunked over elements; per-element accumulation stays in basis
+            // order, keeping the update deterministic.
             let mut newx = vec![0.0f64; n];
-            for (j, yj) in y.iter().enumerate() {
-                for i in 0..n {
-                    newx[i] += yj * v[j][i];
-                }
+            {
+                let v = &v;
+                let y = &y;
+                pool.par_chunks_mut(&mut newx, VEC_CHUNK, |_, base, xs| {
+                    for (r, xi) in xs.iter_mut().enumerate() {
+                        let i = base + r;
+                        for (j, yj) in y.iter().enumerate() {
+                            *xi += yj * v[j][i];
+                        }
+                    }
+                });
             }
             if newx.iter().sum::<f64>() < 0.0 {
                 for e in &mut newx {
@@ -90,7 +108,7 @@ impl Solver for Arnoldi {
                 }
             }
             x = newx;
-            let res = problem.residual(&x);
+            let res = problem.residual_in(pool, &x);
             residuals.push(res);
             if res < tol {
                 converged = true;
@@ -139,7 +157,13 @@ fn smallest_singular_vector(h: &[Vec<f64>], used: usize) -> Vec<f64> {
     let mut y = vec![1.0 / (m as f64).sqrt(); m];
     for _ in 0..25 {
         let z = dense_solve(&bmat, &y);
-        let znorm = norm2(&z).max(f64::MIN_POSITIVE);
+        // Serial norm: the vector is at most `subspace` long.
+        let znorm = z
+            .iter()
+            .map(|e| e * e)
+            .sum::<f64>()
+            .sqrt()
+            .max(f64::MIN_POSITIVE);
         let next: Vec<f64> = z.iter().map(|e| e / znorm).collect();
         let delta: f64 = next.iter().zip(&y).map(|(a, b)| (a - b).abs()).sum();
         y = next;

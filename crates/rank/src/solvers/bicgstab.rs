@@ -1,7 +1,8 @@
 //! BiCGSTAB (Biconjugate Gradient Stabilized) on the linear system.
 
-use super::{apply_a, norm2, rhs, SolveResult, Solver};
+use super::{apply_a, dot, norm2, rhs, SolveResult, Solver, VEC_CHUNK};
 use crate::problem::PageRankProblem;
+use sensormeta_par::Pool;
 
 /// Van der Vorst's BiCGSTAB for the nonsymmetric system `(I − cPᵀ)x = b`.
 /// One iteration = two matvecs. Residual: relative `‖r‖₂ / ‖b‖₂`. Breakdown
@@ -14,16 +15,27 @@ impl Solver for BiCgStab {
         "BiCGSTAB"
     }
 
-    fn solve(&self, problem: &PageRankProblem, tol: f64, max_iter: usize) -> SolveResult {
+    fn solve_in(
+        &self,
+        pool: &Pool,
+        problem: &PageRankProblem,
+        tol: f64,
+        max_iter: usize,
+    ) -> SolveResult {
         let n = problem.n();
         let b = rhs(problem);
-        let bnorm = norm2(&b).max(f64::MIN_POSITIVE);
+        let bnorm = norm2(pool, &b).max(f64::MIN_POSITIVE);
         let mut x = problem.u.clone();
         let mut r = vec![0.0; n];
-        apply_a(problem, &x, &mut r);
+        apply_a(pool, problem, &x, &mut r);
         let mut matvecs = 1usize;
-        for i in 0..n {
-            r[i] = b[i] - r[i];
+        {
+            let b = &b;
+            pool.par_chunks_mut(&mut r, VEC_CHUNK, |_, base, rs| {
+                for (k, ri) in rs.iter_mut().enumerate() {
+                    *ri = b[base + k] - *ri;
+                }
+            });
         }
         let mut r_hat = r.clone();
         let mut rho = 1.0f64;
@@ -31,15 +43,17 @@ impl Solver for BiCgStab {
         let mut omega = 1.0f64;
         let mut v = vec![0.0f64; n];
         let mut p = vec![0.0f64; n];
+        let mut s = vec![0.0f64; n];
+        let mut t = vec![0.0f64; n];
         let mut residuals = Vec::new();
         let mut iterations = 0usize;
-        let mut converged = norm2(&r) / bnorm < tol;
+        let mut converged = norm2(pool, &r) / bnorm < tol;
         if converged {
-            residuals.push(norm2(&r) / bnorm);
+            residuals.push(norm2(pool, &r) / bnorm);
         }
 
         while !converged && iterations < max_iter {
-            let rho_new: f64 = r_hat.iter().zip(&r).map(|(a, b)| a * b).sum();
+            let rho_new = dot(pool, &r_hat, &r);
             if rho_new.abs() < 1e-300 {
                 // Breakdown: restart with the current residual as shadow.
                 r_hat = r.clone();
@@ -52,35 +66,71 @@ impl Solver for BiCgStab {
             }
             let beta = (rho_new / rho) * (alpha / omega);
             rho = rho_new;
-            for i in 0..n {
-                p[i] = r[i] + beta * (p[i] - omega * v[i]);
+            {
+                let r = &r;
+                let v = &v;
+                pool.par_chunks_mut(&mut p, VEC_CHUNK, |_, base, ps| {
+                    for (k, pi) in ps.iter_mut().enumerate() {
+                        let i = base + k;
+                        *pi = r[i] + beta * (*pi - omega * v[i]);
+                    }
+                });
             }
-            apply_a(problem, &p, &mut v);
+            apply_a(pool, problem, &p, &mut v);
             matvecs += 1;
-            let rhat_v: f64 = r_hat.iter().zip(&v).map(|(a, b)| a * b).sum();
+            let rhat_v = dot(pool, &r_hat, &v);
             alpha = rho / rhat_v;
-            let s: Vec<f64> = r.iter().zip(&v).map(|(ri, vi)| ri - alpha * vi).collect();
-            if norm2(&s) / bnorm < tol {
-                for i in 0..n {
-                    x[i] += alpha * p[i];
+            {
+                let r = &r;
+                let v = &v;
+                pool.par_chunks_mut(&mut s, VEC_CHUNK, |_, base, ss| {
+                    for (k, si) in ss.iter_mut().enumerate() {
+                        let i = base + k;
+                        *si = r[i] - alpha * v[i];
+                    }
+                });
+            }
+            if norm2(pool, &s) / bnorm < tol {
+                {
+                    let p = &p;
+                    pool.par_chunks_mut(&mut x, VEC_CHUNK, |_, base, xs| {
+                        for (k, xi) in xs.iter_mut().enumerate() {
+                            *xi += alpha * p[base + k];
+                        }
+                    });
                 }
                 iterations += 1;
-                residuals.push(norm2(&s) / bnorm);
+                residuals.push(norm2(pool, &s) / bnorm);
                 converged = true;
                 break;
             }
-            let mut t = vec![0.0; n];
-            apply_a(problem, &s, &mut t);
+            apply_a(pool, problem, &s, &mut t);
             matvecs += 1;
-            let tt: f64 = t.iter().map(|ti| ti * ti).sum();
-            let ts: f64 = t.iter().zip(&s).map(|(a, b)| a * b).sum();
+            let tt = dot(pool, &t, &t);
+            let ts = dot(pool, &t, &s);
             omega = if tt > 0.0 { ts / tt } else { 0.0 };
-            for i in 0..n {
-                x[i] += alpha * p[i] + omega * s[i];
-                r[i] = s[i] - omega * t[i];
+            {
+                let p = &p;
+                let s = &s;
+                pool.par_chunks_mut(&mut x, VEC_CHUNK, |_, base, xs| {
+                    for (k, xi) in xs.iter_mut().enumerate() {
+                        let i = base + k;
+                        *xi += alpha * p[i] + omega * s[i];
+                    }
+                });
+            }
+            {
+                let s = &s;
+                let t = &t;
+                pool.par_chunks_mut(&mut r, VEC_CHUNK, |_, base, rs| {
+                    for (k, ri) in rs.iter_mut().enumerate() {
+                        let i = base + k;
+                        *ri = s[i] - omega * t[i];
+                    }
+                });
             }
             iterations += 1;
-            let rel = norm2(&r) / bnorm;
+            let rel = norm2(pool, &r) / bnorm;
             residuals.push(rel);
             if rel < tol {
                 converged = true;

@@ -3,6 +3,7 @@
 
 use super::{norm1, rhs, SolveResult, Solver};
 use crate::problem::PageRankProblem;
+use sensormeta_par::Pool;
 
 /// Forward Gauss–Seidel sweeps on `(I − cPᵀ)x = (1−c)u`:
 ///
@@ -22,7 +23,17 @@ impl Solver for GaussSeidel {
         "Gauss-Seidel"
     }
 
-    fn solve(&self, problem: &PageRankProblem, tol: f64, max_iter: usize) -> SolveResult {
+    // The sweep itself stays serial: each update reads values already
+    // written in the same sweep, an inherently sequential dependency (and
+    // the very reason GS halves Jacobi's iteration count). Only the norm
+    // reductions use the pool.
+    fn solve_in(
+        &self,
+        pool: &Pool,
+        problem: &PageRankProblem,
+        tol: f64,
+        max_iter: usize,
+    ) -> SolveResult {
         let n = problem.n();
         let b = rhs(problem);
         let c = problem.c;
@@ -47,7 +58,7 @@ impl Solver for GaussSeidel {
                 x[i] = new;
             }
             iterations += 1;
-            let scale = norm1(&x).max(f64::MIN_POSITIVE);
+            let scale = norm1(pool, &x).max(f64::MIN_POSITIVE);
             residuals.push(diff / scale);
             if diff / scale < tol {
                 converged = true;

@@ -1,7 +1,8 @@
 //! Restarted GMRES (Generalized Minimum Residual) on the linear system.
 
-use super::{apply_a, norm2, rhs, SolveResult, Solver};
+use super::{apply_a, dot, norm2, rhs, SolveResult, Solver, VEC_CHUNK};
 use crate::problem::PageRankProblem;
+use sensormeta_par::Pool;
 
 /// GMRES(m): builds an orthonormal Krylov basis of `A = I − cPᵀ` with Arnoldi
 /// (modified Gram–Schmidt), reduces the Hessenberg least-squares problem with
@@ -25,11 +26,17 @@ impl Solver for Gmres {
         "GMRES"
     }
 
-    fn solve(&self, problem: &PageRankProblem, tol: f64, max_iter: usize) -> SolveResult {
+    fn solve_in(
+        &self,
+        pool: &Pool,
+        problem: &PageRankProblem,
+        tol: f64,
+        max_iter: usize,
+    ) -> SolveResult {
         let n = problem.n();
         let m = self.restart.max(1);
         let b = rhs(problem);
-        let bnorm = norm2(&b).max(f64::MIN_POSITIVE);
+        let bnorm = norm2(pool, &b).max(f64::MIN_POSITIVE);
         let mut x = problem.u.clone();
         let mut residuals = Vec::new();
         let mut matvecs = 0usize;
@@ -39,12 +46,17 @@ impl Solver for Gmres {
         'outer: while iterations < max_iter {
             // r = b − A x
             let mut r = vec![0.0; n];
-            apply_a(problem, &x, &mut r);
+            apply_a(pool, problem, &x, &mut r);
             matvecs += 1;
-            for i in 0..n {
-                r[i] = b[i] - r[i];
+            {
+                let b = &b;
+                pool.par_chunks_mut(&mut r, VEC_CHUNK, |_, base, rs| {
+                    for (k, ri) in rs.iter_mut().enumerate() {
+                        *ri = b[base + k] - *ri;
+                    }
+                });
             }
-            let beta = norm2(&r);
+            let beta = norm2(pool, &r);
             if beta / bnorm < tol {
                 converged = true;
                 break;
@@ -65,18 +77,20 @@ impl Solver for Gmres {
                     break;
                 }
                 let mut w = vec![0.0; n];
-                apply_a(problem, &v[j], &mut w);
+                apply_a(pool, problem, &v[j], &mut w);
                 matvecs += 1;
                 iterations += 1;
                 let mut hj = vec![0.0f64; j + 2];
                 for (i, vi) in v.iter().enumerate().take(j + 1) {
-                    let dot: f64 = w.iter().zip(vi).map(|(a, b)| a * b).sum();
-                    hj[i] = dot;
-                    for (wk, vk) in w.iter_mut().zip(vi) {
-                        *wk -= dot * vk;
-                    }
+                    let d = dot(pool, &w, vi);
+                    hj[i] = d;
+                    pool.par_chunks_mut(&mut w, VEC_CHUNK, |_, base, ws| {
+                        for (k, wk) in ws.iter_mut().enumerate() {
+                            *wk -= d * vi[base + k];
+                        }
+                    });
                 }
-                let wnorm = norm2(&w);
+                let wnorm = norm2(pool, &w);
                 hj[j + 1] = wnorm;
                 // Apply accumulated rotations to the new column.
                 for i in 0..j {
@@ -124,11 +138,18 @@ impl Solver for Gmres {
                     }
                     y[i] = acc / h[i][i];
                 }
-                for (j, yj) in y.iter().enumerate() {
-                    for i in 0..n {
-                        x[i] += yj * v[j][i];
+                // x += V y, chunked over elements; per-element accumulation
+                // stays in basis order, so the update is deterministic.
+                let v = &v;
+                let y = &y;
+                pool.par_chunks_mut(&mut x, VEC_CHUNK, |_, base, xs| {
+                    for (r, xi) in xs.iter_mut().enumerate() {
+                        let i = base + r;
+                        for (j, yj) in y.iter().enumerate() {
+                            *xi += yj * v[j][i];
+                        }
                     }
-                }
+                });
             }
             if converged {
                 break 'outer;

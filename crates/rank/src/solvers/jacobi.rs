@@ -1,7 +1,8 @@
 //! Jacobi iteration on the linear system (Eq. 5).
 
-use super::{norm1, rhs, SolveResult, Solver};
+use super::{norm1, rhs, SolveResult, Solver, VEC_CHUNK};
 use crate::problem::PageRankProblem;
+use sensormeta_par::Pool;
 
 /// Jacobi splitting of `A = I − cPᵀ`: with `D = diag(A)`,
 /// `x(k+1) = D⁻¹ (b + (D − A) x(k))`. For graphs without self-loops `D = I`
@@ -16,7 +17,13 @@ impl Solver for Jacobi {
         "Jacobi"
     }
 
-    fn solve(&self, problem: &PageRankProblem, tol: f64, max_iter: usize) -> SolveResult {
+    fn solve_in(
+        &self,
+        pool: &Pool,
+        problem: &PageRankProblem,
+        tol: f64,
+        max_iter: usize,
+    ) -> SolveResult {
         let n = problem.n();
         let b = rhs(problem);
         let c = problem.c;
@@ -37,20 +44,32 @@ impl Solver for Jacobi {
         let mut iterations = 0;
         let mut converged = false;
         while iterations < max_iter {
-            problem.matrix.matvec(&x, &mut px);
+            problem.matrix.matvec_in(pool, &x, &mut px);
             iterations += 1;
-            let mut diff = 0.0;
-            for i in 0..n {
-                // (D − A)x = cPᵀx − c·diag·x ; D = 1 − c·diag.
-                let new = (b[i] + c * (px[i] - diag[i] * x[i])) / (1.0 - c * diag[i]);
-                diff += (new - x[i]).abs();
-                px[i] = new;
-            }
+            // Parallel sweep over fixed chunks; the per-chunk diff partials
+            // come back in chunk order, keeping the residual deterministic.
+            let partials = {
+                let x = &x;
+                let b = &b;
+                let diag = &diag;
+                pool.par_chunks_mut(&mut px, VEC_CHUNK, |_, base, chunk| {
+                    let mut d = 0.0;
+                    for (r, pv) in chunk.iter_mut().enumerate() {
+                        let i = base + r;
+                        // (D − A)x = cPᵀx − c·diag·x ; D = 1 − c·diag.
+                        let new = (b[i] + c * (*pv - diag[i] * x[i])) / (1.0 - c * diag[i]);
+                        d += (new - x[i]).abs();
+                        *pv = new;
+                    }
+                    d
+                })
+            };
+            let diff: f64 = partials.into_iter().sum();
             std::mem::swap(&mut x, &mut px);
             // Scale the residual to the normalized solution so tolerances are
             // comparable across methods (the raw linear-system iterate sums to
             // <1 before normalization).
-            let scale = norm1(&x).max(f64::MIN_POSITIVE);
+            let scale = norm1(pool, &x).max(f64::MIN_POSITIVE);
             residuals.push(diff / scale);
             if diff / scale < tol {
                 converged = true;

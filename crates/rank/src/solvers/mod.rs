@@ -31,6 +31,12 @@ pub use sor::Sor;
 
 use crate::problem::PageRankProblem;
 use sensormeta_obs as obs;
+use sensormeta_par::Pool;
+
+/// Elements per parallel reduction chunk (fixed: determinism contract).
+pub(crate) const SUM_CHUNK: usize = 2048;
+/// Elements per parallel element-wise update chunk.
+pub(crate) const VEC_CHUNK: usize = 2048;
 
 /// Outcome of a solver run.
 #[derive(Debug, Clone)]
@@ -100,8 +106,21 @@ pub trait Solver {
     /// Human-readable method name (used in benchmark output).
     fn name(&self) -> &'static str;
 
-    /// Solves the problem to `tol`, capped at `max_iter` iterations.
-    fn solve(&self, problem: &PageRankProblem, tol: f64, max_iter: usize) -> SolveResult;
+    /// Solves the problem to `tol`, capped at `max_iter` iterations, on the
+    /// global thread pool.
+    fn solve(&self, problem: &PageRankProblem, tol: f64, max_iter: usize) -> SolveResult {
+        self.solve_in(Pool::global(), problem, tol, max_iter)
+    }
+
+    /// [`Self::solve`] on an explicit pool. Results are bit-for-bit
+    /// identical at every pool size (see `sensormeta-par`).
+    fn solve_in(
+        &self,
+        pool: &Pool,
+        problem: &PageRankProblem,
+        tol: f64,
+        max_iter: usize,
+    ) -> SolveResult;
 }
 
 /// All methods the paper compares, in its order (plus plain power iteration
@@ -117,22 +136,37 @@ pub fn all_solvers() -> Vec<Box<dyn Solver>> {
     ]
 }
 
-/// L1 norm.
-pub(crate) fn norm1(v: &[f64]) -> f64 {
-    v.iter().map(|x| x.abs()).sum()
+/// L1 norm (deterministic chunked reduction).
+pub(crate) fn norm1(pool: &Pool, v: &[f64]) -> f64 {
+    pool.par_sum(v.len(), SUM_CHUNK, |i| v[i].abs())
 }
 
-/// L2 norm.
-pub(crate) fn norm2(v: &[f64]) -> f64 {
-    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+/// L2 norm (deterministic chunked reduction).
+pub(crate) fn norm2(pool: &Pool, v: &[f64]) -> f64 {
+    pool.par_sum(v.len(), SUM_CHUNK, |i| v[i] * v[i]).sqrt()
+}
+
+/// Dot product (deterministic chunked reduction).
+pub(crate) fn dot(pool: &Pool, a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    pool.par_sum(a.len(), SUM_CHUNK, |i| a[i] * b[i])
+}
+
+/// L1 distance `Σ|a_i − b_i|` (deterministic chunked reduction).
+pub(crate) fn diff1(pool: &Pool, a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    pool.par_sum(a.len(), SUM_CHUNK, |i| (a[i] - b[i]).abs())
 }
 
 /// Applies `y = A x = x − c·Pᵀx` for the linear-system formulation.
-pub(crate) fn apply_a(problem: &PageRankProblem, x: &[f64], y: &mut [f64]) {
-    problem.matrix.matvec(x, y);
-    for i in 0..x.len() {
-        y[i] = x[i] - problem.c * y[i];
-    }
+pub(crate) fn apply_a(pool: &Pool, problem: &PageRankProblem, x: &[f64], y: &mut [f64]) {
+    problem.matrix.matvec_in(pool, x, y);
+    let c = problem.c;
+    pool.par_chunks_mut(y, VEC_CHUNK, |_, base, ys| {
+        for (r, yi) in ys.iter_mut().enumerate() {
+            *yi = x[base + r] - c * *yi;
+        }
+    });
 }
 
 /// Right-hand side `b = (1−c)·u`.

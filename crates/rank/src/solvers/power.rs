@@ -1,7 +1,8 @@
 //! Power iteration on the Google matrix (Eq. 3).
 
-use super::{norm1, SolveResult, Solver};
+use super::{diff1, norm1, SolveResult, Solver, VEC_CHUNK};
 use crate::problem::PageRankProblem;
+use sensormeta_par::Pool;
 
 /// Simple power iterations `x(k+1) = (P″)ᵀ x(k)`; since `P″` is
 /// row-stochastic and irreducible after the Eq. 1–2 modifications, the
@@ -15,7 +16,13 @@ impl Solver for PowerIteration {
         "Power"
     }
 
-    fn solve(&self, problem: &PageRankProblem, tol: f64, max_iter: usize) -> SolveResult {
+    fn solve_in(
+        &self,
+        pool: &Pool,
+        problem: &PageRankProblem,
+        tol: f64,
+        max_iter: usize,
+    ) -> SolveResult {
         let n = problem.n();
         let mut x = problem.u.clone();
         let mut y = vec![0.0; n];
@@ -23,15 +30,17 @@ impl Solver for PowerIteration {
         let mut iterations = 0;
         let mut converged = false;
         while iterations < max_iter {
-            problem.google_matvec(&x, &mut y);
+            problem.google_matvec_in(pool, &x, &mut y);
             iterations += 1;
-            let diff: f64 = y.iter().zip(&x).map(|(a, b)| (a - b).abs()).sum();
+            let diff = diff1(pool, &y, &x);
             // Stochastic matvec preserves mass; renormalize defensively
             // against floating-point drift on long runs.
-            let sum = norm1(&y);
-            for v in &mut y {
-                *v /= sum;
-            }
+            let sum = norm1(pool, &y);
+            pool.par_chunks_mut(&mut y, VEC_CHUNK, |_, _, ys| {
+                for v in ys.iter_mut() {
+                    *v /= sum;
+                }
+            });
             std::mem::swap(&mut x, &mut y);
             residuals.push(diff);
             if diff < tol {

@@ -9,6 +9,7 @@
 
 use super::{norm1, rhs, SolveResult, Solver};
 use crate::problem::PageRankProblem;
+use sensormeta_par::Pool;
 
 /// SOR with relaxation factor `omega` ∈ (0, 2).
 #[derive(Debug, Clone, Copy)]
@@ -28,7 +29,16 @@ impl Solver for Sor {
         "SOR"
     }
 
-    fn solve(&self, problem: &PageRankProblem, tol: f64, max_iter: usize) -> SolveResult {
+    // Like Gauss–Seidel, the sweep is inherently sequential (in-place
+    // updates feed later rows in the same sweep); only the norm reductions
+    // use the pool.
+    fn solve_in(
+        &self,
+        pool: &Pool,
+        problem: &PageRankProblem,
+        tol: f64,
+        max_iter: usize,
+    ) -> SolveResult {
         assert!(
             self.omega > 0.0 && self.omega < 2.0,
             "SOR requires omega in (0, 2), got {}",
@@ -60,7 +70,7 @@ impl Solver for Sor {
                 x[i] = new;
             }
             iterations += 1;
-            let scale = norm1(&x).max(f64::MIN_POSITIVE);
+            let scale = norm1(pool, &x).max(f64::MIN_POSITIVE);
             residuals.push(diff / scale);
             if diff / scale < tol {
                 converged = true;

@@ -25,10 +25,10 @@
 
 use crate::encoding::{encode_row, read_varint, write_varint};
 use crate::error::{RelError, Result};
-use sensormeta_obs as obs;
 use crate::schema::{Column, TableSchema};
 use crate::value::{DataType, Value};
 use crate::vfs::{Vfs, VfsFile};
+use sensormeta_obs as obs;
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;

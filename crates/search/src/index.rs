@@ -1,8 +1,13 @@
 //! Positional inverted index with BM25 ranking.
 
 use crate::tokenize::tokenize;
+use sensormeta_par::Pool;
 use std::collections::BTreeMap;
 use std::ops::Bound;
+
+/// Documents per parallel tokenize chunk in [`SearchIndex::build_in`]
+/// (fixed: chunk boundaries must not depend on the thread count).
+const DOC_CHUNK: usize = 32;
 
 /// Document identifier (dense, assigned at add time).
 pub type DocId = usize;
@@ -80,6 +85,13 @@ impl SearchIndex {
     /// Adds (or replaces) a document. Replacement re-tokenizes from scratch;
     /// the old postings are removed first.
     pub fn add_document(&mut self, key: &str, text: &str) -> DocId {
+        self.add_tokenized(key, tokenize(text))
+    }
+
+    /// Adds (or replaces) a document from an already-tokenized term stream —
+    /// the merge half of [`SearchIndex::build_in`], where tokenization runs
+    /// in parallel but postings are merged serially in document order.
+    pub fn add_tokenized(&mut self, key: &str, terms: Vec<String>) -> DocId {
         sensormeta_obs::counter("search_docs_indexed_total").inc();
         let doc = match self.key_ids.get(key) {
             Some(&d) => {
@@ -94,7 +106,6 @@ impl SearchIndex {
                 d
             }
         };
-        let terms = tokenize(text);
         self.total_len += terms.len() as u64;
         self.doc_len[doc] = terms.len() as u32;
         for (pos, term) in terms.into_iter().enumerate() {
@@ -105,6 +116,60 @@ impl SearchIndex {
             }
         }
         doc
+    }
+
+    /// Builds an index from a document batch on the global pool: per-document
+    /// tokenization (the CPU-bound half) fans out across threads, then the
+    /// postings merge runs serially in input order — so the result is
+    /// byte-identical to calling [`SearchIndex::add_document`] in a loop.
+    pub fn build(docs: &[(String, String)]) -> SearchIndex {
+        SearchIndex::build_in(Pool::global(), docs)
+    }
+
+    /// [`SearchIndex::build`] on an explicit pool.
+    pub fn build_in(pool: &Pool, docs: &[(String, String)]) -> SearchIndex {
+        let token_streams =
+            pool.par_map_collect(docs, DOC_CHUNK, |(_, text)| tokenize(text.as_str()));
+        let mut ix = SearchIndex::new();
+        for ((key, _), terms) in docs.iter().zip(token_streams) {
+            ix.add_tokenized(key, terms);
+        }
+        ix
+    }
+
+    /// Order-sensitive FNV-1a fingerprint of the full index contents (keys,
+    /// document lengths, terms, postings and positions). Used by the
+    /// determinism tests and the bench harness to assert that parallel and
+    /// serial builds produce identical indexes.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+        const FNV_PRIME: u64 = 0x100000001b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for key in &self.keys {
+            eat(key.as_bytes());
+            eat(&[0xff]);
+        }
+        for &len in &self.doc_len {
+            eat(&len.to_le_bytes());
+        }
+        eat(&self.total_len.to_le_bytes());
+        for (term, posting) in &self.postings {
+            eat(term.as_bytes());
+            eat(&[0xfe]);
+            for (doc, positions) in &posting.docs {
+                eat(&(*doc as u64).to_le_bytes());
+                for &p in positions {
+                    eat(&p.to_le_bytes());
+                }
+            }
+        }
+        h
     }
 
     fn remove_postings(&mut self, doc: DocId) {
@@ -453,5 +518,36 @@ mod tests {
     fn prefix_upper_bound_edge() {
         assert_eq!(prefix_upper_bound("ab"), Some("ac".into()));
         assert_eq!(prefix_upper_bound("a"), Some("b".into()));
+    }
+
+    #[test]
+    fn batch_build_equals_sequential_adds() {
+        let docs: Vec<(String, String)> = (0..90)
+            .map(|i| {
+                (
+                    format!("Page:{i}"),
+                    format!("sensor number {i} measuring temperature at site {}", i % 7),
+                )
+            })
+            .collect();
+        let mut sequential = SearchIndex::new();
+        for (key, text) in &docs {
+            sequential.add_document(key, text);
+        }
+        for threads in [1, 2, 7] {
+            let built = SearchIndex::build_in(&Pool::new(threads), &docs);
+            assert_eq!(built.fingerprint(), sequential.fingerprint(), "{threads}");
+            assert_eq!(built.doc_count(), sequential.doc_count());
+            assert_eq!(built.term_count(), sequential.term_count());
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let a = index();
+        let mut b = index();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.add_document("Fieldsite:New", "fresh snow data");
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 }

@@ -109,10 +109,19 @@ fn every_route_answers_and_counts() {
     // POSTs: a JSONL bulk load, a malformed-UTF-8 bulk load (400), a tag.
     let jsonl = br#"{"title":"Deployment:wfj_wind","namespace":"Deployment","body":"wind sensor","annotations":[["measuresQuantity","wind"]],"links":[],"tags":["wind"]}"#;
     let resp = app.handle(&req("POST", "/bulkload", jsonl));
-    assert_eq!(resp.status, 200, "{:?}", String::from_utf8_lossy(&resp.body));
+    assert_eq!(
+        resp.status,
+        200,
+        "{:?}",
+        String::from_utf8_lossy(&resp.body)
+    );
     let resp = app.handle(&req("POST", "/bulkload", &[0xff, 0xfe, b'{']));
     assert_eq!(resp.status, 400, "invalid UTF-8 body must be rejected");
-    let resp = app.handle(&req("POST", "/tag?page=Deployment:wfj_wind&tag=breeze", b""));
+    let resp = app.handle(&req(
+        "POST",
+        "/tag?page=Deployment:wfj_wind&tag=breeze",
+        b"",
+    ));
     assert_eq!(resp.status, 200);
     let resp = app.handle(&req("DELETE", "/tags", b""));
     assert_eq!(resp.status, 405);
@@ -121,9 +130,28 @@ fn every_route_answers_and_counts() {
     let metrics = get(&app, "/metrics");
     let text = String::from_utf8(metrics.body).unwrap();
     for route in [
-        "home", "search", "autocomplete", "attributes", "recommend", "tags", "tags_json",
-        "viz_bar", "viz_pie", "viz_map", "viz_graph", "viz_hypergraph", "sql", "sparql",
-        "export_ttl", "suggest_tags", "page", "healthz", "metrics", "bulkload", "tag", "other",
+        "home",
+        "search",
+        "autocomplete",
+        "attributes",
+        "recommend",
+        "tags",
+        "tags_json",
+        "viz_bar",
+        "viz_pie",
+        "viz_map",
+        "viz_graph",
+        "viz_hypergraph",
+        "sql",
+        "sparql",
+        "export_ttl",
+        "suggest_tags",
+        "page",
+        "healthz",
+        "metrics",
+        "bulkload",
+        "tag",
+        "other",
     ] {
         let counter = format!("http_route_{route}_requests_total");
         let line = text
@@ -150,15 +178,16 @@ fn every_route_answers_and_counts() {
         "rank_gauss_seidel_solves_total",   // rank solver
         "tagging_cloud_cache_misses_total", // tagging cache
     ] {
-        assert!(needle.len() > 1 && text.contains(needle), "missing {needle}");
+        assert!(
+            needle.len() > 1 && text.contains(needle),
+            "missing {needle}"
+        );
     }
 
     // JSON rendering parses and carries the same counters.
     let json_body = get(&app, "/metrics.json");
-    let v: serde_json::Value = serde_json::from_str(
-        std::str::from_utf8(&json_body.body).unwrap(),
-    )
-    .unwrap();
+    let v: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&json_body.body).unwrap()).unwrap();
     assert!(!v["counters"].is_null());
     let _ = obs::global(); // exposition above came from the same registry
 }

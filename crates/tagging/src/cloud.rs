@@ -6,7 +6,7 @@
 
 use crate::clique::{clique_membership, maximal_cliques, BkVariant};
 use crate::fontsize::{font_size, font_size_frequency_only, FontScale, FontSizeInput};
-use crate::similarity::similarity_graph;
+use crate::similarity::{similarity_graph_from, similarity_matrix};
 use crate::store::TagStore;
 
 /// Parameters of a cloud computation.
@@ -73,7 +73,9 @@ impl TagCloud {
 pub fn compute_cloud(store: &TagStore, params: &CloudParams) -> TagCloud {
     let (tags, sets) = store.incidence();
     let counts: Vec<usize> = tags.iter().map(|t| store.frequency(t)).collect();
-    let graph = similarity_graph(&sets, params.threshold);
+    // Compute the similarity matrix once (parallel fill) and threshold it,
+    // instead of recomputing every cosine inside the graph build.
+    let graph = similarity_graph_from(&similarity_matrix(&sets), params.threshold);
     let (cliques, stats) = maximal_cliques(&graph, params.variant);
     // Only multi-tag cliques carry semantic information for the cloud;
     // singleton "cliques" are isolated tags.

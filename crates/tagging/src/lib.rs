@@ -24,6 +24,7 @@ pub mod fontsize;
 pub mod similarity;
 pub mod store;
 pub mod suggest;
+pub mod symmatrix;
 
 pub use cache::{CacheStats, CloudCache};
 pub use clique::{
@@ -32,7 +33,9 @@ pub use clique::{
 pub use cloud::{compute_cloud, CloudParams, TagCloud, TagEntry};
 pub use fontsize::{font_size, font_size_frequency_only, FontScale, FontSizeInput};
 pub use similarity::{
-    check_similarity_graph, cosine, similarity_graph, similarity_matrix, DEFAULT_THRESHOLD,
+    check_similarity_graph, cosine, similarity_graph, similarity_graph_from, similarity_matrix,
+    similarity_matrix_in, DEFAULT_THRESHOLD,
 };
 pub use store::TagStore;
 pub use suggest::{suggest_tags, TagSuggestion};
+pub use symmatrix::SymMatrix;

@@ -3,49 +3,93 @@
 //! Each tag is a binary vector over pages; two tags are "considered similar
 //! for a threshold above 50%" (the paper's default). The resulting 0/1
 //! matrix is handed to the Graph module as an undirected tag graph.
+//!
+//! Page sets are **sorted slices** (`&[usize]`), so the cosine kernel is a
+//! cache-friendly sorted-merge intersection, and the `O(n²)` pair fill is
+//! partitioned into fixed-size chunks of the packed [`SymMatrix`] triangle
+//! and computed in parallel with bit-deterministic results.
 
+use crate::symmatrix::SymMatrix;
 use sensormeta_graph::UndirectedGraph;
-use std::collections::BTreeSet;
+use sensormeta_par::Pool;
 
 /// The paper's similarity threshold.
 pub const DEFAULT_THRESHOLD: f64 = 0.5;
 
+/// Tag pairs per parallel fill chunk (fixed: determinism contract of
+/// `sensormeta-par` — boundaries never depend on the thread count).
+const PAIR_CHUNK: usize = 4096;
+
 /// Cosine similarity of two page sets (binary occurrence vectors):
-/// `|A ∩ B| / sqrt(|A|·|B|)`.
-pub fn cosine(a: &BTreeSet<usize>, b: &BTreeSet<usize>) -> f64 {
+/// `|A ∩ B| / sqrt(|A|·|B|)`. Both slices must be sorted ascending (as
+/// produced by [`crate::TagStore::incidence`]); the intersection is a
+/// two-pointer sorted merge.
+pub fn cosine(a: &[usize], b: &[usize]) -> f64 {
     if a.is_empty() || b.is_empty() {
         return 0.0;
     }
-    let inter = a.intersection(b).count() as f64;
-    // sqrt(|A|)·sqrt(|B|) can round just below |A∩B| for identical sets,
-    // nudging the quotient above 1; clamp to the mathematical range.
-    (inter / ((a.len() as f64).sqrt() * (b.len() as f64).sqrt())).min(1.0)
-}
-
-/// Computes the full tag-similarity matrix (dense, symmetric).
-pub fn similarity_matrix(sets: &[BTreeSet<usize>]) -> Vec<Vec<f64>> {
-    let n = sets.len();
-    let mut m = vec![vec![0.0; n]; n];
-    #[allow(clippy::needless_range_loop)]
-    for i in 0..n {
-        m[i][i] = 1.0;
-        for j in i + 1..n {
-            let s = cosine(&sets[i], &sets[j]);
-            m[i][j] = s;
-            m[j][i] = s;
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "unsorted page set");
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "unsorted page set");
+    let mut inter = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
         }
     }
+    // sqrt(|A|)·sqrt(|B|) can round just below |A∩B| for identical sets,
+    // nudging the quotient above 1; clamp to the mathematical range.
+    (inter as f64 / ((a.len() as f64).sqrt() * (b.len() as f64).sqrt())).min(1.0)
+}
+
+/// Computes the full tag-similarity matrix (packed symmetric) on the
+/// global pool.
+pub fn similarity_matrix(sets: &[Vec<usize>]) -> SymMatrix {
+    similarity_matrix_in(Pool::global(), sets)
+}
+
+/// [`similarity_matrix`] on an explicit pool. The packed upper triangle is
+/// a flat pair array, so fixed-size chunks of it are disjoint `&mut`
+/// ranges filled in parallel; each entry is computed exactly once, making
+/// the result identical at every thread count.
+pub fn similarity_matrix_in(pool: &Pool, sets: &[Vec<usize>]) -> SymMatrix {
+    let n = sets.len();
+    let mut m = SymMatrix::zeros(n);
+    pool.par_chunks_mut(m.data_mut(), PAIR_CHUNK, |_, base, chunk| {
+        for (off, slot) in chunk.iter_mut().enumerate() {
+            let (i, j) = SymMatrix::coords_for(n, base + off);
+            *slot = if i == j {
+                1.0
+            } else {
+                cosine(&sets[i], &sets[j])
+            };
+        }
+    });
     m
 }
 
 /// Thresholds the similarity matrix into the undirected tag graph
 /// ("1 denotes a link from one tag to another and 0 denotes no linking").
-pub fn similarity_graph(sets: &[BTreeSet<usize>], threshold: f64) -> UndirectedGraph {
-    let n = sets.len();
+/// Computes the matrix (in parallel) and delegates to
+/// [`similarity_graph_from`] — callers that already hold the matrix should
+/// use that directly instead of recomputing every cosine.
+pub fn similarity_graph(sets: &[Vec<usize>], threshold: f64) -> UndirectedGraph {
+    similarity_graph_from(&similarity_matrix(sets), threshold)
+}
+
+/// Thresholds an already-computed similarity matrix into the tag graph.
+pub fn similarity_graph_from(m: &SymMatrix, threshold: f64) -> UndirectedGraph {
+    let n = m.n();
     let mut g = UndirectedGraph::new(n);
     for i in 0..n {
         for j in i + 1..n {
-            if cosine(&sets[i], &sets[j]) > threshold {
+            if m.get(i, j) > threshold {
                 g.add_edge(i, j);
             }
         }
@@ -56,10 +100,12 @@ pub fn similarity_graph(sets: &[BTreeSet<usize>], threshold: f64) -> UndirectedG
 /// Deep semantic check (fsck) of a thresholded tag graph against the page
 /// sets it was built from: the graph must be structurally sound (symmetric,
 /// loop-free, in range), every cosine must lie in `[0, 1]`, and an edge must
-/// exist exactly when the similarity exceeds the threshold. Returns every
-/// violated invariant.
+/// exist exactly when the similarity exceeds the threshold. Recomputes each
+/// cosine directly from the page sets — deliberately independent of the
+/// [`SymMatrix`] fill — using the same kernel the shared path uses.
+/// Returns every violated invariant.
 pub fn check_similarity_graph(
-    sets: &[BTreeSet<usize>],
+    sets: &[Vec<usize>],
     threshold: f64,
     g: &UndirectedGraph,
 ) -> Result<(), Vec<String>> {
@@ -97,8 +143,11 @@ pub fn check_similarity_graph(
 mod tests {
     use super::*;
 
-    fn set(v: &[usize]) -> BTreeSet<usize> {
-        v.iter().copied().collect()
+    fn set(v: &[usize]) -> Vec<usize> {
+        let mut s = v.to_vec();
+        s.sort_unstable();
+        s.dedup();
+        s
     }
 
     #[test]
@@ -120,10 +169,11 @@ mod tests {
     fn matrix_is_symmetric_with_unit_diagonal() {
         let sets = vec![set(&[0, 1]), set(&[1, 2]), set(&[5])];
         let m = similarity_matrix(&sets);
-        for (i, row) in m.iter().enumerate() {
-            assert!((row[i] - 1.0).abs() < 1e-12);
-            for (j, v) in row.iter().enumerate() {
-                assert!((v - m[j][i]).abs() < 1e-12);
+        for i in 0..sets.len() {
+            assert!((m.get(i, i) - 1.0).abs() < 1e-12);
+            for j in 0..sets.len() {
+                assert!((m.get(i, j) - m.get(j, i)).abs() < 1e-12);
+                assert!((m.get(i, j) - cosine(&sets[i], &sets[j])).abs() < 1e-12 || i == j);
             }
         }
     }
@@ -137,6 +187,17 @@ mod tests {
         // cos({1,2},{1,2,3}) = 2/sqrt(6) ≈ 0.816 > 0.5.
         assert!(g.has_edge(0, 2));
         assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn graph_from_matrix_matches_direct_build() {
+        let sets = vec![set(&[1, 2]), set(&[2, 3]), set(&[1, 2, 3]), set(&[9])];
+        let m = similarity_matrix(&sets);
+        let from_matrix = similarity_graph_from(&m, DEFAULT_THRESHOLD);
+        assert_eq!(
+            check_similarity_graph(&sets, DEFAULT_THRESHOLD, &from_matrix),
+            Ok(())
+        );
     }
 
     #[test]

@@ -109,9 +109,12 @@ impl TagStore {
         self.version
     }
 
-    /// The tag-page incidence as (tags, page-sets over a dense page index) —
-    /// input to the Matrix Transformation module.
-    pub fn incidence(&self) -> (Vec<String>, Vec<BTreeSet<usize>>) {
+    /// The tag-page incidence as (tags, sorted page-id lists over a dense
+    /// page index) — input to the Matrix Transformation module. Page ids in
+    /// each list are strictly ascending (the `BTreeSet` of page names maps
+    /// through a monotone index), which the sorted-merge cosine kernel in
+    /// [`crate::similarity::cosine`] relies on.
+    pub fn incidence(&self) -> (Vec<String>, Vec<Vec<usize>>) {
         let page_index: BTreeMap<&str, usize> = self
             .page_tags
             .keys()
@@ -185,7 +188,10 @@ mod tests {
         assert_eq!(tags, vec!["snow", "wind"]);
         assert_eq!(sets[0].len(), 2);
         assert_eq!(sets[1].len(), 2);
+        // Page lists are sorted ascending, as the cosine kernel requires.
+        assert!(sets.iter().all(|s| s.windows(2).all(|w| w[0] < w[1])));
         // snow ∩ wind = {B}: exactly one shared page.
-        assert_eq!(sets[0].intersection(&sets[1]).count(), 1);
+        let shared = sets[0].iter().filter(|p| sets[1].contains(p)).count();
+        assert_eq!(shared, 1);
     }
 }

@@ -62,13 +62,16 @@ proptest! {
     #[test]
     fn cosine_properties(a in prop::collection::btree_set(0usize..30, 0..15),
                          b in prop::collection::btree_set(0usize..30, 0..15)) {
+        // BTreeSet iteration is ascending, so these are valid sorted slices.
+        let a: Vec<usize> = a.into_iter().collect();
+        let b: Vec<usize> = b.into_iter().collect();
         let s = cosine(&a, &b);
         prop_assert!((0.0..=1.0 + 1e-12).contains(&s));
         prop_assert!((s - cosine(&b, &a)).abs() < 1e-12);
         if !a.is_empty() {
             prop_assert!((cosine(&a, &a) - 1.0).abs() < 1e-12);
         }
-        let disjoint: BTreeSet<usize> = a.iter().map(|x| x + 100).collect();
+        let disjoint: Vec<usize> = a.iter().map(|x| x + 100).collect();
         prop_assert_eq!(cosine(&a, &disjoint), 0.0);
     }
 
@@ -77,11 +80,12 @@ proptest! {
     fn matrix_symmetry(sets in prop::collection::vec(
         prop::collection::btree_set(0usize..12, 1..6), 1..8))
     {
+        let sets: Vec<Vec<usize>> = sets.into_iter().map(|s| s.into_iter().collect()).collect();
         let m = similarity_matrix(&sets);
-        for (i, row) in m.iter().enumerate() {
-            prop_assert!((row[i] - 1.0).abs() < 1e-12);
-            for (j, v) in row.iter().enumerate() {
-                prop_assert!((v - m[j][i]).abs() < 1e-12);
+        for i in 0..sets.len() {
+            prop_assert!((m.get(i, i) - 1.0).abs() < 1e-12);
+            for j in 0..sets.len() {
+                prop_assert!((m.get(i, j) - m.get(j, i)).abs() < 1e-12);
             }
         }
     }

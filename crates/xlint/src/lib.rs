@@ -12,6 +12,9 @@
 //! - **missing-docs** — public items in crate roots carry doc comments.
 //! - **no-println-in-lib** — no `println!`/`print!`/`eprintln!`/`eprint!`/
 //!   `dbg!` in non-test library code (`main.rs` and `src/bin/` are exempt).
+//! - **no-raw-thread-spawn** — no `thread::spawn` outside `crates/par` (the
+//!   worker pool) and `crates/server` (the accept loop); everything else
+//!   parallelizes through the `sensormeta-par` pool.
 //!
 //! Violations are reported rustc-style (`file:line: rule: message`).
 //! A committed `xlint-baseline.toml` grandfathers pre-existing debt; the

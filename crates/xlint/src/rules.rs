@@ -23,6 +23,11 @@ pub enum Rule {
     /// library code (binaries and test code may print; libraries report
     /// through return values or the obs registry).
     NoPrintlnInLib,
+    /// `thread::spawn` outside the sanctioned crates (`crates/par`, which
+    /// owns the worker pool, and `crates/server`, which owns the accept
+    /// loop). Everything else must go through the `sensormeta-par` pool so
+    /// parallelism stays bounded, instrumented and deterministic.
+    NoRawThreadSpawn,
 }
 
 impl Rule {
@@ -35,6 +40,7 @@ impl Rule {
             Rule::ErrorImpl => "error-impl",
             Rule::MissingDocs => "missing-docs",
             Rule::NoPrintlnInLib => "no-println-in-lib",
+            Rule::NoRawThreadSpawn => "no-raw-thread-spawn",
         }
     }
 
@@ -47,6 +53,7 @@ impl Rule {
             "error-impl" => Some(Rule::ErrorImpl),
             "missing-docs" => Some(Rule::MissingDocs),
             "no-println-in-lib" => Some(Rule::NoPrintlnInLib),
+            "no-raw-thread-spawn" => Some(Rule::NoRawThreadSpawn),
             _ => None,
         }
     }
@@ -194,6 +201,9 @@ pub fn lint_tokens(
     let tokens = &lexed.tokens;
     let mask = test_region_mask(tokens);
     let mut out = Vec::new();
+    // Raw thread spawning is sanctioned only where a worker/accept loop
+    // legitimately lives; everywhere else must use the sensormeta-par pool.
+    let thread_spawn_exempt = file.starts_with("crates/par/") || file.starts_with("crates/server/");
 
     let ident = |i: usize, s: &str| -> bool {
         tokens
@@ -262,6 +272,24 @@ pub fn lint_tokens(
                     ),
                 });
             }
+        }
+
+        // -- no-raw-thread-spawn ------------------------------------------
+        if !thread_spawn_exempt
+            && ident(i, "thread")
+            && punct(i + 1, ':')
+            && punct(i + 2, ':')
+            && ident(i + 3, "spawn")
+            && !allowed(lexed, line, Rule::NoRawThreadSpawn)
+        {
+            out.push(Violation {
+                file: file.to_string(),
+                line,
+                rule: Rule::NoRawThreadSpawn,
+                message: "`thread::spawn` outside crates/par and crates/server; use the \
+                          sensormeta-par pool so parallelism stays bounded and deterministic"
+                    .to_string(),
+            });
         }
 
         // -- float-eq -----------------------------------------------------
@@ -567,6 +595,33 @@ mod tests {
         assert!(lint(good).is_empty());
         // Non-error enums are not held to the contract.
         assert!(lint("pub enum Color { Red }").is_empty());
+    }
+
+    #[test]
+    fn raw_thread_spawn_flagged_outside_sanctioned_crates() {
+        let src = "fn f() { std::thread::spawn(|| {}); }";
+        let v = lint(src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::NoRawThreadSpawn);
+        // Bare `thread::spawn` (imported module) is also caught.
+        let v = lint("use std::thread;\nfn f() { thread::spawn(|| {}); }");
+        assert_eq!(v.len(), 1);
+        // The pool and server crates are sanctioned.
+        for exempt in ["crates/par/src/lib.rs", "crates/server/src/http.rs"] {
+            let lexed = lex(src);
+            let mut facts = FileFacts::default();
+            assert!(
+                lint_tokens(exempt, &lexed, false, false, false, &mut facts).is_empty(),
+                "{exempt}"
+            );
+        }
+        // Test regions and allow markers suppress.
+        let t = "fn lib() {}\n#[cfg(test)]\nmod tests {\n fn t() { std::thread::spawn(|| {}); }\n}";
+        assert!(lint(t).is_empty());
+        let marked = "fn f() { std::thread::spawn(|| {}); } // xlint: allow(no-raw-thread-spawn)";
+        assert!(lint(marked).is_empty());
+        // `thread.spawn()` on a variable or other paths are not the std call.
+        assert!(lint("fn f(thread: P) { thread.spawn(); }").is_empty());
     }
 
     #[test]

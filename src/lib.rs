@@ -16,7 +16,8 @@
 //! - [`server`] — the demo HTTP application
 //! - [`workload`] — synthetic Swiss-Experiment corpus & web-graph generators
 //! - [`obs`] — metrics, spans and Prometheus-style exposition
-//! - [`bench`] — seeded end-to-end benchmark suite
+//! - [`par`] — deterministic work-chunked thread pool behind the hot paths
+//! - [`mod@bench`] — seeded end-to-end benchmark suite
 //!
 //! ```
 //! use sensormeta::smr::{PageDraft, Smr};
@@ -34,6 +35,7 @@
 pub use sensormeta_bench as bench;
 pub use sensormeta_graph as graph;
 pub use sensormeta_obs as obs;
+pub use sensormeta_par as par;
 pub use sensormeta_query as query;
 pub use sensormeta_rank as rank;
 pub use sensormeta_rdf as rdf;

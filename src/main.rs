@@ -413,7 +413,11 @@ fn bench(opts: &Opts) -> CliResult {
         std::fs::write(&path, report.to_json())?;
         println!(
             "{:<16} n={:<4} p50={}us p95={}us p99={}us max={}us -> {path}",
-            report.name, report.iterations, report.p50_us, report.p95_us, report.p99_us,
+            report.name,
+            report.iterations,
+            report.p50_us,
+            report.p95_us,
+            report.p99_us,
             report.max_us
         );
     }

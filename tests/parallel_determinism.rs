@@ -1,0 +1,151 @@
+//! Determinism suite for the parallel execution layer: every parallelized
+//! hot path must produce **bit-for-bit** identical results on pools of 1, 2
+//! and 7 threads. Chunk boundaries and reduction order in `sensormeta-par`
+//! depend only on data length and fixed chunk-size constants, never on the
+//! thread count — these tests pin that contract end to end.
+
+use sensormeta::graph::CsrGraph;
+use sensormeta::par::Pool;
+use sensormeta::rank::{
+    Arnoldi, BiCgStab, GaussSeidel, Gmres, Jacobi, PageRankProblem, PowerIteration, Solver, Sor,
+    TransitionMatrix,
+};
+use sensormeta::search::SearchIndex;
+use sensormeta::tagging::similarity_matrix_in;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 7];
+
+/// Seeded LCG, the same generator the solver unit tests use.
+fn lcg(seed: u64) -> impl FnMut() -> usize {
+    let mut state = seed;
+    move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    }
+}
+
+fn web_problem(n: usize, seed: u64) -> PageRankProblem {
+    let mut next = lcg(seed);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for _ in 0..(next() % 7) {
+            edges.push((u, next() % n));
+        }
+    }
+    PageRankProblem::new(TransitionMatrix::from_graph(&CsrGraph::from_edges(
+        n, &edges, true,
+    )))
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|e| e.to_bits()).collect()
+}
+
+#[test]
+fn matvec_is_bitwise_identical_across_thread_counts() {
+    let p = web_problem(1500, 11);
+    let mut next = lcg(99);
+    let x: Vec<f64> = (0..p.n())
+        .map(|_| (next() % 1000) as f64 / 1000.0)
+        .collect();
+    let mut reference = vec![0.0; p.n()];
+    p.google_matvec_in(&Pool::new(1), &x, &mut reference);
+    for threads in THREAD_COUNTS {
+        let pool = Pool::new(threads);
+        let mut y = vec![0.0; p.n()];
+        p.google_matvec_in(&pool, &x, &mut y);
+        assert_eq!(bits(&y), bits(&reference), "{threads} threads");
+    }
+}
+
+#[test]
+fn every_solver_is_bitwise_identical_across_thread_counts() {
+    let p = web_problem(900, 7);
+    let solvers: Vec<Box<dyn Solver>> = vec![
+        Box::new(PowerIteration),
+        Box::new(Jacobi),
+        Box::new(GaussSeidel),
+        Box::new(Sor { omega: 1.05 }),
+        Box::new(BiCgStab),
+        Box::new(Gmres::default()),
+        Box::new(Arnoldi::default()),
+    ];
+    for solver in &solvers {
+        let reference = solver.solve_in(&Pool::new(1), &p, 1e-10, 500);
+        for threads in THREAD_COUNTS {
+            let r = solver.solve_in(&Pool::new(threads), &p, 1e-10, 500);
+            assert_eq!(
+                bits(&r.x),
+                bits(&reference.x),
+                "{} at {threads} threads",
+                solver.name()
+            );
+            assert_eq!(
+                r.iterations,
+                reference.iterations,
+                "{} iteration trajectory at {threads} threads",
+                solver.name()
+            );
+            assert_eq!(
+                bits(&r.residuals),
+                bits(&reference.residuals),
+                "{} residual trajectory at {threads} threads",
+                solver.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn similarity_matrix_is_bitwise_identical_across_thread_counts() {
+    let mut next = lcg(2011);
+    let sets: Vec<Vec<usize>> = (0..150)
+        .map(|_| {
+            let mut s: Vec<usize> = (0..(2 + next() % 20)).map(|_| next() % 400).collect();
+            s.sort_unstable();
+            s.dedup();
+            s
+        })
+        .collect();
+    let reference = similarity_matrix_in(&Pool::new(1), &sets);
+    for threads in THREAD_COUNTS {
+        let m = similarity_matrix_in(&Pool::new(threads), &sets);
+        assert_eq!(
+            bits(m.as_slice()),
+            bits(reference.as_slice()),
+            "{threads} threads"
+        );
+    }
+}
+
+#[test]
+fn index_build_is_identical_across_thread_counts() {
+    let mut next = lcg(5);
+    let vocab = [
+        "snow",
+        "avalanche",
+        "temperature",
+        "wind",
+        "sensor",
+        "station",
+        "discharge",
+        "hydrology",
+        "weissfluhjoch",
+        "davos",
+    ];
+    let docs: Vec<(String, String)> = (0..200)
+        .map(|i| {
+            let words: Vec<&str> = (0..(5 + next() % 40))
+                .map(|_| vocab[next() % vocab.len()])
+                .collect();
+            (format!("Page:{i}"), words.join(" "))
+        })
+        .collect();
+    let reference = SearchIndex::build_in(&Pool::new(1), &docs).fingerprint();
+    for threads in THREAD_COUNTS {
+        let fp = SearchIndex::build_in(&Pool::new(threads), &docs).fingerprint();
+        assert_eq!(fp, reference, "{threads} threads");
+    }
+}

@@ -46,10 +46,10 @@ fn smr_to_cloud_pipeline() {
     let matrix = similarity_matrix(&sets);
     let ix = |name: &str| tags.iter().position(|t| t == name).unwrap();
     // snow and avalanche co-occur on 3 of snow's 4 pages.
-    assert!(matrix[ix("snow")][ix("avalanche")] > 0.8);
+    assert!(matrix.get(ix("snow"), ix("avalanche")) > 0.8);
     // snow also touches one hydrology page.
-    assert!(matrix[ix("snow")][ix("hydrology")] > 0.0);
-    assert!(matrix[ix("snow")][ix("hydrology")] < 0.5);
+    assert!(matrix.get(ix("snow"), ix("hydrology")) > 0.0);
+    assert!(matrix.get(ix("snow"), ix("hydrology")) < 0.5);
 
     // Graph + Max Clique modules.
     let graph = similarity_graph(&sets, 0.5);
