@@ -19,7 +19,7 @@ fn corpus_tags() -> TagStore {
 fn print_hit_rates() {
     // A render-heavy workload: 1 mutation per 20 renders.
     let mut store = corpus_tags();
-    let mut cache = CloudCache::new();
+    let cache = CloudCache::new();
     let params = CloudParams::default();
     for i in 0..200 {
         if i % 20 == 0 {
@@ -47,7 +47,7 @@ fn bench_cache(c: &mut Criterion) {
         b.iter(|| compute_cloud(&store, &params).entries.len())
     });
     c.bench_function("cloud_cached_lookup", |b| {
-        let mut cache = CloudCache::new();
+        let cache = CloudCache::new();
         let _ = cache.get(&store, &params); // warm
         b.iter(|| cache.get(&store, &params).entries.len())
     });

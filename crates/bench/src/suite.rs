@@ -6,9 +6,10 @@
 //! per workload, diffable across commits.
 
 use crate::{fig3_problem, FIG3_TOL};
+use sensormeta_cache::Status;
 use sensormeta_obs as obs;
 use sensormeta_par::Pool;
-use sensormeta_query::{CondOp, Condition, QueryEngine, SearchForm};
+use sensormeta_query::{CondOp, Condition, QueryEngine, SearchForm, SearchOptions};
 use sensormeta_rank::{GaussSeidel, PowerIteration, Solver};
 use sensormeta_search::SearchIndex;
 use sensormeta_smr::{PageDraft, Smr};
@@ -115,6 +116,7 @@ pub fn run_suite(cfg: &BenchConfig) -> Vec<BenchReport> {
         bench_pagerank_par(cfg),
         bench_tagsim_par(cfg),
         bench_indexbuild_par(cfg),
+        bench_cache(cfg),
     ]
 }
 
@@ -388,6 +390,59 @@ fn bench_indexbuild_par(cfg: &BenchConfig) -> BenchReport {
     })
 }
 
+/// Cold-vs-warm cached search through the shared result cache: the same
+/// deduplicated query set runs once against freshly cleared caches (every
+/// lookup computes) and then twice more (every lookup should hit). The
+/// report's quantiles time the warm passes; the extras carry the hit rate
+/// and both means so `BENCH_cache.json` is diffable across commits.
+fn bench_cache(cfg: &BenchConfig) -> BenchReport {
+    let engine = seeded_engine(cfg);
+    let mut queries = query_workload(cfg.iterations.max(10), cfg.seed + 23);
+    queries.sort_unstable();
+    queries.dedup();
+    let opts = SearchOptions::default();
+    let h = obs::histogram("bench_cache_us");
+    engine.clear_caches();
+    let mut cold_total_us = 0.0f64;
+    for q in &queries {
+        let form = SearchForm::keywords(q.clone());
+        let t = Instant::now();
+        let _ = engine.search_shared(&form, &opts);
+        cold_total_us += t.elapsed().as_secs_f64() * 1e6;
+    }
+    let mut hits = 0u64;
+    let mut lookups = 0u64;
+    let mut warm_total_us = 0.0f64;
+    for _ in 0..2 {
+        for q in &queries {
+            let form = SearchForm::keywords(q.clone());
+            let t = Instant::now();
+            let status = match engine.search_shared(&form, &opts) {
+                Ok((_, status)) => status,
+                Err(_) => Status::Bypass,
+            };
+            let dt = t.elapsed();
+            h.record_duration(dt);
+            warm_total_us += dt.as_secs_f64() * 1e6;
+            lookups += 1;
+            hits += u64::from(status == Status::Hit);
+        }
+    }
+    let cold_mean = cold_total_us / queries.len().max(1) as f64;
+    let warm_mean = warm_total_us / lookups.max(1) as f64;
+    let mut report = BenchReport::from_histogram("cache", &h);
+    report
+        .extra
+        .push(("cache_hit_rate", hits as f64 / lookups.max(1) as f64));
+    report.extra.push(("cold_mean_us", cold_mean));
+    report.extra.push(("warm_mean_us", warm_mean));
+    report.extra.push((
+        "warm_speedup",
+        cold_mean / warm_mean.max(f64::MIN_POSITIVE),
+    ));
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,7 +455,7 @@ mod tests {
             seed: 42,
         };
         let reports = run_suite(&cfg);
-        assert_eq!(reports.len(), 8);
+        assert_eq!(reports.len(), 9);
         for r in &reports {
             assert!(r.iterations > 0, "{} ran", r.name);
             let json = r.to_json();
@@ -422,5 +477,17 @@ mod tests {
             let parallel = r.extra_text.iter().find(|(k, _)| *k == "parallel_hash");
             assert_eq!(serial.map(|(_, v)| v), parallel.map(|(_, v)| v), "{name}");
         }
+        // The cache workload reports its hit rate and cold/warm means.
+        let cache = reports.iter().find(|r| r.name == "cache").unwrap();
+        let extras: std::collections::BTreeMap<&str, f64> =
+            cache.extra.iter().copied().collect();
+        for key in ["cache_hit_rate", "cold_mean_us", "warm_mean_us", "warm_speedup"] {
+            assert!(extras.contains_key(key), "cache: missing {key}");
+        }
+        assert!(
+            extras["cache_hit_rate"] > 0.99,
+            "warm passes over an unchanged corpus must hit: {}",
+            extras["cache_hit_rate"]
+        );
     }
 }

@@ -1,0 +1,168 @@
+//! Epoch clock: per-domain monotonic counters that date every piece of
+//! mutable state a cached result can depend on.
+//!
+//! Every mutating path in the stack bumps the domain(s) it touches; a cache
+//! entry captures the clock *before* its computation runs and stays valid
+//! only while every captured epoch still matches. Bumps are single relaxed
+//! atomic increments, so instrumenting hot write paths costs nanoseconds.
+//! Over-invalidation (a bump that did not actually change what an entry
+//! read) is always safe — it can only cause a recomputation, never a stale
+//! serve.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// The mutable state domains cached results may depend on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Domain {
+    /// Relational tables (pages, annotations, links, tags, revisions).
+    Relational = 0,
+    /// The RDF triple store mirror.
+    Triples = 1,
+    /// The full-text inverted index.
+    SearchIndex = 2,
+    /// The double-link web graph (semantic + hyperlink edges).
+    WebGraph = 3,
+    /// The page↔tag incidence structure.
+    TagIncidence = 4,
+}
+
+/// Number of [`Domain`] variants (the epoch vector's length).
+pub const DOMAIN_COUNT: usize = 5;
+
+/// Every domain, in epoch-vector order.
+pub const ALL_DOMAINS: [Domain; DOMAIN_COUNT] = [
+    Domain::Relational,
+    Domain::Triples,
+    Domain::SearchIndex,
+    Domain::WebGraph,
+    Domain::TagIncidence,
+];
+
+impl Domain {
+    /// Stable short name (used in metric names and debug output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Domain::Relational => "relational",
+            Domain::Triples => "triples",
+            Domain::SearchIndex => "search_index",
+            Domain::WebGraph => "web_graph",
+            Domain::TagIncidence => "tag_incidence",
+        }
+    }
+}
+
+/// A point-in-time copy of every domain epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EpochVector(pub [u64; DOMAIN_COUNT]);
+
+impl EpochVector {
+    /// The captured epoch of one domain.
+    pub fn get(&self, d: Domain) -> u64 {
+        self.0[d as usize]
+    }
+}
+
+/// Monotonic per-domain epoch counters.
+#[derive(Debug, Default)]
+pub struct EpochClock {
+    epochs: [AtomicU64; DOMAIN_COUNT],
+}
+
+impl EpochClock {
+    /// A clock with every domain at epoch 0.
+    pub fn new() -> EpochClock {
+        EpochClock::default()
+    }
+
+    /// Advances one domain's epoch, invalidating every cached entry that
+    /// depends on it (lazily, at its next lookup).
+    pub fn bump(&self, d: Domain) {
+        self.epochs[d as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Advances every domain at once (e.g. `POST /admin/cache/clear`).
+    pub fn bump_all(&self) {
+        for d in ALL_DOMAINS {
+            self.bump(d);
+        }
+    }
+
+    /// Current epoch of one domain.
+    pub fn get(&self, d: Domain) -> u64 {
+        self.epochs[d as usize].load(Ordering::Relaxed)
+    }
+
+    /// Copies the whole clock. Callers capture this *before* running a
+    /// computation, so a mutation racing with the computation leaves the
+    /// resulting entry already stale.
+    pub fn snapshot(&self) -> EpochVector {
+        let mut v = [0u64; DOMAIN_COUNT];
+        for (i, e) in self.epochs.iter().enumerate() {
+            v[i] = e.load(Ordering::Relaxed);
+        }
+        EpochVector(v)
+    }
+
+    /// True iff, for every domain in `deps`, the captured epoch still
+    /// matches the clock.
+    pub fn matches(&self, stamp: &EpochVector, deps: &[Domain]) -> bool {
+        deps.iter().all(|&d| stamp.get(d) == self.get(d))
+    }
+}
+
+static GLOBAL: OnceLock<EpochClock> = OnceLock::new();
+
+/// The process-wide epoch clock. Library mutation paths bump this one;
+/// caches validate against it unless built with an explicit clock.
+pub fn clock() -> &'static EpochClock {
+    GLOBAL.get_or_init(EpochClock::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_moves_only_its_domain() {
+        let c = EpochClock::new();
+        c.bump(Domain::Relational);
+        c.bump(Domain::Relational);
+        c.bump(Domain::WebGraph);
+        assert_eq!(c.get(Domain::Relational), 2);
+        assert_eq!(c.get(Domain::WebGraph), 1);
+        assert_eq!(c.get(Domain::Triples), 0);
+    }
+
+    #[test]
+    fn snapshot_matches_until_dep_bumped() {
+        let c = EpochClock::new();
+        let stamp = c.snapshot();
+        assert!(c.matches(&stamp, &[Domain::Relational, Domain::Triples]));
+        c.bump(Domain::SearchIndex);
+        assert!(
+            c.matches(&stamp, &[Domain::Relational, Domain::Triples]),
+            "unrelated bump does not invalidate"
+        );
+        c.bump(Domain::Triples);
+        assert!(!c.matches(&stamp, &[Domain::Relational, Domain::Triples]));
+    }
+
+    #[test]
+    fn bump_all_touches_every_domain() {
+        let c = EpochClock::new();
+        let stamp = c.snapshot();
+        c.bump_all();
+        for d in ALL_DOMAINS {
+            assert!(!c.matches(&stamp, &[d]), "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn global_clock_is_shared() {
+        let before = clock().get(Domain::WebGraph);
+        clock().bump(Domain::WebGraph);
+        assert!(clock().get(Domain::WebGraph) > before);
+    }
+}

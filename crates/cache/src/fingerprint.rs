@@ -1,0 +1,100 @@
+//! Stable query fingerprints: a tiny FNV-1a builder every subsystem uses to
+//! derive its 64-bit cache keys, so identical logical queries collide onto
+//! one entry and the keys are reproducible across runs (unlike
+//! `DefaultHasher`, whose seed is randomized per process).
+
+/// Incremental FNV-1a hasher with typed, length-prefixed feeds (so
+/// `("ab","c")` and `("a","bc")` fingerprint differently).
+#[derive(Debug, Clone, Copy)]
+pub struct Fingerprint(u64);
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
+impl Fingerprint {
+    /// Starts a fresh fingerprint.
+    pub fn new() -> Fingerprint {
+        Fingerprint(FNV_OFFSET)
+    }
+
+    /// Feeds raw bytes.
+    pub fn bytes(mut self, bytes: &[u8]) -> Fingerprint {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Feeds a string, length-prefixed.
+    pub fn str(self, s: &str) -> Fingerprint {
+        self.u64(s.len() as u64).bytes(s.as_bytes())
+    }
+
+    /// Feeds an optional string (None hashes distinctly from `Some("")`).
+    pub fn opt_str(self, s: Option<&str>) -> Fingerprint {
+        match s {
+            Some(s) => self.u64(1).str(s),
+            None => self.u64(0),
+        }
+    }
+
+    /// Feeds a 64-bit integer (little-endian bytes).
+    pub fn u64(self, v: u64) -> Fingerprint {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Feeds a platform-sized integer.
+    pub fn usize(self, v: usize) -> Fingerprint {
+        self.u64(v as u64)
+    }
+
+    /// Feeds a float by bit pattern (NaN payloads included).
+    pub fn f64(self, v: f64) -> Fingerprint {
+        self.u64(v.to_bits())
+    }
+
+    /// Feeds a boolean.
+    pub fn bool(self, v: bool) -> Fingerprint {
+        self.u64(u64::from(v))
+    }
+
+    /// Finishes, returning the 64-bit key.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_and_sensitive() {
+        let a = Fingerprint::new().str("snow").u64(3).finish();
+        let b = Fingerprint::new().str("snow").u64(3).finish();
+        let c = Fingerprint::new().str("snow").u64(4).finish();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn length_prefix_disambiguates_concatenation() {
+        let ab_c = Fingerprint::new().str("ab").str("c").finish();
+        let a_bc = Fingerprint::new().str("a").str("bc").finish();
+        assert_ne!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn none_differs_from_empty() {
+        let none = Fingerprint::new().opt_str(None).finish();
+        let empty = Fingerprint::new().opt_str(Some("")).finish();
+        assert_ne!(none, empty);
+    }
+}

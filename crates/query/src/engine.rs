@@ -11,11 +11,14 @@ use crate::acl::Acl;
 use crate::error::{QueryError, Result};
 use crate::form::{CondOp, Condition, SearchForm, SortBy};
 use crate::result::{FacetCount, QueryOutput, RecommendedPage, ResultItem};
+use sensormeta_cache::{Cache, CacheConfig, CacheError, Domain, Fingerprint, Status};
 use sensormeta_obs as obs;
-use sensormeta_rank::{GaussSeidel, PageRankProblem, Recommender, Solver, TransitionMatrix};
+use sensormeta_rank::{GaussSeidel, PageRankProblem, RankCache, Recommender, TransitionMatrix};
 use sensormeta_search::{Autocomplete, SearchIndex, SpellSuggester};
 use sensormeta_smr::{sql_escape, Smr};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Ranking blend: `score = (1−w)·bm25_norm + w·pagerank_norm` when keywords
 /// are present; pure PageRank otherwise.
@@ -39,6 +42,32 @@ impl Default for RankBlend {
     }
 }
 
+/// Epoch domains a combined query result depends on: relational rows (SQL
+/// conditions, page bodies), the triple mirror (SPARQL conditions), the
+/// inverted index (keywords) and the web graph (PageRank blending).
+const RESULT_DEPS: &[Domain] = &[
+    Domain::Relational,
+    Domain::Triples,
+    Domain::SearchIndex,
+    Domain::WebGraph,
+];
+
+/// Byte budget for cached combined results.
+const RESULT_CACHE_CAPACITY: usize = 16 << 20;
+
+/// Per-request cache controls for [`QueryEngine::search_shared`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchOptions<'a> {
+    /// Skip the cache entirely (compute fresh, store nothing).
+    pub bypass: bool,
+    /// Upper bound on blocking behind an identical in-flight query; `None`
+    /// waits indefinitely. Expired waits return [`QueryError::CacheBusy`].
+    pub deadline: Option<Duration>,
+    /// Requesting user (ACL identity) — part of the cache key, since result
+    /// visibility is per user.
+    pub user: Option<&'a str>,
+}
+
 /// The query engine over one SMR.
 pub struct QueryEngine {
     smr: Smr,
@@ -55,6 +84,42 @@ pub struct QueryEngine {
     /// Attribute-name dictionary for the recommender's property ids.
     prop_names: Vec<String>,
     suggester: SpellSuggester,
+    /// Combined SQL+SPARQL+keyword result cache (see [`RESULT_DEPS`]).
+    results: Cache<QueryOutput>,
+    /// Converged PageRank vectors, shared across rebuilds.
+    rank_cache: RankCache,
+}
+
+fn weigh_output(out: &QueryOutput) -> usize {
+    let items: usize = out
+        .items
+        .iter()
+        .map(|i| {
+            std::mem::size_of_val(i) + i.title.len() + i.namespace.len() + i.snippet.len()
+        })
+        .sum();
+    let facets: usize = out
+        .facets
+        .iter()
+        .map(|f| std::mem::size_of_val(f) + f.attribute.len() + f.value.len())
+        .sum();
+    let recs: usize = out
+        .recommendations
+        .iter()
+        .map(|r| {
+            std::mem::size_of_val(r)
+                + r.title.len()
+                + r.shared_properties.iter().map(String::len).sum::<usize>()
+        })
+        .sum();
+    items + facets + recs + out.did_you_mean.as_deref().map_or(0, str::len)
+}
+
+fn result_cache() -> Cache<QueryOutput> {
+    let mut cfg = CacheConfig::new("query_results", RESULT_CACHE_CAPACITY, RESULT_DEPS);
+    // Wall-clock backstop on top of epoch invalidation.
+    cfg.ttl = Some(Duration::from_secs(120));
+    Cache::new(cfg, weigh_output)
 }
 
 impl QueryEngine {
@@ -74,6 +139,8 @@ impl QueryEngine {
             recommender: Recommender::new(Vec::new(), Vec::new()),
             prop_names: Vec::new(),
             suggester: SpellSuggester::new(),
+            results: result_cache(),
+            rank_cache: RankCache::new(),
         };
         engine.rebuild()?;
         Ok(engine)
@@ -106,7 +173,10 @@ impl QueryEngine {
             let matrix =
                 TransitionMatrix::double_link(&semantic, &hyperlink, self.blend.semantic_alpha);
             let problem = PageRankProblem::with_c(matrix, self.blend.c);
-            let solution = GaussSeidel.solve(&problem, 1e-10, 1000);
+            let (solution, cached) = self.rank_cache.solve(&GaussSeidel, &problem, 1e-10, 1000);
+            if cached {
+                obs::counter("query_rebuild_rank_cached_total").inc();
+            }
             let max = solution.x.iter().copied().fold(f64::MIN_POSITIVE, f64::max);
             solution.x.iter().map(|v| v / max).collect()
         };
@@ -206,8 +276,50 @@ impl QueryEngine {
             .collect()
     }
 
-    /// Executes an advanced-search form for a user.
+    /// Executes an advanced-search form for a user, through the result
+    /// cache. Owned convenience wrapper over [`QueryEngine::search_shared`].
     pub fn search(&self, form: &SearchForm, user: Option<&str>) -> Result<QueryOutput> {
+        let opts = SearchOptions {
+            user,
+            ..SearchOptions::default()
+        };
+        self.search_shared(form, &opts).map(|(out, _)| (*out).clone())
+    }
+
+    /// Executes an advanced-search form through the result cache, returning
+    /// the shared output plus how the lookup was answered. Identical
+    /// concurrent queries coalesce onto one computation (bounded by
+    /// `opts.deadline`); any mutation to the underlying stores invalidates
+    /// via the epoch clock before the next lookup.
+    pub fn search_shared(
+        &self,
+        form: &SearchForm,
+        opts: &SearchOptions<'_>,
+    ) -> Result<(Arc<QueryOutput>, Status)> {
+        // Cheap validation stays outside the cache so an empty form is never
+        // negatively cached (it is a client error, not a backend failure).
+        if form.is_empty() {
+            return Err(QueryError::EmptyForm);
+        }
+        if opts.bypass {
+            return Ok((Arc::new(self.search_uncached(form, opts.user)?), Status::Bypass));
+        }
+        let key = form_fingerprint(form, opts.user);
+        let (result, status) = self.results.get_or_compute(key, opts.deadline, || {
+            self.search_uncached(form, opts.user)
+        });
+        match result {
+            Ok(out) => Ok((out, status)),
+            Err(CacheError::Compute(e)) => Err(e),
+            Err(CacheError::Negative(msg)) => Err(QueryError::Cached(msg.to_string())),
+            Err(CacheError::WaitTimeout) => Err(QueryError::CacheBusy),
+        }
+    }
+
+    /// Executes an advanced-search form without consulting or filling the
+    /// result cache — the oracle the invalidation property tests compare
+    /// cached reads against.
+    pub fn search_uncached(&self, form: &SearchForm, user: Option<&str>) -> Result<QueryOutput> {
         let _timing = obs::span("query_search");
         obs::counter("query_searches_total").inc();
         if form.is_empty() {
@@ -219,12 +331,12 @@ impl QueryEngine {
         } else {
             let _ft = obs::span("query_fulltext");
             let hits = if form.match_all {
-                self.index.search_all_terms(&form.keywords, usize::MAX)
+                self.index.search_all_terms_cached(&form.keywords, usize::MAX).0
             } else {
-                self.index.search(&form.keywords, usize::MAX)
+                self.index.search_cached(&form.keywords, usize::MAX).0
             };
             Some(
-                hits.into_iter()
+                hits.iter()
                     .filter_map(|h| self.title_ids.get(&h.key).map(|&i| (i, h.score)))
                     .collect(),
             )
@@ -385,6 +497,19 @@ impl QueryEngine {
         })
     }
 
+    /// Drops every cached result this engine holds: combined query outputs,
+    /// the index's query cache, and memoized PageRank vectors.
+    pub fn clear_caches(&self) {
+        self.results.clear();
+        self.index.clear_cache();
+        self.rank_cache.clear();
+    }
+
+    /// Statistics of the combined-result cache.
+    pub fn result_cache_stats(&self) -> sensormeta_cache::CacheStats {
+        self.results.stats()
+    }
+
     /// Evaluates one condition to the set of matching page ids.
     fn eval_condition(&self, cond: &Condition) -> Result<HashSet<usize>> {
         let titles: Vec<String> = if cond.op == CondOp::Eq {
@@ -439,6 +564,45 @@ impl QueryEngine {
             .map(|r| r[0].to_string())
             .collect())
     }
+}
+
+/// Stable 64-bit key of (form, user): every field that affects the output
+/// feeds the fingerprint, so logically identical requests collide onto one
+/// entry and any difference separates them.
+fn form_fingerprint(form: &SearchForm, user: Option<&str>) -> u64 {
+    let mut fp = Fingerprint::new()
+        .opt_str(user)
+        .str(&form.keywords)
+        .usize(form.conditions.len());
+    for c in &form.conditions {
+        fp = fp
+            .str(&c.attribute)
+            .u64(match c.op {
+                CondOp::Eq => 0,
+                CondOp::Contains => 1,
+                CondOp::Gt => 2,
+                CondOp::Lt => 3,
+                CondOp::Between => 4,
+            })
+            .str(&c.value);
+    }
+    fp = fp.opt_str(form.namespace.as_deref());
+    fp = match &form.sort_by {
+        SortBy::Relevance => fp.u64(0),
+        SortBy::PageRank => fp.u64(1),
+        SortBy::Title => fp.u64(2),
+        SortBy::Attribute(attr) => fp.u64(3).str(attr),
+    };
+    fp = fp
+        .bool(form.descending)
+        .usize(form.limit)
+        .bool(form.match_all)
+        .bool(form.soft_conditions);
+    fp = match form.region {
+        None => fp.bool(false),
+        Some((a, b, c, d)) => fp.bool(true).f64(a).f64(b).f64(c).f64(d),
+    };
+    fp.finish()
 }
 
 fn cmp_f64(a: f64, b: f64) -> std::cmp::Ordering {

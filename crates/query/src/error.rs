@@ -11,6 +11,12 @@ pub enum QueryError {
     Smr(sensormeta_smr::SmrError),
     /// Internal invariant broken.
     Internal(String),
+    /// A negatively cached failure was replayed without recomputing; the
+    /// message of the original error.
+    Cached(String),
+    /// The wait for an identical in-flight query exceeded the configured
+    /// deadline (servers map this to `503` + `Retry-After`).
+    CacheBusy,
 }
 
 impl fmt::Display for QueryError {
@@ -19,6 +25,10 @@ impl fmt::Display for QueryError {
             QueryError::EmptyForm => write!(f, "the search form is empty"),
             QueryError::Smr(e) => write!(f, "repository error: {e}"),
             QueryError::Internal(m) => write!(f, "internal error: {m}"),
+            QueryError::Cached(m) => write!(f, "{m} (cached failure)"),
+            QueryError::CacheBusy => {
+                write!(f, "an identical query is already computing; retry shortly")
+            }
         }
     }
 }

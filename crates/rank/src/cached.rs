@@ -1,0 +1,141 @@
+//! Cached PageRank solving: converged vectors keyed by
+//! `(web-graph epoch, problem fingerprint, solver, tolerance, cap)`.
+//!
+//! PageRank is by far the most expensive computation in the serving stack
+//! (hundreds of matvecs over the whole web graph), yet its input only
+//! changes when pages or links change. [`RankCache`] memoizes
+//! [`SolveResult`]s through the shared `sensormeta-cache` subsystem with the
+//! [`Domain::WebGraph`] epoch as the validity dependency, so a rebuilt graph
+//! invalidates every vector while parameter-identical re-solves between
+//! writes are free.
+
+use crate::problem::PageRankProblem;
+use crate::solvers::{SolveResult, Solver};
+use sensormeta_cache::{Cache, CacheConfig, Domain, EpochClock, Fingerprint};
+use std::sync::Arc;
+
+/// Epoch domains a converged vector depends on.
+const DEPS: &[Domain] = &[Domain::WebGraph];
+
+/// Default byte budget: a handful of full vectors at demo scale, still
+/// bounded at corpus scale.
+const DEFAULT_CAPACITY: usize = 8 << 20;
+
+fn weigh(r: &SolveResult) -> usize {
+    (r.x.len() + r.residuals.len()) * std::mem::size_of::<f64>()
+}
+
+/// A process-wide memo of converged PageRank vectors.
+#[derive(Debug)]
+pub struct RankCache {
+    cache: Cache<SolveResult>,
+}
+
+impl Default for RankCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RankCache {
+    /// A cache with the default byte budget, validated against the global
+    /// epoch clock.
+    pub fn new() -> RankCache {
+        RankCache {
+            cache: Cache::new(CacheConfig::new("rank", DEFAULT_CAPACITY, DEPS), weigh),
+        }
+    }
+
+    /// A cache validated against an explicit clock — isolation for tests,
+    /// where the process-global clock is bumped by unrelated mutations.
+    pub fn with_clock(clock: Arc<EpochClock>) -> RankCache {
+        RankCache {
+            cache: Cache::with_clock(
+                CacheConfig::new("rank", DEFAULT_CAPACITY, DEPS),
+                weigh,
+                clock,
+            ),
+        }
+    }
+
+    /// Solves (or replays a converged solve of) `problem` with `solver`.
+    /// The boolean is true when the result came out of the cache.
+    pub fn solve(
+        &self,
+        solver: &dyn Solver,
+        problem: &PageRankProblem,
+        tol: f64,
+        max_iter: usize,
+    ) -> (Arc<SolveResult>, bool) {
+        let key = Fingerprint::new()
+            .str(solver.name())
+            .u64(problem.fingerprint())
+            .f64(tol)
+            .usize(max_iter)
+            .finish();
+        let (result, status) = self.cache.get_or_compute(key, None, || {
+            Ok::<_, std::convert::Infallible>(solver.solve(problem, tol, max_iter))
+        });
+        match result {
+            Ok(v) => (v, status == sensormeta_cache::Status::Hit),
+            // Infallible computation: only reachable via a timed-out wait,
+            // which cannot happen with no deadline. Solve directly.
+            Err(_) => (Arc::new(solver.solve(problem, tol, max_iter)), false),
+        }
+    }
+
+    /// Drops every memoized vector.
+    pub fn clear(&self) {
+        self.cache.clear();
+    }
+
+    /// Instance statistics (hits, misses, resident bytes …).
+    pub fn stats(&self) -> sensormeta_cache::CacheStats {
+        self.cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::TransitionMatrix;
+    use crate::solvers::PowerIteration;
+    use sensormeta_graph::CsrGraph;
+
+    fn problem() -> PageRankProblem {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)], false);
+        PageRankProblem::new(TransitionMatrix::from_graph(&g))
+    }
+
+    #[test]
+    fn replays_identical_solves() {
+        let cache = RankCache::with_clock(Arc::new(EpochClock::new()));
+        let p = problem();
+        let (first, cached1) = cache.solve(&PowerIteration, &p, 1e-10, 200);
+        let (second, cached2) = cache.solve(&PowerIteration, &p, 1e-10, 200);
+        assert!(!cached1);
+        assert!(cached2, "identical parameters must replay");
+        assert_eq!(first.x, second.x);
+        assert!(Arc::ptr_eq(&first, &second), "same shared vector");
+    }
+
+    #[test]
+    fn distinct_parameters_solve_separately() {
+        let cache = RankCache::with_clock(Arc::new(EpochClock::new()));
+        let p = problem();
+        let (_, _) = cache.solve(&PowerIteration, &p, 1e-10, 200);
+        let (_, cached) = cache.solve(&PowerIteration, &p, 1e-6, 200);
+        assert!(!cached, "different tolerance is a different key");
+    }
+
+    #[test]
+    fn graph_epoch_bump_invalidates() {
+        let clk = Arc::new(EpochClock::new());
+        let cache = RankCache::with_clock(Arc::clone(&clk));
+        let p = problem();
+        let (_, _) = cache.solve(&PowerIteration, &p, 1e-10, 200);
+        clk.bump(Domain::WebGraph);
+        let (_, cached) = cache.solve(&PowerIteration, &p, 1e-10, 200);
+        assert!(!cached, "web-graph epoch bump must invalidate");
+    }
+}

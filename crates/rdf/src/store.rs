@@ -65,6 +65,7 @@ impl TripleStore {
             self.pos.len() == self.spo.len() && self.osp.len() == self.spo.len(),
             "index orderings diverged on insert"
         );
+        sensormeta_cache::clock().bump(sensormeta_cache::Domain::Triples);
         true
     }
 
@@ -84,6 +85,7 @@ impl TripleStore {
             self.pos.len() == self.spo.len() && self.osp.len() == self.spo.len(),
             "index orderings diverged on remove"
         );
+        sensormeta_cache::clock().bump(sensormeta_cache::Domain::Triples);
         true
     }
 
@@ -97,6 +99,9 @@ impl TripleStore {
             self.spo.remove(&(*s, *p, *o));
             self.pos.remove(&(*p, *o, *s));
             self.osp.remove(&(*o, *s, *p));
+        }
+        if !doomed.is_empty() {
+            sensormeta_cache::clock().bump(sensormeta_cache::Domain::Triples);
         }
         doomed.len()
     }

@@ -159,10 +159,14 @@ impl Database {
     /// logged and made durable before it is applied.
     pub fn execute(&mut self, sql: &str) -> Result<ExecOutcome> {
         let stmt = parse(sql)?;
-        if self.durability.is_some() && stmt.is_mutation() {
+        let mutates = stmt.is_mutation();
+        if self.durability.is_some() && mutates {
             self.wal_commit(&[LogicalOp::Sql(sql.to_owned())])?;
         }
         let out = execute(&mut self.catalog, stmt);
+        if mutates {
+            sensormeta_cache::clock().bump(sensormeta_cache::Domain::Relational);
+        }
         self.maybe_checkpoint();
         out
     }
@@ -172,12 +176,16 @@ impl Database {
     /// re-runs it with identical stop-at-first-error semantics.
     pub fn execute_script(&mut self, sql: &str) -> Result<ExecOutcome> {
         let stmts = parse_script(sql)?;
-        if self.durability.is_some() && stmts.iter().any(Statement::is_mutation) {
+        let mutates = stmts.iter().any(Statement::is_mutation);
+        if self.durability.is_some() && mutates {
             self.wal_commit(&[LogicalOp::Sql(sql.to_owned())])?;
         }
         let mut last = ExecOutcome::Done;
         for stmt in stmts {
             last = execute(&mut self.catalog, stmt)?;
+        }
+        if mutates {
+            sensormeta_cache::clock().bump(sensormeta_cache::Domain::Relational);
         }
         self.maybe_checkpoint();
         Ok(last)
@@ -215,6 +223,7 @@ impl Database {
             self.wal_commit(&[LogicalOp::CreateTable(schema.clone())])?;
         }
         self.catalog.insert(key, Table::create(schema)?);
+        sensormeta_cache::clock().bump(sensormeta_cache::Domain::Relational);
         self.maybe_checkpoint();
         Ok(())
     }
@@ -244,8 +253,10 @@ impl Database {
             .ok_or_else(|| RelError::NoSuchTable(name.to_owned()))
     }
 
-    /// Mutable access to a table.
+    /// Mutable access to a table. Bumps the relational cache epoch — the
+    /// caller may mutate through the returned reference.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        sensormeta_cache::clock().bump(sensormeta_cache::Domain::Relational);
         self.catalog
             .get_mut(&name.to_ascii_lowercase())
             .ok_or_else(|| RelError::NoSuchTable(name.to_owned()))

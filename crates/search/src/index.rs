@@ -1,9 +1,11 @@
 //! Positional inverted index with BM25 ranking.
 
 use crate::tokenize::tokenize;
+use sensormeta_cache::{Cache, CacheConfig, Domain, Fingerprint, Status};
 use sensormeta_par::Pool;
 use std::collections::BTreeMap;
 use std::ops::Bound;
+use std::sync::{Arc, OnceLock};
 
 /// Documents per parallel tokenize chunk in [`SearchIndex::build_in`]
 /// (fixed: chunk boundaries must not depend on the thread count).
@@ -34,6 +36,12 @@ impl Default for Bm25Params {
     }
 }
 
+/// Epoch domain every cached search result depends on.
+const CACHE_DEPS: &[Domain] = &[Domain::SearchIndex];
+
+/// Byte budget for one index's query cache.
+const CACHE_CAPACITY: usize = 4 << 20;
+
 /// A positional inverted index over external string keys.
 #[derive(Debug, Default)]
 pub struct SearchIndex {
@@ -43,6 +51,10 @@ pub struct SearchIndex {
     postings: BTreeMap<String, Posting>,
     doc_len: Vec<u32>,
     total_len: u64,
+    /// Lazily built query→hits cache; invalidated through the
+    /// [`Domain::SearchIndex`] epoch which [`SearchIndex::add_tokenized`]
+    /// bumps on every document write.
+    query_cache: OnceLock<Cache<Vec<Hit>>>,
 }
 
 /// A scored hit.
@@ -93,6 +105,7 @@ impl SearchIndex {
     /// in parallel but postings are merged serially in document order.
     pub fn add_tokenized(&mut self, key: &str, terms: Vec<String>) -> DocId {
         sensormeta_obs::counter("search_docs_indexed_total").inc();
+        sensormeta_cache::clock().bump(sensormeta_cache::Domain::SearchIndex);
         let doc = match self.key_ids.get(key) {
             Some(&d) => {
                 self.remove_postings(d);
@@ -226,6 +239,56 @@ impl SearchIndex {
             }
         }
         self.top_k(scores, k)
+    }
+
+    fn query_cache(&self) -> &Cache<Vec<Hit>> {
+        self.query_cache.get_or_init(|| {
+            Cache::new(CacheConfig::new("search", CACHE_CAPACITY, CACHE_DEPS), |hits| {
+                hits.iter()
+                    .map(|h| std::mem::size_of::<Hit>() + h.key.len())
+                    .sum()
+            })
+        })
+    }
+
+    /// [`SearchIndex::search`] through the shared result cache: repeated
+    /// identical queries between index writes share one scored hit list.
+    pub fn search_cached(&self, query: &str, k: usize) -> (Arc<Vec<Hit>>, Status) {
+        self.cached("disjunctive", query, k, || self.search(query, k))
+    }
+
+    /// [`SearchIndex::search_all_terms`] through the shared result cache.
+    pub fn search_all_terms_cached(&self, query: &str, k: usize) -> (Arc<Vec<Hit>>, Status) {
+        self.cached("conjunctive", query, k, || self.search_all_terms(query, k))
+    }
+
+    fn cached(
+        &self,
+        mode: &str,
+        query: &str,
+        k: usize,
+        run: impl FnOnce() -> Vec<Hit>,
+    ) -> (Arc<Vec<Hit>>, Status) {
+        let key = Fingerprint::new().str(mode).str(query).usize(k).finish();
+        let (result, status) = self
+            .query_cache()
+            .get_or_compute(key, None, || Ok::<_, std::convert::Infallible>(run()));
+        match result {
+            Ok(hits) => (hits, status),
+            // Infallible and no deadline: unreachable, but degrade to an
+            // uncached scoring pass rather than panic.
+            Err(_) => (Arc::new(self.search(query, k)), Status::Bypass),
+        }
+    }
+
+    /// Query-cache statistics for this index.
+    pub fn cache_stats(&self) -> sensormeta_cache::CacheStats {
+        self.query_cache().stats()
+    }
+
+    /// Drops this index's cached query results.
+    pub fn clear_cache(&self) {
+        self.query_cache().clear();
     }
 
     /// Conjunctive search: only documents containing *all* query terms.
@@ -549,5 +612,27 @@ mod tests {
         assert_eq!(a.fingerprint(), b.fingerprint());
         b.add_document("Fieldsite:New", "fresh snow data");
         assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    // Hit/miss counts are not asserted here: the epoch clock is process
+    // global and sibling tests index documents concurrently; only the
+    // served values are deterministic.
+    #[test]
+    fn cached_search_matches_uncached_before_and_after_writes() {
+        let mut ix = index();
+        let (cached, _) = ix.search_cached("snow", 10);
+        assert_eq!(*cached, ix.search("snow", 10));
+        let (cached2, _) = ix.search_cached("snow", 10);
+        assert_eq!(*cached2, ix.search("snow", 10));
+        ix.add_document("Fieldsite:Glacier", "deep snow pack telemetry");
+        let (after, _) = ix.search_cached("snow", 10);
+        assert_eq!(
+            *after,
+            ix.search("snow", 10),
+            "write must invalidate the cached hit list"
+        );
+        assert!(after.iter().any(|h| h.key == "Fieldsite:Glacier"));
+        let (conj, _) = ix.search_all_terms_cached("snow pack", 10);
+        assert_eq!(*conj, ix.search_all_terms("snow pack", 10));
     }
 }

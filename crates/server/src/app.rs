@@ -6,19 +6,43 @@
 //! (bar/pie/map/graph/hypergraph), recommendations, and live tag clouds.
 
 use crate::http::{url_encode, Request, Response};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 use sensormeta_obs as obs;
-use sensormeta_query::{CondOp, Condition, QueryEngine, SearchForm, SortBy};
+use sensormeta_query::{
+    CondOp, Condition, QueryEngine, QueryError, SearchForm, SearchOptions, SortBy,
+};
 use sensormeta_smr::{parse_csv, parse_jsonl};
 use sensormeta_tagging::{suggest_tags, CloudCache, CloudParams, TagStore};
 use sensormeta_viz as viz;
 use serde_json::json;
+use std::time::Duration;
+
+/// Default bound on how long a request blocks behind an identical in-flight
+/// query before giving up with `503` (overridden by `SENSORMETA_CACHE_WAIT_MS`).
+const DEFAULT_CACHE_WAIT: Duration = Duration::from_millis(2000);
 
 /// Shared application state.
 pub struct App {
     engine: RwLock<QueryEngine>,
     tags: RwLock<TagStore>,
-    cloud_cache: Mutex<CloudCache>,
+    cloud_cache: CloudCache,
+    /// Single-flight wait deadline for cached query paths; `None` disables
+    /// the bound (`SENSORMETA_CACHE_WAIT_MS=0`).
+    cache_wait: Option<Duration>,
+}
+
+/// Reads the single-flight wait bound from `SENSORMETA_CACHE_WAIT_MS`:
+/// unset or unparsable → the default, `0` → unbounded.
+fn cache_wait_from_env() -> Option<Duration> {
+    parse_cache_wait(std::env::var("SENSORMETA_CACHE_WAIT_MS").ok().as_deref())
+}
+
+fn parse_cache_wait(raw: Option<&str>) -> Option<Duration> {
+    match raw.map(|s| s.trim().parse::<u64>()) {
+        Some(Ok(0)) => None,
+        Some(Ok(ms)) => Some(Duration::from_millis(ms)),
+        Some(Err(_)) | None => Some(DEFAULT_CACHE_WAIT),
+    }
 }
 
 /// Finishes a JSON response; a serialization failure becomes a 500
@@ -40,7 +64,8 @@ impl App {
         App {
             engine: RwLock::new(engine),
             tags: RwLock::new(tags),
-            cloud_cache: Mutex::new(CloudCache::new()),
+            cloud_cache: CloudCache::new(),
+            cache_wait: cache_wait_from_env(),
         }
     }
 
@@ -69,6 +94,7 @@ impl App {
             ("GET", "/healthz") => "healthz",
             ("POST", "/bulkload") => "bulkload",
             ("POST", "/tag") => "tag",
+            ("POST", "/admin/cache/clear") => "admin_cache_clear",
             ("GET", p) if p.starts_with("/page/") => "page",
             _ => "other",
         }
@@ -114,6 +140,7 @@ impl App {
             ("GET", "/healthz") => self.healthz(),
             ("POST", "/bulkload") => self.bulkload(req),
             ("POST", "/tag") => self.add_tag(req),
+            ("POST", "/admin/cache/clear") => self.admin_cache_clear(),
             ("GET", p) if p.starts_with("/page/") => self.page(&p["/page/".len()..]),
             ("GET", _) => Response::error(404, "not found"),
             _ => Response::error(405, "method not allowed"),
@@ -131,6 +158,7 @@ impl App {
                 status: 200,
                 content_type: "text/plain; version=0.0.4; charset=utf-8".into(),
                 body: reg.render_prometheus().into_bytes(),
+                headers: Vec::new(),
             }
         }
     }
@@ -142,6 +170,7 @@ impl App {
             status: 200,
             content_type: "text/plain; charset=utf-8".into(),
             body: format!("ok {pages} pages\n").into_bytes(),
+            headers: Vec::new(),
         }
     }
 
@@ -237,13 +266,21 @@ impl App {
 
     fn search(&self, req: &Request) -> Response {
         let form = Self::form_from(req);
-        let user = req.param("user");
+        let opts = SearchOptions {
+            bypass: req.param("cache") == Some("bypass"),
+            deadline: self.cache_wait,
+            user: req.param("user"),
+        };
         let engine = self.engine.read();
-        let out = match engine.search(&form, user) {
-            Ok(o) => o,
+        let (out, status) = match engine.search_shared(&form, &opts) {
+            Ok(pair) => pair,
+            Err(QueryError::CacheBusy) => {
+                return Response::error(503, QueryError::CacheBusy.to_string())
+                    .with_header("Retry-After", "1")
+            }
             Err(e) => return Response::error(400, e.to_string()),
         };
-        if req.param_or("format", "json") == "html" {
+        let resp = if req.param_or("format", "json") == "html" {
             let rows: String = out
                 .items
                 .iter()
@@ -285,8 +322,9 @@ impl App {
                 out.total_matched
             ))
         } else {
-            json_or_500(serde_json::to_string(&out))
-        }
+            json_or_500(serde_json::to_string(&*out))
+        };
+        resp.with_header("Cache-Status", status.as_str())
     }
 
     fn autocomplete(&self, req: &Request) -> Response {
@@ -430,6 +468,7 @@ impl App {
                         status: 200,
                         content_type: "text/plain; charset=utf-8".into(),
                         body: rs.to_ascii_table().into_bytes(),
+                        headers: Vec::new(),
                     }
                 }
             }
@@ -474,6 +513,7 @@ impl App {
             status: 200,
             content_type: "text/turtle; charset=utf-8".into(),
             body: ttl.into_bytes(),
+            headers: Vec::new(),
         }
     }
 
@@ -492,15 +532,31 @@ impl App {
         Response::json(serde_json::Value::Array(arr).to_string())
     }
 
+    /// Drops every result cache (query results, postings, rank vectors and
+    /// tag clouds) and bumps all invalidation epochs, so the next request on
+    /// each path recomputes from the stores.
+    fn admin_cache_clear(&self) -> Response {
+        self.engine.read().clear_caches();
+        self.cloud_cache.clear();
+        sensormeta_cache::clock().bump_all();
+        obs::counter("cache_admin_clears_total").inc();
+        Response::json(json!({"cleared": true}).to_string())
+    }
+
     fn tag_cloud_svg(&self) -> Response {
         let tags = self.tags.read();
-        let cloud = self.cloud_cache.lock().get(&tags, &CloudParams::default());
+        let (cloud, status) = self
+            .cloud_cache
+            .get_with_status(&tags, &CloudParams::default());
         Response::svg(viz::render_tag_cloud("Metadata trends", &cloud))
+            .with_header("Cache-Status", status.as_str())
     }
 
     fn tag_cloud_json(&self) -> Response {
         let tags = self.tags.read();
-        let cloud = self.cloud_cache.lock().get(&tags, &CloudParams::default());
+        let (cloud, status) = self
+            .cloud_cache
+            .get_with_status(&tags, &CloudParams::default());
         let arr: Vec<serde_json::Value> = cloud
             .entries
             .iter()
@@ -514,6 +570,7 @@ impl App {
             })
             .collect();
         Response::json(serde_json::Value::Array(arr).to_string())
+            .with_header("Cache-Status", status.as_str())
     }
 
     /// Facet source shared by bar/pie: counts of one attribute over a search.
@@ -669,5 +726,19 @@ impl App {
             focus,
             rings,
         ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_wait_parsing() {
+        assert_eq!(parse_cache_wait(None), Some(DEFAULT_CACHE_WAIT));
+        assert_eq!(parse_cache_wait(Some("250")), Some(Duration::from_millis(250)));
+        assert_eq!(parse_cache_wait(Some(" 250 ")), Some(Duration::from_millis(250)));
+        assert_eq!(parse_cache_wait(Some("0")), None, "0 disables the bound");
+        assert_eq!(parse_cache_wait(Some("soon")), Some(DEFAULT_CACHE_WAIT));
     }
 }

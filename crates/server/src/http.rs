@@ -259,6 +259,8 @@ pub struct Response {
     pub status: u16,
     /// Content type.
     pub content_type: String,
+    /// Extra response headers as (name, value) pairs, written in order.
+    pub headers: Vec<(String, String)>,
     /// Body bytes.
     pub body: Vec<u8>,
 }
@@ -269,6 +271,7 @@ impl Response {
         Response {
             status: 200,
             content_type: "text/html; charset=utf-8".into(),
+            headers: Vec::new(),
             body: body.into().into_bytes(),
         }
     }
@@ -278,6 +281,7 @@ impl Response {
         Response {
             status: 200,
             content_type: "application/json".into(),
+            headers: Vec::new(),
             body: body.into().into_bytes(),
         }
     }
@@ -287,6 +291,7 @@ impl Response {
         Response {
             status: 200,
             content_type: "image/svg+xml".into(),
+            headers: Vec::new(),
             body: body.into().into_bytes(),
         }
     }
@@ -296,8 +301,15 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8".into(),
+            headers: Vec::new(),
             body: message.into().into_bytes(),
         }
+    }
+
+    /// Adds an extra response header (builder style).
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
     }
 
     /// Serializes onto a stream.
@@ -311,15 +323,20 @@ impl Response {
             413 => "Payload Too Large",
             431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
+            503 => "Service Unavailable",
             _ => "Unknown",
         };
         write!(
             stream,
-            "HTTP/1.1 {} {reason}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {reason}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             self.content_type,
             self.body.len()
         )?;
+        for (name, value) in &self.headers {
+            write!(stream, "{name}: {value}\r\n")?;
+        }
+        write!(stream, "\r\n")?;
         stream.write_all(&self.body)?;
         stream.flush()
     }
@@ -483,5 +500,28 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 11"));
         assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn extra_headers_serialize_before_body() {
+        let mut buf = Vec::new();
+        Response::json("{}")
+            .with_header("Cache-Status", "hit")
+            .with_header("Retry-After", "1")
+            .write_to(&mut buf)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let (head, body) = text.split_once("\r\n\r\n").unwrap();
+        assert!(head.contains("Cache-Status: hit"));
+        assert!(head.contains("Retry-After: 1"));
+        assert_eq!(body, "{}");
+    }
+
+    #[test]
+    fn status_503_has_reason() {
+        let mut buf = Vec::new();
+        Response::error(503, "busy").write_to(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
     }
 }

@@ -1,0 +1,112 @@
+//! HTTP surface of the shared result cache: `Cache-Status` headers on
+//! search and tag-cloud routes, `?cache=bypass`, and `POST
+//! /admin/cache/clear` dropping every namespace.
+//!
+//! Everything lives in ONE test function: the invalidation epochs are
+//! process-global, so concurrent tests in the same binary could otherwise
+//! bump them between a warm-up request and its `hit` assertion.
+
+use sensormeta_query::QueryEngine;
+use sensormeta_server::{parse_query, App, Request, Response};
+use sensormeta_smr::{PageDraft, Smr};
+use std::collections::BTreeMap;
+
+fn req(method: &str, target: &str) -> Request {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, parse_query(q)),
+        None => (target, BTreeMap::new()),
+    };
+    Request {
+        method: method.into(),
+        path: path.into(),
+        query,
+        headers: BTreeMap::new(),
+        body: Vec::new(),
+    }
+}
+
+fn header<'a>(resp: &'a Response, name: &str) -> Option<&'a str> {
+    resp.headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+fn cache_status(app: &App, target: &str) -> String {
+    let resp = app.handle(&req("GET", target));
+    assert_eq!(resp.status, 200, "GET {target}");
+    header(&resp, "Cache-Status")
+        .unwrap_or_else(|| panic!("GET {target}: no Cache-Status header"))
+        .to_owned()
+}
+
+fn seeded_app() -> App {
+    let mut smr = Smr::new();
+    smr.create_page(
+        PageDraft::new("Fieldsite:Weissfluhjoch", "Fieldsite")
+            .body("alpine snow research site")
+            .tag("snow"),
+    )
+    .unwrap();
+    smr.create_page(
+        PageDraft::new("Deployment:wfj_temp", "Deployment")
+            .body("temperature sensor at weissfluhjoch")
+            .annotate("measuresQuantity", "temperature")
+            .link("Fieldsite:Weissfluhjoch")
+            .tag("snow"),
+    )
+    .unwrap();
+    App::new(QueryEngine::open(smr).unwrap())
+}
+
+#[test]
+fn cache_status_headers_and_admin_clear() {
+    let app = seeded_app();
+
+    // Search: cold is a miss, identical repeat a hit, bypass never caches.
+    assert_eq!(cache_status(&app, "/search?q=temperature"), "miss");
+    assert_eq!(cache_status(&app, "/search?q=temperature"), "hit");
+    assert_eq!(cache_status(&app, "/search?q=temperature&format=html"), "hit");
+    assert_eq!(
+        cache_status(&app, "/search?q=temperature&cache=bypass"),
+        "bypass"
+    );
+    assert_eq!(
+        cache_status(&app, "/search?q=temperature"),
+        "hit",
+        "a bypassed request must not evict the cached result"
+    );
+    // A different form is a different key.
+    assert_eq!(cache_status(&app, "/search?q=snow"), "miss");
+
+    // Tag cloud: SVG and JSON share one cloud namespace.
+    assert_eq!(cache_status(&app, "/tags"), "miss");
+    assert_eq!(cache_status(&app, "/tags"), "hit");
+    assert_eq!(cache_status(&app, "/tags.json"), "hit");
+
+    // An empty form is a client error, never cached (no Cache-Status).
+    let resp = app.handle(&req("GET", "/search"));
+    assert_eq!(resp.status, 400);
+    assert!(header(&resp, "Cache-Status").is_none());
+
+    // Admin clear drops every namespace: both paths go cold again.
+    let resp = app.handle(&req("POST", "/admin/cache/clear"));
+    assert_eq!(resp.status, 200);
+    let body: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&resp.body).expect("utf-8 body"))
+            .expect("clear responds with JSON");
+    assert_eq!(body["cleared"], serde_json::Value::Bool(true));
+    assert_eq!(cache_status(&app, "/search?q=temperature"), "miss");
+    assert_eq!(cache_status(&app, "/tags"), "miss");
+    assert_eq!(cache_status(&app, "/search?q=temperature"), "hit");
+
+    // Tagging a page bumps the tag-incidence epoch: clouds recompute, but
+    // query results (which don't depend on the live tag store) stay warm.
+    let resp = app.handle(&req("POST", "/tag?page=Fieldsite:Weissfluhjoch&tag=alpine"));
+    assert_eq!(resp.status, 200);
+    assert_eq!(cache_status(&app, "/tags"), "miss");
+    assert_eq!(cache_status(&app, "/search?q=temperature"), "hit");
+
+    // GET on the admin route stays a 404, POST elsewhere a 405.
+    assert_eq!(app.handle(&req("GET", "/admin/cache/clear")).status, 404);
+}

@@ -126,6 +126,9 @@ impl Smr {
         )?;
         self.write_satellites(id, &draft)?;
         self.mirror_page(&draft);
+        let clk = sensormeta_cache::clock();
+        clk.bump(sensormeta_cache::Domain::WebGraph);
+        clk.bump(sensormeta_cache::Domain::TagIncidence);
         Ok(id)
     }
 
@@ -165,6 +168,9 @@ impl Smr {
         self.rdf
             .remove_subject(&Term::iri(Self::page_iri(&draft.title)));
         self.mirror_page(&draft);
+        let clk = sensormeta_cache::clock();
+        clk.bump(sensormeta_cache::Domain::WebGraph);
+        clk.bump(sensormeta_cache::Domain::TagIncidence);
         Ok(id)
     }
 
@@ -193,6 +199,9 @@ impl Smr {
             self.db.execute(&sql)?;
         }
         self.rdf.remove_subject(&Term::iri(Self::page_iri(title)));
+        let clk = sensormeta_cache::clock();
+        clk.bump(sensormeta_cache::Domain::WebGraph);
+        clk.bump(sensormeta_cache::Domain::TagIncidence);
         Ok(true)
     }
 

@@ -1,107 +1,150 @@
-//! The Cache module of Fig. 4.
+//! The Cache module of Fig. 4, on the shared `sensormeta-cache` subsystem.
 //!
 //! "A Cache mechanism is also implemented to decrease the number of
-//! computations and data exchanges." The cache memoizes computed clouds
-//! keyed by the store's mutation version plus the cloud parameters, so
-//! repeated renders of an unchanged tag set cost a lookup, and any mutation
-//! invalidates naturally (the version moves on).
+//! computations and data exchanges." Since PR 5 the bespoke
+//! version-keyed map is gone: [`CloudCache`] is a thin facade over a shared
+//! epoch-invalidated [`Cache`] namespace (`cache_tag_cloud_*` metrics),
+//! keyed by the store's mutation version plus the cloud parameters and
+//! invalidated through the [`Domain::TagIncidence`] epoch that every
+//! [`TagStore`](crate::store::TagStore) mutation bumps. The PR 3 metric
+//! names (`tagging_cloud_cache_hits_total` / `_misses_total` /
+//! `_evicted_total`) keep emitting as legacy aliases so existing
+//! dashboards and scrapes stay live.
 
 use crate::clique::BkVariant;
 use crate::cloud::{compute_cloud, CloudParams, TagCloud};
 use crate::store::TagStore;
+use sensormeta_cache::{
+    Cache, CacheConfig, Domain, EpochClock, Fingerprint, LegacyMetricNames, Status,
+};
 use sensormeta_obs as obs;
-use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Cache keyed by (store version, parameter fingerprint).
-#[derive(Debug, Default)]
-pub struct CloudCache {
-    entries: HashMap<(u64, ParamKey), Arc<TagCloud>>,
-    hits: u64,
-    misses: u64,
-    /// Entries evicted because their version is stale.
-    evicted: u64,
-}
+/// Epoch domain a computed cloud depends on.
+const DEPS: &[Domain] = &[Domain::TagIncidence];
 
-/// Hashable fingerprint of [`CloudParams`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct ParamKey {
-    threshold_millis: u32,
-    f_max: usize,
-    variant: u8,
-    clique_aware: bool,
-}
+/// Byte budget for memoized clouds.
+const CAPACITY: usize = 1 << 20;
 
-impl From<&CloudParams> for ParamKey {
-    fn from(p: &CloudParams) -> Self {
-        ParamKey {
-            threshold_millis: (p.threshold * 1000.0).round() as u32,
-            f_max: p.f_max,
-            variant: match p.variant {
-                BkVariant::Naive => 0,
-                BkVariant::Pivot => 1,
-                BkVariant::Degeneracy => 2,
-            },
-            clique_aware: p.clique_aware,
-        }
-    }
-}
+/// PR 3 metric names, kept emitting from the shared subsystem.
+const LEGACY: LegacyMetricNames = LegacyMetricNames {
+    hits: "tagging_cloud_cache_hits_total",
+    misses: "tagging_cloud_cache_misses_total",
+    evictions: "tagging_cloud_cache_evicted_total",
+};
 
-/// Cache statistics.
+/// Cache statistics (the PR 3 shape, filled from the shared subsystem).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups answered from cache.
     pub hits: u64,
     /// Lookups that recomputed.
     pub misses: u64,
-    /// Stale entries dropped.
+    /// Stale or pressure-dropped entries.
     pub evicted: u64,
 }
 
+/// Tag-cloud memoization over the shared result-cache subsystem.
+#[derive(Debug)]
+pub struct CloudCache {
+    cache: Cache<TagCloud>,
+}
+
+impl Default for CloudCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn config() -> CacheConfig {
+    let mut cfg = CacheConfig::new("tag_cloud", CAPACITY, DEPS);
+    // One shard: clouds are few and the stale sweep then sees every entry,
+    // preserving the PR 3 "stale version dropped on next compute" counts.
+    cfg.shards = 1;
+    cfg.legacy = Some(LEGACY);
+    cfg
+}
+
+fn weigh(cloud: &TagCloud) -> usize {
+    cloud
+        .entries
+        .iter()
+        .map(|e| std::mem::size_of_val(e) + e.tag.len())
+        .sum()
+}
+
 impl CloudCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache validated against the global epoch clock.
     pub fn new() -> CloudCache {
-        CloudCache::default()
+        CloudCache {
+            cache: Cache::new(config(), weigh),
+        }
     }
 
-    /// Returns the cloud for the store's current state, computing it only on
-    /// miss. Stale versions of the same parameter set are evicted.
-    pub fn get(&mut self, store: &TagStore, params: &CloudParams) -> Arc<TagCloud> {
-        let key = (store.version(), ParamKey::from(params));
-        if let Some(cloud) = self.entries.get(&key) {
-            self.hits += 1;
-            obs::counter("tagging_cloud_cache_hits_total").inc();
-            return Arc::clone(cloud);
+    /// Creates a cache validated against an explicit clock — test isolation
+    /// from unrelated mutations bumping the process-global clock.
+    pub fn with_clock(clock: Arc<EpochClock>) -> CloudCache {
+        CloudCache {
+            cache: Cache::with_clock(config(), weigh, clock),
         }
-        self.misses += 1;
-        obs::counter("tagging_cloud_cache_misses_total").inc();
-        // Evict entries for the same params at older versions.
-        let before = self.entries.len();
-        self.entries.retain(|(v, k), _| *k != key.1 || *v == key.0);
-        let evicted_now = (before - self.entries.len()) as u64;
-        self.evicted += evicted_now;
-        obs::counter("tagging_cloud_cache_evicted_total").add(evicted_now);
-        let cloud = {
+    }
+
+    /// Returns the cloud for the store's current state, computing it only
+    /// on miss. Entries from older store versions go epoch-stale and are
+    /// swept on the next compute.
+    pub fn get(&self, store: &TagStore, params: &CloudParams) -> Arc<TagCloud> {
+        self.get_with_status(store, params).0
+    }
+
+    /// Like [`get`](CloudCache::get) but also reports whether the cloud was
+    /// served from cache — servers surface this as a `Cache-Status` header.
+    pub fn get_with_status(
+        &self,
+        store: &TagStore,
+        params: &CloudParams,
+    ) -> (Arc<TagCloud>, Status) {
+        let key = param_key(store.version(), params);
+        let (result, status) = self.cache.get_or_compute(key, None, || {
             let _timing = obs::global().span("tagging_cloud_compute");
-            Arc::new(compute_cloud(store, params))
-        };
-        self.entries.insert(key, Arc::clone(&cloud));
-        cloud
-    }
-
-    /// Statistics so far.
-    pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits,
-            misses: self.misses,
-            evicted: self.evicted,
+            Ok::<_, std::convert::Infallible>(compute_cloud(store, params))
+        });
+        match result {
+            Ok(cloud) => (cloud, status),
+            // Infallible compute, no deadline: unreachable; recompute
+            // without caching rather than panic.
+            Err(_) => (Arc::new(compute_cloud(store, params)), Status::Bypass),
         }
     }
 
-    /// Clears everything (stats included).
-    pub fn clear(&mut self) {
-        *self = CloudCache::default();
+    /// Statistics so far (process-lifetime; `clear` does not reset them).
+    pub fn stats(&self) -> CacheStats {
+        let s = self.cache.stats();
+        CacheStats {
+            hits: s.hits,
+            misses: s.misses,
+            evicted: s.evictions,
+        }
     }
+
+    /// Drops every memoized cloud.
+    pub fn clear(&self) {
+        self.cache.clear();
+    }
+}
+
+/// Stable fingerprint of (store version, cloud parameters).
+fn param_key(version: u64, p: &CloudParams) -> u64 {
+    Fingerprint::new()
+        .u64(version)
+        .f64(p.threshold)
+        .usize(p.f_max)
+        .u64(match p.variant {
+            BkVariant::Naive => 0,
+            BkVariant::Pivot => 1,
+            BkVariant::Degeneracy => 2,
+        })
+        .bool(p.clique_aware)
+        .finish()
 }
 
 #[cfg(test)]
@@ -114,10 +157,15 @@ mod tests {
         s
     }
 
+    fn isolated() -> (CloudCache, Arc<EpochClock>) {
+        let clk = Arc::new(EpochClock::new());
+        (CloudCache::with_clock(Arc::clone(&clk)), clk)
+    }
+
     #[test]
     fn second_lookup_hits() {
         let s = store();
-        let mut cache = CloudCache::new();
+        let (cache, _clk) = isolated();
         let c1 = cache.get(&s, &CloudParams::default());
         let c2 = cache.get(&s, &CloudParams::default());
         assert!(Arc::ptr_eq(&c1, &c2));
@@ -128,21 +176,22 @@ mod tests {
     #[test]
     fn mutation_invalidates() {
         let mut s = store();
-        let mut cache = CloudCache::new();
-        cache.get(&s, &CloudParams::default());
-        s.add("c", "avalanche");
+        let (cache, clk) = isolated();
+        let _ = cache.get(&s, &CloudParams::default());
+        s.add("c", "avalanche"); // bumps the global clock; mirror it here
+        clk.bump(Domain::TagIncidence);
         let c2 = cache.get(&s, &CloudParams::default());
         assert_eq!(cache.stats().misses, 2);
-        assert_eq!(cache.stats().evicted, 1, "stale version dropped");
+        assert_eq!(cache.stats().evicted, 1, "stale version swept on insert");
         assert!(c2.entries.iter().any(|e| e.tag == "avalanche"));
     }
 
     #[test]
     fn different_params_cached_separately() {
         let s = store();
-        let mut cache = CloudCache::new();
-        cache.get(&s, &CloudParams::default());
-        cache.get(
+        let (cache, _clk) = isolated();
+        let _ = cache.get(&s, &CloudParams::default());
+        let _ = cache.get(
             &s,
             &CloudParams {
                 f_max: 20,
@@ -154,11 +203,13 @@ mod tests {
     }
 
     #[test]
-    fn clear_resets() {
+    fn clear_drops_entries_but_keeps_counters() {
         let s = store();
-        let mut cache = CloudCache::new();
-        cache.get(&s, &CloudParams::default());
+        let (cache, _clk) = isolated();
+        let _ = cache.get(&s, &CloudParams::default());
         cache.clear();
-        assert_eq!(cache.stats(), CacheStats::default());
+        let _ = cache.get(&s, &CloudParams::default());
+        assert_eq!(cache.stats().misses, 2, "cleared entry recomputes");
+        assert_eq!(cache.stats().hits, 0);
     }
 }

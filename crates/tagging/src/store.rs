@@ -44,6 +44,7 @@ impl TagStore {
                 .or_default()
                 .insert(tag);
             self.version += 1;
+            sensormeta_cache::clock().bump(sensormeta_cache::Domain::TagIncidence);
         }
         fresh
     }
@@ -68,6 +69,7 @@ impl TagStore {
                 }
             }
             self.version += 1;
+            sensormeta_cache::clock().bump(sensormeta_cache::Domain::TagIncidence);
         }
         removed
     }

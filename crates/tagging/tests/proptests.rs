@@ -139,7 +139,7 @@ proptest! {
     #[test]
     fn cache_coherence(ops in prop::collection::vec((0u8..6, 0u8..6, any::<bool>()), 1..30)) {
         let mut store = TagStore::new();
-        let mut cache = CloudCache::new();
+        let cache = CloudCache::new();
         let params = CloudParams::default();
         for (p, t, add) in ops {
             let page = format!("p{p}");
