@@ -436,10 +436,9 @@ fn bench_cache(cfg: &BenchConfig) -> BenchReport {
         .push(("cache_hit_rate", hits as f64 / lookups.max(1) as f64));
     report.extra.push(("cold_mean_us", cold_mean));
     report.extra.push(("warm_mean_us", warm_mean));
-    report.extra.push((
-        "warm_speedup",
-        cold_mean / warm_mean.max(f64::MIN_POSITIVE),
-    ));
+    report
+        .extra
+        .push(("warm_speedup", cold_mean / warm_mean.max(f64::MIN_POSITIVE)));
     report
 }
 
@@ -479,9 +478,13 @@ mod tests {
         }
         // The cache workload reports its hit rate and cold/warm means.
         let cache = reports.iter().find(|r| r.name == "cache").unwrap();
-        let extras: std::collections::BTreeMap<&str, f64> =
-            cache.extra.iter().copied().collect();
-        for key in ["cache_hit_rate", "cold_mean_us", "warm_mean_us", "warm_speedup"] {
+        let extras: std::collections::BTreeMap<&str, f64> = cache.extra.iter().copied().collect();
+        for key in [
+            "cache_hit_rate",
+            "cold_mean_us",
+            "warm_mean_us",
+            "warm_speedup",
+        ] {
             assert!(extras.contains_key(key), "cache: missing {key}");
         }
         assert!(

@@ -598,7 +598,9 @@ impl<V: Send + Sync + 'static> Cache<V> {
                     return self.lead(key, flight, f, saw_stale);
                 }
                 Step::Wait(flight) => {
-                    self.stats.singleflight_waits.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .singleflight_waits
+                        .fetch_add(1, Ordering::Relaxed);
                     self.metrics.singleflight_waits.inc();
                     self.metrics.global_waits.inc();
                     match flight.wait(deadline) {
@@ -655,7 +657,11 @@ impl<V: Send + Sync + 'static> Cache<V> {
         let result = compute();
         cleanup.armed = false;
         self.count_miss();
-        let status = if saw_stale { Status::Stale } else { Status::Miss };
+        let status = if saw_stale {
+            Status::Stale
+        } else {
+            Status::Miss
+        };
         match result {
             Ok(v) => {
                 let v = Arc::new(v);
@@ -811,7 +817,11 @@ mod tests {
         assert_eq!(s2, Status::Hit);
         assert_eq!(calls.get(), 1);
         assert_eq!(*v1.expect("first"), "alpha");
-        assert_eq!(*v2.expect("second"), "alpha", "hit returns the cached value");
+        assert_eq!(
+            *v2.expect("second"),
+            "alpha",
+            "hit returns the cached value"
+        );
         let st = cache.stats();
         assert_eq!((st.hits, st.misses, st.entries), (1, 1, 1));
         assert!(st.bytes > 0);
@@ -961,7 +971,11 @@ mod tests {
         assert_eq!(s1, Status::Miss);
         let calls = Cell::new(0);
         let (_, s2) = get(&cache, 3, "fresh", &calls);
-        assert_eq!(s2, Status::Stale, "entry stamped pre-compute must not serve");
+        assert_eq!(
+            s2,
+            Status::Stale,
+            "entry stamped pre-compute must not serve"
+        );
         assert_eq!(calls.get(), 1);
     }
 

@@ -51,8 +51,9 @@ pub fn tarjan_scc(g: &CsrGraph) -> (Vec<usize>, usize) {
                     lowlink[parent] = lowlink[parent].min(lowlink[v]);
                 }
                 if lowlink[v] == index[v] {
-                    loop {
-                        let w = stack.pop().expect("stack non-empty at root");
+                    // v was pushed when first visited, so the stack holds at
+                    // least v itself; popping stops there.
+                    while let Some(w) = stack.pop() {
                         on_stack[w] = false;
                         comp[w] = comp_count;
                         if w == v {

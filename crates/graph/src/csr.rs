@@ -26,8 +26,10 @@ impl CsrGraph {
         }
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0);
+        let mut total = 0;
         for d in &deg {
-            offsets.push(offsets.last().expect("non-empty") + d);
+            total += d;
+            offsets.push(total);
         }
         let mut targets = vec![0usize; edges.len()];
         let mut cursor = offsets.clone();

@@ -81,12 +81,13 @@ impl UndirectedGraph {
         let mut order = Vec::with_capacity(n);
         for _ in 0..n {
             let v = loop {
-                let d = (0..buckets.len())
-                    .find(|&d| !buckets[d].is_empty())
-                    .expect("some bucket non-empty");
-                let v = buckets[d].pop().expect("non-empty");
-                if !removed[v] && deg[v] == d {
-                    break v;
+                // Every unremoved node sits in buckets[deg[v]] (plus stale
+                // duplicates at old degrees), so while unremoved nodes remain
+                // the scan always pops something.
+                match (0..buckets.len()).find_map(|d| buckets[d].pop().map(|v| (d, v))) {
+                    Some((d, v)) if !removed[v] && deg[v] == d => break v,
+                    Some(_) => continue, // stale entry: already removed or re-bucketed
+                    None => return order, // all buckets drained: ordering complete
                 }
             };
             removed[v] = true;

@@ -94,9 +94,7 @@ fn weigh_output(out: &QueryOutput) -> usize {
     let items: usize = out
         .items
         .iter()
-        .map(|i| {
-            std::mem::size_of_val(i) + i.title.len() + i.namespace.len() + i.snippet.len()
-        })
+        .map(|i| std::mem::size_of_val(i) + i.title.len() + i.namespace.len() + i.snippet.len())
         .sum();
     let facets: usize = out
         .facets
@@ -283,7 +281,8 @@ impl QueryEngine {
             user,
             ..SearchOptions::default()
         };
-        self.search_shared(form, &opts).map(|(out, _)| (*out).clone())
+        self.search_shared(form, &opts)
+            .map(|(out, _)| (*out).clone())
     }
 
     /// Executes an advanced-search form through the result cache, returning
@@ -302,12 +301,15 @@ impl QueryEngine {
             return Err(QueryError::EmptyForm);
         }
         if opts.bypass {
-            return Ok((Arc::new(self.search_uncached(form, opts.user)?), Status::Bypass));
+            return Ok((
+                Arc::new(self.search_uncached(form, opts.user)?),
+                Status::Bypass,
+            ));
         }
         let key = form_fingerprint(form, opts.user);
-        let (result, status) = self.results.get_or_compute(key, opts.deadline, || {
-            self.search_uncached(form, opts.user)
-        });
+        let (result, status) = self
+            .results
+            .get_or_compute(key, opts.deadline, || self.search_uncached(form, opts.user));
         match result {
             Ok(out) => Ok((out, status)),
             Err(CacheError::Compute(e)) => Err(e),
@@ -331,7 +333,9 @@ impl QueryEngine {
         } else {
             let _ft = obs::span("query_fulltext");
             let hits = if form.match_all {
-                self.index.search_all_terms_cached(&form.keywords, usize::MAX).0
+                self.index
+                    .search_all_terms_cached(&form.keywords, usize::MAX)
+                    .0
             } else {
                 self.index.search_cached(&form.keywords, usize::MAX).0
             };

@@ -243,11 +243,14 @@ impl SearchIndex {
 
     fn query_cache(&self) -> &Cache<Vec<Hit>> {
         self.query_cache.get_or_init(|| {
-            Cache::new(CacheConfig::new("search", CACHE_CAPACITY, CACHE_DEPS), |hits| {
-                hits.iter()
-                    .map(|h| std::mem::size_of::<Hit>() + h.key.len())
-                    .sum()
-            })
+            Cache::new(
+                CacheConfig::new("search", CACHE_CAPACITY, CACHE_DEPS),
+                |hits| {
+                    hits.iter()
+                        .map(|h| std::mem::size_of::<Hit>() + h.key.len())
+                        .sum()
+                },
+            )
         })
     }
 
@@ -340,16 +343,20 @@ impl SearchIndex {
         }
         let mut hits = Vec::new();
         for doc in docs {
-            let pos_lists: Vec<&Vec<u32>> = postings
+            // `doc` came from intersecting every posting list, so each lookup
+            // succeeds; a failed one just drops the doc from the result.
+            let Some(pos_lists) = postings
                 .iter()
                 .map(|p| {
-                    let ix = p
-                        .docs
+                    p.docs
                         .binary_search_by_key(&doc, |(d, _)| *d)
-                        .expect("doc in intersection");
-                    &p.docs[ix].1
+                        .ok()
+                        .map(|ix| &p.docs[ix].1)
                 })
-                .collect();
+                .collect::<Option<Vec<&Vec<u32>>>>()
+            else {
+                continue;
+            };
             let count = pos_lists[0]
                 .iter()
                 .filter(|&&start| {

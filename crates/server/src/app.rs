@@ -736,8 +736,14 @@ mod tests {
     #[test]
     fn cache_wait_parsing() {
         assert_eq!(parse_cache_wait(None), Some(DEFAULT_CACHE_WAIT));
-        assert_eq!(parse_cache_wait(Some("250")), Some(Duration::from_millis(250)));
-        assert_eq!(parse_cache_wait(Some(" 250 ")), Some(Duration::from_millis(250)));
+        assert_eq!(
+            parse_cache_wait(Some("250")),
+            Some(Duration::from_millis(250))
+        );
+        assert_eq!(
+            parse_cache_wait(Some(" 250 ")),
+            Some(Duration::from_millis(250))
+        );
         assert_eq!(parse_cache_wait(Some("0")), None, "0 disables the bound");
         assert_eq!(parse_cache_wait(Some("soon")), Some(DEFAULT_CACHE_WAIT));
     }

@@ -66,7 +66,10 @@ fn cache_status_headers_and_admin_clear() {
     // Search: cold is a miss, identical repeat a hit, bypass never caches.
     assert_eq!(cache_status(&app, "/search?q=temperature"), "miss");
     assert_eq!(cache_status(&app, "/search?q=temperature"), "hit");
-    assert_eq!(cache_status(&app, "/search?q=temperature&format=html"), "hit");
+    assert_eq!(
+        cache_status(&app, "/search?q=temperature&format=html"),
+        "hit"
+    );
     assert_eq!(
         cache_status(&app, "/search?q=temperature&cache=bypass"),
         "bypass"

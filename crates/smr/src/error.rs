@@ -11,6 +11,9 @@ pub enum SmrError {
     NoSuchPage(String),
     /// A draft failed validation.
     InvalidDraft(String),
+    /// A stored row did not have the shape the schema promises (e.g. a
+    /// non-integer id column). Indicates direct SQL surgery or a bug.
+    Corrupt(String),
     /// Underlying relational engine error.
     Rel(sensormeta_relstore::RelError),
     /// Underlying RDF/SPARQL error.
@@ -23,6 +26,7 @@ impl fmt::Display for SmrError {
             SmrError::PageExists(t) => write!(f, "page `{t}` already exists"),
             SmrError::NoSuchPage(t) => write!(f, "no such page: `{t}`"),
             SmrError::InvalidDraft(m) => write!(f, "invalid page draft: {m}"),
+            SmrError::Corrupt(m) => write!(f, "corrupt relational state: {m}"),
             SmrError::Rel(e) => write!(f, "storage error: {e}"),
             SmrError::Rdf(e) => write!(f, "rdf error: {e}"),
         }

@@ -54,8 +54,10 @@ impl Smr {
     /// installed.
     pub fn new() -> Smr {
         let mut db = Database::new();
+        // Invariant: SCHEMA_SQL is a compile-time constant exercised by every
+        // test in this crate; it cannot fail against a fresh database.
         db.execute_script(SCHEMA_SQL)
-            .expect("static schema is valid");
+            .expect("static schema is valid"); // xlint: allow(no-unwrap)
         Smr {
             db,
             rdf: TripleStore::new(),
@@ -81,6 +83,8 @@ impl Smr {
 
     /// Folds the write-ahead log into a fresh snapshot (no-op for
     /// repositories that are not durable).
+    // Pure durability maintenance: no page, tag or triple changes, so no
+    // cached result can go stale. // xlint: allow(epoch-bump-on-mutate)
     pub fn checkpoint(&mut self) -> Result<()> {
         Ok(self.db.checkpoint()?)
     }
@@ -138,7 +142,9 @@ impl Smr {
         let Some(id) = self.page_id(&draft.title)? else {
             return Err(SmrError::NoSuchPage(draft.title));
         };
-        let old = self.get_page(&draft.title)?.expect("id resolved");
+        let Some(old) = self.get_page(&draft.title)? else {
+            return Err(SmrError::NoSuchPage(draft.title));
+        };
         // Archive the old body.
         self.db.insert_row(
             "revisions",
@@ -230,7 +236,11 @@ impl Smr {
         let Some(row) = rs.rows.first() else {
             return Ok(None);
         };
-        let id = row[0].as_int().expect("id is integer");
+        let Some(id) = row[0].as_int() else {
+            return Err(SmrError::Corrupt(format!(
+                "pages.id for `{title}` is not an integer"
+            )));
+        };
         let annotations = self
             .db
             .query(&format!(
@@ -497,7 +507,9 @@ impl Smr {
             .page_titles()?
             .into_iter()
             .map(|t| {
-                let p = self.get_page(&t)?.expect("title just listed");
+                let Some(p) = self.get_page(&t)? else {
+                    return Err(SmrError::NoSuchPage(t));
+                };
                 Ok(PageDraft {
                     title: p.title,
                     namespace: p.namespace,
@@ -511,6 +523,10 @@ impl Smr {
         for draft in drafts {
             self.mirror_page(&draft);
         }
+        // The whole mirror was replaced, not just the pages re-inserted:
+        // even when there are zero drafts (so no insert ever bumped), any
+        // cached SPARQL result over the old store is now invalid.
+        sensormeta_cache::clock().bump(sensormeta_cache::Domain::Triples);
         Ok(())
     }
 

@@ -6,7 +6,7 @@
 //! epoch-invalidated [`Cache`] namespace (`cache_tag_cloud_*` metrics),
 //! keyed by the store's mutation version plus the cloud parameters and
 //! invalidated through the [`Domain::TagIncidence`] epoch that every
-//! [`TagStore`](crate::store::TagStore) mutation bumps. The PR 3 metric
+//! [`TagStore`] mutation bumps. The PR 3 metric
 //! names (`tagging_cloud_cache_hits_total` / `_misses_total` /
 //! `_evicted_total`) keep emitting as legacy aliases so existing
 //! dashboards and scrapes stay live.

@@ -111,20 +111,24 @@ fn bk(
         }
         return;
     }
-    let candidates: Vec<usize> = if pivot {
-        // Choose pivot u maximizing |P ∩ N(u)|; recurse only on P \ N(u).
-        let u = p
-            .iter()
+    // Choose pivot u maximizing |P ∩ N(u)|; recurse only on P \ N(u). The
+    // early return above guarantees P ∪ X is non-empty here, but if the
+    // pivot search ever came up empty we'd just fall back to plain BK.
+    let pivot_u = if pivot {
+        p.iter()
             .chain(x.iter())
             .copied()
             .max_by_key(|&u| g.neighbors(u).iter().filter(|w| p.contains(w)).count())
-            .expect("P ∪ X non-empty");
-        p.iter()
+    } else {
+        None
+    };
+    let candidates: Vec<usize> = match pivot_u {
+        Some(u) => p
+            .iter()
             .copied()
             .filter(|v| !g.neighbors(u).contains(v))
-            .collect()
-    } else {
-        p.iter().copied().collect()
+            .collect(),
+        None => p.iter().copied().collect(),
     };
     for v in candidates {
         let nv = g.neighbors(v);

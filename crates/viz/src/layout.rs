@@ -104,8 +104,12 @@ pub fn layered_layout(g: &CsrGraph, width: f64, height: f64) -> Positions {
     let mut processed = 0;
     while processed < n {
         if head >= queue.len() {
-            // Cycle: seed with the smallest unseen node.
-            let v = (0..n).find(|&v| !seen[v]).expect("unseen node exists");
+            // Cycle: seed with the smallest unseen node. An empty queue with
+            // processed < n implies one exists; if not, everything reachable
+            // already has a layer and we are done.
+            let Some(v) = (0..n).find(|&v| !seen[v]) else {
+                break;
+            };
             seen[v] = true;
             queue.push(v);
         }

@@ -101,7 +101,11 @@ pub fn lex(source: &str) -> Lexed {
                 '*' => {
                     let start_line = line;
                     let is_inner = chars.get(i + 2) == Some(&'!');
-                    let is_outer = chars.get(i + 2) == Some(&'*') && chars.get(i + 3) != Some(&'*');
+                    // `/** x */` is outer doc; `/**/` (empty) and `/***/`
+                    // (three or more stars) are ordinary comments.
+                    let is_outer = chars.get(i + 2) == Some(&'*')
+                        && chars.get(i + 3) != Some(&'*')
+                        && chars.get(i + 3) != Some(&'/');
                     i += 2;
                     let mut depth = 1;
                     while i < chars.len() && depth > 0 {
@@ -323,7 +327,15 @@ fn tok(kind: TokKind, line: u32) -> Tok {
 fn skip_quoted(chars: &[char], mut i: usize, line: &mut u32) -> usize {
     while i < chars.len() {
         match chars[i] {
-            '\\' => i += 2,
+            '\\' => {
+                // A line continuation (`\` before a newline) still advances
+                // the source line, or every diagnostic after the string
+                // points one line too early.
+                if chars.get(i + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
             '"' => return i + 1,
             c => {
                 if c == '\n' {
@@ -435,5 +447,72 @@ mod tests {
         let lexed = lex("//! inner\n/// outer\nfn f() {}");
         assert_eq!(lexed.tokens[0].kind, TokKind::DocInner);
         assert_eq!(lexed.tokens[1].kind, TokKind::DocOuter);
+    }
+
+    #[test]
+    fn empty_and_star_only_block_comments_are_not_doc() {
+        // `/**/` and `/***/` are ordinary comments in Rust; only `/** x */`
+        // opens an outer block doc. Misclassifying the empty form used to
+        // make `/**/` count as documentation for the item below it.
+        for src in ["/**/\npub fn f() {}", "/***/\npub fn f() {}"] {
+            let toks = lex(src).tokens;
+            assert!(
+                !toks
+                    .iter()
+                    .any(|t| t.kind == TokKind::DocOuter || t.kind == TokKind::DocInner),
+                "{src:?} produced a doc token"
+            );
+        }
+        let toks = lex("/** real doc */\npub fn f() {}").tokens;
+        assert_eq!(toks[0].kind, TokKind::DocOuter);
+        let toks = lex("/*! crate doc */\npub fn f() {}").tokens;
+        assert_eq!(toks[0].kind, TokKind::DocInner);
+    }
+
+    #[test]
+    fn string_line_continuations_keep_line_numbers() {
+        // `\` before a newline continues the string onto the next source
+        // line; the newline is inside the literal but still a real line.
+        let src = "let s = \"a\\\n   b\\\n   c\";\nmarker";
+        let toks = lex(src).tokens;
+        let marker = toks.iter().find(|t| t.text == "marker").unwrap();
+        assert_eq!(marker.line, 4);
+    }
+
+    #[test]
+    fn raw_strings_respect_hash_counts() {
+        // With two hashes, an embedded `"#` must not terminate the literal.
+        let src = "let s = r##\"has \"# inside\"##; after";
+        let ids = idents(src);
+        assert!(ids.contains(&"after".to_string()));
+        assert!(!ids.contains(&"inside".to_string()));
+        // Zero-hash raw string whose body is a lone `#`.
+        let toks = lex("let s = r\"#\"; tail").tokens;
+        assert!(toks.iter().any(|t| t.text == "tail"));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+        // `r#ident` is a raw identifier, not the start of a raw string.
+        let ids = idents("let r#type = r#match; done");
+        assert!(ids.contains(&"done".to_string()));
+    }
+
+    #[test]
+    fn multiline_raw_strings_and_block_comments_count_lines() {
+        let src = "let s = r#\"one\ntwo\nthree\"#;\n/* a\nb */ marker";
+        let toks = lex(src).tokens;
+        let marker = toks.iter().find(|t| t.text == "marker").unwrap();
+        assert_eq!(marker.line, 5);
+    }
+
+    #[test]
+    fn tightly_nested_block_comments_close_correctly() {
+        // `/*/**/*/` is a fully balanced two-deep comment; nothing inside
+        // it (or of it) should leak into the token stream.
+        let toks = lex("/*/**/*/ after").tokens;
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].text, "after");
+        // `/*/` opens one level without closing it: the rest is comment.
+        let toks = lex("/*/ not_a_token */ visible").tokens;
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].text, "visible");
     }
 }

@@ -16,6 +16,18 @@
 //!   worker pool) and `crates/server` (the accept loop); everything else
 //!   parallelizes through the `sensormeta-par` pool.
 //!
+//! Semantic rules (workspace-level; item parser + cross-file call graph,
+//! see the `semantic` module):
+//!
+//! - **epoch-bump-on-mutate** — public `&mut self` methods of the store
+//!   types must transitively reach `EpochClock::bump` for their domain.
+//! - **wal-before-write** — durable `Database`/`Smr` mutation paths must
+//!   reach a WAL append, and reach it before the first applied write.
+//! - **lock-order** — the cross-crate Mutex/RwLock acquisition graph must
+//!   stay acyclic and pairwise-consistent.
+//! - **no-blocking-in-par** — no fsync/file I/O/unbounded lock waits inside
+//!   `Pool::scope`/`par_*` closures.
+//!
 //! Violations are reported rustc-style (`file:line: rule: message`).
 //! A committed `xlint-baseline.toml` grandfathers pre-existing debt; the
 //! baseline is a one-way ratchet (counts may only go down). Per-line
@@ -25,7 +37,9 @@
 
 pub mod baseline;
 pub mod lexer;
+mod parser;
 pub mod rules;
+mod semantic;
 
 pub use baseline::{check, Baseline, Verdict};
 pub use rules::{Rule, Violation};
@@ -155,6 +169,9 @@ pub fn lint_files(root: &Path, files: &[PathBuf]) -> Result<LintReport, XlintErr
     // impls may live in a sibling module.
     let mut per_crate: BTreeMap<String, FileFacts> = BTreeMap::new();
     let mut report = LintReport::default();
+    // Lexed files are kept for the workspace semantic pass, which needs the
+    // whole file set to build its symbol table and call graph.
+    let mut lexed_files: Vec<(String, lexer::Lexed)> = Vec::with_capacity(files.len());
 
     for path in files {
         let source = std::fs::read_to_string(path)
@@ -180,11 +197,15 @@ pub fn lint_files(root: &Path, files: &[PathBuf]) -> Result<LintReport, XlintErr
             facts,
         ));
         report.files_scanned += 1;
+        lexed_files.push((rel, lexed));
     }
 
     for facts in per_crate.values() {
         report.violations.extend(rules::lint_error_contracts(facts));
     }
+    report
+        .violations
+        .extend(semantic::lint_semantic(&lexed_files));
     report
         .violations
         .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));

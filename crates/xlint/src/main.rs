@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run -p xlint -- --workspace                  # lint against baseline
 //! cargo run -p xlint -- --workspace --write-baseline # tighten the ratchet
+//! cargo run -p xlint -- --explain <rule>             # rule rationale
 //! cargo run -p xlint -- path/to/file.rs …            # lint specific files
 //! ```
 //!
@@ -10,7 +11,7 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use xlint::{baseline, lint_files, lint_workspace, Baseline};
+use xlint::{baseline, lint_files, lint_workspace, Baseline, Rule};
 
 const BASELINE_FILE: &str = "xlint-baseline.toml";
 
@@ -18,15 +19,17 @@ struct Opts {
     workspace: bool,
     write_baseline: bool,
     baseline_path: Option<PathBuf>,
+    explain: Option<String>,
     files: Vec<PathBuf>,
 }
 
 fn usage() -> &'static str {
-    "usage: xlint [--workspace] [--write-baseline] [--baseline PATH] [files…]\n\
+    "usage: xlint [--workspace] [--write-baseline] [--baseline PATH] [--explain RULE] [files…]\n\
      \n\
      --workspace        lint all library sources of the enclosing workspace\n\
      --write-baseline   rewrite the baseline, tightened to current counts\n\
      --baseline PATH    baseline file (default: <root>/xlint-baseline.toml)\n\
+     --explain RULE     print the rationale for a rule (or `all`)\n\
      files…             lint specific files (no baseline applied)"
 }
 
@@ -35,6 +38,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         workspace: false,
         write_baseline: false,
         baseline_path: None,
+        explain: None,
         files: Vec::new(),
     };
     let mut it = args.iter();
@@ -46,6 +50,10 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                 let path = it.next().ok_or("--baseline needs a path")?;
                 opts.baseline_path = Some(PathBuf::from(path));
             }
+            "--explain" => {
+                let rule = it.next().ok_or("--explain needs a rule name (or `all`)")?;
+                opts.explain = Some(rule.clone());
+            }
             "-h" | "--help" => return Err(usage().to_string()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag `{other}`\n{}", usage()));
@@ -53,10 +61,29 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
             file => opts.files.push(PathBuf::from(file)),
         }
     }
-    if !opts.workspace && opts.files.is_empty() {
+    if !opts.workspace && opts.files.is_empty() && opts.explain.is_none() {
         return Err(format!("nothing to lint\n{}", usage()));
     }
     Ok(opts)
+}
+
+/// Prints the rationale for one rule name, or all of them for `all`.
+fn explain(name: &str) -> Result<(), String> {
+    if name == "all" {
+        for (i, rule) in Rule::all().iter().enumerate() {
+            if i > 0 {
+                println!();
+            }
+            println!("{}\n  {}", rule.name(), rule.explain());
+        }
+        return Ok(());
+    }
+    let rule = Rule::from_name(name).ok_or_else(|| {
+        let known: Vec<&str> = Rule::all().iter().map(|r| r.name()).collect();
+        format!("unknown rule `{name}`; known rules: {}", known.join(", "))
+    })?;
+    println!("{}\n  {}", rule.name(), rule.explain());
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -84,6 +111,12 @@ fn main() -> ExitCode {
 }
 
 fn run(opts: &Opts) -> Result<bool, Box<dyn std::error::Error>> {
+    if let Some(name) = &opts.explain {
+        explain(name)?;
+        if !opts.workspace && opts.files.is_empty() {
+            return Ok(true);
+        }
+    }
     if !opts.workspace {
         // Explicit file mode: no baseline, every violation is reported.
         let cwd = std::env::current_dir()?;

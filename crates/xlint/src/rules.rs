@@ -28,6 +28,19 @@ pub enum Rule {
     /// loop). Everything else must go through the `sensormeta-par` pool so
     /// parallelism stays bounded, instrumented and deterministic.
     NoRawThreadSpawn,
+    /// Semantic: a public `&mut self` method of a store type must
+    /// transitively reach an `EpochClock::bump` of its domain(s), or stale
+    /// cached results will be served after the mutation.
+    EpochBumpOnMutate,
+    /// Semantic: durable `Database`/`Smr` mutation paths must reach a WAL
+    /// append (`wal_commit`) before — and not after — applying writes.
+    WalBeforeWrite,
+    /// Semantic: the cross-crate Mutex/RwLock acquisition graph must stay
+    /// acyclic; inconsistent pairwise orderings are deadlocks in waiting.
+    LockOrder,
+    /// Semantic: no fsync/file I/O/unbounded lock waits inside
+    /// `Pool::scope`/`par_*` closures — blocking stalls the whole pool.
+    NoBlockingInPar,
 }
 
 impl Rule {
@@ -41,6 +54,10 @@ impl Rule {
             Rule::MissingDocs => "missing-docs",
             Rule::NoPrintlnInLib => "no-println-in-lib",
             Rule::NoRawThreadSpawn => "no-raw-thread-spawn",
+            Rule::EpochBumpOnMutate => "epoch-bump-on-mutate",
+            Rule::WalBeforeWrite => "wal-before-write",
+            Rule::LockOrder => "lock-order",
+            Rule::NoBlockingInPar => "no-blocking-in-par",
         }
     }
 
@@ -54,7 +71,111 @@ impl Rule {
             "missing-docs" => Some(Rule::MissingDocs),
             "no-println-in-lib" => Some(Rule::NoPrintlnInLib),
             "no-raw-thread-spawn" => Some(Rule::NoRawThreadSpawn),
+            "epoch-bump-on-mutate" => Some(Rule::EpochBumpOnMutate),
+            "wal-before-write" => Some(Rule::WalBeforeWrite),
+            "lock-order" => Some(Rule::LockOrder),
+            "no-blocking-in-par" => Some(Rule::NoBlockingInPar),
             _ => None,
+        }
+    }
+
+    /// All rules, in a stable order (for `--explain` listings).
+    pub fn all() -> &'static [Rule] {
+        &[
+            Rule::NoUnwrap,
+            Rule::FloatEq,
+            Rule::AsTruncation,
+            Rule::ErrorImpl,
+            Rule::MissingDocs,
+            Rule::NoPrintlnInLib,
+            Rule::NoRawThreadSpawn,
+            Rule::EpochBumpOnMutate,
+            Rule::WalBeforeWrite,
+            Rule::LockOrder,
+            Rule::NoBlockingInPar,
+        ]
+    }
+
+    /// Longer-form rationale shown by `xlint --explain <rule>`.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::NoUnwrap => {
+                "Library code must not `.unwrap()`, `.expect()`, `panic!`, `todo!` or \
+                 `unimplemented!` outside tests. A panic in a store or query path takes the \
+                 whole server down; return a Result (or handle the None/Err case) instead. \
+                 Invariants that genuinely cannot fail may be documented with \
+                 `// xlint: allow(no-unwrap)` on or above the line."
+            }
+            Rule::FloatEq => {
+                "Floats must not be compared with `==`/`!=` against literals: ranking scores \
+                 and solver residuals accumulate rounding error, so exact comparison is \
+                 either vacuous or flaky. Compare with an epsilon: `(x - y).abs() < 1e-9`."
+            }
+            Rule::AsTruncation => {
+                "In the relstore/rdf encoding paths a narrowing `as` cast (`as u16`, \
+                 `as u32`, …) silently truncates on-disk values. Use `try_from` and surface \
+                 the error, or document the proven bound with \
+                 `// xlint: allow(as-truncation)`."
+            }
+            Rule::ErrorImpl => {
+                "Every `pub enum *Error` must implement `Display` and `std::error::Error` \
+                 (in the same crate) so errors compose with `?`, `Box<dyn Error>` and log \
+                 formatting at the server boundary."
+            }
+            Rule::MissingDocs => {
+                "Public items in a crate root (`lib.rs`) need doc comments: crate roots are \
+                 the workspace's API surface and `#![warn(missing_docs)]` only covers crates \
+                 that opt in."
+            }
+            Rule::NoPrintlnInLib => {
+                "Library crates must not print to stdout/stderr (`println!`, `eprintln!`, \
+                 `dbg!`, …). Binaries own the terminal; libraries return data or record it \
+                 in the obs metrics registry."
+            }
+            Rule::NoRawThreadSpawn => {
+                "`thread::spawn` is sanctioned only in crates/par (the worker pool) and \
+                 crates/server (the accept loop). Everything else parallelizes through the \
+                 sensormeta-par pool so thread counts stay bounded and execution stays \
+                 deterministic."
+            }
+            Rule::EpochBumpOnMutate => {
+                "Workspace semantic rule. Every public `&mut self` method of a store type \
+                 (relstore::Database, rdf::TripleStore, search::SearchIndex, smr::Smr, \
+                 tagging::TagStore) must reach — directly or through any chain of calls — an \
+                 `EpochClock::bump(Domain::…)` for that store's domain (or `bump_all`). The \
+                 shared result cache is invalidated purely by epoch comparison, so a \
+                 mutating path that never bumps serves stale query/search/tag results \
+                 forever. The checker walks the approximate call graph, so bumping in a \
+                 private helper is fine. Mutators that provably change no observable state \
+                 (e.g. dictionary interning) may carry \
+                 `// xlint: allow(epoch-bump-on-mutate)` with a justification."
+            }
+            Rule::WalBeforeWrite => {
+                "Workspace semantic rule. Public `&mut self` methods of `Database` and \
+                 `Smr` that reach an applied write (relstore `insert`/`execute` paths) must \
+                 also reach a WAL append (`wal_commit`), and within the entry method the \
+                 first applied write must not precede the first WAL append. Writing pages \
+                 before logging the operation makes the mutation unrecoverable after a \
+                 crash. Paths that only flush already-logged state (checkpoints) may carry \
+                 `// xlint: allow(wal-before-write)`."
+            }
+            Rule::LockOrder => {
+                "Workspace semantic rule. xlint discovers lock classes (struct fields and \
+                 statics of Mutex/RwLock type), tracks which locks are held across which \
+                 calls, and builds the directed acquired-while-holding graph. Any cycle — \
+                 including an inconsistent pairwise order like `engine then tags` in one \
+                 path and `tags then engine` in another — is a deadlock in waiting once the \
+                 server goes concurrent. Fix by acquiring locks in one global order."
+            }
+            Rule::NoBlockingInPar => {
+                "Workspace semantic rule. Closures handed to the sensormeta-par pool \
+                 (`scope`, `par_chunks_mut`, `par_map_collect`, `par_sum`, `pool.run`) must \
+                 not block: no fsync/file I/O, no channel/condvar waits, no lock \
+                 acquisitions — directly or through any call chain. A blocked worker stalls \
+                 the whole deterministic batch. Hoist I/O out of the closure and keep \
+                 shared state out of the hot path; crates/par itself (which implements the \
+                 blocking machinery) is exempt."
+            }
         }
     }
 }
@@ -99,7 +220,7 @@ pub struct FileFacts {
 
 /// Computes, for each token index, whether it belongs to test-only code:
 /// an item annotated `#[cfg(test)]` (typically `mod tests { … }`).
-fn test_region_mask(tokens: &[Tok]) -> Vec<bool> {
+pub(crate) fn test_region_mask(tokens: &[Tok]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let mut i = 0;
     while i < tokens.len() {
@@ -180,7 +301,7 @@ fn test_region_mask(tokens: &[Tok]) -> Vec<bool> {
     mask
 }
 
-fn allowed(lexed: &Lexed, line: u32, rule: Rule) -> bool {
+pub(crate) fn allowed(lexed: &Lexed, line: u32, rule: Rule) -> bool {
     lexed
         .allows
         .get(&line)

@@ -1,0 +1,17 @@
+//! Epoch fixture: a transitive caller mutates the store through a helper
+//! and no function on the path ever bumps the Triples epoch.
+
+pub struct TripleStore {
+    n: usize,
+}
+
+impl TripleStore {
+    /// Inserts a triple but forgets the epoch bump (seeded violation).
+    pub fn insert(&mut self, s: u64) {
+        self.write_triple(s);
+    }
+
+    fn write_triple(&mut self, s: u64) {
+        self.n += s as usize;
+    }
+}

@@ -1,0 +1,21 @@
+//! Epoch fixture: the public mutator reaches the bump through helpers.
+
+pub struct TripleStore {
+    n: usize,
+}
+
+impl TripleStore {
+    /// Inserts a triple; the helper chain ends in the required bump.
+    pub fn insert(&mut self, s: u64) {
+        self.write_triple(s);
+    }
+
+    fn write_triple(&mut self, s: u64) {
+        self.n += s as usize;
+        self.touch();
+    }
+
+    fn touch(&mut self) {
+        clock().bump(Domain::Triples);
+    }
+}

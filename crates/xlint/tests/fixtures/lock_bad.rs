@@ -1,0 +1,28 @@
+//! Lock fixture: two paths take the same two locks in opposite orders.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    engine: Mutex<u64>,
+    tags: Mutex<u64>,
+}
+
+impl Shared {
+    /// Takes `engine` then `tags`.
+    pub fn forward(&self) -> u64 {
+        let e = self.engine.lock();
+        let t = self.tags.lock();
+        drop(t);
+        drop(e);
+        0
+    }
+
+    /// Takes `tags` then `engine` (seeded violation: opposite order).
+    pub fn backward(&self) -> u64 {
+        let t = self.tags.lock();
+        let e = self.engine.lock();
+        drop(e);
+        drop(t);
+        1
+    }
+}

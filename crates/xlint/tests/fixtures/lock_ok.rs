@@ -1,0 +1,28 @@
+//! Lock fixture: every path takes `engine` before `tags`.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    engine: Mutex<u64>,
+    tags: Mutex<u64>,
+}
+
+impl Shared {
+    /// Reads both counters under the global order.
+    pub fn both(&self) -> u64 {
+        let e = self.engine.lock();
+        let t = self.tags.lock();
+        drop(t);
+        drop(e);
+        0
+    }
+
+    /// Another path in the same order.
+    pub fn again(&self) -> u64 {
+        let e = self.engine.lock();
+        let t = self.tags.lock();
+        drop(t);
+        drop(e);
+        1
+    }
+}

@@ -1,0 +1,17 @@
+//! Par fixture: the scoped closure blocks directly and through a helper.
+
+pub fn flush_all(pool: &Pool, xs: &[u64]) -> u64 {
+    let mut sum = 0;
+    pool.scope(|s| {
+        for x in xs {
+            sum += *x;
+        }
+        let _ = std::fs::read("direct.bin");
+        sync_to_disk();
+    });
+    sum
+}
+
+fn sync_to_disk() {
+    let _ = std::fs::write("state.bin", b"x");
+}

@@ -1,0 +1,15 @@
+//! Par fixture: the scoped closure does pure compute only.
+
+pub fn total(pool: &Pool, xs: &[u64]) -> u64 {
+    let mut sum = 0;
+    pool.scope(|s| {
+        for x in xs {
+            sum += add_one(*x);
+        }
+    });
+    sum
+}
+
+fn add_one(x: u64) -> u64 {
+    x + 1
+}

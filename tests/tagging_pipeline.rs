@@ -84,7 +84,7 @@ fn cache_module_cuts_recomputation() {
     let pairs = smr.all_tags().unwrap();
     store.ingest(pairs.iter().map(|(p, t)| (p.as_str(), t.as_str())));
 
-    let mut cache = CloudCache::new();
+    let cache = CloudCache::new();
     let params = CloudParams::default();
     for _ in 0..10 {
         let _ = cache.get(&store, &params);
