@@ -11,6 +11,7 @@ use sensormeta_obs as obs;
 use sensormeta_par::Pool;
 use sensormeta_query::{CondOp, Condition, QueryEngine, SearchForm, SearchOptions};
 use sensormeta_rank::{GaussSeidel, PowerIteration, Solver};
+use sensormeta_resil as resil;
 use sensormeta_search::SearchIndex;
 use sensormeta_smr::{PageDraft, Smr};
 use sensormeta_tagging::{compute_cloud, similarity_matrix_in, CloudParams, TagStore};
@@ -117,6 +118,7 @@ pub fn run_suite(cfg: &BenchConfig) -> Vec<BenchReport> {
         bench_tagsim_par(cfg),
         bench_indexbuild_par(cfg),
         bench_cache(cfg),
+        bench_resil_overhead(cfg),
     ]
 }
 
@@ -246,6 +248,47 @@ fn bench_obs_overhead(cfg: &BenchConfig) -> BenchReport {
     report
         .extra
         .push(("disabled_mean_us", off_sum / h_off.count().max(1) as f64));
+    report
+        .extra
+        .push(("overhead_pct", (on_sum - off_sum) / off_sum * 100.0));
+    report
+}
+
+/// The checkpointed search hot path with no ambient deadline vs a far
+/// deadline installed: the marginal cost of deadline propagation on the
+/// serving path (every checkpoint does an extra `Instant::now()` once a
+/// bound is set). The acceptance budget is 5% on this path.
+fn bench_resil_overhead(cfg: &BenchConfig) -> BenchReport {
+    let engine = seeded_engine(cfg);
+    let queries = query_workload(cfg.iterations.max(20), cfg.seed + 31);
+    let reg = obs::Registry::new();
+    let h_off = reg.histogram("no_deadline_us");
+    let h_on = reg.histogram("deadline_us");
+    let run = |h: &obs::Histogram| {
+        for q in &queries {
+            let form = SearchForm::keywords(q.clone());
+            let t = Instant::now();
+            let _ = engine.search(&form, None);
+            h.record_duration(t.elapsed());
+        }
+    };
+    run(&reg.histogram("warmup_us"));
+    run(&h_off);
+    {
+        let _scope = resil::deadline_scope(resil::Deadline::within(
+            std::time::Duration::from_secs(3600),
+        ));
+        run(&h_on);
+    }
+    let mut report = BenchReport::from_histogram("resil_overhead", &h_on);
+    let on_sum = h_on.sum() as f64;
+    let off_sum = h_off.sum().max(1) as f64;
+    report
+        .extra
+        .push(("no_deadline_p50_us", h_off.quantile(0.5) as f64));
+    report
+        .extra
+        .push(("no_deadline_mean_us", off_sum / h_off.count().max(1) as f64));
     report
         .extra
         .push(("overhead_pct", (on_sum - off_sum) / off_sum * 100.0));
@@ -454,7 +497,7 @@ mod tests {
             seed: 42,
         };
         let reports = run_suite(&cfg);
-        assert_eq!(reports.len(), 9);
+        assert_eq!(reports.len(), 10);
         for r in &reports {
             assert!(r.iterations > 0, "{} ran", r.name);
             let json = r.to_json();

@@ -37,21 +37,33 @@ pub enum Status {
     /// Nothing cached; this call computed (or timed out waiting).
     Miss,
     /// A cached entry existed but was epoch- or TTL-stale; it was dropped
-    /// and this call recomputed.
+    /// (or retained for degradation) and this call recomputed.
     Stale,
     /// The cache was disabled or sidestepped; computed without caching.
     Bypass,
+    /// The live computation failed (or was rejected by a breaker) and a
+    /// stale cached value within the grace window was served instead.
+    /// Labeled `stale` on the wire; servers add a `Warning` header so a
+    /// degraded answer is never mistaken for a fresh one.
+    Degraded,
 }
 
 impl Status {
-    /// Lowercase label (`hit` / `miss` / `stale` / `bypass`).
+    /// Lowercase label (`hit` / `miss` / `stale` / `bypass`; degraded
+    /// serves are labeled `stale` — the data really is stale).
     pub fn as_str(self) -> &'static str {
         match self {
             Status::Hit => "hit",
             Status::Miss => "miss",
-            Status::Stale => "stale",
+            Status::Stale | Status::Degraded => "stale",
             Status::Bypass => "bypass",
         }
+    }
+
+    /// True when the response body is a stale value served under
+    /// degradation (as opposed to a fresh recompute labeled `stale`).
+    pub fn is_degraded(self) -> bool {
+        matches!(self, Status::Degraded)
     }
 }
 
@@ -106,6 +118,8 @@ pub struct CacheStats {
     pub singleflight_waits: u64,
     /// Hits that replayed a negatively cached error.
     pub negative_hits: u64,
+    /// Stale values handed out by [`Cache::get_stale`] for degradation.
+    pub stale_serves: u64,
     /// Entries currently resident.
     pub entries: usize,
     /// Bytes currently charged against the capacity.
@@ -139,6 +153,13 @@ pub struct CacheConfig {
     pub ttl: Option<Duration>,
     /// Wall-clock bound on negatively cached failures.
     pub negative_ttl: Duration,
+    /// Staleness grace window for serve-stale degradation: an epoch- or
+    /// TTL-stale *positive* entry younger than this (measured from its
+    /// insertion) is retained instead of dropped, can be fetched with
+    /// [`Cache::get_stale`], and is never overwritten by a negative
+    /// entry. `None` (the default) disables degradation: stale entries
+    /// are dropped on sight exactly as before.
+    pub stale_grace: Option<Duration>,
     /// Domains whose epochs every entry of this cache depends on.
     pub deps: &'static [Domain],
     /// Optional pre-migration metric names to keep emitting.
@@ -155,6 +176,7 @@ impl CacheConfig {
             shards: 8,
             ttl: None,
             negative_ttl: Duration::from_secs(2),
+            stale_grace: None,
             deps,
             legacy: None,
         }
@@ -168,6 +190,9 @@ struct Entry<V> {
     value: Outcome<V>,
     stamp: EpochVector,
     expires: Option<Instant>,
+    /// When the entry landed — the grace window for serve-stale
+    /// degradation bounds the value's total age from this point.
+    inserted: Instant,
     cost: usize,
     tick: u64,
 }
@@ -285,10 +310,12 @@ struct Metrics {
     misses: obs::Counter,
     evictions: obs::Counter,
     singleflight_waits: obs::Counter,
+    stale_serves: obs::Counter,
     global_hits: obs::Counter,
     global_misses: obs::Counter,
     global_evictions: obs::Counter,
     global_waits: obs::Counter,
+    global_stale_serves: obs::Counter,
     bytes: obs::Gauge,
     global_bytes: obs::Gauge,
     legacy_hits: Option<obs::Counter>,
@@ -304,10 +331,12 @@ impl Metrics {
             misses: per("misses_total"),
             evictions: per("evictions_total"),
             singleflight_waits: per("singleflight_waits_total"),
+            stale_serves: per("stale_serves_total"),
             global_hits: obs::counter("cache_hits_total"),
             global_misses: obs::counter("cache_misses_total"),
             global_evictions: obs::counter("cache_evictions_total"),
             global_waits: obs::counter("cache_singleflight_waits_total"),
+            global_stale_serves: obs::counter("cache_stale_serves_total"),
             bytes: obs::gauge(&format!("cache_{}_bytes", cfg.name)),
             global_bytes: obs::gauge("cache_bytes"),
             legacy_hits: cfg.legacy.map(|l| obs::counter(l.hits)),
@@ -324,6 +353,7 @@ struct Stats {
     stale_drops: AtomicU64,
     singleflight_waits: AtomicU64,
     negative_hits: AtomicU64,
+    stale_serves: AtomicU64,
     entries: AtomicUsize,
 }
 
@@ -366,6 +396,7 @@ impl<V> fmt::Debug for Cache<V> {
             stale_drops: self.stats.stale_drops.load(Ordering::Relaxed),
             singleflight_waits: self.stats.singleflight_waits.load(Ordering::Relaxed),
             negative_hits: self.stats.negative_hits.load(Ordering::Relaxed),
+            stale_serves: self.stats.stale_serves.load(Ordering::Relaxed),
             entries: self.stats.entries.load(Ordering::Relaxed),
             bytes: 0,
         };
@@ -409,6 +440,7 @@ impl<V: Send + Sync + 'static> Cache<V> {
                 stale_drops: AtomicU64::new(0),
                 singleflight_waits: AtomicU64::new(0),
                 negative_hits: AtomicU64::new(0),
+                stale_serves: AtomicU64::new(0),
                 entries: AtomicUsize::new(0),
             },
             metrics,
@@ -436,6 +468,7 @@ impl<V: Send + Sync + 'static> Cache<V> {
             stale_drops: self.stats.stale_drops.load(Ordering::Relaxed),
             singleflight_waits: self.stats.singleflight_waits.load(Ordering::Relaxed),
             negative_hits: self.stats.negative_hits.load(Ordering::Relaxed),
+            stale_serves: self.stats.stale_serves.load(Ordering::Relaxed),
             entries: self.stats.entries.load(Ordering::Relaxed),
             bytes,
         }
@@ -493,6 +526,42 @@ impl<V: Send + Sync + 'static> Cache<V> {
         self.clock.get().matches(&e.stamp, self.cfg.deps)
     }
 
+    /// Whether a (possibly invalid) entry may still back a degraded serve:
+    /// a positive value younger than the staleness grace window.
+    fn stale_servable(&self, e: &Entry<V>) -> bool {
+        e.value.is_ok()
+            && self
+                .cfg
+                .stale_grace
+                .is_some_and(|g| e.inserted.elapsed() < g)
+    }
+
+    /// Serve-stale degradation: returns the resident positive value for
+    /// `key` — fresh, or epoch-/TTL-stale but within the staleness grace
+    /// window — along with its age since insertion. Callers use this when
+    /// the live computation failed, timed out, or was rejected by an open
+    /// breaker, and MUST label the response (`Cache-Status: stale` plus a
+    /// `Warning` header). Returns `None` when nothing servable is
+    /// resident; never computes.
+    pub fn get_stale(&self, key: u64) -> Option<(Arc<V>, Duration)> {
+        if self.cfg.capacity_bytes == 0 || !self.enabled.load(Ordering::Relaxed) {
+            return None;
+        }
+        let found = {
+            let sh = lock(self.shard(key));
+            let e = sh.map.get(&key)?;
+            if !self.entry_valid(e) && !self.stale_servable(e) {
+                return None;
+            }
+            let v = e.value.as_ref().ok()?;
+            (Arc::clone(v), e.inserted.elapsed())
+        };
+        self.stats.stale_serves.fetch_add(1, Ordering::Relaxed);
+        self.metrics.stale_serves.inc();
+        self.metrics.global_stale_serves.inc();
+        Some(found)
+    }
+
     fn count_hit(&self, negative: bool) {
         self.stats.hits.fetch_add(1, Ordering::Relaxed);
         if negative {
@@ -545,6 +614,28 @@ impl<V: Send + Sync + 'static> Cache<V> {
         E: fmt::Display,
         F: FnOnce() -> Result<V, E>,
     {
+        self.get_or_compute_filtered(key, deadline, compute, |_| true)
+    }
+
+    /// [`get_or_compute`](Cache::get_or_compute) with control over negative
+    /// caching: `cache_error` decides per failure whether it is cached.
+    /// Deadline expiries and injected chaos faults must *not* be negatively
+    /// cached — the failure is the caller's circumstance, not a property of
+    /// the key — or a burst of expired requests would poison the key for
+    /// every later caller with budget to spare. Waiters coalesced onto the
+    /// flight still observe the shared failure either way.
+    pub fn get_or_compute_filtered<E, F, P>(
+        &self,
+        key: u64,
+        deadline: Option<Duration>,
+        compute: F,
+        cache_error: P,
+    ) -> (Result<Arc<V>, CacheError<E>>, Status)
+    where
+        E: fmt::Display,
+        F: FnOnce() -> Result<V, E>,
+        P: FnOnce(&E) -> bool,
+    {
         if self.cfg.capacity_bytes == 0 || !self.enabled.load(Ordering::Relaxed) {
             return match compute() {
                 Ok(v) => (Ok(Arc::new(v)), Status::Bypass),
@@ -572,12 +663,19 @@ impl<V: Send + Sync + 'static> Cache<V> {
                             Err(msg) => (Err(CacheError::Negative(msg)), Status::Hit),
                         };
                     }
-                    let freed = sh.remove(key).map_or(0, |e| e.cost);
-                    drop(sh);
-                    self.note_dropped(1, freed);
-                    self.count_evictions(1, true);
-                    saw_stale = true;
-                    continue;
+                    if self.stale_servable(e) {
+                        // Retained for serve-stale degradation: the
+                        // recompute's insert replaces it; a failed
+                        // recompute leaves it for `get_stale`.
+                        saw_stale = true;
+                    } else {
+                        let freed = sh.remove(key).map_or(0, |e| e.cost);
+                        drop(sh);
+                        self.note_dropped(1, freed);
+                        self.count_evictions(1, true);
+                        saw_stale = true;
+                        continue;
+                    }
                 }
                 match sh.flights.get(&key) {
                     Some(fl) => Step::Wait(Arc::clone(fl)),
@@ -595,7 +693,7 @@ impl<V: Send + Sync + 'static> Cache<V> {
                         self.abandon_flight(key, &flight);
                         return (Err(CacheError::WaitTimeout), Status::Miss);
                     };
-                    return self.lead(key, flight, f, saw_stale);
+                    return self.lead(key, flight, f, cache_error, saw_stale);
                 }
                 Step::Wait(flight) => {
                     self.stats
@@ -624,16 +722,18 @@ impl<V: Send + Sync + 'static> Cache<V> {
 
     /// Runs the leader's computation with panic cleanup, publishes the
     /// outcome and inserts the entry.
-    fn lead<E, F>(
+    fn lead<E, F, P>(
         &self,
         key: u64,
         flight: Arc<Flight<V>>,
         compute: F,
+        cache_error: P,
         saw_stale: bool,
     ) -> (Result<Arc<V>, CacheError<E>>, Status)
     where
         E: fmt::Display,
         F: FnOnce() -> Result<V, E>,
+        P: FnOnce(&E) -> bool,
     {
         struct Cleanup<'a, W: Send + Sync + 'static> {
             cache: &'a Cache<W>,
@@ -672,14 +772,16 @@ impl<V: Send + Sync + 'static> Cache<V> {
             }
             Err(e) => {
                 let msg: Arc<str> = Arc::from(e.to_string());
-                let cost = msg.len() + ENTRY_OVERHEAD;
-                self.insert(
-                    key,
-                    Err(Arc::clone(&msg)),
-                    flight.stamp,
-                    Some(self.cfg.negative_ttl),
-                    cost,
-                );
+                if cache_error(&e) {
+                    let cost = msg.len() + ENTRY_OVERHEAD;
+                    self.insert(
+                        key,
+                        Err(Arc::clone(&msg)),
+                        flight.stamp,
+                        Some(self.cfg.negative_ttl),
+                        cost,
+                    );
+                }
                 self.finish_flight(key, &flight, Some(Err(msg)));
                 (Err(CacheError::Compute(e)), status)
             }
@@ -719,14 +821,21 @@ impl<V: Send + Sync + 'static> Cache<V> {
             return;
         }
         let mut sh = lock(self.shard(key));
-        // Lazy sweep: drop epoch/TTL-stale residents of this shard.
+        // A failure never displaces a grace-servable positive value: the
+        // stale answer outranks a negatively cached error for degradation.
+        if value.is_err() && sh.map.get(&key).is_some_and(|e| self.stale_servable(e)) {
+            return;
+        }
+        // Lazy sweep: drop epoch/TTL-stale residents of this shard, except
+        // positives still inside the staleness grace window.
         let now = Instant::now();
         let clk = self.clock.get();
         let stale_keys: Vec<u64> = sh
             .map
             .iter()
             .filter(|(_, e)| {
-                e.expires.is_some_and(|t| now >= t) || !clk.matches(&e.stamp, self.cfg.deps)
+                (e.expires.is_some_and(|t| now >= t) || !clk.matches(&e.stamp, self.cfg.deps))
+                    && !self.stale_servable(e)
             })
             .map(|(&k, _)| k)
             .collect();
@@ -764,6 +873,7 @@ impl<V: Send + Sync + 'static> Cache<V> {
                 value,
                 stamp,
                 expires: ttl.map(|t| now + t),
+                inserted: now,
                 cost,
                 tick,
             },
@@ -1000,9 +1110,99 @@ mod tests {
             (Status::Miss, "miss"),
             (Status::Stale, "stale"),
             (Status::Bypass, "bypass"),
+            (Status::Degraded, "stale"),
         ] {
             assert_eq!(s.as_str(), want);
         }
+        assert!(Status::Degraded.is_degraded());
+        assert!(!Status::Stale.is_degraded());
         let _ = ALL_DOMAINS; // referenced so the import is exercised
+    }
+
+    fn grace_cache(grace: Option<Duration>) -> (Cache<String>, Arc<EpochClock>) {
+        let clk = Arc::new(EpochClock::new());
+        let mut cfg = CacheConfig::new("grace_test", 1 << 16, DEPS);
+        cfg.shards = 1;
+        cfg.stale_grace = grace;
+        let cache = Cache::with_clock(cfg, |v: &String| v.len(), Arc::clone(&clk));
+        (cache, clk)
+    }
+
+    #[test]
+    fn without_grace_stale_entries_are_not_servable() {
+        let (cache, clk) = grace_cache(None);
+        let calls = Cell::new(0);
+        let _ = get(&cache, 1, "v1", &calls);
+        clk.bump(Domain::Relational);
+        assert!(cache.get_stale(1).is_none(), "no grace window configured");
+    }
+
+    #[test]
+    fn grace_serves_stale_and_survives_failed_recompute() {
+        let (cache, clk) = grace_cache(Some(Duration::from_secs(60)));
+        let calls = Cell::new(0);
+        let _ = get(&cache, 1, "v1", &calls);
+        // Fresh entries are servable too (age ~0).
+        let (v, age) = cache.get_stale(1).expect("fresh entry servable");
+        assert_eq!(*v, "v1");
+        assert!(age < Duration::from_secs(1));
+
+        clk.bump(Domain::Relational);
+        let (v, _) = cache.get_stale(1).expect("grace keeps the stale value");
+        assert_eq!(*v, "v1");
+
+        // A failing recompute (negatively cached) must not displace it.
+        let (r, s) = cache.get_or_compute(1, None, || Err::<String, String>("backend down".into()));
+        assert!(matches!(r, Err(CacheError::Compute(_))));
+        assert_eq!(
+            s,
+            Status::Stale,
+            "retained entry still marks recompute stale"
+        );
+        let (v, _) = cache
+            .get_stale(1)
+            .expect("negative outcome must not evict the stale positive");
+        assert_eq!(*v, "v1");
+        assert_eq!(cache.stats().stale_serves, 3);
+
+        // A successful recompute replaces it with fresh data.
+        let (_, s) = get(&cache, 1, "v2", &calls);
+        assert_eq!(s, Status::Stale);
+        let (v, _) = cache.get_stale(1).expect("fresh again");
+        assert_eq!(*v, "v2");
+    }
+
+    #[test]
+    fn expired_grace_drops_the_entry() {
+        let (cache, clk) = grace_cache(Some(Duration::from_millis(20)));
+        let calls = Cell::new(0);
+        let _ = get(&cache, 1, "v1", &calls);
+        clk.bump(Domain::Relational);
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(cache.get_stale(1).is_none(), "grace window elapsed");
+        // And the lookup path evicts it like any stale entry.
+        let (_, s) = get(&cache, 1, "v2", &calls);
+        assert_eq!(s, Status::Stale);
+        assert_eq!(cache.stats().stale_drops, 1);
+    }
+
+    #[test]
+    fn filtered_errors_are_not_negatively_cached() {
+        let (cache, _clk) = test_cache(1 << 16);
+        let calls = Cell::new(0);
+        let compute = || {
+            calls.set(calls.get() + 1);
+            Err::<String, String>("deadline exceeded".into())
+        };
+        let (r1, _) = cache.get_or_compute_filtered(11, None, compute, |_| false);
+        assert!(matches!(r1, Err(CacheError::Compute(_))));
+        let (r2, s2) = cache.get_or_compute_filtered(11, None, compute, |_| false);
+        assert!(
+            matches!(r2, Err(CacheError::Compute(_))),
+            "second call recomputed instead of replaying a negative entry"
+        );
+        assert_eq!(s2, Status::Miss);
+        assert_eq!(calls.get(), 2);
+        assert_eq!(cache.stats().entries, 0);
     }
 }

@@ -14,6 +14,7 @@ use crate::result::{FacetCount, QueryOutput, RecommendedPage, ResultItem};
 use sensormeta_cache::{Cache, CacheConfig, CacheError, Domain, Fingerprint, Status};
 use sensormeta_obs as obs;
 use sensormeta_rank::{GaussSeidel, PageRankProblem, RankCache, Recommender, TransitionMatrix};
+use sensormeta_resil::{self as resil, Deadline};
 use sensormeta_search::{Autocomplete, SearchIndex, SpellSuggester};
 use sensormeta_smr::{sql_escape, Smr};
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -61,11 +62,21 @@ pub struct SearchOptions<'a> {
     /// Skip the cache entirely (compute fresh, store nothing).
     pub bypass: bool,
     /// Upper bound on blocking behind an identical in-flight query; `None`
-    /// waits indefinitely. Expired waits return [`QueryError::CacheBusy`].
-    pub deadline: Option<Duration>,
+    /// waits indefinitely (bounded by `deadline` either way). Expired waits
+    /// return [`QueryError::CacheBusy`].
+    pub wait: Option<Duration>,
+    /// End-to-end request budget. Installed as the ambient resil deadline
+    /// for the whole execution, so the index scans, condition evaluation and
+    /// result assembly all observe it cooperatively; expiry surfaces as
+    /// [`QueryError::DeadlineExceeded`].
+    pub deadline: Deadline,
     /// Requesting user (ACL identity) — part of the cache key, since result
     /// visibility is per user.
     pub user: Option<&'a str>,
+    /// Permit answering a backend failure or deadline expiry from the cache
+    /// within its staleness grace window. Such responses are labeled
+    /// [`Status::Degraded`]; callers must surface the label.
+    pub stale_ok: bool,
 }
 
 /// The query engine over one SMR.
@@ -113,10 +124,25 @@ fn weigh_output(out: &QueryOutput) -> usize {
     items + facets + recs + out.did_you_mean.as_deref().map_or(0, str::len)
 }
 
+/// Default staleness grace: how long a superseded result may still be served
+/// (labeled) when the backend fails or a breaker is open.
+const DEFAULT_STALE_GRACE_MS: u64 = 60_000;
+
+/// Reads `SENSORMETA_STALE_GRACE_MS` (default 60000; `0` disables
+/// serve-stale degradation entirely).
+fn stale_grace_from_env() -> Option<Duration> {
+    let ms = std::env::var("SENSORMETA_STALE_GRACE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(DEFAULT_STALE_GRACE_MS);
+    (ms > 0).then(|| Duration::from_millis(ms))
+}
+
 fn result_cache() -> Cache<QueryOutput> {
     let mut cfg = CacheConfig::new("query_results", RESULT_CACHE_CAPACITY, RESULT_DEPS);
     // Wall-clock backstop on top of epoch invalidation.
     cfg.ttl = Some(Duration::from_secs(120));
+    cfg.stale_grace = stale_grace_from_env();
     Cache::new(cfg, weigh_output)
 }
 
@@ -154,6 +180,10 @@ impl QueryEngine {
     /// as new metadata pages are continuously created".
     pub fn rebuild(&mut self) -> Result<()> {
         let _timing = obs::span("query_rebuild");
+        // Shield the rebuild from any ambient request deadline: a half-built
+        // index or rank vector must never escape, so write paths run to
+        // completion regardless of the caller's budget.
+        let _shield = resil::shield();
         obs::counter("query_rebuilds_total").inc();
         let (semantic, hyperlink, titles) = self.smr.link_graphs()?;
         self.titles = titles;
@@ -300,6 +330,10 @@ impl QueryEngine {
         if form.is_empty() {
             return Err(QueryError::EmptyForm);
         }
+        // Install (tighten) the ambient deadline for everything below —
+        // index scans, SQL/SPARQL evaluation, assembly, and the single-flight
+        // wait all observe it.
+        let _scope = resil::deadline_scope(opts.deadline);
         if opts.bypass {
             return Ok((
                 Arc::new(self.search_uncached(form, opts.user)?),
@@ -307,15 +341,50 @@ impl QueryEngine {
             ));
         }
         let key = form_fingerprint(form, opts.user);
-        let (result, status) = self
-            .results
-            .get_or_compute(key, opts.deadline, || self.search_uncached(form, opts.user));
-        match result {
-            Ok(out) => Ok((out, status)),
-            Err(CacheError::Compute(e)) => Err(e),
-            Err(CacheError::Negative(msg)) => Err(QueryError::Cached(msg.to_string())),
-            Err(CacheError::WaitTimeout) => Err(QueryError::CacheBusy),
+        // Blocking behind an identical in-flight query is bounded by both
+        // the explicit wait and whatever remains of the request budget.
+        let wait = match (opts.wait, resil::current_deadline().remaining()) {
+            (Some(w), Some(r)) => Some(w.min(r)),
+            (w, r) => w.or(r),
+        };
+        let (result, status) = self.results.get_or_compute_filtered(
+            key,
+            wait,
+            || self.search_uncached(form, opts.user),
+            QueryError::cacheable_failure,
+        );
+        let err = match result {
+            Ok(out) => return Ok((out, status)),
+            Err(CacheError::Compute(e)) => e,
+            Err(CacheError::Negative(msg)) => QueryError::Cached(msg.to_string()),
+            Err(CacheError::WaitTimeout) => QueryError::CacheBusy,
+        };
+        // Serve-stale degradation: a backend failure (or expired budget) can
+        // be answered from a superseded entry within the staleness grace
+        // window. The `Degraded` status is the caller's obligation to label.
+        if opts.stale_ok && err.degradable() {
+            if let Some((out, _age)) = self.results.get_stale(key) {
+                obs::counter("query_degraded_serves_total").inc();
+                return Ok((out, Status::Degraded));
+            }
         }
+        Err(err)
+    }
+
+    /// Looks up the last known good result for a form without computing
+    /// anything — the circuit-breaker-open path, where issuing fresh backend
+    /// work is exactly what must not happen. Returns the superseded output
+    /// and its age when one exists within the staleness grace window.
+    pub fn search_stale(
+        &self,
+        form: &SearchForm,
+        user: Option<&str>,
+    ) -> Option<(Arc<QueryOutput>, Duration)> {
+        let hit = self.results.get_stale(form_fingerprint(form, user));
+        if hit.is_some() {
+            obs::counter("query_degraded_serves_total").inc();
+        }
+        hit
     }
 
     /// Executes an advanced-search form without consulting or filling the
@@ -324,6 +393,7 @@ impl QueryEngine {
     pub fn search_uncached(&self, form: &SearchForm, user: Option<&str>) -> Result<QueryOutput> {
         let _timing = obs::span("query_search");
         obs::counter("query_searches_total").inc();
+        resil::checkpoint("query_search")?;
         if form.is_empty() {
             return Err(QueryError::EmptyForm);
         }
@@ -334,10 +404,10 @@ impl QueryEngine {
             let _ft = obs::span("query_fulltext");
             let hits = if form.match_all {
                 self.index
-                    .search_all_terms_cached(&form.keywords, usize::MAX)
+                    .try_search_all_terms_cached(&form.keywords, usize::MAX)?
                     .0
             } else {
-                self.index.search_cached(&form.keywords, usize::MAX).0
+                self.index.try_search_cached(&form.keywords, usize::MAX)?.0
             };
             Some(
                 hits.iter()
@@ -386,7 +456,10 @@ impl QueryEngine {
             .map(|s| s.values().copied().fold(f64::MIN_POSITIVE, f64::max))
             .unwrap_or(1.0);
         let mut facet_counts: BTreeMap<(String, String), usize> = BTreeMap::new();
-        for (page_id, degree) in matched {
+        for (assembled, (page_id, degree)) in matched.into_iter().enumerate() {
+            if assembled % 64 == 0 {
+                resil::checkpoint("query_assemble")?;
+            }
             let title = &self.titles[page_id];
             let page = self
                 .smr
@@ -520,6 +593,7 @@ impl QueryEngine {
             // SPARQL path: exact literal match on the mirrored property.
             let _sparql = obs::span("query_sparql");
             obs::counter("query_sparql_conditions_total").inc();
+            resil::checkpoint("query_sparql")?;
             let q = format!(
                 "PREFIX prop: <http://swiss-experiment.ch/property/> \
                  SELECT ?t WHERE {{ ?page prop:{} \"{}\" . ?page prop:title ?t }}",
@@ -556,6 +630,7 @@ impl QueryEngine {
     fn sql_condition(&self, cond: &Condition) -> Result<Vec<String>> {
         let _sql = obs::span("query_sql");
         obs::counter("query_sql_conditions_total").inc();
+        resil::checkpoint("query_sql")?;
         let rs = self.smr.sql(&format!(
             "SELECT p.title, a.value FROM annotations a JOIN pages p ON a.page_id = p.id \
              WHERE a.attribute = '{}'",

@@ -17,6 +17,32 @@ pub enum QueryError {
     /// The wait for an identical in-flight query exceeded the configured
     /// deadline (servers map this to `503` + `Retry-After`).
     CacheBusy,
+    /// The request's end-to-end deadline expired mid-execution (servers map
+    /// this to `504`, or serve a labeled stale result when permitted).
+    DeadlineExceeded,
+    /// A chaos fault was injected at the named site (testing only; treated
+    /// like a transient backend failure).
+    Injected(&'static str),
+}
+
+impl QueryError {
+    /// Whether this failure is a property of the query itself and therefore
+    /// worth negative-caching. Deadline expiries and injected faults are the
+    /// *caller's* circumstance — caching them would poison the key for later
+    /// callers with budget to spare.
+    pub fn cacheable_failure(&self) -> bool {
+        !matches!(
+            self,
+            QueryError::DeadlineExceeded | QueryError::Injected(_) | QueryError::CacheBusy
+        )
+    }
+
+    /// Whether serving a stale cached result instead of this error is an
+    /// acceptable degradation. Client errors (an empty form) are not: the
+    /// request would fail no matter how healthy the backend is.
+    pub fn degradable(&self) -> bool {
+        !matches!(self, QueryError::EmptyForm)
+    }
 }
 
 impl fmt::Display for QueryError {
@@ -29,6 +55,8 @@ impl fmt::Display for QueryError {
             QueryError::CacheBusy => {
                 write!(f, "an identical query is already computing; retry shortly")
             }
+            QueryError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            QueryError::Injected(site) => write!(f, "injected fault at site `{site}`"),
         }
     }
 }
@@ -45,6 +73,15 @@ impl std::error::Error for QueryError {
 impl From<sensormeta_smr::SmrError> for QueryError {
     fn from(e: sensormeta_smr::SmrError) -> Self {
         QueryError::Smr(e)
+    }
+}
+
+impl From<sensormeta_resil::Interrupt> for QueryError {
+    fn from(i: sensormeta_resil::Interrupt) -> Self {
+        match i {
+            sensormeta_resil::Interrupt::DeadlineExceeded => QueryError::DeadlineExceeded,
+            sensormeta_resil::Interrupt::Fault { site } => QueryError::Injected(site),
+        }
     }
 }
 

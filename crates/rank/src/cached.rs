@@ -11,7 +11,7 @@
 
 use crate::problem::PageRankProblem;
 use crate::solvers::{SolveResult, Solver};
-use sensormeta_cache::{Cache, CacheConfig, Domain, EpochClock, Fingerprint};
+use sensormeta_cache::{Cache, CacheConfig, CacheError, Domain, EpochClock, Fingerprint};
 use std::sync::Arc;
 
 /// Epoch domains a converged vector depends on.
@@ -23,6 +23,20 @@ const DEFAULT_CAPACITY: usize = 8 << 20;
 
 fn weigh(r: &SolveResult) -> usize {
     (r.x.len() + r.residuals.len()) * std::mem::size_of::<f64>()
+}
+
+/// Compute-error wrapper carrying an interrupted solve's partial result out
+/// of the cache path (the subsystem requires `Display` errors).
+struct Interrupted(SolveResult);
+
+impl std::fmt::Display for Interrupted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "solve interrupted after {} iterations",
+            self.0.iterations
+        )
+    }
 }
 
 /// A process-wide memo of converged PageRank vectors.
@@ -73,14 +87,33 @@ impl RankCache {
             .f64(tol)
             .usize(max_iter)
             .finish();
-        let (result, status) = self.cache.get_or_compute(key, None, || {
-            Ok::<_, std::convert::Infallible>(solver.solve(problem, tol, max_iter))
-        });
+        // Interrupted solves (ambient deadline hit mid-iteration) surface as
+        // compute errors so they are neither cached as positives nor — the
+        // `|_| false` filter — recorded as negatives: the next request with
+        // headroom re-solves from scratch.
+        let (result, status) = self.cache.get_or_compute_filtered(
+            key,
+            None,
+            || {
+                let r = solver.solve(problem, tol, max_iter);
+                if r.interrupted {
+                    Err(Interrupted(r))
+                } else {
+                    Ok(r)
+                }
+            },
+            |_| false,
+        );
         match result {
             Ok(v) => (v, status == sensormeta_cache::Status::Hit),
-            // Infallible computation: only reachable via a timed-out wait,
-            // which cannot happen with no deadline. Solve directly.
-            Err(_) => (Arc::new(solver.solve(problem, tol, max_iter)), false),
+            // Our own interrupted solve: hand back the partial vector
+            // uncached so the caller can degrade.
+            Err(CacheError::Compute(Interrupted(partial))) => (Arc::new(partial), false),
+            // A waiter raced a leader that got interrupted, or a wait timed
+            // out (impossible with no deadline). Solve directly, uncached.
+            Err(CacheError::Negative(_) | CacheError::WaitTimeout) => {
+                (Arc::new(solver.solve(problem, tol, max_iter)), false)
+            }
         }
     }
 
@@ -126,6 +159,26 @@ mod tests {
         let (_, _) = cache.solve(&PowerIteration, &p, 1e-10, 200);
         let (_, cached) = cache.solve(&PowerIteration, &p, 1e-6, 200);
         assert!(!cached, "different tolerance is a different key");
+    }
+
+    #[test]
+    fn interrupted_solves_are_not_cached() {
+        let cache = RankCache::with_clock(Arc::new(EpochClock::new()));
+        let p = problem();
+        let expired = sensormeta_resil::Deadline::within(std::time::Duration::ZERO);
+        let (partial, cached) = {
+            let _scope = sensormeta_resil::deadline_scope(expired);
+            cache.solve(&PowerIteration, &p, 1e-10, 200)
+        };
+        assert!(!cached);
+        assert!(partial.interrupted);
+        // Neither a positive nor a negative was recorded: with headroom the
+        // same key solves for real and then replays.
+        let (full, cached) = cache.solve(&PowerIteration, &p, 1e-10, 200);
+        assert!(!cached, "interrupted result must not have been cached");
+        assert!(full.converged);
+        let (_, cached) = cache.solve(&PowerIteration, &p, 1e-10, 200);
+        assert!(cached);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Restarted Arnoldi iteration for the PageRank eigenproblem.
 
-use super::{dot, norm2, SolveResult, Solver, VEC_CHUNK};
+use super::{dot, norm2, stop_requested, SolveResult, Solver, VEC_CHUNK};
 use crate::problem::PageRankProblem;
 use sensormeta_par::Pool;
 
@@ -41,8 +41,13 @@ impl Solver for Arnoldi {
         let mut residuals = Vec::new();
         let mut matvecs = 0usize;
         let mut converged = false;
+        let mut interrupted = false;
 
         while matvecs < max_iter {
+            if stop_requested() {
+                interrupted = true;
+                break;
+            }
             // Normalize the start vector (L2 for the orthogonal basis).
             let xnorm = norm2(pool, &x).max(f64::MIN_POSITIVE);
             let mut v: Vec<Vec<f64>> = vec![x.iter().map(|e| e / xnorm).collect()];
@@ -51,6 +56,12 @@ impl Solver for Arnoldi {
             let mut used = 0usize;
             for j in 0..m {
                 if matvecs >= max_iter {
+                    break;
+                }
+                if stop_requested() {
+                    // The basis built so far still yields an improved
+                    // iterate below.
+                    interrupted = true;
                     break;
                 }
                 let mut w = vec![0.0; n];
@@ -114,9 +125,20 @@ impl Solver for Arnoldi {
                 converged = true;
                 break;
             }
+            if interrupted {
+                break;
+            }
         }
         let iterations = matvecs;
-        SolveResult::finish(self.name(), x, iterations, matvecs, residuals, converged)
+        SolveResult::finish(
+            self.name(),
+            x,
+            iterations,
+            matvecs,
+            residuals,
+            converged,
+            interrupted,
+        )
     }
 }
 

@@ -1,6 +1,6 @@
 //! BiCGSTAB (Biconjugate Gradient Stabilized) on the linear system.
 
-use super::{apply_a, dot, norm2, rhs, SolveResult, Solver, VEC_CHUNK};
+use super::{apply_a, dot, norm2, rhs, stop_requested, SolveResult, Solver, VEC_CHUNK};
 use crate::problem::PageRankProblem;
 use sensormeta_par::Pool;
 
@@ -52,7 +52,12 @@ impl Solver for BiCgStab {
             residuals.push(norm2(pool, &r) / bnorm);
         }
 
+        let mut interrupted = false;
         while !converged && iterations < max_iter {
+            if stop_requested() {
+                interrupted = true;
+                break;
+            }
             let rho_new = dot(pool, &r_hat, &r);
             if rho_new.abs() < 1e-300 {
                 // Breakdown: restart with the current residual as shadow.
@@ -144,6 +149,14 @@ impl Solver for BiCgStab {
                 p.iter_mut().for_each(|e| *e = 0.0);
             }
         }
-        SolveResult::finish(self.name(), x, iterations, matvecs, residuals, converged)
+        SolveResult::finish(
+            self.name(),
+            x,
+            iterations,
+            matvecs,
+            residuals,
+            converged,
+            interrupted,
+        )
     }
 }

@@ -1,7 +1,7 @@
 //! Gauss–Seidel iteration — the method the paper selects for its
 //! PageRank Calculation module.
 
-use super::{norm1, rhs, SolveResult, Solver};
+use super::{norm1, rhs, stop_requested, SolveResult, Solver};
 use crate::problem::PageRankProblem;
 use sensormeta_par::Pool;
 
@@ -41,7 +41,12 @@ impl Solver for GaussSeidel {
         let mut residuals = Vec::new();
         let mut iterations = 0;
         let mut converged = false;
+        let mut interrupted = false;
         while iterations < max_iter {
+            if stop_requested() {
+                interrupted = true;
+                break;
+            }
             let mut diff = 0.0;
             for i in 0..n {
                 let mut acc = 0.0;
@@ -65,6 +70,14 @@ impl Solver for GaussSeidel {
                 break;
             }
         }
-        SolveResult::finish(self.name(), x, iterations, iterations, residuals, converged)
+        SolveResult::finish(
+            self.name(),
+            x,
+            iterations,
+            iterations,
+            residuals,
+            converged,
+            interrupted,
+        )
     }
 }

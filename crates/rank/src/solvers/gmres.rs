@@ -1,6 +1,6 @@
 //! Restarted GMRES (Generalized Minimum Residual) on the linear system.
 
-use super::{apply_a, dot, norm2, rhs, SolveResult, Solver, VEC_CHUNK};
+use super::{apply_a, dot, norm2, rhs, stop_requested, SolveResult, Solver, VEC_CHUNK};
 use crate::problem::PageRankProblem;
 use sensormeta_par::Pool;
 
@@ -42,8 +42,13 @@ impl Solver for Gmres {
         let mut matvecs = 0usize;
         let mut iterations = 0usize;
         let mut converged = false;
+        let mut interrupted = false;
 
         'outer: while iterations < max_iter {
+            if stop_requested() {
+                interrupted = true;
+                break;
+            }
             // r = b − A x
             let mut r = vec![0.0; n];
             apply_a(pool, problem, &x, &mut r);
@@ -74,6 +79,12 @@ impl Solver for Gmres {
 
             for j in 0..m {
                 if iterations >= max_iter {
+                    break;
+                }
+                if stop_requested() {
+                    // Fall through to back-substitution so the Krylov work
+                    // already done still improves the returned iterate.
+                    interrupted = true;
                     break;
                 }
                 let mut w = vec![0.0; n];
@@ -151,10 +162,18 @@ impl Solver for Gmres {
                     }
                 });
             }
-            if converged {
+            if converged || interrupted {
                 break 'outer;
             }
         }
-        SolveResult::finish(self.name(), x, iterations, matvecs, residuals, converged)
+        SolveResult::finish(
+            self.name(),
+            x,
+            iterations,
+            matvecs,
+            residuals,
+            converged,
+            interrupted,
+        )
     }
 }

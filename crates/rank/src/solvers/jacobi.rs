@@ -1,6 +1,6 @@
 //! Jacobi iteration on the linear system (Eq. 5).
 
-use super::{norm1, rhs, SolveResult, Solver, VEC_CHUNK};
+use super::{norm1, rhs, stop_requested, SolveResult, Solver, VEC_CHUNK};
 use crate::problem::PageRankProblem;
 use sensormeta_par::Pool;
 
@@ -43,7 +43,12 @@ impl Solver for Jacobi {
         let mut residuals = Vec::new();
         let mut iterations = 0;
         let mut converged = false;
+        let mut interrupted = false;
         while iterations < max_iter {
+            if stop_requested() {
+                interrupted = true;
+                break;
+            }
             problem.matrix.matvec_in(pool, &x, &mut px);
             iterations += 1;
             // Parallel sweep over fixed chunks; the per-chunk diff partials
@@ -76,6 +81,14 @@ impl Solver for Jacobi {
                 break;
             }
         }
-        SolveResult::finish(self.name(), x, iterations, iterations, residuals, converged)
+        SolveResult::finish(
+            self.name(),
+            x,
+            iterations,
+            iterations,
+            residuals,
+            converged,
+            interrupted,
+        )
     }
 }

@@ -32,11 +32,23 @@ pub use sor::Sor;
 use crate::problem::PageRankProblem;
 use sensormeta_obs as obs;
 use sensormeta_par::Pool;
+use sensormeta_resil as resil;
 
 /// Elements per parallel reduction chunk (fixed: determinism contract).
 pub(crate) const SUM_CHUNK: usize = 2048;
 /// Elements per parallel element-wise update chunk.
 pub(crate) const VEC_CHUNK: usize = 2048;
+
+/// Checkpoint site name every solver observes once per iteration.
+pub(crate) const CHECKPOINT_SITE: &str = "rank_solve";
+
+/// Observes the ambient resil deadline (and chaos plan). True means the
+/// solver must stop early and report an interrupted, non-converged result;
+/// the partial iterate is still normalized and returned so callers can
+/// degrade gracefully instead of discarding all work.
+pub(crate) fn stop_requested() -> bool {
+    resil::checkpoint(CHECKPOINT_SITE).is_err()
+}
 
 /// Outcome of a solver run.
 #[derive(Debug, Clone)]
@@ -52,6 +64,10 @@ pub struct SolveResult {
     pub residuals: Vec<f64>,
     /// Whether the tolerance was reached before the iteration cap.
     pub converged: bool,
+    /// Whether the run was cut short by the ambient request deadline (or an
+    /// injected chaos fault). Interrupted results are partial: never cache
+    /// them.
+    pub interrupted: bool,
 }
 
 impl SolveResult {
@@ -67,6 +83,7 @@ impl SolveResult {
         matvecs: usize,
         residuals: Vec<f64>,
         converged: bool,
+        interrupted: bool,
     ) -> SolveResult {
         let sum: f64 = x.iter().sum();
         if sum > 0.0 {
@@ -79,6 +96,9 @@ impl SolveResult {
         if !converged {
             obs::counter(&format!("rank_{key}_nonconverged_total")).inc();
         }
+        if interrupted {
+            obs::counter(&format!("rank_{key}_interrupted_total")).inc();
+        }
         obs::histogram(&format!("rank_{key}_iterations")).record(iterations as u64);
         obs::histogram(&format!("rank_{key}_matvecs")).record(matvecs as u64);
         if let Some(&last) = residuals.last() {
@@ -90,6 +110,7 @@ impl SolveResult {
             matvecs,
             residuals,
             converged,
+            interrupted,
         }
     }
 
@@ -319,6 +340,30 @@ mod tests {
         let r = PowerIteration.solve(&p, 1e-300, 3);
         assert!(!r.converged);
         assert_eq!(r.iterations, 3);
+        assert!(!r.interrupted);
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_every_solver() {
+        let p = weblike_problem(500, 11);
+        let expired = resil::Deadline::within(std::time::Duration::ZERO);
+        let mut solvers = all_solvers();
+        solvers.push(Box::new(Sor::default()));
+        for s in solvers {
+            let r = {
+                let _scope = resil::deadline_scope(expired);
+                s.solve(&p, 1e-300, 10_000)
+            };
+            assert!(r.interrupted, "{}", s.name());
+            assert!(!r.converged, "{}", s.name());
+            // The per-iteration checkpoint fires before real work starts.
+            assert_eq!(r.iterations, 0, "{}", s.name());
+            // The partial iterate is still a usable distribution.
+            let sum: f64 = r.x.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{}: sum {sum}", s.name());
+            // With the scope dropped, the same solver runs normally again.
+            assert!(!s.solve(&p, 1e-8, 10_000).interrupted, "{}", s.name());
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Power iteration on the Google matrix (Eq. 3).
 
-use super::{diff1, norm1, SolveResult, Solver, VEC_CHUNK};
+use super::{diff1, norm1, stop_requested, SolveResult, Solver, VEC_CHUNK};
 use crate::problem::PageRankProblem;
 use sensormeta_par::Pool;
 
@@ -29,7 +29,12 @@ impl Solver for PowerIteration {
         let mut residuals = Vec::new();
         let mut iterations = 0;
         let mut converged = false;
+        let mut interrupted = false;
         while iterations < max_iter {
+            if stop_requested() {
+                interrupted = true;
+                break;
+            }
             problem.google_matvec_in(pool, &x, &mut y);
             iterations += 1;
             let diff = diff1(pool, &y, &x);
@@ -48,6 +53,14 @@ impl Solver for PowerIteration {
                 break;
             }
         }
-        SolveResult::finish(self.name(), x, iterations, iterations, residuals, converged)
+        SolveResult::finish(
+            self.name(),
+            x,
+            iterations,
+            iterations,
+            residuals,
+            converged,
+            interrupted,
+        )
     }
 }

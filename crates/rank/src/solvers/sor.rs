@@ -7,7 +7,7 @@
 //! iterations, while large ω diverges — the ablation bench sweeps ω to show
 //! the paper's plain-GS choice sits very close to optimal.
 
-use super::{norm1, rhs, SolveResult, Solver};
+use super::{norm1, rhs, stop_requested, SolveResult, Solver};
 use crate::problem::PageRankProblem;
 use sensormeta_par::Pool;
 
@@ -52,7 +52,12 @@ impl Solver for Sor {
         let mut residuals = Vec::new();
         let mut iterations = 0;
         let mut converged = false;
+        let mut interrupted = false;
         while iterations < max_iter {
+            if stop_requested() {
+                interrupted = true;
+                break;
+            }
             let mut diff = 0.0;
             for i in 0..n {
                 let mut acc = 0.0;
@@ -80,7 +85,15 @@ impl Solver for Sor {
                 break; // diverged (over-relaxed); report non-converged
             }
         }
-        SolveResult::finish(self.name(), x, iterations, iterations, residuals, converged)
+        SolveResult::finish(
+            self.name(),
+            x,
+            iterations,
+            iterations,
+            residuals,
+            converged,
+            interrupted,
+        )
     }
 }
 

@@ -1,0 +1,86 @@
+//! Bounded in-flight admission control with RAII permits.
+
+use sensormeta_obs as obs;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A bounded in-flight request gauge. The server acquires a [`Permit`] per
+/// admitted request and sheds (429) when the bound is reached, so a burst
+/// cannot queue unbounded work behind the compute layers.
+#[derive(Debug)]
+pub struct Admission {
+    max: usize,
+    inflight: AtomicUsize,
+}
+
+impl Admission {
+    /// Creates a gauge admitting at most `max` concurrent requests.
+    /// `max == 0` means unbounded (admission control off).
+    pub fn new(max: usize) -> Admission {
+        Admission {
+            max,
+            inflight: AtomicUsize::new(0),
+        }
+    }
+
+    /// Tries to admit one request. `None` means the caller must shed.
+    pub fn try_acquire(&self) -> Option<Permit<'_>> {
+        let n = self.inflight.fetch_add(1, Ordering::AcqRel) + 1;
+        if self.max != 0 && n > self.max {
+            self.inflight.fetch_sub(1, Ordering::AcqRel);
+            obs::counter("resil_admission_shed_total").inc();
+            return None;
+        }
+        obs::counter("resil_admission_admitted_total").inc();
+        obs::gauge("resil_admission_inflight").set(n as f64);
+        Some(Permit { owner: self })
+    }
+
+    /// Requests currently holding permits.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.load(Ordering::Acquire)
+    }
+
+    /// The configured bound (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.max
+    }
+}
+
+/// RAII admission permit; dropping it frees the slot.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    owner: &'a Admission,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let n = self.owner.inflight.fetch_sub(1, Ordering::AcqRel) - 1;
+        obs::gauge("resil_admission_inflight").set(n as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_enforced_and_released() {
+        let a = Admission::new(2);
+        let p1 = a.try_acquire().expect("first admitted");
+        let p2 = a.try_acquire().expect("second admitted");
+        assert!(a.try_acquire().is_none(), "third sheds");
+        assert_eq!(a.in_flight(), 2);
+        drop(p1);
+        let p3 = a.try_acquire().expect("freed slot re-admits");
+        drop(p2);
+        drop(p3);
+        assert_eq!(a.in_flight(), 0);
+    }
+
+    #[test]
+    fn zero_means_unbounded() {
+        let a = Admission::new(0);
+        let permits: Vec<_> = (0..64).map(|_| a.try_acquire()).collect();
+        assert!(permits.iter().all(Option::is_some));
+    }
+}

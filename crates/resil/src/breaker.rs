@@ -1,0 +1,218 @@
+//! Per-backend circuit breakers: closed → open → half-open → closed.
+
+use parking_lot::Mutex;
+use sensormeta_obs as obs;
+use std::time::{Duration, Instant};
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long an open breaker rejects before probing (half-open).
+    pub open_for: Duration,
+    /// Concurrent probe calls allowed while half-open.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            open_for: Duration::from_secs(5),
+            half_open_probes: 1,
+        }
+    }
+}
+
+/// Observable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow; consecutive failures are counted.
+    Closed,
+    /// Calls are rejected until the cooldown elapses.
+    Open,
+    /// A bounded number of probe calls test whether the backend recovered.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase label for logs and tests.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Inner {
+    Closed { failures: u32 },
+    Open { until: Instant },
+    HalfOpen { probes: u32 },
+}
+
+/// A circuit breaker guarding one expensive backend path.
+///
+/// Callers ask [`allow`](Breaker::allow) before computing and report the
+/// outcome with [`record_success`](Breaker::record_success) /
+/// [`record_failure`](Breaker::record_failure). After
+/// `failure_threshold` consecutive failures the breaker opens and rejects
+/// for `open_for`; the first calls after the cooldown run as half-open
+/// probes whose outcome closes or re-opens the circuit.
+#[derive(Debug)]
+pub struct Breaker {
+    name: &'static str,
+    cfg: BreakerConfig,
+    inner: Mutex<Inner>,
+}
+
+impl Breaker {
+    /// Creates a closed breaker named for its backend (used in metrics:
+    /// `resil_breaker_<name>_*`).
+    pub fn new(name: &'static str, cfg: BreakerConfig) -> Breaker {
+        let b = Breaker {
+            name,
+            cfg,
+            inner: Mutex::new(Inner::Closed { failures: 0 }),
+        };
+        b.export_state(&Inner::Closed { failures: 0 });
+        b
+    }
+
+    /// Whether a call may proceed. A rejected call should be answered from
+    /// stale cache or shed with 503.
+    pub fn allow(&self) -> bool {
+        let mut inner = self.inner.lock();
+        let allowed = match &mut *inner {
+            Inner::Closed { .. } => true,
+            Inner::Open { until } => {
+                if Instant::now() >= *until {
+                    *inner = Inner::HalfOpen { probes: 1 };
+                    true
+                } else {
+                    false
+                }
+            }
+            Inner::HalfOpen { probes } => {
+                if *probes < self.cfg.half_open_probes {
+                    *probes += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        self.export_state(&inner);
+        if !allowed {
+            obs::counter(&format!("resil_breaker_{}_rejected_total", self.name)).inc();
+        }
+        allowed
+    }
+
+    /// Reports a successful backend call.
+    pub fn record_success(&self) {
+        let mut inner = self.inner.lock();
+        *inner = Inner::Closed { failures: 0 };
+        self.export_state(&inner);
+    }
+
+    /// Reports a failed backend call (backend errors and timeouts — not
+    /// client errors).
+    pub fn record_failure(&self) {
+        let mut inner = self.inner.lock();
+        let open = match &mut *inner {
+            Inner::Closed { failures } => {
+                *failures += 1;
+                *failures >= self.cfg.failure_threshold
+            }
+            // A failed half-open probe re-opens immediately.
+            Inner::HalfOpen { .. } => true,
+            Inner::Open { .. } => false,
+        };
+        if open {
+            *inner = Inner::Open {
+                until: Instant::now() + self.cfg.open_for,
+            };
+            obs::counter(&format!("resil_breaker_{}_opened_total", self.name)).inc();
+        }
+        self.export_state(&inner);
+    }
+
+    /// Current state (open breakers past their cooldown still report
+    /// `Open` until the next [`allow`](Breaker::allow) probes them).
+    pub fn state(&self) -> BreakerState {
+        match &*self.inner.lock() {
+            Inner::Closed { .. } => BreakerState::Closed,
+            Inner::Open { .. } => BreakerState::Open,
+            Inner::HalfOpen { .. } => BreakerState::HalfOpen,
+        }
+    }
+
+    fn export_state(&self, inner: &Inner) {
+        let v = match inner {
+            Inner::Closed { .. } => 0.0,
+            Inner::HalfOpen { .. } => 1.0,
+            Inner::Open { .. } => 2.0,
+        };
+        obs::gauge(&format!("resil_breaker_{}_state", self.name)).set(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            open_for: Duration::from_millis(30),
+            half_open_probes: 1,
+        }
+    }
+
+    #[test]
+    fn opens_after_threshold_and_recovers() {
+        let b = Breaker::new("test_recover", cfg());
+        assert_eq!(b.state(), BreakerState::Closed);
+        for _ in 0..3 {
+            assert!(b.allow());
+            b.record_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(), "open breaker rejects");
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(b.allow(), "cooldown elapsed: half-open probe admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allow(), "only one probe while half-open");
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow());
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = Breaker::new("test_reopen", cfg());
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(b.allow());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow());
+    }
+
+    #[test]
+    fn success_resets_consecutive_count() {
+        let b = Breaker::new("test_reset", cfg());
+        b.record_failure();
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed, "streak was broken");
+    }
+}

@@ -1,8 +1,9 @@
 //! Positional inverted index with BM25 ranking.
 
 use crate::tokenize::tokenize;
-use sensormeta_cache::{Cache, CacheConfig, Domain, Fingerprint, Status};
+use sensormeta_cache::{Cache, CacheConfig, CacheError, Domain, Fingerprint, Status};
 use sensormeta_par::Pool;
+use sensormeta_resil::{self as resil, Interrupt};
 use std::collections::BTreeMap;
 use std::ops::Bound;
 use std::sync::{Arc, OnceLock};
@@ -38,6 +39,12 @@ impl Default for Bm25Params {
 
 /// Epoch domain every cached search result depends on.
 const CACHE_DEPS: &[Domain] = &[Domain::SearchIndex];
+
+/// Checkpoint site name for cooperative cancellation in scoring loops.
+const CHECKPOINT_SITE: &str = "search_postings";
+
+/// Postings scanned between deadline checkpoints on the checked paths.
+const POSTINGS_PER_CHECK: usize = 1024;
 
 /// Byte budget for one index's query cache.
 const CACHE_CAPACITY: usize = 4 << 20;
@@ -216,29 +223,69 @@ impl SearchIndex {
         self.search_with(query, k, Bm25Params::default())
     }
 
-    /// BM25 search with explicit parameters.
+    /// BM25 search with explicit parameters. Uncancellable: runs to
+    /// completion regardless of the ambient deadline (see
+    /// [`SearchIndex::try_search_with`] for the cooperative variant).
     pub fn search_with(&self, query: &str, k: usize, params: Bm25Params) -> Vec<Hit> {
+        // The unchecked pass never hits a checkpoint, so Err is unreachable.
+        self.score_disjunctive(query, k, params, false)
+            .unwrap_or_default()
+    }
+
+    /// [`SearchIndex::search`] with cooperative cancellation: observes the
+    /// ambient resil deadline (and chaos plan) between query terms and
+    /// every `POSTINGS_PER_CHECK` (1024) scanned postings, so an expired request
+    /// stops burning CPU mid-scan.
+    pub fn try_search(&self, query: &str, k: usize) -> Result<Vec<Hit>, Interrupt> {
+        self.try_search_with(query, k, Bm25Params::default())
+    }
+
+    /// [`SearchIndex::search_with`] with cooperative cancellation.
+    pub fn try_search_with(
+        &self,
+        query: &str,
+        k: usize,
+        params: Bm25Params,
+    ) -> Result<Vec<Hit>, Interrupt> {
+        self.score_disjunctive(query, k, params, true)
+    }
+
+    fn score_disjunctive(
+        &self,
+        query: &str,
+        k: usize,
+        params: Bm25Params,
+        checked: bool,
+    ) -> Result<Vec<Hit>, Interrupt> {
         let _timing = sensormeta_obs::span("search_score");
         sensormeta_obs::counter("search_queries_total").inc();
         let terms = tokenize(query);
         if terms.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let avg = self.avg_len().max(f64::MIN_POSITIVE);
         let mut scores: BTreeMap<DocId, f64> = BTreeMap::new();
+        let mut scanned = 0usize;
         for term in &terms {
+            if checked {
+                resil::checkpoint(CHECKPOINT_SITE)?;
+            }
             let Some(posting) = self.postings.get(term) else {
                 continue;
             };
             let idf = self.idf(posting.docs.len());
             for (doc, positions) in &posting.docs {
+                scanned += 1;
+                if checked && scanned.is_multiple_of(POSTINGS_PER_CHECK) {
+                    resil::checkpoint(CHECKPOINT_SITE)?;
+                }
                 let tf = positions.len() as f64;
                 let dl = f64::from(self.doc_len[*doc]);
                 let denom = tf + params.k1 * (1.0 - params.b + params.b * dl / avg);
                 *scores.entry(*doc).or_insert(0.0) += idf * tf * (params.k1 + 1.0) / denom;
             }
         }
-        self.top_k(scores, k)
+        Ok(self.top_k(scores, k))
     }
 
     fn query_cache(&self) -> &Cache<Vec<Hit>> {
@@ -265,6 +312,29 @@ impl SearchIndex {
         self.cached("conjunctive", query, k, || self.search_all_terms(query, k))
     }
 
+    /// [`SearchIndex::search_cached`] with cooperative cancellation: the
+    /// compute observes checkpoints, the single-flight wait is bounded by
+    /// the ambient deadline, and interrupts are never negatively cached.
+    pub fn try_search_cached(
+        &self,
+        query: &str,
+        k: usize,
+    ) -> Result<(Arc<Vec<Hit>>, Status), Interrupt> {
+        self.cached_checked("disjunctive", query, k, || self.try_search(query, k))
+    }
+
+    /// [`SearchIndex::search_all_terms_cached`] with cooperative
+    /// cancellation.
+    pub fn try_search_all_terms_cached(
+        &self,
+        query: &str,
+        k: usize,
+    ) -> Result<(Arc<Vec<Hit>>, Status), Interrupt> {
+        self.cached_checked("conjunctive", query, k, || {
+            self.try_search_all_terms(query, k)
+        })
+    }
+
     fn cached(
         &self,
         mode: &str,
@@ -284,6 +354,30 @@ impl SearchIndex {
         }
     }
 
+    fn cached_checked(
+        &self,
+        mode: &str,
+        query: &str,
+        k: usize,
+        run: impl FnOnce() -> Result<Vec<Hit>, Interrupt>,
+    ) -> Result<(Arc<Vec<Hit>>, Status), Interrupt> {
+        let key = Fingerprint::new().str(mode).str(query).usize(k).finish();
+        let wait = resil::current_deadline().remaining();
+        let (result, status) = self
+            .query_cache()
+            .get_or_compute_filtered(key, wait, run, |_| false);
+        match result {
+            Ok(hits) => Ok((hits, status)),
+            Err(CacheError::Compute(i)) => Err(i),
+            // Interrupts are never negatively cached, so a replayed
+            // negative cannot occur on this path; a timed-out
+            // single-flight wait means the ambient budget ran out.
+            Err(CacheError::Negative(_) | CacheError::WaitTimeout) => {
+                Err(Interrupt::DeadlineExceeded)
+            }
+        }
+    }
+
     /// Query-cache statistics for this index.
     pub fn cache_stats(&self) -> sensormeta_cache::CacheStats {
         self.query_cache().stats()
@@ -295,13 +389,33 @@ impl SearchIndex {
     }
 
     /// Conjunctive search: only documents containing *all* query terms.
+    /// Uncancellable; see [`SearchIndex::try_search_all_terms`].
     pub fn search_all_terms(&self, query: &str, k: usize) -> Vec<Hit> {
+        // The unchecked pass never hits a checkpoint, so Err is unreachable.
+        self.score_conjunctive(query, k, false).unwrap_or_default()
+    }
+
+    /// [`SearchIndex::search_all_terms`] with cooperative cancellation at
+    /// the same checkpoints as [`SearchIndex::try_search_with`].
+    pub fn try_search_all_terms(&self, query: &str, k: usize) -> Result<Vec<Hit>, Interrupt> {
+        self.score_conjunctive(query, k, true)
+    }
+
+    fn score_conjunctive(
+        &self,
+        query: &str,
+        k: usize,
+        checked: bool,
+    ) -> Result<Vec<Hit>, Interrupt> {
         let terms = tokenize(query);
         if terms.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let mut candidate: Option<Vec<DocId>> = None;
         for term in &terms {
+            if checked {
+                resil::checkpoint(CHECKPOINT_SITE)?;
+            }
             let docs: Vec<DocId> = self
                 .postings
                 .get(term)
@@ -312,15 +426,16 @@ impl SearchIndex {
                 Some(prev) => intersect_sorted(&prev, &docs),
             });
             if candidate.as_ref().is_some_and(Vec::is_empty) {
-                return Vec::new();
+                return Ok(Vec::new());
             }
         }
         let allowed = candidate.unwrap_or_default();
-        self.search_with(query, usize::MAX, Bm25Params::default())
+        Ok(self
+            .score_disjunctive(query, usize::MAX, Bm25Params::default(), checked)?
             .into_iter()
             .filter(|h| allowed.binary_search(&h.doc).is_ok())
             .take(k)
-            .collect()
+            .collect())
     }
 
     /// Exact phrase search using positional postings.
@@ -641,5 +756,35 @@ mod tests {
         assert!(after.iter().any(|h| h.key == "Fieldsite:Glacier"));
         let (conj, _) = ix.search_all_terms_cached("snow pack", 10);
         assert_eq!(*conj, ix.search_all_terms("snow pack", 10));
+    }
+
+    #[test]
+    fn try_search_honors_ambient_deadline() {
+        let ix = index();
+        // No deadline: identical results to the unchecked path.
+        assert_eq!(
+            ix.try_search("temperature", 10).expect("no budget set"),
+            ix.search("temperature", 10)
+        );
+        assert_eq!(
+            ix.try_search_all_terms("temperature weissfluhjoch", 10)
+                .expect("no budget set"),
+            ix.search_all_terms("temperature weissfluhjoch", 10)
+        );
+        // Expired deadline: the checked paths interrupt, the unchecked
+        // paths still complete.
+        let _scope = sensormeta_resil::deadline_scope(sensormeta_resil::Deadline::within(
+            std::time::Duration::ZERO,
+        ));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert_eq!(
+            ix.try_search("temperature", 10),
+            Err(Interrupt::DeadlineExceeded)
+        );
+        assert_eq!(
+            ix.try_search_all_terms("temperature wind", 10),
+            Err(Interrupt::DeadlineExceeded)
+        );
+        assert_eq!(ix.search("temperature", 10).len(), 2);
     }
 }

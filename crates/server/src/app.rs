@@ -7,19 +7,79 @@
 
 use crate::http::{url_encode, Request, Response};
 use parking_lot::RwLock;
+use sensormeta_cache::Status;
 use sensormeta_obs as obs;
 use sensormeta_query::{
     CondOp, Condition, QueryEngine, QueryError, SearchForm, SearchOptions, SortBy,
 };
+use sensormeta_resil::{self as resil, Admission, Breaker, BreakerConfig, Deadline};
 use sensormeta_smr::{parse_csv, parse_jsonl};
-use sensormeta_tagging::{suggest_tags, CloudCache, CloudParams, TagStore};
+use sensormeta_tagging::{suggest_tags, CloudCache, CloudParams, TagCloud, TagStore};
 use sensormeta_viz as viz;
 use serde_json::json;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Default bound on how long a request blocks behind an identical in-flight
 /// query before giving up with `503` (overridden by `SENSORMETA_CACHE_WAIT_MS`).
 const DEFAULT_CACHE_WAIT: Duration = Duration::from_millis(2000);
+
+/// Default end-to-end compute budget per admitted request (overridden by
+/// `SENSORMETA_DEADLINE_MS`; `0` disables).
+const DEFAULT_DEADLINE: Duration = Duration::from_millis(5000);
+
+/// Default bound on concurrently executing requests (overridden by
+/// `SENSORMETA_MAX_INFLIGHT`; `0` means unbounded).
+const DEFAULT_MAX_INFLIGHT: usize = 256;
+
+/// `Warning` header attached to every response served from stale cache, so
+/// no degraded answer can masquerade as a fresh one (RFC 9111 §5.5 code 110).
+const WARNING_STALE: &str = "110 sensormeta \"response is stale\"";
+
+/// Overload-protection knobs for [`App::with_config`]. [`AppConfig::from_env`]
+/// reads the `SENSORMETA_*` variables; tests pass explicit values so they
+/// never race on process-global env state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppConfig {
+    /// Single-flight wait bound for cached query paths (`None` = unbounded).
+    pub cache_wait: Option<Duration>,
+    /// Per-request compute budget (`None` = no deadline).
+    pub deadline: Option<Duration>,
+    /// Max concurrently executing requests (`0` = unbounded).
+    pub max_inflight: usize,
+    /// Circuit-breaker tuning shared by the query and tag-cloud backends.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for AppConfig {
+    fn default() -> Self {
+        AppConfig {
+            cache_wait: Some(DEFAULT_CACHE_WAIT),
+            deadline: Some(DEFAULT_DEADLINE),
+            max_inflight: DEFAULT_MAX_INFLIGHT,
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+impl AppConfig {
+    /// Reads `SENSORMETA_CACHE_WAIT_MS`, `SENSORMETA_DEADLINE_MS` and
+    /// `SENSORMETA_MAX_INFLIGHT`; unset or unparsable values fall back to
+    /// the defaults, `0` disables the respective bound.
+    pub fn from_env() -> AppConfig {
+        AppConfig {
+            cache_wait: cache_wait_from_env(),
+            deadline: parse_opt_ms(
+                std::env::var("SENSORMETA_DEADLINE_MS").ok().as_deref(),
+                DEFAULT_DEADLINE,
+            ),
+            max_inflight: parse_max_inflight(
+                std::env::var("SENSORMETA_MAX_INFLIGHT").ok().as_deref(),
+            ),
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
 
 /// Shared application state.
 pub struct App {
@@ -29,6 +89,11 @@ pub struct App {
     /// Single-flight wait deadline for cached query paths; `None` disables
     /// the bound (`SENSORMETA_CACHE_WAIT_MS=0`).
     cache_wait: Option<Duration>,
+    /// Per-request compute budget installed as the ambient deadline.
+    deadline: Option<Duration>,
+    admission: Admission,
+    breaker_query: Breaker,
+    breaker_cloud: Breaker,
 }
 
 /// Reads the single-flight wait bound from `SENSORMETA_CACHE_WAIT_MS`:
@@ -38,11 +103,29 @@ fn cache_wait_from_env() -> Option<Duration> {
 }
 
 fn parse_cache_wait(raw: Option<&str>) -> Option<Duration> {
+    parse_opt_ms(raw, DEFAULT_CACHE_WAIT)
+}
+
+fn parse_opt_ms(raw: Option<&str>, default: Duration) -> Option<Duration> {
     match raw.map(|s| s.trim().parse::<u64>()) {
         Some(Ok(0)) => None,
         Some(Ok(ms)) => Some(Duration::from_millis(ms)),
-        Some(Err(_)) | None => Some(DEFAULT_CACHE_WAIT),
+        Some(Err(_)) | None => Some(default),
     }
+}
+
+fn parse_max_inflight(raw: Option<&str>) -> usize {
+    match raw.map(|s| s.trim().parse::<usize>()) {
+        Some(Ok(n)) => n,
+        Some(Err(_)) | None => DEFAULT_MAX_INFLIGHT,
+    }
+}
+
+/// An honest `Retry-After` for shed or busy responses: twice the observed
+/// end-to-end p95 (the time a retry is likely to need), clamped to 1–30 s.
+fn retry_after_secs() -> u64 {
+    let p95_us = obs::histogram("http_request_us").quantile(0.95);
+    (2 * p95_us).div_ceil(1_000_000).clamp(1, 30)
 }
 
 /// Finishes a JSON response; a serialization failure becomes a 500
@@ -55,8 +138,14 @@ fn json_or_500(body: Result<String, serde_json::Error>) -> Response {
 }
 
 impl App {
-    /// Builds the app, seeding the tag store from the SMR.
+    /// Builds the app with knobs from the environment, seeding the tag
+    /// store from the SMR.
     pub fn new(engine: QueryEngine) -> App {
+        Self::with_config(engine, AppConfig::from_env())
+    }
+
+    /// Builds the app with explicit overload-protection knobs.
+    pub fn with_config(engine: QueryEngine, cfg: AppConfig) -> App {
         let mut tags = TagStore::new();
         if let Ok(pairs) = engine.smr().all_tags() {
             tags.ingest(pairs.iter().map(|(p, t)| (p.as_str(), t.as_str())));
@@ -65,8 +154,22 @@ impl App {
             engine: RwLock::new(engine),
             tags: RwLock::new(tags),
             cloud_cache: CloudCache::new(),
-            cache_wait: cache_wait_from_env(),
+            cache_wait: cfg.cache_wait,
+            deadline: cfg.deadline,
+            admission: Admission::new(cfg.max_inflight),
+            breaker_query: Breaker::new("query", cfg.breaker),
+            breaker_cloud: Breaker::new("tagcloud", cfg.breaker),
         }
+    }
+
+    /// The query-path circuit breaker (exposed for tests and diagnostics).
+    pub fn query_breaker(&self) -> &Breaker {
+        &self.breaker_query
+    }
+
+    /// The tag-cloud circuit breaker (exposed for tests and diagnostics).
+    pub fn cloud_breaker(&self) -> &Breaker {
+        &self.breaker_cloud
     }
 
     /// Stable route label for metric names (`http_route_<label>_…`). Unknown
@@ -100,12 +203,26 @@ impl App {
         }
     }
 
-    /// Routes one request to its handler, recording per-route request
-    /// counters, status-class counters and latency histograms.
+    /// Routes one request to its handler behind admission control and the
+    /// per-request deadline, recording per-route request counters,
+    /// status-class counters and latency histograms.
     pub fn handle(&self, req: &Request) -> Response {
         let start = std::time::Instant::now();
         let route = Self::route_label(req);
-        let resp = self.dispatch(req);
+        // Probes and exposition stay exempt: an operator debugging an
+        // overload needs /healthz and /metrics more than ever.
+        let resp = if matches!(route, "healthz" | "metrics") {
+            self.dispatch(req)
+        } else {
+            match self.admission.try_acquire() {
+                Some(_permit) => {
+                    let _scope = resil::deadline_scope(Deadline::from_budget(self.deadline));
+                    self.dispatch(req)
+                }
+                None => Response::error(429, "server at capacity; retry later")
+                    .with_header("Retry-After", retry_after_secs().to_string()),
+            }
+        };
         obs::counter("http_requests_total").inc();
         obs::counter(&format!("http_route_{route}_requests_total")).inc();
         obs::counter(&format!(
@@ -114,6 +231,7 @@ impl App {
         ))
         .inc();
         obs::histogram(&format!("http_route_{route}_us")).record_duration(start.elapsed());
+        obs::histogram("http_request_us").record_duration(start.elapsed());
         resp
     }
 
@@ -266,21 +384,70 @@ impl App {
 
     fn search(&self, req: &Request) -> Response {
         let form = Self::form_from(req);
+        let engine = self.engine.read();
+        if !self.breaker_query.allow() {
+            // Open circuit: don't touch the backend at all — answer from the
+            // stale holdover if one exists, shed otherwise.
+            return match engine.search_stale(&form, req.param("user")) {
+                Some((out, _age)) => Self::render_search(req, &form, &out)
+                    .with_header("Cache-Status", Status::Degraded.as_str())
+                    .with_header("Warning", WARNING_STALE),
+                None => Response::error(503, "search backend unavailable (circuit open)")
+                    .with_header("Retry-After", retry_after_secs().to_string()),
+            };
+        }
         let opts = SearchOptions {
             bypass: req.param("cache") == Some("bypass"),
-            deadline: self.cache_wait,
+            wait: self.cache_wait,
             user: req.param("user"),
+            stale_ok: true,
+            ..SearchOptions::default()
         };
-        let engine = self.engine.read();
-        let (out, status) = match engine.search_shared(&form, &opts) {
-            Ok(pair) => pair,
-            Err(QueryError::CacheBusy) => {
-                return Response::error(503, QueryError::CacheBusy.to_string())
-                    .with_header("Retry-After", "1")
+        match engine.search_shared(&form, &opts) {
+            Ok((out, status)) => {
+                if status.is_degraded() {
+                    // The backend failed and the cache bailed us out: a
+                    // success for the client, a failure for the breaker.
+                    self.breaker_query.record_failure();
+                } else {
+                    self.breaker_query.record_success();
+                }
+                let resp = Self::render_search(req, &form, &out)
+                    .with_header("Cache-Status", status.as_str());
+                if status.is_degraded() {
+                    resp.with_header("Warning", WARNING_STALE)
+                } else {
+                    resp
+                }
             }
-            Err(e) => return Response::error(400, e.to_string()),
-        };
-        let resp = if req.param_or("format", "json") == "html" {
+            Err(e) => self.search_error(e),
+        }
+    }
+
+    /// Maps a query failure to an HTTP status, feeding the breaker for
+    /// backend-class failures (client errors and load-shedding don't count).
+    fn search_error(&self, e: QueryError) -> Response {
+        match e {
+            QueryError::EmptyForm => Response::error(400, e.to_string()),
+            QueryError::CacheBusy => Response::error(503, e.to_string())
+                .with_header("Retry-After", retry_after_secs().to_string()),
+            QueryError::DeadlineExceeded => {
+                self.breaker_query.record_failure();
+                Response::error(504, e.to_string())
+            }
+            other => {
+                self.breaker_query.record_failure();
+                Response::error(500, other.to_string())
+            }
+        }
+    }
+
+    fn render_search(
+        req: &Request,
+        form: &SearchForm,
+        out: &sensormeta_query::QueryOutput,
+    ) -> Response {
+        if req.param_or("format", "json") == "html" {
             let rows: String = out
                 .items
                 .iter()
@@ -322,9 +489,8 @@ impl App {
                 out.total_matched
             ))
         } else {
-            json_or_500(serde_json::to_string(&*out))
-        };
-        resp.with_header("Cache-Status", status.as_str())
+            json_or_500(serde_json::to_string(out))
+        }
     }
 
     fn autocomplete(&self, req: &Request) -> Response {
@@ -543,20 +709,65 @@ impl App {
         Response::json(json!({"cleared": true}).to_string())
     }
 
-    fn tag_cloud_svg(&self) -> Response {
+    /// Tag-cloud lookup behind the `tagcloud` breaker: interruptible
+    /// compute, degrading to the last good cloud within the staleness grace
+    /// when the compute path fails or the circuit is open.
+    fn cloud(&self) -> Result<(Arc<TagCloud>, Status), Response> {
+        if !self.breaker_cloud.allow() {
+            return match self.cloud_cache.stale() {
+                Some((cloud, _age)) => Ok((cloud, Status::Degraded)),
+                None => Err(Response::error(503, "tag cloud unavailable (circuit open)")
+                    .with_header("Retry-After", retry_after_secs().to_string())),
+            };
+        }
         let tags = self.tags.read();
-        let (cloud, status) = self
+        match self
             .cloud_cache
-            .get_with_status(&tags, &CloudParams::default());
-        Response::svg(viz::render_tag_cloud("Metadata trends", &cloud))
-            .with_header("Cache-Status", status.as_str())
+            .try_get_with_status(&tags, &CloudParams::default())
+        {
+            Ok(pair) => {
+                self.breaker_cloud.record_success();
+                Ok(pair)
+            }
+            Err(i) => {
+                self.breaker_cloud.record_failure();
+                match self.cloud_cache.stale() {
+                    Some((cloud, _age)) => Ok((cloud, Status::Degraded)),
+                    None => Err(match i {
+                        resil::Interrupt::DeadlineExceeded => Response::error(504, i.to_string()),
+                        resil::Interrupt::Fault { .. } => Response::error(500, i.to_string()),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Labels a tag-cloud response, warning on degraded serves.
+    fn cloud_headers(resp: Response, status: Status) -> Response {
+        let resp = resp.with_header("Cache-Status", status.as_str());
+        if status.is_degraded() {
+            resp.with_header("Warning", WARNING_STALE)
+        } else {
+            resp
+        }
+    }
+
+    fn tag_cloud_svg(&self) -> Response {
+        let (cloud, status) = match self.cloud() {
+            Ok(pair) => pair,
+            Err(resp) => return resp,
+        };
+        Self::cloud_headers(
+            Response::svg(viz::render_tag_cloud("Metadata trends", &cloud)),
+            status,
+        )
     }
 
     fn tag_cloud_json(&self) -> Response {
-        let tags = self.tags.read();
-        let (cloud, status) = self
-            .cloud_cache
-            .get_with_status(&tags, &CloudParams::default());
+        let (cloud, status) = match self.cloud() {
+            Ok(pair) => pair,
+            Err(resp) => return resp,
+        };
         let arr: Vec<serde_json::Value> = cloud
             .entries
             .iter()
@@ -569,8 +780,10 @@ impl App {
                 })
             })
             .collect();
-        Response::json(serde_json::Value::Array(arr).to_string())
-            .with_header("Cache-Status", status.as_str())
+        Self::cloud_headers(
+            Response::json(serde_json::Value::Array(arr).to_string()),
+            status,
+        )
     }
 
     /// Facet source shared by bar/pie: counts of one attribute over a search.
@@ -746,5 +959,26 @@ mod tests {
         );
         assert_eq!(parse_cache_wait(Some("0")), None, "0 disables the bound");
         assert_eq!(parse_cache_wait(Some("soon")), Some(DEFAULT_CACHE_WAIT));
+    }
+
+    #[test]
+    fn overload_knob_parsing() {
+        assert_eq!(parse_opt_ms(None, DEFAULT_DEADLINE), Some(DEFAULT_DEADLINE));
+        assert_eq!(
+            parse_opt_ms(Some("750"), DEFAULT_DEADLINE),
+            Some(Duration::from_millis(750))
+        );
+        assert_eq!(parse_opt_ms(Some("0"), DEFAULT_DEADLINE), None);
+        assert_eq!(parse_max_inflight(None), DEFAULT_MAX_INFLIGHT);
+        assert_eq!(parse_max_inflight(Some("4")), 4);
+        assert_eq!(parse_max_inflight(Some("0")), 0, "0 means unbounded");
+        assert_eq!(parse_max_inflight(Some("lots")), DEFAULT_MAX_INFLIGHT);
+    }
+
+    #[test]
+    fn retry_after_is_clamped() {
+        // With few or no samples p95 is tiny; the floor keeps the header honest.
+        let secs = retry_after_secs();
+        assert!((1..=30).contains(&secs), "{secs}");
     }
 }

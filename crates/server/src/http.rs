@@ -5,6 +5,7 @@
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
+use std::time::Instant;
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -88,12 +89,28 @@ fn is_timeout(e: &std::io::Error) -> bool {
     )
 }
 
+/// Checks the overall request-read deadline between socket reads: per-read
+/// socket timeouts bound each *stall*, this bounds the *total* — a client
+/// trickling one byte per timeout window (slow-loris) otherwise holds a
+/// handler thread indefinitely.
+fn check_deadline(deadline: Option<Instant>) -> Result<(), HttpError> {
+    match deadline {
+        Some(d) if Instant::now() >= d => Err(HttpError::Timeout),
+        _ => Ok(()),
+    }
+}
+
 /// Reads one `\n`-terminated line (CR stripped) without ever buffering more
 /// than `limit` bytes. Transient `Interrupted` reads are retried; a read
 /// timeout surfaces as [`HttpError::Timeout`].
-fn read_line_bounded(reader: &mut impl BufRead, limit: usize) -> Result<String, HttpError> {
+fn read_line_bounded(
+    reader: &mut impl BufRead,
+    limit: usize,
+    deadline: Option<Instant>,
+) -> Result<String, HttpError> {
     let mut buf: Vec<u8> = Vec::new();
     loop {
+        check_deadline(deadline)?;
         let mut byte = [0u8; 1];
         match reader.read(&mut byte) {
             Ok(0) => break,
@@ -118,9 +135,14 @@ fn read_line_bounded(reader: &mut impl BufRead, limit: usize) -> Result<String, 
 }
 
 /// `read_exact` with `Interrupted` retries and timeout classification.
-fn read_exact_retrying(reader: &mut impl BufRead, out: &mut [u8]) -> Result<(), HttpError> {
+fn read_exact_retrying(
+    reader: &mut impl BufRead,
+    out: &mut [u8],
+    deadline: Option<Instant>,
+) -> Result<(), HttpError> {
     let mut filled = 0;
     while filled < out.len() {
+        check_deadline(deadline)?;
         match reader.read(&mut out[filled..]) {
             Ok(0) => {
                 return Err(HttpError::Malformed(format!(
@@ -141,8 +163,18 @@ fn read_exact_retrying(reader: &mut impl BufRead, out: &mut [u8]) -> Result<(), 
 /// bounded ([`MAX_REQUEST_LINE`], [`MAX_HEADER_BYTES`]) so a slow or
 /// malicious client cannot tie up unbounded memory.
 pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
+    read_request_with_deadline(stream, None)
+}
+
+/// [`read_request`] with an absolute wall deadline on the *whole* read:
+/// the request line, headers and body together must arrive before it, no
+/// matter how many individually-fast reads the client spreads them over.
+pub fn read_request_with_deadline(
+    stream: &mut impl Read,
+    deadline: Option<Instant>,
+) -> Result<Request, HttpError> {
     let mut reader = BufReader::new(stream);
-    let line = read_line_bounded(&mut reader, MAX_REQUEST_LINE)?;
+    let line = read_line_bounded(&mut reader, MAX_REQUEST_LINE, deadline)?;
     let mut parts = line.split_whitespace();
     let method = parts
         .next()
@@ -161,7 +193,7 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
     let mut headers = BTreeMap::new();
     let mut header_bytes = 0usize;
     loop {
-        let hline = read_line_bounded(&mut reader, MAX_HEADER_BYTES)?;
+        let hline = read_line_bounded(&mut reader, MAX_HEADER_BYTES, deadline)?;
         if hline.is_empty() {
             break;
         }
@@ -182,7 +214,7 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
     }
     let mut body = vec![0u8; content_length];
     if content_length > 0 {
-        read_exact_retrying(&mut reader, &mut body)?;
+        read_exact_retrying(&mut reader, &mut body, deadline)?;
     }
     Ok(Request {
         method,
@@ -321,9 +353,12 @@ impl Response {
             405 => "Method Not Allowed",
             408 => "Request Timeout",
             413 => "Payload Too Large",
+            429 => "Too Many Requests",
             431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
+            502 => "Bad Gateway",
             503 => "Service Unavailable",
+            504 => "Gateway Timeout",
             _ => "Unknown",
         };
         write!(

@@ -15,6 +15,6 @@ pub mod app;
 pub mod http;
 pub mod server;
 
-pub use app::App;
+pub use app::{App, AppConfig};
 pub use http::{parse_query, url_decode, url_encode, Request, Response};
-pub use server::{serve, Server};
+pub use server::{serve, serve_with, ServeConfig, Server};

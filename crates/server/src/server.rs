@@ -1,11 +1,16 @@
-//! TCP accept loop with a fixed worker pool.
+//! TCP accept loop with a fixed worker pool, a bounded accept backlog and
+//! panic isolation per request.
 
 use crate::app::App;
-use crate::http::{read_request, HttpError, Response};
+use crate::http::{read_request_with_deadline, HttpError, Response};
 use crossbeam::channel;
+use sensormeta_obs as obs;
 use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// A running HTTP server.
 pub struct Server {
@@ -15,23 +20,100 @@ pub struct Server {
     accept_thread: Option<thread::JoinHandle<()>>,
 }
 
+/// Serving knobs for [`serve_with`]. [`ServeConfig::from_env`] reads the
+/// `SENSORMETA_*` variables; tests pass explicit values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Handler threads (always at least 1).
+    pub workers: usize,
+    /// Wall-clock bound on reading one whole request; `None` disables it
+    /// and leaves only the per-read socket timeout.
+    pub read_deadline: Option<Duration>,
+    /// Max connections queued for workers before the accept loop sheds
+    /// with an immediate 503 (`0` = unbounded).
+    pub backlog: usize,
+}
+
+/// Default wall-clock bound on reading one request (`SENSORMETA_READ_DEADLINE_MS`).
+const DEFAULT_READ_DEADLINE: Duration = Duration::from_millis(5000);
+
+/// Default accept-backlog bound (`SENSORMETA_ACCEPT_BACKLOG`).
+const DEFAULT_ACCEPT_BACKLOG: usize = 1024;
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            read_deadline: Some(DEFAULT_READ_DEADLINE),
+            backlog: DEFAULT_ACCEPT_BACKLOG,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reads `SENSORMETA_READ_DEADLINE_MS` (`0` disables) and
+    /// `SENSORMETA_ACCEPT_BACKLOG` (`0` = unbounded); unset or unparsable
+    /// values fall back to the defaults.
+    pub fn from_env() -> ServeConfig {
+        ServeConfig {
+            workers: 4,
+            read_deadline: parse_read_deadline(
+                std::env::var("SENSORMETA_READ_DEADLINE_MS").ok().as_deref(),
+            ),
+            backlog: parse_backlog(std::env::var("SENSORMETA_ACCEPT_BACKLOG").ok().as_deref()),
+        }
+    }
+}
+
+fn parse_read_deadline(raw: Option<&str>) -> Option<Duration> {
+    match raw.map(|s| s.trim().parse::<u64>()) {
+        Some(Ok(0)) => None,
+        Some(Ok(ms)) => Some(Duration::from_millis(ms)),
+        Some(Err(_)) | None => Some(DEFAULT_READ_DEADLINE),
+    }
+}
+
+fn parse_backlog(raw: Option<&str>) -> usize {
+    match raw.map(|s| s.trim().parse::<usize>()) {
+        Some(Ok(n)) => n,
+        Some(Err(_)) | None => DEFAULT_ACCEPT_BACKLOG,
+    }
+}
+
 /// Starts the server on `addr` (e.g. `127.0.0.1:0`) with `workers` handler
-/// threads. Returns once the socket is bound and accepting.
+/// threads and the remaining knobs from the environment. Returns once the
+/// socket is bound and accepting.
 pub fn serve(app: App, addr: &str, workers: usize) -> std::io::Result<Server> {
+    let cfg = ServeConfig {
+        workers,
+        ..ServeConfig::from_env()
+    };
+    serve_with(app, addr, cfg)
+}
+
+/// [`serve`] with explicit knobs.
+pub fn serve_with(app: App, addr: &str, cfg: ServeConfig) -> std::io::Result<Server> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let app = Arc::new(app);
     let (tx, rx) = channel::unbounded::<TcpStream>();
-    for _ in 0..workers.max(1) {
+    // The channel shim cannot block producers, so the backlog bound is an
+    // explicit gauge: accept increments, a worker decrements on pickup.
+    let queued = Arc::new(AtomicUsize::new(0));
+    for _ in 0..cfg.workers.max(1) {
         let rx = rx.clone();
         let app = Arc::clone(&app);
+        let queued = Arc::clone(&queued);
+        let read_deadline = cfg.read_deadline;
         thread::spawn(move || {
             while let Ok(mut stream) = rx.recv() {
-                handle_connection(&app, &mut stream);
+                queued.fetch_sub(1, Ordering::AcqRel);
+                handle_connection(&app, &mut stream, read_deadline);
             }
         });
     }
     let (shutdown_tx, shutdown_rx) = channel::bounded::<()>(1);
+    let backlog = cfg.backlog;
     let accept_thread = thread::spawn(move || {
         // Transient accept errors (signal interruptions, aborted handshakes,
         // transient resource pressure) are retried with exponential backoff
@@ -42,9 +124,21 @@ pub fn serve(app: App, addr: &str, workers: usize) -> std::io::Result<Server> {
                 break;
             }
             match listener.accept() {
-                Ok((s, _)) => {
+                Ok((mut s, _)) => {
                     backoff_ms = 1;
-                    let _ = tx.send(s);
+                    if backlog != 0 && queued.load(Ordering::Acquire) >= backlog {
+                        // Shed at the door: queueing behind saturated
+                        // workers would just time the client out later.
+                        obs::counter("http_accept_shed_total").inc();
+                        let _ = s.set_write_timeout(Some(Duration::from_secs(1)));
+                        let _ = Response::error(503, "server backlog full")
+                            .with_header("Retry-After", "1")
+                            .write_to(&mut s);
+                        let _ = s.shutdown(std::net::Shutdown::Both);
+                    } else {
+                        queued.fetch_add(1, Ordering::AcqRel);
+                        let _ = tx.send(s);
+                    }
                 }
                 Err(e)
                     if matches!(
@@ -70,15 +164,29 @@ pub fn serve(app: App, addr: &str, workers: usize) -> std::io::Result<Server> {
     })
 }
 
-/// Per-connection read and write deadlines: a stalled client (slow-loris)
-/// gets a 408 and its handler thread back after at most this long.
+/// Per-read socket timeout: bounds each individual stall. The overall
+/// read deadline bounds the sum (slow-loris protection).
 const IO_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
 
-fn handle_connection(app: &App, stream: &mut TcpStream) {
-    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+fn handle_connection(app: &App, stream: &mut TcpStream, read_deadline: Option<Duration>) {
+    // Cap the per-read stall by the overall read budget so one silent
+    // client can't hold the thread for a full IO_TIMEOUT past its deadline.
+    let per_read = read_deadline.map_or(IO_TIMEOUT, |d| {
+        d.min(IO_TIMEOUT).max(Duration::from_millis(1))
+    });
+    let _ = stream.set_read_timeout(Some(per_read));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    let response = match read_request(stream) {
-        Ok(req) => app.handle(&req),
+    let deadline = read_deadline.map(|d| Instant::now() + d);
+    let response = match read_request_with_deadline(stream, deadline) {
+        // A handler panic (a bug, or an injected chaos panic) must cost
+        // exactly one 500, not a worker thread.
+        Ok(req) => match catch_unwind(AssertUnwindSafe(|| app.handle(&req))) {
+            Ok(resp) => resp,
+            Err(_) => {
+                obs::counter("http_handler_panics_total").inc();
+                Response::error(500, "internal server error")
+            }
+        },
         Err(HttpError::TooLarge) => Response::error(413, "payload too large"),
         Err(HttpError::HeaderTooLarge) => Response::error(431, "request line or headers too large"),
         Err(HttpError::Timeout) => Response::error(408, "request timed out"),
@@ -97,5 +205,28 @@ impl Server {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_knob_parsing() {
+        assert_eq!(parse_read_deadline(None), Some(DEFAULT_READ_DEADLINE));
+        assert_eq!(
+            parse_read_deadline(Some("250")),
+            Some(Duration::from_millis(250))
+        );
+        assert_eq!(parse_read_deadline(Some("0")), None, "0 disables");
+        assert_eq!(
+            parse_read_deadline(Some("nope")),
+            Some(DEFAULT_READ_DEADLINE)
+        );
+        assert_eq!(parse_backlog(None), DEFAULT_ACCEPT_BACKLOG);
+        assert_eq!(parse_backlog(Some("8")), 8);
+        assert_eq!(parse_backlog(Some("0")), 0, "0 means unbounded");
+        assert_eq!(parse_backlog(Some("many")), DEFAULT_ACCEPT_BACKLOG);
     }
 }

@@ -12,19 +12,26 @@
 //! dashboards and scrapes stay live.
 
 use crate::clique::BkVariant;
-use crate::cloud::{compute_cloud, CloudParams, TagCloud};
+use crate::cloud::{compute_cloud, try_compute_cloud, CloudParams, TagCloud};
 use crate::store::TagStore;
+use parking_lot::Mutex;
 use sensormeta_cache::{
-    Cache, CacheConfig, Domain, EpochClock, Fingerprint, LegacyMetricNames, Status,
+    Cache, CacheConfig, CacheError, Domain, EpochClock, Fingerprint, LegacyMetricNames, Status,
 };
 use sensormeta_obs as obs;
+use sensormeta_resil::{self as resil, Interrupt};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Epoch domain a computed cloud depends on.
 const DEPS: &[Domain] = &[Domain::TagIncidence];
 
 /// Byte budget for memoized clouds.
 const CAPACITY: usize = 1 << 20;
+
+/// Default bound on how old a held-over cloud may be when served under
+/// degradation (measured from the time it was computed or last validated).
+const DEFAULT_STALE_GRACE: Duration = Duration::from_secs(60);
 
 /// PR 3 metric names, kept emitting from the shared subsystem.
 const LEGACY: LegacyMetricNames = LegacyMetricNames {
@@ -45,9 +52,17 @@ pub struct CacheStats {
 }
 
 /// Tag-cloud memoization over the shared result-cache subsystem.
+///
+/// Besides the epoch-validated cache proper, the facade holds the *last
+/// good* cloud regardless of store version: cache keys include the store's
+/// mutation version, so after a mutation the previous version's entry is
+/// unreachable by key — yet it is exactly what serve-stale degradation
+/// wants when the recompute fails or the tag-cloud breaker is open.
 #[derive(Debug)]
 pub struct CloudCache {
     cache: Cache<TagCloud>,
+    last_good: Mutex<Option<(Arc<TagCloud>, Instant)>>,
+    stale_grace: Option<Duration>,
 }
 
 impl Default for CloudCache {
@@ -78,6 +93,8 @@ impl CloudCache {
     pub fn new() -> CloudCache {
         CloudCache {
             cache: Cache::new(config(), weigh),
+            last_good: Mutex::new(None),
+            stale_grace: Some(DEFAULT_STALE_GRACE),
         }
     }
 
@@ -86,7 +103,15 @@ impl CloudCache {
     pub fn with_clock(clock: Arc<EpochClock>) -> CloudCache {
         CloudCache {
             cache: Cache::with_clock(config(), weigh, clock),
+            last_good: Mutex::new(None),
+            stale_grace: Some(DEFAULT_STALE_GRACE),
         }
+    }
+
+    /// Overrides the staleness grace window for [`stale`](CloudCache::stale);
+    /// `None` disables serve-stale degradation entirely.
+    pub fn set_stale_grace(&mut self, grace: Option<Duration>) {
+        self.stale_grace = grace;
     }
 
     /// Returns the cloud for the store's current state, computing it only
@@ -109,11 +134,74 @@ impl CloudCache {
             Ok::<_, std::convert::Infallible>(compute_cloud(store, params))
         });
         match result {
-            Ok(cloud) => (cloud, status),
+            Ok(cloud) => {
+                self.remember(&cloud);
+                (cloud, status)
+            }
             // Infallible compute, no deadline: unreachable; recompute
             // without caching rather than panic.
             Err(_) => (Arc::new(compute_cloud(store, params)), Status::Bypass),
         }
+    }
+
+    /// Like [`get_with_status`](CloudCache::get_with_status) but cooperative:
+    /// the compute observes the ambient resil deadline (and chaos plan) and
+    /// aborts with an [`Interrupt`] instead of burning CPU past it.
+    /// Interrupted computes are never negatively cached, so the next request
+    /// retries from scratch.
+    pub fn try_get_with_status(
+        &self,
+        store: &TagStore,
+        params: &CloudParams,
+    ) -> Result<(Arc<TagCloud>, Status), Interrupt> {
+        let key = param_key(store.version(), params);
+        let wait = resil::current_deadline().remaining();
+        let (result, status) = self.cache.get_or_compute_filtered(
+            key,
+            wait,
+            || {
+                let _timing = obs::global().span("tagging_cloud_compute");
+                try_compute_cloud(store, params)
+            },
+            |_| false,
+        );
+        match result {
+            Ok(cloud) => {
+                self.remember(&cloud);
+                Ok((cloud, status))
+            }
+            Err(CacheError::Compute(i)) => Err(i),
+            // A poisoned flight or single-flight wait that outlived the
+            // deadline degrades the same way an expired budget does.
+            Err(CacheError::Negative(_) | CacheError::WaitTimeout) => {
+                Err(Interrupt::DeadlineExceeded)
+            }
+        }
+    }
+
+    /// Returns the last successfully computed cloud — possibly for an older
+    /// store version — if one exists within the staleness grace window,
+    /// together with its age. This is the serve-stale degradation path for a
+    /// failed or breaker-rejected recompute; callers must label the response
+    /// as stale.
+    pub fn stale(&self) -> Option<(Arc<TagCloud>, Duration)> {
+        let grace = self.stale_grace?;
+        let held = self.last_good.lock();
+        let (cloud, at) = held.as_ref()?;
+        let age = at.elapsed();
+        if age < grace {
+            obs::counter("tagging_cloud_stale_serves_total").inc();
+            Some((Arc::clone(cloud), age))
+        } else {
+            None
+        }
+    }
+
+    /// Records a successful result for serve-stale degradation. A cache hit
+    /// refreshes the timestamp too: an epoch-valid hit proves the cloud still
+    /// matches the store, so its staleness age legitimately restarts.
+    fn remember(&self, cloud: &Arc<TagCloud>) {
+        *self.last_good.lock() = Some((Arc::clone(cloud), Instant::now()));
     }
 
     /// Statistics so far (process-lifetime; `clear` does not reset them).
@@ -200,6 +288,44 @@ mod tests {
         );
         assert_eq!(cache.stats().misses, 2);
         assert_eq!(cache.stats().evicted, 0);
+    }
+
+    #[test]
+    fn stale_holdover_survives_mutation_and_respects_grace() {
+        let mut s = store();
+        let (mut cache, _clk) = isolated();
+        assert!(cache.stale().is_none(), "nothing computed yet");
+        let c1 = cache.get(&s, &CloudParams::default());
+        s.add("c", "avalanche"); // old version's entry now unreachable by key
+        let (held, age) = cache.stale().expect("last good cloud held over");
+        assert!(Arc::ptr_eq(&c1, &held));
+        assert!(age < DEFAULT_STALE_GRACE);
+        cache.set_stale_grace(Some(Duration::ZERO));
+        assert!(cache.stale().is_none(), "zero grace serves nothing");
+        cache.set_stale_grace(None);
+        assert!(cache.stale().is_none(), "disabled grace serves nothing");
+    }
+
+    #[test]
+    fn try_get_respects_expired_deadline_and_is_not_negatively_cached() {
+        let s = store();
+        let (cache, _clk) = isolated();
+        let expired = resil::Deadline::within(Duration::ZERO);
+        let err = {
+            let _scope = resil::deadline_scope(expired);
+            cache
+                .try_get_with_status(&s, &CloudParams::default())
+                .expect_err("expired budget interrupts the compute")
+        };
+        assert_eq!(err, Interrupt::DeadlineExceeded);
+        // The interrupt was not cached as a negative result: with headroom
+        // the same key computes fine.
+        let (cloud, status) = cache
+            .try_get_with_status(&s, &CloudParams::default())
+            .expect("retry succeeds");
+        assert_eq!(status, Status::Miss);
+        assert!(!cloud.entries.is_empty());
+        assert!(cache.stale().is_some(), "success recorded for serve-stale");
     }
 
     #[test]

@@ -10,7 +10,14 @@
 //! outer level — so the optimization's effect is measurable (ablation E11).
 
 use sensormeta_graph::UndirectedGraph;
+use sensormeta_resil::{self as resil, Interrupt};
 use std::collections::BTreeSet;
+
+/// Checkpoint site name for cooperative cancellation of the enumeration.
+const CHECKPOINT_SITE: &str = "clique_enum";
+
+/// Recursive calls between deadline checkpoints on the checked path.
+const CALLS_PER_CHECK: usize = 128;
 
 /// Which Bron–Kerbosch variant to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,7 +42,28 @@ pub struct BkStats {
 
 /// Enumerates all maximal cliques; returns them sorted (each clique sorted,
 /// cliques in lexicographic order) together with run statistics.
+/// Uncancellable: runs to completion regardless of the ambient deadline
+/// (see [`try_maximal_cliques`] for the cooperative variant).
 pub fn maximal_cliques(g: &UndirectedGraph, variant: BkVariant) -> (Vec<Vec<usize>>, BkStats) {
+    // The unchecked pass never hits a checkpoint, so Err is unreachable.
+    enumerate(g, variant, false).unwrap_or_default()
+}
+
+/// [`maximal_cliques`] with cooperative cancellation: observes the ambient
+/// resil deadline (and chaos plan) every `CALLS_PER_CHECK` (128) recursion
+/// steps, so an expired request stops an exponential enumeration early.
+pub fn try_maximal_cliques(
+    g: &UndirectedGraph,
+    variant: BkVariant,
+) -> Result<(Vec<Vec<usize>>, BkStats), Interrupt> {
+    enumerate(g, variant, true)
+}
+
+fn enumerate(
+    g: &UndirectedGraph,
+    variant: BkVariant,
+    checked: bool,
+) -> Result<(Vec<Vec<usize>>, BkStats), Interrupt> {
     let _timing = sensormeta_obs::span("tagging_clique_enumeration");
     let mut out = Vec::new();
     let mut stats = BkStats::default();
@@ -48,9 +76,10 @@ pub fn maximal_cliques(g: &UndirectedGraph, variant: BkVariant) -> (Vec<Vec<usiz
                 all,
                 BTreeSet::new(),
                 false,
+                checked,
                 &mut out,
                 &mut stats,
-            );
+            )?;
         }
         BkVariant::Pivot => {
             bk(
@@ -59,9 +88,10 @@ pub fn maximal_cliques(g: &UndirectedGraph, variant: BkVariant) -> (Vec<Vec<usiz
                 all,
                 BTreeSet::new(),
                 true,
+                checked,
                 &mut out,
                 &mut stats,
-            );
+            )?;
         }
         BkVariant::Degeneracy => {
             let order = g.degeneracy_ordering();
@@ -83,7 +113,7 @@ pub fn maximal_cliques(g: &UndirectedGraph, variant: BkVariant) -> (Vec<Vec<usiz
                     .filter(|&w| pos[w] < pos[v])
                     .collect();
                 let mut r = vec![v];
-                bk(g, &mut r, p, x, true, &mut out, &mut stats);
+                bk(g, &mut r, p, x, true, checked, &mut out, &mut stats)?;
             }
         }
     }
@@ -92,24 +122,29 @@ pub fn maximal_cliques(g: &UndirectedGraph, variant: BkVariant) -> (Vec<Vec<usiz
     }
     out.sort();
     stats.cliques = out.len();
-    (out, stats)
+    Ok((out, stats))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn bk(
     g: &UndirectedGraph,
     r: &mut Vec<usize>,
     mut p: BTreeSet<usize>,
     mut x: BTreeSet<usize>,
     pivot: bool,
+    checked: bool,
     out: &mut Vec<Vec<usize>>,
     stats: &mut BkStats,
-) {
+) -> Result<(), Interrupt> {
     stats.calls += 1;
+    if checked && stats.calls.is_multiple_of(CALLS_PER_CHECK) {
+        resil::checkpoint(CHECKPOINT_SITE)?;
+    }
     if p.is_empty() && x.is_empty() {
         if !r.is_empty() {
             out.push(r.clone());
         }
-        return;
+        return Ok(());
     }
     // Choose pivot u maximizing |P ∩ N(u)|; recurse only on P \ N(u). The
     // early return above guarantees P ∪ X is non-empty here, but if the
@@ -135,11 +170,13 @@ fn bk(
         let p2: BTreeSet<usize> = p.iter().copied().filter(|w| nv.contains(w)).collect();
         let x2: BTreeSet<usize> = x.iter().copied().filter(|w| nv.contains(w)).collect();
         r.push(v);
-        bk(g, r, p2, x2, pivot, out, stats);
+        let step = bk(g, r, p2, x2, pivot, checked, out, stats);
         r.pop();
+        step?;
         p.remove(&v);
         x.insert(v);
     }
+    Ok(())
 }
 
 /// Brute-force maximal-clique enumeration for cross-checking (exponential —

@@ -4,10 +4,14 @@
 //! (Graph) → maximal cliques (Max Clique Algorithm) → Eq. 6 (Font Size
 //! Calculation) → a renderable [`TagCloud`].
 
-use crate::clique::{clique_membership, maximal_cliques, BkVariant};
+use crate::clique::{clique_membership, maximal_cliques, try_maximal_cliques, BkVariant};
 use crate::fontsize::{font_size, font_size_frequency_only, FontScale, FontSizeInput};
 use crate::similarity::{similarity_graph_from, similarity_matrix};
 use crate::store::TagStore;
+use sensormeta_resil::{self as resil, Interrupt};
+
+/// Checkpoint site name guarding the whole cloud pipeline.
+const CHECKPOINT_SITE: &str = "tagcloud_compute";
 
 /// Parameters of a cloud computation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,13 +74,45 @@ impl TagCloud {
 }
 
 /// Runs the full pipeline over the store's current contents.
+/// Uncancellable: runs to completion regardless of the ambient deadline
+/// (see [`try_compute_cloud`] for the cooperative variant).
 pub fn compute_cloud(store: &TagStore, params: &CloudParams) -> TagCloud {
+    match cloud_pipeline(store, params, false) {
+        Ok(cloud) => cloud,
+        // The unchecked pipeline never hits a checkpoint.
+        Err(_) => TagCloud {
+            entries: Vec::new(),
+            cliques: Vec::new(),
+            clique_calls: 0,
+        },
+    }
+}
+
+/// [`compute_cloud`] with cooperative cancellation: checkpoints at the
+/// pipeline entry and inside the clique enumeration, so an expired or
+/// chaos-faulted request aborts instead of burning CPU.
+pub fn try_compute_cloud(store: &TagStore, params: &CloudParams) -> Result<TagCloud, Interrupt> {
+    cloud_pipeline(store, params, true)
+}
+
+fn cloud_pipeline(
+    store: &TagStore,
+    params: &CloudParams,
+    checked: bool,
+) -> Result<TagCloud, Interrupt> {
+    if checked {
+        resil::checkpoint(CHECKPOINT_SITE)?;
+    }
     let (tags, sets) = store.incidence();
     let counts: Vec<usize> = tags.iter().map(|t| store.frequency(t)).collect();
     // Compute the similarity matrix once (parallel fill) and threshold it,
     // instead of recomputing every cosine inside the graph build.
     let graph = similarity_graph_from(&similarity_matrix(&sets), params.threshold);
-    let (cliques, stats) = maximal_cliques(&graph, params.variant);
+    let (cliques, stats) = if checked {
+        try_maximal_cliques(&graph, params.variant)?
+    } else {
+        maximal_cliques(&graph, params.variant)
+    };
     // Only multi-tag cliques carry semantic information for the cloud;
     // singleton "cliques" are isolated tags.
     let cliques: Vec<Vec<usize>> = cliques.into_iter().filter(|c| c.len() > 1).collect();
@@ -111,11 +147,11 @@ pub fn compute_cloud(store: &TagStore, params: &CloudParams) -> TagCloud {
             }
         })
         .collect();
-    TagCloud {
+    Ok(TagCloud {
         entries,
         cliques,
         clique_calls: stats.calls,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -43,11 +43,11 @@ impl SvgDoc {
         let t = title
             .map(|t| format!("<title>{}</title>", escape(t)))
             .unwrap_or_default();
-        writeln!(
+        // Writing into a String cannot fail; the fmt::Result is a formality.
+        let _ = writeln!(
             self.body,
             r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{fill}">{t}</rect>"#
-        )
-        .expect("string write");
+        );
     }
 
     /// Adds a circle.
@@ -55,39 +55,39 @@ impl SvgDoc {
         let t = title
             .map(|t| format!("<title>{}</title>", escape(t)))
             .unwrap_or_default();
-        writeln!(
+        // Writing into a String cannot fail; the fmt::Result is a formality.
+        let _ = writeln!(
             self.body,
             r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}" fill="{fill}">{t}</circle>"#
-        )
-        .expect("string write");
+        );
     }
 
     /// Adds a line.
     pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
-        writeln!(
+        // Writing into a String cannot fail; the fmt::Result is a formality.
+        let _ = writeln!(
             self.body,
             r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{stroke}" stroke-width="{width:.2}"/>"#
-        )
-        .expect("string write");
+        );
     }
 
     /// Adds a line with an arrowhead marker (for directed edges).
     pub fn arrow(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str) {
-        writeln!(
+        // Writing into a String cannot fail; the fmt::Result is a formality.
+        let _ = writeln!(
             self.body,
             r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{stroke}" stroke-width="1.2" marker-end="url(#arrow)"/>"#
-        )
-        .expect("string write");
+        );
     }
 
     /// Adds text. `anchor` is `start`/`middle`/`end`.
     pub fn text(&mut self, x: f64, y: f64, size: f64, anchor: &str, fill: &str, content: &str) {
-        writeln!(
+        // Writing into a String cannot fail; the fmt::Result is a formality.
+        let _ = writeln!(
             self.body,
             r#"<text x="{x:.2}" y="{y:.2}" font-size="{size:.1}" text-anchor="{anchor}" fill="{fill}" font-family="sans-serif">{}</text>"#,
             escape(content)
-        )
-        .expect("string write");
+        );
     }
 
     /// Adds a pie slice (SVG path) centered at (cx, cy).
@@ -112,11 +112,11 @@ impl SvgDoc {
         let t = title
             .map(|t| format!("<title>{}</title>", escape(t)))
             .unwrap_or_default();
-        writeln!(
+        // Writing into a String cannot fail; the fmt::Result is a formality.
+        let _ = writeln!(
             self.body,
             r#"<path d="M {cx:.2} {cy:.2} L {x1:.2} {y1:.2} A {r:.2} {r:.2} 0 {large} 1 {x2:.2} {y2:.2} Z" fill="{fill}" stroke="white" stroke-width="1">{t}</path>"#
-        )
-        .expect("string write");
+        );
     }
 
     /// Adds a raw SVG fragment.

@@ -42,6 +42,7 @@ pub use sensormeta_query as query;
 pub use sensormeta_rank as rank;
 pub use sensormeta_rdf as rdf;
 pub use sensormeta_relstore as relstore;
+pub use sensormeta_resil as resil;
 pub use sensormeta_search as search;
 pub use sensormeta_server as server;
 pub use sensormeta_smr as smr;

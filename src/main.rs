@@ -309,6 +309,11 @@ fn tagcloud(opts: &Opts) -> CliResult {
 }
 
 fn serve(opts: &Opts) -> CliResult {
+    match sensormeta::resil::chaos::install_from_env() {
+        Ok(0) => {}
+        Ok(n) => println!("chaos: armed {n} fault(s) from SENSORMETA_CHAOS"),
+        Err(e) => return Err(format!("SENSORMETA_CHAOS: {e}").into()),
+    }
     let smr = open_smr(opts)?;
     println!("indexing {} pages…", smr.page_count());
     let engine = QueryEngine::open(smr)?;
