@@ -119,6 +119,9 @@ pub fn run_suite(cfg: &BenchConfig) -> Vec<BenchReport> {
         bench_indexbuild_par(cfg),
         bench_cache(cfg),
         bench_resil_overhead(cfg),
+        // Last on purpose: its writers bump every epoch domain, which would
+        // cold-start the cache workloads if it ran before them.
+        bench_concurrency(cfg),
     ]
 }
 
@@ -485,6 +488,251 @@ fn bench_cache(cfg: &BenchConfig) -> BenchReport {
     report
 }
 
+/// Mixed reader/writer serving workload: snapshot readers racing an active
+/// committer on the MVCC cell, versus the same mix pushed through one
+/// lock-the-world `RwLock` (the pre-MVCC server design).
+///
+/// Three phases share one seeded engine (and, via `clone_reader`, one set of
+/// caches) and one query list:
+///
+/// 1. `baseline` — snapshot readers only, no writer (steady-state hits);
+/// 2. `concurrency` (the main histogram) — the same readers while a writer
+///    repeatedly publishes new versions, each commit bumping every epoch
+///    domain exactly like a server bulkload;
+/// 3. `locked` — readers hold an `RwLock` read guard across each search
+///    while the writer swaps the engine under the write guard.
+///
+/// Each phase is time-boxed (scaled by `iterations`) rather than
+/// read-counted: the cache-hit read path is tens of nanoseconds, so a fixed
+/// read budget would drain before the writer task even woke up. Commits are
+/// paced evenly across the phase window. Latencies are recorded in
+/// **nanoseconds** (the `_ns` extras are the real signal; the `_us` report
+/// fields round the hit path down to zero at small scales). The headline
+/// acceptance number is `p95_ratio_vs_baseline`: reader p95 under an active
+/// writer, relative to the no-writer baseline. Honours `SENSORMETA_THREADS`
+/// via the global pool (raw `thread::spawn` is banned outside par/server).
+fn bench_concurrency(cfg: &BenchConfig) -> BenchReport {
+    use sensormeta_cache::{clock, ALL_DOMAINS};
+    use sensormeta_tx::Mvcc;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::{Mutex, RwLock};
+    use std::time::Duration;
+
+    let engine = seeded_engine(cfg);
+    let mut queries = query_workload(cfg.iterations.max(8), cfg.seed + 41);
+    queries.sort_unstable();
+    queries.dedup();
+
+    let pool = Pool::global();
+    let readers = pool.threads().saturating_sub(1).max(1);
+    let rounds = cfg.iterations.clamp(1, 40);
+    let phase_dur = Duration::from_millis((10 * rounds as u64).clamp(30, 400));
+    let target_commits = ((rounds / 10).max(2)) as u32;
+    let commit_every = phase_dur / (target_commits + 1);
+
+    // The writer's private copy, the MVCC serving cell, and the
+    // lock-the-world comparison cell — all `clone_reader` views of one
+    // engine, so the three phases share caches and corpus.
+    let primary = Mutex::new(engine.clone_reader());
+    let cell = Mvcc::new(engine.clone_reader());
+    let rw = RwLock::new(engine);
+
+    // Cross-task progress counters; reset per phase. `start` is the phase
+    // clock every task keys its deadline (and the writer its pacing) off.
+    let done = AtomicUsize::new(0);
+    let reads = AtomicU64::new(0);
+    let commits = AtomicU64::new(0);
+    let start = Mutex::new(Instant::now());
+    let phase_start = || match start.lock() {
+        Ok(g) => *g,
+        Err(p) => *p.into_inner(),
+    };
+
+    let mvcc_pass = |h: &obs::Histogram| {
+        let begin = phase_start();
+        'outer: loop {
+            for q in &queries {
+                if begin.elapsed() >= phase_dur {
+                    break 'outer;
+                }
+                let form = SearchForm::keywords(q.clone());
+                let t = Instant::now();
+                let snap = cell.snapshot();
+                let opts = SearchOptions {
+                    at: Some(snap.epochs()),
+                    ..SearchOptions::default()
+                };
+                let _ = snap.search_shared(&form, &opts);
+                h.record(t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                reads.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        done.fetch_add(1, Ordering::Relaxed);
+    };
+
+    let mvcc_commit = || {
+        let data = match primary.lock() {
+            Ok(g) => g.clone_reader(),
+            Err(p) => p.into_inner().clone_reader(),
+        };
+        cell.begin().publish(&ALL_DOMAINS, data);
+        commits.fetch_add(1, Ordering::Relaxed);
+    };
+
+    let mvcc_writer = || {
+        let begin = phase_start();
+        let mut next = commit_every;
+        while done.load(Ordering::Relaxed) < readers {
+            if begin.elapsed() >= next {
+                mvcc_commit();
+                next += commit_every;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        // On a one-thread pool the readers drain before the writer task
+        // even starts; land one commit anyway so the phase always
+        // exercises the publish path.
+        if commits.load(Ordering::Relaxed) == 0 {
+            mvcc_commit();
+        }
+    };
+
+    let locked_pass = |h: &obs::Histogram| {
+        let begin = phase_start();
+        'outer: loop {
+            for q in &queries {
+                if begin.elapsed() >= phase_dur {
+                    break 'outer;
+                }
+                let form = SearchForm::keywords(q.clone());
+                let t = Instant::now();
+                let g = match rw.read() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                let _ = g.search_shared(&form, &SearchOptions::default());
+                drop(g);
+                h.record(t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                reads.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        done.fetch_add(1, Ordering::Relaxed);
+    };
+
+    let locked_writer = || {
+        let begin = phase_start();
+        let mut next = commit_every;
+        while done.load(Ordering::Relaxed) < readers {
+            if begin.elapsed() >= next {
+                let mut g = match rw.write() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                // Lock-the-world: the replacement engine is prepared while
+                // every reader queues behind the write guard.
+                let next_engine = g.clone_reader();
+                clock().bump_all();
+                *g = next_engine;
+                drop(g);
+                commits.fetch_add(1, Ordering::Relaxed);
+                next += commit_every;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    };
+
+    let run_phase = |pass: &(dyn Fn(&obs::Histogram) + Sync),
+                     writer: Option<&(dyn Fn() + Sync)>,
+                     h: &obs::Histogram| {
+        done.store(0, Ordering::Relaxed);
+        reads.store(0, Ordering::Relaxed);
+        match start.lock() {
+            Ok(mut g) => *g = Instant::now(),
+            Err(p) => *p.into_inner() = Instant::now(),
+        }
+        pool.scope(|s| {
+            for _ in 0..readers {
+                s.spawn(|| pass(h));
+            }
+            if let Some(w) = writer {
+                s.spawn(w);
+            }
+        });
+    };
+
+    // Untimed warm-up so the baseline measures steady-state hits, not
+    // cold computes (the caches are shared, so one pass warms all cells).
+    {
+        let snap = cell.snapshot();
+        let opts = SearchOptions {
+            at: Some(snap.epochs()),
+            ..SearchOptions::default()
+        };
+        for q in &queries {
+            let form = SearchForm::keywords(q.clone());
+            let _ = snap.search_shared(&form, &opts);
+        }
+    }
+
+    let h_base = obs::histogram("bench_concurrency_baseline_ns");
+    let h_mvcc = obs::histogram("bench_concurrency_ns");
+    let h_locked = obs::histogram("bench_concurrency_locked_ns");
+
+    run_phase(&mvcc_pass, None, &h_base);
+    let baseline_reads = reads.load(Ordering::Relaxed);
+    run_phase(&mvcc_pass, Some(&mvcc_writer), &h_mvcc);
+    let mvcc_reads = reads.load(Ordering::Relaxed);
+    let mvcc_commits = commits.swap(0, Ordering::Relaxed);
+    run_phase(&locked_pass, Some(&locked_writer), &h_locked);
+    let locked_reads = reads.load(Ordering::Relaxed);
+    let locked_commits = commits.load(Ordering::Relaxed);
+
+    let base = h_base.snapshot();
+    let mvcc = h_mvcc.snapshot();
+    let locked = h_locked.snapshot();
+    // The µs report fields truncate the nanosecond signal (a warm hit is
+    // tens of ns); the `_ns` extras carry the real comparison.
+    let mut report = BenchReport {
+        name: "concurrency",
+        iterations: mvcc.count,
+        p50_us: mvcc.p50 / 1_000,
+        p95_us: mvcc.p95 / 1_000,
+        p99_us: mvcc.p99 / 1_000,
+        max_us: mvcc.max / 1_000,
+        mean_us: if mvcc.count == 0 {
+            0.0
+        } else {
+            mvcc.sum as f64 / mvcc.count as f64 / 1_000.0
+        },
+        extra: Vec::new(),
+        extra_text: Vec::new(),
+    };
+    let base_p95 = base.p95.max(1) as f64;
+    report.extra.push(("baseline_p50_ns", base.p50 as f64));
+    report.extra.push(("baseline_p95_ns", base.p95 as f64));
+    report.extra.push(("writer_p50_ns", mvcc.p50 as f64));
+    report.extra.push(("writer_p95_ns", mvcc.p95 as f64));
+    report.extra.push(("locked_p50_ns", locked.p50 as f64));
+    report.extra.push(("locked_p95_ns", locked.p95 as f64));
+    report
+        .extra
+        .push(("p95_ratio_vs_baseline", mvcc.p95.max(1) as f64 / base_p95));
+    report.extra.push((
+        "locked_p95_ratio_vs_baseline",
+        locked.p95.max(1) as f64 / base_p95,
+    ));
+    report.extra.push(("baseline_reads", baseline_reads as f64));
+    report.extra.push(("mvcc_reads", mvcc_reads as f64));
+    report.extra.push(("locked_reads", locked_reads as f64));
+    report.extra.push(("mvcc_commits", mvcc_commits as f64));
+    report.extra.push(("locked_commits", locked_commits as f64));
+    report.extra.push(("readers", readers as f64));
+    report.extra.push(("threads", pool.threads() as f64));
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -497,7 +745,7 @@ mod tests {
             seed: 42,
         };
         let reports = run_suite(&cfg);
-        assert_eq!(reports.len(), 10);
+        assert_eq!(reports.len(), 11);
         for r in &reports {
             assert!(r.iterations > 0, "{} ran", r.name);
             let json = r.to_json();
@@ -535,5 +783,26 @@ mod tests {
             "warm passes over an unchanged corpus must hit: {}",
             extras["cache_hit_rate"]
         );
+        // The concurrency workload compares snapshot readers against the
+        // no-writer baseline and the lock-the-world variant, and always
+        // lands at least one MVCC commit.
+        let conc = reports.iter().find(|r| r.name == "concurrency").unwrap();
+        let extras: std::collections::BTreeMap<&str, f64> = conc.extra.iter().copied().collect();
+        for key in [
+            "baseline_p95_ns",
+            "writer_p95_ns",
+            "locked_p95_ns",
+            "p95_ratio_vs_baseline",
+            "locked_p95_ratio_vs_baseline",
+            "mvcc_commits",
+            "locked_commits",
+            "readers",
+            "threads",
+        ] {
+            assert!(extras.contains_key(key), "concurrency: missing {key}");
+        }
+        assert!(extras["mvcc_commits"] >= 1.0, "writer must publish");
+        assert!(extras["baseline_p95_ns"] > 0.0, "phases must record reads");
+        assert!(extras["readers"] >= 1.0);
     }
 }

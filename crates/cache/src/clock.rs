@@ -62,6 +62,14 @@ impl EpochVector {
     pub fn get(&self, d: Domain) -> u64 {
         self.0[d as usize]
     }
+
+    /// True iff the two vectors agree on every domain in `deps` — the
+    /// snapshot-reader analogue of [`EpochClock::matches`]: an MVCC reader
+    /// pinned at this vector validates cache entries against *it*, not
+    /// against the moving clock.
+    pub fn matches_on(&self, other: &EpochVector, deps: &[Domain]) -> bool {
+        deps.iter().all(|&d| self.get(d) == other.get(d))
+    }
 }
 
 /// Monotonic per-domain epoch counters.

@@ -518,12 +518,21 @@ impl<V: Send + Sync + 'static> Cache<V> {
     }
 
     fn entry_valid(&self, e: &Entry<V>) -> bool {
+        self.entry_valid_at(e, None)
+    }
+
+    /// Entry validity for a reader pinned at `at` (an MVCC snapshot's epoch
+    /// vector), or against the live clock when `at` is `None`.
+    fn entry_valid_at(&self, e: &Entry<V>, at: Option<&EpochVector>) -> bool {
         if let Some(expires) = e.expires {
             if Instant::now() >= expires {
                 return false;
             }
         }
-        self.clock.get().matches(&e.stamp, self.cfg.deps)
+        match at {
+            Some(v) => v.matches_on(&e.stamp, self.cfg.deps),
+            None => self.clock.get().matches(&e.stamp, self.cfg.deps),
+        }
     }
 
     /// Whether a (possibly invalid) entry may still back a degraded serve:
@@ -636,6 +645,53 @@ impl<V: Send + Sync + 'static> Cache<V> {
         F: FnOnce() -> Result<V, E>,
         P: FnOnce(&E) -> bool,
     {
+        self.get_or_compute_inner(key, None, deadline, compute, cache_error)
+    }
+
+    /// [`get_or_compute_filtered`](Cache::get_or_compute_filtered) for an
+    /// MVCC snapshot reader pinned at `stamp`: entries are validated against
+    /// (and new entries stamped with) the snapshot's epoch vector instead of
+    /// the moving clock, so a reader keeps hitting its own consistent
+    /// generation even while writers bump epochs underneath it.
+    ///
+    /// Keys stay generation-independent (snapshots at different epoch
+    /// vectors share one entry slot): that keeps serve-stale degradation
+    /// working across commits — [`Cache::get_stale`] can still find the
+    /// superseded value under the same key. Cross-generation safety comes
+    /// from validation instead: an entry stamped by another generation is
+    /// simply treated as stale (retained for degradation when still fresh
+    /// for the live clock or within the grace window) and recomputed, and
+    /// a caller never coalesces onto an in-flight computation whose stamp
+    /// its own validation context would reject.
+    pub fn get_or_compute_filtered_at<E, F, P>(
+        &self,
+        key: u64,
+        stamp: EpochVector,
+        deadline: Option<Duration>,
+        compute: F,
+        cache_error: P,
+    ) -> (Result<Arc<V>, CacheError<E>>, Status)
+    where
+        E: fmt::Display,
+        F: FnOnce() -> Result<V, E>,
+        P: FnOnce(&E) -> bool,
+    {
+        self.get_or_compute_inner(key, Some(stamp), deadline, compute, cache_error)
+    }
+
+    fn get_or_compute_inner<E, F, P>(
+        &self,
+        key: u64,
+        at: Option<EpochVector>,
+        deadline: Option<Duration>,
+        compute: F,
+        cache_error: P,
+    ) -> (Result<Arc<V>, CacheError<E>>, Status)
+    where
+        E: fmt::Display,
+        F: FnOnce() -> Result<V, E>,
+        P: FnOnce(&E) -> bool,
+    {
         if self.cfg.capacity_bytes == 0 || !self.enabled.load(Ordering::Relaxed) {
             return match compute() {
                 Ok(v) => (Ok(Arc::new(v)), Status::Bypass),
@@ -649,11 +705,16 @@ impl<V: Send + Sync + 'static> Cache<V> {
             enum Step<V> {
                 Lead(Arc<Flight<V>>),
                 Wait(Arc<Flight<V>>),
+                /// An in-flight computation exists but its stamp fails this
+                /// caller's validation (wrong generation): compute without
+                /// touching the cache rather than receive a value this
+                /// caller's snapshot could not serve.
+                Solo,
             }
             let step = {
                 let mut sh = lock(self.shard(key));
                 if let Some(e) = sh.map.get(&key) {
-                    if self.entry_valid(e) {
+                    if self.entry_valid_at(e, at.as_ref()) {
                         let value = e.value.clone();
                         sh.touch(key);
                         drop(sh);
@@ -663,10 +724,12 @@ impl<V: Send + Sync + 'static> Cache<V> {
                             Err(msg) => (Err(CacheError::Negative(msg)), Status::Hit),
                         };
                     }
-                    if self.stale_servable(e) {
-                        // Retained for serve-stale degradation: the
-                        // recompute's insert replaces it; a failed
-                        // recompute leaves it for `get_stale`.
+                    if self.stale_servable(e) || (at.is_some() && self.entry_valid(e)) {
+                        // Retained: for serve-stale degradation the
+                        // recompute's insert replaces it (a failed
+                        // recompute leaves it for `get_stale`); and a
+                        // pinned snapshot reader must never evict an
+                        // entry that is still fresh for the live clock.
                         saw_stale = true;
                     } else {
                         let freed = sh.remove(key).map_or(0, |e| e.cost);
@@ -678,9 +741,20 @@ impl<V: Send + Sync + 'static> Cache<V> {
                     }
                 }
                 match sh.flights.get(&key) {
-                    Some(fl) => Step::Wait(Arc::clone(fl)),
+                    Some(fl) => {
+                        let compatible = match at.as_ref() {
+                            Some(v) => v.matches_on(&fl.stamp, self.cfg.deps),
+                            None => self.clock.get().matches(&fl.stamp, self.cfg.deps),
+                        };
+                        if compatible {
+                            Step::Wait(Arc::clone(fl))
+                        } else {
+                            Step::Solo
+                        }
+                    }
                     None => {
-                        let fl = Arc::new(Flight::new(self.clock.get().snapshot()));
+                        let stamp = at.unwrap_or_else(|| self.clock.get().snapshot());
+                        let fl = Arc::new(Flight::new(stamp));
                         sh.flights.insert(key, Arc::clone(&fl));
                         Step::Lead(fl)
                     }
@@ -694,6 +768,16 @@ impl<V: Send + Sync + 'static> Cache<V> {
                         return (Err(CacheError::WaitTimeout), Status::Miss);
                     };
                     return self.lead(key, flight, f, cache_error, saw_stale);
+                }
+                Step::Solo => {
+                    let Some(f) = compute.take() else {
+                        // Unreachable: Solo returns on its first (and only) hit.
+                        return (Err(CacheError::WaitTimeout), Status::Miss);
+                    };
+                    return match f() {
+                        Ok(v) => (Ok(Arc::new(v)), Status::Bypass),
+                        Err(e) => (Err(CacheError::Compute(e)), Status::Bypass),
+                    };
                 }
                 Step::Wait(flight) => {
                     self.stats
@@ -1087,6 +1171,40 @@ mod tests {
             "entry stamped pre-compute must not serve"
         );
         assert_eq!(calls.get(), 1);
+    }
+
+    #[test]
+    fn snapshot_pinned_reader_keeps_hitting_its_generation() {
+        let (cache, clk) = test_cache(1 << 16);
+        let calls = Cell::new(0);
+        let stamp = clk.snapshot();
+        let compute = || {
+            calls.set(calls.get() + 1);
+            Ok::<_, String>("old-gen".to_string())
+        };
+        let (v1, s1) = cache.get_or_compute_filtered_at(21, stamp, None, compute, |_| true);
+        assert_eq!(s1, Status::Miss);
+        assert_eq!(*v1.expect("computed"), "old-gen");
+        // A writer commits; live readers are invalidated, but the reader
+        // pinned at `stamp` keeps hitting its own generation.
+        clk.bump(Domain::Relational);
+        let (v2, s2) = cache.get_or_compute_filtered_at(
+            21,
+            stamp,
+            None,
+            || {
+                calls.set(calls.get() + 1);
+                Ok::<_, String>("recomputed".to_string())
+            },
+            |_| true,
+        );
+        assert_eq!(s2, Status::Hit, "pinned reader validates against stamp");
+        assert_eq!(*v2.expect("hit"), "old-gen");
+        assert_eq!(calls.get(), 1);
+        // A live-clock lookup of the same key sees the entry as stale.
+        let (_, s3) = get(&cache, 21, "fresh", &calls);
+        assert_eq!(s3, Status::Stale);
+        assert_eq!(calls.get(), 2);
     }
 
     #[test]

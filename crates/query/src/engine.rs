@@ -11,7 +11,7 @@ use crate::acl::Acl;
 use crate::error::{QueryError, Result};
 use crate::form::{CondOp, Condition, SearchForm, SortBy};
 use crate::result::{FacetCount, QueryOutput, RecommendedPage, ResultItem};
-use sensormeta_cache::{Cache, CacheConfig, CacheError, Domain, Fingerprint, Status};
+use sensormeta_cache::{Cache, CacheConfig, CacheError, Domain, EpochVector, Fingerprint, Status};
 use sensormeta_obs as obs;
 use sensormeta_rank::{GaussSeidel, PageRankProblem, RankCache, Recommender, TransitionMatrix};
 use sensormeta_resil::{self as resil, Deadline};
@@ -77,28 +77,40 @@ pub struct SearchOptions<'a> {
     /// within its staleness grace window. Such responses are labeled
     /// [`Status::Degraded`]; callers must surface the label.
     pub stale_ok: bool,
+    /// The MVCC snapshot's epoch vector this request is pinned at. When set,
+    /// cache entries are keyed and validated against it instead of the live
+    /// clock, so a reader on an old snapshot neither sees results from a
+    /// newer generation nor misses just because a writer committed mid-read.
+    pub at: Option<EpochVector>,
 }
 
 /// The query engine over one SMR.
+///
+/// Every derived structure sits behind an `Arc`: [`QueryEngine::rebuild`]
+/// replaces them wholesale, so a [`QueryEngine::clone_reader`] snapshot keeps
+/// the versions that were current when it was taken while the primary moves
+/// on — the MVCC publication path clones in O(fields), not O(corpus).
 pub struct QueryEngine {
     smr: Smr,
     acl: Acl,
     blend: RankBlend,
-    index: SearchIndex,
-    autocomplete: Autocomplete,
+    index: Arc<SearchIndex>,
+    autocomplete: Arc<Autocomplete>,
     /// title → dense page id (indexes `titles` / `pagerank`).
-    title_ids: HashMap<String, usize>,
-    titles: Vec<String>,
+    title_ids: Arc<HashMap<String, usize>>,
+    titles: Arc<Vec<String>>,
     /// PageRank per dense id, normalized so max = 1.
-    pagerank: Vec<f64>,
-    recommender: Recommender,
+    pagerank: Arc<Vec<f64>>,
+    recommender: Arc<Recommender>,
     /// Attribute-name dictionary for the recommender's property ids.
-    prop_names: Vec<String>,
-    suggester: SpellSuggester,
+    prop_names: Arc<Vec<String>>,
+    suggester: Arc<SpellSuggester>,
     /// Combined SQL+SPARQL+keyword result cache (see [`RESULT_DEPS`]).
-    results: Cache<QueryOutput>,
+    /// Shared between the primary and its reader snapshots, so a result
+    /// computed through any snapshot benefits every concurrent request.
+    results: Arc<Cache<QueryOutput>>,
     /// Converged PageRank vectors, shared across rebuilds.
-    rank_cache: RankCache,
+    rank_cache: Arc<RankCache>,
 }
 
 fn weigh_output(out: &QueryOutput) -> usize {
@@ -155,16 +167,16 @@ impl QueryEngine {
             smr,
             acl,
             blend,
-            index: SearchIndex::new(),
-            autocomplete: Autocomplete::new(),
-            title_ids: HashMap::new(),
-            titles: Vec::new(),
-            pagerank: Vec::new(),
-            recommender: Recommender::new(Vec::new(), Vec::new()),
-            prop_names: Vec::new(),
-            suggester: SpellSuggester::new(),
-            results: result_cache(),
-            rank_cache: RankCache::new(),
+            index: Arc::new(SearchIndex::new()),
+            autocomplete: Arc::new(Autocomplete::new()),
+            title_ids: Arc::new(HashMap::new()),
+            titles: Arc::new(Vec::new()),
+            pagerank: Arc::new(Vec::new()),
+            recommender: Arc::new(Recommender::new(Vec::new(), Vec::new())),
+            prop_names: Arc::new(Vec::new()),
+            suggester: Arc::new(SpellSuggester::new()),
+            results: Arc::new(result_cache()),
+            rank_cache: Arc::new(RankCache::new()),
         };
         engine.rebuild()?;
         Ok(engine)
@@ -186,16 +198,14 @@ impl QueryEngine {
         let _shield = resil::shield();
         obs::counter("query_rebuilds_total").inc();
         let (semantic, hyperlink, titles) = self.smr.link_graphs()?;
-        self.titles = titles;
-        self.title_ids = self
-            .titles
+        let title_ids: HashMap<String, usize> = titles
             .iter()
             .enumerate()
             .map(|(i, t)| (t.clone(), i))
             .collect();
 
         // PageRank over the double linking structure.
-        self.pagerank = if self.titles.is_empty() {
+        let pagerank: Vec<f64> = if titles.is_empty() {
             Vec::new()
         } else {
             let matrix =
@@ -212,13 +222,15 @@ impl QueryEngine {
         // Full-text index + autocomplete + recommender incidence. Document
         // text assembly stays serial (SMR access, property interning); the
         // tokenize-heavy index construction then runs as one parallel batch.
+        // Everything is built into locals and published wholesale below, so
+        // a reader snapshot taken mid-rebuild still sees the old generation.
         let _index_timing = obs::span("search_index_build");
-        self.autocomplete = Autocomplete::new();
+        let mut autocomplete = Autocomplete::new();
         let mut prop_ids: HashMap<String, u32> = HashMap::new();
         let mut prop_names: Vec<String> = Vec::new();
-        let mut page_props: Vec<Vec<u32>> = vec![Vec::new(); self.titles.len()];
-        let mut docs: Vec<(String, String)> = Vec::with_capacity(self.titles.len());
-        for (i, title) in self.titles.iter().enumerate() {
+        let mut page_props: Vec<Vec<u32>> = vec![Vec::new(); titles.len()];
+        let mut docs: Vec<(String, String)> = Vec::with_capacity(titles.len());
+        for (i, title) in titles.iter().enumerate() {
             let page = self
                 .smr
                 .get_page(title)?
@@ -244,20 +256,52 @@ impl QueryEngine {
                 text.push_str(t);
             }
             docs.push((title.clone(), text));
-            self.autocomplete
-                .insert(title, 1.0 + self.pagerank[i] * 10.0);
+            autocomplete.insert(title, 1.0 + pagerank[i] * 10.0);
         }
-        self.index = SearchIndex::build(&docs);
+        let index = SearchIndex::build(&docs);
         for (attr, count) in self.smr.attributes()? {
-            self.autocomplete.insert(&attr, count as f64);
+            autocomplete.insert(&attr, count as f64);
         }
-        self.prop_names = prop_names;
-        self.recommender = Recommender::new(page_props, self.pagerank.clone());
-        self.suggester = SpellSuggester::new();
-        for (term, df) in self.index.terms() {
-            self.suggester.add(term, df);
+        let mut suggester = SpellSuggester::new();
+        for (term, df) in index.terms() {
+            suggester.add(term, df);
         }
+        let recommender = Recommender::new(page_props, pagerank.clone());
+
+        // Publish the new generation: replace the Arcs; live snapshots keep
+        // the ones they cloned.
+        self.titles = Arc::new(titles);
+        self.title_ids = Arc::new(title_ids);
+        self.pagerank = Arc::new(pagerank);
+        self.index = Arc::new(index);
+        self.autocomplete = Arc::new(autocomplete);
+        self.prop_names = Arc::new(prop_names);
+        self.recommender = Arc::new(recommender);
+        self.suggester = Arc::new(suggester);
         Ok(())
+    }
+
+    /// A cheap read-only clone for MVCC snapshot publication: shares the
+    /// SMR's copy-on-write state (without its durability handle) and every
+    /// derived structure by `Arc`, including the result cache — so a version
+    /// published from this clone answers queries identically to `self` at
+    /// the moment of the call, at the cost of a dozen refcount bumps.
+    pub fn clone_reader(&self) -> QueryEngine {
+        QueryEngine {
+            smr: self.smr.clone_reader(),
+            acl: self.acl.clone(),
+            blend: self.blend,
+            index: Arc::clone(&self.index),
+            autocomplete: Arc::clone(&self.autocomplete),
+            title_ids: Arc::clone(&self.title_ids),
+            titles: Arc::clone(&self.titles),
+            pagerank: Arc::clone(&self.pagerank),
+            recommender: Arc::clone(&self.recommender),
+            prop_names: Arc::clone(&self.prop_names),
+            suggester: Arc::clone(&self.suggester),
+            results: Arc::clone(&self.results),
+            rank_cache: Arc::clone(&self.rank_cache),
+        }
     }
 
     /// Read access to the repository.
@@ -340,6 +384,10 @@ impl QueryEngine {
                 Status::Bypass,
             ));
         }
+        // The key is generation-independent (form + user only): a pinned
+        // snapshot validates entries against its own epoch vector instead,
+        // so serve-stale degradation can still find the superseded entry
+        // after a writer commits.
         let key = form_fingerprint(form, opts.user);
         // Blocking behind an identical in-flight query is bounded by both
         // the explicit wait and whatever remains of the request budget.
@@ -347,12 +395,21 @@ impl QueryEngine {
             (Some(w), Some(r)) => Some(w.min(r)),
             (w, r) => w.or(r),
         };
-        let (result, status) = self.results.get_or_compute_filtered(
-            key,
-            wait,
-            || self.search_uncached(form, opts.user),
-            QueryError::cacheable_failure,
-        );
+        let (result, status) = match opts.at {
+            None => self.results.get_or_compute_filtered(
+                key,
+                wait,
+                || self.search_uncached(form, opts.user),
+                QueryError::cacheable_failure,
+            ),
+            Some(stamp) => self.results.get_or_compute_filtered_at(
+                key,
+                stamp,
+                wait,
+                || self.search_uncached(form, opts.user),
+                QueryError::cacheable_failure,
+            ),
+        };
         let err = match result {
             Ok(out) => return Ok((out, status)),
             Err(CacheError::Compute(e)) => e,

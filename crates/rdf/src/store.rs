@@ -3,6 +3,7 @@
 use crate::term::{Term, TermDict, TermId};
 use std::collections::BTreeSet;
 use std::ops::Bound;
+use std::sync::Arc;
 
 /// A triple of interned term ids.
 pub type IdTriple = (TermId, TermId, TermId);
@@ -12,12 +13,16 @@ pub type IdPattern = (Option<TermId>, Option<TermId>, Option<TermId>);
 
 /// A dictionary-encoded RDF graph with three full orderings, so every
 /// pattern shape is answered by a range scan on its best index.
-#[derive(Debug, Default)]
+///
+/// The dictionary and all three orderings sit behind `Arc`, so cloning the
+/// store (an MVCC reader version) is four refcount bumps; a writer's next
+/// mutation copies only the structures it touches (`Arc::make_mut`).
+#[derive(Debug, Default, Clone)]
 pub struct TripleStore {
-    dict: TermDict,
-    spo: BTreeSet<(TermId, TermId, TermId)>,
-    pos: BTreeSet<(TermId, TermId, TermId)>,
-    osp: BTreeSet<(TermId, TermId, TermId)>,
+    dict: Arc<TermDict>,
+    spo: Arc<BTreeSet<(TermId, TermId, TermId)>>,
+    pos: Arc<BTreeSet<(TermId, TermId, TermId)>>,
+    osp: Arc<BTreeSet<(TermId, TermId, TermId)>>,
 }
 
 impl TripleStore {
@@ -45,24 +50,25 @@ impl TripleStore {
     // Dictionary growth is invisible to queries: no triple changes, so no
     // cached result can go stale. // xlint: allow(epoch-bump-on-mutate)
     pub fn intern(&mut self, term: Term) -> TermId {
-        self.dict.intern(term)
+        Arc::make_mut(&mut self.dict).intern(term)
     }
 
     /// Inserts a triple of terms. Returns true if it was new.
     pub fn insert(&mut self, s: Term, p: Term, o: Term) -> bool {
-        let s = self.dict.intern(s);
-        let p = self.dict.intern(p);
-        let o = self.dict.intern(o);
+        let dict = Arc::make_mut(&mut self.dict);
+        let s = dict.intern(s);
+        let p = dict.intern(p);
+        let o = dict.intern(o);
         self.insert_ids((s, p, o))
     }
 
     /// Inserts an id triple. Returns true if it was new.
     pub fn insert_ids(&mut self, (s, p, o): IdTriple) -> bool {
-        if !self.spo.insert((s, p, o)) {
+        if !Arc::make_mut(&mut self.spo).insert((s, p, o)) {
             return false;
         }
-        self.pos.insert((p, o, s));
-        self.osp.insert((o, s, p));
+        Arc::make_mut(&mut self.pos).insert((p, o, s));
+        Arc::make_mut(&mut self.osp).insert((o, s, p));
         debug_assert!(
             self.pos.len() == self.spo.len() && self.osp.len() == self.spo.len(),
             "index orderings diverged on insert"
@@ -78,11 +84,11 @@ impl TripleStore {
         else {
             return false;
         };
-        if !self.spo.remove(&(s, p, o)) {
+        if !Arc::make_mut(&mut self.spo).remove(&(s, p, o)) {
             return false;
         }
-        self.pos.remove(&(p, o, s));
-        self.osp.remove(&(o, s, p));
+        Arc::make_mut(&mut self.pos).remove(&(p, o, s));
+        Arc::make_mut(&mut self.osp).remove(&(o, s, p));
         debug_assert!(
             self.pos.len() == self.spo.len() && self.osp.len() == self.spo.len(),
             "index orderings diverged on remove"
@@ -97,10 +103,15 @@ impl TripleStore {
             return 0;
         };
         let doomed: Vec<IdTriple> = self.match_ids((Some(sid), None, None)).collect();
-        for (s, p, o) in &doomed {
-            self.spo.remove(&(*s, *p, *o));
-            self.pos.remove(&(*p, *o, *s));
-            self.osp.remove(&(*o, *s, *p));
+        if !doomed.is_empty() {
+            let spo = Arc::make_mut(&mut self.spo);
+            let pos = Arc::make_mut(&mut self.pos);
+            let osp = Arc::make_mut(&mut self.osp);
+            for (s, p, o) in &doomed {
+                spo.remove(&(*s, *p, *o));
+                pos.remove(&(*p, *o, *s));
+                osp.remove(&(*o, *s, *p));
+            }
         }
         if !doomed.is_empty() {
             sensormeta_cache::clock().bump(sensormeta_cache::Domain::Triples);
@@ -164,12 +175,14 @@ impl TripleStore {
             return Vec::new();
         };
         self.match_ids((s, p, o))
-            .map(|(s, p, o)| {
-                (
-                    self.dict.term(s).expect("interned").clone(),
-                    self.dict.term(p).expect("interned").clone(),
-                    self.dict.term(o).expect("interned").clone(),
-                )
+            .filter_map(|(s, p, o)| {
+                // Index invariants guarantee every id is interned; skip rather
+                // than panic if a corrupted store ever violates that.
+                Some((
+                    self.dict.term(s)?.clone(),
+                    self.dict.term(p)?.clone(),
+                    self.dict.term(o)?.clone(),
+                ))
             })
             .collect()
     }
@@ -177,7 +190,7 @@ impl TripleStore {
     /// All distinct subjects.
     pub fn subjects(&self) -> Vec<TermId> {
         let mut out: Vec<TermId> = Vec::new();
-        for (s, _, _) in &self.spo {
+        for (s, _, _) in self.spo.iter() {
             if out.last() != Some(s) {
                 out.push(*s);
             }
@@ -189,7 +202,7 @@ impl TripleStore {
     /// recommendation engine's property scoring).
     pub fn predicate_counts(&self) -> Vec<(TermId, usize)> {
         let mut out: Vec<(TermId, usize)> = Vec::new();
-        for (p, _, _) in &self.pos {
+        for (p, _, _) in self.pos.iter() {
             match out.last_mut() {
                 Some((last, n)) if last == p => *n += 1,
                 _ => out.push((*p, 1)),
@@ -216,7 +229,7 @@ impl TripleStore {
                 self.osp.len()
             ));
         }
-        for &(s, p, o) in &self.spo {
+        for &(s, p, o) in self.spo.iter() {
             if !self.pos.contains(&(p, o, s)) {
                 problems.push(format!("triple ({s:?}, {p:?}, {o:?}) missing from POS"));
             }
@@ -406,7 +419,7 @@ mod tests {
         let s = lopsided.intern(Term::iri("ex:rogue"));
         let p = lopsided.intern(Term::iri("ex:p"));
         let o = lopsided.intern(Term::lit("x"));
-        lopsided.spo.insert((s, p, o));
+        Arc::make_mut(&mut lopsided.spo).insert((s, p, o));
         let problems = lopsided.check_invariants().unwrap_err();
         assert!(
             problems
@@ -422,9 +435,9 @@ mod tests {
         // A triple referencing an id the dictionary never issued.
         let mut dangling = store();
         let ghost = TermId(9999);
-        dangling.spo.insert((ghost, ghost, ghost));
-        dangling.pos.insert((ghost, ghost, ghost));
-        dangling.osp.insert((ghost, ghost, ghost));
+        Arc::make_mut(&mut dangling.spo).insert((ghost, ghost, ghost));
+        Arc::make_mut(&mut dangling.pos).insert((ghost, ghost, ghost));
+        Arc::make_mut(&mut dangling.osp).insert((ghost, ghost, ghost));
         let problems = dangling.check_invariants().unwrap_err();
         assert!(
             problems.iter().any(|m| m.contains("dangling term id")),

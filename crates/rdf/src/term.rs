@@ -115,7 +115,7 @@ impl fmt::Display for Term {
 }
 
 /// Bidirectional term ↔ id dictionary.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct TermDict {
     terms: Vec<Term>,
     ids: HashMap<Term, TermId>,

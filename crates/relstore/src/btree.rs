@@ -45,7 +45,7 @@ impl Node {
 }
 
 /// A B-tree index from composite keys to RowId postings.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BTreeIndex {
     root: Box<Node>,
     /// Enforce at most one RowId per key.
@@ -141,19 +141,22 @@ impl BTreeIndex {
                     }
                     ins
                 };
-                let split = (node.keys.len() > MAX_KEYS).then(|| Self::split(node));
+                let split = (node.keys.len() > MAX_KEYS)
+                    .then(|| Self::split(node))
+                    .flatten();
                 (inserted, split)
             }
         }
     }
 
-    /// Splits an over-full node, returning (median key, median postings, right sibling).
-    fn split(node: &mut Node) -> Split {
+    /// Splits an over-full node, returning (median key, median postings,
+    /// right sibling). `None` only for an empty node, which an over-full
+    /// node never is; callers treat it as "no split happened".
+    fn split(node: &mut Node) -> Option<Split> {
         let mid = node.keys.len() / 2;
         let right_keys = node.keys.split_off(mid + 1);
         let right_postings = node.postings.split_off(mid + 1);
-        let mid_key = node.keys.pop().expect("mid key exists");
-        let mid_post = node.postings.pop().expect("mid posting exists");
+        let (mid_key, mid_post) = node.keys.pop().zip(node.postings.pop())?;
         debug_assert!(
             node.keys.last().is_none_or(|k| *k < mid_key)
                 && right_keys.first().is_none_or(|k| mid_key < *k),
@@ -164,7 +167,7 @@ impl BTreeIndex {
         } else {
             node.children.split_off(mid + 1)
         };
-        (
+        Some((
             mid_key,
             mid_post,
             Node {
@@ -172,7 +175,7 @@ impl BTreeIndex {
                 postings: right_postings,
                 children: right_children,
             },
-        )
+        ))
     }
 
     /// Removes one (key, RowId) entry. Returns true if it existed.

@@ -64,6 +64,19 @@ impl Database {
         open_impl(vfs, path, None)
     }
 
+    /// A structural copy-on-write clone for MVCC reader versions: every
+    /// table shares its heap pages and index trees (`Arc`) with this
+    /// database until either side mutates, so the clone costs refcount
+    /// bumps, not data copies. The clone carries no durability — WAL file
+    /// handles stay with the writing primary, and published reader
+    /// versions are immutable so they never need to log.
+    pub fn clone_reader(&self) -> Database {
+        Database {
+            catalog: self.catalog.clone(),
+            durability: None,
+        }
+    }
+
     /// True when this database logs mutations to a write-ahead log.
     pub fn is_durable(&self) -> bool {
         self.durability.is_some()

@@ -8,6 +8,7 @@
 
 use crate::error::{RelError, Result};
 use crate::page::{Page, PAGE_SIZE};
+use std::sync::Arc;
 
 /// Largest record stored inline in a page. Anything bigger goes to overflow.
 const MAX_INLINE: usize = PAGE_SIZE / 2;
@@ -37,11 +38,16 @@ impl RowId {
 }
 
 /// An append-friendly heap of byte records.
-#[derive(Debug, Default)]
+///
+/// Pages and overflow records are held behind `Arc` so a clone of the heap
+/// (an MVCC reader version) shares every page structurally; a writer's
+/// first mutation of a shared page copies just that page
+/// (`Arc::make_mut`), never the whole heap.
+#[derive(Debug, Default, Clone)]
 pub struct Heap {
-    pages: Vec<Page>,
+    pages: Vec<Arc<Page>>,
     /// Overflow records; `None` marks a deleted overflow record.
-    overflow: Vec<Option<Vec<u8>>>,
+    overflow: Vec<Option<Arc<Vec<u8>>>>,
     /// Count of live (non-deleted) records across pages and overflow.
     live_records: usize,
 }
@@ -71,7 +77,7 @@ impl Heap {
                 self.live_records -= 1;
                 return Err(RelError::Exec("overflow area full".into()));
             }
-            self.overflow.push(Some(record.to_vec()));
+            self.overflow.push(Some(Arc::new(record.to_vec())));
             return Ok(RowId::overflow(ix as u32));
         }
         // Try the last page first (append workloads), then fall back to a new
@@ -79,7 +85,7 @@ impl Heap {
         // workloads are append-mostly so this stays O(1) amortized.
         if let Some(last) = self.pages.last_mut() {
             if last.fits(record.len()) {
-                let slot = last.insert(record)?;
+                let slot = Arc::make_mut(last).insert(record)?;
                 return Ok(RowId {
                     page: (self.pages.len() - 1) as u32,
                     slot: slot as u32,
@@ -88,7 +94,7 @@ impl Heap {
         }
         let mut page = Page::new();
         let slot = page.insert(record)?;
-        self.pages.push(page);
+        self.pages.push(Arc::new(page));
         Ok(RowId {
             page: (self.pages.len() - 1) as u32,
             slot: slot as u32,
@@ -101,7 +107,8 @@ impl Heap {
             return self
                 .overflow
                 .get(id.slot as usize)
-                .and_then(|r| r.as_deref());
+                .and_then(|r| r.as_deref())
+                .map(|v| v.as_slice());
         }
         self.pages.get(id.page as usize)?.get(id.slot as u16)
     }
@@ -117,9 +124,12 @@ impl Heap {
                 _ => false,
             }
         } else {
+            let slot = id.slot as u16;
             self.pages
                 .get_mut(id.page as usize)
-                .is_some_and(|p| p.delete(id.slot as u16))
+                // `make_mut` only copies when the page is shared with a
+                // live snapshot *and* the slot is actually deleted below.
+                .is_some_and(|p| p.get(slot).is_some() && Arc::make_mut(p).delete(slot))
         };
         if deleted {
             self.live_records -= 1;
@@ -140,11 +150,10 @@ impl Heap {
                 )
             })
         });
-        let spilled = self
-            .overflow
-            .iter()
-            .enumerate()
-            .filter_map(|(ix, r)| r.as_deref().map(|r| (RowId::overflow(ix as u32), r)));
+        let spilled = self.overflow.iter().enumerate().filter_map(|(ix, r)| {
+            r.as_deref()
+                .map(|r| (RowId::overflow(ix as u32), r.as_slice()))
+        });
         inline.chain(spilled)
     }
 
@@ -152,7 +161,7 @@ impl Heap {
     pub fn vacuum(&mut self) {
         for page in &mut self.pages {
             if page.dead_space() > PAGE_SIZE / 4 {
-                page.compact();
+                Arc::make_mut(page).compact();
             }
         }
     }
@@ -217,7 +226,7 @@ impl Heap {
                 .get(*pos..end)
                 .ok_or_else(|| RelError::Snapshot("heap page truncated".into()))?;
             *pos = end;
-            pages.push(Page::from_bytes(bytes)?);
+            pages.push(Arc::new(Page::from_bytes(bytes)?));
         }
         let nover = read_varint(buf, pos)? as usize;
         let mut overflow = Vec::with_capacity(nover.min(1 << 20));
@@ -235,7 +244,7 @@ impl Heap {
                     .get(*pos..end)
                     .ok_or_else(|| RelError::Snapshot("overflow record truncated".into()))?;
                 *pos = end;
-                overflow.push(Some(bytes.to_vec()));
+                overflow.push(Some(Arc::new(bytes.to_vec())));
             }
         }
         let mut heap = Heap {
@@ -339,7 +348,7 @@ mod tests {
             bytes[2..4].copy_from_slice(&u16::MAX.to_le_bytes());
             bytes
         };
-        h.pages[0] = Page::from_bytes(&raw).unwrap();
+        h.pages[0] = Arc::new(Page::from_bytes(&raw).unwrap());
         let problems = h.check_invariants().unwrap_err();
         assert!(
             problems.iter().any(|m| m.starts_with("page 0:")),

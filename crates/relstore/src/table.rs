@@ -7,6 +7,7 @@ use crate::heap::{Heap, RowId};
 use crate::schema::TableSchema;
 use crate::value::Value;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Definition of one secondary index.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,13 +21,18 @@ pub struct IndexDef {
 }
 
 /// A table with its storage and indexes.
-#[derive(Debug)]
+///
+/// Cloning a table is a structural copy-on-write clone: the heap shares
+/// its pages and every index tree is shared behind an `Arc` until the
+/// clone's owner mutates it. This is what makes MVCC reader versions
+/// cheap to publish.
+#[derive(Debug, Clone)]
 pub struct Table {
     /// The table's schema.
     pub schema: TableSchema,
     heap: Heap,
     /// Indexes by name. BTreeMap keeps snapshot output deterministic.
-    indexes: BTreeMap<String, (IndexDef, BTreeIndex)>,
+    indexes: BTreeMap<String, (IndexDef, Arc<BTreeIndex>)>,
 }
 
 impl Table {
@@ -76,7 +82,8 @@ impl Table {
                 .insert(key, rid)
                 .map_err(|e| named_violation(e, &def.name))?;
         }
-        self.indexes.insert(def.name.clone(), (def, index));
+        self.indexes
+            .insert(def.name.clone(), (def, Arc::new(index)));
         Ok(())
     }
 
@@ -104,7 +111,7 @@ impl Table {
                     Some((bdef, _)) => def.unique && !bdef.unique,
                 };
                 if better {
-                    best = Some((def, ix));
+                    best = Some((def, ix.as_ref()));
                 }
             }
         }
@@ -132,7 +139,7 @@ impl Table {
         let rid = self.heap.insert(&buf)?;
         for (def, index) in self.indexes.values_mut() {
             let key = def.columns.iter().map(|&c| row[c].clone()).collect();
-            index
+            Arc::make_mut(index)
                 .insert(key, rid)
                 .map_err(|e| named_violation(e, &def.name))?;
         }
@@ -158,7 +165,7 @@ impl Table {
         self.heap.delete(rid);
         for (def, index) in self.indexes.values_mut() {
             let key = def.columns.iter().map(|&c| row[c].clone()).collect();
-            index.remove(&key, rid);
+            Arc::make_mut(index).remove(&key, rid);
         }
         Ok(true)
     }
@@ -186,26 +193,29 @@ impl Table {
         self.heap.delete(rid);
         for (def, index) in self.indexes.values_mut() {
             let key = def.columns.iter().map(|&c| old_row[c].clone()).collect();
-            index.remove(&key, rid);
+            Arc::make_mut(index).remove(&key, rid);
         }
         let mut buf = Vec::new();
         encode_row(&new_row, &mut buf);
         let new_rid = self.heap.insert(&buf)?;
         for (def, index) in self.indexes.values_mut() {
             let key = def.columns.iter().map(|&c| new_row[c].clone()).collect();
-            index
+            Arc::make_mut(index)
                 .insert(key, new_rid)
                 .map_err(|e| named_violation(e, &def.name))?;
         }
         Ok(new_rid)
     }
 
-    /// Full scan of decoded rows.
+    /// Full scan of decoded rows. Every stored record was produced by
+    /// `encode_row`, so decoding normally never fails; a record that does
+    /// fail (heap corruption) is skipped rather than panicking the scan —
+    /// `fsck` is the tool that reports it.
     pub fn scan(&self) -> impl Iterator<Item = (RowId, Vec<Value>)> + '_ {
-        self.heap.scan().map(|(rid, rec)| {
+        self.heap.scan().filter_map(|(rid, rec)| {
             let mut pos = 0;
-            let row = decode_row(rec, &mut pos).expect("stored rows are well-formed");
-            (rid, row)
+            let row = decode_row(rec, &mut pos).ok()?;
+            Some((rid, row))
         })
     }
 
@@ -362,6 +372,7 @@ mod tests {
             .unwrap();
         let rid = t.scan().next().unwrap().0;
         let (_, index) = t.indexes.get_mut("sensors_id_unique").unwrap();
+        let index = Arc::make_mut(index);
         index.remove(&vec![Value::Int(1)], rid);
         index.insert(vec![Value::Int(99)], rid).unwrap();
         let problems = t.check_invariants().unwrap_err();

@@ -6,8 +6,8 @@
 //! (bar/pie/map/graph/hypergraph), recommendations, and live tag clouds.
 
 use crate::http::{url_encode, Request, Response};
-use parking_lot::RwLock;
-use sensormeta_cache::Status;
+use parking_lot::Mutex;
+use sensormeta_cache::{Domain, Status, ALL_DOMAINS};
 use sensormeta_obs as obs;
 use sensormeta_query::{
     CondOp, Condition, QueryEngine, QueryError, SearchForm, SearchOptions, SortBy,
@@ -15,6 +15,7 @@ use sensormeta_query::{
 use sensormeta_resil::{self as resil, Admission, Breaker, BreakerConfig, Deadline};
 use sensormeta_smr::{parse_csv, parse_jsonl};
 use sensormeta_tagging::{suggest_tags, CloudCache, CloudParams, TagCloud, TagStore};
+use sensormeta_tx::{Mvcc, Snapshot};
 use sensormeta_viz as viz;
 use serde_json::json;
 use std::sync::Arc;
@@ -81,10 +82,20 @@ impl AppConfig {
     }
 }
 
-/// Shared application state.
+/// Shared application state, organized around MVCC snapshot isolation:
+/// every read request opens a [`Snapshot`] of the published engine at
+/// admission and sees one epoch-consistent generation for its whole
+/// lifetime, while writers mutate the private `primary` copy (which owns
+/// the WAL) and publish a new version when done — readers are never
+/// blocked by a writer, and a writer never waits for readers to drain.
 pub struct App {
-    engine: RwLock<QueryEngine>,
-    tags: RwLock<TagStore>,
+    /// The writer's engine: the only mutable copy, owner of the durability
+    /// handle. The mutex serializes committers; read paths never touch it.
+    primary: Mutex<QueryEngine>,
+    /// Published engine versions; committers swap in `primary.clone_reader()`
+    /// here and old versions are GC'd once no snapshot pins them.
+    engine: Mvcc<QueryEngine>,
+    tags: Mvcc<TagStore>,
     cloud_cache: CloudCache,
     /// Single-flight wait deadline for cached query paths; `None` disables
     /// the bound (`SENSORMETA_CACHE_WAIT_MS=0`).
@@ -151,8 +162,9 @@ impl App {
             tags.ingest(pairs.iter().map(|(p, t)| (p.as_str(), t.as_str())));
         }
         App {
-            engine: RwLock::new(engine),
-            tags: RwLock::new(tags),
+            engine: Mvcc::new(engine.clone_reader()),
+            primary: Mutex::new(engine),
+            tags: Mvcc::new(tags),
             cloud_cache: CloudCache::new(),
             cache_wait: cfg.cache_wait,
             deadline: cfg.deadline,
@@ -170,6 +182,34 @@ impl App {
     /// The tag-cloud circuit breaker (exposed for tests and diagnostics).
     pub fn cloud_breaker(&self) -> &Breaker {
         &self.breaker_cloud
+    }
+
+    /// Opens a read snapshot of the published engine — exactly what every
+    /// read request does at admission. Exposed for the isolation tests and
+    /// the concurrency bench.
+    pub fn engine_snapshot(&self) -> Snapshot<QueryEngine> {
+        self.engine.snapshot()
+    }
+
+    /// Sequence number of the currently published engine version.
+    pub fn engine_seq(&self) -> u64 {
+        self.engine.seq()
+    }
+
+    /// Runs `mutate` on the primary engine under the committer lock, then
+    /// rebuilds derived structures and publishes the next version. This is
+    /// the programmatic write path (tests, bench) — `POST /bulkload` is the
+    /// HTTP spelling of the same sequence.
+    pub fn commit_engine<E>(
+        &self,
+        mutate: impl FnOnce(&mut QueryEngine) -> std::result::Result<(), E>,
+    ) -> std::result::Result<u64, E> {
+        let mut primary = self.primary.lock();
+        mutate(&mut primary)?;
+        Ok(self
+            .engine
+            .begin()
+            .publish(&ALL_DOMAINS, primary.clone_reader()))
     }
 
     /// Stable route label for metric names (`http_route_<label>_…`). Unknown
@@ -283,7 +323,7 @@ impl App {
 
     /// Liveness probe: cheap repository touch, plain-text `ok`.
     fn healthz(&self) -> Response {
-        let pages = self.engine.read().smr().page_count();
+        let pages = self.engine.snapshot().smr().page_count();
         Response {
             status: 200,
             content_type: "text/plain; charset=utf-8".into(),
@@ -293,7 +333,7 @@ impl App {
     }
 
     fn home(&self) -> Response {
-        let engine = self.engine.read();
+        let engine = self.engine.snapshot();
         let count = engine.smr().page_count();
         let stats_html = engine
             .smr()
@@ -384,7 +424,7 @@ impl App {
 
     fn search(&self, req: &Request) -> Response {
         let form = Self::form_from(req);
-        let engine = self.engine.read();
+        let engine = self.engine.snapshot();
         if !self.breaker_query.allow() {
             // Open circuit: don't touch the backend at all — answer from the
             // stale holdover if one exists, shed otherwise.
@@ -401,6 +441,10 @@ impl App {
             wait: self.cache_wait,
             user: req.param("user"),
             stale_ok: true,
+            // Pin the cache to this request's snapshot generation: the
+            // whole request sees one epoch vector even if a writer commits
+            // mid-flight.
+            at: Some(engine.epochs()),
             ..SearchOptions::default()
         };
         match engine.search_shared(&form, &opts) {
@@ -496,7 +540,7 @@ impl App {
     fn autocomplete(&self, req: &Request) -> Response {
         let prefix = req.param_or("prefix", "");
         let k = req.param("k").and_then(|k| k.parse().ok()).unwrap_or(10);
-        let suggestions = self.engine.read().autocomplete(prefix, k);
+        let suggestions = self.engine.snapshot().autocomplete(prefix, k);
         let arr: Vec<serde_json::Value> = suggestions
             .into_iter()
             .map(|(s, w)| json!({"suggestion": s, "weight": w}))
@@ -505,7 +549,7 @@ impl App {
     }
 
     fn attributes(&self) -> Response {
-        let engine = self.engine.read();
+        let engine = self.engine.snapshot();
         let attrs = engine.smr().attributes().unwrap_or_default();
         let arr: Vec<serde_json::Value> = attrs
             .into_iter()
@@ -521,13 +565,13 @@ impl App {
         let Some(title) = req.param("title") else {
             return Response::error(400, "missing ?title=");
         };
-        let recs = self.engine.read().recommend(&[title], 10);
+        let recs = self.engine.snapshot().recommend(&[title], 10);
         json_or_500(serde_json::to_string(&recs))
     }
 
     fn page(&self, raw_title: &str) -> Response {
         let title = raw_title.to_owned();
-        let engine = self.engine.read();
+        let engine = self.engine.snapshot();
         match engine.smr().get_page(&title) {
             Ok(Some(page)) => {
                 let ann: String = page
@@ -587,18 +631,31 @@ impl App {
         } else {
             parse_jsonl(&body)
         };
-        let mut engine = self.engine.write();
-        let mut report = engine.smr_mut().bulk_load(drafts);
+        // Serialized committer path: mutate the private primary (WAL-logged
+        // inside bulk_load), rebuild its derived structures, then publish a
+        // reader clone as the next version. Readers on open snapshots are
+        // untouched; new requests admit onto the rebuilt engine.
+        let mut primary = self.primary.lock();
+        let mut report = primary.smr_mut().bulk_load(drafts);
         report.errors.extend(parse_errors);
-        if let Err(e) = engine.rebuild() {
+        if let Err(e) = primary.rebuild() {
             return Response::error(500, e.to_string());
         }
+        self.engine
+            .begin()
+            .publish(&ALL_DOMAINS, primary.clone_reader());
         // Refresh the tag store from the updated repository.
-        let mut tags = self.tags.write();
-        *tags = TagStore::new();
-        if let Ok(pairs) = engine.smr().all_tags() {
-            tags.ingest(pairs.iter().map(|(p, t)| (p.as_str(), t.as_str())));
+        let mut fresh = TagStore::new();
+        if let Ok(pairs) = primary.smr().all_tags() {
+            fresh.ingest(pairs.iter().map(|(p, t)| (p.as_str(), t.as_str())));
         }
+        drop(primary);
+        let _ = self
+            .tags
+            .commit(&[Domain::TagIncidence], |t: &mut TagStore| {
+                *t = fresh;
+                Ok::<(), std::convert::Infallible>(())
+            });
         json_or_500(serde_json::to_string(&report))
     }
 
@@ -606,7 +663,13 @@ impl App {
         let (Some(page), Some(tag)) = (req.param("page"), req.param("tag")) else {
             return Response::error(400, "need ?page= and ?tag=");
         };
-        let added = self.tags.write().add(page, tag);
+        let mut added = false;
+        let _ = self
+            .tags
+            .commit(&[Domain::TagIncidence], |t: &mut TagStore| {
+                added = t.add(page, tag);
+                Ok::<(), std::convert::Infallible>(())
+            });
         Response::json(json!({"added": added}).to_string())
     }
 
@@ -615,7 +678,7 @@ impl App {
         let Some(q) = req.param("q") else {
             return Response::error(400, "missing ?q=SELECT …");
         };
-        let engine = self.engine.read();
+        let engine = self.engine.snapshot();
         let upper = q.trim_start().to_uppercase();
         if !upper.starts_with("SELECT") && !upper.starts_with("EXPLAIN") {
             return Response::error(400, "only SELECT / EXPLAIN are allowed here");
@@ -647,7 +710,7 @@ impl App {
         let Some(q) = req.param("q") else {
             return Response::error(400, "missing ?q=SELECT …");
         };
-        let engine = self.engine.read();
+        let engine = self.engine.snapshot();
         match engine.smr().sparql(q) {
             Ok(sols) => {
                 let rows: Vec<Vec<Option<String>>> = sols
@@ -667,7 +730,7 @@ impl App {
 
     /// Dumps the RDF mirror as Turtle (the SMR's export format).
     fn export_turtle(&self) -> Response {
-        let engine = self.engine.read();
+        let engine = self.engine.snapshot();
         let store = engine.smr().rdf();
         let triples: Vec<(
             sensormeta_rdf::Term,
@@ -689,7 +752,7 @@ impl App {
             return Response::error(400, "missing ?page=");
         };
         let k = req.param("k").and_then(|k| k.parse().ok()).unwrap_or(5);
-        let tags = self.tags.read();
+        let tags = self.tags.snapshot();
         let suggestions = suggest_tags(&tags, page, k);
         let arr: Vec<serde_json::Value> = suggestions
             .into_iter()
@@ -702,7 +765,7 @@ impl App {
     /// tag clouds) and bumps all invalidation epochs, so the next request on
     /// each path recomputes from the stores.
     fn admin_cache_clear(&self) -> Response {
-        self.engine.read().clear_caches();
+        self.engine.snapshot().clear_caches();
         self.cloud_cache.clear();
         sensormeta_cache::clock().bump_all();
         obs::counter("cache_admin_clears_total").inc();
@@ -720,7 +783,7 @@ impl App {
                     .with_header("Retry-After", retry_after_secs().to_string())),
             };
         }
-        let tags = self.tags.read();
+        let tags = self.tags.snapshot();
         match self
             .cloud_cache
             .try_get_with_status(&tags, &CloudParams::default())
@@ -790,7 +853,7 @@ impl App {
     fn facet_data(&self, req: &Request) -> Result<(String, Vec<viz::Datum>), Response> {
         let attribute = req.param_or("attribute", "measuresQuantity").to_owned();
         let form = Self::form_from(req);
-        let engine = self.engine.read();
+        let engine = self.engine.snapshot();
         let out = if form.is_empty() {
             // No query: facet over everything via SQL.
             let rs = engine
@@ -842,7 +905,7 @@ impl App {
 
     fn viz_map(&self, req: &Request) -> Response {
         let form = Self::form_from(req);
-        let engine = self.engine.read();
+        let engine = self.engine.snapshot();
         let out = match engine.search(&form, req.param("user")) {
             Ok(o) => o,
             Err(e) => return Response::error(400, e.to_string()),
@@ -866,7 +929,7 @@ impl App {
     }
 
     fn viz_graph(&self, req: &Request) -> Response {
-        let engine = self.engine.read();
+        let engine = self.engine.snapshot();
         let (semantic, hyperlink, titles) = match engine.smr().link_graphs() {
             Ok(g) => g,
             Err(e) => return Response::error(500, e.to_string()),
@@ -910,7 +973,7 @@ impl App {
     }
 
     fn viz_hypergraph(&self, req: &Request) -> Response {
-        let engine = self.engine.read();
+        let engine = self.engine.snapshot();
         let (_, hyperlink, titles) = match engine.smr().link_graphs() {
             Ok(g) => g,
             Err(e) => return Response::error(500, e.to_string()),

@@ -81,6 +81,17 @@ impl Smr {
         Ok((smr, report))
     }
 
+    /// A cheap read-only clone for MVCC snapshot publication: shares every
+    /// page, index and triple ordering with `self` (copy-on-write `Arc`s all
+    /// the way down) but carries no durability handle, so it never logs and
+    /// can be handed to concurrent readers while `self` keeps writing.
+    pub fn clone_reader(&self) -> Smr {
+        Smr {
+            db: self.db.clone_reader(),
+            rdf: self.rdf.clone(),
+        }
+    }
+
     /// Folds the write-ahead log into a fresh snapshot (no-op for
     /// repositories that are not durable).
     // Pure durability maintenance: no page, tag or triple changes, so no

@@ -1,0 +1,444 @@
+//! # sensormeta-tx
+//!
+//! MVCC snapshot isolation for the sensormeta stores: a versioned,
+//! copy-on-write publication cell ([`Mvcc`]) whose readers each hold a
+//! consistent point-in-time [`Snapshot`] while a single serialized writer
+//! commits new versions.
+//!
+//! The design is shadow paging rather than undo/redo:
+//!
+//! - Every published version is immutable and reference-counted. Opening a
+//!   snapshot is one atomic `Arc` clone under a briefly-held `RwLock` —
+//!   readers never wait on a writer's work, only on the pointer swap.
+//! - Writers serialize on an internal mutex, build the next version as a
+//!   structural copy-on-write clone of the current one (see
+//!   `Database::clone_reader` / `TripleStore`'s `Arc`-shared indexes, which
+//!   make the clone a handful of refcount bumps), apply their changes, and
+//!   publish with a single pointer swap. A commit that errors publishes
+//!   nothing — readers can never observe a partial transaction.
+//! - Each version is stamped with the [`EpochClock`] vector taken *after*
+//!   the commit's domain bumps, so the epoch vector is the snapshot
+//!   identifier: the shared result cache keys entries by it, and a snapshot
+//!   whose vector still matches the live clock is the current version.
+//! - Old versions are garbage-collected by refcount: when the last
+//!   snapshot pinning a superseded version drops, the version frees. The
+//!   cell keeps only `Weak` history handles for accounting
+//!   (`tx_versions_live`), never strong pins.
+//!
+//! Durability stays where it was: writers that mutate a durable store go
+//! through the relstore WAL *inside* their commit closure, before the
+//! publish. A crash mid-commit therefore recovers via WAL replay while no
+//! published snapshot ever exposed the partial state.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use sensormeta_cache::{clock, Domain, EpochClock, EpochVector};
+use sensormeta_obs as obs;
+use std::ops::Deref;
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, Weak};
+
+/// One immutable published version of the guarded state.
+#[derive(Debug)]
+struct Version<T> {
+    data: T,
+    /// The epoch-clock vector at publish time (after the commit's bumps):
+    /// the snapshot identifier the result cache keys by.
+    epochs: EpochVector,
+    /// Monotonic publication sequence number, starting at 0 for the
+    /// initial version.
+    seq: u64,
+}
+
+/// A consistent point-in-time view of the state guarded by an [`Mvcc`].
+///
+/// Cloning a snapshot is an `Arc` clone; dropping the last handle to a
+/// superseded version frees it. Dereferences to the guarded `T`.
+pub struct Snapshot<T> {
+    version: Arc<Version<T>>,
+    live: Arc<()>,
+}
+
+impl<T> Snapshot<T> {
+    /// The epoch vector this version was stamped with at publish time.
+    pub fn epochs(&self) -> EpochVector {
+        self.version.epochs
+    }
+
+    /// The publication sequence number of this version (0 = initial).
+    pub fn seq(&self) -> u64 {
+        self.version.seq
+    }
+}
+
+impl<T> Clone for Snapshot<T> {
+    fn clone(&self) -> Self {
+        Snapshot {
+            version: Arc::clone(&self.version),
+            live: Arc::clone(&self.live),
+        }
+    }
+}
+
+impl<T> Deref for Snapshot<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.version.data
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Snapshot<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("seq", &self.version.seq)
+            .field("epochs", &self.version.epochs)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The clock versions are stamped by: the process-global one, or an
+/// explicit clock for test isolation.
+#[derive(Debug)]
+enum ClockRef {
+    Global,
+    Owned(Arc<EpochClock>),
+}
+
+impl ClockRef {
+    fn get(&self) -> &EpochClock {
+        match self {
+            ClockRef::Global => clock(),
+            ClockRef::Owned(c) => c,
+        }
+    }
+}
+
+/// A multi-version publication cell: lock-free-ish snapshot reads (one
+/// briefly-held pointer lock), a single serialized writer, refcount GC of
+/// superseded versions.
+#[derive(Debug)]
+pub struct Mvcc<T> {
+    /// The current published version. The lock is held only long enough to
+    /// clone or swap the `Arc` — never across a reader's use of the data or
+    /// a writer's commit work.
+    current: RwLock<Arc<Version<T>>>,
+    /// Serializes committers. Guards the seq counter so publish order and
+    /// sequence numbers agree.
+    writer: Mutex<u64>,
+    /// Weak handles to superseded versions, for `versions_live` accounting;
+    /// pruned on every publish. Never pins a version.
+    history: Mutex<Vec<Weak<Version<T>>>>,
+    /// One strong reference per open snapshot (minus our own), for the
+    /// `tx_snapshots_live` gauge.
+    live: Arc<()>,
+    clock: ClockRef,
+}
+
+/// Exclusive access to the committer side of an [`Mvcc`], for writers that
+/// keep their own mutable primary copy of the state and publish read-only
+/// clones of it (the server's query engine does this so the WAL-owning
+/// primary never needs to be cloned through `T: Clone`).
+#[derive(Debug)]
+pub struct Committer<'a, T> {
+    cell: &'a Mvcc<T>,
+    guard: MutexGuard<'a, u64>,
+}
+
+impl<T> Mvcc<T> {
+    /// A cell whose initial version holds `data`, stamped with the current
+    /// global clock.
+    pub fn new(data: T) -> Mvcc<T> {
+        Mvcc::build(data, ClockRef::Global)
+    }
+
+    /// A cell stamping versions against an explicit clock (test isolation —
+    /// the global clock is bumped by every mutation in the process).
+    pub fn with_clock(data: T, clock: Arc<EpochClock>) -> Mvcc<T> {
+        Mvcc::build(data, ClockRef::Owned(clock))
+    }
+
+    fn build(data: T, clock: ClockRef) -> Mvcc<T> {
+        let epochs = clock.get().snapshot();
+        Mvcc {
+            current: RwLock::new(Arc::new(Version {
+                data,
+                epochs,
+                seq: 0,
+            })),
+            writer: Mutex::new(0),
+            history: Mutex::new(Vec::new()),
+            live: Arc::new(()),
+            clock,
+        }
+    }
+
+    /// Opens a consistent point-in-time snapshot of the current version.
+    ///
+    /// Cost: one `RwLock` read acquisition held across an `Arc` clone. A
+    /// concurrent committer holds the write side only for the pointer swap,
+    /// so readers are never blocked behind the commit's actual work.
+    pub fn snapshot(&self) -> Snapshot<T> {
+        let version = {
+            let cur = read_lock(&self.current);
+            Arc::clone(&cur)
+        };
+        let s = Snapshot {
+            version,
+            live: Arc::clone(&self.live),
+        };
+        obs::gauge("tx_snapshots_live").set(self.snapshots_live() as f64);
+        s
+    }
+
+    /// Number of snapshots currently open (including clones).
+    pub fn snapshots_live(&self) -> usize {
+        // One reference is the cell's own `live` anchor.
+        Arc::strong_count(&self.live).saturating_sub(1)
+    }
+
+    /// Sequence number of the current published version.
+    pub fn seq(&self) -> u64 {
+        read_lock(&self.current).seq
+    }
+
+    /// Epoch vector of the current published version.
+    pub fn epochs(&self) -> EpochVector {
+        read_lock(&self.current).epochs
+    }
+
+    /// Number of versions still reachable: the current one plus every
+    /// superseded version kept alive by an open snapshot. Superseded
+    /// versions with no snapshot pinning them have already been freed by
+    /// their refcount — this reports, it never retains.
+    pub fn versions_live(&self) -> usize {
+        let mut hist = lock(&self.history);
+        hist.retain(|w| w.strong_count() > 0);
+        1 + hist.len()
+    }
+
+    /// Applies `f` to a copy-on-write clone of the current version and, on
+    /// `Ok`, bumps `domains` on the clock, stamps the result with the
+    /// post-bump epoch vector and publishes it as the next version.
+    ///
+    /// On `Err` nothing is published and no epoch is bumped: readers never
+    /// observe a partial commit. Committers serialize on an internal mutex;
+    /// readers keep opening snapshots of the previous version throughout.
+    pub fn commit<E>(
+        &self,
+        domains: &[Domain],
+        f: impl FnOnce(&mut T) -> Result<(), E>,
+    ) -> Result<u64, E>
+    where
+        T: Clone,
+    {
+        let committer = self.begin();
+        let mut data = {
+            let cur = read_lock(&self.current);
+            cur.data.clone()
+        };
+        f(&mut data)?;
+        Ok(committer.publish(domains, data))
+    }
+
+    /// Begins a serialized commit section without cloning the published
+    /// state. The returned [`Committer`] holds the writer lock; writers
+    /// with their own primary copy mutate it, then call
+    /// [`Committer::publish`].
+    pub fn begin(&self) -> Committer<'_, T> {
+        Committer {
+            guard: lock(&self.writer),
+            cell: self,
+        }
+    }
+}
+
+impl<T> Committer<'_, T> {
+    /// A snapshot of the version current at this point in the commit
+    /// section (no other committer can publish while this exists).
+    pub fn base(&self) -> Snapshot<T> {
+        self.cell.snapshot()
+    }
+
+    /// Bumps `domains` on the clock, stamps `data` with the post-bump
+    /// epoch vector, and publishes it as the next version in one pointer
+    /// swap. Returns the new sequence number.
+    pub fn publish(mut self, domains: &[Domain], data: T) -> u64 {
+        let clk = self.cell.clock.get();
+        for &d in domains {
+            clk.bump(d);
+        }
+        let epochs = clk.snapshot();
+        *self.guard += 1;
+        let seq = *self.guard;
+        let next = Arc::new(Version { data, epochs, seq });
+        let prev = {
+            let mut cur = write_lock(&self.cell.current);
+            std::mem::replace(&mut *cur, next)
+        };
+        {
+            let mut hist = lock(&self.cell.history);
+            hist.push(Arc::downgrade(&prev));
+            hist.retain(|w| w.strong_count() > 0);
+            obs::gauge("tx_versions_live").set((1 + hist.len()) as f64);
+        }
+        drop(prev);
+        obs::counter("tx_commits_total").inc();
+        seq
+    }
+}
+
+/// Poison-proof `Mutex` lock: a panicked committer must not wedge every
+/// future reader and writer; the data it was building was private to it
+/// and was never published.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn read_lock<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_lock<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_cell(v: i64) -> (Mvcc<Vec<i64>>, Arc<EpochClock>) {
+        let clk = Arc::new(EpochClock::new());
+        (Mvcc::with_clock(vec![v], Arc::clone(&clk)), clk)
+    }
+
+    #[test]
+    fn snapshot_sees_version_at_open_time() {
+        let (cell, _clk) = test_cell(1);
+        let before = cell.snapshot();
+        cell.commit::<()>(&[Domain::Relational], |v| {
+            v.push(2);
+            Ok(())
+        })
+        .unwrap();
+        let after = cell.snapshot();
+        assert_eq!(*before, vec![1], "old snapshot unchanged");
+        assert_eq!(*after, vec![1, 2]);
+        assert_eq!(before.seq(), 0);
+        assert_eq!(after.seq(), 1);
+    }
+
+    #[test]
+    fn failed_commit_publishes_nothing_and_bumps_nothing() {
+        let (cell, clk) = test_cell(1);
+        let stamp = clk.snapshot();
+        let r = cell.commit(&[Domain::Relational], |v| {
+            v.push(2);
+            Err("boom")
+        });
+        assert_eq!(r, Err("boom"));
+        assert_eq!(*cell.snapshot(), vec![1]);
+        assert_eq!(cell.seq(), 0);
+        assert_eq!(clk.snapshot(), stamp, "no epoch bump on abort");
+    }
+
+    #[test]
+    fn commit_bumps_domains_and_stamps_post_bump_vector() {
+        let (cell, clk) = test_cell(0);
+        cell.commit::<()>(&[Domain::Relational, Domain::Triples], |_| Ok(()))
+            .unwrap();
+        assert_eq!(clk.get(Domain::Relational), 1);
+        assert_eq!(clk.get(Domain::Triples), 1);
+        assert_eq!(clk.get(Domain::WebGraph), 0);
+        let s = cell.snapshot();
+        assert_eq!(s.epochs(), clk.snapshot(), "stamp is post-bump");
+        assert!(clk.matches(&s.epochs(), &sensormeta_cache::ALL_DOMAINS));
+    }
+
+    #[test]
+    fn old_versions_gc_once_unpinned() {
+        let (cell, _clk) = test_cell(0);
+        let pin = cell.snapshot();
+        for i in 0..5 {
+            cell.commit::<()>(&[Domain::Relational], |v| {
+                v.push(i);
+                Ok(())
+            })
+            .unwrap();
+        }
+        // The pinned initial version survives; the three intermediate
+        // versions (seq 1..=4 minus current) were freed as they were
+        // superseded with no snapshot holding them.
+        assert_eq!(cell.versions_live(), 2, "current + pinned initial");
+        drop(pin);
+        assert_eq!(cell.versions_live(), 1, "only current after unpin");
+    }
+
+    #[test]
+    fn snapshot_accounting() {
+        let (cell, _clk) = test_cell(0);
+        assert_eq!(cell.snapshots_live(), 0);
+        let a = cell.snapshot();
+        let b = a.clone();
+        assert_eq!(cell.snapshots_live(), 2);
+        drop(a);
+        assert_eq!(cell.snapshots_live(), 1);
+        drop(b);
+        assert_eq!(cell.snapshots_live(), 0);
+    }
+
+    #[test]
+    fn external_committer_publishes_primary_copy() {
+        let (cell, _clk) = test_cell(0);
+        let mut primary = vec![0];
+        let c = cell.begin();
+        assert_eq!(*c.base(), vec![0]);
+        primary.push(7);
+        let seq = c.publish(&[Domain::WebGraph], primary.clone());
+        assert_eq!(seq, 1);
+        assert_eq!(*cell.snapshot(), vec![0, 7]);
+    }
+
+    #[test]
+    fn committers_serialize_and_readers_do_not_block() {
+        let cell = Arc::new(Mvcc::with_clock(0u64, Arc::new(EpochClock::new())));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        cell.commit::<()>(&[Domain::Relational], |v| {
+                            *v += 1;
+                            Ok(())
+                        })
+                        .unwrap();
+                        let s = cell.snapshot();
+                        assert!(*s <= 200);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(*cell.snapshot(), 200, "no lost updates");
+        assert_eq!(cell.seq(), 200);
+    }
+
+    #[test]
+    fn poisoned_writer_recovers() {
+        let cell = Arc::new(Mvcc::with_clock(0u64, Arc::new(EpochClock::new())));
+        let c2 = Arc::clone(&cell);
+        let _ = std::thread::spawn(move || {
+            c2.commit::<()>(&[], |_| panic!("injected")).ok();
+        })
+        .join();
+        // The cell still works: the panicked commit published nothing.
+        assert_eq!(*cell.snapshot(), 0);
+        cell.commit::<()>(&[], |v| {
+            *v = 9;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(*cell.snapshot(), 9);
+    }
+}

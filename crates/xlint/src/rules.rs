@@ -32,6 +32,10 @@ pub enum Rule {
     /// transitively reach an `EpochClock::bump` of its domain(s), or stale
     /// cached results will be served after the mutation.
     EpochBumpOnMutate,
+    /// Semantic: every public commit/publish path of the `tx` MVCC crate
+    /// must transitively reach an `EpochClock` bump — a published version
+    /// that bumps nothing leaves every cache serving the previous one.
+    EpochBumpOnCommit,
     /// Semantic: durable `Database`/`Smr` mutation paths must reach a WAL
     /// append (`wal_commit`) before — and not after — applying writes.
     WalBeforeWrite,
@@ -55,6 +59,7 @@ impl Rule {
             Rule::NoPrintlnInLib => "no-println-in-lib",
             Rule::NoRawThreadSpawn => "no-raw-thread-spawn",
             Rule::EpochBumpOnMutate => "epoch-bump-on-mutate",
+            Rule::EpochBumpOnCommit => "epoch-bump-on-commit",
             Rule::WalBeforeWrite => "wal-before-write",
             Rule::LockOrder => "lock-order",
             Rule::NoBlockingInPar => "no-blocking-in-par",
@@ -72,6 +77,7 @@ impl Rule {
             "no-println-in-lib" => Some(Rule::NoPrintlnInLib),
             "no-raw-thread-spawn" => Some(Rule::NoRawThreadSpawn),
             "epoch-bump-on-mutate" => Some(Rule::EpochBumpOnMutate),
+            "epoch-bump-on-commit" => Some(Rule::EpochBumpOnCommit),
             "wal-before-write" => Some(Rule::WalBeforeWrite),
             "lock-order" => Some(Rule::LockOrder),
             "no-blocking-in-par" => Some(Rule::NoBlockingInPar),
@@ -90,6 +96,7 @@ impl Rule {
             Rule::NoPrintlnInLib,
             Rule::NoRawThreadSpawn,
             Rule::EpochBumpOnMutate,
+            Rule::EpochBumpOnCommit,
             Rule::WalBeforeWrite,
             Rule::LockOrder,
             Rule::NoBlockingInPar,
@@ -149,6 +156,17 @@ impl Rule {
                  private helper is fine. Mutators that provably change no observable state \
                  (e.g. dictionary interning) may carry \
                  `// xlint: allow(epoch-bump-on-mutate)` with a justification."
+            }
+            Rule::EpochBumpOnCommit => {
+                "Workspace semantic rule. Every public commit/publish entry point of the \
+                 `sensormeta-tx` MVCC crate (`Mvcc::commit`, `Committer::publish`, and any \
+                 future `*commit*` method) must reach — directly or through any chain of \
+                 calls — an `EpochClock` bump. Snapshot validation and cache invalidation \
+                 are driven purely by epoch comparison, so publishing a new version without \
+                 bumping leaves every cache and live reader convinced nothing changed. \
+                 Unlike epoch-bump-on-mutate, the bumped domains are usually parameters \
+                 here, so any bump (named, `bump_all`, or a domain-variable `bump(d)`) \
+                 satisfies the rule."
             }
             Rule::WalBeforeWrite => {
                 "Workspace semantic rule. Public `&mut self` methods of `Database` and \

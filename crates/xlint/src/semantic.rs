@@ -1,9 +1,12 @@
 //! Workspace-level semantic analysis: a cross-file symbol table and
 //! approximate call graph over the items extracted by [`crate::parser`],
-//! plus the four invariant rules built on it:
+//! plus the five invariant rules built on it:
 //!
 //! - **epoch-bump-on-mutate** — every public `&mut self` method of a store
 //!   type must transitively reach an `EpochClock::bump` of its domain.
+//! - **epoch-bump-on-commit** — every public commit/publish entry point of
+//!   the `tx` MVCC crate must transitively reach *some* `EpochClock` bump
+//!   (the domains are parameters there, so any bump counts).
 //! - **wal-before-write** — durable `Database`/`Smr` mutation paths must
 //!   reach a WAL append, and reach it before the first applied write.
 //! - **lock-order** — the cross-crate Mutex/RwLock acquisition graph must
@@ -429,7 +432,16 @@ fn extract_facts(
             Callee::Method { name, recv } => {
                 match name.as_str() {
                     "bump" => {
-                        info.bumps.extend(domains_in_args(lexed, &c.args));
+                        let ds = domains_in_args(lexed, &c.args);
+                        if ds.is_empty() {
+                            // `clk.bump(d)` with a domain *variable* (the tx
+                            // commit path iterates a `&[Domain]` parameter):
+                            // an unknown-domain bump, recorded as `"?"` so
+                            // epoch-bump-on-commit sees that *a* bump happens.
+                            info.bumps.insert("?".to_string());
+                        } else {
+                            info.bumps.extend(ds);
+                        }
                     }
                     "bump_all" => {
                         info.bumps.insert("*".to_string());
@@ -467,14 +479,20 @@ fn extract_facts(
             }
             Callee::Free { path, name } => {
                 if name == "bump" {
-                    info.bumps.extend(domains_in_args(lexed, &c.args));
+                    let ds = domains_in_args(lexed, &c.args);
+                    if ds.is_empty() {
+                        info.bumps.insert("?".to_string());
+                    } else {
+                        info.bumps.extend(ds);
+                    }
                 }
                 if name == "bump_all" {
                     info.bumps.insert("*".to_string());
                 }
-                // The `lock(&self.state)` helper: an acquisition of any
-                // class named in its arguments.
-                if name == "lock" {
+                // The `lock(&self.state)` / `read_lock(&self.current)` /
+                // `write_lock(&self.current)` poison-proof helpers: an
+                // acquisition of any class named in their arguments.
+                if matches!(name.as_str(), "lock" | "read_lock" | "write_lock") {
                     for i in c.args.clone() {
                         if let Some(id) = ident_at(lexed, i) {
                             if classes.contains(id) {
@@ -582,6 +600,80 @@ fn lint_epoch(ws: &Workspace) -> Vec<Violation> {
                     ),
                 });
             }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1b: epoch-bump-on-commit
+// ---------------------------------------------------------------------------
+
+fn lint_epoch_on_commit(ws: &Workspace) -> Vec<Violation> {
+    let in_tx: Vec<usize> = (0..ws.fns.len())
+        .filter(|&i| ws.fns[i].item.file.starts_with("crates/tx/"))
+        .collect();
+    if in_tx.is_empty() {
+        return Vec::new();
+    }
+    // Crate-local method table: inside crates/tx a method call resolves by
+    // name even when the name is globally ambiguous (`publish` also exists
+    // on the cache's single-flight type) — a commit path never leaves the
+    // crate before it bumps.
+    let mut local: HashMap<&str, Vec<usize>> = HashMap::new();
+    for &i in &in_tx {
+        local
+            .entry(ws.fns[i].item.name.as_str())
+            .or_default()
+            .push(i);
+    }
+    let mut out = Vec::new();
+    for &i in &in_tx {
+        let it = &ws.fns[i].item;
+        if !it.is_pub || it.owner.is_none() || !(it.name.contains("commit") || it.name == "publish")
+        {
+            continue;
+        }
+        // BFS over the global call graph plus the crate-local name edges.
+        let mut seen = vec![false; ws.fns.len()];
+        let mut queue = vec![i];
+        seen[i] = true;
+        let mut bumped = false;
+        while let Some(v) = queue.pop() {
+            if !ws.fns[v].bumps.is_empty() {
+                bumped = true;
+                break;
+            }
+            let mut next: BTreeSet<usize> = ws.succ[v].iter().copied().collect();
+            if ws.fns[v].item.file.starts_with("crates/tx/") {
+                for c in &ws.fns[v].calls {
+                    if let Callee::Method { name, .. } = &c.callee {
+                        if let Some(ids) = local.get(name.as_str()) {
+                            next.extend(ids.iter().copied());
+                        }
+                    }
+                }
+            }
+            for j in next {
+                if !seen[j] {
+                    seen[j] = true;
+                    queue.push(j);
+                }
+            }
+        }
+        if !bumped {
+            out.push(Violation {
+                file: it.file.clone(),
+                line: it.line,
+                rule: Rule::EpochBumpOnCommit,
+                message: format!(
+                    "`{}::{}` publishes a new version but no call path from it reaches an \
+                     `EpochClock` bump; snapshot validation and cache invalidation are \
+                     epoch-driven, so the commit is invisible to every reader",
+                    it.owner.as_deref().unwrap_or("?"),
+                    it.name,
+                ),
+            });
         }
     }
     out
@@ -985,6 +1077,7 @@ pub(crate) fn lint_semantic(files: &[(String, Lexed)]) -> Vec<Violation> {
     let ws = build(files);
     let mut out = Vec::new();
     out.extend(lint_epoch(&ws));
+    out.extend(lint_epoch_on_commit(&ws));
     out.extend(lint_wal(&ws));
     out.extend(lint_lock_order(&ws));
     out.extend(lint_no_blocking_in_par(&ws));
@@ -1057,6 +1150,63 @@ mod tests {
              }",
         )]);
         assert!(allowed.is_empty(), "{allowed:?}");
+    }
+
+    #[test]
+    fn tx_commit_must_reach_a_bump() {
+        // `publish` iterates a `&[Domain]` parameter — the domain-variable
+        // `clk.bump(d)` counts, and `commit` reaches it through the
+        // crate-local `committer.publish(…)` edge.
+        let ok = run(&[(
+            "crates/tx/src/lib.rs",
+            "pub struct Mvcc;\npub struct Committer;\n\
+             impl Mvcc {\n\
+                 pub fn commit(&self, domains: &[Domain]) { let committer = self.begin(); committer.publish(domains); }\n\
+                 pub fn begin(&self) -> Committer { Committer }\n\
+             }\n\
+             impl Committer {\n\
+                 pub fn publish(self, domains: &[Domain]) { for d in domains { clk.bump(d); } }\n\
+             }",
+        )]);
+        assert!(
+            ok.iter().all(|v| v.rule != Rule::EpochBumpOnCommit),
+            "{ok:?}"
+        );
+
+        let bad = run(&[(
+            "crates/tx/src/lib.rs",
+            "pub struct Mvcc;\n\
+             impl Mvcc {\n\
+                 pub fn commit(&self, domains: &[Domain]) { self.swap(); }\n\
+                 fn swap(&self) {}\n\
+             }",
+        )]);
+        let hits: Vec<&Violation> = bad
+            .iter()
+            .filter(|v| v.rule == Rule::EpochBumpOnCommit)
+            .collect();
+        assert_eq!(hits.len(), 1, "{bad:?}");
+        assert_eq!(hits[0].line, 3);
+        assert!(hits[0].message.contains("Mvcc::commit"));
+    }
+
+    #[test]
+    fn tx_lock_fields_join_the_lock_order_graph() {
+        // The tx cell's fields are ordinary lock classes: an inconsistent
+        // order against another class is a cycle like any other, including
+        // through the `read_lock`/`write_lock` poison-proof helpers.
+        let v = run(&[(
+            "crates/tx/src/lib.rs",
+            "pub struct Mvcc { current: RwLock<V>, writer: Mutex<u64> }\n\
+             impl Mvcc {\n\
+                 pub fn a(&self) { let w = lock(&self.writer); let c = write_lock(&self.current); }\n\
+                 pub fn b(&self) { let c = read_lock(&self.current); let w = lock(&self.writer); }\n\
+             }",
+        )]);
+        let lo: Vec<&Violation> = v.iter().filter(|v| v.rule == Rule::LockOrder).collect();
+        assert_eq!(lo.len(), 1, "{v:?}");
+        assert!(lo[0].message.contains("current"));
+        assert!(lo[0].message.contains("writer"));
     }
 
     #[test]
