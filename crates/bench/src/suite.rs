@@ -119,6 +119,7 @@ pub fn run_suite(cfg: &BenchConfig) -> Vec<BenchReport> {
         bench_indexbuild_par(cfg),
         bench_cache(cfg),
         bench_resil_overhead(cfg),
+        bench_planner(cfg),
         // Last on purpose: its writers bump every epoch domain, which would
         // cold-start the cache workloads if it ran before them.
         bench_concurrency(cfg),
@@ -295,6 +296,125 @@ fn bench_resil_overhead(cfg: &BenchConfig) -> BenchReport {
     report
         .extra
         .push(("overhead_pct", (on_sum - off_sum) / off_sum * 100.0));
+    report
+}
+
+/// Cost-based planner vs forced-naive execution over a 10×-scale corpus:
+/// trigram seek vs full scan on substring LIKE/ILIKE predicates, and the
+/// reordered probe join vs the written-order nested loop on the
+/// pages/annotations join. Planned and naive runs are first checked for
+/// result equality, and the chosen-plan counters are asserted so the timed
+/// planned runs provably took the indexed paths.
+fn bench_planner(cfg: &BenchConfig) -> BenchReport {
+    use sensormeta_relstore::PlannerConfig;
+    let pages = generate_corpus(&CorpusConfig {
+        institutions: cfg.scale.max(1) * 10,
+        seed: cfg.seed,
+        ..CorpusConfig::default()
+    });
+    let mut smr = Smr::new();
+    let load = smr.bulk_load(pages.into_iter().map(|p| {
+        let mut d = PageDraft::new(p.title, p.namespace).body(p.body);
+        d.annotations = p.annotations;
+        d.links = p.links;
+        d.tags = p.tags;
+        d
+    }));
+    assert!(load.errors.is_empty(), "{:?}", load.errors);
+    let db = smr.database();
+    let naive = PlannerConfig::naive();
+
+    // Deployment titles embed the lowercased site name, the field-site page
+    // keeps the original casing — so LIKE and ILIKE match different sets.
+    let like_sql = "SELECT title FROM pages WHERE title LIKE '%rietholzbach%'";
+    let ilike_sql = "SELECT title FROM pages WHERE title ILIKE '%RIETHOLZBACH%'";
+    let join_sql = "SELECT p.title, a.value FROM pages AS p \
+                    JOIN annotations AS a ON a.page_id = p.id \
+                    WHERE a.attribute = 'hasVendor'";
+
+    let trigram_before = obs::counter("sql_plan_trigram_seek_total").get();
+    let probe_before = obs::counter("sql_plan_index_probe_join_total").get();
+    let reorder_before = obs::counter("sql_plan_join_reorder_total").get();
+
+    // The planner must be invisible in results before its speed matters.
+    for sql in [like_sql, ilike_sql, join_sql] {
+        let planned = db.query(sql).expect("planned run"); // xlint: allow(no-unwrap)
+        let forced = db.query_with(sql, &naive).expect("naive run"); // xlint: allow(no-unwrap)
+        let mut p = planned.rows;
+        let mut n = forced.rows;
+        p.sort();
+        n.sort();
+        assert_eq!(p, n, "planner changed results for `{sql}`");
+    }
+
+    // Mean µs per query under the given planner configuration.
+    let time = |planner: &PlannerConfig, sql: &str, iters: usize| -> f64 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            let out = db.query_with(sql, planner).expect("bench query"); // xlint: allow(no-unwrap)
+            std::hint::black_box(out.rows.len());
+        }
+        t.elapsed().as_secs_f64() * 1e6 / iters.max(1) as f64
+    };
+
+    let iters = cfg.iterations.clamp(1, 60);
+    // The naive join is quadratic in the corpus, so it gets fewer timed
+    // iterations; means stay comparable.
+    let naive_iters = iters.clamp(1, 5);
+
+    let h = obs::histogram("bench_planner_us");
+    for _ in 0..iters {
+        let t = Instant::now();
+        let out = db.query(ilike_sql).expect("timed ilike"); // xlint: allow(no-unwrap)
+        std::hint::black_box(out.rows.len());
+        let out = db.query(join_sql).expect("timed join"); // xlint: allow(no-unwrap)
+        std::hint::black_box(out.rows.len());
+        h.record_duration(t.elapsed());
+    }
+
+    let like_planned = time(&PlannerConfig::default(), like_sql, iters);
+    let like_naive = time(&naive, like_sql, iters);
+    let ilike_planned = time(&PlannerConfig::default(), ilike_sql, iters);
+    let ilike_naive = time(&naive, ilike_sql, iters);
+    let join_planned = time(&PlannerConfig::default(), join_sql, iters);
+    let join_naive = time(&naive, join_sql, naive_iters);
+
+    // Chosen-plan counters: every default-planner run of the substring
+    // queries must have gone through the trigram index, and every planned
+    // join through the reordered probe join.
+    let trigram_seeks = obs::counter("sql_plan_trigram_seek_total").get() - trigram_before;
+    let probe_joins = obs::counter("sql_plan_index_probe_join_total").get() - probe_before;
+    let join_reorders = obs::counter("sql_plan_join_reorder_total").get() - reorder_before;
+    assert!(trigram_seeks >= 2 * iters as u64, "trigram path not taken");
+    assert!(probe_joins >= iters as u64, "probe-join path not taken");
+    assert!(join_reorders >= iters as u64, "join not reordered");
+
+    let rows = |sql: &str| db.query(sql).expect("count").rows.len() as f64; // xlint: allow(no-unwrap)
+    let mut report = BenchReport::from_histogram("planner", &h);
+    report.extra.push(("like_planned_us", like_planned));
+    report.extra.push(("like_naive_us", like_naive));
+    report
+        .extra
+        .push(("like_speedup", like_naive / like_planned.max(1e-9)));
+    report.extra.push(("ilike_planned_us", ilike_planned));
+    report.extra.push(("ilike_naive_us", ilike_naive));
+    report
+        .extra
+        .push(("ilike_speedup", ilike_naive / ilike_planned.max(1e-9)));
+    report.extra.push(("join_planned_us", join_planned));
+    report.extra.push(("join_naive_us", join_naive));
+    report
+        .extra
+        .push(("join_speedup", join_naive / join_planned.max(1e-9)));
+    report.extra.push(("trigram_seeks", trigram_seeks as f64));
+    report.extra.push(("probe_joins", probe_joins as f64));
+    report.extra.push(("join_reorders", join_reorders as f64));
+    report
+        .extra
+        .push(("pages_rows", rows("SELECT id FROM pages")));
+    report
+        .extra
+        .push(("annotations_rows", rows("SELECT page_id FROM annotations")));
     report
 }
 
@@ -745,7 +865,7 @@ mod tests {
             seed: 42,
         };
         let reports = run_suite(&cfg);
-        assert_eq!(reports.len(), 11);
+        assert_eq!(reports.len(), 12);
         for r in &reports {
             assert!(r.iterations > 0, "{} ran", r.name);
             let json = r.to_json();
@@ -782,6 +902,42 @@ mod tests {
             extras["cache_hit_rate"] > 0.99,
             "warm passes over an unchanged corpus must hit: {}",
             extras["cache_hit_rate"]
+        );
+        // The planner workload carries both timings per shape, the chosen-
+        // plan counter deltas, and the indexed paths must actually win.
+        let planner = reports.iter().find(|r| r.name == "planner").unwrap();
+        let extras: std::collections::BTreeMap<&str, f64> =
+            planner.extra.iter().copied().collect();
+        for key in [
+            "like_planned_us",
+            "like_naive_us",
+            "like_speedup",
+            "ilike_planned_us",
+            "ilike_naive_us",
+            "ilike_speedup",
+            "join_planned_us",
+            "join_naive_us",
+            "join_speedup",
+            "trigram_seeks",
+            "probe_joins",
+            "join_reorders",
+            "pages_rows",
+            "annotations_rows",
+        ] {
+            assert!(extras.contains_key(key), "planner: missing {key}");
+        }
+        assert!(extras["trigram_seeks"] >= 1.0, "trigram path never chosen");
+        assert!(extras["probe_joins"] >= 1.0, "probe join never chosen");
+        assert!(extras["join_reorders"] >= 1.0, "join never reordered");
+        assert!(
+            extras["ilike_speedup"] > 1.0,
+            "trigram seek must beat the full scan: {}",
+            extras["ilike_speedup"]
+        );
+        assert!(
+            extras["join_speedup"] > 1.0,
+            "planned join order must beat naive: {}",
+            extras["join_speedup"]
         );
         // The concurrency workload compares snapshot readers against the
         // no-writer baseline and the lock-the-world variant, and always

@@ -21,6 +21,11 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Largest running-intersection size still worth pushing into SQL as a
+/// `p.title IN (...)` list during condition semi-joins. Beyond this the
+/// literal list outgrows the scan it saves.
+const SEMIJOIN_PUSHDOWN_CAP: usize = 128;
+
 /// Ranking blend: `score = (1−w)·bm25_norm + w·pagerank_norm` when keywords
 /// are present; pure PageRank otherwise.
 #[derive(Debug, Clone, Copy)]
@@ -321,9 +326,33 @@ impl QueryEngine {
         self.title_ids.get(title).map(|&i| self.pagerank[i])
     }
 
-    /// Top-k autocomplete suggestions.
+    /// Top-k autocomplete suggestions. Prefix matches come from the trie;
+    /// when they fall short of `k` and the input is at least one trigram
+    /// long, mid-title matches are pulled in through the repository's
+    /// trigram-indexed `ILIKE` query (so "wind" also surfaces
+    /// "Deployment:wfj_wind_speed").
     pub fn autocomplete(&self, prefix: &str, k: usize) -> Vec<(String, f64)> {
-        self.autocomplete.complete(prefix, k)
+        let mut out = self.autocomplete.complete(prefix, k);
+        let clean = prefix.trim();
+        if out.len() < k && clean.chars().count() >= 3 && !clean.contains(['%', '_']) {
+            obs::counter("query_autocomplete_substring_total").inc();
+            if let Ok(rs) = self.smr.sql(&format!(
+                "SELECT title FROM pages WHERE title ILIKE '%{}%' ORDER BY title LIMIT {k}",
+                sql_escape(clean)
+            )) {
+                for row in rs.rows {
+                    let title = row[0].to_string();
+                    // The trie reports lowercased entries; dedup accordingly.
+                    if out.iter().any(|(t, _)| t.eq_ignore_ascii_case(&title)) {
+                        continue;
+                    }
+                    let score = self.pagerank_of(&title).unwrap_or(0.0);
+                    out.push((title, score));
+                }
+                out.truncate(k);
+            }
+        }
+        out
     }
 
     /// Pages recommended for a set of seed titles (the paper's
@@ -476,11 +505,10 @@ impl QueryEngine {
         // 2. Structured conditions: exact string equality runs as SPARQL
         //    against the RDF mirror; the rest (numeric, substring) as SQL
         //    against the annotation table — the paper's SQL+SPARQL
-        //    combination.
-        let mut cond_matches: Vec<HashSet<usize>> = Vec::with_capacity(form.conditions.len());
-        for cond in &form.conditions {
-            cond_matches.push(self.eval_condition(cond)?);
-        }
+        //    combination. In hard (AND) mode the conditions are evaluated
+        //    most-selective-first and later ones are semi-joined against the
+        //    running intersection; see `eval_conditions`.
+        let cond_matches = self.eval_conditions(form)?;
 
         // 3. Assemble the candidate set.
         let _combine = obs::span("query_combine");
@@ -644,8 +672,82 @@ impl QueryEngine {
         self.results.stats()
     }
 
-    /// Evaluates one condition to the set of matching page ids.
-    fn eval_condition(&self, cond: &Condition) -> Result<HashSet<usize>> {
+    /// Evaluates the form's structured conditions to per-condition match
+    /// sets (indexed like `form.conditions`).
+    ///
+    /// Soft (OR-ish) mode needs every condition's full match set for the
+    /// match-degree computation, so each is evaluated independently. Hard
+    /// (AND) mode only keeps pages matching *all* conditions, which admits
+    /// cross-engine pushdown: conditions run most-selective-first (by the
+    /// relstore planner's estimate of annotation rows per attribute), each
+    /// later condition's SQL is semi-joined against the running intersection
+    /// when it is small, and once the intersection is empty the remaining
+    /// conditions are not evaluated at all. Restricted sets are subsets of
+    /// the full ones containing every page that matches all conditions, so
+    /// the surviving set — and therefore the output — is unchanged.
+    fn eval_conditions(&self, form: &SearchForm) -> Result<Vec<HashSet<usize>>> {
+        if form.soft_conditions || form.conditions.len() < 2 {
+            return form
+                .conditions
+                .iter()
+                .map(|c| self.eval_condition(c, None))
+                .collect();
+        }
+        // Selectivity estimate per condition: annotation rows carrying the
+        // attribute (exact B-tree count via `annotations_attr`).
+        let est: Vec<usize> = form
+            .conditions
+            .iter()
+            .map(|c| {
+                self.smr
+                    .database()
+                    .estimate_eq(
+                        "annotations",
+                        "attribute",
+                        &sensormeta_relstore::Value::text(c.attribute.clone()),
+                    )
+                    .unwrap_or(usize::MAX)
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..form.conditions.len()).collect();
+        order.sort_by_key(|&i| est[i]);
+        if order.windows(2).any(|w| w[0] > w[1]) {
+            obs::counter("query_pushdown_reordered_total").inc();
+        }
+        let mut sets: Vec<Option<HashSet<usize>>> = vec![None; form.conditions.len()];
+        let mut current: Option<HashSet<usize>> = None;
+        for &i in &order {
+            if current.as_ref().is_some_and(HashSet::is_empty) {
+                // Hard mode already ruled every page out; the remaining
+                // conditions cannot resurrect anything.
+                sets[i] = Some(HashSet::new());
+                continue;
+            }
+            let restrict = current
+                .as_ref()
+                .filter(|c| c.len() <= SEMIJOIN_PUSHDOWN_CAP);
+            if restrict.is_some() {
+                obs::counter("query_pushdown_semijoin_total").inc();
+            }
+            let s = self.eval_condition(&form.conditions[i], restrict)?;
+            current = Some(match current.take() {
+                None => s.clone(),
+                Some(c) => c.intersection(&s).copied().collect(),
+            });
+            sets[i] = Some(s);
+        }
+        Ok(sets.into_iter().map(Option::unwrap_or_default).collect())
+    }
+
+    /// Evaluates one condition to the set of matching page ids. `restrict`
+    /// narrows the SQL fallback to a candidate page set (semi-join pushdown);
+    /// the SPARQL path stays unrestricted so its exact-match-first semantics
+    /// are preserved.
+    fn eval_condition(
+        &self,
+        cond: &Condition,
+        restrict: Option<&HashSet<usize>>,
+    ) -> Result<HashSet<usize>> {
         let titles: Vec<String> = if cond.op == CondOp::Eq {
             // SPARQL path: exact literal match on the mirrored property.
             let _sparql = obs::span("query_sparql");
@@ -670,11 +772,11 @@ impl QueryEngine {
             // SPARQL matched the exact lexical form; Eq is declared
             // case-insensitive, so complete with a SQL pass when needed.
             if out.is_empty() {
-                out = self.sql_condition(cond)?;
+                out = self.sql_condition(cond, restrict)?;
             }
             out
         } else {
-            self.sql_condition(cond)?
+            self.sql_condition(cond, restrict)?
         };
         Ok(titles
             .into_iter()
@@ -683,16 +785,33 @@ impl QueryEngine {
     }
 
     /// SQL fallback: fetch all values of the attribute and filter in Rust
-    /// (numeric ops can't be pushed into our SQL subset portably).
-    fn sql_condition(&self, cond: &Condition) -> Result<Vec<String>> {
+    /// (numeric ops can't be pushed into our SQL subset portably). With
+    /// `restrict`, only candidate pages' annotations are fetched — the
+    /// semi-join half of cross-engine pushdown.
+    fn sql_condition(
+        &self,
+        cond: &Condition,
+        restrict: Option<&HashSet<usize>>,
+    ) -> Result<Vec<String>> {
         let _sql = obs::span("query_sql");
         obs::counter("query_sql_conditions_total").inc();
         resil::checkpoint("query_sql")?;
-        let rs = self.smr.sql(&format!(
+        let mut query = format!(
             "SELECT p.title, a.value FROM annotations a JOIN pages p ON a.page_id = p.id \
              WHERE a.attribute = '{}'",
             sql_escape(&cond.attribute)
-        ))?;
+        );
+        if let Some(pages) = restrict {
+            if pages.is_empty() {
+                return Ok(Vec::new());
+            }
+            let titles: Vec<String> = pages
+                .iter()
+                .map(|&p| format!("'{}'", sql_escape(&self.titles[p])))
+                .collect();
+            query.push_str(&format!(" AND p.title IN ({})", titles.join(", ")));
+        }
+        let rs = self.smr.sql(&query)?;
         Ok(rs
             .rows
             .into_iter()

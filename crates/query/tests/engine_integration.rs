@@ -351,3 +351,67 @@ fn region_only_search_is_valid_map_browsing() {
     assert_eq!(out.items.len(), 2, "both GR field sites");
     assert!(out.items.iter().all(|i| i.coords.is_some()));
 }
+
+#[test]
+fn pushdown_preserves_multi_condition_results() {
+    let engine = QueryEngine::open(small_smr()).unwrap();
+    // Two hard conditions trigger the selectivity-ordered semi-join pushdown;
+    // the surviving set must be exactly the pages matching both.
+    let before = sensormeta_obs::counter("query_pushdown_semijoin_total").get();
+    let form = SearchForm::default()
+        .condition(Condition::new("measuresQuantity", CondOp::Eq, "temperature"))
+        .condition(Condition::new("deployedAt", CondOp::Contains, "Weissfluhjoch"));
+    let out = engine.search(&form, None).unwrap();
+    let titles: Vec<&str> = out.items.iter().map(|i| i.title.as_str()).collect();
+    assert_eq!(titles, ["Deployment:wfj_temp"]);
+    assert!(
+        sensormeta_obs::counter("query_pushdown_semijoin_total").get() > before,
+        "second condition should have been evaluated as a semi-join"
+    );
+    // An empty first intersection short-circuits the rest.
+    let form = SearchForm::default()
+        .condition(Condition::new("measuresQuantity", CondOp::Eq, "no_such_quantity"))
+        .condition(Condition::new("hasElevation", CondOp::Gt, "0"));
+    let out = engine.search(&form, None).unwrap();
+    assert!(out.items.is_empty());
+}
+
+#[test]
+fn pushdown_leaves_soft_conditions_independent() {
+    let engine = QueryEngine::open(small_smr()).unwrap();
+    // Soft mode scores each condition independently, so the pushdown must
+    // not restrict later conditions: Davos matches only one of the two.
+    let mut form = SearchForm::default()
+        .condition(Condition::new("measuresQuantity", CondOp::Eq, "temperature"))
+        .condition(Condition::new("hasElevation", CondOp::Lt, "3000"));
+    form.soft_conditions = true;
+    let out = engine.search(&form, None).unwrap();
+    let degree = |t: &str| {
+        out.items
+            .iter()
+            .find(|i| i.title == t)
+            .map(|i| i.match_degree)
+            .unwrap()
+    };
+    assert_eq!(degree("Fieldsite:Davos"), 0.5);
+    assert_eq!(degree("Deployment:wfj_temp"), 0.5);
+}
+
+#[test]
+fn autocomplete_falls_back_to_substring_matches() {
+    let engine = QueryEngine::open(small_smr()).unwrap();
+    // "davos" is not a title or attribute prefix, but the trigram-backed
+    // ILIKE fallback surfaces mid-title matches.
+    let out = engine.autocomplete("davos", 10);
+    assert!(
+        out.iter().any(|(s, _)| s == "Fieldsite:Davos"),
+        "substring fallback missing: {out:?}"
+    );
+    assert!(out.iter().any(|(s, _)| s == "Deployment:davos_wind"));
+    // Short fragments stay prefix-only (trigram needs 3+ chars).
+    let short = engine.autocomplete("da", 10);
+    assert!(short.iter().all(|(s, _)| s.to_lowercase().starts_with("da")));
+    // The prefix trie still wins when it already fills the budget.
+    let prefixed = engine.autocomplete("Fieldsite:", 10);
+    assert_eq!(prefixed.len(), 2);
+}

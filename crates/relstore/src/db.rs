@@ -17,9 +17,9 @@ use crate::recover::{
 };
 use crate::schema::{Column, TableSchema};
 use crate::sql::ast::Statement;
-use crate::sql::exec::{execute, execute_select, explain_select, Catalog, ExecOutcome, ResultSet};
+use crate::sql::exec::{execute, explain_select, Catalog, ExecOutcome, ResultSet};
 use crate::sql::parser::{parse, parse_script};
-use crate::table::{IndexDef, Table};
+use crate::table::{IndexDef, IndexKind, Table};
 use crate::value::{DataType, Value};
 use crate::vfs::{StdVfs, Vfs};
 use crate::wal::{LogicalOp, Wal};
@@ -208,13 +208,50 @@ impl Database {
 
     /// Runs a SELECT (or EXPLAIN SELECT) without requiring mutable access.
     pub fn query(&self, sql: &str) -> Result<ResultSet> {
+        self.query_with(sql, &crate::sql::planner::PlannerConfig::default())
+    }
+
+    /// Runs a SELECT under an explicit planner configuration.
+    /// [`PlannerConfig::naive`](crate::sql::planner::PlannerConfig::naive)
+    /// forces full scans and written join order — the reference execution the
+    /// property suite and benches compare optimized plans against.
+    pub fn query_with(
+        &self,
+        sql: &str,
+        cfg: &crate::sql::planner::PlannerConfig,
+    ) -> Result<ResultSet> {
         match parse(sql)? {
-            Statement::Select(sel) => execute_select(&self.catalog, &sel),
+            Statement::Select(sel) => {
+                crate::sql::exec::execute_select_with(&self.catalog, &sel, cfg)
+            }
             Statement::Explain(sel) => explain_select(&self.catalog, &sel),
             other => Err(RelError::Exec(format!(
                 "query() only accepts SELECT, got {other:?}"
             ))),
         }
+    }
+
+    /// Estimated number of rows in `table` whose `column` equals `value`,
+    /// without executing a query: an exact B-tree probe when a single-column
+    /// index covers the column, otherwise a histogram/distinct-count guess
+    /// from table statistics. Used by cross-engine planners to order
+    /// condition evaluation by selectivity.
+    pub fn estimate_eq(&self, table: &str, column: &str, value: &Value) -> Result<usize> {
+        let t = self.table(table)?;
+        let col = t
+            .schema
+            .column_index(column)
+            .ok_or_else(|| RelError::NoSuchColumn(column.to_owned()))?;
+        if let Some((_, ix)) = t.index_on_column(col) {
+            return Ok(ix.get(&vec![value.clone()]).len());
+        }
+        let rows = t.len();
+        let frac = t
+            .stats()
+            .columns
+            .get(col)
+            .map_or(1.0, crate::table::ColumnStats::eq_fraction);
+        Ok(((rows as f64) * frac).ceil() as usize)
     }
 
     /// Convenience: runs a SELECT and returns the first value of the first
@@ -334,7 +371,13 @@ impl Database {
             write_varint(&mut out, defs.len() as u64);
             for d in defs {
                 write_str(&mut out, &d.name);
-                out.push(u8::from(d.unique));
+                // Kind byte doubles as the historical `unique` flag:
+                // 0 = btree, 1 = btree unique, 2 = trigram. Old snapshots
+                // (0/1 only) decode unchanged.
+                out.push(match d.kind {
+                    IndexKind::BTree => u8::from(d.unique),
+                    IndexKind::Trigram => 2,
+                });
                 write_varint(&mut out, d.columns.len() as u64);
                 for &c in &d.columns {
                     write_varint(&mut out, c as u64);
@@ -376,7 +419,16 @@ impl Database {
             let mut defs = Vec::with_capacity(ndefs.min(4096));
             for _ in 0..ndefs {
                 let dname = read_str(buf, &mut pos)?;
-                let unique = next_byte(buf, &mut pos)? != 0;
+                let (unique, kind) = match next_byte(buf, &mut pos)? {
+                    0 => (false, IndexKind::BTree),
+                    1 => (true, IndexKind::BTree),
+                    2 => (false, IndexKind::Trigram),
+                    other => {
+                        return Err(RelError::Snapshot(format!(
+                            "unknown index kind byte {other}"
+                        )))
+                    }
+                };
                 let nc = read_varint(buf, &mut pos)? as usize;
                 let mut columns = Vec::with_capacity(nc.min(4096));
                 for _ in 0..nc {
@@ -386,6 +438,7 @@ impl Database {
                     name: dname,
                     unique,
                     columns,
+                    kind,
                 });
             }
             let hlen = read_varint(buf, &mut pos)? as usize;

@@ -33,6 +33,7 @@ pub mod recover;
 pub mod schema;
 pub mod sql;
 pub mod table;
+pub mod trigram;
 pub mod value;
 pub mod vfs;
 pub mod wal;
@@ -43,7 +44,9 @@ pub use heap::RowId;
 pub use recover::{wal_path_for, DurabilityOptions, RecoveryReport};
 pub use schema::{Column, TableSchema};
 pub use sql::exec::{ExecOutcome, ResultSet};
-pub use table::{IndexDef, Table};
+pub use sql::planner::{AccessPath, PlannerConfig, SelectPlan};
+pub use table::{ColumnStats, IndexDef, IndexKind, Table, TableStats};
+pub use trigram::TrigramIndex;
 pub use value::{DataType, Value};
 pub use vfs::{FaultPlan, FaultVfs, MemVfs, StdVfs, Vfs, VfsFile};
 pub use wal::{scan_wal, SyncPolicy, WalScan};

@@ -21,7 +21,7 @@ pub enum Statement {
         /// IF EXISTS flag.
         if_exists: bool,
     },
-    /// CREATE `[UNIQUE]` INDEX.
+    /// CREATE `[UNIQUE|TRIGRAM]` INDEX.
     CreateIndex {
         /// Index name.
         name: String,
@@ -31,6 +31,8 @@ pub enum Statement {
         columns: Vec<String>,
         /// Uniqueness constraint.
         unique: bool,
+        /// Trigram (substring) index rather than a B-tree.
+        trigram: bool,
     },
     /// INSERT INTO ... VALUES.
     Insert {
@@ -190,6 +192,8 @@ pub enum BinOp {
     And,
     Or,
     Like,
+    /// Case-insensitive LIKE.
+    ILike,
     Concat,
 }
 

@@ -1,17 +1,20 @@
-//! Statement execution: planning and evaluation of parsed SQL against the
-//! database catalog.
+//! Statement execution: evaluation of parsed SQL against the database
+//! catalog, driven by the cost-based planner in [`super::planner`].
 //!
-//! The SELECT pipeline is: base access path (index lookup / range scan / full
-//! scan) → nested-loop joins → WHERE filter → grouping & aggregation →
-//! HAVING → projection → DISTINCT → ORDER BY → LIMIT/OFFSET. Index access
-//! paths are chosen from sargable conjuncts on the base table; the residual
-//! predicate is always re-applied, so plan choices can never change results.
+//! The SELECT pipeline is: plan (access paths, probe joins, join order) →
+//! base scan → joins → column-order restoration → WHERE filter → grouping &
+//! aggregation → HAVING → projection → DISTINCT → ORDER BY → LIMIT/OFFSET.
+//! Every access path yields a *superset* of matching rows and the full
+//! WHERE / ON predicates are always re-applied, so plan choices can never
+//! change results.
 
 use super::ast::*;
 use super::expr::{eval, truthiness, RowSchema};
+use super::planner::{plan_select, AccessPath, PlannerConfig, ScanPlan, SelectPlan};
 use crate::error::{RelError, Result};
 use crate::table::Table;
 use crate::value::Value;
+use sensormeta_obs as obs;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::ops::Bound;
 
@@ -149,6 +152,7 @@ pub fn execute(catalog: &mut Catalog, stmt: Statement) -> Result<ExecOutcome> {
             table,
             columns,
             unique,
+            trigram,
         } => {
             let t = catalog
                 .get_mut(&table.to_ascii_lowercase())
@@ -161,11 +165,17 @@ pub fn execute(catalog: &mut Catalog, stmt: Statement) -> Result<ExecOutcome> {
                         .ok_or_else(|| RelError::NoSuchColumn(c.clone()))
                 })
                 .collect::<Result<_>>()?;
-            t.create_index(crate::table::IndexDef {
-                name,
-                columns: cols,
-                unique,
-            })?;
+            let def = if trigram {
+                let [col] = cols[..] else {
+                    return Err(RelError::Exec(
+                        "TRIGRAM INDEX covers exactly one column".to_owned(),
+                    ));
+                };
+                crate::table::IndexDef::trigram(name, col)
+            } else {
+                crate::table::IndexDef::btree(name, cols, unique)
+            };
+            t.create_index(def)?;
             Ok(ExecOutcome::Done)
         }
         Statement::Insert {
@@ -283,39 +293,108 @@ fn row_schema_for(t: &Table, alias: String) -> RowSchema {
 
 // ---------- SELECT ----------
 
-/// Executes a SELECT against an immutable catalog.
+/// Executes a SELECT against an immutable catalog with the default planner.
 pub fn execute_select(catalog: &Catalog, sel: &SelectStmt) -> Result<ResultSet> {
-    // 1. FROM + access path.
-    let (mut schema, mut rows) = match &sel.from {
+    execute_select_with(catalog, sel, &PlannerConfig::default())
+}
+
+/// Executes a SELECT with an explicit planner configuration.
+/// [`PlannerConfig::naive`] is the reference behavior the property suite and
+/// the bench compare the optimized plans against.
+pub fn execute_select_with(
+    catalog: &Catalog,
+    sel: &SelectStmt,
+    cfg: &PlannerConfig,
+) -> Result<ResultSet> {
+    let plan = plan_select(catalog, sel, cfg)?;
+    if plan.reordered {
+        obs::counter("sql_plan_join_reorder_total").inc();
+    }
+
+    // 1. FROM + planned access path.
+    let (mut schema, mut rows) = match &plan.base {
         None => (RowSchema::default(), vec![Vec::new()]),
-        Some(tref) => base_scan(catalog, tref, sel.predicate.as_ref())?,
+        Some(scan) => {
+            let t = lookup(catalog, &scan.table_key)?;
+            bump_path_counter(&scan.path);
+            (
+                row_schema_for(t, scan.alias.clone()),
+                run_scan(t, scan)?,
+            )
+        }
     };
 
-    // 2. Joins (nested loop; LEFT pads with NULLs).
-    for join in &sel.joins {
-        let t = lookup(catalog, &join.table.table)?;
-        let right_schema = row_schema_for(t, join.table.effective_alias().to_owned());
-        let right_rows: Vec<Vec<Value>> = t.scan().map(|(_, r)| r).collect();
+    // 2. Joins in planned order: index probes where the plan found an
+    //    equi-join key, nested loops otherwise; LEFT pads with NULLs.
+    for step in &plan.joins {
+        let t = lookup(catalog, &step.scan.table_key)?;
+        let right_schema = row_schema_for(t, step.scan.alias.clone());
         let joined_schema = schema.concat(&right_schema);
         let mut out = Vec::new();
-        for left in &rows {
-            let mut matched = false;
-            for right in &right_rows {
-                let mut combined = left.clone();
-                combined.extend(right.iter().cloned());
-                if truthiness(&eval(&join.on, &joined_schema, &combined)?) == Some(true) {
-                    matched = true;
+        if let Some(probe) = &step.probe {
+            obs::counter("sql_plan_index_probe_join_total").inc();
+            let (_, index) = t.index_on_column(probe.col).ok_or_else(|| {
+                RelError::Exec(format!("planned index `{}` disappeared", probe.index))
+            })?;
+            for left in &rows {
+                let mut matched = false;
+                let key = eval(&probe.left_expr, &schema, left)?;
+                // An equi-join never matches on NULL keys, so skip the probe.
+                if !key.is_null() {
+                    for rid in index.get(&vec![key]) {
+                        let Some(right) = t.get(rid)? else { continue };
+                        let mut combined = left.clone();
+                        combined.extend(right);
+                        if truthiness(&eval(&step.on, &joined_schema, &combined)?) == Some(true)
+                        {
+                            matched = true;
+                            out.push(combined);
+                        }
+                    }
+                }
+                if !matched && step.kind == JoinKind::Left {
+                    let mut combined = left.clone();
+                    combined.extend(std::iter::repeat_n(Value::Null, right_schema.len()));
                     out.push(combined);
                 }
             }
-            if !matched && join.kind == JoinKind::Left {
-                let mut combined = left.clone();
-                combined.extend(std::iter::repeat_n(Value::Null, right_schema.len()));
-                out.push(combined);
+        } else {
+            bump_path_counter(&step.scan.path);
+            let right_rows = run_scan(t, &step.scan)?;
+            for left in &rows {
+                let mut matched = false;
+                for right in &right_rows {
+                    let mut combined = left.clone();
+                    combined.extend(right.iter().cloned());
+                    if truthiness(&eval(&step.on, &joined_schema, &combined)?) == Some(true) {
+                        matched = true;
+                        out.push(combined);
+                    }
+                }
+                if !matched && step.kind == JoinKind::Left {
+                    let mut combined = left.clone();
+                    combined.extend(std::iter::repeat_n(Value::Null, right_schema.len()));
+                    out.push(combined);
+                }
             }
         }
         schema = joined_schema;
         rows = out;
+    }
+
+    // 2b. Restore written column order after a join reorder, so the rest of
+    //     the pipeline (and the user) see the layout the query declared.
+    if let Some(slots) = &plan.written_slots {
+        schema = RowSchema::new(
+            slots
+                .iter()
+                .map(|&s| schema.columns()[s].clone())
+                .collect(),
+        );
+        rows = rows
+            .into_iter()
+            .map(|r| slots.iter().map(|&s| r[s].clone()).collect())
+            .collect();
     }
 
     // 3. WHERE.
@@ -386,42 +465,61 @@ fn lookup<'a>(catalog: &'a Catalog, name: &str) -> Result<&'a Table> {
         .ok_or_else(|| RelError::NoSuchTable(name.to_owned()))
 }
 
+/// Renders one planned access path for EXPLAIN output.
+fn render_access(catalog: &Catalog, scan: &ScanPlan) -> Result<String> {
+    let t = lookup(catalog, &scan.table_key)?;
+    let col_name = |c: usize| t.schema.columns[c].name.clone();
+    Ok(match &scan.path {
+        AccessPath::FullScan => format!("FullScan {}", scan.display),
+        AccessPath::IndexSeek { index, col, .. } => format!(
+            "IndexSeek {} via {index} (eq on {})",
+            scan.display,
+            col_name(*col)
+        ),
+        AccessPath::RangeScan { index, col, .. } => format!(
+            "RangeScan {} via {index} (range on {})",
+            scan.display,
+            col_name(*col)
+        ),
+        AccessPath::TrigramSeek { index, col, needle } => format!(
+            "TrigramSeek {} via {index} (substr '{needle}' on {})",
+            scan.display,
+            col_name(*col)
+        ),
+    })
+}
+
 /// Renders the plan a SELECT would run, one step per row — the
 /// observability hook that lets tests (and users) verify an index is
-/// actually chosen.
+/// actually chosen. Shows the same plan [`execute_select`] runs.
 pub fn explain_select(catalog: &Catalog, sel: &SelectStmt) -> Result<ResultSet> {
+    let plan = plan_select(catalog, sel, &PlannerConfig::default())?;
     let mut steps: Vec<String> = Vec::new();
-    match &sel.from {
-        None => steps.push("ConstantRow".to_owned()),
-        Some(tref) => {
-            let t = lookup(catalog, &tref.table)?;
-            let alias = tref.effective_alias();
-            let access = sel
-                .predicate
-                .as_ref()
-                .and_then(|p| find_sargable(p, alias, t))
-                .and_then(|(col, bound)| {
-                    t.index_on_column(col).map(|(def, _)| {
-                        let kind = match bound {
-                            SargBound::Eq(_) => "eq",
-                            SargBound::Range(..) => "range",
-                        };
-                        format!(
-                            "IndexScan {} via {} ({kind} on {})",
-                            t.schema.name, def.name, t.schema.columns[col].name
-                        )
-                    })
-                });
-            steps.push(access.unwrap_or_else(|| format!("SeqScan {}", t.schema.name)));
-        }
+    if plan.reordered {
+        steps.push("JoinReorder (by estimated cardinality)".to_owned());
     }
-    for join in &sel.joins {
-        let t = lookup(catalog, &join.table.table)?;
-        let kind = match join.kind {
+    match &plan.base {
+        None => steps.push("ConstantRow".to_owned()),
+        Some(scan) => steps.push(render_access(catalog, scan)?),
+    }
+    for step in &plan.joins {
+        let kind = match step.kind {
             JoinKind::Inner => "Inner",
             JoinKind::Left => "Left",
         };
-        steps.push(format!("NestedLoop{kind}Join {}", t.schema.name));
+        match &step.probe {
+            Some(probe) => steps.push(format!(
+                "IndexProbe{kind}Join {} via {}",
+                step.scan.display, probe.index
+            )),
+            None => {
+                let mut s = format!("NestedLoop{kind}Join {}", step.scan.display);
+                if !matches!(step.scan.path, AccessPath::FullScan) {
+                    s.push_str(&format!(" ({})", render_access(catalog, &step.scan)?));
+                }
+                steps.push(s);
+            }
+        }
     }
     if sel.predicate.is_some() {
         steps.push("Filter".to_owned());
@@ -459,175 +557,75 @@ pub fn explain_select(catalog: &Catalog, sel: &SelectStmt) -> Result<ResultSet> 
     })
 }
 
-/// Scans the base table, trying an index access path derived from sargable
-/// conjuncts of the WHERE predicate. The full predicate is re-applied later,
-/// so the access path only needs to be a superset of matching rows.
-fn base_scan(
-    catalog: &Catalog,
-    tref: &TableRef,
-    predicate: Option<&Expr>,
-) -> Result<(RowSchema, Vec<Vec<Value>>)> {
-    let t = lookup(catalog, &tref.table)?;
-    let alias = tref.effective_alias().to_owned();
-    let schema = row_schema_for(t, alias.clone());
-
-    if let Some(pred) = predicate {
-        if let Some((col_ix, bound)) = find_sargable(pred, &alias, t) {
-            if let Some((_, index)) = t.index_on_column(col_ix) {
-                let rids: Vec<_> = match &bound {
-                    SargBound::Eq(v) => index.get(&vec![v.clone()]),
-                    SargBound::Range(lo, hi) => {
-                        let lo_key = lo.as_ref().map(|(v, incl)| (vec![v.clone()], *incl));
-                        let hi_key = hi.as_ref().map(|(v, incl)| (vec![v.clone()], *incl));
-                        let lo_bound = match &lo_key {
-                            None => Bound::Unbounded,
-                            Some((k, true)) => Bound::Included(k),
-                            Some((k, false)) => Bound::Excluded(k),
-                        };
-                        let hi_bound = match &hi_key {
-                            None => Bound::Unbounded,
-                            Some((k, true)) => Bound::Included(k),
-                            Some((k, false)) => Bound::Excluded(k),
-                        };
-                        index
-                            .range(lo_bound, hi_bound)
-                            .into_iter()
-                            .map(|(_, rid)| rid)
-                            .collect()
-                    }
-                };
-                let mut rows = Vec::with_capacity(rids.len());
-                for rid in rids {
-                    if let Some(row) = t.get(rid)? {
-                        rows.push(row);
-                    }
-                }
-                return Ok((schema, rows));
-            }
-        }
-    }
-    Ok((schema, t.scan().map(|(_, r)| r).collect()))
+/// Increments the per-access-path observability counter. Bumped when a scan
+/// actually executes, so metrics reflect real work, not EXPLAIN calls.
+fn bump_path_counter(path: &AccessPath) {
+    let name = match path {
+        AccessPath::FullScan => "sql_plan_full_scan_total",
+        AccessPath::IndexSeek { .. } => "sql_plan_index_seek_total",
+        AccessPath::RangeScan { .. } => "sql_plan_range_scan_total",
+        AccessPath::TrigramSeek { .. } => "sql_plan_trigram_seek_total",
+    };
+    obs::counter(name).inc();
 }
 
-/// A usable index bound extracted from the predicate.
-enum SargBound {
-    Eq(Value),
-    /// (lower, upper), each (value, inclusive).
-    Range(Option<(Value, bool)>, Option<(Value, bool)>),
-}
-
-/// Finds one sargable conjunct `col OP literal` for the base table. Walks AND
-/// chains only — a disjunction can't be served by a single index probe here.
-fn find_sargable(pred: &Expr, alias: &str, t: &Table) -> Option<(usize, SargBound)> {
-    match pred {
-        Expr::Binary {
-            op: BinOp::And,
-            lhs,
-            rhs,
-        } => find_sargable(lhs, alias, t).or_else(|| find_sargable(rhs, alias, t)),
-        Expr::Binary {
-            op: BinOp::Like,
-            lhs,
-            rhs,
-        } => {
-            // LIKE 'prefix%…' is served by a range scan over [prefix, next).
-            let Expr::Column { table, name } = &**lhs else {
-                return None;
-            };
-            let col = resolve_base(table, name, alias, t)?;
-            let Expr::Literal(Value::Text(pattern)) = &**rhs else {
-                return None;
-            };
-            let prefix: String = pattern
-                .chars()
-                .take_while(|c| *c != '%' && *c != '_')
-                .collect();
-            if prefix.is_empty() {
-                return None;
-            }
-            let upper = like_prefix_upper_bound(&prefix)?;
-            t.index_on_column(col).is_some().then_some((
-                col,
-                SargBound::Range(
-                    Some((Value::Text(prefix), true)),
-                    Some((Value::Text(upper), false)),
-                ),
-            ))
+/// Materializes the rows a planned access path produces. Superset semantics:
+/// callers re-apply the full predicate afterwards.
+fn run_scan(t: &Table, scan: &ScanPlan) -> Result<Vec<Vec<Value>>> {
+    let rids: Vec<_> = match &scan.path {
+        AccessPath::FullScan => return Ok(t.scan().map(|(_, r)| r).collect()),
+        AccessPath::IndexSeek { index, col, key } => {
+            let (_, ix) = t.index_on_column(*col).ok_or_else(|| {
+                RelError::Exec(format!("planned index `{index}` disappeared"))
+            })?;
+            ix.get(&vec![key.clone()])
         }
-        Expr::Binary { op, lhs, rhs } => {
-            let (col, lit, flipped) = match (&**lhs, &**rhs) {
-                (Expr::Column { table, name }, Expr::Literal(v)) => {
-                    (resolve_base(table, name, alias, t)?, v.clone(), false)
-                }
-                (Expr::Literal(v), Expr::Column { table, name }) => {
-                    (resolve_base(table, name, alias, t)?, v.clone(), true)
-                }
-                _ => return None,
+        AccessPath::RangeScan { index, col, lo, hi } => {
+            let (_, ix) = t.index_on_column(*col).ok_or_else(|| {
+                RelError::Exec(format!("planned index `{index}` disappeared"))
+            })?;
+            let lo_key = lo.as_ref().map(|(v, incl)| (vec![v.clone()], *incl));
+            let hi_key = hi.as_ref().map(|(v, incl)| (vec![v.clone()], *incl));
+            let lo_bound = match &lo_key {
+                None => Bound::Unbounded,
+                Some((k, true)) => Bound::Included(k),
+                Some((k, false)) => Bound::Excluded(k),
             };
-            if lit.is_null() {
-                return None;
-            }
-            let bound = match (op, flipped) {
-                (BinOp::Eq, _) => SargBound::Eq(lit),
-                (BinOp::Lt, false) | (BinOp::Gt, true) => {
-                    SargBound::Range(None, Some((lit, false)))
-                }
-                (BinOp::Le, false) | (BinOp::Ge, true) => SargBound::Range(None, Some((lit, true))),
-                (BinOp::Gt, false) | (BinOp::Lt, true) => {
-                    SargBound::Range(Some((lit, false)), None)
-                }
-                (BinOp::Ge, false) | (BinOp::Le, true) => SargBound::Range(Some((lit, true)), None),
-                _ => return None,
+            let hi_bound = match &hi_key {
+                None => Bound::Unbounded,
+                Some((k, true)) => Bound::Included(k),
+                Some((k, false)) => Bound::Excluded(k),
             };
-            // Only usable when an index actually exists on that column.
-            t.index_on_column(col).is_some().then_some((col, bound))
+            ix.range(lo_bound, hi_bound)
+                .into_iter()
+                .map(|(_, rid)| rid)
+                .collect()
         }
-        Expr::Between {
-            expr,
-            lo,
-            hi,
-            negated: false,
-        } => {
-            let Expr::Column { table, name } = &**expr else {
-                return None;
-            };
-            let col = resolve_base(table, name, alias, t)?;
-            let (Expr::Literal(lov), Expr::Literal(hiv)) = (&**lo, &**hi) else {
-                return None;
-            };
-            if lov.is_null() || hiv.is_null() {
-                return None;
+        AccessPath::TrigramSeek { index, col, needle } => {
+            let (_, trgm) = t.trigram_on_column(*col).ok_or_else(|| {
+                RelError::Exec(format!("planned trigram index `{index}` disappeared"))
+            })?;
+            match trgm.candidates(needle) {
+                Some(rids) => rids,
+                // Unusable needle (shorter than a trigram): planner should
+                // not have chosen this, but degrade to a full scan safely.
+                None => return Ok(t.scan().map(|(_, r)| r).collect()),
             }
-            t.index_on_column(col).is_some().then(|| {
-                (
-                    col,
-                    SargBound::Range(Some((lov.clone(), true)), Some((hiv.clone(), true))),
-                )
-            })
         }
-        _ => None,
-    }
-}
-
-/// Smallest string strictly greater than every string with this prefix.
-fn like_prefix_upper_bound(prefix: &str) -> Option<String> {
-    let mut chars: Vec<char> = prefix.chars().collect();
-    while let Some(last) = chars.pop() {
-        if let Some(next) = char::from_u32(last as u32 + 1) {
-            chars.push(next);
-            return Some(chars.into_iter().collect());
+    };
+    let mut rows = Vec::with_capacity(rids.len());
+    for rid in rids {
+        if let Some(row) = t.get(rid)? {
+            rows.push(row);
         }
     }
-    None
+    Ok(rows)
 }
 
-fn resolve_base(table: &Option<String>, name: &str, alias: &str, t: &Table) -> Option<usize> {
-    if let Some(q) = table {
-        if !q.eq_ignore_ascii_case(alias) {
-            return None;
-        }
-    }
-    t.schema.column_index(name)
+/// Plans a SELECT with the default configuration — the entry point EXPLAIN
+/// and estimation APIs share with execution.
+pub fn plan_default(catalog: &Catalog, sel: &SelectStmt) -> Result<SelectPlan> {
+    plan_select(catalog, sel, &PlannerConfig::default())
 }
 
 // ---------- projection ----------
@@ -727,13 +725,12 @@ fn grouped_output(
                 .iter()
                 .map(|e| eval(e, schema, row))
                 .collect::<Result<_>>()?;
-            groups.entry(key.clone()).or_insert_with(|| {
-                order.push(key.clone());
-                Vec::new()
-            });
             groups
-                .get_mut(&key)
-                .expect("just inserted")
+                .entry(key.clone())
+                .or_insert_with(|| {
+                    order.push(key.clone());
+                    Vec::new()
+                })
                 .push(row.clone());
         }
     }
@@ -908,8 +905,11 @@ fn compute_agg(
             if all_int && func == AggFunc::Sum {
                 let mut acc = 0i64;
                 for v in &vals {
+                    let i = v
+                        .as_int()
+                        .ok_or_else(|| RelError::Exec("SUM of non-integer".into()))?;
                     acc = acc
-                        .checked_add(v.as_int().expect("all ints"))
+                        .checked_add(i)
                         .ok_or_else(|| RelError::Exec("SUM overflow".into()))?;
                 }
                 Value::Int(acc)

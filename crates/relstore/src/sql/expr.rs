@@ -234,6 +234,16 @@ fn eval_binary(
                 "LIKE needs text operands, got {a:?} / {b:?}"
             ))),
         },
+        BinOp::ILike => match (l, r) {
+            (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+            (Value::Text(s), Value::Text(p)) => Ok(Value::Bool(like_match(
+                &p.to_lowercase(),
+                &s.to_lowercase(),
+            ))),
+            (a, b) => Err(RelError::Exec(format!(
+                "ILIKE needs text operands, got {a:?} / {b:?}"
+            ))),
+        },
         BinOp::And | BinOp::Or => unreachable!("handled above"),
     }
 }
@@ -297,22 +307,36 @@ fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
 }
 
 /// SQL LIKE matcher: `%` = any run, `_` = any single char. Case-sensitive.
+///
+/// Iterative two-pointer algorithm (greedy `%` with backtracking to the last
+/// star): O(n·m) worst case, where the former recursive matcher was
+/// exponential on adversarial `%a%a%a…` patterns.
 pub fn like_match(pattern: &str, text: &str) -> bool {
-    fn rec(p: &[char], t: &[char]) -> bool {
-        match p.first() {
-            None => t.is_empty(),
-            Some('%') => {
-                // Collapse consecutive %.
-                let rest = &p[1..];
-                (0..=t.len()).any(|k| rec(rest, &t[k..]))
-            }
-            Some('_') => !t.is_empty() && rec(&p[1..], &t[1..]),
-            Some(c) => t.first() == Some(c) && rec(&p[1..], &t[1..]),
-        }
-    }
     let p: Vec<char> = pattern.chars().collect();
     let t: Vec<char> = text.chars().collect();
-    rec(&p, &t)
+    let (mut pi, mut ti) = (0usize, 0usize);
+    // Position of the last `%` seen and the text position it is currently
+    // assumed to consume up to; on mismatch we re-expand the star by one.
+    let mut star: Option<(usize, usize)> = None;
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some((pi, ti));
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            pi = sp + 1;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
 }
 
 fn eval_function(name: &str, args: &[Value]) -> Result<Value> {
@@ -552,5 +576,57 @@ mod tests {
         assert!(!like_match("_", ""));
         assert!(like_match("", ""));
         assert!(!like_match("", "x"));
+        assert!(like_match("a%c", "abc"));
+        assert!(like_match("a_c", "abc"));
+        assert!(!like_match("a_c", "abzc"));
+        assert!(like_match("%wind%", "station_wind_speed"));
+        assert!(!like_match("%wind%", "station_temp"));
+        assert!(like_match("%a%b%", "xaxbx"));
+        assert!(!like_match("b%a", "ba_suffix_missing"));
+    }
+
+    #[test]
+    fn like_adversarial_patterns_terminate_fast() {
+        // The old recursive matcher was exponential on these: a run of
+        // `%a` units against a text of `a`s with a trailing mismatch.
+        let text = "a".repeat(60) + "b";
+        let pattern = "%a".repeat(30) + "%c";
+        let start = std::time::Instant::now();
+        assert!(!like_match(&pattern, &text));
+        let pattern_match = "%a".repeat(30).to_string() + "%";
+        assert!(like_match(&pattern_match, &text[..60]));
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(2),
+            "adversarial LIKE took {:?}",
+            start.elapsed()
+        );
+        // Underscores interleaved with stars.
+        assert!(like_match("%_%_%_%", "abc"));
+        assert!(!like_match("%_%_%_%_%", "abc"));
+    }
+
+    #[test]
+    fn ilike_is_case_insensitive() {
+        let schema = RowSchema::new(vec![(Some("t".into()), "name".into())]);
+        let row = vec![Value::text("Wind_Speed_WFJ")];
+        let e = Expr::Binary {
+            op: BinOp::ILike,
+            lhs: Box::new(Expr::col("name")),
+            rhs: Box::new(Expr::lit("%wind%")),
+        };
+        assert_eq!(eval(&e, &schema, &row).unwrap(), Value::Bool(true));
+        let e = Expr::Binary {
+            op: BinOp::Like,
+            lhs: Box::new(Expr::col("name")),
+            rhs: Box::new(Expr::lit("%wind%")),
+        };
+        assert_eq!(eval(&e, &schema, &row).unwrap(), Value::Bool(false));
+        // NULL propagation.
+        let e = Expr::Binary {
+            op: BinOp::ILike,
+            lhs: Box::new(Expr::lit(Value::Null)),
+            rhs: Box::new(Expr::lit("%x%")),
+        };
+        assert_eq!(eval(&e, &schema, &row).unwrap(), Value::Null);
     }
 }

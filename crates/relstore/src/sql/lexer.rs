@@ -151,8 +151,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
             }
             c if c.is_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len() {
-                    let ch = input[i..].chars().next().expect("in bounds");
+                while let Some(ch) = input[i..].chars().next() {
                     if ch.is_alphanumeric() || ch == '_' {
                         i += ch.len_utf8();
                     } else {
@@ -183,10 +182,11 @@ fn lex_string(input: &str, start: usize) -> Result<(String, usize)> {
             } else {
                 return Ok((out, i + 1));
             }
-        } else {
-            let ch = input[i..].chars().next().expect("in bounds");
+        } else if let Some(ch) = input[i..].chars().next() {
             out.push(ch);
             i += ch.len_utf8();
+        } else {
+            break; // i on a non-boundary byte cannot happen; bail to the error
         }
     }
     Err(RelError::Lex("unterminated string literal".into()))
@@ -200,7 +200,9 @@ fn lex_quoted_ident(input: &str, start: usize) -> Result<(String, usize)> {
         if bytes[i] == b'"' {
             return Ok((out, i + 1));
         }
-        let ch = input[i..].chars().next().expect("in bounds");
+        let Some(ch) = input[i..].chars().next() else {
+            break; // i on a non-boundary byte cannot happen; bail to the error
+        };
         out.push(ch);
         i += ch.len_utf8();
     }

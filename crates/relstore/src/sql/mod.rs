@@ -5,3 +5,4 @@ pub mod exec;
 pub mod expr;
 pub mod lexer;
 pub mod parser;
+pub mod planner;

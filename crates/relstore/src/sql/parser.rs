@@ -122,11 +122,12 @@ impl Parser {
                 return self.create_table();
             }
             let unique = self.eat_keyword("UNIQUE");
+            let trigram = !unique && self.eat_keyword("TRIGRAM");
             if self.eat_keyword("INDEX") {
-                return self.create_index(unique);
+                return self.create_index(unique, trigram);
             }
             return Err(RelError::Parse(
-                "expected TABLE or INDEX after CREATE".into(),
+                "expected TABLE or [UNIQUE|TRIGRAM] INDEX after CREATE".into(),
             ));
         }
         if self.eat_keyword("DROP") {
@@ -219,7 +220,7 @@ impl Parser {
         }
     }
 
-    fn create_index(&mut self, unique: bool) -> Result<Statement> {
+    fn create_index(&mut self, unique: bool, trigram: bool) -> Result<Statement> {
         let name = self.identifier()?;
         self.expect_keyword("ON")?;
         let table = self.identifier()?;
@@ -229,11 +230,17 @@ impl Parser {
             columns.push(self.identifier()?);
         }
         self.expect_symbol(Sym::RParen)?;
+        if trigram && columns.len() != 1 {
+            return Err(RelError::Parse(
+                "TRIGRAM INDEX covers exactly one column".into(),
+            ));
+        }
         Ok(Statement::CreateIndex {
             name,
             table,
             columns,
             unique,
+            trigram,
         })
     }
 
@@ -535,10 +542,17 @@ impl Parser {
                 negated,
             });
         }
-        if self.eat_keyword("LIKE") {
+        let like_op = if self.eat_keyword("LIKE") {
+            Some(BinOp::Like)
+        } else if self.eat_keyword("ILIKE") {
+            Some(BinOp::ILike)
+        } else {
+            None
+        };
+        if let Some(op) = like_op {
             let rhs = self.additive()?;
             let like = Expr::Binary {
-                op: BinOp::Like,
+                op,
                 lhs: Box::new(lhs),
                 rhs: Box::new(rhs),
             };
@@ -553,7 +567,7 @@ impl Parser {
         }
         if negated {
             return Err(RelError::Parse(
-                "NOT must be followed by IN, BETWEEN or LIKE here".into(),
+                "NOT must be followed by IN, BETWEEN, LIKE or ILIKE here".into(),
             ));
         }
         let op = match self.peek() {
@@ -727,8 +741,8 @@ fn is_reserved(upper: &str) -> bool {
     const KWS: &[&str] = &[
         "SELECT", "INSERT", "UPDATE", "DELETE", "CREATE", "DROP", "FROM", "WHERE", "GROUP",
         "HAVING", "ORDER", "LIMIT", "OFFSET", "JOIN", "INNER", "LEFT", "OUTER", "ON", "AND", "OR",
-        "IN", "BETWEEN", "LIKE", "IS", "AS", "SET", "VALUES", "BY", "DESC", "ASC", "DISTINCT",
-        "UNION", "INTO", "TABLE", "INDEX",
+        "IN", "BETWEEN", "LIKE", "ILIKE", "IS", "AS", "SET", "VALUES", "BY", "DESC", "ASC",
+        "DISTINCT", "UNION", "INTO", "TABLE", "INDEX",
     ];
     KWS.contains(&upper)
 }
@@ -885,5 +899,74 @@ mod tests {
             panic!()
         };
         assert!(matches!(expr, Expr::Agg { distinct: true, .. }));
+    }
+
+    #[test]
+    fn ilike_and_not_ilike() {
+        let Statement::Select(sel) = parse("SELECT * FROM t WHERE name ILIKE '%wind%'").unwrap()
+        else {
+            panic!()
+        };
+        assert!(matches!(
+            sel.predicate,
+            Some(Expr::Binary {
+                op: BinOp::ILike,
+                ..
+            })
+        ));
+        // NOT ILIKE parses as NOT(ILIKE ...).
+        let Statement::Select(sel) =
+            parse("SELECT * FROM t WHERE name NOT ILIKE 'a%'").unwrap()
+        else {
+            panic!()
+        };
+        let Some(Expr::Unary {
+            op: UnOp::Not,
+            expr,
+        }) = sel.predicate
+        else {
+            panic!("expected NOT wrapper")
+        };
+        assert!(matches!(
+            *expr,
+            Expr::Binary {
+                op: BinOp::ILike,
+                ..
+            }
+        ));
+        // ILIKE is reserved: not usable as a bare identifier.
+        assert!(parse("SELECT ilike FROM t").is_err());
+    }
+
+    #[test]
+    fn create_trigram_index() {
+        let stmt = parse("CREATE TRIGRAM INDEX pages_title_trgm ON pages (title)").unwrap();
+        match stmt {
+            Statement::CreateIndex {
+                name,
+                table,
+                columns,
+                unique,
+                trigram,
+            } => {
+                assert_eq!(name, "pages_title_trgm");
+                assert_eq!(table, "pages");
+                assert_eq!(columns, vec!["title"]);
+                assert!(!unique);
+                assert!(trigram);
+            }
+            other => panic!("wrong stmt {other:?}"),
+        }
+        // Plain and UNIQUE indexes keep trigram = false.
+        let Statement::CreateIndex { trigram, .. } =
+            parse("CREATE UNIQUE INDEX i ON t (a)").unwrap()
+        else {
+            panic!()
+        };
+        assert!(!trigram);
+        // Multi-column trigram definitions are rejected at parse time.
+        assert!(parse("CREATE TRIGRAM INDEX i ON t (a, b)").is_err());
+        // UNIQUE TRIGRAM is not a thing.
+        assert!(parse("CREATE UNIQUE TRIGRAM INDEX i ON t (a)").is_err());
     }
 }

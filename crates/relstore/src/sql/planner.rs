@@ -1,0 +1,986 @@
+//! Cost-based SELECT planning.
+//!
+//! The planner turns a parsed `SelectStmt` into an explicit [`SelectPlan`]:
+//! an access path per relation (full scan, B-tree seek/range, trigram seek),
+//! optional index-probe joins, and — for all-inner joins — a join order
+//! chosen by estimated cardinality. Cardinalities come from three sources,
+//! cheapest-exact first: plan-time B-tree probes for equality keys,
+//! histogram fractions from [`TableStats`](crate::table::TableStats) for
+//! ranges, and minimum posting length from
+//! [`TrigramIndex`](crate::trigram::TrigramIndex) for substrings.
+//!
+//! Safety invariant (shared with the executor): every access path returns a
+//! *superset* of the rows its predicate matches, and the full WHERE / ON
+//! predicates are always re-applied, so plan choices can never change
+//! results — only how much work it takes to produce them.
+
+use super::ast::*;
+use super::exec::Catalog;
+use crate::error::{RelError, Result};
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::BTreeSet;
+
+/// Which planner features are enabled. [`PlannerConfig::naive`] forces full
+/// scans and written join order everywhere — the reference behavior the
+/// property suite and the bench compare against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannerConfig {
+    /// Use B-tree indexes for equality / range / LIKE-prefix predicates.
+    pub use_indexes: bool,
+    /// Use trigram indexes for substring (LIKE/ILIKE `%…%`) predicates.
+    pub use_trigram: bool,
+    /// Reorder all-inner join chains by estimated cardinality.
+    pub reorder_joins: bool,
+    /// Turn equi-joins on indexed columns into index-probe joins.
+    pub probe_joins: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> PlannerConfig {
+        PlannerConfig {
+            use_indexes: true,
+            use_trigram: true,
+            reorder_joins: true,
+            probe_joins: true,
+        }
+    }
+}
+
+impl PlannerConfig {
+    /// Everything off: full scans, nested loops, written join order.
+    pub fn naive() -> PlannerConfig {
+        PlannerConfig {
+            use_indexes: false,
+            use_trigram: false,
+            reorder_joins: false,
+            probe_joins: false,
+        }
+    }
+}
+
+/// How one relation's rows are produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessPath {
+    /// Scan every live row.
+    FullScan,
+    /// B-tree equality probe.
+    IndexSeek {
+        /// Index name.
+        index: String,
+        /// Column position the key applies to.
+        col: usize,
+        /// Probe key.
+        key: Value,
+    },
+    /// B-tree range scan; bounds are `(value, inclusive)`.
+    RangeScan {
+        /// Index name.
+        index: String,
+        /// Column position the bounds apply to.
+        col: usize,
+        /// Lower bound.
+        lo: Option<(Value, bool)>,
+        /// Upper bound.
+        hi: Option<(Value, bool)>,
+    },
+    /// Trigram posting intersection for a substring.
+    TrigramSeek {
+        /// Index name.
+        index: String,
+        /// Column position the needle applies to.
+        col: usize,
+        /// Literal substring extracted from the LIKE/ILIKE pattern.
+        needle: String,
+    },
+}
+
+/// Planned access to one relation.
+#[derive(Debug, Clone)]
+pub struct ScanPlan {
+    /// Lowercase catalog key of the table.
+    pub table_key: String,
+    /// Table name as declared (for EXPLAIN).
+    pub display: String,
+    /// Effective alias in the query.
+    pub alias: String,
+    /// Chosen access path.
+    pub path: AccessPath,
+    /// Estimated output rows.
+    pub est_rows: f64,
+}
+
+/// An index-probe join: for each joined-so-far row, evaluate `left_expr`
+/// and probe the right table's B-tree instead of loop-scanning it.
+#[derive(Debug, Clone)]
+pub struct ProbePlan {
+    /// Right-side index name.
+    pub index: String,
+    /// Right-side column position.
+    pub col: usize,
+    /// Key expression over the already-joined columns.
+    pub left_expr: Expr,
+}
+
+/// One planned join step.
+#[derive(Debug, Clone)]
+pub struct JoinStep {
+    /// INNER or LEFT.
+    pub kind: JoinKind,
+    /// ON predicate applied to each combined row (re-attached conjuncts
+    /// when the join chain was reordered).
+    pub on: Expr,
+    /// Loop-scan access for the right side (also carries naming/estimates
+    /// when a probe is used).
+    pub scan: ScanPlan,
+    /// When set, probe instead of loop-scanning.
+    pub probe: Option<ProbePlan>,
+}
+
+/// A full SELECT plan: base access, join steps, and — if the join chain was
+/// reordered — the slot permutation restoring written column order.
+#[derive(Debug, Clone)]
+pub struct SelectPlan {
+    /// Base relation access (`None` for FROM-less selects).
+    pub base: Option<ScanPlan>,
+    /// Join steps in execution order.
+    pub joins: Vec<JoinStep>,
+    /// True when execution order differs from written order.
+    pub reordered: bool,
+    /// For each written-layout slot, its index in the executed layout.
+    /// `None` when layouts coincide.
+    pub written_slots: Option<Vec<usize>>,
+}
+
+/// One relation of the query in written order.
+struct Rel<'a> {
+    table: &'a Table,
+    key: String,
+    alias: String,
+}
+
+fn lookup<'a>(catalog: &'a Catalog, name: &str) -> Result<&'a Table> {
+    catalog
+        .get(&name.to_ascii_lowercase())
+        .ok_or_else(|| RelError::NoSuchTable(name.to_owned()))
+}
+
+fn make_rel<'a>(catalog: &'a Catalog, tref: &TableRef) -> Result<Rel<'a>> {
+    let table = lookup(catalog, &tref.table)?;
+    Ok(Rel {
+        table,
+        key: tref.table.to_ascii_lowercase(),
+        alias: tref.effective_alias().to_owned(),
+    })
+}
+
+fn scan_all(rel: &Rel<'_>) -> ScanPlan {
+    ScanPlan {
+        table_key: rel.key.clone(),
+        display: rel.table.schema.name.clone(),
+        alias: rel.alias.clone(),
+        path: AccessPath::FullScan,
+        est_rows: rel.table.len() as f64,
+    }
+}
+
+/// Splits an expression into its top-level AND conjuncts.
+fn split_conjuncts<'a>(expr: &'a Expr, out: &mut Vec<&'a Expr>) {
+    if let Expr::Binary {
+        op: BinOp::And,
+        lhs,
+        rhs,
+    } = expr
+    {
+        split_conjuncts(lhs, out);
+        split_conjuncts(rhs, out);
+    } else {
+        out.push(expr);
+    }
+}
+
+/// AND-combines conjuncts back into one predicate (TRUE when empty).
+fn combine_conjuncts(conjs: &[&Expr]) -> Expr {
+    let mut it = conjs.iter();
+    match it.next() {
+        None => Expr::lit(true),
+        Some(first) => it.fold((*first).clone(), |acc, c| Expr::Binary {
+            op: BinOp::And,
+            lhs: Box::new(acc),
+            rhs: Box::new((*c).clone()),
+        }),
+    }
+}
+
+/// Resolves a column reference against one relation, refusing ambiguity:
+/// a qualifier must equal the relation's alias; an unqualified name must
+/// exist in this relation and in no other.
+fn resolve_for_rel(
+    qual: &Option<String>,
+    name: &str,
+    rel_ix: usize,
+    rels: &[Rel<'_>],
+) -> Option<usize> {
+    match qual {
+        Some(q) => {
+            if q.eq_ignore_ascii_case(&rels[rel_ix].alias) {
+                rels[rel_ix].table.schema.column_index(name)
+            } else {
+                None
+            }
+        }
+        None => {
+            let here = rels[rel_ix].table.schema.column_index(name)?;
+            let elsewhere = rels
+                .iter()
+                .enumerate()
+                .any(|(i, r)| i != rel_ix && r.table.schema.column_index(name).is_some());
+            (!elsewhere).then_some(here)
+        }
+    }
+}
+
+/// Collects the lowercase aliases a conjunct's column references resolve to.
+/// Returns `None` when any reference cannot be scoped unambiguously — the
+/// caller then refrains from reordering.
+fn conjunct_scope(expr: &Expr, rels: &[Rel<'_>]) -> Option<BTreeSet<String>> {
+    let mut scope = BTreeSet::new();
+    let mut ok = true;
+    visit_columns(expr, &mut |qual, name| {
+        if !ok {
+            return;
+        }
+        match scope_of(qual, name, rels) {
+            Some(alias) => {
+                scope.insert(alias);
+            }
+            None => ok = false,
+        }
+    });
+    ok.then_some(scope)
+}
+
+/// The unique relation alias a single column reference belongs to.
+fn scope_of(qual: &Option<String>, name: &str, rels: &[Rel<'_>]) -> Option<String> {
+    match qual {
+        Some(q) => rels
+            .iter()
+            .find(|r| r.alias.eq_ignore_ascii_case(q))
+            .map(|r| r.alias.to_ascii_lowercase()),
+        None => {
+            let mut owner = None;
+            for r in rels {
+                if r.table.schema.column_index(name).is_some() {
+                    if owner.is_some() {
+                        return None; // ambiguous
+                    }
+                    owner = Some(r.alias.to_ascii_lowercase());
+                }
+            }
+            owner
+        }
+    }
+}
+
+fn visit_columns(expr: &Expr, f: &mut impl FnMut(&Option<String>, &str)) {
+    match expr {
+        Expr::Literal(_) => {}
+        Expr::Column { table, name } => f(table, name),
+        Expr::Binary { lhs, rhs, .. } => {
+            visit_columns(lhs, f);
+            visit_columns(rhs, f);
+        }
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => visit_columns(expr, f),
+        Expr::InList { expr, list, .. } => {
+            visit_columns(expr, f);
+            for e in list {
+                visit_columns(e, f);
+            }
+        }
+        Expr::Between { expr, lo, hi, .. } => {
+            visit_columns(expr, f);
+            visit_columns(lo, f);
+            visit_columns(hi, f);
+        }
+        Expr::Func { args, .. } => {
+            for a in args {
+                visit_columns(a, f);
+            }
+        }
+        Expr::Agg { arg, .. } => {
+            if let Some(a) = arg {
+                visit_columns(a, f);
+            }
+        }
+    }
+}
+
+/// Longest run of literal characters (no `%`/`_`) in a LIKE pattern — the
+/// best needle for a trigram probe. Empty when no run reaches three chars.
+fn longest_literal_run(pattern: &str) -> String {
+    pattern
+        .split(['%', '_'])
+        .max_by_key(|s| s.chars().count())
+        .unwrap_or("")
+        .to_owned()
+}
+
+/// Smallest string strictly greater than every string with this prefix.
+pub(crate) fn like_prefix_upper_bound(prefix: &str) -> Option<String> {
+    let mut chars: Vec<char> = prefix.chars().collect();
+    while let Some(last) = chars.pop() {
+        if let Some(next) = char::from_u32(u32::from(last) + 1) {
+            chars.push(next);
+            return Some(chars.into_iter().collect());
+        }
+    }
+    None
+}
+
+/// Cost estimate for a range over a column, via the stats histogram.
+fn range_estimate(
+    t: &Table,
+    col: usize,
+    lo: Option<(&Value, bool)>,
+    hi: Option<(&Value, bool)>,
+) -> f64 {
+    let rows = t.len() as f64;
+    let frac = t
+        .stats()
+        .columns
+        .get(col)
+        .map_or(0.5, |cs| cs.range_fraction(lo, hi));
+    // Never claim a range is free: histogram resolution is finite.
+    (rows * frac).max(rows.min(1.0))
+}
+
+/// All candidate access paths one conjunct offers for a relation, with
+/// estimated row counts.
+fn conjunct_paths(
+    expr: &Expr,
+    rel_ix: usize,
+    rels: &[Rel<'_>],
+    cfg: &PlannerConfig,
+    out: &mut Vec<(AccessPath, f64)>,
+) {
+    let t = rels[rel_ix].table;
+    match expr {
+        Expr::Binary {
+            op: op @ (BinOp::Like | BinOp::ILike),
+            lhs,
+            rhs,
+        } => {
+            let Expr::Column { table, name } = &**lhs else {
+                return;
+            };
+            let Some(col) = resolve_for_rel(table, name, rel_ix, rels) else {
+                return;
+            };
+            let Expr::Literal(Value::Text(pattern)) = &**rhs else {
+                return;
+            };
+            // Case-sensitive prefix → B-tree range over [prefix, next).
+            if *op == BinOp::Like && cfg.use_indexes {
+                let prefix: String = pattern
+                    .chars()
+                    .take_while(|c| *c != '%' && *c != '_')
+                    .collect();
+                if !prefix.is_empty() {
+                    if let (Some(upper), Some(_)) =
+                        (like_prefix_upper_bound(&prefix), t.index_on_column(col))
+                    {
+                        let lo = Value::Text(prefix);
+                        let hi = Value::Text(upper);
+                        let est = range_estimate(t, col, Some((&lo, true)), Some((&hi, false)));
+                        if let Some((def, _)) = t.index_on_column(col) {
+                            out.push((
+                                AccessPath::RangeScan {
+                                    index: def.name.clone(),
+                                    col,
+                                    lo: Some((lo, true)),
+                                    hi: Some((hi, false)),
+                                },
+                                est,
+                            ));
+                        }
+                    }
+                }
+            }
+            // Any literal run ≥ 3 chars → trigram seek (case-insensitive
+            // postings serve both LIKE and ILIKE as supersets).
+            if cfg.use_trigram {
+                let needle = longest_literal_run(pattern);
+                if let Some((def, trgm)) = t.trigram_on_column(col) {
+                    if let Some(est) = trgm.estimate(&needle) {
+                        out.push((
+                            AccessPath::TrigramSeek {
+                                index: def.name.clone(),
+                                col,
+                                needle,
+                            },
+                            est as f64,
+                        ));
+                    }
+                }
+            }
+        }
+        Expr::Binary { op, lhs, rhs } if cfg.use_indexes => {
+            let (col, lit, flipped) = match (&**lhs, &**rhs) {
+                (Expr::Column { table, name }, Expr::Literal(v)) => {
+                    match resolve_for_rel(table, name, rel_ix, rels) {
+                        Some(c) => (c, v, false),
+                        None => return,
+                    }
+                }
+                (Expr::Literal(v), Expr::Column { table, name }) => {
+                    match resolve_for_rel(table, name, rel_ix, rels) {
+                        Some(c) => (c, v, true),
+                        None => return,
+                    }
+                }
+                _ => return,
+            };
+            if lit.is_null() {
+                return;
+            }
+            let Some((def, index)) = t.index_on_column(col) else {
+                return;
+            };
+            let bounds: Option<(Option<(Value, bool)>, Option<(Value, bool)>)> =
+                match (op, flipped) {
+                    (BinOp::Eq, _) => {
+                        let est = index.get(&vec![lit.clone()]).len() as f64;
+                        out.push((
+                            AccessPath::IndexSeek {
+                                index: def.name.clone(),
+                                col,
+                                key: lit.clone(),
+                            },
+                            est,
+                        ));
+                        None
+                    }
+                    (BinOp::Lt, false) | (BinOp::Gt, true) => {
+                        Some((None, Some((lit.clone(), false))))
+                    }
+                    (BinOp::Le, false) | (BinOp::Ge, true) => {
+                        Some((None, Some((lit.clone(), true))))
+                    }
+                    (BinOp::Gt, false) | (BinOp::Lt, true) => {
+                        Some((Some((lit.clone(), false)), None))
+                    }
+                    (BinOp::Ge, false) | (BinOp::Le, true) => {
+                        Some((Some((lit.clone(), true)), None))
+                    }
+                    _ => None,
+                };
+            if let Some((lo, hi)) = bounds {
+                let est = range_estimate(
+                    t,
+                    col,
+                    lo.as_ref().map(|(v, i)| (v, *i)),
+                    hi.as_ref().map(|(v, i)| (v, *i)),
+                );
+                out.push((
+                    AccessPath::RangeScan {
+                        index: def.name.clone(),
+                        col,
+                        lo,
+                        hi,
+                    },
+                    est,
+                ));
+            }
+        }
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated: false,
+        } if cfg.use_indexes => {
+            let Expr::Column { table, name } = &**expr else {
+                return;
+            };
+            let Some(col) = resolve_for_rel(table, name, rel_ix, rels) else {
+                return;
+            };
+            let (Expr::Literal(lov), Expr::Literal(hiv)) = (&**lo, &**hi) else {
+                return;
+            };
+            if lov.is_null() || hiv.is_null() {
+                return;
+            }
+            let Some((def, _)) = t.index_on_column(col) else {
+                return;
+            };
+            let est = range_estimate(t, col, Some((lov, true)), Some((hiv, true)));
+            out.push((
+                AccessPath::RangeScan {
+                    index: def.name.clone(),
+                    col,
+                    lo: Some((lov.clone(), true)),
+                    hi: Some((hiv.clone(), true)),
+                },
+                est,
+            ));
+        }
+        _ => {}
+    }
+}
+
+/// Picks the cheapest access path for one relation given the conjuncts that
+/// may narrow it. Full scan is the fallback; an indexed path must be
+/// estimated strictly cheaper to win.
+fn best_access(
+    rel_ix: usize,
+    rels: &[Rel<'_>],
+    conjuncts: &[&Expr],
+    cfg: &PlannerConfig,
+) -> ScanPlan {
+    let mut best = scan_all(&rels[rel_ix]);
+    let mut candidates = Vec::new();
+    for c in conjuncts {
+        conjunct_paths(c, rel_ix, rels, cfg, &mut candidates);
+    }
+    for (path, est) in candidates {
+        if est < best.est_rows {
+            best.path = path;
+            best.est_rows = est;
+        }
+    }
+    best
+}
+
+/// Finds an index-probe opportunity among a join step's ON conjuncts:
+/// `right.col = expr-over-in-scope-aliases` with a B-tree on `right.col`.
+fn find_probe(
+    conjuncts: &[&Expr],
+    rel_ix: usize,
+    rels: &[Rel<'_>],
+    in_scope: &BTreeSet<String>,
+) -> Option<ProbePlan> {
+    for c in conjuncts {
+        let Expr::Binary {
+            op: BinOp::Eq,
+            lhs,
+            rhs,
+        } = c
+        else {
+            continue;
+        };
+        for (col_side, other) in [(lhs, rhs), (rhs, lhs)] {
+            let Expr::Column { table, name } = &**col_side else {
+                continue;
+            };
+            let Some(col) = resolve_for_rel(table, name, rel_ix, rels) else {
+                continue;
+            };
+            let Some(scope) = conjunct_scope(other, rels) else {
+                continue;
+            };
+            if !scope.is_subset(in_scope) {
+                continue;
+            }
+            if let Some((def, _)) = rels[rel_ix].table.index_on_column(col) {
+                return Some(ProbePlan {
+                    index: def.name.clone(),
+                    col,
+                    left_expr: (**other).clone(),
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Plans a SELECT. See the module docs for the cost model and the safety
+/// invariant that makes every choice result-preserving.
+pub fn plan_select(catalog: &Catalog, sel: &SelectStmt, cfg: &PlannerConfig) -> Result<SelectPlan> {
+    let Some(base_ref) = &sel.from else {
+        return Ok(SelectPlan {
+            base: None,
+            joins: Vec::new(),
+            reordered: false,
+            written_slots: None,
+        });
+    };
+    let mut rels = vec![make_rel(catalog, base_ref)?];
+    for j in &sel.joins {
+        rels.push(make_rel(catalog, &j.table)?);
+    }
+
+    // Duplicate aliases make column scoping ambiguous; plan conservatively.
+    let mut seen = BTreeSet::new();
+    let aliases_distinct = rels
+        .iter()
+        .all(|r| seen.insert(r.alias.to_ascii_lowercase()));
+
+    let mut where_conjuncts: Vec<&Expr> = Vec::new();
+    if let Some(p) = &sel.predicate {
+        split_conjuncts(p, &mut where_conjuncts);
+    }
+
+    if !aliases_distinct {
+        return Ok(SelectPlan {
+            base: Some(scan_all(&rels[0])),
+            joins: sel
+                .joins
+                .iter()
+                .zip(rels.iter().skip(1))
+                .map(|(j, r)| JoinStep {
+                    kind: j.kind,
+                    on: j.on.clone(),
+                    scan: scan_all(r),
+                    probe: None,
+                })
+                .collect(),
+            reordered: false,
+            written_slots: None,
+        });
+    }
+
+    let all_inner = sel.joins.iter().all(|j| j.kind == JoinKind::Inner);
+    if cfg.reorder_joins && all_inner && !sel.joins.is_empty() {
+        if let Some(plan) = plan_reordered(sel, &rels, &where_conjuncts, cfg) {
+            return Ok(plan);
+        }
+    }
+
+    // Written order. The base and INNER right sides may be narrowed by WHERE
+    // conjuncts; LEFT right sides only by their own ON conjuncts (narrowing a
+    // LEFT right side from WHERE would change NULL-padding semantics).
+    let base = best_access(0, &rels, &where_conjuncts, cfg);
+    let mut in_scope: BTreeSet<String> = BTreeSet::new();
+    in_scope.insert(rels[0].alias.to_ascii_lowercase());
+    let mut joins = Vec::with_capacity(sel.joins.len());
+    for (jx, j) in sel.joins.iter().enumerate() {
+        let rel_ix = jx + 1;
+        let mut on_conjuncts: Vec<&Expr> = Vec::new();
+        split_conjuncts(&j.on, &mut on_conjuncts);
+        let scan = match j.kind {
+            JoinKind::Inner => {
+                let mut pool = where_conjuncts.clone();
+                pool.extend(on_conjuncts.iter().copied());
+                best_access(rel_ix, &rels, &pool, cfg)
+            }
+            JoinKind::Left => best_access(rel_ix, &rels, &on_conjuncts, cfg),
+        };
+        let probe = cfg
+            .probe_joins
+            .then(|| find_probe(&on_conjuncts, rel_ix, &rels, &in_scope))
+            .flatten();
+        in_scope.insert(rels[rel_ix].alias.to_ascii_lowercase());
+        joins.push(JoinStep {
+            kind: j.kind,
+            on: j.on.clone(),
+            scan,
+            probe,
+        });
+    }
+    Ok(SelectPlan {
+        base: Some(base),
+        joins,
+        reordered: false,
+        written_slots: None,
+    })
+}
+
+/// Attempts a greedy cardinality-ordered plan for an all-inner join chain.
+/// Returns `None` when any ON conjunct cannot be scoped unambiguously, in
+/// which case the caller falls back to written order.
+fn plan_reordered(
+    sel: &SelectStmt,
+    rels: &[Rel<'_>],
+    where_conjuncts: &[&Expr],
+    cfg: &PlannerConfig,
+) -> Option<SelectPlan> {
+    let n = rels.len();
+    // Pool of ON conjuncts with their alias scopes.
+    let mut pool: Vec<(&Expr, BTreeSet<String>)> = Vec::new();
+    for j in &sel.joins {
+        let mut cs: Vec<&Expr> = Vec::new();
+        split_conjuncts(&j.on, &mut cs);
+        for c in cs {
+            pool.push((c, conjunct_scope(c, rels)?));
+        }
+    }
+
+    // Local access per relation: WHERE conjuncts plus single-relation ON
+    // conjuncts (all joins are inner, so ON and WHERE narrow identically).
+    let locals: Vec<ScanPlan> = (0..n)
+        .map(|i| {
+            let alias = rels[i].alias.to_ascii_lowercase();
+            let mut conjs: Vec<&Expr> = where_conjuncts.to_vec();
+            conjs.extend(
+                pool.iter()
+                    .filter(|(_, s)| s.len() == 1 && s.contains(&alias))
+                    .map(|(c, _)| *c),
+            );
+            best_access(i, rels, &conjs, cfg)
+        })
+        .collect();
+
+    // Greedy order: cheapest relation first, then the cheapest relation
+    // connected to the current scope (falling back to cheapest overall when
+    // nothing connects — a cross join either way).
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut remaining: BTreeSet<usize> = (0..n).collect();
+    let cheapest = |set: &[usize]| -> usize {
+        let mut best = set[0];
+        for &i in set {
+            if locals[i].est_rows < locals[best].est_rows {
+                best = i;
+            }
+        }
+        best
+    };
+    let start = cheapest(&remaining.iter().copied().collect::<Vec<_>>());
+    order.push(start);
+    remaining.remove(&start);
+    let mut scope: BTreeSet<String> = BTreeSet::new();
+    scope.insert(rels[start].alias.to_ascii_lowercase());
+    while !remaining.is_empty() {
+        let connected: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let alias = rels[i].alias.to_ascii_lowercase();
+                pool.iter().any(|(_, s)| {
+                    s.contains(&alias)
+                        && s.iter().all(|a| *a == alias || scope.contains(a))
+                })
+            })
+            .collect();
+        let pick = if connected.is_empty() {
+            cheapest(&remaining.iter().copied().collect::<Vec<_>>())
+        } else {
+            cheapest(&connected)
+        };
+        order.push(pick);
+        remaining.remove(&pick);
+        scope.insert(rels[pick].alias.to_ascii_lowercase());
+    }
+
+    let reordered = order.iter().enumerate().any(|(pos, &i)| pos != i);
+
+    // Re-attach each pooled conjunct at the earliest step whose scope covers
+    // it (conjuncts scoped within the base attach to the first join step).
+    let mut attached = vec![false; pool.len()];
+    let mut scope_so_far: BTreeSet<String> = BTreeSet::new();
+    scope_so_far.insert(rels[order[0]].alias.to_ascii_lowercase());
+    let mut joins = Vec::with_capacity(n - 1);
+    for &rel_ix in &order[1..] {
+        let in_scope_before = scope_so_far.clone();
+        scope_so_far.insert(rels[rel_ix].alias.to_ascii_lowercase());
+        let step_conjuncts: Vec<&Expr> = pool
+            .iter()
+            .zip(attached.iter_mut())
+            .filter_map(|((c, s), done)| {
+                if !*done && s.is_subset(&scope_so_far) {
+                    *done = true;
+                    Some(*c)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let probe = cfg
+            .probe_joins
+            .then(|| find_probe(&step_conjuncts, rel_ix, rels, &in_scope_before))
+            .flatten();
+        joins.push(JoinStep {
+            kind: JoinKind::Inner,
+            on: combine_conjuncts(&step_conjuncts),
+            scan: locals[rel_ix].clone(),
+            probe,
+        });
+    }
+    debug_assert!(attached.iter().all(|a| *a), "every ON conjunct re-attached");
+
+    // Slot permutation back to written layout.
+    let written_slots = if reordered {
+        let arities: Vec<usize> = rels.iter().map(|r| r.table.schema.arity()).collect();
+        let mut exec_offsets = vec![0usize; n];
+        let mut off = 0;
+        for &rel_ix in &order {
+            exec_offsets[rel_ix] = off;
+            off += arities[rel_ix];
+        }
+        let mut slots = Vec::with_capacity(off);
+        for (rel_ix, &a) in arities.iter().enumerate() {
+            slots.extend(exec_offsets[rel_ix]..exec_offsets[rel_ix] + a);
+        }
+        Some(slots)
+    } else {
+        None
+    };
+
+    Some(SelectPlan {
+        base: Some(locals[order[0]].clone()),
+        joins,
+        reordered,
+        written_slots,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::parser::parse;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let stmts = [
+            "CREATE TABLE pages (id INTEGER PRIMARY KEY, title TEXT NOT NULL, ns INTEGER)",
+            "CREATE TABLE annotations (page_id INTEGER, attribute TEXT, value TEXT)",
+            "CREATE INDEX ann_page ON annotations (page_id)",
+            "CREATE INDEX ann_attr ON annotations (attribute)",
+            "CREATE TRIGRAM INDEX pages_title_trgm ON pages (title)",
+        ];
+        for s in stmts {
+            let stmt = parse(s).unwrap();
+            super::super::exec::execute(&mut cat, stmt).unwrap();
+        }
+        for i in 0..200i64 {
+            // A few rows carry a distinctive substring so trigram seeks have
+            // something selective to find.
+            let site = if i % 20 == 0 { "davos" } else { "wind" };
+            let stmt = parse(&format!(
+                "INSERT INTO pages VALUES ({i}, 'Sensor_{:02}_{site}', {})",
+                i % 50,
+                i % 3
+            ))
+            .unwrap();
+            super::super::exec::execute(&mut cat, stmt).unwrap();
+        }
+        for i in 0..400i64 {
+            let stmt = parse(&format!(
+                "INSERT INTO annotations VALUES ({}, 'attr{}', 'v{}')",
+                i % 200,
+                i % 7,
+                i
+            ))
+            .unwrap();
+            super::super::exec::execute(&mut cat, stmt).unwrap();
+        }
+        cat
+    }
+
+    fn plan(cat: &Catalog, sql: &str) -> SelectPlan {
+        let Statement::Select(sel) = parse(sql).unwrap() else {
+            panic!("not a select");
+        };
+        plan_select(cat, &sel, &PlannerConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn eq_on_indexed_column_seeks() {
+        let cat = catalog();
+        let p = plan(&cat, "SELECT * FROM pages WHERE id = 7");
+        assert!(
+            matches!(p.base.as_ref().unwrap().path, AccessPath::IndexSeek { .. }),
+            "{p:?}"
+        );
+        // Exact plan-time probe: one row for a unique key.
+        assert!((p.base.unwrap().est_rows - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unindexed_predicate_full_scans() {
+        let cat = catalog();
+        let p = plan(&cat, "SELECT * FROM pages WHERE ns = 2");
+        assert!(matches!(
+            p.base.as_ref().unwrap().path,
+            AccessPath::FullScan
+        ));
+    }
+
+    #[test]
+    fn substring_pattern_uses_trigram() {
+        let cat = catalog();
+        let p = plan(&cat, "SELECT * FROM pages WHERE title LIKE '%_07_%'");
+        assert!(
+            matches!(
+                &p.base.as_ref().unwrap().path,
+                AccessPath::TrigramSeek { needle, .. } if needle == "07"  // run "_07_" splits to "07"
+            ) || matches!(&p.base.as_ref().unwrap().path, AccessPath::FullScan),
+            "{p:?}"
+        );
+        let p = plan(&cat, "SELECT * FROM pages WHERE title ILIKE '%DAVOS%'");
+        assert!(
+            matches!(
+                &p.base.as_ref().unwrap().path,
+                AccessPath::TrigramSeek { needle, .. } if needle == "DAVOS"
+            ),
+            "{p:?}"
+        );
+    }
+
+    #[test]
+    fn naive_config_disables_everything() {
+        let cat = catalog();
+        let Statement::Select(sel) =
+            parse("SELECT * FROM pages p JOIN annotations a ON a.page_id = p.id WHERE p.id = 3")
+                .unwrap()
+        else {
+            panic!()
+        };
+        let p = plan_select(&cat, &sel, &PlannerConfig::naive()).unwrap();
+        assert!(matches!(
+            p.base.as_ref().unwrap().path,
+            AccessPath::FullScan
+        ));
+        assert!(!p.reordered);
+        assert!(p.joins[0].probe.is_none());
+    }
+
+    #[test]
+    fn equi_join_on_indexed_column_probes() {
+        let cat = catalog();
+        let p = plan(
+            &cat,
+            "SELECT * FROM pages p JOIN annotations a ON a.page_id = p.id",
+        );
+        let probe_somewhere = p.joins.iter().any(|j| j.probe.is_some());
+        assert!(probe_somewhere, "{p:?}");
+    }
+
+    #[test]
+    fn selective_side_becomes_base() {
+        let cat = catalog();
+        // pages filtered to one row by PK; annotations unfiltered (400 rows).
+        // Reorder should start from pages even when written second.
+        let p = plan(
+            &cat,
+            "SELECT * FROM annotations a JOIN pages p ON a.page_id = p.id WHERE p.id = 3",
+        );
+        let base = p.base.as_ref().unwrap();
+        assert_eq!(base.alias, "p", "{p:?}");
+        assert!(p.reordered);
+        let perm = p.written_slots.as_ref().unwrap();
+        // annotations has 3 columns then pages 3 columns in written layout;
+        // executed layout is pages first.
+        assert_eq!(perm[..3], [3, 4, 5]);
+        assert_eq!(perm[3..], [0, 1, 2]);
+    }
+
+    #[test]
+    fn left_join_right_side_not_narrowed_by_where() {
+        let cat = catalog();
+        let p = plan(
+            &cat,
+            "SELECT * FROM pages p LEFT JOIN annotations a ON a.page_id = p.id \
+             WHERE a.attribute = 'attr1'",
+        );
+        assert!(!p.reordered);
+        // The WHERE eq on a.attribute must NOT narrow the LEFT right side's
+        // loop scan (probe from ON is fine).
+        match &p.joins[0].scan.path {
+            AccessPath::IndexSeek { col, .. } => {
+                // attribute is column 1 of annotations; page_id col 0.
+                assert_ne!(*col, 1, "LEFT right side narrowed by WHERE: {p:?}");
+            }
+            _ => {}
+        }
+    }
+}

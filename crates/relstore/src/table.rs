@@ -1,13 +1,24 @@
-//! A table: schema + heap storage + maintained indexes.
+//! A table: schema + heap storage + maintained indexes + statistics.
 
 use crate::btree::BTreeIndex;
 use crate::encoding::{decode_row, encode_row};
 use crate::error::{RelError, Result};
 use crate::heap::{Heap, RowId};
 use crate::schema::TableSchema;
-use crate::value::Value;
+use crate::trigram::TrigramIndex;
+use crate::value::{DataType, Value};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// Kind of secondary index: ordered B-tree over column values, or a trigram
+/// posting index over a single text column for substring predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Ordered composite-key index (equality + range seeks).
+    BTree,
+    /// Trigram posting index (LIKE `'%substr%'` / ILIKE candidates).
+    Trigram,
+}
 
 /// Definition of one secondary index.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,6 +29,109 @@ pub struct IndexDef {
     pub columns: Vec<usize>,
     /// Uniqueness constraint.
     pub unique: bool,
+    /// Index structure.
+    pub kind: IndexKind,
+}
+
+impl IndexDef {
+    /// A B-tree index definition.
+    pub fn btree(name: impl Into<String>, columns: Vec<usize>, unique: bool) -> IndexDef {
+        IndexDef {
+            name: name.into(),
+            columns,
+            unique,
+            kind: IndexKind::BTree,
+        }
+    }
+
+    /// A trigram index definition over one text column.
+    pub fn trigram(name: impl Into<String>, column: usize) -> IndexDef {
+        IndexDef {
+            name: name.into(),
+            columns: vec![column],
+            unique: false,
+            kind: IndexKind::Trigram,
+        }
+    }
+}
+
+/// Number of equi-depth histogram boundaries kept per column.
+const HISTOGRAM_BUCKETS: usize = 16;
+
+/// Per-column statistics: distinct/null counts plus an equi-depth histogram
+/// (sorted bucket boundaries over non-null values).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ColumnStats {
+    /// Number of distinct non-null values at the last rebuild.
+    pub distinct: usize,
+    /// Number of NULLs at the last rebuild.
+    pub nulls: usize,
+    /// Sorted equi-depth bucket boundaries (empty for an empty column).
+    pub histogram: Vec<Value>,
+}
+
+impl ColumnStats {
+    /// Estimated fraction of rows matching an equality predicate:
+    /// uniform-distribution assumption, `1 / distinct`.
+    pub fn eq_fraction(&self) -> f64 {
+        if self.distinct == 0 {
+            1.0
+        } else {
+            1.0 / self.distinct as f64
+        }
+    }
+
+    /// Estimated fraction of non-null values `< v` (or `<= v` when
+    /// `inclusive`), read off the histogram. `0.5` when no histogram exists.
+    pub fn fraction_below(&self, v: &Value, inclusive: bool) -> f64 {
+        if self.histogram.is_empty() {
+            return 0.5;
+        }
+        let pos = if inclusive {
+            self.histogram.partition_point(|b| b <= v)
+        } else {
+            self.histogram.partition_point(|b| b < v)
+        };
+        pos as f64 / self.histogram.len() as f64
+    }
+
+    /// Estimated fraction of rows inside a (possibly half-open) range.
+    /// Bounds are `(value, inclusive)`.
+    pub fn range_fraction(
+        &self,
+        lo: Option<(&Value, bool)>,
+        hi: Option<(&Value, bool)>,
+    ) -> f64 {
+        let hi_f = hi.map_or(1.0, |(v, incl)| self.fraction_below(v, incl));
+        let lo_f = lo.map_or(0.0, |(v, incl)| self.fraction_below(v, !incl));
+        (hi_f - lo_f).clamp(0.0, 1.0)
+    }
+}
+
+/// Table-level statistics snapshot, rebuilt amortizedly on mutation. Lives
+/// inside [`Table`], so MVCC reader versions snapshot it for free.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TableStats {
+    /// Live row count at the last rebuild (the planner uses the exact live
+    /// count from the heap; this anchors histogram fractions).
+    pub rows: usize,
+    /// Per-column statistics, one entry per schema column.
+    pub columns: Vec<ColumnStats>,
+}
+
+/// Equi-depth boundaries of a sorted, non-empty value slice.
+fn equi_depth_boundaries(sorted: &[Value]) -> Vec<Value> {
+    if sorted.is_empty() {
+        return Vec::new();
+    }
+    let buckets = HISTOGRAM_BUCKETS.min(sorted.len());
+    let mut out = Vec::with_capacity(buckets + 1);
+    for i in 0..=buckets {
+        let ix = (i * (sorted.len() - 1)) / buckets;
+        out.push(sorted[ix].clone());
+    }
+    out.dedup();
+    out
 }
 
 /// A table with its storage and indexes.
@@ -31,8 +145,15 @@ pub struct Table {
     /// The table's schema.
     pub schema: TableSchema,
     heap: Heap,
-    /// Indexes by name. BTreeMap keeps snapshot output deterministic.
+    /// B-tree indexes by name. BTreeMap keeps snapshot output deterministic.
     indexes: BTreeMap<String, (IndexDef, Arc<BTreeIndex>)>,
+    /// Trigram indexes by name, kept apart so B-tree maintenance loops and
+    /// unique checks stay untouched.
+    trigrams: BTreeMap<String, (IndexDef, Arc<TrigramIndex>)>,
+    /// Planner statistics, rebuilt amortizedly (see `record_mutation`).
+    stats: TableStats,
+    /// Mutations since the last stats rebuild.
+    stale_mutations: usize,
 }
 
 impl Table {
@@ -42,30 +163,36 @@ impl Table {
         let mut table = Table {
             heap: Heap::new(),
             indexes: BTreeMap::new(),
+            trigrams: BTreeMap::new(),
+            stats: TableStats::default(),
+            stale_mutations: 0,
             schema,
         };
         let implicit: Vec<IndexDef> = table
             .schema
             .unique_columns()
-            .map(|(ix, col)| IndexDef {
-                name: format!(
-                    "{}_{}_unique",
-                    table.schema.name,
-                    col.name.to_ascii_lowercase()
-                ),
-                columns: vec![ix],
-                unique: true,
+            .map(|(ix, col)| {
+                IndexDef::btree(
+                    format!(
+                        "{}_{}_unique",
+                        table.schema.name,
+                        col.name.to_ascii_lowercase()
+                    ),
+                    vec![ix],
+                    true,
+                )
             })
             .collect();
         for def in implicit {
             table.create_index(def)?;
         }
+        table.rebuild_stats();
         Ok(table)
     }
 
     /// Adds an index, backfilling it from existing rows.
     pub fn create_index(&mut self, def: IndexDef) -> Result<()> {
-        if self.indexes.contains_key(&def.name) {
+        if self.indexes.contains_key(&def.name) || self.trigrams.contains_key(&def.name) {
             return Err(RelError::IndexExists(def.name));
         }
         for &c in &def.columns {
@@ -73,39 +200,79 @@ impl Table {
                 return Err(RelError::NoSuchColumn(format!("#{c}")));
             }
         }
-        let mut index = BTreeIndex::new(def.unique);
-        for (rid, rec) in self.heap.scan() {
-            let mut pos = 0;
-            let row = decode_row(rec, &mut pos)?;
-            let key = def.columns.iter().map(|&c| row[c].clone()).collect();
-            index
-                .insert(key, rid)
-                .map_err(|e| named_violation(e, &def.name))?;
+        match def.kind {
+            IndexKind::BTree => {
+                let mut index = BTreeIndex::new(def.unique);
+                for (rid, rec) in self.heap.scan() {
+                    let mut pos = 0;
+                    let row = decode_row(rec, &mut pos)?;
+                    let key = def.columns.iter().map(|&c| row[c].clone()).collect();
+                    index
+                        .insert(key, rid)
+                        .map_err(|e| named_violation(e, &def.name))?;
+                }
+                self.indexes
+                    .insert(def.name.clone(), (def, Arc::new(index)));
+            }
+            IndexKind::Trigram => {
+                if def.unique {
+                    return Err(RelError::Exec(format!(
+                        "trigram index `{}` cannot be UNIQUE",
+                        def.name
+                    )));
+                }
+                let [col] = def.columns[..] else {
+                    return Err(RelError::Exec(format!(
+                        "trigram index `{}` must cover exactly one column",
+                        def.name
+                    )));
+                };
+                if self.schema.columns[col].ty != DataType::Text {
+                    return Err(RelError::Exec(format!(
+                        "trigram index `{}` requires a TEXT column",
+                        def.name
+                    )));
+                }
+                let mut index = TrigramIndex::new();
+                for (rid, rec) in self.heap.scan() {
+                    let mut pos = 0;
+                    let row = decode_row(rec, &mut pos)?;
+                    if let Value::Text(s) = &row[col] {
+                        index.insert(s, rid);
+                    }
+                }
+                self.trigrams
+                    .insert(def.name.clone(), (def, Arc::new(index)));
+            }
         }
-        self.indexes
-            .insert(def.name.clone(), (def, Arc::new(index)));
         Ok(())
     }
 
     /// Drops an index by name.
     pub fn drop_index(&mut self, name: &str) -> Result<()> {
-        self.indexes
-            .remove(name)
-            .map(|_| ())
-            .ok_or_else(|| RelError::NoSuchIndex(name.to_owned()))
+        if self.indexes.remove(name).is_some() || self.trigrams.remove(name).is_some() {
+            Ok(())
+        } else {
+            Err(RelError::NoSuchIndex(name.to_owned()))
+        }
     }
 
-    /// Names of indexes on this table.
+    /// Names of indexes on this table (B-tree first, then trigram).
     pub fn index_names(&self) -> impl Iterator<Item = &str> {
-        self.indexes.keys().map(String::as_str)
+        self.indexes
+            .keys()
+            .chain(self.trigrams.keys())
+            .map(String::as_str)
     }
 
-    /// Returns an index (definition and tree) by the first matching leading
-    /// column, preferring unique indexes — used by the planner.
+    /// Returns a single-column index (definition and tree) covering exactly
+    /// `col`, preferring unique indexes — used by the planner. Multi-column
+    /// indexes are excluded: probing their composite keys with a one-value
+    /// key would miss rows rather than over-approximate.
     pub fn index_on_column(&self, col: usize) -> Option<(&IndexDef, &BTreeIndex)> {
         let mut best: Option<(&IndexDef, &BTreeIndex)> = None;
         for (def, ix) in self.indexes.values() {
-            if def.columns.first() == Some(&col) {
+            if def.columns[..] == [col] {
                 let better = match best {
                     None => true,
                     Some((bdef, _)) => def.unique && !bdef.unique,
@@ -116,6 +283,84 @@ impl Table {
             }
         }
         best
+    }
+
+    /// Returns the trigram index covering `col`, if any — used by the
+    /// planner for substring predicates.
+    pub fn trigram_on_column(&self, col: usize) -> Option<(&IndexDef, &TrigramIndex)> {
+        self.trigrams
+            .values()
+            .find(|(def, _)| def.columns.first() == Some(&col))
+            .map(|(def, ix)| (def, ix.as_ref()))
+    }
+
+    /// Planner statistics as of the last rebuild.
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    /// Rebuilds per-column statistics with a full scan.
+    pub fn rebuild_stats(&mut self) {
+        let arity = self.schema.arity();
+        let mut cols: Vec<Vec<Value>> = vec![Vec::new(); arity];
+        let mut nulls = vec![0usize; arity];
+        let mut rows = 0usize;
+        for (_, row) in self.scan() {
+            rows += 1;
+            for (c, v) in row.into_iter().enumerate() {
+                if v.is_null() {
+                    nulls[c] += 1;
+                } else {
+                    cols[c].push(v);
+                }
+            }
+        }
+        let columns = cols
+            .into_iter()
+            .zip(nulls)
+            .map(|(mut vals, nulls)| {
+                vals.sort_unstable();
+                let mut distinct = 0usize;
+                let mut prev: Option<&Value> = None;
+                for v in &vals {
+                    if prev != Some(v) {
+                        distinct += 1;
+                    }
+                    prev = Some(v);
+                }
+                ColumnStats {
+                    distinct,
+                    nulls,
+                    histogram: equi_depth_boundaries(&vals),
+                }
+            })
+            .collect();
+        self.stats = TableStats { rows, columns };
+        self.stale_mutations = 0;
+    }
+
+    /// Amortized stats maintenance: rebuild once enough mutations pile up
+    /// relative to table size, so per-mutation cost stays O(1) amortized.
+    fn record_mutation(&mut self) {
+        self.stale_mutations += 1;
+        if self.stale_mutations >= 16.max(self.stats.rows / 4) {
+            self.rebuild_stats();
+        }
+    }
+
+    /// Maintains trigram indexes for one row entering (`add = true`) or
+    /// leaving (`add = false`) the table.
+    fn maintain_trigrams(&mut self, row: &[Value], rid: RowId, add: bool) {
+        for (def, index) in self.trigrams.values_mut() {
+            if let Value::Text(s) = &row[def.columns[0]] {
+                let index = Arc::make_mut(index);
+                if add {
+                    index.insert(s, rid);
+                } else {
+                    index.remove(s, rid);
+                }
+            }
+        }
     }
 
     /// Inserts a row (validated + coerced), maintaining all indexes.
@@ -143,6 +388,8 @@ impl Table {
                 .insert(key, rid)
                 .map_err(|e| named_violation(e, &def.name))?;
         }
+        self.maintain_trigrams(&row, rid, true);
+        self.record_mutation();
         Ok(rid)
     }
 
@@ -167,6 +414,8 @@ impl Table {
             let key = def.columns.iter().map(|&c| row[c].clone()).collect();
             Arc::make_mut(index).remove(&key, rid);
         }
+        self.maintain_trigrams(&row, rid, false);
+        self.record_mutation();
         Ok(true)
     }
 
@@ -195,6 +444,7 @@ impl Table {
             let key = def.columns.iter().map(|&c| old_row[c].clone()).collect();
             Arc::make_mut(index).remove(&key, rid);
         }
+        self.maintain_trigrams(&old_row, rid, false);
         let mut buf = Vec::new();
         encode_row(&new_row, &mut buf);
         let new_rid = self.heap.insert(&buf)?;
@@ -204,6 +454,8 @@ impl Table {
                 .insert(key, new_rid)
                 .map_err(|e| named_violation(e, &def.name))?;
         }
+        self.maintain_trigrams(&new_row, new_rid, true);
+        self.record_mutation();
         Ok(new_rid)
     }
 
@@ -281,6 +533,25 @@ impl Table {
                 }
             }
         }
+        for (def, index) in self.trigrams.values() {
+            if let Err(index_problems) = index.check_invariants() {
+                problems.extend(
+                    index_problems
+                        .into_iter()
+                        .map(|p| format!("trigram index {}: {p}", def.name)),
+                );
+            }
+            for (rid, row) in &rows {
+                if let Value::Text(s) = &row[def.columns[0]] {
+                    if !index.contains(s, *rid) {
+                        problems.push(format!(
+                            "trigram index {} is missing row {rid:?} for text {s:?}",
+                            def.name
+                        ));
+                    }
+                }
+            }
+        }
         if problems.is_empty() {
             Ok(())
         } else {
@@ -289,7 +560,10 @@ impl Table {
     }
 
     pub(crate) fn index_defs(&self) -> impl Iterator<Item = &IndexDef> {
-        self.indexes.values().map(|(d, _)| d)
+        self.indexes
+            .values()
+            .map(|(d, _)| d)
+            .chain(self.trigrams.values().map(|(d, _)| d))
     }
 
     pub(crate) fn restore(schema: TableSchema, heap: Heap, defs: Vec<IndexDef>) -> Result<Table> {
@@ -297,10 +571,14 @@ impl Table {
             schema,
             heap,
             indexes: BTreeMap::new(),
+            trigrams: BTreeMap::new(),
+            stats: TableStats::default(),
+            stale_mutations: 0,
         };
         for def in defs {
             table.create_index(def)?;
         }
+        table.rebuild_stats();
         Ok(table)
     }
 }
@@ -404,12 +682,8 @@ mod tests {
             ])
             .unwrap();
         }
-        t.create_index(IndexDef {
-            name: "by_station".into(),
-            columns: vec![2],
-            unique: false,
-        })
-        .unwrap();
+        t.create_index(IndexDef::btree("by_station", vec![2], false))
+            .unwrap();
         let (_, ix) = t.index_on_column(2).unwrap();
         assert_eq!(ix.get(&vec!["station0".into()]).len(), 10);
         // Maintained on subsequent inserts.
@@ -456,11 +730,7 @@ mod tests {
     #[test]
     fn duplicate_index_name_rejected() {
         let mut t = sensors();
-        let def = IndexDef {
-            name: "dup".into(),
-            columns: vec![1],
-            unique: false,
-        };
+        let def = IndexDef::btree("dup", vec![1], false);
         t.create_index(def.clone()).unwrap();
         assert!(matches!(
             t.create_index(def).unwrap_err(),
@@ -476,13 +746,103 @@ mod tests {
         t.insert(vec![2.into(), "same".into(), Value::Null])
             .unwrap();
         let err = t
-            .create_index(IndexDef {
-                name: "name_unique".into(),
-                columns: vec![1],
-                unique: true,
-            })
+            .create_index(IndexDef::btree("name_unique", vec![1], true))
             .unwrap_err();
         assert!(matches!(err, RelError::UniqueViolation { .. }));
         assert!(t.index_on_column(1).is_none());
+    }
+
+    #[test]
+    fn trigram_index_maintained_across_mutations() {
+        let mut t = sensors();
+        for i in 0..10 {
+            t.insert(vec![
+                i.into(),
+                format!("wind_speed_{i}").into(),
+                "wfj".into(),
+            ])
+            .unwrap();
+        }
+        t.create_index(IndexDef::trigram("sensors_name_trgm", 1))
+            .unwrap();
+        let (_, trgm) = t.trigram_on_column(1).unwrap();
+        assert_eq!(trgm.candidates("wind").unwrap().len(), 10);
+        assert_eq!(t.check_invariants(), Ok(()));
+
+        let rid = t.scan().next().unwrap().0;
+        t.update(rid, vec![0.into(), "air_temp_0".into(), "wfj".into()])
+            .unwrap();
+        let (_, trgm) = t.trigram_on_column(1).unwrap();
+        assert_eq!(trgm.candidates("wind").unwrap().len(), 9);
+        assert_eq!(trgm.candidates("air_temp").unwrap().len(), 1);
+
+        let rid = t.scan().next().unwrap().0;
+        t.delete(rid).unwrap();
+        assert_eq!(t.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn trigram_index_rejects_bad_definitions() {
+        let mut t = sensors();
+        // Non-text column.
+        let err = t
+            .create_index(IndexDef::trigram("bad_col", 0))
+            .unwrap_err();
+        assert!(matches!(err, RelError::Exec(_)));
+        // UNIQUE trigram.
+        let mut def = IndexDef::trigram("bad_unique", 1);
+        def.unique = true;
+        assert!(matches!(t.create_index(def).unwrap_err(), RelError::Exec(_)));
+        // Composite trigram.
+        let mut def = IndexDef::trigram("bad_composite", 1);
+        def.columns = vec![1, 2];
+        assert!(matches!(t.create_index(def).unwrap_err(), RelError::Exec(_)));
+        // Name collisions span both maps.
+        t.create_index(IndexDef::trigram("shared_name", 1)).unwrap();
+        assert!(matches!(
+            t.create_index(IndexDef::btree("shared_name", vec![0], false))
+                .unwrap_err(),
+            RelError::IndexExists(_)
+        ));
+        t.drop_index("shared_name").unwrap();
+        assert!(t.trigram_on_column(1).is_none());
+    }
+
+    #[test]
+    fn stats_rebuild_tracks_distribution() {
+        let mut t = sensors();
+        for i in 0..100 {
+            t.insert(vec![
+                i.into(),
+                format!("s{i}").into(),
+                if i % 10 == 0 {
+                    Value::Null
+                } else {
+                    format!("station{}", i % 5).into()
+                },
+            ])
+            .unwrap();
+        }
+        t.rebuild_stats();
+        let stats = t.stats();
+        assert_eq!(stats.rows, 100);
+        assert_eq!(stats.columns[0].distinct, 100);
+        assert_eq!(stats.columns[2].nulls, 10);
+        // i=5,15,… yield station0, so all five stations appear.
+        assert_eq!(stats.columns[2].distinct, 5);
+        // Histogram fractions: id < 50 is about half the table.
+        let frac = stats.columns[0].range_fraction(None, Some((&Value::Int(50), false)));
+        assert!((0.2..=0.8).contains(&frac), "fraction {frac}");
+    }
+
+    #[test]
+    fn stats_rebuild_amortized_on_mutation() {
+        let mut t = sensors();
+        // First 16 mutations trigger a rebuild (threshold for empty table).
+        for i in 0..20 {
+            t.insert(vec![i.into(), format!("s{i}").into(), Value::Null])
+                .unwrap();
+        }
+        assert!(t.stats().rows >= 16, "rows {}", t.stats().rows);
     }
 }

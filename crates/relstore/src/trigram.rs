@@ -1,0 +1,254 @@
+//! Trigram secondary index for substring predicates.
+//!
+//! A trigram index maps every lowercased 3-character window of a text
+//! column to the rows containing it. A `LIKE '%needle%'` (or `ILIKE`)
+//! predicate is served by intersecting the posting lists of the needle's
+//! trigrams: any row whose text contains the needle necessarily contains
+//! every trigram of the needle, so the intersection is a superset of the
+//! true matches and the executor's residual-predicate invariant keeps the
+//! result exact. Lowercasing both sides makes the same index serve the
+//! case-insensitive surface.
+
+use crate::heap::RowId;
+use std::collections::BTreeMap;
+
+/// Number of characters per gram.
+const GRAM_LEN: usize = 3;
+
+/// A trigram posting index over one text column.
+///
+/// Posting lists are kept sorted so membership checks and intersections
+/// run in logarithmic / linear time respectively.
+#[derive(Debug, Clone, Default)]
+pub struct TrigramIndex {
+    postings: BTreeMap<[char; GRAM_LEN], Vec<RowId>>,
+    /// Rows currently indexed (rows whose text produced at least one gram).
+    indexed_rows: usize,
+}
+
+/// Lowercased trigrams of a text, deduplicated.
+fn grams(text: &str) -> Vec<[char; GRAM_LEN]> {
+    let lower: Vec<char> = text.to_lowercase().chars().collect();
+    if lower.len() < GRAM_LEN {
+        return Vec::new();
+    }
+    let mut out: Vec<[char; GRAM_LEN]> = lower
+        .windows(GRAM_LEN)
+        .map(|w| [w[0], w[1], w[2]])
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+impl TrigramIndex {
+    /// Creates an empty index.
+    pub fn new() -> TrigramIndex {
+        TrigramIndex::default()
+    }
+
+    /// Number of rows with at least one indexed gram.
+    pub fn len(&self) -> usize {
+        self.indexed_rows
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.indexed_rows == 0
+    }
+
+    /// Number of distinct grams.
+    pub fn gram_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Indexes a row's text value. Texts shorter than three characters
+    /// produce no grams and are not indexed — they can never contain a
+    /// three-character needle, so skipping them preserves the superset
+    /// guarantee.
+    pub fn insert(&mut self, text: &str, rid: RowId) {
+        let gs = grams(text);
+        if gs.is_empty() {
+            return;
+        }
+        for g in gs {
+            let posting = self.postings.entry(g).or_default();
+            if let Err(ix) = posting.binary_search(&rid) {
+                posting.insert(ix, rid);
+            }
+        }
+        self.indexed_rows += 1;
+    }
+
+    /// Removes a row previously indexed under `text`.
+    pub fn remove(&mut self, text: &str, rid: RowId) {
+        let gs = grams(text);
+        if gs.is_empty() {
+            return;
+        }
+        let mut removed_any = false;
+        for g in &gs {
+            if let Some(posting) = self.postings.get_mut(g) {
+                if let Ok(ix) = posting.binary_search(&rid) {
+                    posting.remove(ix);
+                    removed_any = true;
+                }
+                if posting.is_empty() {
+                    self.postings.remove(g);
+                }
+            }
+        }
+        if removed_any {
+            self.indexed_rows = self.indexed_rows.saturating_sub(1);
+        }
+    }
+
+    /// Rows that may contain `needle` (case-insensitively): the sorted
+    /// intersection of the needle's gram postings. `None` when the needle is
+    /// shorter than a gram — the index cannot bound the candidate set.
+    pub fn candidates(&self, needle: &str) -> Option<Vec<RowId>> {
+        let gs = grams(needle);
+        if gs.is_empty() {
+            return None;
+        }
+        // Intersect starting from the rarest gram.
+        let mut lists: Vec<&Vec<RowId>> = Vec::with_capacity(gs.len());
+        for g in &gs {
+            match self.postings.get(g) {
+                Some(p) => lists.push(p),
+                None => return Some(Vec::new()),
+            }
+        }
+        lists.sort_by_key(|p| p.len());
+        let mut acc: Vec<RowId> = lists[0].clone();
+        for list in &lists[1..] {
+            acc.retain(|rid| list.binary_search(rid).is_ok());
+            if acc.is_empty() {
+                break;
+            }
+        }
+        Some(acc)
+    }
+
+    /// Upper bound on `candidates(needle).len()` without materializing the
+    /// intersection: the shortest posting list among the needle's grams.
+    /// `None` when the needle is too short to use the index.
+    pub fn estimate(&self, needle: &str) -> Option<usize> {
+        let gs = grams(needle);
+        if gs.is_empty() {
+            return None;
+        }
+        Some(
+            gs.iter()
+                .map(|g| self.postings.get(g).map_or(0, Vec::len))
+                .min()
+                .unwrap_or(0),
+        )
+    }
+
+    /// True when every gram of `text` holds `rid` — the per-row agreement
+    /// check `fsck` runs against live heap rows.
+    pub fn contains(&self, text: &str, rid: RowId) -> bool {
+        let gs = grams(text);
+        if gs.is_empty() {
+            return true; // short texts are legitimately unindexed
+        }
+        gs.iter().all(|g| {
+            self.postings
+                .get(g)
+                .is_some_and(|p| p.binary_search(&rid).is_ok())
+        })
+    }
+
+    /// Structural invariants: posting lists are sorted, deduplicated, and
+    /// non-empty.
+    pub fn check_invariants(&self) -> Result<(), Vec<String>> {
+        let mut problems = Vec::new();
+        for (g, posting) in &self.postings {
+            if posting.is_empty() {
+                problems.push(format!("gram {g:?}: empty posting list retained"));
+            }
+            if posting.windows(2).any(|w| w[0] >= w[1]) {
+                problems.push(format!("gram {g:?}: posting list unsorted or duplicated"));
+            }
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(n: u32) -> RowId {
+        RowId { page: 0, slot: n }
+    }
+
+    #[test]
+    fn candidates_superset_of_matches() {
+        let mut ix = TrigramIndex::new();
+        ix.insert("Wind_Speed_WFJ", rid(1));
+        ix.insert("air_temperature", rid(2));
+        ix.insert("wind_direction", rid(3));
+        let c = ix.candidates("wind").expect("usable needle");
+        assert!(c.contains(&rid(1)) && c.contains(&rid(3)));
+        assert!(!c.contains(&rid(2)));
+        // Case-insensitive by construction.
+        let c = ix.candidates("WIND").expect("usable needle");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn short_needles_are_unusable() {
+        let mut ix = TrigramIndex::new();
+        ix.insert("abcdef", rid(1));
+        assert!(ix.candidates("ab").is_none());
+        assert!(ix.estimate("").is_none());
+    }
+
+    #[test]
+    fn short_texts_never_match_long_needles() {
+        let mut ix = TrigramIndex::new();
+        ix.insert("ab", rid(1)); // too short to index
+        assert_eq!(ix.len(), 0);
+        assert_eq!(ix.candidates("abc"), Some(Vec::new()));
+        assert!(ix.contains("ab", rid(1)), "short text counts as agreed");
+    }
+
+    #[test]
+    fn remove_cleans_postings() {
+        let mut ix = TrigramIndex::new();
+        ix.insert("sensor", rid(1));
+        ix.insert("sensor", rid(2));
+        ix.remove("sensor", rid(1));
+        assert_eq!(ix.candidates("sensor"), Some(vec![rid(2)]));
+        ix.remove("sensor", rid(2));
+        assert!(ix.is_empty());
+        assert_eq!(ix.gram_count(), 0);
+        assert_eq!(ix.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn estimate_bounds_candidates() {
+        let mut ix = TrigramIndex::new();
+        for i in 0..20 {
+            ix.insert(&format!("station_{i}_wind"), rid(i));
+        }
+        let est = ix.estimate("wind").expect("usable");
+        let got = ix.candidates("wind").expect("usable").len();
+        assert!(est >= got, "estimate {est} must bound candidates {got}");
+    }
+
+    #[test]
+    fn unicode_texts_index_cleanly() {
+        let mut ix = TrigramIndex::new();
+        ix.insert("Zürich_Öst", rid(7));
+        let c = ix.candidates("üri").expect("usable");
+        assert_eq!(c, vec![rid(7)]);
+        assert_eq!(ix.check_invariants(), Ok(()));
+    }
+}

@@ -271,7 +271,7 @@ fn sql_and_sparql_consoles() {
         "/sql?q=EXPLAIN+SELECT+*+FROM+pages+WHERE+title+%3D+%27x%27",
     );
     assert_eq!(status, 200);
-    assert!(body.contains("IndexScan pages"), "{body}");
+    assert!(body.contains("IndexSeek pages"), "{body}");
     // Writes are rejected.
     let (status, _) = get(&server, "/sql?q=DELETE+FROM+pages");
     assert_eq!(status, 400);
@@ -283,6 +283,22 @@ fn sql_and_sparql_consoles() {
     assert_eq!(status, 200);
     let v: serde_json::Value = serde_json::from_str(&body).unwrap();
     assert_eq!(v["rows"].as_array().unwrap().len(), 2);
+    server.stop();
+}
+
+#[test]
+fn metrics_expose_planner_counters() {
+    let server = start();
+    // Run one indexed lookup and one trigram-eligible substring query so the
+    // planner's chosen-path counters have been bumped.
+    let (status, _) = get(&server, "/sql?q=SELECT+*+FROM+pages+WHERE+title+%3D+%27Fieldsite%3ADavos%27");
+    assert_eq!(status, 200);
+    let (status, _) = get(&server, "/sql?q=SELECT+title+FROM+pages+WHERE+title+ILIKE+%27%25davos%25%27");
+    assert_eq!(status, 200);
+    let (status, body) = get(&server, "/metrics");
+    assert_eq!(status, 200);
+    assert!(body.contains("sql_plan_index_seek_total"), "{body}");
+    assert!(body.contains("sql_plan_trigram_seek_total"), "{body}");
     server.stop();
 }
 

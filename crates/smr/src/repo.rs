@@ -44,6 +44,7 @@ const SCHEMA_SQL: &str = "CREATE TABLE pages (id INTEGER PRIMARY KEY, title TEXT
      body TEXT);
      CREATE INDEX annotations_page ON annotations (page_id);
      CREATE INDEX annotations_attr ON annotations (attribute);
+     CREATE TRIGRAM INDEX pages_title_trgm ON pages (title);
      CREATE INDEX links_from ON links (from_id);
      CREATE INDEX links_to ON links (to_title);
      CREATE INDEX tags_page ON tags (page_id);
