@@ -123,6 +123,9 @@ pub fn run_suite(cfg: &BenchConfig) -> Vec<BenchReport> {
         // Last on purpose: its writers bump every epoch domain, which would
         // cold-start the cache workloads if it ran before them.
         bench_concurrency(cfg),
+        // After concurrency for the same reason: cluster writes churn the
+        // clock too.
+        bench_cluster(cfg),
     ]
 }
 
@@ -853,6 +856,149 @@ fn bench_concurrency(cfg: &BenchConfig) -> BenchReport {
     report
 }
 
+/// Mixed read/write serving through the cluster's scatter-gather path at
+/// 1 vs 4 shards, with a WAL-shipped replica tailing the writes.
+///
+/// Each phase performs a fixed amount of work — `iterations` scattered
+/// searches with a primary commit (and shard republish) interleaved — so
+/// the phases are comparable: the extras carry modeled read throughput at
+/// each shard count and their ratio (`scaling_x4`). Per-read latency is
+/// the scatter's *critical path* from [`ScatterTrace`]: the slowest task
+/// of each scattered stage plus the serial coordinator work — the latency
+/// a one-worker-per-shard cluster would see. In-process shards stand in
+/// for cluster nodes, so per-task service time is the number that scales
+/// with shard count; single-box wall clock flattens whenever the box has
+/// fewer idle cores than shards and would make the measurement a property
+/// of the host, not of the partitioning. Write cost (commit + full shard
+/// republish) churns the shard set between reads but is excluded from the
+/// read-latency model. `merge_identical` confirms scattered
+/// results stayed byte-identical to the single store at both shard counts,
+/// and the replica extras show the tail converged after the write churn.
+fn bench_cluster(cfg: &BenchConfig) -> BenchReport {
+    use sensormeta_cluster::{Replica, ShardSet};
+
+    let dir = std::env::temp_dir().join(format!(
+        "sensormeta_bench_cluster_{}_{}",
+        std::process::id(),
+        cfg.seed
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench scratch dir"); // xlint: allow(no-unwrap)
+    let store = dir.join("store.smr");
+
+    // Durable primary (WAL-logged) seeded with the shared corpus, so a
+    // replica can ship its log.
+    let pages = generate_corpus(&CorpusConfig {
+        institutions: cfg.scale,
+        seed: cfg.seed,
+        ..CorpusConfig::default()
+    });
+    let (mut primary, _) = Smr::open_durable(&store).expect("durable primary"); // xlint: allow(no-unwrap)
+    let report = primary.bulk_load(pages.into_iter().map(|p| {
+        let mut d = PageDraft::new(p.title, p.namespace).body(p.body);
+        d.annotations = p.annotations;
+        d.links = p.links;
+        d.tags = p.tags;
+        d
+    }));
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    let replica = Replica::open("bench", &store).expect("replica open"); // xlint: allow(no-unwrap)
+
+    // Pair up workload queries (2–6 terms each): scattered reads need
+    // enough per-read work for the partitioned stages to dominate the
+    // serial coordinator tail, mirroring the multi-term forms the search
+    // UI produces.
+    let singles = query_workload(2 * cfg.iterations.max(4), cfg.seed + 43);
+    let queries: Vec<String> = singles.chunks(2).map(|pair| pair.join(" ")).collect();
+    let probe = SearchForm::keywords(queries[0].clone());
+    let reads_per_phase = cfg.iterations.max(4);
+    // At least two commits per phase, at most one write per 8 reads.
+    let write_every = (reads_per_phase / 8).clamp(2, 16);
+    let h = obs::histogram("bench_cluster_us");
+    let mut merge_identical = true;
+    let mut throughput = [0.0f64; 2];
+    let mut read_secs = [0.0f64; 2];
+    let mut writes_total = 0u64;
+
+    for (phase, shards) in [1usize, 4].into_iter().enumerate() {
+        let mut engine = QueryEngine::open(primary.clone_reader()).expect("engine build"); // xlint: allow(no-unwrap)
+        let set = ShardSet::build(&engine, shards).expect("shard set"); // xlint: allow(no-unwrap)
+        let _ = set.search(&probe, None); // warm-up: fault in lazy state untimed
+        for (i, q) in queries.iter().cycle().take(reads_per_phase).enumerate() {
+            let form = SearchForm::keywords(q.clone());
+            let modeled_us = match set.search_traced(&form, None) {
+                Ok((_, trace)) => trace.critical_path_us(),
+                Err(_) => 0,
+            };
+            read_secs[phase] += modeled_us as f64 / 1e6;
+            if shards == 4 {
+                h.record(modeled_us);
+            }
+            if (i + 1) % write_every == 0 {
+                // The write path: commit to the durable primary, rebuild
+                // derived structures, re-partition the shard set.
+                let draft = PageDraft::new(format!("Deployment:bench_s{shards}_{i}"), "Deployment")
+                    .body(format!("cluster bench write {i} at {shards} shards"));
+                primary.create_page(draft).expect("bench write"); // xlint: allow(no-unwrap)
+                engine = QueryEngine::open(primary.clone_reader()).expect("engine rebuild"); // xlint: allow(no-unwrap)
+                set.republish(&engine).expect("republish"); // xlint: allow(no-unwrap)
+                writes_total += 1;
+            }
+        }
+        throughput[phase] = reads_per_phase as f64 / read_secs[phase].max(1e-9);
+
+        let single = engine.search_uncached(&probe, None);
+        let scattered = set.search(&probe, None);
+        let eq = match (&single, &scattered) {
+            (Ok(a), Ok(b)) => serde_json::to_string(a).ok() == serde_json::to_string(b).ok(),
+            _ => false,
+        };
+        merge_identical &= eq;
+    }
+
+    // Drain the replica: it tails everything both phases committed. Lag is
+    // bounded if a handful of polls reaches the primary's log end and the
+    // stores converge.
+    let mut drain_polls = 0u64;
+    let mut idle = 0;
+    while idle < 2 && drain_polls < 1000 {
+        match replica.poll_once() {
+            Ok(p) if p.applied == 0 && !p.resynced && p.stalled.is_none() => idle += 1,
+            Ok(_) => idle = 0,
+            Err(_) => break,
+        }
+        drain_polls += 1;
+    }
+    let converged = replica.logical_dump() == primary.database().logical_dump();
+
+    let mut report = BenchReport::from_histogram("cluster", &h);
+    report.extra.push(("reads_per_sec_1shard", throughput[0]));
+    report.extra.push(("reads_per_sec_4shard", throughput[1]));
+    report
+        .extra
+        .push(("scaling_x4", throughput[1] / throughput[0].max(1e-9)));
+    report.extra.push(("writes_total", writes_total as f64));
+    report
+        .extra
+        .push(("merge_identical", if merge_identical { 1.0 } else { 0.0 }));
+    report
+        .extra
+        .push(("replica_drain_polls", drain_polls as f64));
+    report
+        .extra
+        .push(("replica_converged", if converged { 1.0 } else { 0.0 }));
+    report
+        .extra
+        .push(("replica_applied_seq", replica.applied_seq() as f64));
+    report
+        .extra
+        .push(("threads", Pool::global().threads() as f64));
+
+    drop(replica);
+    let _ = std::fs::remove_dir_all(&dir);
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -865,7 +1011,7 @@ mod tests {
             seed: 42,
         };
         let reports = run_suite(&cfg);
-        assert_eq!(reports.len(), 12);
+        assert_eq!(reports.len(), 13);
         for r in &reports {
             assert!(r.iterations > 0, "{} ran", r.name);
             let json = r.to_json();
@@ -906,8 +1052,7 @@ mod tests {
         // The planner workload carries both timings per shape, the chosen-
         // plan counter deltas, and the indexed paths must actually win.
         let planner = reports.iter().find(|r| r.name == "planner").unwrap();
-        let extras: std::collections::BTreeMap<&str, f64> =
-            planner.extra.iter().copied().collect();
+        let extras: std::collections::BTreeMap<&str, f64> = planner.extra.iter().copied().collect();
         for key in [
             "like_planned_us",
             "like_naive_us",
@@ -960,5 +1105,26 @@ mod tests {
         assert!(extras["mvcc_commits"] >= 1.0, "writer must publish");
         assert!(extras["baseline_p95_ns"] > 0.0, "phases must record reads");
         assert!(extras["readers"] >= 1.0);
+        // The cluster workload runs mixed read/write at 1 vs 4 shards with
+        // a tailing replica; identity and convergence must hold at any
+        // scale (the ≥1.5× scaling gate only applies at CI scale).
+        let cluster = reports.iter().find(|r| r.name == "cluster").unwrap();
+        let extras: std::collections::BTreeMap<&str, f64> = cluster.extra.iter().copied().collect();
+        for key in [
+            "reads_per_sec_1shard",
+            "reads_per_sec_4shard",
+            "scaling_x4",
+            "writes_total",
+            "merge_identical",
+            "replica_drain_polls",
+            "replica_converged",
+            "replica_applied_seq",
+            "threads",
+        ] {
+            assert!(extras.contains_key(key), "cluster: missing {key}");
+        }
+        assert_eq!(extras["merge_identical"], 1.0, "scatter diverged");
+        assert_eq!(extras["replica_converged"], 1.0, "replica diverged");
+        assert!(extras["writes_total"] >= 1.0, "no writes in mixed phase");
     }
 }

@@ -1,0 +1,315 @@
+//! WAL-shipped read replicas.
+//!
+//! A replica opens the primary's snapshot in recovering mode (nothing on
+//! disk is modified), then *tails* the primary's live write-ahead log:
+//! each poll reads the log bytes, feeds them to a
+//! [`WalTail`](sensormeta_relstore::WalTail) incremental parser, applies
+//! newly committed transactions through the same deterministic replay path
+//! recovery uses, and publishes the updated engine as an MVCC commit.
+//! Checkpoint truncation and persistent frame damage both trigger a full
+//! resync from the snapshot.
+
+use sensormeta_cache::{clock, Domain, EpochVector};
+use sensormeta_obs as obs;
+use sensormeta_query::{QueryEngine, QueryError, Result};
+use sensormeta_relstore::{wal_path_for, LogicalOp, WalTail};
+use sensormeta_smr::Smr;
+use sensormeta_tx::{Mvcc, Snapshot};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::time::Duration;
+
+/// How many consecutive stalled polls (torn or damaged frames that never
+/// heal) a replica tolerates before it gives up on the tail and resyncs
+/// from the snapshot.
+const STALL_RESYNC_THRESHOLD: u32 = 3;
+
+/// Outcome of one tail poll, mostly for tests and the bench harness.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplicaPoll {
+    /// Operations applied to the replica store this poll.
+    pub applied: u64,
+    /// Operations skipped because the replica already had them.
+    pub skipped: u64,
+    /// Operations that failed to replay (counted, never fatal).
+    pub failed: u64,
+    /// The primary checkpointed (log shrank) and the replica resynced.
+    pub truncated: bool,
+    /// The replica rebuilt itself from the snapshot this poll.
+    pub resynced: bool,
+    /// The tail is stalled on damaged frames (diagnostic; a few
+    /// consecutive stalls trigger a resync).
+    pub stalled: Option<String>,
+}
+
+struct TailState {
+    smr: Smr,
+    tail: WalTail,
+    /// Highest operation sequence folded into `smr`.
+    applied: u64,
+    /// Consecutive stalled polls; reset by any clean poll.
+    stalls: u32,
+}
+
+/// Epoch bookkeeping: which clock values this replica's published state
+/// is known to cover.
+struct Freshness {
+    epochs: EpochVector,
+}
+
+/// A read replica over a primary's durable store.
+///
+/// The replica never writes to the primary's files: it loads the snapshot
+/// in recovering mode, then tails the log read-only. Construct with
+/// [`Replica::open`], drive deterministically with [`Replica::poll_once`]
+/// (tests, benches) or continuously with [`Replica::start`] (serving).
+pub struct Replica {
+    name: String,
+    primary_path: PathBuf,
+    engine: Mvcc<QueryEngine>,
+    state: Mutex<TailState>,
+    freshness: Mutex<Freshness>,
+    stop: Arc<AtomicBool>,
+    handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Replica {
+    /// Opens a replica of the durable store at `primary_path` (snapshot
+    /// plus optional live WAL). The returned replica is caught up to the
+    /// snapshot and whatever committed WAL existed at open time; call
+    /// [`Replica::poll_once`] or [`Replica::start`] to follow new commits.
+    pub fn open(name: &str, primary_path: &std::path::Path) -> Result<Arc<Replica>> {
+        let epochs_at_read = clock().snapshot();
+        let (smr, report) = Smr::load_with_report(primary_path)?;
+        let engine = QueryEngine::open(smr.clone_reader())?;
+        let mut tail = WalTail::new();
+        // Fast-forward the tail past everything recovery already replayed:
+        // the bytes currently in the log decode to ops at or below
+        // `report.last_seq`, which `apply_replicated` would skip anyway,
+        // but re-parsing them on the first poll is wasted work only — so
+        // feed them through once here where the outcome is discarded.
+        if let Ok(bytes) = std::fs::read(wal_path_for(primary_path)) {
+            let _ = tail.poll(&bytes);
+        }
+        obs::counter("cluster_replica_opens_total").inc();
+        Ok(Arc::new(Replica {
+            name: name.to_string(),
+            primary_path: primary_path.to_path_buf(),
+            engine: Mvcc::new(engine),
+            state: Mutex::new(TailState {
+                smr,
+                tail,
+                applied: report.last_seq,
+                stalls: 0,
+            }),
+            freshness: Mutex::new(Freshness {
+                epochs: epochs_at_read,
+            }),
+            stop: Arc::new(AtomicBool::new(false)),
+            handle: Mutex::new(None),
+        }))
+    }
+
+    /// The replica's name (used in log lines and metrics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// A snapshot of the replica's published query engine.
+    pub fn snapshot(&self) -> Snapshot<QueryEngine> {
+        self.engine.snapshot()
+    }
+
+    /// Highest operation sequence folded into the replica's store.
+    pub fn applied_seq(&self) -> u64 {
+        lock(&self.state).applied
+    }
+
+    /// The epoch vector this replica's published state is known to cover:
+    /// reads depending only on domains where the global clock equals this
+    /// vector see data as fresh as the primary's.
+    pub fn covered_epochs(&self) -> EpochVector {
+        lock(&self.freshness).epochs
+    }
+
+    /// How many epochs behind the global clock this replica is, maximized
+    /// over `deps` — the domains a read depends on.
+    pub fn staleness(&self, deps: &[Domain]) -> u64 {
+        let covered = self.covered_epochs();
+        let now = clock().snapshot();
+        deps.iter()
+            .map(|&d| now.get(d).saturating_sub(covered.get(d)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Logical contents of the replica's relational store, for convergence
+    /// checks against the primary's `logical_dump`.
+    pub fn logical_dump(&self) -> Vec<(String, Vec<Vec<u8>>)> {
+        lock(&self.state).smr.database().logical_dump()
+    }
+
+    /// One synchronous tail step: read the primary's log, apply any newly
+    /// committed transactions, publish the updated engine. Deterministic —
+    /// the convergence tests drive replication entirely through this.
+    pub fn poll_once(&self) -> Result<ReplicaPoll> {
+        // Capture the clock BEFORE reading the log: any commit that bumped
+        // an epoch before this point has its WAL bytes visible to the read
+        // below (the primary writes the log before bumping), so a clean
+        // poll that drains the log covers at least this vector.
+        let epochs_at_read = clock().snapshot();
+        let bytes = match std::fs::read(wal_path_for(&self.primary_path)) {
+            Ok(b) => b,
+            // No log yet (fresh store or mid-checkpoint swap): caught up.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(QueryError::Internal(format!("read primary wal: {e}"))),
+        };
+
+        let mut out = ReplicaPoll::default();
+        let mut state = lock(&self.state);
+        let poll = state.tail.poll(&bytes);
+
+        if poll.truncated {
+            // The primary checkpointed: the old log is gone and the new one
+            // may start past what we had applied. Resync from the snapshot
+            // rather than guessing.
+            out.truncated = true;
+            self.resync(&mut state)?;
+            out.resynced = true;
+            drop(state);
+            self.publish(epochs_at_read);
+            return Ok(out);
+        }
+
+        if let Some(why) = poll.stalled {
+            state.stalls += 1;
+            obs::counter("cluster_replica_stalls_total").inc();
+            if state.stalls >= STALL_RESYNC_THRESHOLD {
+                self.resync(&mut state)?;
+                out.resynced = true;
+                drop(state);
+                self.publish(epochs_at_read);
+            } else {
+                out.stalled = Some(why);
+            }
+            return Ok(out);
+        }
+
+        let ops: Vec<(u64, LogicalOp)> = poll.committed.into_iter().flat_map(|tx| tx.ops).collect();
+        let seen = ops
+            .iter()
+            .map(|(seq, _)| *seq)
+            .max()
+            .unwrap_or(state.applied);
+        if !ops.is_empty() {
+            let after = state.applied;
+            let report = state.smr.apply_replicated(&ops, after)?;
+            state.applied = report.last_seq.max(state.applied);
+            out.applied = report.applied;
+            out.skipped = report.skipped;
+            out.failed = report.failed;
+        }
+        state.stalls = 0;
+        let lag = seen.saturating_sub(state.applied);
+        drop(state);
+
+        obs::gauge("cluster_replica_lag_seq").set(lag as f64);
+        if out.applied > 0 {
+            self.rebuild_engine()?;
+        }
+        // Clean poll that drained the log: the published state covers
+        // everything committed before the read started.
+        self.publish(epochs_at_read);
+        Ok(out)
+    }
+
+    /// Reports replica lag against an externally known primary sequence
+    /// (more accurate than the tail's own view when the log has frames the
+    /// replica has not parsed yet).
+    pub fn record_lag(&self, primary_seq: u64) -> u64 {
+        let lag = primary_seq.saturating_sub(self.applied_seq());
+        obs::gauge("cluster_replica_lag_seq").set(lag as f64);
+        lag
+    }
+
+    fn resync(&self, state: &mut TailState) -> Result<()> {
+        let (smr, report) = Smr::load_with_report(&self.primary_path)?;
+        state.smr = smr;
+        state.tail = WalTail::new();
+        state.applied = report.last_seq;
+        state.stalls = 0;
+        obs::counter("cluster_replica_resyncs_total").inc();
+        Ok(())
+    }
+
+    fn rebuild_engine(&self) -> Result<()> {
+        let smr = lock(&self.state).smr.clone_reader();
+        let engine = QueryEngine::open(smr)?;
+        // No domain bumps: the primary's commit already dated this change
+        // on the global clock; the replica is only catching up to it.
+        self.engine.begin().publish(&[], engine);
+        Ok(())
+    }
+
+    fn publish(&self, epochs: EpochVector) {
+        let mut f = lock(&self.freshness);
+        // Epochs only move forward; a concurrent poll may already have
+        // recorded a later vector.
+        for d in sensormeta_cache::ALL_DOMAINS {
+            if epochs.get(d) > f.epochs.get(d) {
+                f.epochs.0[d as usize] = epochs.get(d);
+            }
+        }
+    }
+
+    /// Starts the background tail loop: polls the primary's log every
+    /// `interval` until [`Replica::stop`] is called or every external
+    /// handle to the replica is dropped.
+    pub fn start(self: &Arc<Self>, interval: Duration) {
+        let weak: Weak<Replica> = Arc::downgrade(self);
+        let stop = Arc::clone(&self.stop);
+        let name = format!("replica-tail-{}", self.name);
+        // The tail loop does file I/O and sleeps, so it must live on its
+        // own thread rather than the shared compute pool.
+        let handle = std::thread::Builder::new() // xlint: allow(no-raw-thread-spawn)
+            .name(name)
+            .spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let Some(replica) = weak.upgrade() else { break };
+                    if replica.poll_once().is_err() {
+                        obs::counter("cluster_replica_poll_errors_total").inc();
+                    }
+                    drop(replica);
+                    std::thread::sleep(interval);
+                }
+            });
+        *lock(&self.handle) = handle.ok();
+    }
+
+    /// Stops the background tail loop (if running) and waits for it.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = lock(&self.handle).take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Replica {
+    fn drop(&mut self) {
+        // The loop thread only holds a Weak, so this runs as soon as the
+        // last external handle drops; the upgrade inside the loop then
+        // fails and the thread exits on its own even without `stop()`.
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Locks a mutex, recovering from poisoning (a panicked poll must not take
+/// the whole replica down with it).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}

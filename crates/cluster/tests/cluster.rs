@@ -1,0 +1,378 @@
+//! Cluster integration tests: scatter-gather identity, deterministic
+//! merging, WAL-tail convergence and staleness routing.
+
+use sensormeta_cluster::{merge_hits, Replica, Router, ShardSet};
+use sensormeta_query::{CondOp, Condition, QueryEngine, SearchForm};
+use sensormeta_search::Hit;
+use sensormeta_smr::{PageDraft, Smr};
+use sensormeta_workload::{generate_corpus, CorpusConfig};
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+
+/// Replication and routing read the process-global epoch clock, which every
+/// page write bumps; tests that write pages or assert on staleness take
+/// this lock so concurrent test threads don't skew each other's clocks.
+fn clock_guard() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn corpus_engine(scale: usize, seed: u64) -> QueryEngine {
+    let pages = generate_corpus(&CorpusConfig {
+        institutions: scale,
+        seed,
+        ..CorpusConfig::default()
+    });
+    let mut smr = Smr::new();
+    let report = smr.bulk_load(pages.into_iter().map(|p| {
+        let mut d = PageDraft::new(p.title, p.namespace).body(p.body);
+        d.annotations = p.annotations;
+        d.links = p.links;
+        d.tags = p.tags;
+        d
+    }));
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    QueryEngine::open(smr).expect("engine build")
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sensormeta_cluster_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Forms spanning every scatter stage: pure keyword, conjunctive keyword,
+/// structured-only (Eq → SPARQL, Contains/Gt → SQL), mixed, namespaced
+/// and limited.
+fn probe_forms() -> Vec<SearchForm> {
+    let mut forms = vec![
+        SearchForm::keywords("temperature sensor"),
+        SearchForm::keywords("wind alpine station"),
+        SearchForm {
+            keywords: "snow depth".into(),
+            match_all: true,
+            ..SearchForm::default()
+        },
+        SearchForm::default().condition(Condition::new("hasVendor", CondOp::Eq, "Vaisala")),
+        SearchForm::default().condition(Condition::new("hasTopic", CondOp::Contains, "hydro")),
+        SearchForm::default().condition(Condition::new("hasElevation", CondOp::Gt, "1500")),
+        SearchForm::keywords("deployment").condition(Condition::new(
+            "hasVendor",
+            CondOp::Eq,
+            "Campbell",
+        )),
+        SearchForm {
+            keywords: "sensor".into(),
+            namespace: Some("Deployment".into()),
+            limit: 10,
+            ..SearchForm::default()
+        },
+        // A condition no page satisfies: exercises the global SQL-fallback
+        // decision (every shard's SPARQL set is empty).
+        SearchForm::keywords("station").condition(Condition::new(
+            "hasVendor",
+            CondOp::Eq,
+            "NoSuchVendor",
+        )),
+    ];
+    for f in &mut forms {
+        // Recommendation seeds and facets are part of the output; keep the
+        // default limit where not explicitly testing truncation.
+        f.descending = false;
+    }
+    forms
+}
+
+/// Tentpole acceptance: the scattered result is byte-identical to the
+/// single-store result at every tested shard count.
+#[test]
+fn scatter_gather_matches_single_store_at_1_2_4_shards() {
+    let _clock = clock_guard();
+    let engine = corpus_engine(6, 42);
+    for shards in [1usize, 2, 4] {
+        let set = ShardSet::build(&engine, shards).expect("build shard set");
+        assert_eq!(set.shard_count(), shards);
+        for (i, form) in probe_forms().iter().enumerate() {
+            let single = engine.search_uncached(form, None).expect("single-store");
+            let scattered = set.search(form, None).expect("scatter-gather");
+            let a = serde_json::to_string(&single).expect("json");
+            let b = serde_json::to_string(&scattered).expect("json");
+            assert_eq!(a, b, "form #{i} diverged at {shards} shards");
+        }
+    }
+}
+
+/// Satellite 1: cross-shard merge is deterministic regardless of shard
+/// assignment or shard-local doc ids.
+#[test]
+fn merge_is_deterministic_across_shard_layouts() {
+    let hit = |key: &str, doc: usize, score: f64| Hit {
+        doc,
+        key: key.to_string(),
+        score,
+    };
+    // The same six hits split three different ways (1, 2 and 4 lists),
+    // with shard-local doc ids deliberately reused across lists.
+    let all = vec![
+        hit("alpha", 0, 1.5),
+        hit("bravo", 1, 2.5),
+        hit("charlie", 2, 2.5),
+        hit("delta", 3, 0.5),
+        hit("echo", 4, 2.5),
+        hit("foxtrot", 5, 1.5),
+    ];
+    let one = vec![all.clone()];
+    let two = vec![
+        vec![all[1].clone(), hit("delta", 0, 0.5), all[4].clone()],
+        vec![hit("alpha", 0, 1.5), all[2].clone(), hit("foxtrot", 1, 1.5)],
+    ];
+    let four = vec![
+        vec![hit("charlie", 0, 2.5)],
+        vec![hit("echo", 0, 2.5), hit("alpha", 1, 1.5)],
+        vec![hit("bravo", 0, 2.5)],
+        vec![hit("foxtrot", 0, 1.5), hit("delta", 1, 0.5)],
+    ];
+    let keys = |parts: Vec<Vec<Hit>>| -> Vec<String> {
+        merge_hits(parts).into_iter().map(|h| h.key).collect()
+    };
+    let expect = vec!["bravo", "charlie", "echo", "alpha", "foxtrot", "delta"];
+    assert_eq!(keys(one), expect);
+    assert_eq!(keys(two), expect);
+    assert_eq!(keys(four), expect);
+}
+
+fn durable_primary(dir: &std::path::Path, scale: usize, seed: u64) -> Smr {
+    let store = dir.join("store.smr");
+    let (mut smr, _) = Smr::open_durable(&store).expect("open durable");
+    for p in generate_corpus(&CorpusConfig {
+        institutions: scale,
+        seed,
+        ..CorpusConfig::default()
+    }) {
+        let mut d = PageDraft::new(p.title, p.namespace).body(p.body);
+        d.annotations = p.annotations;
+        d.links = p.links;
+        d.tags = p.tags;
+        smr.create_page(d).expect("create page");
+    }
+    smr
+}
+
+fn drain(replica: &Replica) {
+    // Poll until two consecutive polls apply nothing (the first may land
+    // mid-write; the second confirms quiescence).
+    let mut idle = 0;
+    for _ in 0..1000 {
+        let poll = replica.poll_once().expect("poll");
+        if poll.applied == 0 && !poll.resynced && poll.stalled.is_none() {
+            idle += 1;
+            if idle >= 2 {
+                return;
+            }
+        } else {
+            idle = 0;
+        }
+    }
+    panic!("replica never quiesced");
+}
+
+/// Satellite 3: a replica tailing a live primary converges — logical dumps
+/// are equal at quiesce.
+#[test]
+fn replica_tails_live_commits_to_convergence() {
+    let _clock = clock_guard();
+    let dir = scratch_dir("tail_converge");
+    let store = dir.join("store.smr");
+    let mut primary = durable_primary(&dir, 2, 7);
+
+    let replica = Replica::open("r0", &store).expect("open replica");
+    assert_eq!(replica.logical_dump(), primary.database().logical_dump());
+
+    // Live commits after the replica opened.
+    for i in 0..20 {
+        let d = PageDraft::new(format!("Deployment:live_{i}"), "Deployment")
+            .body(format!("live tail test page {i} temperature"));
+        primary.create_page(d).expect("create");
+        if i % 5 == 0 {
+            // Interleave polls with writes so the tail sees the log grow.
+            let _ = replica.poll_once().expect("poll");
+        }
+    }
+    drain(&replica);
+    assert_eq!(replica.logical_dump(), primary.database().logical_dump());
+
+    // The replica's engine serves the new pages.
+    let out = replica
+        .snapshot()
+        .search_uncached(&SearchForm::keywords("live tail test"), None)
+        .expect("replica search");
+    assert!(!out.items.is_empty(), "replica engine missing tailed pages");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite 3, hard mode: kill the replica mid-tail, restart it from the
+/// same snapshot, and converge — no ops lost or double-applied.
+#[test]
+fn replica_kill_and_restart_mid_tail_converges() {
+    let _clock = clock_guard();
+    let dir = scratch_dir("tail_restart");
+    let store = dir.join("store.smr");
+    let mut primary = durable_primary(&dir, 2, 11);
+
+    let replica = Replica::open("r0", &store).expect("open replica");
+    for i in 0..10 {
+        let d = PageDraft::new(format!("Deployment:phase1_{i}"), "Deployment")
+            .body(format!("phase one page {i}"));
+        primary.create_page(d).expect("create");
+    }
+    let _ = replica.poll_once().expect("poll");
+    // Kill mid-stream: drop the replica entirely.
+    drop(replica);
+
+    for i in 0..10 {
+        let d = PageDraft::new(format!("Deployment:phase2_{i}"), "Deployment")
+            .body(format!("phase two page {i}"));
+        primary.create_page(d).expect("create");
+    }
+
+    // Restart from the same primary path; recovery replays the log, the
+    // tail resumes past it.
+    let replica = Replica::open("r1", &store).expect("reopen replica");
+    for i in 0..5 {
+        let d = PageDraft::new(format!("Deployment:phase3_{i}"), "Deployment")
+            .body(format!("phase three page {i}"));
+        primary.create_page(d).expect("create");
+    }
+    drain(&replica);
+    assert_eq!(replica.logical_dump(), primary.database().logical_dump());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A primary checkpoint truncates the log; the replica detects the shrink
+/// and resyncs from the snapshot.
+#[test]
+fn replica_survives_primary_checkpoint() {
+    let _clock = clock_guard();
+    let dir = scratch_dir("tail_checkpoint");
+    let store = dir.join("store.smr");
+    let mut primary = durable_primary(&dir, 1, 13);
+
+    let replica = Replica::open("r0", &store).expect("open replica");
+    drain(&replica);
+
+    primary.checkpoint().expect("checkpoint");
+    for i in 0..5 {
+        let d = PageDraft::new(format!("Deployment:post_ckpt_{i}"), "Deployment")
+            .body(format!("post checkpoint page {i}"));
+        primary.create_page(d).expect("create");
+    }
+    drain(&replica);
+    assert_eq!(replica.logical_dump(), primary.database().logical_dump());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The background tail loop converges without explicit polling.
+#[test]
+fn background_tail_loop_converges() {
+    let _clock = clock_guard();
+    let dir = scratch_dir("tail_thread");
+    let store = dir.join("store.smr");
+    let mut primary = durable_primary(&dir, 1, 17);
+
+    let replica = Replica::open("r0", &store).expect("open replica");
+    replica.start(std::time::Duration::from_millis(5));
+    for i in 0..10 {
+        let d = PageDraft::new(format!("Deployment:bg_{i}"), "Deployment")
+            .body(format!("background page {i}"));
+        primary.create_page(d).expect("create");
+    }
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let target = primary.database().logical_dump();
+    loop {
+        if replica.logical_dump() == target {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "background tail did not converge"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    replica.stop();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Router: fresh replicas serve reads; a stale replica under a zero bound
+/// falls back to the primary until it catches up.
+#[test]
+fn router_staleness_bounds_route_reads() {
+    let _clock = clock_guard();
+    use sensormeta_cache::Domain;
+    let dir = scratch_dir("router");
+    let store = dir.join("store.smr");
+    let mut primary = durable_primary(&dir, 1, 19);
+
+    let replica = Replica::open("r0", &store).expect("open replica");
+    drain(&replica);
+    let deps = [Domain::Relational, Domain::Triples];
+
+    // Caught up: within any bound.
+    let router = Router::new(vec![replica.clone()], 4);
+    assert!(router.route_read(&deps).is_some(), "fresh replica skipped");
+
+    // Fall behind: commits advance the clock while the replica sleeps.
+    for i in 0..8 {
+        let d = PageDraft::new(format!("Deployment:stale_{i}"), "Deployment")
+            .body(format!("staleness page {i}"));
+        primary.create_page(d).expect("create");
+    }
+    let strict = Router::new(vec![replica.clone()], 0);
+    assert!(
+        strict.route_read(&deps).is_none(),
+        "stale replica served under a zero staleness bound"
+    );
+    assert!(replica.staleness(&deps) > 0);
+
+    // Catching up restores routing.
+    drain(&replica);
+    assert!(
+        strict.route_read(&deps).is_some(),
+        "caught-up replica still skipped"
+    );
+    assert_eq!(replica.staleness(&deps), 0);
+
+    // No replicas: always primary.
+    let empty = Router::new(vec![], 4);
+    assert!(empty.route_read(&deps).is_none());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A sharded set over a replica-fed engine serves the same results as the
+/// primary engine: shards and replication compose.
+#[test]
+fn shards_over_replica_match_primary() {
+    let _clock = clock_guard();
+    let dir = scratch_dir("shard_replica");
+    let store = dir.join("store.smr");
+    let primary = durable_primary(&dir, 2, 23);
+    let primary_engine = QueryEngine::open(primary.clone_reader()).expect("engine");
+
+    let replica = Replica::open("r0", &store).expect("open replica");
+    drain(&replica);
+    let set = ShardSet::build(&replica.snapshot(), 2).expect("build");
+
+    let form = SearchForm::keywords("temperature sensor");
+    let a = serde_json::to_string(&primary_engine.search_uncached(&form, None).expect("p"))
+        .expect("json");
+    let b = serde_json::to_string(&set.search(&form, None).expect("s")).expect("json");
+    assert_eq!(a, b);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -15,8 +15,8 @@ use sensormeta_cache::{Cache, CacheConfig, CacheError, Domain, EpochVector, Fing
 use sensormeta_obs as obs;
 use sensormeta_rank::{GaussSeidel, PageRankProblem, RankCache, Recommender, TransitionMatrix};
 use sensormeta_resil::{self as resil, Deadline};
-use sensormeta_search::{Autocomplete, SearchIndex, SpellSuggester};
-use sensormeta_smr::{sql_escape, Smr};
+use sensormeta_search::{Autocomplete, Hit, SearchIndex, SpellSuggester};
+use sensormeta_smr::{sql_escape, Page, Smr};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Duration;
@@ -87,6 +87,21 @@ pub struct SearchOptions<'a> {
     /// clock, so a reader on an old snapshot neither sees results from a
     /// newer generation nor misses just because a writer committed mid-read.
     pub at: Option<EpochVector>,
+}
+
+/// One shard's contribution to a scattered search: assembled result rows
+/// carrying *raw* (unnormalized) BM25 and unblended scores, plus the shard's
+/// facet counts. Produced by [`QueryEngine::assemble_partial`]; partials that
+/// cover the corpus exactly once merge back into the single-store output
+/// through [`QueryEngine::finalize_partials`].
+#[derive(Debug, Default)]
+pub struct ShardPartial {
+    /// `(raw item, page row)` pairs surviving the ACL, namespace and region
+    /// filters. The page row rides along for attribute sorting.
+    pub items: Vec<(ResultItem, Page)>,
+    /// Facet counts over this shard's visible pages (counted before the
+    /// region filter, exactly as in the single-store path).
+    pub facets: BTreeMap<(String, String), usize>,
 }
 
 /// The query engine over one SMR.
@@ -309,6 +324,37 @@ impl QueryEngine {
         }
     }
 
+    /// A shard view: this engine's global derived structures (index,
+    /// PageRank, titles, recommender — everything ranking depends on) over a
+    /// *partition* repository holding only the pages the shard owns. Shard
+    /// views evaluate conditions and assemble results against their own
+    /// store while scoring with collection-global statistics, which is what
+    /// keeps scattered results byte-identical to the single-store path. The
+    /// view gets a private result cache: its outputs are partial by design
+    /// and must never serve whole-corpus cache hits.
+    pub fn shard_view(&self, partition: Smr) -> QueryEngine {
+        QueryEngine {
+            smr: partition,
+            results: Arc::new(result_cache()),
+            ..self.clone_reader()
+        }
+    }
+
+    /// Dense page id of a title (indexes `titles`, `pagerank`, index docs).
+    pub fn dense_id(&self, title: &str) -> Option<usize> {
+        self.title_ids.get(title).copied()
+    }
+
+    /// Number of indexed documents (= pages with a dense id).
+    pub fn doc_count(&self) -> usize {
+        self.titles.len()
+    }
+
+    /// Title of a dense page id, if in range.
+    pub fn title_of(&self, id: usize) -> Option<&str> {
+        self.titles.get(id).map(String::as_str)
+    }
+
     /// Read access to the repository.
     pub fn smr(&self) -> &Smr {
         &self.smr
@@ -476,6 +522,11 @@ impl QueryEngine {
     /// Executes an advanced-search form without consulting or filling the
     /// result cache — the oracle the invalidation property tests compare
     /// cached reads against.
+    ///
+    /// Structured as scatter-gather over a single "shard" spanning the whole
+    /// corpus: keyword scoring, condition evaluation, candidate assembly and
+    /// final ranking are the same stages `crates/cluster` fans out across
+    /// shard views, so the sharded path is byte-identical by construction.
     pub fn search_uncached(&self, form: &SearchForm, user: Option<&str>) -> Result<QueryOutput> {
         let _timing = obs::span("query_search");
         obs::counter("query_searches_total").inc();
@@ -484,23 +535,7 @@ impl QueryEngine {
             return Err(QueryError::EmptyForm);
         }
         // 1. Keyword candidates with BM25 scores (None = no keyword filter).
-        let keyword_scores: Option<HashMap<usize, f64>> = if form.keywords.trim().is_empty() {
-            None
-        } else {
-            let _ft = obs::span("query_fulltext");
-            let hits = if form.match_all {
-                self.index
-                    .try_search_all_terms_cached(&form.keywords, usize::MAX)?
-                    .0
-            } else {
-                self.index.try_search_cached(&form.keywords, usize::MAX)?.0
-            };
-            Some(
-                hits.iter()
-                    .filter_map(|h| self.title_ids.get(&h.key).map(|&i| (i, h.score)))
-                    .collect(),
-            )
-        };
+        let keyword_scores = self.keyword_score_map(form)?;
 
         // 2. Structured conditions: exact string equality runs as SPARQL
         //    against the RDF mirror; the rest (numeric, substring) as SQL
@@ -510,37 +545,104 @@ impl QueryEngine {
         //    running intersection; see `eval_conditions`.
         let cond_matches = self.eval_conditions(form)?;
 
-        // 3. Assemble the candidate set.
+        // 3+4. Candidate assembly over the whole corpus, then 5+6. ranking.
+        let partial =
+            self.assemble_partial(form, user, keyword_scores.as_ref(), &cond_matches, None)?;
+        self.finalize_partials(form, keyword_scores.as_ref(), vec![partial])
+    }
+
+    /// Stage 1 of search: the form's keyword hits as a dense-page-id → raw
+    /// BM25 score map (`None` when the form has no keywords). Served through
+    /// the index's shared query cache.
+    pub fn keyword_score_map(&self, form: &SearchForm) -> Result<Option<HashMap<usize, f64>>> {
+        if form.keywords.trim().is_empty() {
+            return Ok(None);
+        }
+        let _ft = obs::span("query_fulltext");
+        let hits = if form.match_all {
+            self.index
+                .try_search_all_terms_cached(&form.keywords, usize::MAX)?
+                .0
+        } else {
+            self.index.try_search_cached(&form.keywords, usize::MAX)?.0
+        };
+        Ok(Some(self.scores_from_hits(&hits)))
+    }
+
+    /// The form's keyword hits restricted to a contiguous document range of
+    /// the shared index — the scatter half of stage 1. Scores use global
+    /// collection statistics (see [`SearchIndex::try_search_range`]), so
+    /// hits merged across disjoint ranges covering the corpus equal the
+    /// unrestricted [`QueryEngine::keyword_score_map`] input.
+    pub fn keyword_hits_range(
+        &self,
+        form: &SearchForm,
+        range: std::ops::Range<usize>,
+    ) -> Result<Option<Vec<Hit>>> {
+        if form.keywords.trim().is_empty() {
+            return Ok(None);
+        }
+        let _ft = obs::span("query_fulltext");
+        let hits = if form.match_all {
+            self.index
+                .try_search_all_terms_range(&form.keywords, usize::MAX, range)?
+        } else {
+            self.index
+                .try_search_range(&form.keywords, usize::MAX, range)?
+        };
+        Ok(Some(hits))
+    }
+
+    /// Projects search hits onto dense page ids (hits whose key is not a
+    /// known page title are dropped, as in the single-store path).
+    pub fn scores_from_hits(&self, hits: &[Hit]) -> HashMap<usize, f64> {
+        hits.iter()
+            .filter_map(|h| self.title_ids.get(&h.key).map(|&i| (i, h.score)))
+            .collect()
+    }
+
+    /// Stages 3–4 of search: assembles raw result rows for the candidate
+    /// pages this engine can see, optionally restricted to an owned subset
+    /// of dense page ids (`keep`) — the per-shard half of a scattered
+    /// search. Returned BM25 values are *raw* and scores unblended;
+    /// [`QueryEngine::finalize_partials`] normalizes against the global
+    /// maximum so per-shard assembly cannot skew ranking.
+    pub fn assemble_partial(
+        &self,
+        form: &SearchForm,
+        user: Option<&str>,
+        keyword_scores: Option<&HashMap<usize, f64>>,
+        cond_matches: &[HashSet<usize>],
+        keep: Option<&HashSet<usize>>,
+    ) -> Result<ShardPartial> {
         let _combine = obs::span("query_combine");
-        let candidates: Vec<usize> = match &keyword_scores {
+        let candidates: Vec<usize> = match keyword_scores {
             Some(scores) => scores.keys().copied().collect(),
             None => (0..self.titles.len()).collect(),
         };
         let mut matched: Vec<(usize, f64)> = Vec::new(); // (page, match_degree)
         for page in candidates {
+            if keep.is_some_and(|owned| !owned.contains(&page)) {
+                continue;
+            }
             let degree = if cond_matches.is_empty() {
                 1.0
             } else {
                 let hit = cond_matches.iter().filter(|s| s.contains(&page)).count();
                 hit as f64 / cond_matches.len() as f64
             };
-            let keep = if form.soft_conditions {
+            let keep_page = if form.soft_conditions {
                 cond_matches.is_empty() || degree > 0.0
             } else {
                 degree >= 1.0
             };
-            if keep {
+            if keep_page {
                 matched.push((page, degree));
             }
         }
 
-        // 4. ACL + namespace filter (needs page rows).
-        let mut items = Vec::new();
-        let bm25_max = keyword_scores
-            .as_ref()
-            .map(|s| s.values().copied().fold(f64::MIN_POSITIVE, f64::max))
-            .unwrap_or(1.0);
-        let mut facet_counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+        // ACL + namespace filter (needs page rows).
+        let mut out = ShardPartial::default();
         for (assembled, (page_id, degree)) in matched.into_iter().enumerate() {
             if assembled % 64 == 0 {
                 resil::checkpoint("query_assemble")?;
@@ -558,19 +660,12 @@ impl QueryEngine {
                     continue;
                 }
             }
-            let bm25 = keyword_scores
-                .as_ref()
+            let bm25_raw = keyword_scores
                 .and_then(|s| s.get(&page_id).copied())
-                .unwrap_or(0.0)
-                / bm25_max;
+                .unwrap_or(0.0);
             let pr = self.pagerank[page_id];
-            let score = if keyword_scores.is_some() {
-                (1.0 - self.blend.pagerank_weight) * bm25 + self.blend.pagerank_weight * pr
-            } else {
-                pr
-            };
             for (a, v) in &page.annotations {
-                *facet_counts.entry((a.clone(), v.clone())).or_insert(0) += 1;
+                *out.facets.entry((a.clone(), v.clone())).or_insert(0) += 1;
             }
             let coords = extract_coords(&page.annotations);
             if let Some((lat_min, lat_max, lon_min, lon_max)) = form.region {
@@ -582,12 +677,12 @@ impl QueryEngine {
                     continue;
                 }
             }
-            items.push((
+            out.items.push((
                 ResultItem {
                     title: page.title.clone(),
                     namespace: page.namespace.clone(),
-                    score,
-                    bm25,
+                    score: 0.0,     // blended in finalize_partials
+                    bm25: bm25_raw, // raw until normalized in finalize_partials
                     pagerank: pr,
                     match_degree: degree,
                     snippet: snippet(&page.body, &form.keywords),
@@ -596,8 +691,43 @@ impl QueryEngine {
                 page,
             ));
         }
+        Ok(out)
+    }
 
-        // 5. Sort.
+    /// Stages 5–6 of search: normalizes and blends scores across every
+    /// partial, sorts, truncates, and attaches facets, recommendations and
+    /// spelling suggestions. `keyword_scores` must be the *global* score map
+    /// (all shards), so BM25 normalization matches the single-store path
+    /// regardless of how assembly was partitioned.
+    pub fn finalize_partials(
+        &self,
+        form: &SearchForm,
+        keyword_scores: Option<&HashMap<usize, f64>>,
+        partials: Vec<ShardPartial>,
+    ) -> Result<QueryOutput> {
+        let _merge = obs::span("query_finalize");
+        let bm25_max = keyword_scores
+            .map(|s| s.values().copied().fold(f64::MIN_POSITIVE, f64::max))
+            .unwrap_or(1.0);
+        let mut items: Vec<(ResultItem, Page)> = Vec::new();
+        let mut facet_counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for partial in partials {
+            for ((attribute, value), count) in partial.facets {
+                *facet_counts.entry((attribute, value)).or_insert(0) += count;
+            }
+            for (mut item, page) in partial.items {
+                item.bm25 /= bm25_max;
+                item.score = if keyword_scores.is_some() {
+                    (1.0 - self.blend.pagerank_weight) * item.bm25
+                        + self.blend.pagerank_weight * item.pagerank
+                } else {
+                    item.pagerank
+                };
+                items.push((item, page));
+            }
+        }
+
+        // Sort.
         match &form.sort_by {
             SortBy::Relevance => {
                 items.sort_by(|a, b| cmp_f64(b.0.score, a.0.score).then(a.0.title.cmp(&b.0.title)))
@@ -624,7 +754,7 @@ impl QueryEngine {
         let limit = form.effective_limit();
         let top: Vec<ResultItem> = items.into_iter().map(|(i, _)| i).take(limit).collect();
 
-        // 6. Recommendations from the top results.
+        // Recommendations from the top results.
         let seeds: Vec<&str> = top.iter().take(5).map(|i| i.title.as_str()).collect();
         let seed_set: HashSet<&str> = top.iter().map(|i| i.title.as_str()).collect();
         let recommendations = self
@@ -749,39 +879,61 @@ impl QueryEngine {
         restrict: Option<&HashSet<usize>>,
     ) -> Result<HashSet<usize>> {
         let titles: Vec<String> = if cond.op == CondOp::Eq {
-            // SPARQL path: exact literal match on the mirrored property.
-            let _sparql = obs::span("query_sparql");
-            obs::counter("query_sparql_conditions_total").inc();
-            resil::checkpoint("query_sparql")?;
-            let q = format!(
-                "PREFIX prop: <http://swiss-experiment.ch/property/> \
-                 SELECT ?t WHERE {{ ?page prop:{} \"{}\" . ?page prop:title ?t }}",
-                cond.attribute.replace(' ', "_"),
-                cond.value.replace('\\', "\\\\").replace('"', "\\\"")
-            );
-            let sols = self.smr.sparql(&q)?;
-            let mut out: Vec<String> = sols
-                .rows
-                .iter()
-                .filter_map(|r| {
-                    r[0].as_ref()
-                        .and_then(|t| t.literal_value())
-                        .map(str::to_owned)
-                })
-                .collect();
+            let out = self.sparql_condition_titles(cond)?;
             // SPARQL matched the exact lexical form; Eq is declared
             // case-insensitive, so complete with a SQL pass when needed.
             if out.is_empty() {
-                out = self.sql_condition(cond, restrict)?;
+                self.sql_condition(cond, restrict)?
+            } else {
+                out
             }
-            out
         } else {
             self.sql_condition(cond, restrict)?
         };
-        Ok(titles
+        Ok(self.resolve_title_set(titles))
+    }
+
+    /// SPARQL half of an `Eq` condition: exact literal match on the mirrored
+    /// property, returning matching page titles from *this engine's* store.
+    /// Exposed for scattered condition evaluation, where each shard view
+    /// runs this over its partition and the caller unions the titles —
+    /// crucially making the empty-result SQL-fallback decision on the
+    /// *global* union, as the single-store path does.
+    pub fn sparql_condition_titles(&self, cond: &Condition) -> Result<Vec<String>> {
+        let _sparql = obs::span("query_sparql");
+        obs::counter("query_sparql_conditions_total").inc();
+        resil::checkpoint("query_sparql")?;
+        let q = format!(
+            "PREFIX prop: <http://swiss-experiment.ch/property/> \
+             SELECT ?t WHERE {{ ?page prop:{} \"{}\" . ?page prop:title ?t }}",
+            cond.attribute.replace(' ', "_"),
+            cond.value.replace('\\', "\\\\").replace('"', "\\\"")
+        );
+        let sols = self.smr.sparql(&q)?;
+        Ok(sols
+            .rows
+            .iter()
+            .filter_map(|r| {
+                r[0].as_ref()
+                    .and_then(|t| t.literal_value())
+                    .map(str::to_owned)
+            })
+            .collect())
+    }
+
+    /// SQL half of a condition, unrestricted — the scatter primitive paired
+    /// with [`QueryEngine::sparql_condition_titles`].
+    pub fn sql_condition_titles(&self, cond: &Condition) -> Result<Vec<String>> {
+        self.sql_condition(cond, None)
+    }
+
+    /// Maps page titles onto the dense-id space shared by every shard view
+    /// (unknown titles are dropped).
+    pub fn resolve_title_set(&self, titles: impl IntoIterator<Item = String>) -> HashSet<usize> {
+        titles
             .into_iter()
             .filter_map(|t| self.title_ids.get(&t).copied())
-            .collect())
+            .collect()
     }
 
     /// SQL fallback: fetch all values of the attribute and filter in Rust

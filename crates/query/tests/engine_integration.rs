@@ -359,8 +359,16 @@ fn pushdown_preserves_multi_condition_results() {
     // the surviving set must be exactly the pages matching both.
     let before = sensormeta_obs::counter("query_pushdown_semijoin_total").get();
     let form = SearchForm::default()
-        .condition(Condition::new("measuresQuantity", CondOp::Eq, "temperature"))
-        .condition(Condition::new("deployedAt", CondOp::Contains, "Weissfluhjoch"));
+        .condition(Condition::new(
+            "measuresQuantity",
+            CondOp::Eq,
+            "temperature",
+        ))
+        .condition(Condition::new(
+            "deployedAt",
+            CondOp::Contains,
+            "Weissfluhjoch",
+        ));
     let out = engine.search(&form, None).unwrap();
     let titles: Vec<&str> = out.items.iter().map(|i| i.title.as_str()).collect();
     assert_eq!(titles, ["Deployment:wfj_temp"]);
@@ -370,7 +378,11 @@ fn pushdown_preserves_multi_condition_results() {
     );
     // An empty first intersection short-circuits the rest.
     let form = SearchForm::default()
-        .condition(Condition::new("measuresQuantity", CondOp::Eq, "no_such_quantity"))
+        .condition(Condition::new(
+            "measuresQuantity",
+            CondOp::Eq,
+            "no_such_quantity",
+        ))
         .condition(Condition::new("hasElevation", CondOp::Gt, "0"));
     let out = engine.search(&form, None).unwrap();
     assert!(out.items.is_empty());
@@ -382,7 +394,11 @@ fn pushdown_leaves_soft_conditions_independent() {
     // Soft mode scores each condition independently, so the pushdown must
     // not restrict later conditions: Davos matches only one of the two.
     let mut form = SearchForm::default()
-        .condition(Condition::new("measuresQuantity", CondOp::Eq, "temperature"))
+        .condition(Condition::new(
+            "measuresQuantity",
+            CondOp::Eq,
+            "temperature",
+        ))
         .condition(Condition::new("hasElevation", CondOp::Lt, "3000"));
     form.soft_conditions = true;
     let out = engine.search(&form, None).unwrap();
@@ -410,7 +426,9 @@ fn autocomplete_falls_back_to_substring_matches() {
     assert!(out.iter().any(|(s, _)| s == "Deployment:davos_wind"));
     // Short fragments stay prefix-only (trigram needs 3+ chars).
     let short = engine.autocomplete("da", 10);
-    assert!(short.iter().all(|(s, _)| s.to_lowercase().starts_with("da")));
+    assert!(short
+        .iter()
+        .all(|(s, _)| s.to_lowercase().starts_with("da")));
     // The prefix trie still wins when it already fills the budget.
     let prefixed = engine.autocomplete("Fieldsite:", 10);
     assert_eq!(prefixed.len(), 2);

@@ -210,7 +210,7 @@ fn dense_solve(mat: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
                     .partial_cmp(&a[j][col].abs())
                     .unwrap_or(std::cmp::Ordering::Equal)
             })
-            .expect("non-empty");
+            .unwrap_or(col); // col..m is non-empty; col itself is a no-op swap
         a.swap(col, piv);
         x.swap(col, piv);
         let d = a[col][col];

@@ -188,11 +188,13 @@ fn aggregate_solutions(
         for b in &bindings {
             let key: Vec<Option<TermId>> =
                 query.group_by.iter().map(|v| b.get(v).copied()).collect();
-            groups.entry(key.clone()).or_insert_with(|| {
-                order.push(key.clone());
-                Vec::new()
-            });
-            groups.get_mut(&key).expect("just inserted").push(b);
+            groups
+                .entry(key)
+                .or_insert_with_key(|k| {
+                    order.push(k.clone());
+                    Vec::new()
+                })
+                .push(b);
         }
     }
     let mut vars: Vec<String> = query.vars.clone();
@@ -204,12 +206,11 @@ fn aggregate_solutions(
             .vars
             .iter()
             .map(|v| {
-                let pos = query
-                    .group_by
-                    .iter()
-                    .position(|g| g == v)
-                    .expect("validated");
-                key[pos].map(term_of)
+                // Parse-time validation pins every projected var to a group
+                // key; an unmatched var projects as unbound rather than
+                // panicking mid-query.
+                let pos = query.group_by.iter().position(|g| g == v)?;
+                key.get(pos).copied().flatten().map(term_of)
             })
             .collect();
         for agg in &query.aggregates {

@@ -90,7 +90,7 @@ impl TurtleParser {
         }
     }
 
-    fn expect(&mut self, c: char) -> Result<()> {
+    fn expect_char(&mut self, c: char) -> Result<()> {
         self.skip_ws();
         if self.bump() == Some(c) {
             Ok(())
@@ -137,13 +137,13 @@ impl TurtleParser {
             name.push(c);
             self.bump();
         }
-        self.expect(':')?;
+        self.expect_char(':')?;
         self.skip_ws();
         let Term::Iri(iri) = self.iri_ref()? else {
             return Err(self.err("prefix target must be an IRI"));
         };
         self.prefixes.insert(name, iri);
-        self.expect('.')?;
+        self.expect_char('.')?;
         Ok(())
     }
 
@@ -231,7 +231,7 @@ impl TurtleParser {
     }
 
     fn iri_ref(&mut self) -> Result<Term> {
-        self.expect('<')?;
+        self.expect_char('<')?;
         let mut iri = String::new();
         loop {
             match self.bump() {
@@ -300,7 +300,7 @@ impl TurtleParser {
     }
 
     fn literal(&mut self) -> Result<Term> {
-        self.expect('"')?;
+        self.expect_char('"')?;
         let mut value = String::new();
         loop {
             match self.bump() {
@@ -358,8 +358,9 @@ impl TurtleParser {
 
     fn number(&mut self) -> Result<Term> {
         let mut text = String::new();
-        if matches!(self.peek(), Some('-') | Some('+')) {
-            text.push(self.bump().expect("peeked"));
+        if let Some(sign) = self.peek().filter(|c| matches!(c, '-' | '+')) {
+            text.push(sign);
+            self.bump();
         }
         let mut is_decimal = false;
         while let Some(c) = self.peek() {

@@ -104,7 +104,9 @@ pub fn decode_row(buf: &[u8], pos: &mut usize) -> Result<Vec<Value>> {
                     .ok_or_else(|| RelError::Snapshot("float truncated".into()))?;
                 *pos = end;
                 Value::Float(f64::from_bits(u64::from_le_bytes(
-                    bytes.try_into().expect("slice is 8 bytes"),
+                    bytes
+                        .try_into()
+                        .map_err(|_| RelError::Snapshot("float truncated".into()))?,
                 )))
             }
             TAG_TEXT => {

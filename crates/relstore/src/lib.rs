@@ -38,7 +38,7 @@ pub mod value;
 pub mod vfs;
 pub mod wal;
 
-pub use db::Database;
+pub use db::{Database, ShipReport};
 pub use error::{RelError, Result};
 pub use heap::RowId;
 pub use recover::{wal_path_for, DurabilityOptions, RecoveryReport};
@@ -49,4 +49,4 @@ pub use table::{ColumnStats, IndexDef, IndexKind, Table, TableStats};
 pub use trigram::TrigramIndex;
 pub use value::{DataType, Value};
 pub use vfs::{FaultPlan, FaultVfs, MemVfs, StdVfs, Vfs, VfsFile};
-pub use wal::{scan_wal, SyncPolicy, WalScan};
+pub use wal::{scan_wal, CommittedTx, LogicalOp, SyncPolicy, TailPoll, WalScan, WalTail};

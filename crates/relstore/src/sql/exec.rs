@@ -317,10 +317,7 @@ pub fn execute_select_with(
         Some(scan) => {
             let t = lookup(catalog, &scan.table_key)?;
             bump_path_counter(&scan.path);
-            (
-                row_schema_for(t, scan.alias.clone()),
-                run_scan(t, scan)?,
-            )
+            (row_schema_for(t, scan.alias.clone()), run_scan(t, scan)?)
         }
     };
 
@@ -345,8 +342,7 @@ pub fn execute_select_with(
                         let Some(right) = t.get(rid)? else { continue };
                         let mut combined = left.clone();
                         combined.extend(right);
-                        if truthiness(&eval(&step.on, &joined_schema, &combined)?) == Some(true)
-                        {
+                        if truthiness(&eval(&step.on, &joined_schema, &combined)?) == Some(true) {
                             matched = true;
                             out.push(combined);
                         }
@@ -385,12 +381,7 @@ pub fn execute_select_with(
     // 2b. Restore written column order after a join reorder, so the rest of
     //     the pipeline (and the user) see the layout the query declared.
     if let Some(slots) = &plan.written_slots {
-        schema = RowSchema::new(
-            slots
-                .iter()
-                .map(|&s| schema.columns()[s].clone())
-                .collect(),
-        );
+        schema = RowSchema::new(slots.iter().map(|&s| schema.columns()[s].clone()).collect());
         rows = rows
             .into_iter()
             .map(|r| slots.iter().map(|&s| r[s].clone()).collect())
@@ -575,15 +566,15 @@ fn run_scan(t: &Table, scan: &ScanPlan) -> Result<Vec<Vec<Value>>> {
     let rids: Vec<_> = match &scan.path {
         AccessPath::FullScan => return Ok(t.scan().map(|(_, r)| r).collect()),
         AccessPath::IndexSeek { index, col, key } => {
-            let (_, ix) = t.index_on_column(*col).ok_or_else(|| {
-                RelError::Exec(format!("planned index `{index}` disappeared"))
-            })?;
+            let (_, ix) = t
+                .index_on_column(*col)
+                .ok_or_else(|| RelError::Exec(format!("planned index `{index}` disappeared")))?;
             ix.get(&vec![key.clone()])
         }
         AccessPath::RangeScan { index, col, lo, hi } => {
-            let (_, ix) = t.index_on_column(*col).ok_or_else(|| {
-                RelError::Exec(format!("planned index `{index}` disappeared"))
-            })?;
+            let (_, ix) = t
+                .index_on_column(*col)
+                .ok_or_else(|| RelError::Exec(format!("planned index `{index}` disappeared")))?;
             let lo_key = lo.as_ref().map(|(v, incl)| (vec![v.clone()], *incl));
             let hi_key = hi.as_ref().map(|(v, incl)| (vec![v.clone()], *incl));
             let lo_bound = match &lo_key {

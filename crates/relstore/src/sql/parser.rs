@@ -915,8 +915,7 @@ mod tests {
             })
         ));
         // NOT ILIKE parses as NOT(ILIKE ...).
-        let Statement::Select(sel) =
-            parse("SELECT * FROM t WHERE name NOT ILIKE 'a%'").unwrap()
+        let Statement::Select(sel) = parse("SELECT * FROM t WHERE name NOT ILIKE 'a%'").unwrap()
         else {
             panic!()
         };

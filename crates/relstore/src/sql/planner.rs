@@ -446,34 +446,27 @@ fn conjunct_paths(
             let Some((def, index)) = t.index_on_column(col) else {
                 return;
             };
-            let bounds: Option<(Option<(Value, bool)>, Option<(Value, bool)>)> =
-                match (op, flipped) {
-                    (BinOp::Eq, _) => {
-                        let est = index.get(&vec![lit.clone()]).len() as f64;
-                        out.push((
-                            AccessPath::IndexSeek {
-                                index: def.name.clone(),
-                                col,
-                                key: lit.clone(),
-                            },
-                            est,
-                        ));
-                        None
-                    }
-                    (BinOp::Lt, false) | (BinOp::Gt, true) => {
-                        Some((None, Some((lit.clone(), false))))
-                    }
-                    (BinOp::Le, false) | (BinOp::Ge, true) => {
-                        Some((None, Some((lit.clone(), true))))
-                    }
-                    (BinOp::Gt, false) | (BinOp::Lt, true) => {
-                        Some((Some((lit.clone(), false)), None))
-                    }
-                    (BinOp::Ge, false) | (BinOp::Le, true) => {
-                        Some((Some((lit.clone(), true)), None))
-                    }
-                    _ => None,
-                };
+            // One end of a B-tree range: `(key, inclusive)`.
+            type RangeEnd = Option<(Value, bool)>;
+            let bounds: Option<(RangeEnd, RangeEnd)> = match (op, flipped) {
+                (BinOp::Eq, _) => {
+                    let est = index.get(&vec![lit.clone()]).len() as f64;
+                    out.push((
+                        AccessPath::IndexSeek {
+                            index: def.name.clone(),
+                            col,
+                            key: lit.clone(),
+                        },
+                        est,
+                    ));
+                    None
+                }
+                (BinOp::Lt, false) | (BinOp::Gt, true) => Some((None, Some((lit.clone(), false)))),
+                (BinOp::Le, false) | (BinOp::Ge, true) => Some((None, Some((lit.clone(), true)))),
+                (BinOp::Gt, false) | (BinOp::Lt, true) => Some((Some((lit.clone(), false)), None)),
+                (BinOp::Ge, false) | (BinOp::Le, true) => Some((Some((lit.clone(), true)), None)),
+                _ => None,
+            };
             if let Some((lo, hi)) = bounds {
                 let est = range_estimate(
                     t,
@@ -746,8 +739,7 @@ fn plan_reordered(
             .filter(|&i| {
                 let alias = rels[i].alias.to_ascii_lowercase();
                 pool.iter().any(|(_, s)| {
-                    s.contains(&alias)
-                        && s.iter().all(|a| *a == alias || scope.contains(a))
+                    s.contains(&alias) && s.iter().all(|a| *a == alias || scope.contains(a))
                 })
             })
             .collect();

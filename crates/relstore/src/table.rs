@@ -97,11 +97,7 @@ impl ColumnStats {
 
     /// Estimated fraction of rows inside a (possibly half-open) range.
     /// Bounds are `(value, inclusive)`.
-    pub fn range_fraction(
-        &self,
-        lo: Option<(&Value, bool)>,
-        hi: Option<(&Value, bool)>,
-    ) -> f64 {
+    pub fn range_fraction(&self, lo: Option<(&Value, bool)>, hi: Option<(&Value, bool)>) -> f64 {
         let hi_f = hi.map_or(1.0, |(v, incl)| self.fraction_below(v, incl));
         let lo_f = lo.map_or(0.0, |(v, incl)| self.fraction_below(v, !incl));
         (hi_f - lo_f).clamp(0.0, 1.0)
@@ -785,18 +781,22 @@ mod tests {
     fn trigram_index_rejects_bad_definitions() {
         let mut t = sensors();
         // Non-text column.
-        let err = t
-            .create_index(IndexDef::trigram("bad_col", 0))
-            .unwrap_err();
+        let err = t.create_index(IndexDef::trigram("bad_col", 0)).unwrap_err();
         assert!(matches!(err, RelError::Exec(_)));
         // UNIQUE trigram.
         let mut def = IndexDef::trigram("bad_unique", 1);
         def.unique = true;
-        assert!(matches!(t.create_index(def).unwrap_err(), RelError::Exec(_)));
+        assert!(matches!(
+            t.create_index(def).unwrap_err(),
+            RelError::Exec(_)
+        ));
         // Composite trigram.
         let mut def = IndexDef::trigram("bad_composite", 1);
         def.columns = vec![1, 2];
-        assert!(matches!(t.create_index(def).unwrap_err(), RelError::Exec(_)));
+        assert!(matches!(
+            t.create_index(def).unwrap_err(),
+            RelError::Exec(_)
+        ));
         // Name collisions span both maps.
         t.create_index(IndexDef::trigram("shared_name", 1)).unwrap();
         assert!(matches!(

@@ -35,10 +35,7 @@ fn predicate_strategy() -> impl Strategy<Value = String> {
         (0i64..40).prop_map(|v| format!("a.grp = {v}")),
         (0i64..300).prop_map(|v| format!("a.id < {v}")),
         (0i64..300).prop_map(|v| format!("a.id >= {v}")),
-        ((0i64..150), (0i64..150)).prop_map(|(lo, d)| format!(
-            "a.id BETWEEN {lo} AND {}",
-            lo + d
-        )),
+        ((0i64..150), (0i64..150)).prop_map(|(lo, d)| format!("a.id BETWEEN {lo} AND {}", lo + d)),
         fragment().prop_map(|f| format!("a.name LIKE '{f}%'")),
         fragment().prop_map(|f| format!("a.name LIKE '%{f}%'")),
         fragment().prop_map(|f| format!("a.name ILIKE '%{}%'", f.to_uppercase())),

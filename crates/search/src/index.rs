@@ -247,7 +247,42 @@ impl SearchIndex {
         k: usize,
         params: Bm25Params,
     ) -> Result<Vec<Hit>, Interrupt> {
-        self.score_disjunctive(query, k, params, true)
+        self.score_disjunctive_in(query, k, params, true, None)
+    }
+
+    /// Disjunctive BM25 restricted to documents in `range` (half-open).
+    ///
+    /// Scoring statistics — idf, average length, per-document length — stay
+    /// *global*, so a document's score is identical whether it is evaluated
+    /// here or by a full [`SearchIndex::try_search`]: the union of this call
+    /// over disjoint ranges covering the corpus equals the unrestricted
+    /// result. This is the scatter primitive for sharded serving, where each
+    /// shard owns a contiguous document range of one shared index.
+    pub fn try_search_range(
+        &self,
+        query: &str,
+        k: usize,
+        range: std::ops::Range<DocId>,
+    ) -> Result<Vec<Hit>, Interrupt> {
+        self.score_disjunctive_in(query, k, Bm25Params::default(), true, Some(range))
+    }
+
+    /// Conjunctive variant of [`SearchIndex::try_search_range`]: documents in
+    /// `range` containing *all* query terms. The all-terms test is evaluated
+    /// against the whole index (term presence is a per-document property), so
+    /// range unions again reproduce [`SearchIndex::try_search_all_terms`].
+    pub fn try_search_all_terms_range(
+        &self,
+        query: &str,
+        k: usize,
+        range: std::ops::Range<DocId>,
+    ) -> Result<Vec<Hit>, Interrupt> {
+        Ok(self
+            .score_conjunctive(query, usize::MAX, true)?
+            .into_iter()
+            .filter(|h| range.contains(&h.doc))
+            .take(k)
+            .collect())
     }
 
     fn score_disjunctive(
@@ -256,6 +291,17 @@ impl SearchIndex {
         k: usize,
         params: Bm25Params,
         checked: bool,
+    ) -> Result<Vec<Hit>, Interrupt> {
+        self.score_disjunctive_in(query, k, params, checked, None)
+    }
+
+    fn score_disjunctive_in(
+        &self,
+        query: &str,
+        k: usize,
+        params: Bm25Params,
+        checked: bool,
+        range: Option<std::ops::Range<DocId>>,
     ) -> Result<Vec<Hit>, Interrupt> {
         let _timing = sensormeta_obs::span("search_score");
         sensormeta_obs::counter("search_queries_total").inc();
@@ -273,8 +319,18 @@ impl SearchIndex {
             let Some(posting) = self.postings.get(term) else {
                 continue;
             };
+            // idf always uses the term's full document frequency, even when
+            // only a range of documents is being scored.
             let idf = self.idf(posting.docs.len());
-            for (doc, positions) in &posting.docs {
+            let docs = match &range {
+                Some(r) => {
+                    let lo = posting.docs.partition_point(|(d, _)| *d < r.start);
+                    let hi = posting.docs.partition_point(|(d, _)| *d < r.end);
+                    &posting.docs[lo..hi]
+                }
+                None => &posting.docs[..],
+            };
+            for (doc, positions) in docs {
                 scanned += 1;
                 if checked && scanned.is_multiple_of(POSTINGS_PER_CHECK) {
                     resil::checkpoint(CHECKPOINT_SITE)?;
@@ -638,6 +694,41 @@ mod tests {
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].key, "Deployment:wfj_temp");
         assert!(ix.search_all_terms("temperature zermatt", 10).is_empty());
+    }
+
+    #[test]
+    fn range_union_equals_full_search() {
+        let ix = index();
+        let n = ix.doc_count();
+        for query in ["temperature", "temperature wind", "weissfluhjoch sensor"] {
+            let full = ix.search(query, usize::MAX);
+            for split in [1, 2, 3] {
+                let per = n.div_ceil(split);
+                let mut union: Vec<Hit> = Vec::new();
+                for s in 0..split {
+                    let lo = s * per;
+                    let hi = ((s + 1) * per).min(n);
+                    union.extend(ix.try_search_range(query, usize::MAX, lo..hi).unwrap());
+                }
+                union.sort_by(|a, b| {
+                    b.score
+                        .partial_cmp(&a.score)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.doc.cmp(&b.doc))
+                });
+                assert_eq!(union, full, "query {query:?} at {split} ranges");
+            }
+        }
+        // Conjunctive variant too.
+        let full = ix.search_all_terms("temperature weissfluhjoch", usize::MAX);
+        let mut union: Vec<Hit> = Vec::new();
+        for s in 0..n {
+            union.extend(
+                ix.try_search_all_terms_range("temperature weissfluhjoch", usize::MAX, s..s + 1)
+                    .unwrap(),
+            );
+        }
+        assert_eq!(union, full);
     }
 
     #[test]

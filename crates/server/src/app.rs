@@ -8,6 +8,7 @@
 use crate::http::{url_encode, Request, Response};
 use parking_lot::Mutex;
 use sensormeta_cache::{Domain, Status, ALL_DOMAINS};
+use sensormeta_cluster::{Replica, Router, ShardSet, Topology};
 use sensormeta_obs as obs;
 use sensormeta_query::{
     CondOp, Condition, QueryEngine, QueryError, SearchForm, SearchOptions, SortBy,
@@ -50,6 +51,8 @@ pub struct AppConfig {
     pub max_inflight: usize,
     /// Circuit-breaker tuning shared by the query and tag-cloud backends.
     pub breaker: BreakerConfig,
+    /// Serving topology: in-process shards and WAL-shipped read replicas.
+    pub topology: Topology,
 }
 
 impl Default for AppConfig {
@@ -59,6 +62,7 @@ impl Default for AppConfig {
             deadline: Some(DEFAULT_DEADLINE),
             max_inflight: DEFAULT_MAX_INFLIGHT,
             breaker: BreakerConfig::default(),
+            topology: Topology::default(),
         }
     }
 }
@@ -78,6 +82,7 @@ impl AppConfig {
                 std::env::var("SENSORMETA_MAX_INFLIGHT").ok().as_deref(),
             ),
             breaker: BreakerConfig::default(),
+            topology: Topology::from_env(),
         }
     }
 }
@@ -105,6 +110,13 @@ pub struct App {
     admission: Admission,
     breaker_query: Breaker,
     breaker_cloud: Breaker,
+    /// Serving topology (shards, replicas, staleness bound).
+    topology: Topology,
+    /// Scatter-gather executor when `topology.shards > 1`.
+    shards: Option<ShardSet>,
+    /// Read routing over WAL-shipped replicas; empty until
+    /// [`App::attach_replicas`] is called.
+    router: Router,
 }
 
 /// Reads the single-flight wait bound from `SENSORMETA_CACHE_WAIT_MS`:
@@ -161,6 +173,19 @@ impl App {
         if let Ok(pairs) = engine.smr().all_tags() {
             tags.ingest(pairs.iter().map(|(p, t)| (p.as_str(), t.as_str())));
         }
+        let shards = if cfg.topology.shards > 1 {
+            match ShardSet::build(&engine, cfg.topology.shards) {
+                Ok(set) => Some(set),
+                Err(_) => {
+                    // Fall back to unsharded serving rather than refusing
+                    // to start; the counter makes the degradation visible.
+                    obs::counter("cluster_shard_build_failures_total").inc();
+                    None
+                }
+            }
+        } else {
+            None
+        };
         App {
             engine: Mvcc::new(engine.clone_reader()),
             primary: Mutex::new(engine),
@@ -171,7 +196,31 @@ impl App {
             admission: Admission::new(cfg.max_inflight),
             breaker_query: Breaker::new("query", cfg.breaker),
             breaker_cloud: Breaker::new("tagcloud", cfg.breaker),
+            topology: cfg.topology,
+            shards,
+            router: Router::new(Vec::new(), cfg.topology.staleness_epochs),
         }
+    }
+
+    /// Opens `topology.replicas` WAL-shipped read replicas of the durable
+    /// store at `primary_path`, starts their tail loops, and installs them
+    /// behind the read router. The primary engine must own that store (its
+    /// commits write the log the replicas tail). Returns the replica count.
+    pub fn attach_replicas(&mut self, primary_path: &std::path::Path) -> Result<usize, QueryError> {
+        let mut replicas = Vec::new();
+        for i in 0..self.topology.replicas {
+            let replica = Replica::open(&format!("r{i}"), primary_path)?;
+            replica.start(self.topology.poll_interval);
+            replicas.push(replica);
+        }
+        let attached = replicas.len();
+        self.router = Router::new(replicas, self.topology.staleness_epochs);
+        Ok(attached)
+    }
+
+    /// The serving topology this app was built with.
+    pub fn topology(&self) -> Topology {
+        self.topology
     }
 
     /// The query-path circuit breaker (exposed for tests and diagnostics).
@@ -206,10 +255,23 @@ impl App {
     ) -> std::result::Result<u64, E> {
         let mut primary = self.primary.lock();
         mutate(&mut primary)?;
-        Ok(self
+        let seq = self
             .engine
             .begin()
-            .publish(&ALL_DOMAINS, primary.clone_reader()))
+            .publish(&ALL_DOMAINS, primary.clone_reader());
+        self.republish_shards(&primary);
+        Ok(seq)
+    }
+
+    /// Re-partitions the shard set from the primary after a commit; a
+    /// partitioning failure keeps the previous shard generation serving
+    /// (scatter reads lag one commit instead of failing).
+    fn republish_shards(&self, primary: &QueryEngine) {
+        if let Some(set) = &self.shards {
+            if set.republish(primary).is_err() {
+                obs::counter("cluster_shard_build_failures_total").inc();
+            }
+        }
     }
 
     /// Stable route label for metric names (`http_route_<label>_…`). Unknown
@@ -235,6 +297,7 @@ impl App {
             ("GET", "/metrics") => "metrics",
             ("GET", "/metrics.json") => "metrics",
             ("GET", "/healthz") => "healthz",
+            ("GET", "/cluster") => "cluster",
             ("POST", "/bulkload") => "bulkload",
             ("POST", "/tag") => "tag",
             ("POST", "/admin/cache/clear") => "admin_cache_clear",
@@ -296,6 +359,7 @@ impl App {
             ("GET", "/metrics") => Self::metrics(req, false),
             ("GET", "/metrics.json") => Self::metrics(req, true),
             ("GET", "/healthz") => self.healthz(),
+            ("GET", "/cluster") => self.cluster_status(),
             ("POST", "/bulkload") => self.bulkload(req),
             ("POST", "/tag") => self.add_tag(req),
             ("POST", "/admin/cache/clear") => self.admin_cache_clear(),
@@ -424,6 +488,21 @@ impl App {
 
     fn search(&self, req: &Request) -> Response {
         let form = Self::form_from(req);
+        // Sharded topology: scatter-gather across the shard set (results
+        // are byte-identical to the single-store path by construction).
+        if let Some(set) = &self.shards {
+            return self.search_sharded(req, &form, set);
+        }
+        // Replicated topology: serve the read from a sufficiently fresh
+        // replica when one exists; fall through to the primary otherwise.
+        if let Some(replica) = self.router.route_read(ShardSet::SEARCH_DEPS) {
+            return match replica.search(&form, req.param("user")) {
+                Ok(out) => {
+                    Self::render_search(req, &form, &out).with_header("X-Served-By", "replica")
+                }
+                Err(e) => self.search_error(e),
+            };
+        }
         let engine = self.engine.snapshot();
         if !self.breaker_query.allow() {
             // Open circuit: don't touch the backend at all — answer from the
@@ -466,6 +545,60 @@ impl App {
             }
             Err(e) => self.search_error(e),
         }
+    }
+
+    /// Scatter-gather search over the shard set, behind the query breaker.
+    /// The scattered path is uncached (each request fans out), so responses
+    /// are labelled `Cache-Status: bypass`.
+    fn search_sharded(&self, req: &Request, form: &SearchForm, set: &ShardSet) -> Response {
+        if !self.breaker_query.allow() {
+            return Response::error(503, "search backend unavailable (circuit open)")
+                .with_header("Retry-After", retry_after_secs().to_string());
+        }
+        match set.search(form, req.param("user")) {
+            Ok(out) => {
+                self.breaker_query.record_success();
+                Self::render_search(req, form, &out)
+                    .with_header("Cache-Status", "bypass")
+                    .with_header("X-Cluster-Shards", set.shard_count().to_string())
+            }
+            Err(e) => self.search_error(e),
+        }
+    }
+
+    /// Topology introspection: shard count, staleness bound, and per-replica
+    /// applied sequence and epoch lag. Also refreshes the replica-lag gauge
+    /// so `/metrics` stays current even between tail polls.
+    fn cluster_status(&self) -> Response {
+        let deps = ShardSet::SEARCH_DEPS;
+        let replicas: Vec<serde_json::Value> = self
+            .router
+            .replicas()
+            .iter()
+            .map(|r| {
+                json!({
+                    "name": r.name(),
+                    "appliedSeq": r.applied_seq(),
+                    "stalenessEpochs": r.staleness(deps),
+                })
+            })
+            .collect();
+        let max_staleness = self
+            .router
+            .replicas()
+            .iter()
+            .map(|r| r.staleness(deps))
+            .max()
+            .unwrap_or(0);
+        obs::gauge("cluster_replica_staleness_epochs").set(max_staleness as f64);
+        Response::json(
+            json!({
+                "shards": self.topology.shards,
+                "stalenessBound": self.topology.staleness_epochs,
+                "replicas": replicas,
+            })
+            .to_string(),
+        )
     }
 
     /// Maps a query failure to an HTTP status, feeding the breaker for
@@ -644,6 +777,7 @@ impl App {
         self.engine
             .begin()
             .publish(&ALL_DOMAINS, primary.clone_reader());
+        self.republish_shards(&primary);
         // Refresh the tag store from the updated repository.
         let mut fresh = TagStore::new();
         if let Ok(pairs) = primary.smr().all_tags() {

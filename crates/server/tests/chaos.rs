@@ -120,6 +120,7 @@ fn seeded_app() -> App {
             open_for: Duration::from_millis(600),
             half_open_probes: 1,
         },
+        ..AppConfig::default()
     };
     App::with_config(QueryEngine::open(smr).expect("build engine"), cfg)
 }

@@ -291,9 +291,15 @@ fn metrics_expose_planner_counters() {
     let server = start();
     // Run one indexed lookup and one trigram-eligible substring query so the
     // planner's chosen-path counters have been bumped.
-    let (status, _) = get(&server, "/sql?q=SELECT+*+FROM+pages+WHERE+title+%3D+%27Fieldsite%3ADavos%27");
+    let (status, _) = get(
+        &server,
+        "/sql?q=SELECT+*+FROM+pages+WHERE+title+%3D+%27Fieldsite%3ADavos%27",
+    );
     assert_eq!(status, 200);
-    let (status, _) = get(&server, "/sql?q=SELECT+title+FROM+pages+WHERE+title+ILIKE+%27%25davos%25%27");
+    let (status, _) = get(
+        &server,
+        "/sql?q=SELECT+title+FROM+pages+WHERE+title+ILIKE+%27%25davos%25%27",
+    );
     assert_eq!(status, 200);
     let (status, body) = get(&server, "/metrics");
     assert_eq!(status, 200);

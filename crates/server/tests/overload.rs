@@ -32,6 +32,7 @@ fn config() -> AppConfig {
         deadline: Some(Duration::from_secs(2)),
         max_inflight: 1,
         breaker: BreakerConfig::default(),
+        ..AppConfig::default()
     }
 }
 

@@ -7,7 +7,9 @@ use crate::error::{Result, SmrError};
 use crate::page::{BulkReport, Page, PageDraft};
 use sensormeta_graph::CsrGraph;
 use sensormeta_rdf::{evaluate, parse_sparql, Solutions, Term, TripleStore};
-use sensormeta_relstore::{Database, RecoveryReport, ResultSet, StdVfs, Value, Vfs};
+use sensormeta_relstore::{
+    Database, LogicalOp, RecoveryReport, ResultSet, ShipReport, StdVfs, Value, Vfs,
+};
 use std::sync::Arc;
 
 /// Base IRI for page resources in the RDF mirror.
@@ -501,14 +503,37 @@ impl Smr {
     /// in memory (nothing on disk is modified), and the RDF mirror is
     /// rebuilt from the relational tables.
     pub fn load(path: &std::path::Path) -> Result<Smr> {
+        Ok(Smr::load_with_report(path)?.0)
+    }
+
+    /// [`Smr::load`] that also returns the recovery report — a replica opens
+    /// through this to learn the highest operation sequence already folded
+    /// into its state, which is where WAL tailing resumes.
+    pub fn load_with_report(path: &std::path::Path) -> Result<(Smr, RecoveryReport)> {
         let vfs: Arc<dyn Vfs> = Arc::new(StdVfs);
-        let (db, _report) = Database::open_recovering(vfs, path)?;
+        let (db, report) = Database::open_recovering(vfs, path)?;
         let mut smr = Smr {
             db,
             rdf: TripleStore::new(),
         };
         smr.rebuild_mirror()?;
-        Ok(smr)
+        Ok((smr, report))
+    }
+
+    /// Applies operations shipped from a primary's write-ahead log (the
+    /// replica side of replication): relational ops replay through the same
+    /// deterministic path recovery uses, then the RDF mirror is rebuilt so
+    /// SPARQL sees the new state. Ops at or below `after_seq` are skipped.
+    pub fn apply_replicated(
+        &mut self,
+        ops: &[(u64, LogicalOp)],
+        after_seq: u64,
+    ) -> Result<ShipReport> {
+        let report = self.db.apply_shipped(ops, after_seq);
+        if report.applied > 0 {
+            self.rebuild_mirror()?;
+        }
+        Ok(report)
     }
 
     /// Rebuilds the whole RDF mirror from the relational state. Used after

@@ -35,6 +35,7 @@
 
 pub use sensormeta_bench as bench;
 pub use sensormeta_cache as cache;
+pub use sensormeta_cluster as cluster;
 pub use sensormeta_graph as graph;
 pub use sensormeta_obs as obs;
 pub use sensormeta_par as par;

@@ -314,15 +314,30 @@ fn serve(opts: &Opts) -> CliResult {
         Ok(n) => println!("chaos: armed {n} fault(s) from SENSORMETA_CHAOS"),
         Err(e) => return Err(format!("SENSORMETA_CHAOS: {e}").into()),
     }
-    let smr = open_smr(opts)?;
+    let topology = sensormeta::cluster::Topology::from_env();
+    // Replicas tail the primary's write-ahead log, so a replicated server
+    // must own the store durably; otherwise the plain recovering open keeps
+    // the snapshot read-only.
+    let smr = if topology.replicas > 0 {
+        Smr::open_durable(Path::new(opts.snapshot()?))?.0
+    } else {
+        open_smr(opts)?
+    };
     println!("indexing {} pages…", smr.page_count());
     let engine = QueryEngine::open(smr)?;
+    let mut app = sensormeta::server::App::new(engine);
+    if topology.shards > 1 {
+        println!("scatter-gather serving over {} shards", topology.shards);
+    }
+    if topology.replicas > 0 {
+        let n = app.attach_replicas(Path::new(opts.snapshot()?))?;
+        println!(
+            "attached {n} WAL-shipped read replica(s), staleness bound {} epoch(s)",
+            topology.staleness_epochs
+        );
+    }
     let addr = opts.get_or("addr", "127.0.0.1:8080");
-    let server = sensormeta::server::serve(
-        sensormeta::server::App::new(engine),
-        &addr,
-        opts.usize_or("workers", 8),
-    )?;
+    let server = sensormeta::server::serve(app, &addr, opts.usize_or("workers", 8))?;
     println!("serving on http://{}", server.addr);
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
